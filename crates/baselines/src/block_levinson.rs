@@ -1,0 +1,291 @@
+//! Block Levinson (Whittle–Wiggins–Robinson) solver for symmetric
+//! block Toeplitz systems — the O(m³p²) = O(m n²) classical competitor
+//! of the block Schur algorithm.
+//!
+//! Bordering derivation with our convention `T(i,j) = R(j−i)`,
+//! `R(−d) = R(d)ᵀ` (`R(d)` = d-th block of the first block row):
+//! maintain, for the leading `k`-block system `T_k`,
+//!
+//! - `F`: `T_k F = [I; 0; …]` (forward solution),
+//! - `B`: `T_k B = [0; …; I]` (backward solution),
+//! - `X`: `T_k X = b_{0..k}`.
+//!
+//! Growing the order computes the mismatch blocks
+//! `α_F = Σ R(k−j)ᵀ F_j` and `α_B = Σ R(j+1) B_j` and mixes `[F;0]`
+//! with `[0;B]` through `(I − α_B α_F)⁻¹` — the block analogue of the
+//! scalar reflection-coefficient update. Like scalar Levinson it
+//! requires every leading principal (block) minor to be nonsingular;
+//! the mixing matrix going singular is exactly the breakdown the
+//! paper's perturbed Schur algorithm avoids.
+
+use bs_matrix::blas3::{gemm, Trans};
+use bs_matrix::Matrix;
+use bs_toeplitz::SymBlockToeplitz;
+
+/// Breakdown of the block Levinson recursion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockLevinsonError {
+    /// The leading block `R(0)` (or a later mixing matrix
+    /// `I − α_B α_F`) is singular: a leading principal block minor of
+    /// `T` is singular.
+    SingularMinor { order: usize },
+}
+
+impl std::fmt::Display for BlockLevinsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockLevinsonError::SingularMinor { order } => {
+                write!(f, "block Levinson breakdown at block order {order}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockLevinsonError {}
+
+/// `m × m` inverse via LU (returns `None` when singular).
+fn invert(a: &Matrix) -> Option<Matrix> {
+    let m = a.rows();
+    let f = bs_matrix::lu::lu_factor(a).ok()?;
+    let mut inv = Matrix::zeros(m, m);
+    let mut e = vec![0.0; m];
+    for j in 0..m {
+        e.fill(0.0);
+        e[j] = 1.0;
+        let col = f.solve(&e).ok()?;
+        for i in 0..m {
+            inv[(i, j)] = col[i];
+        }
+    }
+    Some(inv)
+}
+
+/// Solve `T x = b` for a symmetric block Toeplitz matrix by the block
+/// Levinson recursion. Requires nonsingular leading principal block
+/// minors (in particular any SPD matrix works).
+pub fn block_levinson_solve(
+    t: &SymBlockToeplitz,
+    b: &[f64],
+) -> Result<Vec<f64>, BlockLevinsonError> {
+    let m = t.block_size();
+    let p = t.num_blocks();
+    let n = m * p;
+    assert_eq!(b.len(), n, "dimension mismatch");
+    let r = t.first_block_row();
+
+    // Order 1.
+    let r0_inv = invert(&r[0]).ok_or(BlockLevinsonError::SingularMinor { order: 1 })?;
+    let mut fwd: Vec<Matrix> = vec![r0_inv.clone()];
+    let mut bwd: Vec<Matrix> = vec![r0_inv.clone()];
+    let mut x = vec![0.0f64; n];
+    {
+        let mut x0 = vec![0.0; m];
+        bs_matrix::blas2::gemv(1.0, r0_inv.rf(), &b[..m], 0.0, &mut x0);
+        x[..m].copy_from_slice(&x0);
+    }
+
+    let mut alpha_f = Matrix::zeros(m, m);
+    let mut alpha_b = Matrix::zeros(m, m);
+    let mut tmp = Matrix::zeros(m, m);
+
+    for k in 1..p {
+        // α_F = Σ_{j<k} R(k−j)ᵀ F_j ;  α_B = Σ_{j<k} R(j+1) B_j.
+        alpha_f.fill(0.0);
+        alpha_b.fill(0.0);
+        for j in 0..k {
+            gemm(
+                1.0,
+                r[k - j].rf(),
+                Trans::Yes,
+                fwd[j].rf(),
+                Trans::No,
+                1.0,
+                alpha_f.mt(),
+            );
+            gemm(
+                1.0,
+                r[j + 1].rf(),
+                Trans::No,
+                bwd[j].rf(),
+                Trans::No,
+                1.0,
+                alpha_b.mt(),
+            );
+        }
+        // Mixing inverses S_F = (I − α_B α_F)⁻¹, S_B = (I − α_F α_B)⁻¹.
+        let mut mf = Matrix::identity(m);
+        gemm(
+            -1.0,
+            alpha_b.rf(),
+            Trans::No,
+            alpha_f.rf(),
+            Trans::No,
+            1.0,
+            mf.mt(),
+        );
+        let sf = invert(&mf).ok_or(BlockLevinsonError::SingularMinor { order: k + 1 })?;
+        let mut mb = Matrix::identity(m);
+        gemm(
+            -1.0,
+            alpha_f.rf(),
+            Trans::No,
+            alpha_b.rf(),
+            Trans::No,
+            1.0,
+            mb.mt(),
+        );
+        let sb = invert(&mb).ok_or(BlockLevinsonError::SingularMinor { order: k + 1 })?;
+
+        // F' = ([F;0] − [0;B] α_F) S_F ; B' = ([0;B] − [F;0] α_B) S_B.
+        let mut new_fwd: Vec<Matrix> = Vec::with_capacity(k + 1);
+        let mut new_bwd: Vec<Matrix> = Vec::with_capacity(k + 1);
+        for j in 0..=k {
+            // Forward block j: F_j − B_{j−1} α_F, then × S_F.
+            tmp.fill(0.0);
+            if j < k {
+                tmp.axpy(1.0, &fwd[j]);
+            }
+            if j >= 1 {
+                gemm(
+                    -1.0,
+                    bwd[j - 1].rf(),
+                    Trans::No,
+                    alpha_f.rf(),
+                    Trans::No,
+                    1.0,
+                    tmp.mt(),
+                );
+            }
+            let mut fj = Matrix::zeros(m, m);
+            gemm(1.0, tmp.rf(), Trans::No, sf.rf(), Trans::No, 0.0, fj.mt());
+            new_fwd.push(fj);
+
+            // Backward block j: B_{j−1} − F_j α_B, then × S_B.
+            tmp.fill(0.0);
+            if j >= 1 {
+                tmp.axpy(1.0, &bwd[j - 1]);
+            }
+            if j < k {
+                gemm(
+                    -1.0,
+                    fwd[j].rf(),
+                    Trans::No,
+                    alpha_b.rf(),
+                    Trans::No,
+                    1.0,
+                    tmp.mt(),
+                );
+            }
+            let mut bj = Matrix::zeros(m, m);
+            gemm(1.0, tmp.rf(), Trans::No, sb.rf(), Trans::No, 0.0, bj.mt());
+            new_bwd.push(bj);
+        }
+        fwd = new_fwd;
+        bwd = new_bwd;
+
+        // Solution update: r_x = b_k − Σ_{j<k} R(k−j)ᵀ x_j,
+        // X' = [X; 0] + B' r_x.
+        let mut rx = b[k * m..(k + 1) * m].to_vec();
+        for j in 0..k {
+            bs_matrix::blas2::gemv_t(
+                -1.0,
+                r[k - j].rf(),
+                &x[j * m..(j + 1) * m],
+                1.0,
+                &mut rx,
+            );
+        }
+        for (j, bj) in bwd.iter().enumerate() {
+            let seg = &mut x[j * m..(j + 1) * m];
+            let mut upd = vec![0.0; m];
+            bs_matrix::blas2::gemv(1.0, bj.rf(), &rx, 0.0, &mut upd);
+            for (si, ui) in seg.iter_mut().zip(&upd) {
+                *si += ui;
+            }
+        }
+        bs_matrix::flops::add((m * (k + 1)) as u64);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_toeplitz::workloads;
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_spd_block_systems() {
+        for (m, p) in [(1usize, 12usize), (2, 8), (3, 6), (4, 5)] {
+            let t = workloads::random_spd_block(m, p, (7 * m + p) as u64);
+            let (b, x_true) = workloads::rhs_for_ones(&t);
+            let x = block_levinson_solve(&t, &b).unwrap();
+            assert!(
+                max_err(&x, &x_true) < 1e-8,
+                "m={m} p={p}: {:e}",
+                max_err(&x, &x_true)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_scalar_levinson_at_m_equals_1() {
+        let t = workloads::random_spd_scalar(24, 5);
+        let row: Vec<f64> = (0..24).map(|j| t.get(0, j)).collect();
+        let (b, _) = workloads::rhs_for_ones(&t);
+        let x_scalar = crate::levinson::levinson_solve(&row, &b).unwrap();
+        let x_block = block_levinson_solve(&t, &b).unwrap();
+        assert!(max_err(&x_scalar, &x_block) < 1e-10);
+    }
+
+    #[test]
+    fn matches_block_schur_solution() {
+        let t = workloads::spd_ar1_block(3, 10, 0.6, 11);
+        let n = t.order();
+        let x_star: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = t.matvec(&x_star);
+        let x_lev = block_levinson_solve(&t, &b).unwrap();
+        let f = bs_core::factor_spd(&t, &bs_core::SchurOptions::default()).unwrap();
+        let x_schur = f.solve(&b).unwrap();
+        assert!(max_err(&x_lev, &x_schur) < 1e-7);
+        assert!(max_err(&x_lev, &x_star) < 1e-7);
+    }
+
+    #[test]
+    fn solves_general_rhs_on_indefinite_with_nonsingular_minors() {
+        // Block Levinson only needs nonsingular block minors, not
+        // positive definiteness.
+        let t = workloads::random_indefinite_block(2, 6, 3);
+        let (b, x_true) = workloads::rhs_for_ones(&t);
+        let x = block_levinson_solve(&t, &b).unwrap();
+        assert!(max_err(&x, &x_true) < 1e-7, "{:e}", max_err(&x, &x_true));
+    }
+
+    #[test]
+    fn breaks_down_on_singular_minor() {
+        let t = workloads::paper_singular_minor_example();
+        let (b, _) = workloads::rhs_for_ones(&t);
+        match block_levinson_solve(&t, &b) {
+            Err(BlockLevinsonError::SingularMinor { order: 2 }) => {}
+            other => panic!("expected breakdown at order 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singular_leading_block_detected() {
+        let t1 = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let t2 = Matrix::identity(2);
+        let t = SymBlockToeplitz::new(vec![t1, t2]);
+        let b = vec![1.0; 4];
+        assert_eq!(
+            block_levinson_solve(&t, &b),
+            Err(BlockLevinsonError::SingularMinor { order: 1 })
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Levinson–Durbin solver for symmetric positive definite scalar
+//! Toeplitz systems, O(n²) flops and O(n) workspace.
+//!
+//! Golub & Van Loan's formulation (Algorithm 4.7.3): maintains the
+//! Yule–Walker solution alongside the right-hand-side solution. The
+//! recursion divides by `β = Π(1 − α²ₖ)`, which stays positive exactly
+//! when every principal minor is positive — i.e. the SPD case. For
+//! indefinite or singular-minor matrices it breaks down, which is the
+//! gap the paper's perturbed Schur + refinement fills.
+
+use bs_matrix::flops;
+
+/// Error from the Levinson recursion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LevinsonError {
+    /// `t₀ ≤ 0` or a reflection coefficient reached `|α| ≥ 1`: the
+    /// matrix is not positive definite (or is singular).
+    NotPositiveDefinite { step: usize },
+}
+
+impl std::fmt::Display for LevinsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LevinsonError::NotPositiveDefinite { step } => {
+                write!(f, "Levinson breakdown at step {step}: not positive definite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LevinsonError {}
+
+/// Solve `T x = b` for a symmetric Toeplitz matrix given by its first
+/// row `t` (`t[0]` is the diagonal).
+///
+/// ```
+/// use bs_baselines::levinson_solve;
+/// // T = [[2, 1], [1, 2]], b = (4, 5)  =>  x = (1, 2).
+/// let x = levinson_solve(&[2.0, 1.0], &[4.0, 5.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 2.0).abs() < 1e-14);
+/// ```
+pub fn levinson_solve(t: &[f64], b: &[f64]) -> Result<Vec<f64>, LevinsonError> {
+    let n = t.len();
+    assert_eq!(b.len(), n, "dimension mismatch");
+    assert!(n > 0);
+    if t[0] <= 0.0 {
+        return Err(LevinsonError::NotPositiveDefinite { step: 0 });
+    }
+    // Normalize to unit diagonal.
+    let r: Vec<f64> = t.iter().map(|v| v / t[0]).collect();
+    let bn: Vec<f64> = b.iter().map(|v| v / t[0]).collect();
+    flops::add(2 * n as u64);
+
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    x[0] = bn[0];
+    if n == 1 {
+        return Ok(x);
+    }
+    y[0] = -r[1];
+    let mut alpha = -r[1];
+    let mut beta = 1.0f64;
+
+    for k in 1..n {
+        beta *= 1.0 - alpha * alpha;
+        if beta <= 0.0 || !beta.is_finite() {
+            return Err(LevinsonError::NotPositiveDefinite { step: k });
+        }
+        // mu = (b_{k+1} − r(1:k)ᵀ x(k:−1:1)) / β
+        let mut dot = 0.0;
+        for i in 0..k {
+            dot += r[i + 1] * x[k - 1 - i];
+        }
+        let mu = (bn[k] - dot) / beta;
+        for i in 0..k {
+            x[i] += mu * y[k - 1 - i];
+        }
+        x[k] = mu;
+        flops::add(4 * k as u64 + 4);
+
+        if k < n - 1 {
+            // α = −(r_{k+1} + r(1:k)ᵀ y(k:−1:1)) / β
+            let mut dyt = 0.0;
+            for i in 0..k {
+                dyt += r[i + 1] * y[k - 1 - i];
+            }
+            alpha = -(r[k + 1] + dyt) / beta;
+            if alpha.abs() >= 1.0 {
+                return Err(LevinsonError::NotPositiveDefinite { step: k });
+            }
+            // y(1:k) += α y(k:−1:1), in place with two-pointer sweep.
+            let mut lo = 0;
+            let mut hi = k - 1;
+            while lo < hi {
+                let (a, c) = (y[lo], y[hi]);
+                y[lo] = a + alpha * c;
+                y[hi] = c + alpha * a;
+                lo += 1;
+                hi -= 1;
+            }
+            if lo == hi {
+                y[lo] += alpha * y[lo];
+            }
+            y[k] = alpha;
+            flops::add(4 * k as u64 + 4);
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_toeplitz::workloads;
+
+    fn first_row(t: &bs_toeplitz::SymBlockToeplitz) -> Vec<f64> {
+        (0..t.order()).map(|j| t.get(0, j)).collect()
+    }
+
+    #[test]
+    fn solves_kms_system() {
+        let t = workloads::kms(32, 0.8);
+        let (b, x_true) = workloads::rhs_for_ones(&t);
+        let x = levinson_solve(&first_row(&t), &b).unwrap();
+        for i in 0..32 {
+            assert!((x[i] - x_true[i]).abs() < 1e-9, "i={i}: {}", x[i]);
+        }
+    }
+
+    #[test]
+    fn solves_random_spd_with_general_rhs() {
+        let t = workloads::random_spd_scalar(40, 11);
+        let n = t.order();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let b = t.matvec(&x_true);
+        let x = levinson_solve(&first_row(&t), &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-8, "i={i}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_cholesky_solution() {
+        let t = workloads::kms(12, 0.6);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).sin()).collect();
+        let x_lev = levinson_solve(&first_row(&t), &b).unwrap();
+        let l = bs_matrix::chol::cholesky(&t.to_dense()).unwrap();
+        let x_dense = bs_matrix::chol::cholesky_solve(&l, &b).unwrap();
+        for i in 0..12 {
+            assert!((x_lev[i] - x_dense[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let t = workloads::random_indefinite_scalar(10, 4);
+        let row = first_row(&t);
+        let b = vec![1.0; 10];
+        assert!(levinson_solve(&row, &b).is_err());
+    }
+
+    #[test]
+    fn rejects_singular_minor() {
+        let t = workloads::paper_singular_minor_example();
+        let row = first_row(&t);
+        let b = vec![1.0; 6];
+        assert!(
+            levinson_solve(&row, &b).is_err(),
+            "singular minor must break the recursion"
+        );
+    }
+
+    #[test]
+    fn one_by_one() {
+        let x = levinson_solve(&[4.0], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+}

@@ -1,0 +1,33 @@
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read
+// clearer with explicit indices when several parallel arrays are walked
+// together; iterator-zip rewrites were measured to obscure, not improve.
+
+//! Baseline solvers the paper's method is measured against.
+//!
+//! - [`dense`] — O(n³) dense Cholesky / LU solves (structure-oblivious
+//!   floor for accuracy and ceiling for cost).
+//! - [`levinson`] / [`block_levinson`] — the classical Levinson–Durbin
+//!   O(n²) scalar solver and its multichannel (Whittle–Wiggins–Robinson)
+//!   block generalization — the O(m n²) scalar Toeplitz
+//!   solver (the algorithm the Schur family competes with; also the
+//!   method Concus & Saylor's modified preconditioner is built for).
+//! - [`scalar_schur`] — an independent implementation of the
+//!   Cybenko–Berry scalar hyperbolic Schur factorization using
+//!   hyperbolic *rotations*, cross-checking `bs-core` at `m = 1`.
+//! - [`cg`] — conjugate gradients and preconditioned CG; the paper
+//!   argues its iterative refinement needs "significantly lesser work
+//!   than the preconditioned conjugate-gradient algorithm per
+//!   iteration" (§8) — the `refinement_study` bench measures exactly
+//!   that.
+
+pub mod block_levinson;
+pub mod cg;
+pub mod dense;
+pub mod levinson;
+pub mod scalar_schur;
+
+pub use block_levinson::block_levinson_solve;
+pub use cg::{cg, pcg, CgResult};
+pub use dense::{dense_cholesky_solve, dense_lu_solve};
+pub use levinson::levinson_solve;
+pub use scalar_schur::scalar_schur_factor;

@@ -1,0 +1,71 @@
+//! Criterion bench: the block Schur solver against the baselines —
+//! Levinson-Durbin (the O(n²) incumbent), the independent scalar
+//! hyperbolic Schur, and dense Cholesky (the O(n³) ceiling).
+
+use bs_baselines::{block_levinson_solve, dense_cholesky_solve, levinson_solve, scalar_schur_factor};
+use bs_toeplitz::{FastToeplitzMatVec, ToeplitzInverse};
+use bs_core::{factor_spd, SchurOptions};
+use bs_toeplitz::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let t = workloads::random_spd_scalar(n, 5);
+        let row: Vec<f64> = (0..n).map(|j| t.get(0, j)).collect();
+        let (b, _) = workloads::rhs_for_ones(&t);
+
+        g.bench_with_input(BenchmarkId::new("levinson_solve", n), &n, |bch, _| {
+            bch.iter(|| levinson_solve(&row, &b).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("scalar_schur_factor", n), &n, |bch, _| {
+            bch.iter(|| scalar_schur_factor(&row).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("block_schur_ms8", n), &n, |bch, _| {
+            let opts = SchurOptions {
+                block_size: Some(8),
+                ..Default::default()
+            };
+            bch.iter(|| factor_spd(&t, &opts).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("block_levinson_m1", n), &n, |bch, _| {
+            bch.iter(|| block_levinson_solve(&t, &b).unwrap());
+        });
+        if n <= 256 {
+            g.bench_with_input(BenchmarkId::new("dense_cholesky_solve", n), &n, |bch, _| {
+                bch.iter(|| dense_cholesky_solve(&t, &b).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_repeated_solves(c: &mut Criterion) {
+    // Amortized repeated solves: triangular backsolves vs the
+    // Gohberg-Semencul O(n log n) operator vs one FFT matvec.
+    let mut g = c.benchmark_group("repeated_solves");
+    g.sample_size(20);
+    let n = 2048;
+    let t = workloads::random_spd_scalar(n, 9);
+    let (b, _) = workloads::rhs_for_ones(&t);
+    let f = factor_spd(&t, &SchurOptions { block_size: Some(8), ..Default::default() }).unwrap();
+    g.bench_function("triangular_solve", |bch| {
+        bch.iter(|| f.solve(&b).unwrap());
+    });
+    let mut e0 = vec![0.0; n];
+    e0[0] = 1.0;
+    let u = f.solve(&e0).unwrap();
+    let inv = ToeplitzInverse::from_first_column(&u).unwrap();
+    g.bench_function("gohberg_semencul_apply", |bch| {
+        bch.iter(|| inv.apply(&b));
+    });
+    let fast = FastToeplitzMatVec::new(&t);
+    g.bench_function("fft_matvec", |bch| {
+        bch.iter(|| fast.apply(&b));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_repeated_solves);
+criterion_main!(benches);

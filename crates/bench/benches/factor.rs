@@ -1,0 +1,70 @@
+//! Criterion bench: SPD block Schur factorization across block
+//! reflector representations and problem sizes, plus the dense
+//! Cholesky ceiling — the headline "O(m n²) vs O(n³)" contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bs_core::{factor_spd, RepKind, SchurOptions};
+use bs_toeplitz::workloads;
+
+fn bench_representations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_reps");
+    g.sample_size(10);
+    let t = workloads::random_spd_block(8, 64, 42); // n = 512
+    for rep in RepKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("rep", format!("{rep}")),
+            &rep,
+            |b, &rep| {
+                let opts = SchurOptions {
+                    rep,
+                    ..Default::default()
+                };
+                b.iter(|| factor_spd(&t, &opts).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_scaling");
+    g.sample_size(10);
+    for &n in &[128usize, 256, 512, 1024] {
+        let t = workloads::random_spd_block(8, n / 8, 7);
+        g.bench_with_input(BenchmarkId::new("schur_m8", n), &t, |b, t| {
+            b.iter(|| factor_spd(t, &SchurOptions::default()).unwrap());
+        });
+        if n <= 512 {
+            let dense = t.to_dense();
+            g.bench_with_input(BenchmarkId::new("dense_cholesky", n), &dense, |b, d| {
+                b.iter(|| bs_matrix::chol::cholesky(d).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_inplace_vs_shift(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phase3");
+    g.sample_size(10);
+    let t = workloads::random_spd_scalar(1024, 3);
+    for (label, explicit_shift) in [("in_place", false), ("explicit_shift", true)] {
+        g.bench_function(label, |b| {
+            let opts = SchurOptions {
+                block_size: Some(8),
+                explicit_shift,
+                ..Default::default()
+            };
+            b.iter(|| factor_spd(&t, &opts).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_representations,
+    bench_scaling,
+    bench_inplace_vs_shift
+);
+criterion_main!(benches);

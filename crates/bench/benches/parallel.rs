@@ -1,0 +1,45 @@
+//! Criterion bench: sequential vs rayon-parallel trailing update
+//! (the shared-memory Y-MP-style parallelism), plus the parallel gemm
+//! kernel itself.
+
+use bs_core::{factor_spd, SchurOptions};
+use bs_matrix::{gemm, par_gemm, Matrix, Trans};
+use bs_toeplitz::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallel_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_factor");
+    g.sample_size(10);
+    let t = workloads::random_spd_block(32, 64, 13); // n = 2048
+    for (label, parallel) in [("sequential", false), ("rayon", true)] {
+        g.bench_function(label, |b| {
+            let opts = SchurOptions {
+                parallel,
+                ..Default::default()
+            };
+            b.iter(|| factor_spd(&t, &opts).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for &n in &[256usize, 512] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as f64);
+        let b_ = Matrix::from_fn(n, n, |i, j| ((i + 3 * j) % 11) as f64);
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |bch, _| {
+            let mut cm = Matrix::zeros(n, n);
+            bch.iter(|| gemm(1.0, a.rf(), Trans::No, b_.rf(), Trans::No, 0.0, cm.mt()));
+        });
+        g.bench_with_input(BenchmarkId::new("par", n), &n, |bch, _| {
+            let mut cm = Matrix::zeros(n, n);
+            bch.iter(|| par_gemm(1.0, a.rf(), Trans::No, b_.rf(), Trans::No, 0.0, cm.mt()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_factor, bench_gemm);
+criterion_main!(benches);

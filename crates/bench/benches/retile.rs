@@ -1,0 +1,27 @@
+//! Criterion bench: the §6.5 block-size tradeoff (`m → m_s` retiling)
+//! as a measured ablation — `4·m_s·n²` flops against the level-3
+//! efficiency of larger blocks (Fig. 10's mechanism).
+
+use bs_core::{factor_spd, SchurOptions};
+use bs_toeplitz::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_retile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retile_ms");
+    g.sample_size(10);
+    let n = 1024;
+    let t = workloads::random_spd_scalar(n, 11);
+    for ms_ in [1usize, 2, 4, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("ms", ms_), &ms_, |b, &ms_| {
+            let opts = SchurOptions {
+                block_size: Some(ms_),
+                ..Default::default()
+            };
+            b.iter(|| factor_spd(&t, &opts).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_retile);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 6 / Experiment 1 (§7.1.5): time to factor a 4096×4096 point
+//! Toeplitz matrix (m = 1) on 16 processors, varying the number of
+//! adjacent blocks `b` assigned to each processor (Version 2; `b = 1`
+//! is Version 1).
+//!
+//! Paper shape: sharp initial fall as `b` grows (the per-step shift
+//! traffic drops by a factor of `b`), best time near `b = 16`, rising
+//! again at `b = 32, 64` (lost parallelism outweighs saved
+//! communication).
+//!
+//! Run: `cargo run -p bs-bench --release --bin fig6`
+
+use bs_bench::{ms, print_table};
+use bs_perfmodel::Rep;
+use bs_simulator::analytic::{simulate, SimConfig};
+use bs_simulator::{Scheme, T3DModel};
+
+fn main() {
+    let n = 4096;
+    let m = 1;
+    let np = 16;
+    let model = T3DModel::default();
+    let mut rows = Vec::new();
+    let mut best = (0usize, f64::INFINITY);
+    for b in [1usize, 2, 4, 8, 16, 32, 64] {
+        let r = simulate(
+            &SimConfig {
+                n,
+                m,
+                np,
+                scheme: Scheme::V2 { b },
+                rep: Rep::VY2,
+            },
+            &model,
+        );
+        if r.total < best.1 {
+            best = (b, r.total);
+        }
+        rows.push(vec![
+            b.to_string(),
+            if b == 1 { "V1" } else { "V2" }.to_string(),
+            ms(r.total),
+            ms(r.shift),
+            ms(r.apply),
+            ms(r.broadcast),
+            ms(r.panel),
+            ms(r.barrier),
+        ]);
+    }
+    print_table(
+        "Fig. 6 — 4096x4096 point Toeplitz (m=1), NP=16: factor time vs b",
+        &[
+            "b", "scheme", "total ms", "shift ms", "apply ms", "bcast ms", "panel ms",
+            "barrier ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nbest b = {} ({:.3} ms); paper: optimum at b = 16, rising at 32/64",
+        best.0,
+        best.1 * 1e3,
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 7 / Experiment 2 (§7.1.6): 4096×4096 block Toeplitz with
+//! m = 8 on 64 processors, all three data distributions over the `b`
+//! axis — `b < 1` means Version 3 with `spread = 1/b`, `b = 1` is
+//! Version 1, `b > 1` is Version 2.
+//!
+//! Paper shape: for moderate block sizes with adequate parallelism
+//! (N ≫ NP), Version 1 (b = 1) is the fastest.
+//!
+//! Run: `cargo run -p bs-bench --release --bin fig7`
+
+use bs_bench::{ms, print_table};
+use bs_perfmodel::Rep;
+use bs_simulator::analytic::{simulate, SimConfig};
+use bs_simulator::{Scheme, T3DModel};
+
+fn main() {
+    let n = 4096;
+    let m = 8;
+    let np = 64;
+    let model = T3DModel::default();
+    let mut rows = Vec::new();
+    let mut best = (String::new(), f64::INFINITY);
+    let configs: Vec<(String, Scheme)> = vec![
+        ("1/4".into(), Scheme::V3 { spread: 4 }),
+        ("1/2".into(), Scheme::V3 { spread: 2 }),
+        ("1".into(), Scheme::V1),
+        ("2".into(), Scheme::V2 { b: 2 }),
+        ("4".into(), Scheme::V2 { b: 4 }),
+        ("8".into(), Scheme::V2 { b: 8 }),
+    ];
+    for (label, scheme) in configs {
+        let r = simulate(
+            &SimConfig {
+                n,
+                m,
+                np,
+                scheme,
+                rep: Rep::VY2,
+            },
+            &model,
+        );
+        if r.total < best.1 {
+            best = (scheme.label(), r.total);
+        }
+        rows.push(vec![
+            label,
+            scheme.label(),
+            ms(r.total),
+            ms(r.shift),
+            ms(r.apply),
+            ms(r.broadcast),
+            ms(r.panel),
+            ms(r.barrier),
+        ]);
+    }
+    print_table(
+        "Fig. 7 — 4096x4096 block Toeplitz (m=8), NP=64: factor time vs b",
+        &[
+            "b", "scheme", "total ms", "shift ms", "apply ms", "bcast ms", "panel ms",
+            "barrier ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nbest = {} ({:.3} ms); paper: Version 1 (b = 1) fastest at moderate block sizes",
+        best.0,
+        best.1 * 1e3
+    );
+}

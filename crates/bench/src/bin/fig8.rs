@@ -1,0 +1,66 @@
+//! Figure 8 / Experiment 3 (§7.1.7): 4096×4096 block Toeplitz with
+//! m = 32 on 64 processors, Version 1 vs Version 3 over the spread.
+//!
+//! Paper shape: parallelism under V1 is poor (only p = 128 blocks for
+//! 64 PEs and a serial pivot panel); spreading each block over more
+//! processors helps up to an optimum at spread = 8, beyond which the
+//! extra broadcasts offset the gain.
+//!
+//! Run: `cargo run -p bs-bench --release --bin fig8`
+
+use bs_bench::{ms, print_table};
+use bs_perfmodel::Rep;
+use bs_simulator::analytic::{simulate, SimConfig};
+use bs_simulator::{Scheme, T3DModel};
+
+fn main() {
+    let n = 4096;
+    let m = 32;
+    let np = 64;
+    let model = T3DModel::default();
+    let mut rows = Vec::new();
+    let mut best = (0usize, f64::INFINITY);
+    for spread in [1usize, 2, 4, 8, 16, 32] {
+        let scheme = if spread == 1 {
+            Scheme::V1
+        } else {
+            Scheme::V3 { spread }
+        };
+        let r = simulate(
+            &SimConfig {
+                n,
+                m,
+                np,
+                scheme,
+                rep: Rep::VY2,
+            },
+            &model,
+        );
+        if r.total < best.1 {
+            best = (spread, r.total);
+        }
+        rows.push(vec![
+            spread.to_string(),
+            scheme.label(),
+            ms(r.total),
+            ms(r.shift),
+            ms(r.apply),
+            ms(r.broadcast),
+            ms(r.panel),
+            ms(r.barrier),
+        ]);
+    }
+    print_table(
+        "Fig. 8 — 4096x4096 block Toeplitz (m=32), NP=64: factor time vs spread",
+        &[
+            "spread", "scheme", "total ms", "shift ms", "apply ms", "bcast ms", "panel ms",
+            "barrier ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nbest spread = {} ({:.3} ms); paper: optimum at spread = 8",
+        best.0,
+        best.1 * 1e3
+    );
+}

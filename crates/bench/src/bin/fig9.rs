@@ -1,0 +1,62 @@
+//! Figure 9 (§7.1.7, final experiment): 1024×1024 block Toeplitz at
+//! block sizes m = 2 and m = 4, factor time vs number of processors.
+//!
+//! Paper shape: the Schur complexity grows linearly with m, so m = 4
+//! does twice the arithmetic of m = 2 — yet for *large* NP it is
+//! faster, because (a) the 4-word T3D cache line makes the m = 4
+//! kernels more efficient per flop ("the increase ... is not twice"),
+//! and (b) halving the number of Schur steps halves the number of
+//! synchronizations, which dominate at scale. For small NP, m = 2
+//! wins.
+//!
+//! Run: `cargo run -p bs-bench --release --bin fig9`
+
+use bs_bench::{ms, print_table};
+use bs_perfmodel::Rep;
+use bs_simulator::analytic::{simulate, SimConfig};
+use bs_simulator::{Scheme, T3DModel};
+
+fn main() {
+    let n = 1024;
+    let model = T3DModel::default();
+    let mut rows = Vec::new();
+    let mut crossover: Option<usize> = None;
+    for np in [1usize, 2, 4, 8, 16, 32, 64] {
+        let t = |m: usize| {
+            simulate(
+                &SimConfig {
+                    n,
+                    m,
+                    np,
+                    scheme: Scheme::V1,
+                    rep: Rep::VY2,
+                },
+                &model,
+            )
+            .total
+        };
+        let t2 = t(2);
+        let t4 = t(4);
+        if t4 < t2 && crossover.is_none() {
+            crossover = Some(np);
+        }
+        rows.push(vec![
+            np.to_string(),
+            ms(t2),
+            ms(t4),
+            format!("{:.3}", t4 / t2),
+            if t4 < t2 { "m=4" } else { "m=2" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 9 — 1024x1024 block Toeplitz, m=2 vs m=4: factor time vs NP",
+        &["NP", "m=2 ms", "m=4 ms", "t4/t2", "winner"],
+        &rows,
+    );
+    match crossover {
+        Some(np) => println!(
+            "\ncrossover at NP = {np}; paper: m=4 slower for small NP, faster once synchronization dominates"
+        ),
+        None => println!("\nno crossover observed up to NP = 64"),
+    }
+}

@@ -1,0 +1,40 @@
+//! Runs every experiment of the paper in sequence — Figures 6-10, the
+//! §8.2 worked example, the flop-count tables and the refinement
+//! study — plus the ablation, block-size-prediction and randomized
+//! cross-validation harnesses, by invoking the sibling binaries. Output is the full
+//! paper-vs-measured record (see EXPERIMENTS.md).
+//!
+//! Run: `cargo run -p bs-bench --release --bin reproduce_all [--quick]`
+
+use std::process::Command;
+
+fn main() {
+    let quick = bs_bench::quick_mode();
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("target dir");
+    let bins = [
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "sec8_example",
+        "flops_table",
+        "refinement_study",
+        "ablations",
+        "blocksize_model",
+        "cross_validate",
+    ];
+    for bin in bins {
+        println!("\n==================== {bin} ====================");
+        let mut cmd = Command::new(dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to launch {bin} (build the workspace first): {e}")
+        });
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nall experiments completed");
+}

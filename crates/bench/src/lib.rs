@@ -1,0 +1,71 @@
+//! Shared helpers for the figure-regeneration binaries and criterion
+//! benches. Each binary under `src/bin/` regenerates one figure or
+//! experiment of the paper; `reproduce_all` chains them.
+
+use std::time::Instant;
+
+/// Wall-clock a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Render an aligned text table (markdown-pipe style).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:>w$} |", c, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{s}");
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&sep);
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Scientific-notation cell.
+pub fn sci(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+/// Milliseconds cell.
+pub fn ms(v: f64) -> String {
+    format!("{:.3}", v * 1e3)
+}
+
+/// `--quick` flag: smaller problem sizes for CI-speed runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, t) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn cells_format() {
+        assert_eq!(sci(12345.678), "1.235e4");
+        assert_eq!(ms(0.0123456), "12.346");
+    }
+}

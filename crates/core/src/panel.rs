@@ -1,0 +1,251 @@
+//! Phase 1 of a Schur step: factor the `2m × m` pivot panel.
+//!
+//! The panel stacks the pivot block (upper half, upper triangular by the
+//! invariant of §5) on the block to eliminate (lower half, dense). Each
+//! column `k` yields one elementary hyperbolic reflector built from the
+//! sparse pivot vector of Fig. 1; the reflector is applied to the
+//! remaining panel columns immediately (BLAS2) while the chosen block
+//! representation absorbs it for the later level-3 trailing update.
+
+use crate::reflector::{PivotOutcome, PivotReflector};
+use crate::rep::{BlockReflector, RepKind};
+use crate::{Error, Result};
+use bs_matrix::ldlt::Signature;
+use bs_matrix::view::MatMut;
+
+/// Factor a `2m × m` pivot panel in place under the SPD working
+/// signature `W = diag(I_m, −I_m)`.
+///
+/// On success the panel's upper half holds the transformed (still upper
+/// triangular) pivot block — the diagonal block of the next `R` row —
+/// its lower half is zeroed, and the returned [`BlockReflector`] is the
+/// product of the `m` elementary reflectors in representation `kind`.
+///
+/// `step` is only used for error reporting. `scale` is the absolute
+/// matrix scale (`‖T‖∞`) against which `zero_tol` classifies a pivot's
+/// hyperbolic norm as numerically zero.
+pub fn factor_panel(
+    panel: MatMut<'_>,
+    w: &Signature,
+    kind: RepKind,
+    step: usize,
+    zero_tol: f64,
+    scale: f64,
+) -> Result<BlockReflector> {
+    let m = panel.cols();
+    let mut reps = factor_panel_two_level(panel, w, kind, step, zero_tol, scale, m)?;
+    debug_assert_eq!(reps.len(), 1);
+    Ok(reps.pop().expect("single chunk"))
+}
+
+/// Two-level blocked panel factorization (§6.2): the elementary
+/// hyperbolic reflectors are blocked every `k_block` steps, and each
+/// chunk's block transformation is applied to the remaining portion of
+/// the pivot block with level-3 kernels before the next chunk starts.
+///
+/// With `k_block = m` this is [`factor_panel`]; smaller chunks trade a
+/// little extra blocking work for level-3 intra-panel updates — the
+/// scheme the paper recommends "if the block size m is very large …
+/// on machines with hierarchical memory".
+///
+/// Returns one [`BlockReflector`] per chunk; apply them to the trailing
+/// generator *in order*.
+pub fn factor_panel_two_level(
+    mut panel: MatMut<'_>,
+    w: &Signature,
+    kind: RepKind,
+    step: usize,
+    zero_tol: f64,
+    scale: f64,
+    k_block: usize,
+) -> Result<Vec<BlockReflector>> {
+    let m = panel.cols();
+    assert_eq!(panel.rows(), 2 * m, "panel must be 2m x m");
+    assert_eq!(w.len(), 2 * m);
+    assert!(k_block >= 1, "chunk size must be positive");
+    debug_assert!(
+        (0..m).all(|i| w.sign(i) > 0),
+        "SPD panel factorization expects an all-plus upper signature"
+    );
+    let mut reps = Vec::with_capacity(m.div_ceil(k_block));
+    let mut chunk_start = 0;
+    while chunk_start < m {
+        let chunk_end = (chunk_start + k_block).min(m);
+        let mut rep = BlockReflector::new(kind, w.clone(), chunk_end - chunk_start);
+        for k in chunk_start..chunk_end {
+            let u_top = panel.get(k, k);
+            let u_low: Vec<f64> = panel.col(k)[m..].to_vec();
+            let (outcome, r) = PivotReflector::compute(u_top, &u_low, w, m, k, zero_tol, scale);
+            let r = match outcome {
+                PivotOutcome::Ok => r.expect("Ok outcome carries a reflector"),
+                PivotOutcome::ZeroNorm { hnorm } => {
+                    return Err(Error::SingularMinor {
+                        step,
+                        column: k,
+                        hnorm,
+                    })
+                }
+                PivotOutcome::WrongSign { hnorm } => {
+                    return Err(Error::NotPositiveDefinite {
+                        step,
+                        column: k,
+                        hnorm,
+                    })
+                }
+            };
+            // Column k maps to −σ e_k (lower half annihilated).
+            panel.set(k, k, -r.sigma);
+            for i in 0..m {
+                panel.set(m + i, k, 0.0);
+            }
+            // Elementary update of the rest of this chunk only.
+            for j in k + 1..chunk_end {
+                let col = panel.col_mut(j);
+                let (top_half, low_half) = col.split_at_mut(m);
+                r.apply_split(w, m, &mut top_half[k], low_half);
+            }
+            rep.push(&r.to_full(m));
+        }
+        // Level-3 update of the remaining pivot-block columns with the
+        // whole chunk's transformation.
+        if chunk_end < m {
+            rep.apply(
+                panel.sub_mut(0, chunk_end, 2 * m, m - chunk_end),
+                false,
+            );
+        }
+        reps.push(rep);
+        chunk_start = chunk_end;
+    }
+    Ok(reps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_matrix::Matrix;
+
+    /// Build a panel whose pivot block is upper triangular with a
+    /// dominant diagonal, and a small dense lower block.
+    fn make_panel(m: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 500.0
+        };
+        let mut p = Matrix::zeros(2 * m, m);
+        for j in 0..m {
+            for i in 0..=j {
+                p[(i, j)] = rnd() * 0.5;
+            }
+            p[(j, j)] = 2.0 + rnd().abs();
+            for i in 0..m {
+                p[(m + i, j)] = rnd() * 0.5;
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn panel_triangularizes_and_matches_block_transform() {
+        for m in [1usize, 2, 3, 6] {
+            for kind in RepKind::ALL {
+                let w = Signature::hyperbolic(m);
+                let p0 = make_panel(m, 5 * m as u64 + 1);
+                let mut p = p0.clone();
+                let rep = factor_panel(p.mt(), &w, kind, 0, 1e-13, 1.0).unwrap();
+                // Lower half must be zero.
+                for j in 0..m {
+                    for i in 0..m {
+                        assert!(
+                            p[(m + i, j)].abs() < 1e-11,
+                            "kind={kind} m={m}: lower ({i},{j}) = {}",
+                            p[(m + i, j)]
+                        );
+                    }
+                }
+                // Upper half must stay upper triangular.
+                for j in 0..m {
+                    for i in j + 1..m {
+                        assert!(p[(i, j)].abs() < 1e-11, "kind={kind} m={m}");
+                    }
+                }
+                // The dense block transform must reproduce the same panel.
+                let u = rep.to_dense();
+                let mut up = Matrix::zeros(2 * m, m);
+                bs_matrix::gemm(
+                    1.0,
+                    u.rf(),
+                    bs_matrix::Trans::No,
+                    p0.rf(),
+                    bs_matrix::Trans::No,
+                    0.0,
+                    up.mt(),
+                );
+                assert!(
+                    up.max_abs_diff(&p) < 1e-9,
+                    "kind={kind} m={m}: diff {}",
+                    up.max_abs_diff(&p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panel_preserves_gram_difference() {
+        // The hyperbolic invariant: PᵀWP is unchanged by the step.
+        let m = 4;
+        let w = Signature::hyperbolic(m);
+        let p0 = make_panel(m, 99);
+        let mut p = p0.clone();
+        factor_panel(p.mt(), &w, RepKind::VY2, 0, 1e-13, 1.0).unwrap();
+        let gram = |x: &Matrix| {
+            let mut wx = x.clone();
+            for j in 0..m {
+                for i in m..2 * m {
+                    wx[(i, j)] = -wx[(i, j)];
+                }
+            }
+            let mut g = Matrix::zeros(m, m);
+            bs_matrix::gemm(
+                1.0,
+                x.rf(),
+                bs_matrix::Trans::Yes,
+                wx.rf(),
+                bs_matrix::Trans::No,
+                0.0,
+                g.mt(),
+            );
+            g
+        };
+        assert!(gram(&p0).max_abs_diff(&gram(&p)) < 1e-10);
+    }
+
+    #[test]
+    fn zero_hyperbolic_norm_is_singular_minor() {
+        let m = 1;
+        let w = Signature::hyperbolic(m);
+        let mut p = Matrix::zeros(2, 1);
+        p[(0, 0)] = 1.0;
+        p[(1, 0)] = 1.0;
+        match factor_panel(p.mt(), &w, RepKind::VY2, 3, 1e-12, 1.0) {
+            Err(Error::SingularMinor { step: 3, column: 0, .. }) => {}
+            other => panic!("expected SingularMinor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_norm_is_not_positive_definite() {
+        let m = 1;
+        let w = Signature::hyperbolic(m);
+        let mut p = Matrix::zeros(2, 1);
+        p[(0, 0)] = 1.0;
+        p[(1, 0)] = 2.0;
+        assert!(matches!(
+            factor_panel(p.mt(), &w, RepKind::VY2, 0, 1e-12, 1.0),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+    }
+}

@@ -1,0 +1,281 @@
+//! Iterative refinement (§8.1 of the paper).
+//!
+//! Given the (possibly perturbed) factorization `T + δT = Rᵀ D R`, the
+//! refinement loop
+//!
+//! ```text
+//! solve  Rᵀ D R x₁ = b
+//! repeat: rᵢ = b − T xᵢ ;  solve RᵀDR Δxᵢ = rᵢ ;  xᵢ₊₁ = xᵢ + Δxᵢ
+//! ```
+//!
+//! converges linearly with factor `γ ≈ ‖ΔT T⁻¹‖` (eq. 41). With the
+//! optimum perturbation `δ = ε^{1/3}` the paper predicts ≈3 steps to
+//! machine precision, and observes that two are typically sufficient.
+//! Each iteration costs one Toeplitz matvec (`2n²` flops) plus two
+//! triangular solves (`2n²`) — well below one PCG iteration with the
+//! same preconditioner, which needs those *and* the preconditioner
+//! application bookkeeping of a Krylov step.
+
+use crate::indefinite::IndefFactor;
+use crate::Result;
+use bs_toeplitz::{FastToeplitzMatVec, SymBlockToeplitz};
+
+/// Options for [`solve_refined`].
+#[derive(Clone, Debug)]
+pub struct RefineOptions {
+    /// Stop when `‖Δxᵢ‖ ≤ tol · ‖xᵢ‖` (the paper's criterion).
+    pub tol: f64,
+    /// Hard iteration cap.
+    pub max_iter: usize,
+    /// Compute residuals with the O(n log n) circulant-embedding
+    /// product instead of the direct O(n²) one. `None` decides by
+    /// size (FFT above order 1024).
+    pub use_fft: Option<bool>,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            tol: 4.0 * f64::EPSILON,
+            max_iter: 20,
+            use_fft: None,
+        }
+    }
+}
+
+/// Outcome of the refinement loop.
+#[derive(Clone, Debug)]
+pub struct RefineResult {
+    /// Final solution estimate.
+    pub x: Vec<f64>,
+    /// Refinement iterations actually performed (0 = the direct solve
+    /// already met the tolerance).
+    pub iterations: usize,
+    /// `‖Δxᵢ‖₂` per iteration — the §8.2 experiment's convergence
+    /// trace.
+    pub correction_norms: Vec<f64>,
+    /// `‖b − T xᵢ‖₂` per iterate, starting with the direct solve.
+    pub residual_norms: Vec<f64>,
+    /// Whether the tolerance was met within `max_iter`.
+    pub converged: bool,
+}
+
+/// Solve `T x = b` by the direct (perturbed) factorization plus
+/// iterative refinement.
+pub fn solve_refined(
+    t: &SymBlockToeplitz,
+    factor: &IndefFactor,
+    b: &[f64],
+    opts: &RefineOptions,
+) -> Result<RefineResult> {
+    assert_eq!(b.len(), t.order());
+    assert_eq!(factor.order(), t.order());
+    let use_fft = opts.use_fft.unwrap_or(t.order() >= 1024);
+    let fast = if use_fft {
+        Some(FastToeplitzMatVec::new(t))
+    } else {
+        None
+    };
+    let residual_of = |x: &[f64]| -> Vec<f64> {
+        match &fast {
+            Some(f) => f.residual(x, b),
+            None => t.residual(x, b),
+        }
+    };
+    let mut x = factor.solve(b)?;
+    let mut correction_norms: Vec<f64> = Vec::new();
+    let mut residual_norms = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    let r0 = residual_of(&x);
+    residual_norms.push(bs_matrix::norms::vec_two(&r0));
+    let mut resid = r0;
+    let tnorm = t.norm_inf().max(f64::MIN_POSITIVE);
+    let bnorm = bs_matrix::norms::vec_two(b);
+
+    for _ in 0..opts.max_iter {
+        let dx = factor.solve(&resid)?;
+        let dx_norm = bs_matrix::norms::vec_two(&dx);
+        let x_norm = bs_matrix::norms::vec_two(&x).max(f64::MIN_POSITIVE);
+        let stagnated = correction_norms
+            .last()
+            .map(|&prev| dx_norm >= 0.5 * prev)
+            .unwrap_or(false);
+        correction_norms.push(dx_norm);
+        // Always apply the correction — it is already computed and can
+        // only help; then test the paper's criterion.
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+        bs_matrix::flops::add(x.len() as u64);
+        iterations += 1;
+        resid = residual_of(&x);
+        let rnorm = bs_matrix::norms::vec_two(&resid);
+        residual_norms.push(rnorm);
+        // Eq. 42's steady state: once corrections stop shrinking the
+        // iterate sits at the attainable accuracy; accept it when the
+        // residual is at the backward-stable level ε(‖T‖‖x‖ + ‖b‖).
+        let resid_floor = 64.0 * f64::EPSILON * (tnorm * x_norm + bnorm);
+        if dx_norm <= opts.tol * x_norm || (stagnated && rnorm <= resid_floor) {
+            converged = true;
+            break;
+        }
+        if stagnated {
+            // Corrections stopped shrinking while the residual is still
+            // large: the factorization is too inaccurate for refinement
+            // to help further (γ too large). Report non-convergence.
+            break;
+        }
+    }
+
+    Ok(RefineResult {
+        x,
+        iterations,
+        correction_norms,
+        residual_norms,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indefinite::{factor_indefinite, IndefOptions};
+    use bs_toeplitz::workloads;
+
+    fn err_inf(x: &[f64], y: &[f64]) -> f64 {
+        x.iter()
+            .zip(y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn paper_example_converges_in_two_steps() {
+        // §8.2: errors ≈ 3.6e−5 → 7.0e−10 → 1.6e−14 with δ = 1e−5.
+        let t = workloads::paper_singular_minor_example();
+        let opts = IndefOptions {
+            delta: Some(1e-5),
+            ..Default::default()
+        };
+        let f = factor_indefinite(&t, &opts).unwrap();
+        let (b, x_true) = workloads::rhs_for_ones(&t);
+
+        // Reproduce the error sequence manually.
+        let x1 = f.solve(&b).unwrap();
+        let e1 = err_inf(&x1, &x_true);
+        assert!(e1 > 1e-8 && e1 < 1e-2, "e1 = {e1:e} (paper: 3.6e−5)");
+
+        let res = solve_refined(&t, &f, &b, &RefineOptions::default()).unwrap();
+        assert!(res.converged);
+        assert!(
+            res.iterations <= 4,
+            "paper: two refinement steps typically suffice; got {}",
+            res.iterations
+        );
+        let efinal = err_inf(&res.x, &x_true);
+        assert!(efinal < 1e-12, "final error {efinal:e} (paper: 1.6e−14)");
+
+        // Each refinement step must shrink the error by orders of
+        // magnitude (linear convergence with tiny γ).
+        if res.correction_norms.len() >= 2 {
+            assert!(res.correction_norms[1] < 1e-3 * res.correction_norms[0]);
+        }
+    }
+
+    #[test]
+    fn refinement_on_unperturbed_factor_is_immediate() {
+        let t = workloads::random_spd_scalar(20, 9);
+        let f = factor_indefinite(&t, &IndefOptions::default()).unwrap();
+        let (b, x_true) = workloads::rhs_for_ones(&t);
+        let res = solve_refined(&t, &f, &b, &RefineOptions::default()).unwrap();
+        assert!(res.converged);
+        assert!(res.iterations <= 2);
+        assert!(err_inf(&res.x, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn refinement_fixes_random_singular_minor_systems() {
+        for seed in 0..5 {
+            let t = workloads::singular_minor_scalar(12, 100 + seed);
+            let f = factor_indefinite(&t, &IndefOptions::default()).unwrap();
+            let (b, x_true) = workloads::rhs_for_ones(&t);
+            let res = solve_refined(&t, &f, &b, &RefineOptions::default()).unwrap();
+            assert!(res.converged, "seed {seed} did not converge");
+            let e = err_inf(&res.x, &x_true);
+            assert!(e < 1e-10, "seed {seed}: error {e:e}");
+        }
+    }
+
+    #[test]
+    fn residual_norms_are_monotone_enough() {
+        let t = workloads::paper_singular_minor_example();
+        let f = factor_indefinite(&t, &IndefOptions::default()).unwrap();
+        let (b, _) = workloads::rhs_for_ones(&t);
+        let res = solve_refined(&t, &f, &b, &RefineOptions::default()).unwrap();
+        // First refinement step must reduce the residual dramatically.
+        assert!(res.residual_norms.len() >= 2);
+        assert!(res.residual_norms[1] < res.residual_norms[0] * 1e-2);
+    }
+
+    #[test]
+    fn max_iter_zero_returns_direct_solution() {
+        let t = workloads::random_spd_scalar(10, 3);
+        let f = factor_indefinite(&t, &IndefOptions::default()).unwrap();
+        let (b, _) = workloads::rhs_for_ones(&t);
+        let res = solve_refined(
+            &t,
+            &f,
+            &b,
+            &RefineOptions {
+                max_iter: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.iterations, 0);
+        assert!(!res.converged);
+        let direct = f.solve(&b).unwrap();
+        assert_eq!(res.x, direct);
+    }
+}
+
+#[cfg(test)]
+mod fft_residual_tests {
+    use super::*;
+    use crate::indefinite::{factor_indefinite, IndefOptions};
+    use bs_toeplitz::workloads;
+
+    #[test]
+    fn fft_and_direct_residual_paths_agree() {
+        let t = workloads::singular_minor_scalar(96, 12);
+        let f = factor_indefinite(&t, &IndefOptions::default()).unwrap();
+        let (b, x_true) = workloads::rhs_for_ones(&t);
+        let direct = solve_refined(
+            &t,
+            &f,
+            &b,
+            &RefineOptions {
+                use_fft: Some(false),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fft = solve_refined(
+            &t,
+            &f,
+            &b,
+            &RefineOptions {
+                use_fft: Some(true),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(direct.converged && fft.converged);
+        for i in 0..96 {
+            assert!((direct.x[i] - x_true[i]).abs() < 1e-10);
+            assert!((fft.x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! Block representations of a product of hyperbolic Householder
+//! reflectors (§4 of the paper, Lemmas 4.0.1–4.0.3).
+//!
+//! A product `U = U_k … U_1` of elementary reflectors under signature
+//! `W` can be held as:
+//!
+//! - **Accumulated** — the dense `2m × 2m` matrix `U` itself (the
+//!   "naive blocking scheme", eq. 25);
+//! - **VY form 1** — `U = Wᵏ + V Yᵀ` updated with *two matvecs* per
+//!   step: `V ← [W V, x]`, `Y ← [Y, zᵀ]`, `z = β xᵀU⁽ᵏ⁾` (Lemma 4.0.1);
+//! - **VY form 2** — same factored form, updated with *one matvec plus
+//!   one rank-1*: `V ← [U_{k+1} V, x]`, `z = β xᵀWᵏ` (Lemma 4.0.2);
+//! - **YTYᵀ** — `U = Wᵏ + Y T Yᵀ W^{k-1}`, the compact storage-efficient
+//!   form (Lemma 4.0.3).
+//! - **Sequential** — no blocking at all: the reflectors are replayed
+//!   one at a time (the BLAS2 alternative discussed at the end of §6.2).
+//!
+//! Application to the trailing generator (`phase 2`, §6.3) is level-3
+//! for all blocked forms: one or two `gemm`s against the `2m × q`
+//! trailing columns.
+
+use crate::reflector::HypReflector;
+use bs_matrix::blas3::{gemm, par_gemm, Trans};
+use bs_matrix::ldlt::Signature;
+use bs_matrix::view::MatMut;
+use bs_matrix::{flops, Matrix};
+
+/// Which representation of the block hyperbolic Householder product to
+/// build and apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepKind {
+    /// Dense accumulated `U` (eq. 25): most expensive to build.
+    Accumulated,
+    /// `U = Wᵏ + VYᵀ`, two-matvec update (Lemma 4.0.1 / eq. 26).
+    VY1,
+    /// `U = Wᵏ + VYᵀ`, matvec + rank-1 update (Lemma 4.0.2 / eq. 27).
+    VY2,
+    /// `U = Wᵏ + Y T Yᵀ W^{k-1}` (Lemma 4.0.3 / eq. 28): cheapest to
+    /// build, half the broadcast volume on distributed machines.
+    YTY,
+    /// No blocking: elementary reflectors applied one by one (BLAS2).
+    Sequential,
+}
+
+impl RepKind {
+    /// All blocked + sequential kinds, for sweeps/ablations.
+    pub const ALL: [RepKind; 5] = [
+        RepKind::Accumulated,
+        RepKind::VY1,
+        RepKind::VY2,
+        RepKind::YTY,
+        RepKind::Sequential,
+    ];
+}
+
+impl std::fmt::Display for RepKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RepKind::Accumulated => "U (accumulated)",
+            RepKind::VY1 => "VY form 1",
+            RepKind::VY2 => "VY form 2",
+            RepKind::YTY => "YTY^T",
+            RepKind::Sequential => "sequential",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A product of `k` elementary hyperbolic reflectors over `n = 2m` rows
+/// in one of the representations of [`RepKind`].
+#[derive(Debug, Clone)]
+pub struct BlockReflector {
+    kind: RepKind,
+    n: usize,
+    k: usize,
+    w: Signature,
+    /// Accumulated: the dense U. VY1/VY2: V. YTY: Y.
+    left: Matrix,
+    /// VY1/VY2: Y. YTY: T (k × k lower triangular). Unused otherwise.
+    right: Matrix,
+    /// Sequential: the raw reflectors.
+    elems: Vec<HypReflector>,
+}
+
+impl BlockReflector {
+    /// Empty product (identity transformation in the `Wᵏ`-relative
+    /// sense) over `n` rows under signature `w`. `k_max` bounds how many
+    /// reflectors will be pushed (pre-allocates the factored panels).
+    pub fn new(kind: RepKind, w: Signature, k_max: usize) -> Self {
+        let n = w.len();
+        let (left, right) = match kind {
+            RepKind::Accumulated => (Matrix::zeros(n, n), Matrix::zeros(0, 0)),
+            RepKind::VY1 | RepKind::VY2 => (Matrix::zeros(n, k_max), Matrix::zeros(n, k_max)),
+            RepKind::YTY => (Matrix::zeros(n, k_max), Matrix::zeros(k_max, k_max)),
+            RepKind::Sequential => (Matrix::zeros(0, 0), Matrix::zeros(0, 0)),
+        };
+        BlockReflector {
+            kind,
+            n,
+            k: 0,
+            w,
+            left,
+            right,
+            elems: Vec::with_capacity(if kind == RepKind::Sequential { k_max } else { 0 }),
+        }
+    }
+
+    #[inline]
+    pub fn kind(&self) -> RepKind {
+        self.kind
+    }
+
+    /// Number of reflectors absorbed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Signature this product is unitary with respect to.
+    #[inline]
+    pub fn signature(&self) -> &Signature {
+        &self.w
+    }
+
+    /// Words needed to communicate this representation (the §6.5 /
+    /// §7.1 broadcast-volume argument: YTYᵀ is about half of VY).
+    pub fn comm_words(&self) -> usize {
+        match self.kind {
+            RepKind::Accumulated => self.n * self.n,
+            RepKind::VY1 | RepKind::VY2 => 2 * self.n * self.k,
+            RepKind::YTY => self.n * self.k + self.k * (self.k + 1) / 2,
+            RepKind::Sequential => self.k * (self.n + 1),
+        }
+    }
+
+    /// Absorb the next elementary reflector `U_{k+1}` (given by its
+    /// full-length vector form) on the *left* of the product.
+    pub fn push(&mut self, r: &HypReflector) {
+        assert_eq!(r.x.len(), self.n);
+        let k = self.k;
+        let n = self.n;
+        match self.kind {
+            RepKind::Sequential => self.elems.push(r.clone()),
+            RepKind::Accumulated => {
+                if k == 0 {
+                    // U = W + beta x xᵀ.
+                    for j in 0..n {
+                        for i in 0..n {
+                            let wij = if i == j { self.w.sign(i) as f64 } else { 0.0 };
+                            self.left[(i, j)] = wij + r.beta * r.x[i] * r.x[j];
+                        }
+                    }
+                    flops::add(3 * (n * n) as u64);
+                } else {
+                    // U ← U_{k+1} U = W U + beta x (xᵀ U).
+                    let mut xtu = vec![0.0; n];
+                    bs_matrix::blas2::gemv_t(1.0, self.left.rf(), &r.x, 0.0, &mut xtu);
+                    for j in 0..n {
+                        let col = self.left.col_mut(j);
+                        for (i, c) in col.iter_mut().enumerate() {
+                            if self.w.sign(i) < 0 {
+                                *c = -*c;
+                            }
+                        }
+                        bs_matrix::blas1::axpy(r.beta * xtu[j], &r.x, col);
+                    }
+                    flops::add((n * n) as u64);
+                }
+            }
+            RepKind::VY1 => {
+                // z = β xᵀ U⁽ᵏ⁾ = β xᵀWᵏ + β (xᵀV) Yᵀ  — two matvecs.
+                let mut z = wk_vec(&self.w, k, &r.x);
+                bs_matrix::blas1::scal(r.beta, &mut z);
+                if k > 0 {
+                    let v = self.left.sub(0, 0, n, k);
+                    let y = self.right.sub(0, 0, n, k);
+                    let mut xv = vec![0.0; k];
+                    bs_matrix::blas2::gemv_t(r.beta, v, &r.x, 0.0, &mut xv);
+                    bs_matrix::blas2::gemv(1.0, y, &xv, 1.0, &mut z);
+                    // V ← W V.
+                    for j in 0..k {
+                        let col = self.left.col_mut(j);
+                        for (i, c) in col.iter_mut().enumerate() {
+                            if self.w.sign(i) < 0 {
+                                *c = -*c;
+                            }
+                        }
+                    }
+                    flops::add((n * k) as u64);
+                }
+                self.left.col_mut(k).copy_from_slice(&r.x);
+                self.right.col_mut(k).copy_from_slice(&z);
+            }
+            RepKind::VY2 => {
+                // z = β xᵀWᵏ (cheap); V ← [U_{k+1} V, x] via matvec + rank-1.
+                let mut z = wk_vec(&self.w, k, &r.x);
+                bs_matrix::blas1::scal(r.beta, &mut z);
+                if k > 0 {
+                    let mut xv = vec![0.0; k];
+                    {
+                        let v = self.left.sub(0, 0, n, k);
+                        bs_matrix::blas2::gemv_t(1.0, v, &r.x, 0.0, &mut xv);
+                    }
+                    // V ← W V + (β x) (xᵀV).
+                    for j in 0..k {
+                        let col = self.left.col_mut(j);
+                        for (i, c) in col.iter_mut().enumerate() {
+                            if self.w.sign(i) < 0 {
+                                *c = -*c;
+                            }
+                        }
+                        bs_matrix::blas1::axpy(r.beta * xv[j], &r.x, col);
+                    }
+                    flops::add((n * k) as u64);
+                }
+                self.left.col_mut(k).copy_from_slice(&r.x);
+                self.right.col_mut(k).copy_from_slice(&z);
+            }
+            RepKind::YTY => {
+                // Y ← [W Y, x]; T ← [[T, 0], [a, b]], a = β xᵀ Y T, b = β.
+                if k > 0 {
+                    let mut xy = vec![0.0; k];
+                    {
+                        let y = self.left.sub(0, 0, n, k);
+                        bs_matrix::blas2::gemv_t(1.0, y, &r.x, 0.0, &mut xy);
+                    }
+                    // a = β (xᵀY) T with T lower triangular k×k.
+                    let mut a = vec![0.0; k];
+                    for j in 0..k {
+                        let mut s = 0.0;
+                        for i in j..k {
+                            s += xy[i] * self.right[(i, j)];
+                        }
+                        a[j] = r.beta * s;
+                    }
+                    flops::add((k * k) as u64 + k as u64);
+                    // Y ← W Y.
+                    for j in 0..k {
+                        let col = self.left.col_mut(j);
+                        for (i, c) in col.iter_mut().enumerate() {
+                            if self.w.sign(i) < 0 {
+                                *c = -*c;
+                            }
+                        }
+                    }
+                    flops::add((n * k) as u64);
+                    for j in 0..k {
+                        self.right[(k, j)] = a[j];
+                    }
+                }
+                self.left.col_mut(k).copy_from_slice(&r.x);
+                self.right[(k, k)] = r.beta;
+            }
+        }
+        self.k += 1;
+    }
+
+    /// Apply the product to the trailing generator columns:
+    /// `G ← U⁽ᵏ⁾ G` (phase 2). Level-3 for the blocked kinds; when
+    /// `parallel` is set the dominant `gemm`s use the rayon pool.
+    pub fn apply(&self, mut g: MatMut<'_>, parallel: bool) {
+        assert_eq!(g.rows(), self.n);
+        if self.k == 0 || g.cols() == 0 {
+            return;
+        }
+        let n = self.n;
+        let k = self.k;
+        let q = g.cols();
+        match self.kind {
+            RepKind::Sequential => {
+                for j in 0..q {
+                    let col = g.col_mut(j);
+                    for r in &self.elems {
+                        r.apply_col(&self.w, col);
+                    }
+                }
+            }
+            RepKind::Accumulated => {
+                // G ← U G.
+                let gc = g.to_matrix();
+                mm(parallel,                     1.0,
+                    self.left.rf(),
+                    Trans::No,
+                    gc.rf(),
+                    Trans::No,
+                    0.0,
+                    g.rb_mut(),
+                );
+            }
+            RepKind::VY1 | RepKind::VY2 => {
+                // G ← Wᵏ G + V (Yᵀ G).
+                let v = self.left.sub(0, 0, n, k);
+                let y = self.right.sub(0, 0, n, k);
+                let mut z = Matrix::zeros(k, q);
+                mm(parallel, 1.0, y, Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
+                apply_wk(&self.w, k, g.rb_mut());
+                mm(parallel, 1.0, v, Trans::No, z.rf(), Trans::No, 1.0, g.rb_mut());
+            }
+            RepKind::YTY => {
+                // G ← Wᵏ G + Y (T (Yᵀ (W^{k-1} G))).
+                let y = self.left.sub(0, 0, n, k);
+                let mut z = Matrix::zeros(k, q);
+                // Z = Yᵀ W^{k-1} G: fold W^{k-1} into a row-sign-flipped
+                // copy of Y instead of touching G.
+                if k.is_multiple_of(2) {
+                    // W^{k-1} = W (odd power): use sign-flipped Y.
+                    let mut yw = self.left.sub(0, 0, n, k).to_matrix();
+                    for j in 0..k {
+                        let col = yw.col_mut(j);
+                        for (i, c) in col.iter_mut().enumerate() {
+                            if self.w.sign(i) < 0 {
+                                *c = -*c;
+                            }
+                        }
+                    }
+                    flops::add((n * k) as u64);
+                    mm(parallel, 1.0, yw.rf(), Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
+                } else {
+                    mm(parallel, 1.0, y, Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
+                }
+                // Z ← T Z with T lower triangular (k×k, small): direct.
+                let mut tz = Matrix::zeros(k, q);
+                for jj in 0..q {
+                    for i in 0..k {
+                        let mut s = 0.0;
+                        for l in 0..=i {
+                            s += self.right[(i, l)] * z[(l, jj)];
+                        }
+                        tz[(i, jj)] = s;
+                    }
+                }
+                flops::add((k * k * q) as u64);
+                apply_wk(&self.w, k, g.rb_mut());
+                mm(parallel, 1.0, y, Trans::No, tz.rf(), Trans::No, 1.0, g.rb_mut());
+            }
+        }
+    }
+
+    /// Apply the product to a *split* pair of half-generators: `gu` is
+    /// the upper `m × q` slice and `gl` the lower `m × q` slice, stored
+    /// in unrelated memory (the in-place phase-3 scheme of §6.4, where
+    /// the logical "shift" is realized by pairing upper block column
+    /// `j − s` with lower block column `j`). Requires the SPD working
+    /// signature `W = diag(I_m, −I_m)` — the quadrant split exploits
+    /// `Wᵏ = diag(I, (−1)ᵏ I)`.
+    pub fn apply_split(&self, mut gu: MatMut<'_>, mut gl: MatMut<'_>, parallel: bool) {
+        let m = self.n / 2;
+        assert_eq!(gu.rows(), m);
+        assert_eq!(gl.rows(), m);
+        assert_eq!(gu.cols(), gl.cols());
+        debug_assert!(
+            (0..m).all(|i| self.w.sign(i) > 0) && (m..2 * m).all(|i| self.w.sign(i) < 0),
+            "apply_split requires the SPD signature diag(I, -I)"
+        );
+        if self.k == 0 || gu.cols() == 0 {
+            return;
+        }
+        let k = self.k;
+        let q = gu.cols();
+        let low_sign = if k % 2 == 1 { -1.0 } else { 1.0 };
+        match self.kind {
+            RepKind::Sequential => {
+                for j in 0..q {
+                    // Split application of each elementary reflector:
+                    // s = x_uᵀ cu + x_lᵀ cl; cu += β s x_u; cl ← −cl + β s x_l.
+                    for r in &self.elems {
+                        let s = {
+                            let cu = gu.col(j);
+                            let cl = gl.col(j);
+                            bs_matrix::blas1::dot(&r.x[..m], cu)
+                                + bs_matrix::blas1::dot(&r.x[m..], cl)
+                        };
+                        bs_matrix::blas1::axpy(r.beta * s, &r.x[..m], gu.col_mut(j));
+                        let cl = gl.col_mut(j);
+                        for (i, c) in cl.iter_mut().enumerate() {
+                            *c = -*c + r.beta * s * r.x[m + i];
+                        }
+                        flops::add(3 * m as u64);
+                    }
+                }
+            }
+            RepKind::Accumulated => {
+                // [gu; gl] ← [U11 U12; U21 U22] [gu; gl].
+                let u11 = self.left.sub(0, 0, m, m);
+                let u12 = self.left.sub(0, m, m, m);
+                let u21 = self.left.sub(m, 0, m, m);
+                let u22 = self.left.sub(m, m, m, m);
+                let gu0 = gu.to_matrix();
+                let gl0 = gl.to_matrix();
+                mm(parallel, 1.0, u11, Trans::No, gu0.rf(), Trans::No, 0.0, gu.rb_mut());
+                mm(parallel, 1.0, u12, Trans::No, gl0.rf(), Trans::No, 1.0, gu.rb_mut());
+                mm(parallel, 1.0, u21, Trans::No, gu0.rf(), Trans::No, 0.0, gl.rb_mut());
+                mm(parallel, 1.0, u22, Trans::No, gl0.rf(), Trans::No, 1.0, gl.rb_mut());
+            }
+            RepKind::VY1 | RepKind::VY2 => {
+                // Z = Yuᵀ Gu + Ylᵀ Gl;
+                // Gu ← Gu + Vu Z;  Gl ← (−1)ᵏ Gl + Vl Z.
+                let vu = self.left.sub(0, 0, m, k);
+                let vl = self.left.sub(m, 0, m, k);
+                let yu = self.right.sub(0, 0, m, k);
+                let yl = self.right.sub(m, 0, m, k);
+                let mut z = Matrix::zeros(k, q);
+                mm(parallel, 1.0, yu, Trans::Yes, gu.rb(), Trans::No, 0.0, z.mt());
+                mm(parallel, 1.0, yl, Trans::Yes, gl.rb(), Trans::No, 1.0, z.mt());
+                mm(parallel, 1.0, vu, Trans::No, z.rf(), Trans::No, 1.0, gu.rb_mut());
+                mm(parallel, 1.0, vl, Trans::No, z.rf(), Trans::No, low_sign, gl.rb_mut());
+            }
+            RepKind::YTY => {
+                // Z = Yᵀ W^{k−1} [Gu; Gl] = Yuᵀ Gu + s' Ylᵀ Gl,
+                // s' = (−1)^{k−1}.
+                let yu = self.left.sub(0, 0, m, k);
+                let yl = self.left.sub(m, 0, m, k);
+                let sp = if (k - 1) % 2 == 1 { -1.0 } else { 1.0 };
+                let mut z = Matrix::zeros(k, q);
+                mm(parallel, 1.0, yu, Trans::Yes, gu.rb(), Trans::No, 0.0, z.mt());
+                mm(parallel, sp, yl, Trans::Yes, gl.rb(), Trans::No, 1.0, z.mt());
+                // TZ with lower triangular T (small, direct).
+                let mut tz = Matrix::zeros(k, q);
+                for jj in 0..q {
+                    for i in 0..k {
+                        let mut s = 0.0;
+                        for l in 0..=i {
+                            s += self.right[(i, l)] * z[(l, jj)];
+                        }
+                        tz[(i, jj)] = s;
+                    }
+                }
+                flops::add((k * k * q) as u64);
+                mm(parallel, 1.0, yu, Trans::No, tz.rf(), Trans::No, 1.0, gu.rb_mut());
+                mm(parallel, 1.0, yl, Trans::No, tz.rf(), Trans::No, low_sign, gl.rb_mut());
+            }
+        }
+    }
+
+    /// Densify to the full `n × n` transformation (test / diagnostic).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.n;
+        let mut u = Matrix::identity(n);
+        self.apply(u.mt(), false);
+        u
+    }
+}
+
+
+/// Dispatch a gemm to the sequential or rayon-parallel kernel.
+#[allow(clippy::too_many_arguments)]
+fn mm(
+    parallel: bool,
+    alpha: f64,
+    a: bs_matrix::MatRef<'_>,
+    ta: Trans,
+    b: bs_matrix::MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    if parallel {
+        par_gemm(alpha, a, ta, b, tb, beta, c)
+    } else {
+        gemm(alpha, a, ta, b, tb, beta, c)
+    }
+}
+
+/// `Wᵏ x` as a fresh vector.
+fn wk_vec(w: &Signature, k: usize, x: &[f64]) -> Vec<f64> {
+    let mut v = x.to_vec();
+    if k % 2 == 1 {
+        w.apply(&mut v);
+    }
+    v
+}
+
+/// `G ← Wᵏ G` in place.
+fn apply_wk(w: &Signature, k: usize, mut g: MatMut<'_>) {
+    if k.is_multiple_of(2) {
+        return;
+    }
+    for j in 0..g.cols() {
+        let col = g.col_mut(j);
+        for (i, c) in col.iter_mut().enumerate() {
+            if w.sign(i) < 0 {
+                *c = -*c;
+            }
+        }
+    }
+    flops::add((g.rows() * g.cols()) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reflector::HypReflector;
+
+    fn make_reflectors(m: usize, count: usize, seed: u64) -> (Signature, Vec<HypReflector>) {
+        let w = Signature::hyperbolic(m);
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 500.0
+        };
+        let mut out = Vec::new();
+        for c in 0..count {
+            // Vectors with the Schur sparsity: pivot row c, dense lower,
+            // dominant pivot so the hyperbolic norm is positive.
+            let mut u = vec![0.0; 2 * m];
+            u[c % m] = 3.0 + rnd().abs();
+            for item in u.iter_mut().skip(m) {
+                *item = rnd() * 0.8;
+            }
+            let (r, _) = HypReflector::compute(&u, &w, c % m);
+            out.push(r.expect("positive hyperbolic norm by construction"));
+        }
+        (w, out)
+    }
+
+    fn dense_product(w: &Signature, rs: &[HypReflector]) -> Matrix {
+        // U_k ... U_1 as a dense matrix.
+        let n = w.len();
+        let mut u = Matrix::identity(n);
+        for r in rs {
+            // u ← U_r * u: apply to each column.
+            for j in 0..n {
+                r.apply_col(w, u.col_mut(j));
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn all_representations_match_dense_product() {
+        for m in [1usize, 2, 3, 5] {
+            let (w, rs) = make_reflectors(m, m, 11 + m as u64);
+            let want = dense_product(&w, &rs);
+            for kind in RepKind::ALL {
+                let mut b = BlockReflector::new(kind, w.clone(), m);
+                for r in &rs {
+                    b.push(r);
+                }
+                let got = b.to_dense();
+                assert!(
+                    got.max_abs_diff(&want) < 1e-10,
+                    "kind={kind} m={m}: diff {}",
+                    got.max_abs_diff(&want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_products_match_too() {
+        // Push fewer reflectors than k_max.
+        let m = 4;
+        let (w, rs) = make_reflectors(m, 2, 3);
+        let want = dense_product(&w, &rs);
+        for kind in RepKind::ALL {
+            let mut b = BlockReflector::new(kind, w.clone(), m);
+            for r in &rs {
+                b.push(r);
+            }
+            assert_eq!(b.len(), 2);
+            assert!(b.to_dense().max_abs_diff(&want) < 1e-10, "kind={kind}");
+        }
+    }
+
+    #[test]
+    fn apply_matches_explicit_multiply() {
+        let m = 3;
+        let (w, rs) = make_reflectors(m, m, 7);
+        let mut b = BlockReflector::new(RepKind::YTY, w.clone(), m);
+        for r in &rs {
+            b.push(r);
+        }
+        let u = b.to_dense();
+        // Random trailing block.
+        let g0 = Matrix::from_fn(2 * m, 9, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let mut want = Matrix::zeros(2 * m, 9);
+        gemm(1.0, u.rf(), Trans::No, g0.rf(), Trans::No, 0.0, want.mt());
+        let mut g = g0.clone();
+        b.apply(g.mt(), false);
+        assert!(g.max_abs_diff(&want) < 1e-10);
+        // Parallel path must agree.
+        let mut g2 = g0.clone();
+        b.apply(g2.mt(), true);
+        assert!(g2.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn block_product_is_w_unitary() {
+        let m = 3;
+        let (w, rs) = make_reflectors(m, m, 19);
+        let mut b = BlockReflector::new(RepKind::VY2, w.clone(), m);
+        for r in &rs {
+            b.push(r);
+        }
+        let u = b.to_dense();
+        let wd = w.to_matrix();
+        let mut wu = Matrix::zeros(2 * m, 2 * m);
+        gemm(1.0, wd.rf(), Trans::No, u.rf(), Trans::No, 0.0, wu.mt());
+        let mut utwu = Matrix::zeros(2 * m, 2 * m);
+        gemm(1.0, u.rf(), Trans::Yes, wu.rf(), Trans::No, 0.0, utwu.mt());
+        assert!(utwu.max_abs_diff(&wd) < 1e-10);
+    }
+
+    #[test]
+    fn comm_words_ordering() {
+        // The §6.5 claim: YTYᵀ about half the communication of VY.
+        let m = 8;
+        let (w, rs) = make_reflectors(m, m, 23);
+        let mut sizes = std::collections::HashMap::new();
+        for kind in RepKind::ALL {
+            let mut b = BlockReflector::new(kind, w.clone(), m);
+            for r in &rs {
+                b.push(r);
+            }
+            sizes.insert(format!("{kind}"), b.comm_words());
+        }
+        let vy = sizes["VY form 1"];
+        let yty = sizes["YTY^T"];
+        // YTYᵀ stores n·k + k(k+1)/2 words against VY's 2·n·k: strictly
+        // smaller, approaching half for n ≫ k.
+        assert!(yty < vy, "yty={yty} vy={vy}");
+        assert!((yty as f64) < 0.75 * vy as f64, "yty={yty} vy={vy}");
+    }
+
+    #[test]
+    fn empty_product_is_identity() {
+        let w = Signature::hyperbolic(2);
+        let b = BlockReflector::new(RepKind::VY1, w, 2);
+        assert!(b.is_empty());
+        assert!(b.to_dense().max_abs_diff(&Matrix::identity(4)) < 1e-15);
+    }
+}

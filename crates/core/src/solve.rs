@@ -1,0 +1,120 @@
+//! Triangular solves with the `Rᵀ D R` factors produced by the Schur
+//! drivers.
+
+use bs_matrix::Matrix;
+
+/// Solve `Rᵀ D R x = b` where `R` is upper triangular and
+/// `D = diag(d)` with `d ∈ {±1}ⁿ` (`None` means `D = I`, the SPD case).
+pub fn solve_rtdr(r: &Matrix, d: Option<&[i8]>, b: &[f64]) -> bs_matrix::Result<Vec<f64>> {
+    let n = r.rows();
+    assert_eq!(r.cols(), n, "R must be square");
+    assert_eq!(b.len(), n);
+    if let Some(d) = d {
+        assert_eq!(d.len(), n);
+    }
+    let mut x = b.to_vec();
+    // Rᵀ y = b.
+    bs_matrix::blas2::trsv_upper_t(r.rf(), &mut x)?;
+    // y ← D⁻¹ y = D y.
+    if let Some(d) = d {
+        for (xi, &s) in x.iter_mut().zip(d) {
+            if s < 0 {
+                *xi = -*xi;
+            }
+        }
+        bs_matrix::flops::add(n as u64);
+    }
+    // R x = y.
+    bs_matrix::blas2::trsv_upper(r.rf(), &mut x)?;
+    Ok(x)
+}
+
+/// Dense reconstruction `Rᵀ D R` (test / verification, O(n³)).
+pub fn reconstruct_rtdr(r: &Matrix, d: Option<&[i8]>) -> Matrix {
+    let n = r.rows();
+    let mut dr = r.clone();
+    if let Some(d) = d {
+        for i in 0..n {
+            if d[i] < 0 {
+                for j in i..n {
+                    dr[(i, j)] = -dr[(i, j)];
+                }
+            }
+        }
+    }
+    let mut out = Matrix::zeros(n, n);
+    bs_matrix::blas3::gemm(
+        1.0,
+        r.rf(),
+        bs_matrix::Trans::Yes,
+        dr.rf(),
+        bs_matrix::Trans::No,
+        0.0,
+        out.mt(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upper(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut r = Matrix::from_fn(n, n, |i, j| {
+            if j < i {
+                return 0.0;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 500.0
+        });
+        for i in 0..n {
+            r[(i, i)] = r[(i, i)].abs() + 1.0;
+        }
+        r
+    }
+
+    #[test]
+    fn spd_solve_round_trip() {
+        let n = 9;
+        let r = upper(n, 4);
+        let a = reconstruct_rtdr(&r, None);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        let mut b = vec![0.0; n];
+        bs_matrix::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+        let x = solve_rtdr(&r, None, &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn signed_solve_round_trip() {
+        let n = 7;
+        let r = upper(n, 9);
+        let d: Vec<i8> = (0..n).map(|i| if i % 3 == 1 { -1 } else { 1 }).collect();
+        let a = reconstruct_rtdr(&r, Some(&d));
+        // A must be symmetric.
+        for i in 0..n {
+            for j in 0..n {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).cos()).collect();
+        let mut b = vec![0.0; n];
+        bs_matrix::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+        let x = solve_rtdr(&r, Some(&d), &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_triangle_propagates() {
+        let mut r = upper(3, 2);
+        r[(1, 1)] = 0.0;
+        assert!(solve_rtdr(&r, None, &[1.0, 2.0, 3.0]).is_err());
+    }
+}

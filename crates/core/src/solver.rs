@@ -1,0 +1,268 @@
+//! High-level solver façade: pick the right algorithm automatically.
+//!
+//! [`ToeplitzSolver`] tries the fast SPD path first and falls back to
+//! the extended indefinite algorithm (with perturbation + iterative
+//! refinement) when the matrix is not positive definite — the
+//! workflow a downstream user actually wants, wrapped around the §5/§8
+//! machinery.
+
+use crate::indefinite::{factor_indefinite, IndefFactor, IndefOptions};
+use crate::refine::{solve_refined, RefineOptions};
+use crate::schur::{factor_spd, SchurOptions, SpdFactor};
+use crate::{Error, Result};
+use bs_matrix::Matrix;
+use bs_toeplitz::SymBlockToeplitz;
+
+/// Which factorization the solver ended up with.
+#[derive(Debug, Clone)]
+pub enum Factorization {
+    /// `T = RᵀR` (positive definite path).
+    Spd(SpdFactor),
+    /// `T + δT = RᵀDR` (indefinite / singular-minor path).
+    Indefinite(IndefFactor),
+}
+
+/// Options for [`ToeplitzSolver::with_options`].
+#[derive(Clone, Debug, Default)]
+pub struct SolverOptions {
+    /// Options for the SPD attempt.
+    pub spd: SchurOptions,
+    /// Options for the indefinite fallback.
+    pub indefinite: IndefOptions,
+    /// Options for the refinement loop on perturbed factorizations.
+    pub refine: RefineOptions,
+}
+
+/// A factorized symmetric (block) Toeplitz system, ready to solve.
+///
+/// ```
+/// use bs_core::ToeplitzSolver;
+/// use bs_toeplitz::workloads;
+///
+/// // Indefinite system with a singular minor: the solver falls back
+/// // to the perturbed factorization + refinement automatically.
+/// let t = workloads::paper_singular_minor_example();
+/// let (b, x_true) = workloads::rhs_for_ones(&t);
+/// let solver = ToeplitzSolver::new(&t).unwrap();
+/// assert!(!solver.is_positive_definite());
+/// let x = solver.solve(&b).unwrap();
+/// assert!((x[3] - x_true[3]).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ToeplitzSolver {
+    t: SymBlockToeplitz,
+    factorization: Factorization,
+    refine: RefineOptions,
+}
+
+impl ToeplitzSolver {
+    /// Factor `t` with default options: SPD fast path, indefinite
+    /// fallback with `δ = ε^{1/3}` perturbation.
+    pub fn new(t: &SymBlockToeplitz) -> Result<Self> {
+        Self::with_options(t, &SolverOptions::default())
+    }
+
+    /// Factor `t` with explicit options.
+    pub fn with_options(t: &SymBlockToeplitz, opts: &SolverOptions) -> Result<Self> {
+        let factorization = match factor_spd(t, &opts.spd) {
+            Ok(f) => Factorization::Spd(f),
+            Err(Error::NotPositiveDefinite { .. }) | Err(Error::SingularMinor { .. }) => {
+                Factorization::Indefinite(factor_indefinite(t, &opts.indefinite)?)
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(ToeplitzSolver {
+            t: t.clone(),
+            factorization,
+            refine: opts.refine.clone(),
+        })
+    }
+
+    /// The factorization in use.
+    pub fn factorization(&self) -> &Factorization {
+        &self.factorization
+    }
+
+    /// `true` when the SPD fast path succeeded.
+    pub fn is_positive_definite(&self) -> bool {
+        match &self.factorization {
+            Factorization::Spd(_) => true,
+            Factorization::Indefinite(f) => {
+                f.perturbations.is_empty() && f.negative_inertia() == 0
+            }
+        }
+    }
+
+    /// `(n₊, n₋)` — counts of positive/negative eigenvalues of the
+    /// factored matrix (Sylvester's law of inertia; exact when no
+    /// perturbation fired, otherwise the inertia of `T + δT`).
+    pub fn inertia(&self) -> (usize, usize) {
+        let n = self.t.order();
+        match &self.factorization {
+            Factorization::Spd(_) => (n, 0),
+            Factorization::Indefinite(f) => {
+                let neg = f.negative_inertia();
+                (n - neg, neg)
+            }
+        }
+    }
+
+    /// `(sign, ln|det T|)` computed from the triangular factor:
+    /// `det T = (Π dᵢ) · (Π rᵢᵢ)²`.
+    pub fn det_sign_ln(&self) -> (f64, f64) {
+        let (r, d): (&Matrix, Option<&[i8]>) = match &self.factorization {
+            Factorization::Spd(f) => (&f.r, None),
+            Factorization::Indefinite(f) => (&f.r, Some(&f.d)),
+        };
+        let n = r.rows();
+        let mut ln = 0.0;
+        let mut sign = 1.0;
+        for i in 0..n {
+            ln += 2.0 * r[(i, i)].ln();
+            if let Some(d) = d {
+                if d[i] < 0 {
+                    sign = -sign;
+                }
+            }
+        }
+        (sign, ln)
+    }
+
+    /// Solve `T x = b`. On the perturbed path the answer is refined to
+    /// working accuracy (typically two extra matvec+solve rounds, §8.1).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        match &self.factorization {
+            Factorization::Spd(f) => f.solve(b),
+            Factorization::Indefinite(f) => {
+                if f.perturbations.is_empty() {
+                    f.solve(b)
+                } else {
+                    Ok(solve_refined(&self.t, f, b, &self.refine)?.x)
+                }
+            }
+        }
+    }
+
+    /// Build the Gohberg–Semencul representation of `T⁻¹` (scalar
+    /// Toeplitz only, `m = 1`): one extra solve for `T u = e₀`, after
+    /// which every further solve costs `O(n log n)` through
+    /// [`bs_toeplitz::ToeplitzInverse::apply`]. Returns `None` when
+    /// `m > 1` or when the representation does not exist (`u₀ = 0`).
+    pub fn inverse_representation(&self) -> Option<bs_toeplitz::ToeplitzInverse> {
+        if self.t.block_size() != 1 {
+            return None;
+        }
+        let n = self.t.order();
+        let mut e0 = vec![0.0; n];
+        e0[0] = 1.0;
+        let u = self.solve(&e0).ok()?;
+        bs_toeplitz::ToeplitzInverse::from_first_column(&u)
+    }
+
+    /// Solve `T X = B` column by column (`B` is `n × r`).
+    pub fn solve_many(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.t.order();
+        assert_eq!(b.rows(), n, "RHS row count must equal the matrix order");
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let xj = self.solve(b.col(j))?;
+            x.col_mut(j).copy_from_slice(&xj);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_toeplitz::workloads;
+
+    #[test]
+    fn spd_path_selected_for_spd_input() {
+        let t = workloads::random_spd_block(2, 8, 1);
+        let s = ToeplitzSolver::new(&t).unwrap();
+        assert!(matches!(s.factorization(), Factorization::Spd(_)));
+        assert!(s.is_positive_definite());
+        assert_eq!(s.inertia(), (16, 0));
+    }
+
+    #[test]
+    fn indefinite_fallback_and_inertia() {
+        let t = workloads::random_indefinite_scalar(14, 3);
+        let s = ToeplitzSolver::new(&t).unwrap();
+        assert!(matches!(s.factorization(), Factorization::Indefinite(_)));
+        assert!(!s.is_positive_definite());
+        let (pos, neg) = s.inertia();
+        assert_eq!(pos + neg, 14);
+        assert!(neg > 0);
+    }
+
+    #[test]
+    fn solve_spd_and_singular_minor_through_one_api() {
+        for t in [
+            workloads::random_spd_scalar(20, 4),
+            workloads::paper_singular_minor_example(),
+            workloads::random_indefinite_scalar(16, 9),
+        ] {
+            let (b, x_true) = workloads::rhs_for_ones(&t);
+            let s = ToeplitzSolver::new(&t).unwrap();
+            let x = s.solve(&b).unwrap();
+            let err = x
+                .iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(err < 1e-8, "n={}: err {err:e}", t.order());
+        }
+    }
+
+    #[test]
+    fn multiple_right_hand_sides() {
+        let t = workloads::random_spd_block(2, 6, 7);
+        let n = t.order();
+        let x_true = Matrix::from_fn(n, 3, |i, j| (i + j) as f64 - 5.0);
+        let mut b = Matrix::zeros(n, 3);
+        for j in 0..3 {
+            let bj = t.matvec(x_true.col(j));
+            b.col_mut(j).copy_from_slice(&bj);
+        }
+        let s = ToeplitzSolver::new(&t).unwrap();
+        let x = s.solve_many(&b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn gohberg_semencul_representation_solves() {
+        let t = workloads::random_spd_scalar(48, 3);
+        let solver = ToeplitzSolver::new(&t).unwrap();
+        let inv = solver.inverse_representation().expect("GS rep");
+        let (b, x_true) = workloads::rhs_for_ones(&t);
+        let x = inv.apply(&b);
+        for i in 0..48 {
+            assert!((x[i] - x_true[i]).abs() < 1e-8, "i={i}");
+        }
+        // Block matrices have no scalar GS representation.
+        let tb = workloads::random_spd_block(2, 8, 4);
+        assert!(ToeplitzSolver::new(&tb).unwrap().inverse_representation().is_none());
+    }
+
+    #[test]
+    fn determinant_matches_dense_lu() {
+        for t in [
+            workloads::random_spd_scalar(12, 2),
+            workloads::random_indefinite_scalar(12, 5),
+        ] {
+            let s = ToeplitzSolver::new(&t).unwrap();
+            let (sign, ln) = s.det_sign_ln();
+            let lu = bs_matrix::lu::lu_factor(&t.to_dense()).unwrap();
+            let det = lu.det();
+            assert_eq!(sign, det.signum(), "sign mismatch");
+            assert!(
+                (ln - det.abs().ln()).abs() < 1e-8,
+                "ln|det| {} vs {}",
+                ln,
+                det.abs().ln()
+            );
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! The communicator: ranks as threads, channels as links, virtual
+//! clocks for timing.
+
+use crate::cost::{CostModel, Primitive};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message in flight: payload plus its virtual arrival time.
+struct Msg {
+    tag: u64,
+    data: Vec<f64>,
+    arrive: f64,
+}
+
+/// Reusable barrier that also reduces the participating clocks to
+/// their maximum (and optionally max-reduces one payload value).
+struct ClockBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    np: usize,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    max_clock: f64,
+    max_payload: f64,
+    result_clock: f64,
+    result_payload: f64,
+    /// Set when a rank panicked: wakes and fails every waiter instead
+    /// of deadlocking the group.
+    poisoned: bool,
+}
+
+impl ClockBarrier {
+    fn new(np: usize) -> Self {
+        ClockBarrier {
+            state: Mutex::new(BarrierState {
+                max_clock: f64::NEG_INFINITY,
+                max_payload: f64::NEG_INFINITY,
+                ..Default::default()
+            }),
+            cv: Condvar::new(),
+            np,
+        }
+    }
+
+    /// Returns `(max clock, max payload)` across all participants.
+    /// Panics if the group was poisoned by another rank's panic.
+    fn wait(&self, clock: f64, payload: f64) -> (f64, f64) {
+        let mut st = self.state.lock();
+        if st.poisoned {
+            panic!("barrier poisoned: another rank panicked");
+        }
+        st.max_clock = st.max_clock.max(clock);
+        st.max_payload = st.max_payload.max(payload);
+        st.count += 1;
+        if st.count == self.np {
+            st.result_clock = st.max_clock;
+            st.result_payload = st.max_payload;
+            st.count = 0;
+            st.max_clock = f64::NEG_INFINITY;
+            st.max_payload = f64::NEG_INFINITY;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            (st.result_clock, st.result_payload)
+        } else {
+            let gen = st.generation;
+            while st.generation == gen && !st.poisoned {
+                self.cv.wait(&mut st);
+            }
+            if st.poisoned {
+                panic!("barrier poisoned: another rank panicked");
+            }
+            (st.result_clock, st.result_payload)
+        }
+    }
+
+    /// Mark the group as failed and wake every waiter.
+    fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One rank's endpoint: use inside the closure passed to [`World::run`].
+pub struct Proc {
+    rank: usize,
+    np: usize,
+    clock: f64,
+    /// Bytes sent (p2p + broadcast contributions), for diagnostics.
+    bytes_sent: usize,
+    /// `senders[to]` delivers to rank `to`'s inbox from this rank.
+    senders: Vec<Sender<Msg>>,
+    /// `inboxes[from]` receives messages sent by rank `from`.
+    inboxes: Vec<Receiver<Msg>>,
+    /// Out-of-order stash per source (selective receive by tag).
+    stash: Vec<VecDeque<Msg>>,
+    barrier: Arc<ClockBarrier>,
+    poisoned: Arc<AtomicBool>,
+    cost: Arc<dyn CostModel>,
+}
+
+impl Proc {
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.np
+    }
+
+    /// Current virtual time at this rank.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.clock
+    }
+
+    /// Total bytes this rank has pushed into the network.
+    #[inline]
+    pub fn bytes_sent(&self) -> usize {
+        self.bytes_sent
+    }
+
+    /// Advance the local clock by the cost of `flops` in shape `prim`.
+    pub fn compute(&mut self, flops: f64, prim: Primitive) {
+        self.clock += self.cost.compute_time(flops, prim);
+    }
+
+    /// Advance the local clock by raw seconds (model hooks).
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock += seconds;
+    }
+
+    /// Tagged send of a vector of doubles. Models a *blocking put*
+    /// (shmem semantics: the call returns when the remote write has
+    /// completed), so consecutive sends from one rank serialize on the
+    /// sender's clock.
+    pub fn send(&mut self, to: usize, tag: u64, data: &[f64]) {
+        assert!(to < self.np && to != self.rank, "bad destination {to}");
+        let bytes = data.len() * 8;
+        self.bytes_sent += bytes;
+        self.clock += self.cost.p2p_time(bytes);
+        let arrive = self.clock;
+        self.senders[to]
+            .send(Msg {
+                tag,
+                data: data.to_vec(),
+                arrive,
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking selective receive: next message from `from` carrying
+    /// `tag`. Advances the clock to at least the arrival time.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        assert!(from < self.np && from != self.rank, "bad source {from}");
+        // Check the stash first.
+        if let Some(pos) = self.stash[from].iter().position(|m| m.tag == tag) {
+            let msg = self.stash[from].remove(pos).unwrap();
+            self.clock = self.clock.max(msg.arrive);
+            return msg.data;
+        }
+        loop {
+            // Bounded waits so a peer's panic (which poisons the group)
+            // fails this rank instead of deadlocking it.
+            match self.inboxes[from].recv_timeout(Duration::from_millis(50)) {
+                Ok(msg) => {
+                    if msg.tag == tag {
+                        self.clock = self.clock.max(msg.arrive);
+                        return msg.data;
+                    }
+                    self.stash[from].push_back(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.poisoned.load(Ordering::Relaxed) {
+                        panic!("recv aborted: another rank panicked");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!("sender hung up"),
+            }
+        }
+    }
+
+    /// Broadcast from `root`: returns the payload on every rank. Every
+    /// participant's clock advances by the model's broadcast time on
+    /// top of the root's departure time (shmem_broadcast semantics:
+    /// all PEs participate).
+    pub fn broadcast(&mut self, root: usize, tag: u64, data: &[f64]) -> Vec<f64> {
+        let bytes = data.len() * 8;
+        self.broadcast_charged(root, tag, data, bytes)
+    }
+
+    /// [`broadcast`](Self::broadcast) with an explicit *charged* byte
+    /// count. Used when the physically shipped payload differs from the
+    /// volume the machine model should account (e.g. the simulator
+    /// ships a raw pivot panel for determinism but charges the wire
+    /// size of the chosen block-reflector representation).
+    pub fn broadcast_charged(
+        &mut self,
+        root: usize,
+        tag: u64,
+        data: &[f64],
+        bytes: usize,
+    ) -> Vec<f64> {
+        let bcast = self.cost.broadcast_time(bytes, self.np);
+        if self.rank == root {
+            let depart = self.clock;
+            for to in 0..self.np {
+                if to != root {
+                    self.bytes_sent += bytes;
+                    self.senders[to]
+                        .send(Msg {
+                            tag,
+                            data: data.to_vec(),
+                            arrive: depart + bcast,
+                        })
+                        .expect("receiver hung up");
+                }
+            }
+            self.clock = depart + bcast;
+            data.to_vec()
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Barrier: blocks until all ranks arrive; clocks synchronize to
+    /// the maximum plus the model's barrier cost.
+    pub fn barrier(&mut self) {
+        let (maxc, _) = self.barrier.wait(self.clock, 0.0);
+        self.clock = maxc + self.cost.barrier_time(self.np);
+    }
+
+    /// Max-reduction of a scalar across all ranks (synchronizing).
+    pub fn allreduce_max(&mut self, v: f64) -> f64 {
+        let (maxc, maxv) = self.barrier.wait(self.clock, v);
+        self.clock = maxc + self.cost.barrier_time(self.np);
+        maxv
+    }
+
+    /// Gather each rank's payload at `root` (rank order). Non-roots
+    /// return `None`.
+    pub fn gather(&mut self, root: usize, tag: u64, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        if self.rank == root {
+            let mut out: Vec<Vec<f64>> = Vec::with_capacity(self.np);
+            for src in 0..self.np {
+                if src == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv(src, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, data);
+            None
+        }
+    }
+
+    /// All-gather: every rank receives every rank's payload, in rank
+    /// order. Implemented as gather-at-0 plus broadcast of the packed
+    /// buffer (costs accounted through those primitives).
+    pub fn allgather(&mut self, tag: u64, data: &[f64]) -> Vec<Vec<f64>> {
+        let len = data.len();
+        let packed = match self.gather(0, tag, data) {
+            Some(parts) => {
+                let mut flat = Vec::with_capacity(self.np * len);
+                for p in &parts {
+                    assert_eq!(p.len(), len, "allgather requires equal payload sizes");
+                    flat.extend_from_slice(p);
+                }
+                self.broadcast(0, tag.wrapping_add(1), &flat)
+            }
+            None => self.broadcast(0, tag.wrapping_add(1), &[]),
+        };
+        packed.chunks(len.max(1)).map(|c| c.to_vec()).collect()
+    }
+}
+
+/// Factory for a group of communicating ranks.
+pub struct World;
+
+impl World {
+    /// Run `f` on `np` ranks (one thread each) and collect the return
+    /// values indexed by rank. Panics in any rank propagate.
+    pub fn run<T, F>(np: usize, cost: Arc<dyn CostModel>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Send + Sync,
+    {
+        assert!(np >= 1, "need at least one rank");
+        // Channel matrix: link[from][to].
+        let mut senders: Vec<Vec<Sender<Msg>>> = (0..np).map(|_| Vec::with_capacity(np)).collect();
+        let mut inboxes: Vec<Vec<Receiver<Msg>>> =
+            (0..np).map(|_| Vec::with_capacity(np)).collect();
+        for from in 0..np {
+            for to in 0..np {
+                let (s, r) = unbounded();
+                senders[from].push(s);
+                inboxes[to].push(r);
+            }
+        }
+        let barrier = Arc::new(ClockBarrier::new(np));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let mut procs: Vec<Proc> = senders
+            .into_iter()
+            .zip(inboxes)
+            .enumerate()
+            .map(|(rank, (s, r))| Proc {
+                rank,
+                np,
+                clock: 0.0,
+                bytes_sent: 0,
+                senders: s,
+                stash: (0..np).map(|_| VecDeque::new()).collect(),
+                inboxes: r,
+                barrier: Arc::clone(&barrier),
+                poisoned: Arc::clone(&poisoned),
+                cost: Arc::clone(&cost),
+            })
+            .collect();
+
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = procs
+                .iter_mut()
+                .map(|p| {
+                    let barrier = Arc::clone(&barrier);
+                    let poisoned = Arc::clone(&poisoned);
+                    scope.spawn(move |_| {
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p)));
+                        if out.is_err() {
+                            // Fail the whole group instead of leaving
+                            // peers blocked in barriers or receives.
+                            poisoned.store(true, Ordering::Relaxed);
+                            barrier.poison();
+                        }
+                        match out {
+                            Ok(v) => v,
+                            Err(e) => std::panic::resume_unwind(e),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+        .expect("scope panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{UniformCost, ZeroCost};
+
+    #[test]
+    fn ring_pass_accumulates() {
+        let np = 5;
+        let out = World::run(np, Arc::new(ZeroCost), |p| {
+            // Pass a counter around the ring, each rank increments.
+            if p.rank() == 0 {
+                p.send(1, 0, &[1.0]);
+                let v = p.recv(np - 1, 0);
+                v[0]
+            } else {
+                let v = p.recv(p.rank() - 1, 0);
+                let next = (p.rank() + 1) % np;
+                p.send(next, 0, &[v[0] + 1.0]);
+                v[0]
+            }
+        });
+        assert_eq!(out[0], np as f64);
+        assert_eq!(out[2], 2.0);
+    }
+
+    #[test]
+    fn broadcast_delivers_payload_everywhere() {
+        let out = World::run(4, Arc::new(ZeroCost), |p| {
+            let data: Vec<f64> = if p.rank() == 2 { vec![3.5, 4.5] } else { vec![] };
+            p.broadcast(2, 7, &data)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.5, 4.5]);
+        }
+    }
+
+    #[test]
+    fn selective_receive_by_tag() {
+        let out = World::run(2, Arc::new(ZeroCost), |p| {
+            if p.rank() == 0 {
+                p.send(1, 10, &[10.0]);
+                p.send(1, 20, &[20.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let b = p.recv(0, 20);
+                let a = p.recv(0, 10);
+                a[0] * 100.0 + b[0]
+            }
+        });
+        assert_eq!(out[1], 1020.0);
+    }
+
+    #[test]
+    fn clocks_advance_with_compute_and_sync_at_barrier() {
+        let cost = Arc::new(UniformCost {
+            flop_rate: 1e6,
+            bandwidth: 1e9,
+            latency: 0.0,
+            barrier_per_stage: 0.0,
+        });
+        let out = World::run(3, cost, |p| {
+            // Rank r does (r+1)e6 flops -> (r+1) seconds.
+            p.compute(1e6 * (p.rank() + 1) as f64, Primitive::Generic);
+            p.barrier();
+            p.time()
+        });
+        // After the barrier every clock equals the slowest rank's 3s.
+        for t in out {
+            assert!((t - 3.0).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn message_time_includes_latency_and_bandwidth() {
+        let cost = Arc::new(UniformCost {
+            flop_rate: 1e9,
+            bandwidth: 800.0, // 100 doubles per second
+            latency: 0.5,
+            barrier_per_stage: 0.0,
+        });
+        let out = World::run(2, cost, |p| {
+            if p.rank() == 0 {
+                p.send(1, 0, &vec![0.0; 100]); // 800 bytes -> 1 s + 0.5 s
+                p.time()
+            } else {
+                p.recv(0, 0);
+                p.time()
+            }
+        });
+        // Blocking-put semantics: sender and receiver both reach the
+        // completion time of the transfer.
+        assert!((out[0] - 1.5).abs() < 1e-9, "sender blocks: {}", out[0]);
+        assert!((out[1] - 1.5).abs() < 1e-9, "receiver at arrival: {}", out[1]);
+    }
+
+    #[test]
+    fn allreduce_max_returns_global_max() {
+        let out = World::run(4, Arc::new(ZeroCost), |p| {
+            p.allreduce_max(p.rank() as f64 * 2.0)
+        });
+        for v in out {
+            assert_eq!(v, 6.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::run(1, Arc::new(ZeroCost), |p| {
+            p.barrier();
+            p.compute(100.0, Primitive::Generic);
+            p.rank()
+        });
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn bytes_sent_accounting() {
+        let out = World::run(2, Arc::new(ZeroCost), |p| {
+            if p.rank() == 0 {
+                p.send(1, 0, &[1.0, 2.0, 3.0]);
+                p.bytes_sent()
+            } else {
+                p.recv(0, 0);
+                p.bytes_sent()
+            }
+        });
+        assert_eq!(out[0], 24);
+        assert_eq!(out[1], 0);
+    }
+}
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+    use crate::cost::ZeroCost;
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = World::run(4, Arc::new(ZeroCost), |p| {
+            let mine = vec![p.rank() as f64; 2];
+            p.gather(1, 9, &mine)
+        });
+        assert!(out[0].is_none() && out[2].is_none());
+        let parts = out[1].as_ref().unwrap();
+        for (r, part) in parts.iter().enumerate() {
+            assert_eq!(part, &vec![r as f64; 2]);
+        }
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let out = World::run(3, Arc::new(ZeroCost), |p| {
+            p.allgather(5, &[10.0 * p.rank() as f64])
+        });
+        for parts in out {
+            assert_eq!(parts.len(), 3);
+            for (r, part) in parts.iter().enumerate() {
+                assert_eq!(part, &vec![10.0 * r as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_advances_root_clock_past_senders() {
+        let cost = Arc::new(crate::cost::UniformCost {
+            flop_rate: 1e9,
+            bandwidth: 8e3,
+            latency: 0.0,
+            barrier_per_stage: 0.0,
+        });
+        let out = World::run(2, cost, |p| {
+            if p.rank() == 0 {
+                p.gather(0, 1, &[0.0; 100]);
+                p.time()
+            } else {
+                p.gather(0, 1, &[0.0; 100]);
+                0.0
+            }
+        });
+        // 100 doubles at 8 kB/s = 0.1 s transfer visible at the root.
+        assert!(out[0] >= 0.1 - 1e-12, "root time {}", out[0]);
+    }
+}
+
+#[cfg(test)]
+mod poison_tests {
+    use super::*;
+    use crate::cost::ZeroCost;
+
+    #[test]
+    fn rank_panic_fails_the_group_instead_of_deadlocking() {
+        // Rank 1 panics before its barrier; ranks 0 and 2 must not hang.
+        let result = std::panic::catch_unwind(|| {
+            World::run(3, Arc::new(ZeroCost), |p| {
+                if p.rank() == 1 {
+                    panic!("injected failure");
+                }
+                p.barrier();
+                p.rank()
+            })
+        });
+        assert!(result.is_err(), "the group must report the failure");
+    }
+
+    #[test]
+    fn rank_panic_unblocks_receivers() {
+        // Rank 0 waits for a message rank 1 never sends (it panics).
+        let result = std::panic::catch_unwind(|| {
+            World::run(2, Arc::new(ZeroCost), |p| {
+                if p.rank() == 1 {
+                    panic!("injected failure");
+                }
+                p.recv(1, 0)
+            })
+        });
+        assert!(result.is_err());
+    }
+}

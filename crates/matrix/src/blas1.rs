@@ -1,0 +1,166 @@
+//! Level-1 kernels on contiguous slices.
+//!
+//! These are the primitives the paper calls "BLAS1 routines such as
+//! dotproducts and triads" (§6.2). They operate on plain `&[f64]`
+//! because every column of a view is contiguous.
+
+use crate::flops;
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    flops::add(2 * x.len() as u64);
+    // Four accumulators give the autovectorizer latitude without
+    // changing results enough to matter for f64 test tolerances.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for k in 0..chunks {
+        let i = 4 * k;
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in 4 * chunks..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    flops::add(2 * x.len() as u64);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    flops::add(x.len() as u64);
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm with scaling to avoid overflow/underflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    flops::add(2 * x.len() as u64);
+    let amax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return amax;
+    }
+    let mut s = 0.0;
+    for &v in x {
+        let t = v / amax;
+        s += t * t;
+    }
+    amax * s.sqrt()
+}
+
+/// Index of the element with the largest absolute value; `None` when empty.
+pub fn iamax(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).unwrap())
+        .map(|(i, _)| i)
+}
+
+/// Swap the contents of two slices.
+#[inline]
+pub fn swap(x: &mut [f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (a, b) in x.iter_mut().zip(y.iter_mut()) {
+        std::mem::swap(a, b);
+    }
+}
+
+/// Signed dot product `xᵀ W y` where `W = diag(w)` with `w[i] ∈ {+1,-1}`.
+///
+/// This is the *hyperbolic* inner product at the heart of the paper's
+/// reflectors (§3). The signature is passed as `i8` signs.
+#[inline]
+pub fn wdot(x: &[f64], w: &[i8], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), w.len());
+    flops::add(2 * x.len() as u64);
+    let mut plus = 0.0;
+    let mut minus = 0.0;
+    for i in 0..x.len() {
+        if w[i] >= 0 {
+            plus += x[i] * y[i];
+        } else {
+            minus += x[i] * y[i];
+        }
+    }
+    plus - minus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..13).map(|i| (2 * i + 1) as f64).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12 * naive.abs());
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn nrm2_is_scaled() {
+        // Values that would overflow a naive sum-of-squares.
+        let x = [1e200, 1e200];
+        let n = nrm2(&x);
+        assert!((n - 1e200 * 2.0f64.sqrt()).abs() < 1e186);
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn iamax_finds_peak() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[]), None);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut a = [1.0, 2.0];
+        let mut b = [3.0, 4.0];
+        swap(&mut a, &mut b);
+        assert_eq!(a, [3.0, 4.0]);
+        assert_eq!(b, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn wdot_hyperbolic_norm() {
+        // [3,5] with signature (+,-): 9 - 25 = -16.
+        let x = [3.0, 5.0];
+        assert_eq!(wdot(&x, &[1, -1], &x), -16.0);
+        assert_eq!(wdot(&x, &[1, 1], &x), 34.0);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0, -2.0, 4.0];
+        scal(-0.5, &mut x);
+        assert_eq!(x, [-0.5, 1.0, -2.0]);
+    }
+}

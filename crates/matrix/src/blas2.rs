@@ -1,0 +1,301 @@
+//! Level-2 kernels: matrix-vector products, rank-1 updates, triangular
+//! solves with a single right-hand side.
+//!
+//! The paper's first VY form wants two matrix-vector products per step,
+//! the second VY form one matvec plus one rank-1 update (§4); these are
+//! those primitives.
+
+use crate::blas1;
+use crate::flops;
+use crate::view::{MatMut, MatRef};
+use crate::{Error, Result};
+
+/// `y <- alpha * A x + beta * y`.
+pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len(), "gemv: A cols vs x len");
+    assert_eq!(a.rows(), y.len(), "gemv: A rows vs y len");
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        blas1::scal(beta, y);
+    }
+    // Column-major: accumulate one column at a time (axpy per column),
+    // which keeps accesses contiguous.
+    for j in 0..a.cols() {
+        blas1::axpy(alpha * x[j], a.col(j), y);
+    }
+}
+
+/// `y <- alpha * Aᵀ x + beta * y`.
+pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: A rows vs x len");
+    assert_eq!(a.cols(), y.len(), "gemv_t: A cols vs y len");
+    for j in 0..a.cols() {
+        let d = blas1::dot(a.col(j), x);
+        y[j] = alpha * d + if beta == 0.0 { 0.0 } else { beta * y[j] };
+    }
+    if beta != 0.0 {
+        flops::add(2 * a.cols() as u64);
+    }
+}
+
+/// Rank-1 update `A += alpha * x yᵀ`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
+    assert_eq!(a.rows(), x.len(), "ger: A rows vs x len");
+    assert_eq!(a.cols(), y.len(), "ger: A cols vs y len");
+    for j in 0..a.cols() {
+        blas1::axpy(alpha * y[j], x, a.col_mut(j));
+    }
+}
+
+/// Symmetric matrix-vector product using only the given triangle of `A`:
+/// `y <- alpha * A x + beta * y` with `A = Aᵀ`.
+pub fn symv(uplo: crate::Uplo, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "symv: A must be square");
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        blas1::scal(beta, y);
+    }
+    flops::add(2 * (n * n) as u64);
+    match uplo {
+        crate::Uplo::Lower => {
+            for j in 0..n {
+                let ajj = a.get(j, j);
+                let mut t = ajj * x[j];
+                for i in j + 1..n {
+                    let aij = a.get(i, j);
+                    y[i] += alpha * aij * x[j];
+                    t += aij * x[i];
+                }
+                y[j] += alpha * t;
+            }
+        }
+        crate::Uplo::Upper => {
+            for j in 0..n {
+                let ajj = a.get(j, j);
+                let mut t = ajj * x[j];
+                for i in 0..j {
+                    let aij = a.get(i, j);
+                    y[i] += alpha * aij * x[j];
+                    t += aij * x[i];
+                }
+                y[j] += alpha * t;
+            }
+        }
+    }
+}
+
+/// Solve `L x = b` (unit or non-unit lower triangle) in place in `b`.
+pub fn trsv_lower(a: MatRef<'_>, b: &mut [f64], unit_diag: bool) -> Result<()> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.len(), n);
+    flops::add((n * n) as u64);
+    for j in 0..n {
+        if !unit_diag {
+            let d = a.get(j, j);
+            if d == 0.0 {
+                return Err(Error::SingularTriangle { index: j });
+            }
+            b[j] /= d;
+        }
+        let bj = b[j];
+        if bj != 0.0 {
+            let col = a.col(j);
+            for i in j + 1..n {
+                b[i] -= bj * col[i];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `U x = b` (non-unit upper triangle) in place in `b`.
+pub fn trsv_upper(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.len(), n);
+    flops::add((n * n) as u64);
+    for j in (0..n).rev() {
+        let d = a.get(j, j);
+        if d == 0.0 {
+            return Err(Error::SingularTriangle { index: j });
+        }
+        b[j] /= d;
+        let bj = b[j];
+        if bj != 0.0 {
+            let col = a.col(j);
+            for i in 0..j {
+                b[i] -= bj * col[i];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `Lᵀ x = b` with `L` lower triangular, in place in `b`.
+pub fn trsv_lower_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.len(), n);
+    flops::add((n * n) as u64);
+    for j in (0..n).rev() {
+        let col = a.col(j);
+        let mut s = b[j];
+        for i in j + 1..n {
+            s -= col[i] * b[i];
+        }
+        let d = col[j];
+        if d == 0.0 {
+            return Err(Error::SingularTriangle { index: j });
+        }
+        b[j] = s / d;
+    }
+    Ok(())
+}
+
+/// Solve `Uᵀ x = b` with `U` upper triangular, in place in `b`.
+pub fn trsv_upper_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.len(), n);
+    flops::add((n * n) as u64);
+    for j in 0..n {
+        let col = a.col(j);
+        let mut s = b[j];
+        for i in 0..j {
+            s -= col[i] * b[i];
+        }
+        let d = col[j];
+        if d == 0.0 {
+            return Err(Error::SingularTriangle { index: j });
+        }
+        b[j] = s / d;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    fn a_3x2() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])
+    }
+
+    #[test]
+    fn gemv_plain() {
+        let a = a_3x2();
+        let x = [1.0, -1.0];
+        let mut y = [100.0, 100.0, 100.0];
+        gemv(1.0, a.rf(), &x, 0.0, &mut y);
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn gemv_with_beta() {
+        let a = a_3x2();
+        let x = [1.0, 0.0];
+        let mut y = [1.0, 1.0, 1.0];
+        gemv(2.0, a.rf(), &x, 3.0, &mut y);
+        assert_eq!(y, [5.0, 9.0, 13.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose() {
+        let a = a_3x2();
+        let at = a.transpose();
+        let x = [1.0, 2.0, 3.0];
+        let mut y1 = [0.0, 0.0];
+        let mut y2 = [0.0, 0.0];
+        gemv_t(1.0, a.rf(), &x, 0.0, &mut y1);
+        gemv(1.0, at.rf(), &x, 0.0, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Matrix::zeros(2, 3);
+        ger(2.0, &[1.0, 2.0], &[1.0, 10.0, 100.0], a.mt());
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(1, 2)], 400.0);
+    }
+
+    #[test]
+    fn symv_uses_one_triangle() {
+        // Full symmetric matrix.
+        let full = Matrix::from_rows(&[&[2.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 4.0]]);
+        // Store only the lower triangle; junk in the upper.
+        let mut low = full.clone();
+        low[(0, 1)] = f64::NAN;
+        low[(0, 2)] = f64::NAN;
+        low[(1, 2)] = f64::NAN;
+        let x = [1.0, 2.0, 3.0];
+        let mut want = [0.0; 3];
+        gemv(1.0, full.rf(), &x, 0.0, &mut want);
+        let mut got = [0.0; 3];
+        symv(crate::Uplo::Lower, 1.0, low.rf(), &x, 0.0, &mut got);
+        for i in 0..3 {
+            assert!((got[i] - want[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn trsv_round_trips() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[3.0, 4.0]]);
+        let x = [1.0, 2.0];
+        let mut b = [0.0, 0.0];
+        gemv(1.0, l.rf(), &x, 0.0, &mut b);
+        trsv_lower(l.rf(), &mut b, false).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-14 && (b[1] - 2.0).abs() < 1e-14);
+
+        let u = l.transpose();
+        let mut b2 = [0.0, 0.0];
+        gemv(1.0, u.rf(), &x, 0.0, &mut b2);
+        trsv_upper(u.rf(), &mut b2).unwrap();
+        assert!((b2[0] - 1.0).abs() < 1e-14 && (b2[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trsv_transposed_variants() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[3.0, 4.0]]);
+        let u = Matrix::from_rows(&[&[2.0, 5.0], &[0.0, 4.0]]);
+        let x = [1.0, -2.0];
+
+        let lt = l.transpose();
+        let mut b = [0.0, 0.0];
+        gemv(1.0, lt.rf(), &x, 0.0, &mut b);
+        trsv_lower_t(l.rf(), &mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-14 && (b[1] + 2.0).abs() < 1e-14);
+
+        let ut = u.transpose();
+        let mut b2 = [0.0, 0.0];
+        gemv(1.0, ut.rf(), &x, 0.0, &mut b2);
+        trsv_upper_t(u.rf(), &mut b2).unwrap();
+        assert!((b2[0] - 1.0).abs() < 1e-14 && (b2[1] + 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trsv_reports_singularity() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[3.0, 4.0]]);
+        let mut b = [1.0, 1.0];
+        assert_eq!(
+            trsv_lower(l.rf(), &mut b, false),
+            Err(crate::Error::SingularTriangle { index: 0 })
+        );
+    }
+
+    #[test]
+    fn trsv_unit_diag_ignores_diagonal() {
+        // Diagonal entries deliberately wrong; unit_diag must ignore them.
+        let l = Matrix::from_rows(&[&[9.0, 0.0], &[3.0, 9.0]]);
+        let mut b = [1.0, 5.0];
+        trsv_lower(l.rf(), &mut b, true).unwrap();
+        assert_eq!(b, [1.0, 2.0]);
+    }
+}

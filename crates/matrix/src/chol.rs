@@ -1,0 +1,179 @@
+//! Cholesky factorization `A = L Lᵀ` (lower triangular `L`).
+//!
+//! Used by the Schur algorithm to factor the leading block `T̂₁` when
+//! building the generator (§2 of the paper), and by `bs-baselines` as the
+//! dense O(n³) comparator. Blocked right-looking variant so the trailing
+//! update is a level-3 `syrk`.
+
+use crate::blas3::{syrk, trsm, Side, Trans, Uplo};
+use crate::dense::Matrix;
+use crate::flops;
+use crate::view::MatMut;
+use crate::{Error, Result};
+
+const NB: usize = 64;
+
+/// Factor `A = L Lᵀ` in place: on success the lower triangle of `a` holds
+/// `L` and the strict upper triangle is zeroed.
+pub fn cholesky_in_place(mut a: MatMut<'_>) -> Result<()> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "cholesky: matrix must be square");
+    let mut k = 0;
+    while k < n {
+        let nb = NB.min(n - k);
+        chol_unblocked(a.sub_mut(k, k, nb, nb), k)?;
+        let rest = n - k - nb;
+        if rest > 0 {
+            // Panel solve A21 <- A21 L11^{-T}. L11 is small (<= NB); an
+            // owned copy sidesteps aliasing between the read of L11 and
+            // the write of A21 within the same backing storage.
+            let l11 = a.rb().sub(k, k, nb, nb).to_matrix();
+            trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::Yes,
+                false,
+                1.0,
+                l11.rf(),
+                a.sub_mut(k + nb, k, rest, nb),
+            )?;
+            // Trailing update A22 <- A22 - L21 L21ᵀ.
+            let l21 = a.rb().sub(k + nb, k, rest, nb).to_matrix();
+            syrk(
+                Uplo::Lower,
+                Trans::No,
+                -1.0,
+                l21.rf(),
+                1.0,
+                a.sub_mut(k + nb, k + nb, rest, rest),
+            );
+        }
+        k += nb;
+    }
+    // Zero the strict upper triangle so callers get a clean L.
+    for j in 1..n {
+        for i in 0..j {
+            a.set(i, j, 0.0);
+        }
+    }
+    Ok(())
+}
+
+fn chol_unblocked(mut a: MatMut<'_>, global_offset: usize) -> Result<()> {
+    let n = a.rows();
+    flops::add((n * n * n) as u64 / 3);
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for p in 0..j {
+            let v = a.get(j, p);
+            d -= v * v;
+        }
+        if d <= 0.0 {
+            return Err(Error::NotPositiveDefinite {
+                index: global_offset + j,
+                pivot: d,
+            });
+        }
+        let d = d.sqrt();
+        a.set(j, j, d);
+        for i in j + 1..n {
+            let mut s = a.get(i, j);
+            for p in 0..j {
+                s -= a.get(i, p) * a.get(j, p);
+            }
+            a.set(i, j, s / d);
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: factor a copy of `a`, returning `L`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix> {
+    let mut l = a.clone();
+    cholesky_in_place(l.mt())?;
+    Ok(l)
+}
+
+/// Solve `A x = b` given `L` from [`cholesky`]: two triangular solves.
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let mut x = b.to_vec();
+    crate::blas2::trsv_lower(l.rf(), &mut x, false)?;
+    crate::blas2::trsv_lower_t(l.rf(), &mut x)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let b = Matrix::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 500.0
+        });
+        let mut a = Matrix::identity(n);
+        // A = B Bᵀ + n*I is comfortably SPD.
+        let bt = b.transpose();
+        let mut bbt = Matrix::zeros(n, n);
+        gemm(1.0, b.rf(), Trans::No, bt.rf(), Trans::No, 0.0, bbt.mt());
+        a.scale(n as f64);
+        a.axpy(1.0, &bbt);
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        for &n in &[1usize, 2, 3, 5, 17, 64, 65, 130] {
+            let a = spd(n, 42 + n as u64);
+            let l = cholesky(&a).unwrap();
+            let lt = l.transpose();
+            let mut r = Matrix::zeros(n, n);
+            gemm(1.0, l.rf(), Trans::No, lt.rf(), Trans::No, 0.0, r.mt());
+            let scale = (1..=n).map(|i| a[(i - 1, i - 1)].abs()).fold(1.0, f64::max);
+            assert!(
+                r.max_abs_diff(&a) < 1e-11 * scale,
+                "n={n}: diff {}",
+                r.max_abs_diff(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn upper_triangle_is_zeroed() {
+        let a = spd(10, 7);
+        let l = cholesky(&a).unwrap();
+        for j in 1..10 {
+            for i in 0..j {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        match cholesky(&a) {
+            Err(Error::NotPositiveDefinite { index: 1, .. }) => {}
+            other => panic!("expected NotPositiveDefinite at 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let n = 20;
+        let a = spd(n, 9);
+        let l = cholesky(&a).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 10.0).collect();
+        let mut b = vec![0.0; n];
+        crate::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+        let x = cholesky_solve(&l, &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-9, "i={i}");
+        }
+    }
+}

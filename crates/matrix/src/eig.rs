@@ -1,0 +1,293 @@
+//! Symmetric eigenvalues: Householder tridiagonalization followed by
+//! the implicit-shift QL iteration.
+//!
+//! Used for *analysis*, not by the Schur algorithm itself: exact
+//! condition numbers of the Toeplitz test matrices, inertia
+//! cross-checks, and CG iteration-count predictions in the experiment
+//! harness.
+
+use crate::dense::Matrix;
+use crate::flops;
+use crate::{Error, Result};
+
+/// Reduce a symmetric matrix to tridiagonal form, returning the
+/// diagonal `d` and sub-diagonal `e` (`e[0]` unused). Only the lower
+/// triangle of `a` is referenced.
+pub fn tridiagonalize(a: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "tridiagonalize: matrix must be square");
+    let mut w = a.clone();
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n];
+    flops::add(4 * (n * n * n) as u64 / 3);
+    // Classic Householder reduction (EISPACK TRED2 without vectors),
+    // working on the lower triangle, from the last row up.
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += w[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = w[(i, l)];
+            } else {
+                for k in 0..=l {
+                    w[(i, k)] /= scale;
+                    h += w[(i, k)] * w[(i, k)];
+                }
+                let f = w[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                w[(i, l)] = f - g;
+                let mut tau = 0.0;
+                // u = w[i, 0..=l]; p = A u / h with symmetric A.
+                let mut p = vec![0.0f64; l + 1];
+                for j in 0..=l {
+                    let mut s = 0.0;
+                    for k in 0..=j {
+                        s += w[(j, k)] * w[(i, k)];
+                    }
+                    for k in j + 1..=l {
+                        s += w[(k, j)] * w[(i, k)];
+                    }
+                    p[j] = s / h;
+                    tau += p[j] * w[(i, j)];
+                }
+                tau /= 2.0 * h;
+                // q = p − tau u ; A ← A − u qᵀ − q uᵀ.
+                for j in 0..=l {
+                    p[j] -= tau * w[(i, j)];
+                }
+                for j in 0..=l {
+                    for k in 0..=j {
+                        let upd = w[(i, j)] * p[k] + p[j] * w[(i, k)];
+                        w[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = w[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    for i in 0..n {
+        d[i] = w[(i, i)];
+    }
+    (d, e)
+}
+
+/// Eigenvalues of a symmetric tridiagonal matrix (diagonal `d`,
+/// sub-diagonal `e` with `e[0]` unused), ascending. Implicit-shift QL.
+pub fn tridiag_eigenvalues(d: &[f64], e: &[f64]) -> Result<Vec<f64>> {
+    let n = d.len();
+    assert_eq!(e.len(), n);
+    let mut d = d.to_vec();
+    // Shift the sub-diagonal left (EISPACK convention).
+    let mut e: Vec<f64> = {
+        let mut v = e[1..].to_vec();
+        v.push(0.0);
+        v
+    };
+    flops::add(30 * (n * n) as u64);
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return Err(Error::SingularPivot {
+                    index: l,
+                    pivot: e[l],
+                });
+            }
+            // Implicit shift from the trailing 2x2.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sgn = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sgn);
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                f = 0.0;
+                let _ = f;
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(d)
+}
+
+/// Eigenvalues of a symmetric dense matrix, ascending.
+pub fn sym_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
+    let (d, e) = tridiagonalize(a);
+    tridiag_eigenvalues(&d, &e)
+}
+
+/// Exact 2-norm condition number of an SPD matrix via its spectrum.
+pub fn spd_condition(a: &Matrix) -> Result<f64> {
+    let ev = sym_eigenvalues(a)?;
+    let lo = ev.first().copied().unwrap_or(0.0);
+    let hi = ev.last().copied().unwrap_or(0.0);
+    if lo <= 0.0 {
+        return Err(Error::NotPositiveDefinite {
+            index: 0,
+            pivot: lo,
+        });
+    }
+    Ok(hi / lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut a = Matrix::zeros(4, 4);
+        for (i, v) in [3.0, -1.0, 7.0, 0.5].iter().enumerate() {
+            a[(i, i)] = *v;
+        }
+        let ev = sym_eigenvalues(&a).unwrap();
+        let want = [-1.0, 0.5, 3.0, 7.0];
+        for i in 0..4 {
+            assert!((ev[i] - want[i]).abs() < 1e-12, "i={i}: {}", ev[i]);
+        }
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        // [[2, 1], [1, 2]] -> 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let ev = sym_eigenvalues(&a).unwrap();
+        assert!((ev[0] - 1.0).abs() < 1e-12);
+        assert!((ev[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_has_known_spectrum() {
+        // Second-difference matrix: eigenvalues 2 − 2 cos(kπ/(n+1)).
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let ev = sym_eigenvalues(&a).unwrap();
+        for k in 1..=n {
+            let want = 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!(
+                (ev[k - 1] - want).abs() < 1e-10,
+                "k={k}: {} vs {want}",
+                ev[k - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn trace_and_inertia_preserved() {
+        let mut state = 0xC0FFEEu64;
+        let n = 20;
+        let mut a = Matrix::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 250.0
+        });
+        a.symmetrize();
+        let ev = sym_eigenvalues(&a).unwrap();
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let evsum: f64 = ev.iter().sum();
+        assert!((trace - evsum).abs() < 1e-9 * trace.abs().max(1.0));
+        // Inertia via eigenvalues must match LDLᵀ (when it exists).
+        if let Ok(d) = crate::ldlt::ldlt_in_place(a.clone().mt(), 1e-12) {
+            let neg_ldlt = d.iter().filter(|&&v| v < 0.0).count();
+            let neg_eig = ev.iter().filter(|&&v| v < 0.0).count();
+            assert_eq!(neg_ldlt, neg_eig);
+        }
+    }
+
+    #[test]
+    fn spd_condition_of_scaled_identity() {
+        let mut a = Matrix::identity(6);
+        a[(5, 5)] = 100.0;
+        assert!((spd_condition(&a).unwrap() - 100.0).abs() < 1e-9);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(spd_condition(&b).is_err()); // indefinite
+    }
+
+    #[test]
+    fn matches_power_iteration_extremes() {
+        let mut state = 7u64;
+        let n = 16;
+        let mut b = Matrix::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64) / 1000.0
+        });
+        // SPD: A = B Bᵀ + I.
+        let bt = b.transpose();
+        let mut a = Matrix::identity(n);
+        let mut bbt = Matrix::zeros(n, n);
+        crate::blas3::gemm(
+            1.0,
+            b.rf(),
+            crate::Trans::No,
+            bt.rf(),
+            crate::Trans::No,
+            0.0,
+            bbt.mt(),
+        );
+        a.axpy(1.0, &bbt);
+        a.symmetrize();
+        b = a.clone();
+        let ev = sym_eigenvalues(&a).unwrap();
+        let sigma_max = crate::norms::mat_two_estimate(&b, 200);
+        assert!(
+            (ev[n - 1] - sigma_max).abs() < 1e-6 * sigma_max,
+            "{} vs {sigma_max}",
+            ev[n - 1]
+        );
+    }
+}

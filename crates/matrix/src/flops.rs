@@ -1,0 +1,74 @@
+//! Thread-local floating-point operation counters.
+//!
+//! The reproduced paper argues its representation choices with explicit
+//! flop counts (eqs. 25-32). Every kernel in this workspace reports the
+//! flops it performs here, *once per call* (not per element), so the
+//! counter costs nothing measurable and the analytic formulas in
+//! `bs-perfmodel` can be validated against instrumented reality.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FLOPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Add `n` flops to the current thread's counter.
+#[inline]
+pub fn add(n: u64) {
+    FLOPS.with(|f| f.set(f.get() + n));
+}
+
+/// Read the current thread's counter.
+#[inline]
+pub fn get() -> u64 {
+    FLOPS.with(|f| f.get())
+}
+
+/// Reset the current thread's counter to zero.
+#[inline]
+pub fn reset() {
+    FLOPS.with(|f| f.set(0));
+}
+
+/// Run `f` and return `(result, flops performed by f on this thread)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = get();
+    let out = f();
+    (out, get() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset();
+        add(10);
+        add(5);
+        assert_eq!(get(), 15);
+        reset();
+        assert_eq!(get(), 0);
+    }
+
+    #[test]
+    fn measure_reports_delta_only() {
+        reset();
+        add(100);
+        let ((), d) = measure(|| add(42));
+        assert_eq!(d, 42);
+        assert_eq!(get(), 142);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        reset();
+        add(7);
+        let handle = std::thread::spawn(|| {
+            add(1);
+            get()
+        });
+        assert_eq!(handle.join().unwrap(), 1);
+        assert_eq!(get(), 7);
+    }
+}

@@ -1,0 +1,293 @@
+//! Symmetric indefinite factorizations.
+//!
+//! Two flavours are provided:
+//!
+//! - [`ldlt_in_place`]: the classical `A = L D Lᵀ` with unit lower
+//!   triangular `L` and diagonal `D` (no pivoting — it exists exactly when
+//!   every leading principal submatrix is nonsingular, which is the same
+//!   condition the paper states for its generalized decomposition
+//!   `T₁ = L₁ Σ L₁ᵀ` in §2).
+//! - [`sldlt`]: the *signature* form `A = L Σ Lᵀ` with `Σ = diag(±1)`,
+//!   obtained by absorbing `|D|^{1/2}` into `L`. This is what the block
+//!   Schur algorithm needs for the indefinite leading block, because the
+//!   hyperbolic reflectors are defined with respect to a ±1 signature
+//!   matrix `W` (eq. 11).
+
+use crate::dense::Matrix;
+use crate::flops;
+use crate::view::MatMut;
+use crate::{Error, Result};
+
+/// A ±1 signature, the diagonal of the paper's `W` matrices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature(pub Vec<i8>);
+
+impl Signature {
+    /// All-plus signature of length `n` (the SPD case).
+    pub fn plus(n: usize) -> Self {
+        Signature(vec![1; n])
+    }
+
+    /// `[+1; n] ++ [-1; n]` — the generator signature `W = diag(I, -I)`.
+    pub fn hyperbolic(n: usize) -> Self {
+        let mut v = vec![1i8; 2 * n];
+        v[n..].fill(-1);
+        Signature(v)
+    }
+
+    /// Concatenate `self` followed by the negation of `other`
+    /// (builds `diag(Σ, -Σ)` from eq. 11 when `other == self`).
+    pub fn extend_negated(&self, other: &Signature) -> Signature {
+        let mut v = self.0.clone();
+        v.extend(other.0.iter().map(|s| -s));
+        Signature(v)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    #[inline]
+    pub fn sign(&self, i: usize) -> i8 {
+        self.0[i]
+    }
+
+    /// Number of `-1` entries.
+    pub fn negatives(&self) -> usize {
+        self.0.iter().filter(|&&s| s < 0).count()
+    }
+
+    /// Apply `W` to a vector in place (flip the negative coordinates).
+    pub fn apply(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.0.len());
+        for (xi, &s) in x.iter_mut().zip(&self.0) {
+            if s < 0 {
+                *xi = -*xi;
+            }
+        }
+        flops::add(self.0.len() as u64);
+    }
+
+    /// As a dense diagonal matrix (for tests / reconstruction checks).
+    pub fn to_matrix(&self) -> Matrix {
+        let n = self.0.len();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                self.0[i] as f64
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// Classical `A = L D Lᵀ` in place (no pivoting).
+///
+/// On success the strict lower triangle of `a` holds the strict part of
+/// unit-lower `L` and the diagonal holds `D`. Pivots with
+/// `|d| <= pivot_tol * max_abs_diag(A)` are reported as
+/// [`Error::SingularPivot`].
+pub fn ldlt_in_place(mut a: MatMut<'_>, pivot_tol: f64) -> Result<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "ldlt: matrix must be square");
+    let scale = (0..n).map(|i| a.get(i, i).abs()).fold(0.0, f64::max).max(1.0);
+    flops::add((n * n * n) as u64 / 3);
+    let mut d = vec![0.0f64; n];
+    for j in 0..n {
+        // d_j = a_jj - sum_p L_jp^2 d_p
+        let mut djj = a.get(j, j);
+        for p in 0..j {
+            let l = a.get(j, p);
+            djj -= l * l * d[p];
+        }
+        if djj.abs() <= pivot_tol * scale {
+            return Err(Error::SingularPivot {
+                index: j,
+                pivot: djj,
+            });
+        }
+        d[j] = djj;
+        a.set(j, j, djj);
+        for i in j + 1..n {
+            let mut s = a.get(i, j);
+            for p in 0..j {
+                s -= a.get(i, p) * a.get(j, p) * d[p];
+            }
+            a.set(i, j, s / djj);
+        }
+    }
+    // Clean the strict upper triangle.
+    for j in 1..n {
+        for i in 0..j {
+            a.set(i, j, 0.0);
+        }
+    }
+    Ok(d)
+}
+
+/// Signature factorization `A = L Σ Lᵀ` with `Σ = diag(±1)`.
+///
+/// Returns `(L, Σ)` where `L` is lower triangular with positive diagonal
+/// scaling absorbed (`L = L_unit |D|^{1/2}`). Exists iff all leading
+/// principal submatrices are nonsingular (paper §2).
+pub fn sldlt(a: &Matrix, pivot_tol: f64) -> Result<(Matrix, Signature)> {
+    let n = a.rows();
+    let mut l = a.clone();
+    let d = ldlt_in_place(l.mt(), pivot_tol)?;
+    let mut sig = Vec::with_capacity(n);
+    for j in 0..n {
+        let dj = d[j];
+        sig.push(if dj >= 0.0 { 1i8 } else { -1 });
+        let sq = dj.abs().sqrt();
+        // Column j of unit L scaled by |d_j|^{1/2}; unit diagonal -> sq.
+        l[(j, j)] = sq;
+        for i in j + 1..n {
+            l[(i, j)] *= sq;
+        }
+        flops::add((n - j) as u64 + 1);
+    }
+    Ok((l, Signature(sig)))
+}
+
+/// Solve `A x = b` given the in-place LDLᵀ factor (`L` unit lower in the
+/// strict triangle, `D` on the diagonal of `lfac`).
+pub fn ldlt_solve(lfac: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = lfac.rows();
+    let mut x = b.to_vec();
+    crate::blas2::trsv_lower(lfac.rf(), &mut x, true)?;
+    for i in 0..n {
+        let d = lfac[(i, i)];
+        if d == 0.0 {
+            return Err(Error::SingularPivot { index: i, pivot: d });
+        }
+        x[i] /= d;
+    }
+    flops::add(n as u64);
+    // Lᵀ x = y with unit diagonal.
+    for j in (0..n).rev() {
+        let mut s = x[j];
+        for i in j + 1..n {
+            s -= lfac[(i, j)] * x[i];
+        }
+        x[j] = s;
+    }
+    flops::add((n * n) as u64);
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+
+    fn reconstruct_ldlt(lfac: &Matrix) -> Matrix {
+        let n = lfac.rows();
+        let mut l = Matrix::identity(n);
+        let mut d = Matrix::zeros(n, n);
+        for j in 0..n {
+            d[(j, j)] = lfac[(j, j)];
+            for i in j + 1..n {
+                l[(i, j)] = lfac[(i, j)];
+            }
+        }
+        let lt = l.transpose();
+        let mut ld = Matrix::zeros(n, n);
+        gemm(1.0, l.rf(), Trans::No, d.rf(), Trans::No, 0.0, ld.mt());
+        let mut out = Matrix::zeros(n, n);
+        gemm(1.0, ld.rf(), Trans::No, lt.rf(), Trans::No, 0.0, out.mt());
+        out
+    }
+
+    #[test]
+    fn ldlt_indefinite_reconstructs() {
+        // Indefinite but with nonsingular leading minors.
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, -3.0, 0.5],
+            &[0.0, 0.5, 1.0],
+        ]);
+        let mut lfac = a.clone();
+        let d = ldlt_in_place(lfac.mt(), 0.0).unwrap();
+        assert!(d[1] < 0.0, "second pivot must be negative");
+        let r = reconstruct_ldlt(&lfac);
+        assert!(r.max_abs_diff(&a) < 1e-13);
+    }
+
+    #[test]
+    fn ldlt_detects_singular_minor() {
+        // Leading 2x2 block [[1,1],[1,1]] is singular (the paper's §8.2
+        // failure mode).
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 0.2], &[1.0, 1.0, 0.3], &[0.2, 0.3, 1.0]]);
+        match ldlt_in_place(a.clone().mt(), 1e-12) {
+            Err(Error::SingularPivot { index: 1, .. }) => {}
+            other => panic!("expected singular pivot at 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sldlt_signature_and_reconstruction() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 2.0, -1.0],
+            &[2.0, -2.0, 0.5],
+            &[-1.0, 0.5, 3.0],
+        ]);
+        let (l, sig) = sldlt(&a, 0.0).unwrap();
+        assert_eq!(sig.sign(0), 1);
+        assert_eq!(sig.sign(1), -1);
+        // Reconstruct L Σ Lᵀ.
+        let s = sig.to_matrix();
+        let lt = l.transpose();
+        let mut ls = Matrix::zeros(3, 3);
+        gemm(1.0, l.rf(), Trans::No, s.rf(), Trans::No, 0.0, ls.mt());
+        let mut r = Matrix::zeros(3, 3);
+        gemm(1.0, ls.rf(), Trans::No, lt.rf(), Trans::No, 0.0, r.mt());
+        assert!(r.max_abs_diff(&a) < 1e-13);
+    }
+
+    #[test]
+    fn sldlt_spd_is_cholesky() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 5.0]]);
+        let (l, sig) = sldlt(&a, 0.0).unwrap();
+        assert_eq!(sig, Signature::plus(2));
+        let lc = crate::chol::cholesky(&a).unwrap();
+        assert!(l.max_abs_diff(&lc) < 1e-14);
+    }
+
+    #[test]
+    fn ldlt_solve_round_trips() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, -3.0, 0.5],
+            &[0.0, 0.5, 1.0],
+        ]);
+        let mut lfac = a.clone();
+        ldlt_in_place(lfac.mt(), 0.0).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let mut b = [0.0; 3];
+        crate::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+        let x = ldlt_solve(&lfac, &b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn signature_helpers() {
+        let s = Signature::hyperbolic(2);
+        assert_eq!(s.0, vec![1, 1, -1, -1]);
+        assert_eq!(s.negatives(), 2);
+        let mut x = [1.0, 2.0, 3.0, 4.0];
+        s.apply(&mut x);
+        assert_eq!(x, [1.0, 2.0, -3.0, -4.0]);
+
+        let sig = Signature(vec![1, -1]);
+        let w = sig.extend_negated(&sig);
+        assert_eq!(w.0, vec![1, -1, -1, 1]);
+    }
+}

@@ -1,0 +1,176 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used as the general-purpose dense solver for verification (computing
+//! reference solutions and `‖T⁻¹‖` estimates in the perturbation analysis
+//! of §8) — the Schur algorithm itself never calls this.
+
+use crate::dense::Matrix;
+use crate::flops;
+use crate::{Error, Result};
+
+/// Packed LU factors of a square matrix, `P A = L U`.
+pub struct LuFactors {
+    /// Unit-lower `L` (strict part) and `U` packed in one matrix.
+    pub lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    pub perm: Vec<usize>,
+    /// Sign of the permutation (`+1`/`-1`), so `det` is easy.
+    pub sign: f64,
+}
+
+/// Factor `P A = L U` with partial (row) pivoting.
+pub fn lu_factor(a: &Matrix) -> Result<LuFactors> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "lu: matrix must be square");
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    flops::add(2 * (n * n * n) as u64 / 3);
+    for k in 0..n {
+        // Pivot search in column k.
+        let mut piv = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in k + 1..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                piv = i;
+            }
+        }
+        if pmax == 0.0 {
+            return Err(Error::SingularPivot {
+                index: k,
+                pivot: 0.0,
+            });
+        }
+        if piv != k {
+            for j in 0..n {
+                let t = lu[(k, j)];
+                lu[(k, j)] = lu[(piv, j)];
+                lu[(piv, j)] = t;
+            }
+            perm.swap(k, piv);
+            sign = -sign;
+        }
+        let d = lu[(k, k)];
+        for i in k + 1..n {
+            let l = lu[(i, k)] / d;
+            lu[(i, k)] = l;
+            if l != 0.0 {
+                for j in k + 1..n {
+                    let v = lu[(k, j)];
+                    lu[(i, j)] -= l * v;
+                }
+            }
+        }
+    }
+    Ok(LuFactors { lu, perm, sign })
+}
+
+impl LuFactors {
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n);
+        // Apply the permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        crate::blas2::trsv_lower(self.lu.rf(), &mut x, true)?;
+        crate::blas2::trsv_upper(self.lu.rf(), &mut x)?;
+        Ok(x)
+    }
+
+    /// Solve `Aᵀ x = b` (needed by the 1-norm condition estimator).
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n);
+        // Aᵀ = Uᵀ Lᵀ Pᵀ... solve Uᵀ y = b, Lᵀ z = y, x = Pᵀ z.
+        let mut y = b.to_vec();
+        crate::blas2::trsv_upper_t(self.lu.rf(), &mut y)?;
+        // Lᵀ with unit diagonal.
+        let n2 = y.len();
+        for j in (0..n2).rev() {
+            let mut s = y[j];
+            for i in j + 1..n2 {
+                s -= self.lu[(i, j)] * y[i];
+            }
+            y[j] = s;
+        }
+        flops::add((n2 * n2) as u64);
+        let mut x = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testmat(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2001) as f64 - 1000.0) / 500.0
+        })
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        for &n in &[1usize, 2, 5, 12, 33] {
+            let a = testmat(n, n as u64 + 3);
+            let x_true: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+            let mut b = vec![0.0; n];
+            crate::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+            let f = lu_factor(&a).unwrap();
+            let x = f.solve(&b).unwrap();
+            for i in 0..n {
+                assert!((x[i] - x_true[i]).abs() < 1e-8 * n as f64, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_solve() {
+        let n = 10;
+        let a = testmat(n, 77);
+        let at = a.transpose();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 2.0).collect();
+        let mut b = vec![0.0; n];
+        crate::blas2::gemv(1.0, at.rf(), &x_true, 0.0, &mut b);
+        let f = lu_factor(&a).unwrap();
+        let x = f.solve_transposed(&b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 4.0]]); // det = -6, needs pivoting
+        let f = lu_factor(&a).unwrap();
+        assert!((f.det() + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            lu_factor(&a),
+            Err(Error::SingularPivot { index: 1, .. })
+        ));
+    }
+}

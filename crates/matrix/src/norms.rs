@@ -1,0 +1,170 @@
+//! Matrix and vector norms plus a 1-norm condition estimator.
+//!
+//! The perturbation analysis of §8 of the paper bounds the refinement
+//! convergence factor by `γ = ‖ΔT·T⁻¹‖`; estimating it needs `‖T‖` and a
+//! cheap `‖T⁻¹‖` estimate, provided here (Hager/Higham style power
+//! iteration on `‖A⁻¹‖₁` using LU solves).
+
+use crate::dense::Matrix;
+use crate::flops;
+use crate::lu::LuFactors;
+
+/// Vector ∞-norm.
+pub fn vec_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Vector 1-norm.
+pub fn vec_one(x: &[f64]) -> f64 {
+    flops::add(x.len() as u64);
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Vector 2-norm (delegates to the scaled BLAS1 kernel).
+pub fn vec_two(x: &[f64]) -> f64 {
+    crate::blas1::nrm2(x)
+}
+
+/// Matrix 1-norm (max absolute column sum).
+pub fn mat_one(a: &Matrix) -> f64 {
+    let mut best: f64 = 0.0;
+    for j in 0..a.cols() {
+        best = best.max(vec_one(a.col(j)));
+    }
+    best
+}
+
+/// Matrix ∞-norm (max absolute row sum).
+pub fn mat_inf(a: &Matrix) -> f64 {
+    let mut sums = vec![0.0f64; a.rows()];
+    for j in 0..a.cols() {
+        for (i, v) in a.col(j).iter().enumerate() {
+            sums[i] += v.abs();
+        }
+    }
+    flops::add((a.rows() * a.cols()) as u64);
+    vec_inf(&sums)
+}
+
+/// Frobenius norm.
+pub fn mat_fro(a: &Matrix) -> f64 {
+    crate::blas1::nrm2(a.as_slice())
+}
+
+/// Estimate `‖A⁻¹‖₁` from LU factors (Hager's algorithm, a handful of
+/// solves — never forms the inverse).
+pub fn inv_one_norm_estimate(f: &LuFactors) -> f64 {
+    let n = f.lu.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut x = vec![1.0 / n as f64; n];
+    let mut est = 0.0f64;
+    for _ in 0..5 {
+        let y = match f.solve(&x) {
+            Ok(y) => y,
+            Err(_) => return f64::INFINITY,
+        };
+        let ynorm = vec_one(&y);
+        est = est.max(ynorm);
+        // xi = sign(y)
+        let xi: Vec<f64> = y.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let z = match f.solve_transposed(&xi) {
+            Ok(z) => z,
+            Err(_) => return f64::INFINITY,
+        };
+        let (jmax, zmax) = z
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v.abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let zx: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
+        if zmax <= zx.abs() {
+            break;
+        }
+        x = vec![0.0; n];
+        x[jmax] = 1.0;
+    }
+    est
+}
+
+/// 1-norm condition number estimate `κ₁(A) ≈ ‖A‖₁ ‖A⁻¹‖₁`.
+pub fn cond_one_estimate(a: &Matrix) -> f64 {
+    match crate::lu::lu_factor(a) {
+        Ok(f) => mat_one(a) * inv_one_norm_estimate(&f),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Spectral-norm estimate via a few power iterations on `AᵀA`.
+pub fn mat_two_estimate(a: &Matrix, iters: usize) -> f64 {
+    let n = a.cols();
+    if n == 0 || a.rows() == 0 {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    let mut s = vec_two(&v);
+    for vi in v.iter_mut() {
+        *vi /= s;
+    }
+    let mut av = vec![0.0; a.rows()];
+    let mut sigma = 0.0;
+    for _ in 0..iters.max(1) {
+        crate::blas2::gemv(1.0, a.rf(), &v, 0.0, &mut av);
+        crate::blas2::gemv_t(1.0, a.rf(), &av, 0.0, &mut v);
+        s = vec_two(&v);
+        if s == 0.0 {
+            return 0.0;
+        }
+        for vi in v.iter_mut() {
+            *vi /= s;
+        }
+        sigma = s.sqrt();
+    }
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_basics() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(mat_one(&a), 6.0); // col 1: |−2|+4 = 6
+        assert_eq!(mat_inf(&a), 7.0); // row 1: 3+4 = 7
+        assert!((mat_fro(&a) - 30.0f64.sqrt()).abs() < 1e-14);
+        assert_eq!(vec_inf(&[-3.0, 2.0]), 3.0);
+        assert_eq!(vec_one(&[-3.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn identity_condition_is_one() {
+        let i = Matrix::identity(12);
+        let c = cond_one_estimate(&i);
+        assert!((c - 1.0).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn condition_tracks_diagonal_spread() {
+        let mut d = Matrix::identity(6);
+        d[(5, 5)] = 1e-6;
+        let c = cond_one_estimate(&d);
+        assert!((c - 1e6).abs() / 1e6 < 1e-10, "got {c}");
+    }
+
+    #[test]
+    fn two_norm_estimate_of_diagonal() {
+        let mut d = Matrix::identity(5);
+        d[(2, 2)] = 9.0;
+        let s = mat_two_estimate(&d, 30);
+        assert!((s - 9.0).abs() < 1e-6, "got {s}");
+    }
+
+    #[test]
+    fn singular_matrix_reports_infinite_condition() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(cond_one_estimate(&a).is_infinite());
+    }
+}

@@ -1,0 +1,188 @@
+//! Householder QR factorization.
+//!
+//! The *orthogonal* cousin of the paper's hyperbolic reflectors. It is
+//! used in the test-suite as an independent way to produce triangular
+//! factors (`RᵀR = AᵀA`) against which the hyperbolic machinery can be
+//! cross-checked, and by `bs-baselines` for least-squares sanity checks.
+
+use crate::blas1;
+use crate::dense::Matrix;
+use crate::flops;
+
+/// Compact QR: returns `(qr, tau)` in LAPACK-style storage — `R` in the
+/// upper triangle, the Householder vectors below the diagonal (implicit
+/// unit leading entry).
+pub fn qr_factor(a: &Matrix) -> (Matrix, Vec<f64>) {
+    let m = a.rows();
+    let n = a.cols();
+    let mut qr = a.clone();
+    let kmax = m.min(n);
+    let mut tau = vec![0.0f64; kmax];
+    flops::add((2 * n * n * (3 * m.saturating_sub(n) + n)) as u64 / 3);
+    for k in 0..kmax {
+        // Build the reflector for column k below the diagonal.
+        let alpha = qr[(k, k)];
+        let mut normx2 = 0.0;
+        for i in k + 1..m {
+            normx2 += qr[(i, k)] * qr[(i, k)];
+        }
+        if normx2 == 0.0 {
+            tau[k] = 0.0;
+            continue;
+        }
+        let beta = -(alpha.signum()) * (alpha * alpha + normx2).sqrt();
+        let v0 = alpha - beta;
+        tau[k] = -v0 / beta; // = 2 / (vᵀv) scaled for unit leading entry
+        // Store v/v0 below the diagonal, beta on it.
+        for i in k + 1..m {
+            qr[(i, k)] /= v0;
+        }
+        qr[(k, k)] = beta;
+        // Apply (I - tau v vᵀ) to the trailing columns.
+        for j in k + 1..n {
+            let mut s = qr[(k, j)];
+            for i in k + 1..m {
+                s += qr[(i, k)] * qr[(i, j)];
+            }
+            s *= tau[k];
+            qr[(k, j)] -= s;
+            for i in k + 1..m {
+                let v = qr[(i, k)];
+                qr[(i, j)] -= s * v;
+            }
+        }
+    }
+    (qr, tau)
+}
+
+/// Extract the `min(m,n) x n` upper-triangular factor `R`.
+pub fn qr_unpack_r(qr: &Matrix) -> Matrix {
+    let m = qr.rows();
+    let n = qr.cols();
+    let k = m.min(n);
+    Matrix::from_fn(k, n, |i, j| if j >= i { qr[(i, j)] } else { 0.0 })
+}
+
+/// Apply `Qᵀ` to a vector in place.
+pub fn qr_apply_qt(qr: &Matrix, tau: &[f64], x: &mut [f64]) {
+    let m = qr.rows();
+    assert_eq!(x.len(), m);
+    let kmax = tau.len();
+    for k in 0..kmax {
+        if tau[k] == 0.0 {
+            continue;
+        }
+        let mut s = x[k];
+        for i in k + 1..m {
+            s += qr[(i, k)] * x[i];
+        }
+        s *= tau[k];
+        x[k] -= s;
+        for i in k + 1..m {
+            x[i] -= s * qr[(i, k)];
+        }
+        flops::add(4 * (m - k) as u64);
+    }
+}
+
+/// Least-squares solve `min ‖Ax − b‖₂` for full-column-rank `A` (m >= n).
+pub fn qr_solve(a: &Matrix, b: &[f64]) -> crate::Result<Vec<f64>> {
+    let n = a.cols();
+    assert!(a.rows() >= n, "qr_solve expects m >= n");
+    let (qr, tau) = qr_factor(a);
+    let mut y = b.to_vec();
+    qr_apply_qt(&qr, &tau, &mut y);
+    let r = qr_unpack_r(&qr);
+    let mut x = y[..n].to_vec();
+    crate::blas2::trsv_upper(r.sub(0, 0, n, n).to_matrix().rf(), &mut x)?;
+    Ok(x)
+}
+
+/// Frobenius orthogonality defect `‖QᵀQ − I‖_F` (test utility).
+pub fn orthogonality_defect(qr: &Matrix, tau: &[f64]) -> f64 {
+    let m = qr.rows();
+    // Build Q columns by applying Q to unit vectors: Q e_j = (Qᵀ)ᵀ e_j.
+    // Using Qᵀ twice measures the same defect.
+    let mut defect = 0.0;
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for j in 0..m {
+        let mut e = vec![0.0; m];
+        e[j] = 1.0;
+        qr_apply_qt(qr, tau, &mut e);
+        cols.push(e);
+    }
+    for i in 0..m {
+        for j in 0..m {
+            let d = blas1::dot(&cols[i], &cols[j]) - if i == j { 1.0 } else { 0.0 };
+            defect += d * d;
+        }
+    }
+    defect.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+
+    fn testmat(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(m, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2001) as f64 - 1000.0) / 500.0
+        })
+    }
+
+    #[test]
+    fn r_transpose_r_equals_gram() {
+        let a = testmat(12, 5, 1);
+        let (qr, _) = qr_factor(&a);
+        let r = qr_unpack_r(&qr);
+        // RᵀR must equal AᵀA.
+        let mut gram = Matrix::zeros(5, 5);
+        gemm(1.0, a.rf(), Trans::Yes, a.rf(), Trans::No, 0.0, gram.mt());
+        let mut rtr = Matrix::zeros(5, 5);
+        gemm(1.0, r.rf(), Trans::Yes, r.rf(), Trans::No, 0.0, rtr.mt());
+        assert!(rtr.max_abs_diff(&gram) < 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = testmat(8, 8, 2);
+        let (qr, tau) = qr_factor(&a);
+        assert!(orthogonality_defect(&qr, &tau) < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_exact_when_square() {
+        let a = testmat(6, 6, 3);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let mut b = vec![0.0; 6];
+        crate::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+        let x = qr_solve(&a, &b).unwrap();
+        for i in 0..6 {
+            assert!((x[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_overdetermined_residual_orthogonal() {
+        let a = testmat(10, 4, 4);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64).cos()).collect();
+        let x = qr_solve(&a, &b).unwrap();
+        // Residual must be orthogonal to the column space: Aᵀ r = 0.
+        let mut r = b.clone();
+        let mut ax = vec![0.0; 10];
+        crate::blas2::gemv(1.0, a.rf(), &x, 0.0, &mut ax);
+        for i in 0..10 {
+            r[i] -= ax[i];
+        }
+        let mut atr = vec![0.0; 4];
+        crate::blas2::gemv_t(1.0, a.rf(), &r, 0.0, &mut atr);
+        for v in atr {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Triangular and symmetric matrix-matrix multiplies (`trmm`, `symm`).
+//!
+//! Round out the level-3 kernel set: the block representations multiply
+//! by the small lower-triangular `T` factor of the `YTYᵀ` form, and the
+//! verification utilities form symmetric products without materializing
+//! both triangles.
+
+use crate::blas1;
+use crate::blas3::{Side, Trans, Uplo};
+use crate::flops;
+use crate::view::{MatMut, MatRef};
+
+/// In-place triangular multiply `B ← alpha * op(A) B` (`Side::Left`) or
+/// `B ← alpha * B op(A)` (`Side::Right`), with `A` triangular per
+/// `uplo` (`unit_diag` treats its diagonal as ones).
+pub fn trmm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    alpha: f64,
+    a: MatRef<'_>,
+    mut b: MatMut<'_>,
+) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "trmm: A must be square");
+    match side {
+        Side::Left => assert_eq!(b.rows(), n, "trmm left: A order vs B rows"),
+        Side::Right => assert_eq!(b.cols(), n, "trmm right: A order vs B cols"),
+    }
+    flops::add((n * n) as u64 * if side == Side::Left { b.cols() } else { b.rows() } as u64);
+    match side {
+        Side::Left => {
+            for j in 0..b.cols() {
+                let col = b.col_mut(j);
+                trmv(uplo, trans, unit_diag, a, col);
+                if alpha != 1.0 {
+                    blas1::scal(alpha, col);
+                }
+            }
+        }
+        Side::Right => {
+            // B op(A): row-wise via the transposed identity
+            // (B op(A))ᵀ = op(A)ᵀ Bᵀ.
+            let m = b.rows();
+            let mut row = vec![0.0f64; n];
+            let tt = match trans {
+                Trans::No => Trans::Yes,
+                Trans::Yes => Trans::No,
+            };
+            for i in 0..m {
+                for j in 0..n {
+                    row[j] = b.get(i, j);
+                }
+                trmv(uplo, tt, unit_diag, a, &mut row);
+                for j in 0..n {
+                    b.set(i, j, alpha * row[j]);
+                }
+            }
+        }
+    }
+}
+
+/// In-place triangular matrix-vector multiply `x ← op(A) x`.
+fn trmv(uplo: Uplo, trans: Trans, unit_diag: bool, a: MatRef<'_>, x: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(x.len(), n);
+    // Effective triangle after transposition.
+    let lower = matches!(
+        (uplo, trans),
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+    );
+    if lower {
+        // y_i = Σ_{j<=i} L_ij x_j: compute from the bottom up.
+        for i in (0..n).rev() {
+            let mut s = if unit_diag { x[i] } else { 0.0 };
+            let from = 0;
+            let to = if unit_diag { i } else { i + 1 };
+            for j in from..to {
+                let v = match trans {
+                    Trans::No => a.get(i, j),
+                    Trans::Yes => a.get(j, i),
+                };
+                s += v * x[j];
+            }
+            if !unit_diag {
+                // include the diagonal via the loop above (j == i)
+            }
+            x[i] = s;
+        }
+    } else {
+        // Upper effective triangle: compute from the top down.
+        for i in 0..n {
+            let mut s = if unit_diag { x[i] } else { 0.0 };
+            let from = if unit_diag { i + 1 } else { i };
+            for j in from..n {
+                let v = match trans {
+                    Trans::No => a.get(i, j),
+                    Trans::Yes => a.get(j, i),
+                };
+                s += v * x[j];
+            }
+            x[i] = s;
+        }
+    }
+}
+
+/// Symmetric multiply `C ← alpha * A B + beta * C` (`Side::Left`) or
+/// `C ← alpha * B A + beta * C` (`Side::Right`), where only the `uplo`
+/// triangle of the symmetric matrix `A` is referenced.
+pub fn symm(
+    side: Side,
+    uplo: Uplo,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "symm: A must be square");
+    let sym = |i: usize, j: usize| -> f64 {
+        match uplo {
+            Uplo::Lower => {
+                if i >= j {
+                    a.get(i, j)
+                } else {
+                    a.get(j, i)
+                }
+            }
+            Uplo::Upper => {
+                if i <= j {
+                    a.get(i, j)
+                } else {
+                    a.get(j, i)
+                }
+            }
+        }
+    };
+    match side {
+        Side::Left => {
+            assert_eq!(b.rows(), n);
+            assert_eq!(c.rows(), n);
+            assert_eq!(b.cols(), c.cols());
+            flops::add(2 * (n * n * b.cols()) as u64);
+            for j in 0..c.cols() {
+                for i in 0..n {
+                    let mut s = 0.0;
+                    for k in 0..n {
+                        s += sym(i, k) * b.get(k, j);
+                    }
+                    let v = alpha * s + if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+                    c.set(i, j, v);
+                }
+            }
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), n);
+            assert_eq!(c.cols(), n);
+            assert_eq!(b.rows(), c.rows());
+            flops::add(2 * (n * n * b.rows()) as u64);
+            for j in 0..n {
+                for i in 0..b.rows() {
+                    let mut s = 0.0;
+                    for k in 0..n {
+                        s += b.get(i, k) * sym(k, j);
+                    }
+                    let v = alpha * s + if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm;
+    use crate::dense::Matrix;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 250.0
+        })
+    }
+
+    fn tri(n: usize, uplo: Uplo, unit: bool, seed: u64) -> Matrix {
+        let mut a = mat(n, n, seed);
+        for j in 0..n {
+            for i in 0..n {
+                let keep = match uplo {
+                    Uplo::Lower => i >= j,
+                    Uplo::Upper => i <= j,
+                };
+                if !keep {
+                    a[(i, j)] = 0.0;
+                }
+            }
+            if unit {
+                a[(j, j)] = 1.0;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn trmm_left_matches_gemm_all_variants() {
+        let n = 7;
+        let b0 = mat(n, 4, 2);
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for trans in [Trans::No, Trans::Yes] {
+                for unit in [false, true] {
+                    let a = tri(n, uplo, unit, 5);
+                    let mut want = Matrix::zeros(n, 4);
+                    gemm(1.5, a.rf(), trans, b0.rf(), Trans::No, 0.0, want.mt());
+                    let mut b = b0.clone();
+                    trmm(Side::Left, uplo, trans, unit, 1.5, a.rf(), b.mt());
+                    assert!(
+                        b.max_abs_diff(&want) < 1e-12,
+                        "uplo={uplo:?} trans={trans:?} unit={unit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_right_matches_gemm() {
+        let n = 6;
+        let b0 = mat(3, n, 9);
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for trans in [Trans::No, Trans::Yes] {
+                let a = tri(n, uplo, false, 11);
+                let mut want = Matrix::zeros(3, n);
+                gemm(2.0, b0.rf(), Trans::No, a.rf(), trans, 0.0, want.mt());
+                let mut b = b0.clone();
+                trmm(Side::Right, uplo, trans, false, 2.0, a.rf(), b.mt());
+                assert!(
+                    b.max_abs_diff(&want) < 1e-12,
+                    "uplo={uplo:?} trans={trans:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symm_matches_gemm_on_symmetrized_matrix() {
+        let n = 5;
+        let mut full = mat(n, n, 4);
+        full.symmetrize();
+        let b = mat(n, 3, 6);
+        // Poison the unused triangle.
+        let mut low = full.clone();
+        for j in 0..n {
+            for i in 0..j {
+                low[(i, j)] = f64::NAN;
+            }
+        }
+        let mut want = Matrix::zeros(n, 3);
+        gemm(1.0, full.rf(), Trans::No, b.rf(), Trans::No, 0.0, want.mt());
+        let mut c = Matrix::zeros(n, 3);
+        symm(Side::Left, Uplo::Lower, 1.0, low.rf(), b.rf(), 0.0, c.mt());
+        assert!(c.max_abs_diff(&want) < 1e-12);
+
+        // Right side with the upper triangle.
+        let mut up = full.clone();
+        for j in 0..n {
+            for i in j + 1..n {
+                up[(i, j)] = f64::NAN;
+            }
+        }
+        let br = mat(4, n, 8);
+        let mut want_r = Matrix::zeros(4, n);
+        gemm(1.0, br.rf(), Trans::No, full.rf(), Trans::No, 0.0, want_r.mt());
+        let mut cr = Matrix::zeros(4, n);
+        symm(Side::Right, Uplo::Upper, 1.0, up.rf(), br.rf(), 0.0, cr.mt());
+        assert!(cr.max_abs_diff(&want_r) < 1e-12);
+    }
+
+    #[test]
+    fn symm_beta_accumulates() {
+        let n = 4;
+        let mut a = mat(n, n, 1);
+        a.symmetrize();
+        let b = mat(n, 2, 2);
+        let c0 = mat(n, 2, 3);
+        let mut want = c0.clone();
+        want.scale(0.5);
+        let mut tmp = Matrix::zeros(n, 2);
+        gemm(2.0, a.rf(), Trans::No, b.rf(), Trans::No, 0.0, tmp.mt());
+        want.axpy(1.0, &tmp);
+        let mut c = c0.clone();
+        symm(Side::Left, Uplo::Lower, 2.0, a.rf(), b.rf(), 0.5, c.mt());
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+}

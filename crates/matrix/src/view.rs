@@ -1,0 +1,331 @@
+//! Borrowed matrix views.
+//!
+//! `MatRef`/`MatMut` describe a `rows x cols` window into column-major
+//! storage with column stride `cstride` (row stride is always 1, so each
+//! column is contiguous). Views are how the kernels address sub-blocks of
+//! the Schur generator without copying.
+
+use crate::dense::Matrix;
+
+/// Immutable view into column-major storage.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    cstride: usize,
+}
+
+/// Mutable view into column-major storage.
+pub struct MatMut<'a> {
+    data: &'a mut [f64],
+    rows: usize,
+    cols: usize,
+    cstride: usize,
+}
+
+#[inline]
+fn required_len(rows: usize, cols: usize, cstride: usize) -> usize {
+    if rows == 0 || cols == 0 {
+        0
+    } else {
+        (cols - 1) * cstride + rows
+    }
+}
+
+impl<'a> MatRef<'a> {
+    /// Construct from raw parts. `data` must hold at least
+    /// `(cols-1)*cstride + rows` elements.
+    #[inline]
+    pub fn from_parts(data: &'a [f64], rows: usize, cols: usize, cstride: usize) -> Self {
+        assert!(cstride >= rows || cols <= 1, "column stride smaller than rows");
+        assert!(
+            data.len() >= required_len(rows, cols, cstride),
+            "backing slice too short: {} < {}",
+            data.len(),
+            required_len(rows, cols, cstride)
+        );
+        MatRef {
+            data,
+            rows,
+            cols,
+            cstride,
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn cstride(&self) -> usize {
+        self.cstride
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.cstride]
+    }
+
+    /// Column `j` as a contiguous slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.cstride..j * self.cstride + self.rows]
+    }
+
+    /// Sub-view at `(row, col)` of shape `nrows x ncols`.
+    #[inline]
+    pub fn sub(&self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+        assert!(row + nrows <= self.rows, "row range out of bounds");
+        assert!(col + ncols <= self.cols, "col range out of bounds");
+        let offset = row + col * self.cstride;
+        let end = offset + required_len(nrows, ncols, self.cstride);
+        MatRef {
+            data: &self.data[offset..end.max(offset)],
+            rows: nrows,
+            cols: ncols,
+            cstride: self.cstride,
+        }
+    }
+
+    /// Copy into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            out.col_mut(j).copy_from_slice(self.col(j));
+        }
+        out
+    }
+}
+
+impl<'a> MatMut<'a> {
+    /// Construct from raw parts; same contract as [`MatRef::from_parts`].
+    #[inline]
+    pub fn from_parts(data: &'a mut [f64], rows: usize, cols: usize, cstride: usize) -> Self {
+        assert!(cstride >= rows || cols <= 1, "column stride smaller than rows");
+        assert!(
+            data.len() >= required_len(rows, cols, cstride),
+            "backing slice too short: {} < {}",
+            data.len(),
+            required_len(rows, cols, cstride)
+        );
+        MatMut {
+            data,
+            rows,
+            cols,
+            cstride,
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn cstride(&self) -> usize {
+        self.cstride
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.cstride]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.cstride] = v;
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.cstride..j * self.cstride + self.rows]
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        let s = self.cstride;
+        &mut self.data[j * s..j * s + self.rows]
+    }
+
+    /// Reborrow immutably.
+    #[inline]
+    pub fn rb(&self) -> MatRef<'_> {
+        MatRef {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            cstride: self.cstride,
+        }
+    }
+
+    /// Reborrow mutably with a shorter lifetime.
+    #[inline]
+    pub fn rb_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            cstride: self.cstride,
+        }
+    }
+
+    /// Consume the view and return a sub-view (keeps the original lifetime).
+    #[inline]
+    pub fn sub_move(self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'a> {
+        assert!(row + nrows <= self.rows, "row range out of bounds");
+        assert!(col + ncols <= self.cols, "col range out of bounds");
+        let offset = row + col * self.cstride;
+        let end = offset + required_len(nrows, ncols, self.cstride);
+        MatMut {
+            data: &mut self.data[offset..end.max(offset)],
+            rows: nrows,
+            cols: ncols,
+            cstride: self.cstride,
+        }
+    }
+
+    /// Shorter-lifetime sub-view (borrows `self`).
+    #[inline]
+    pub fn sub_mut(&mut self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
+        self.rb_mut().sub_move(row, col, nrows, ncols)
+    }
+
+    /// Split into disjoint left (`..col`) and right (`col..`) column ranges.
+    #[inline]
+    pub fn split_at_col(self, col: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(col <= self.cols);
+        let rows = self.rows;
+        let cstride = self.cstride;
+        let rcols = self.cols - col;
+        let split = col * cstride;
+        // The left part only needs elements below `split`; the right part
+        // starts exactly at `split`.
+        let (l, r) = self.data.split_at_mut(split);
+        (
+            MatMut {
+                data: l,
+                rows,
+                cols: col,
+                cstride,
+            },
+            MatMut {
+                data: r,
+                rows,
+                cols: rcols,
+                cstride,
+            },
+        )
+    }
+
+    /// Copy every element from `src` (shapes must match).
+    pub fn copy_from(&mut self, src: MatRef<'_>) {
+        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
+        for j in 0..self.cols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Set every element to `v`.
+    pub fn fill(&mut self, v: f64) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(v);
+        }
+    }
+
+    /// Copy into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        self.rb().to_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_fn(4, 5, |i, j| (i * 100 + j) as f64)
+    }
+
+    #[test]
+    fn full_view_round_trips() {
+        let m = sample();
+        assert_eq!(m.rf().to_matrix(), m);
+    }
+
+    #[test]
+    fn sub_view_indexes_correctly() {
+        let m = sample();
+        let v = m.sub(1, 2, 2, 3);
+        assert_eq!(v.get(0, 0), m[(1, 2)]);
+        assert_eq!(v.get(1, 2), m[(2, 4)]);
+    }
+
+    #[test]
+    fn sub_view_col_slice() {
+        let m = sample();
+        let v = m.sub(2, 1, 2, 2);
+        assert_eq!(v.col(0), &[m[(2, 1)], m[(3, 1)]]);
+    }
+
+    #[test]
+    fn mut_view_set_get() {
+        let mut m = sample();
+        {
+            let mut v = m.sub_mut(0, 0, 2, 2);
+            v.set(1, 1, -5.0);
+        }
+        assert_eq!(m[(1, 1)], -5.0);
+    }
+
+    #[test]
+    fn split_at_col_is_disjoint_and_aligned() {
+        let mut m = sample();
+        let orig = m.clone();
+        let (mut l, mut r) = m.mt().split_at_col(2);
+        assert_eq!(l.cols(), 2);
+        assert_eq!(r.cols(), 3);
+        assert_eq!(l.get(3, 1), orig[(3, 1)]);
+        assert_eq!(r.get(0, 0), orig[(0, 2)]);
+        l.set(0, 0, 7.0);
+        r.set(0, 0, 8.0);
+        assert_eq!(m[(0, 0)], 7.0);
+        assert_eq!(m[(0, 2)], 8.0);
+    }
+
+    #[test]
+    fn copy_from_copies_subblock() {
+        let src = sample();
+        let mut dst = Matrix::zeros(2, 2);
+        dst.mt().copy_from(src.sub(1, 1, 2, 2));
+        assert_eq!(dst[(0, 0)], src[(1, 1)]);
+        assert_eq!(dst[(1, 1)], src[(2, 2)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_sub_panics() {
+        let m = sample();
+        let _ = m.sub(3, 3, 3, 3);
+    }
+}

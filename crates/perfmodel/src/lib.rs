@@ -1,0 +1,20 @@
+//! The paper's analytic cost model.
+//!
+//! §4 and §6 derive closed-form flop counts for *producing* each block
+//! reflector representation ("blocking flops", eqs. 25–28) and for
+//! *applying* it to the rest of the generator ("application flops",
+//! eqs. 29–32). §6.5 adds the total-work model for the block-size
+//! tradeoff (`≈ 4·m_s·n²`). This crate implements those formulas
+//! verbatim so they can be
+//!
+//! - tabulated (the `flops_table` bench binary),
+//! - validated against the instrumented counters of `bs-core`, and
+//! - used by the T3D simulator to charge per-step compute time.
+
+pub mod model;
+pub mod tradeoff;
+
+pub use model::{
+    apply_flops, blocking_flops, comm_words, step_flops, total_factor_flops, Rep,
+};
+pub use tradeoff::{best_rep_for_apply, best_rep_for_blocking, crossover_block_size};

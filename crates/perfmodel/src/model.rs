@@ -1,0 +1,184 @@
+//! Flop-count formulas from the paper, implemented verbatim.
+
+/// Representation of the block hyperbolic Householder product. Mirrors
+/// `bs_core::RepKind` without depending on it (this crate is
+/// dependency-free so the simulator and benches can share it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rep {
+    /// Naive accumulated `U` (eq. 25 / 29).
+    Accumulated,
+    /// First VY form (eq. 26 / 30).
+    VY1,
+    /// Second VY form (eq. 27 / 31).
+    VY2,
+    /// `YTYᵀ` form (eq. 28 / 32).
+    YTY,
+}
+
+impl Rep {
+    pub const ALL: [Rep; 4] = [Rep::Accumulated, Rep::VY1, Rep::VY2, Rep::YTY];
+}
+
+impl std::fmt::Display for Rep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Rep::Accumulated => "U",
+            Rep::VY1 => "VY1",
+            Rep::VY2 => "VY2",
+            Rep::YTY => "YTY^T",
+        };
+        f.write_str(s)
+    }
+}
+
+/// "Blocking flops": cost of producing the representation of
+/// `U⁽ᵏ⁾ = U_k … U_1` for `2m`-row reflectors (eqs. 25–28).
+pub fn blocking_flops(rep: Rep, m: usize, k: usize) -> f64 {
+    let (m, k) = (m as f64, k as f64);
+    match rep {
+        // eq. 25: 4m²k + 2mk² − 3m² + 4mk + 0.5k² + m + 10.5k
+        Rep::Accumulated => {
+            4.0 * m * m * k + 2.0 * m * k * k - 3.0 * m * m + 4.0 * m * k + 0.5 * k * k + m
+                + 10.5 * k
+        }
+        // eq. 26: 2mk² + k³/3 + 3.5mk + 0.25k² − m + 9k
+        Rep::VY1 => {
+            2.0 * m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k - m + 9.0 * k
+        }
+        // eq. 27: 2mk² + 2.5mk + 0.5k² − 0.5m + 8.5k
+        Rep::VY2 => 2.0 * m * k * k + 2.5 * m * k + 0.5 * k * k - 0.5 * m + 8.5 * k,
+        // eq. 28: mk² + k³/3 + 3.5mk + 0.25k² + 9k − m − 1
+        Rep::YTY => {
+            m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k + 9.0 * k - m - 1.0
+        }
+    }
+}
+
+/// "Application flops": cost of applying `U⁽ᵏ⁾` to the remaining
+/// `2m × mp` generator (eqs. 29–32). `p` is the number of *remaining*
+/// block columns.
+pub fn apply_flops(rep: Rep, m: usize, k: usize, p: usize) -> f64 {
+    let (mf, kf, pf) = (m as f64, k as f64, p as f64);
+    match rep {
+        // eq. 29: 2m³p + 4m²pk + mpk² + mpk
+        Rep::Accumulated => {
+            2.0 * mf * mf * mf * pf + 4.0 * mf * mf * pf * kf + mf * pf * kf * kf + mf * pf * kf
+        }
+        // eq. 30: 4m²pk + mpk² + [m²p if k odd] + 3mpk
+        Rep::VY1 => {
+            4.0 * mf * mf * pf * kf
+                + mf * pf * kf * kf
+                + if k % 2 == 1 { mf * mf * pf } else { 0.0 }
+                + 3.0 * mf * pf * kf
+        }
+        // eq. 31: 4m²pk + mpk² + [m²p if k odd] + 2mpk
+        Rep::VY2 => {
+            4.0 * mf * mf * pf * kf
+                + mf * pf * kf * kf
+                + if k % 2 == 1 { mf * mf * pf } else { 0.0 }
+                + 2.0 * mf * pf * kf
+        }
+        // eq. 32: 4m²pk + mpk² + m²p + 4mpk
+        Rep::YTY => {
+            4.0 * mf * mf * pf * kf + mf * pf * kf * kf + mf * mf * pf + 4.0 * mf * pf * kf
+        }
+    }
+}
+
+/// Words needed to communicate the representation of a full panel's
+/// product (`k = m`), the §7 broadcast volume.
+pub fn comm_words(rep: Rep, m: usize) -> usize {
+    match rep {
+        Rep::Accumulated => 4 * m * m,
+        Rep::VY1 | Rep::VY2 => 4 * m * m,
+        // 2m·m for Y plus the lower triangle of the m×m T.
+        Rep::YTY => 2 * m * m + m * (m + 1) / 2,
+    }
+}
+
+/// Total flops of one Schur step with `p_active` remaining block
+/// columns (panel production at `k = m` plus trailing application).
+pub fn step_flops(rep: Rep, m: usize, p_active: usize) -> f64 {
+    blocking_flops(rep, m, m) + apply_flops(rep, m, m, p_active)
+}
+
+/// Total factorization work for order `n` at algorithmic block size
+/// `m_s` — the §6.5 tradeoff model `≈ 4·m_s·n²`.
+pub fn total_factor_flops(n: usize, m_s: usize) -> f64 {
+    4.0 * m_s as f64 * (n as f64) * (n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_terms_at_k_equals_m() {
+        // The paper's k = m specializations (§6.2): 6m³, 2.33m³, 2m³,
+        // 1.33m³ for U, VY1, VY2, YTYᵀ respectively.
+        let m = 256;
+        let m3 = (m * m * m) as f64;
+        assert!((blocking_flops(Rep::Accumulated, m, m) / m3 - 6.0).abs() < 0.1);
+        assert!((blocking_flops(Rep::VY1, m, m) / m3 - 7.0 / 3.0).abs() < 0.1);
+        assert!((blocking_flops(Rep::VY2, m, m) / m3 - 2.0).abs() < 0.1);
+        assert!((blocking_flops(Rep::YTY, m, m) / m3 - 4.0 / 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn blocking_cost_ordering_matches_paper() {
+        // §6.2: YTYᵀ cheapest, then VY2, then VY1, then accumulated U.
+        for m in [4usize, 8, 16, 64] {
+            let u = blocking_flops(Rep::Accumulated, m, m);
+            let v1 = blocking_flops(Rep::VY1, m, m);
+            let v2 = blocking_flops(Rep::VY2, m, m);
+            let y = blocking_flops(Rep::YTY, m, m);
+            assert!(y < v2 && v2 < v1 && v1 < u, "m={m}: {y} {v2} {v1} {u}");
+        }
+    }
+
+    #[test]
+    fn application_cost_ordering_matches_paper() {
+        // §6.3: "the second VY representation is the best for most
+        // values of k"; the accumulated U costs 7m³p vs 5m³p.
+        for m in [4usize, 8, 32] {
+            let p = 100;
+            let u = apply_flops(Rep::Accumulated, m, m, p);
+            let v1 = apply_flops(Rep::VY1, m, m, p);
+            let v2 = apply_flops(Rep::VY2, m, m, p);
+            let y = apply_flops(Rep::YTY, m, m, p);
+            assert!(v2 <= v1, "m={m}");
+            assert!(v2 <= y, "m={m}");
+            assert!(u > v2, "m={m}");
+            // Leading terms 5m³p vs 7m³p (lower-order terms decay ~1/m).
+            let m3p = (m * m * m * p) as f64;
+            assert!((u / m3p - 7.0).abs() < 3.0 / m as f64, "m={m}: {}", u / m3p);
+            assert!((v2 / m3p - 5.0).abs() < 3.0 / m as f64, "m={m}: {}", v2 / m3p);
+        }
+    }
+
+    #[test]
+    fn yty_comm_volume_is_about_half() {
+        for m in [8usize, 32, 128] {
+            let vy = comm_words(Rep::VY1, m);
+            let yty = comm_words(Rep::YTY, m);
+            assert!(yty < vy);
+            let ratio = yty as f64 / vy as f64;
+            assert!(ratio > 0.5 && ratio < 0.7, "m={m}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn total_work_is_linear_in_block_size() {
+        let n = 4096;
+        let base = total_factor_flops(n, 1);
+        assert!((total_factor_flops(n, 8) / base - 8.0).abs() < 1e-12);
+        assert!((total_factor_flops(n, 32) / base - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_flops_positive_and_growing() {
+        let s1 = step_flops(Rep::VY2, 4, 10);
+        let s2 = step_flops(Rep::VY2, 4, 100);
+        assert!(s1 > 0.0 && s2 > s1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Tradeoff analysis helpers (§6.5): which representation to pick, and
+//! when retiling `m → m_s` pays off given an empirical rate model.
+
+use crate::model::{apply_flops, blocking_flops, total_factor_flops, Rep};
+
+/// Representation with the fewest *blocking* flops at `k = m` (§6.2:
+/// always YTYᵀ by the formulas, but exposed generically so callers can
+/// sweep).
+pub fn best_rep_for_blocking(m: usize) -> Rep {
+    Rep::ALL
+        .into_iter()
+        .min_by(|a, b| {
+            blocking_flops(*a, m, m)
+                .partial_cmp(&blocking_flops(*b, m, m))
+                .unwrap()
+        })
+        .unwrap()
+}
+
+/// Representation with the fewest *application* flops for a trailing
+/// generator of `p` block columns.
+pub fn best_rep_for_apply(m: usize, p: usize) -> Rep {
+    Rep::ALL
+        .into_iter()
+        .min_by(|a, b| {
+            apply_flops(*a, m, m, p)
+                .partial_cmp(&apply_flops(*b, m, m, p))
+                .unwrap()
+        })
+        .unwrap()
+}
+
+/// Given an empirical effective rate `rate(m_s)` in flops/second for
+/// the dominant kernels at block size `m_s` (the "empirical
+/// characterization of the primitives' performance" the paper uses for
+/// its Y-MP analysis), return the `m_s` from `candidates` minimizing
+/// predicted time `total_flops(n, m_s) / rate(m_s)`.
+pub fn crossover_block_size(
+    n: usize,
+    candidates: &[usize],
+    rate: impl Fn(usize) -> f64,
+) -> usize {
+    assert!(!candidates.is_empty());
+    *candidates
+        .iter()
+        .min_by(|&&a, &&b| {
+            let ta = total_factor_flops(n, a) / rate(a);
+            let tb = total_factor_flops(n, b) / rate(b);
+            ta.partial_cmp(&tb).unwrap()
+        })
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yty_wins_blocking() {
+        for m in [2usize, 8, 64] {
+            assert_eq!(best_rep_for_blocking(m), Rep::YTY, "m={m}");
+        }
+    }
+
+    #[test]
+    fn vy2_wins_application() {
+        for m in [2usize, 8, 64] {
+            assert_eq!(best_rep_for_apply(m, 50), Rep::VY2, "m={m}");
+        }
+    }
+
+    #[test]
+    fn crossover_picks_larger_blocks_when_rate_grows_superlinearly() {
+        // Rate model where doubling m_s more than doubles the rate up
+        // to 16: retiling wins despite the linear flop increase.
+        let rate = |ms: usize| {
+            let r = (ms.min(16) as f64).powf(1.3);
+            50e6 * r
+        };
+        let best = crossover_block_size(4096, &[1, 2, 4, 8, 16, 32], rate);
+        assert_eq!(best, 16);
+        // Rate model with sublinear growth: m_s = 1 wins.
+        let flat = |ms: usize| 50e6 * (ms as f64).powf(0.5);
+        assert_eq!(crossover_block_size(4096, &[1, 2, 4, 8], flat), 1);
+    }
+}

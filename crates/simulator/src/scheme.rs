@@ -1,0 +1,134 @@
+//! The three data-distribution schemes of §7.1.
+
+/// How the generator's block columns are laid out over a linear array
+/// of `np` processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Version 1: one block per processor, cyclic (`owner(j) = j mod NP`).
+    V1,
+    /// Version 2: `b` adjacent blocks per processor, groups cyclic.
+    V2 { b: usize },
+    /// Version 3: each block split column-wise over `spread` adjacent
+    /// processors; block groups cyclic over `NP / spread` groups.
+    V3 { spread: usize },
+}
+
+impl Scheme {
+    /// Owning rank of block column `j` (for V3: the first rank of the
+    /// owning group).
+    pub fn owner(&self, j: usize, np: usize) -> usize {
+        match *self {
+            Scheme::V1 => j % np,
+            Scheme::V2 { b } => (j / b) % np,
+            Scheme::V3 { spread } => {
+                let groups = np / spread;
+                (j % groups) * spread
+            }
+        }
+    }
+
+    /// Number of ranks cooperating on one block column.
+    pub fn spread(&self) -> usize {
+        match *self {
+            Scheme::V3 { spread } => spread,
+            _ => 1,
+        }
+    }
+
+    /// Validate against a machine size.
+    pub fn validate(&self, np: usize) -> Result<(), String> {
+        match *self {
+            Scheme::V1 => Ok(()),
+            Scheme::V2 { b } => {
+                if b == 0 {
+                    Err("V2 requires b >= 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Scheme::V3 { spread } => {
+                if spread == 0 || !np.is_multiple_of(spread) {
+                    Err(format!("V3 spread {spread} must divide NP = {np}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Count of active block columns from `lo..hi` owned by `rank`
+    /// (V3: by `rank`'s group).
+    pub fn owned_in_range(&self, rank: usize, np: usize, lo: usize, hi: usize) -> usize {
+        let group_of_rank = match *self {
+            Scheme::V3 { spread } => rank / spread * spread,
+            _ => rank,
+        };
+        (lo..hi)
+            .filter(|&j| self.owner(j, np) == group_of_rank)
+            .count()
+    }
+
+    /// Human-readable label used in figure output.
+    pub fn label(&self) -> String {
+        match *self {
+            Scheme::V1 => "V1".to_string(),
+            Scheme::V2 { b } => format!("V2(b={b})"),
+            Scheme::V3 { spread } => format!("V3(spread={spread})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_is_cyclic() {
+        let s = Scheme::V1;
+        assert_eq!(s.owner(0, 4), 0);
+        assert_eq!(s.owner(5, 4), 1);
+        assert_eq!(s.owner(7, 4), 3);
+    }
+
+    #[test]
+    fn v2_groups_adjacent_blocks() {
+        let s = Scheme::V2 { b: 2 };
+        assert_eq!(s.owner(0, 3), 0);
+        assert_eq!(s.owner(1, 3), 0);
+        assert_eq!(s.owner(2, 3), 1);
+        assert_eq!(s.owner(6, 3), 0); // wraps after 3 groups
+    }
+
+    #[test]
+    fn v3_spreads_blocks_over_rank_groups() {
+        let s = Scheme::V3 { spread: 2 };
+        // np = 4 -> 2 groups: blocks alternate between groups {0,1} and {2,3}.
+        assert_eq!(s.owner(0, 4), 0);
+        assert_eq!(s.owner(1, 4), 2);
+        assert_eq!(s.owner(2, 4), 0);
+        assert_eq!(s.spread(), 2);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Scheme::V1.validate(5).is_ok());
+        assert!(Scheme::V2 { b: 0 }.validate(4).is_err());
+        assert!(Scheme::V3 { spread: 3 }.validate(4).is_err());
+        assert!(Scheme::V3 { spread: 4 }.validate(8).is_ok());
+    }
+
+    #[test]
+    fn owned_in_range_counts() {
+        let s = Scheme::V1;
+        // Blocks 0..8 over 4 ranks: each rank owns 2.
+        for r in 0..4 {
+            assert_eq!(s.owned_in_range(r, 4, 0, 8), 2);
+        }
+        assert_eq!(s.owned_in_range(0, 4, 1, 8), 1);
+        // V1 == V2 with b = 1.
+        let s2 = Scheme::V2 { b: 1 };
+        for j in 0..10 {
+            assert_eq!(s.owner(j, 4), s2.owner(j, 4));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The Cray T3D machine model (§7.1.4 of the paper).
+//!
+//! Stated hardware parameters:
+//! - PE: DEC Alpha 21064, 150 MHz, 150 Mflops peak;
+//! - 8 KB direct-mapped write-through data cache, 4-word (32-byte)
+//!   cache lines;
+//! - shmem puts with ≈1 µs latency, 300 MB/s per-neighbour links;
+//! - hardware-assisted barrier/broadcast over a 3D torus.
+//!
+//! The *effective* flop rate of the 21064 on BLAS kernels was far below
+//! peak and strongly operand-size dependent (the paper leans on this
+//! for Fig. 9 and §6.5): out-of-cache BLAS1 ran at ~10–20% of peak,
+//! while blocked BLAS3 on larger tiles approached ~50%. The efficiency
+//! curves below encode that shape; their exact constants are a
+//! calibration, the *monotonicity* (bigger operands → better rate,
+//! BLAS3 > BLAS2 > BLAS1) is the modelling assumption the paper itself
+//! makes.
+
+use bs_distmem::{CostModel, Primitive};
+
+/// Parameterized T3D-like machine.
+#[derive(Clone, Debug)]
+pub struct T3DModel {
+    /// Peak flops per PE (default 150e6).
+    pub peak_flops: f64,
+    /// Point-to-point latency in seconds (default 1e-6, shmem put).
+    pub latency: f64,
+    /// Link bandwidth in bytes/second for contiguous transfers
+    /// (default 300e6) — used by broadcasts of packed reflector panels.
+    pub bandwidth: f64,
+    /// Effective bandwidth for *strided* block transfers (the
+    /// generator shift gathers an m×m block out of a 2m × n array;
+    /// per-word cache-miss costs dominate). Default 25e6.
+    pub strided_bandwidth: f64,
+    /// Per-stage barrier cost in seconds; a barrier over `np` PEs costs
+    /// `barrier_base + barrier_per_stage * log2(np)`.
+    pub barrier_base: f64,
+    pub barrier_per_stage: f64,
+    /// Cache line length in 8-byte words (default 4) — vectors shorter
+    /// than (or badly aligned to) a line waste memory bandwidth.
+    pub cache_line_words: usize,
+    /// Multiply all communication times (sensitivity studies: the
+    /// paper's "if the shift operation on the T3D were slower..." and
+    /// "if the cost of broadcast were to reduce..." discussions).
+    pub comm_scale: f64,
+}
+
+impl Default for T3DModel {
+    fn default() -> Self {
+        T3DModel {
+            peak_flops: 150e6,
+            latency: 1e-6,
+            bandwidth: 300e6,
+            strided_bandwidth: 25e6,
+            // Software synchronization around each compute/communicate
+            // phase costs well above the raw hardware barrier; this is
+            // the term that makes halving the step count pay at scale
+            // (Fig. 9).
+            barrier_base: 6e-6,
+            barrier_per_stage: 2e-6,
+            cache_line_words: 4,
+            comm_scale: 1.0,
+        }
+    }
+}
+
+impl T3DModel {
+    /// Fraction of peak achieved by a primitive — the empirical-shape
+    /// efficiency model.
+    pub fn efficiency(&self, prim: Primitive) -> f64 {
+        // Saturating growth x/(x+c).
+        let sat = |x: f64, c: f64| x / (x + c);
+        match prim {
+            // Out-of-cache vector ops: ~10% of peak, reached quickly.
+            Primitive::Blas1 { len } => 0.02 + 0.10 * sat(len as f64, 16.0),
+            // Matrix-vector: a bit better, needs a larger operand.
+            Primitive::Blas2 { dim } => {
+                0.03 + 0.15 * sat(dim as f64, 12.0) * self.line_utilization(dim)
+            }
+            // Blocked matrix-matrix: up to ~50% of peak for big tiles.
+            Primitive::Blas3 { dim } => {
+                0.05 + 0.45 * sat(dim as f64, 24.0) * self.line_utilization(dim)
+            }
+            Primitive::Generic => 0.05,
+        }
+    }
+
+    /// Cache-line utilization of stride-1 vectors of length `dim`:
+    /// fetching `dim` words pulls `ceil(dim/line)` lines (§7.1.7's
+    /// explanation of the m = 2 vs m = 4 behaviour).
+    pub fn line_utilization(&self, dim: usize) -> f64 {
+        if dim == 0 {
+            return 1.0;
+        }
+        let line = self.cache_line_words;
+        let lines = dim.div_ceil(line);
+        dim as f64 / (lines * line) as f64
+    }
+}
+
+impl CostModel for T3DModel {
+    fn compute_time(&self, flops: f64, prim: Primitive) -> f64 {
+        flops / (self.peak_flops * self.efficiency(prim))
+    }
+
+    fn p2p_time(&self, bytes: usize) -> f64 {
+        // Point-to-point messages in the Schur algorithm are the shift
+        // transfers of strided generator blocks.
+        self.comm_scale * (self.latency + bytes as f64 / self.strided_bandwidth)
+    }
+
+    fn broadcast_time(&self, bytes: usize, np: usize) -> f64 {
+        // Tree broadcast: log2(np) p2p stages (hardware-assisted, so
+        // per-stage latency equals the put latency).
+        let stages = (np.max(2) as f64).log2().ceil();
+        self.comm_scale * stages * (self.latency + bytes as f64 / self.bandwidth)
+    }
+
+    fn barrier_time(&self, np: usize) -> f64 {
+        let stages = (np.max(2) as f64).log2().ceil();
+        self.comm_scale * (self.barrier_base + stages * self.barrier_per_stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_grows_with_operand_size() {
+        let m = T3DModel::default();
+        let e2 = m.efficiency(Primitive::Blas3 { dim: 2 });
+        let e4 = m.efficiency(Primitive::Blas3 { dim: 4 });
+        let e32 = m.efficiency(Primitive::Blas3 { dim: 32 });
+        assert!(e2 < e4 && e4 < e32);
+        // Fig. 9 requirement: the m=4 rate is better but less than 2x
+        // the m=2 rate, so twice the flops still cost more time.
+        assert!(e4 / e2 > 1.0 && e4 / e2 < 2.0, "ratio {}", e4 / e2);
+    }
+
+    #[test]
+    fn blas_level_ordering() {
+        let m = T3DModel::default();
+        let dim = 32;
+        let b1 = m.efficiency(Primitive::Blas1 { len: dim });
+        let b2 = m.efficiency(Primitive::Blas2 { dim });
+        let b3 = m.efficiency(Primitive::Blas3 { dim });
+        assert!(b1 < b2 && b2 < b3);
+    }
+
+    #[test]
+    fn line_utilization_partial_lines() {
+        let m = T3DModel::default();
+        assert_eq!(m.line_utilization(4), 1.0);
+        assert_eq!(m.line_utilization(8), 1.0);
+        assert_eq!(m.line_utilization(2), 0.5);
+        assert_eq!(m.line_utilization(5), 5.0 / 8.0);
+    }
+
+    #[test]
+    fn communication_costs_scale() {
+        let mut m = T3DModel::default();
+        let t1 = m.p2p_time(300);
+        m.comm_scale = 2.0;
+        assert!((m.p2p_time(300) - 2.0 * t1).abs() < 1e-15);
+        // Broadcast grows with np.
+        assert!(m.broadcast_time(64, 64) > m.broadcast_time(64, 4));
+    }
+
+    #[test]
+    fn never_exceeds_peak() {
+        let m = T3DModel::default();
+        for dim in [1usize, 2, 4, 16, 256, 4096] {
+            for prim in [
+                Primitive::Blas1 { len: dim },
+                Primitive::Blas2 { dim },
+                Primitive::Blas3 { dim },
+            ] {
+                let e = m.efficiency(prim);
+                assert!(e > 0.0 && e < 1.0, "{prim:?}: {e}");
+            }
+        }
+    }
+}

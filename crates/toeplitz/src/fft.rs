@@ -1,0 +1,219 @@
+//! Minimal radix-2 FFT and circulant convolution.
+//!
+//! Self-contained (no external FFT crate) support for the
+//! O(n log n) Toeplitz matrix-vector product in [`crate::fast`].
+//! Split-complex layout: separate `re`/`im` slices, iterative
+//! Cooley–Tukey with bit-reversal, inverse via conjugation.
+
+use bs_matrix::flops;
+
+/// Smallest power of two `≥ n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place forward FFT of length `re.len() == im.len()` (must be a
+/// power of two).
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    fft_dir(re, im, false);
+}
+
+/// In-place inverse FFT (includes the 1/N scaling).
+pub fn ifft(re: &mut [f64], im: &mut [f64]) {
+    fft_dir(re, im, true);
+    let n = re.len() as f64;
+    for v in re.iter_mut() {
+        *v /= n;
+    }
+    for v in im.iter_mut() {
+        *v /= n;
+    }
+    flops::add(2 * re.len() as u64);
+}
+
+fn fft_dir(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len());
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr0, vi0) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let vr = vr0 * cr - vi0 * ci;
+                let vi = vr0 * ci + vi0 * cr;
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    // n/2 butterflies per stage, ~10 flops each (incl. twiddle update).
+    flops::add(5 * (n as u64) * (n.trailing_zeros() as u64).max(1));
+}
+
+/// A circulant operator `C x` where `C`'s first column is `col`,
+/// applied through the FFT: `C x = ifft(fft(col) ∘ fft(x))`.
+/// The symbol FFT is precomputed at construction.
+#[derive(Clone, Debug)]
+pub struct Circulant {
+    /// FFT of the first column.
+    sym_re: Vec<f64>,
+    sym_im: Vec<f64>,
+}
+
+impl Circulant {
+    /// Build from the first column (length must be a power of two).
+    pub fn new(col: &[f64]) -> Self {
+        let mut sym_re = col.to_vec();
+        let mut sym_im = vec![0.0; col.len()];
+        fft(&mut sym_re, &mut sym_im);
+        Circulant { sym_re, sym_im }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sym_re.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sym_re.is_empty()
+    }
+
+    /// Pointwise multiply an already-transformed vector by the symbol,
+    /// accumulating into `(acc_re, acc_im)`.
+    pub fn mul_accumulate(
+        &self,
+        x_re: &[f64],
+        x_im: &[f64],
+        acc_re: &mut [f64],
+        acc_im: &mut [f64],
+    ) {
+        let n = self.len();
+        assert_eq!(x_re.len(), n);
+        for i in 0..n {
+            acc_re[i] += self.sym_re[i] * x_re[i] - self.sym_im[i] * x_im[i];
+            acc_im[i] += self.sym_re[i] * x_im[i] + self.sym_im[i] * x_re[i];
+        }
+        flops::add(8 * n as u64);
+    }
+
+    /// Full product `C x` for a real input (test convenience).
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        assert_eq!(x.len(), n);
+        let mut xr = x.to_vec();
+        let mut xi = vec![0.0; n];
+        fft(&mut xr, &mut xi);
+        let mut ar = vec![0.0; n];
+        let mut ai = vec![0.0; n];
+        self.mul_accumulate(&xr, &xi, &mut ar, &mut ai);
+        ifft(&mut ar, &mut ai);
+        ar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![1.0, 0.0, 0.0, 0.0];
+        let mut im = vec![0.0; 4];
+        fft(&mut re, &mut im);
+        for i in 0..4 {
+            assert!((re[i] - 1.0).abs() < 1e-14);
+            assert!(im[i].abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fft_round_trips() {
+        let n = 64;
+        let orig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        ifft(&mut re, &mut im);
+        for i in 0..n {
+            assert!((re[i] - orig[i]).abs() < 1e-12, "i={i}");
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_definition() {
+        let n = 8;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut re = x.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        for k in 0..n {
+            let mut sr = 0.0;
+            let mut si = 0.0;
+            for (j, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                sr += v * ang.cos();
+                si += v * ang.sin();
+            }
+            assert!((re[k] - sr).abs() < 1e-10, "k={k}");
+            assert!((im[k] - si).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn circulant_matches_explicit_matrix() {
+        let col = [1.0, 2.0, 0.0, -1.0];
+        let c = Circulant::new(&col);
+        let x = [1.0, 0.5, -0.25, 2.0];
+        let y = c.apply(&x);
+        // Explicit circulant: C[i][j] = col[(i - j) mod 4].
+        for i in 0..4 {
+            let mut want = 0.0;
+            for j in 0..4 {
+                want += col[(i + 4 - j) % 4] * x[j];
+            }
+            assert!((y[i] - want).abs() < 1e-12, "i={i}: {} vs {want}", y[i]);
+        }
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(64), 64);
+        assert_eq!(next_pow2(65), 128);
+    }
+}

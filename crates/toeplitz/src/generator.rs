@@ -1,0 +1,213 @@
+//! Generator construction (eqs. 9-11 of the paper).
+//!
+//! The `2m × n` generator
+//!
+//! ```text
+//! Gen = [ T₁ T₂ … T_p ]      with  T_j = (L₁Σ)⁻¹ T̂_j ,  T̂₁ = L₁ Σ L₁ᵀ
+//!       [ 0  T₂ … T_p ]
+//! ```
+//!
+//! factors the displacement: `T − ZᵀTZ = Genᵀ · diag(Σ, −Σ) · Gen`.
+//! For SPD matrices `Σ = I` and `L₁` is the Cholesky factor, giving the
+//! classical form of eq. 9.
+
+use crate::block_toeplitz::SymBlockToeplitz;
+use bs_matrix::blas3::{trsm, Side, Trans, Uplo};
+use bs_matrix::ldlt::{sldlt, Signature};
+use bs_matrix::{Matrix, Result};
+
+/// The generator of a symmetric block Toeplitz matrix together with the
+/// signature of the hyperbolic inner product it lives in.
+#[derive(Clone, Debug)]
+pub struct Generator {
+    /// `2m × n` generator matrix; rows `0..m` are the first block row of
+    /// `G₁`, rows `m..2m` of `G₂` (eq. 9).
+    pub data: Matrix,
+    /// Signature `Σ` of the leading block factorization (`+1` everywhere
+    /// in the SPD case).
+    pub sigma: Signature,
+    /// Working signature `W = diag(Σ, −Σ)` of length `2m` (eq. 11).
+    pub w: Signature,
+    /// Block size `m`.
+    pub m: usize,
+    /// Number of blocks `p`.
+    pub p: usize,
+}
+
+impl Generator {
+    /// `true` when the leading block was positive definite (classical
+    /// Cholesky-flavoured algorithm applies).
+    pub fn is_spd_signature(&self) -> bool {
+        self.sigma.negatives() == 0
+    }
+}
+
+/// Build the generator for `t`.
+///
+/// Factors `T̂₁ = L₁ Σ L₁ᵀ` (signature LDLᵀ — plain Cholesky when SPD) and
+/// solves `(L₁Σ) T_j = T̂_j` block by block. Fails with
+/// [`bs_matrix::Error::SingularPivot`] when a leading principal
+/// submatrix of `T̂₁` is singular — the caller may then perturb `T̂₁`
+/// (§8.2 of the paper) and retry.
+pub fn build_generator(t: &SymBlockToeplitz) -> Result<Generator> {
+    let m = t.block_size();
+    let p = t.num_blocks();
+    let n = m * p;
+    let (l1, sigma) = sldlt(&t.first_block_row()[0], 1e-14)?;
+
+    // Solve (L₁ Σ) X = T̂_j  ⇔  L₁ Y = T̂_j, X = Σ⁻¹ Y = Σ Y.
+    let mut data = Matrix::zeros(2 * m, n);
+    let mut work = Matrix::zeros(m, n);
+    for (j, blk) in t.first_block_row().iter().enumerate() {
+        work.sub_mut(0, j * m, m, m).copy_from(blk.rf());
+    }
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::No,
+        false,
+        1.0,
+        l1.rf(),
+        work.mt(),
+    )?;
+    // Row scaling by Σ.
+    for i in 0..m {
+        if sigma.sign(i) < 0 {
+            for j in 0..n {
+                work[(i, j)] = -work[(i, j)];
+            }
+        }
+    }
+    // Upper half: all blocks. Lower half: blocks 1..p (first block zero).
+    data.sub_mut(0, 0, m, n).copy_from(work.rf());
+    if p > 1 {
+        data.sub_mut(m, m, m, n - m)
+            .copy_from(work.sub(0, m, m, n - m));
+    }
+
+    let w = sigma.extend_negated(&sigma);
+    Ok(Generator {
+        data,
+        sigma,
+        w,
+        m,
+        p,
+    })
+}
+
+/// Reconstruct the displacement `Genᵀ W Gen` (test / verification
+/// utility — O(n²·m)).
+pub fn displacement_from_generator(g: &Generator) -> Matrix {
+    let n = g.m * g.p;
+    // W * Gen: flip rows with negative signature.
+    let mut wg = g.data.clone();
+    for i in 0..2 * g.m {
+        if g.w.sign(i) < 0 {
+            for j in 0..n {
+                wg[(i, j)] = -wg[(i, j)];
+            }
+        }
+    }
+    let mut out = Matrix::zeros(n, n);
+    bs_matrix::blas3::gemm(
+        1.0,
+        g.data.rf(),
+        Trans::Yes,
+        wg.rf(),
+        Trans::No,
+        0.0,
+        out.mt(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::displacement::displacement_dense;
+    use crate::workloads;
+
+    #[test]
+    fn spd_generator_matches_eq9() {
+        let t = workloads::random_spd_block(3, 4, 11);
+        let g = build_generator(&t).unwrap();
+        assert!(g.is_spd_signature());
+        let m = 3;
+        // T₁ must be upper triangular (it equals L₁ᵀ).
+        for j in 0..m {
+            for i in j + 1..m {
+                assert!(
+                    g.data[(i, j)].abs() < 1e-12,
+                    "T1 not upper triangular at ({i},{j})"
+                );
+            }
+        }
+        // Lower half starts with a zero block.
+        for i in m..2 * m {
+            for j in 0..m {
+                assert_eq!(g.data[(i, j)], 0.0);
+            }
+        }
+        // Rows m.. must replicate rows 0.. for block columns >= 1.
+        let n = t.order();
+        for i in 0..m {
+            for j in m..n {
+                assert!((g.data[(i, j)] - g.data[(m + i, j)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_factors_displacement_spd() {
+        for (m, p) in [(1usize, 6usize), (2, 4), (3, 3)] {
+            let t = workloads::random_spd_block(m, p, 5 * m as u64 + p as u64);
+            let g = build_generator(&t).unwrap();
+            let lhs = displacement_dense(&t);
+            let rhs = displacement_from_generator(&g);
+            assert!(
+                lhs.max_abs_diff(&rhs) < 1e-10 * t.norm_inf().max(1.0),
+                "m={m} p={p}: {}",
+                lhs.max_abs_diff(&rhs)
+            );
+        }
+    }
+
+    #[test]
+    fn generator_factors_displacement_indefinite_block() {
+        // Indefinite leading block with nonsingular minors.
+        let t = workloads::random_indefinite_block(2, 4, 99);
+        let g = build_generator(&t).unwrap();
+        assert!(!g.is_spd_signature() || g.sigma.negatives() == 0);
+        let lhs = displacement_dense(&t);
+        let rhs = displacement_from_generator(&g);
+        assert!(
+            lhs.max_abs_diff(&rhs) < 1e-9 * t.norm_inf().max(1.0),
+            "{}",
+            lhs.max_abs_diff(&rhs)
+        );
+    }
+
+    #[test]
+    fn scalar_generator_values() {
+        // For a scalar SPD Toeplitz with first row (t0, t1, t2):
+        // L1 = sqrt(t0); generator rows are row/sqrt(t0).
+        let t = SymBlockToeplitz::from_scalar_row(&[4.0, 2.0, 1.0]);
+        let g = build_generator(&t).unwrap();
+        assert_eq!(g.m, 1);
+        assert_eq!(g.p, 3);
+        assert!((g.data[(0, 0)] - 2.0).abs() < 1e-15);
+        assert!((g.data[(0, 1)] - 1.0).abs() < 1e-15);
+        assert!((g.data[(0, 2)] - 0.5).abs() < 1e-15);
+        assert_eq!(g.data[(1, 0)], 0.0);
+        assert!((g.data[(1, 1)] - 1.0).abs() < 1e-15);
+        assert!((g.data[(1, 2)] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_leading_block_is_reported() {
+        let t1 = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let t2 = Matrix::from_rows(&[&[0.1, 0.0], &[0.0, 0.1]]);
+        let t = SymBlockToeplitz::new(vec![t1, t2]);
+        assert!(build_generator(&t).is_err());
+    }
+}

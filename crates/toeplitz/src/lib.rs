@@ -1,0 +1,27 @@
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read
+// clearer with explicit indices when several parallel arrays are walked
+// together; iterator-zip rewrites were measured to obscure, not improve.
+
+//! Symmetric (block) Toeplitz matrices and their displacement structure.
+//!
+//! This crate holds everything about the *input* of the block Schur
+//! algorithm: the compact representation of a symmetric block Toeplitz
+//! matrix by its first block row (eq. 2 of the paper), fast
+//! matrix-vector products in that representation (needed by iterative
+//! refinement, §8.1), the displacement `T − ZᵀTZ` of rank ≤ 2m (eq. 4),
+//! construction of the `2m × n` generator (eqs. 9-11), the block-size
+//! retiling `m → m_s` of §6.5, and synthetic workload generators for the
+//! experiments.
+
+pub mod block_toeplitz;
+pub mod fast;
+pub mod fft;
+pub mod displacement;
+pub mod generator;
+pub mod inverse;
+pub mod workloads;
+
+pub use block_toeplitz::SymBlockToeplitz;
+pub use fast::FastToeplitzMatVec;
+pub use inverse::ToeplitzInverse;
+pub use generator::{build_generator, Generator};

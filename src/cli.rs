@@ -1,0 +1,408 @@
+//! Command-line interface logic for the `block-schur` binary.
+//!
+//! File format for matrices (plain text, whitespace separated):
+//!
+//! ```text
+//! m p
+//! <m*m values of block 0, row major>
+//! <m*m values of block 1, row major>
+//! ...
+//! ```
+//!
+//! i.e. the first block row `T̂₁ … T̂_p` of the symmetric block Toeplitz
+//! matrix. Right-hand sides are `n = m·p` whitespace-separated values.
+//! All commands are exposed as functions so they can be unit-tested
+//! without spawning the binary.
+
+use crate::prelude::*;
+use bs_matrix::Matrix;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// CLI-level errors (I/O, parsing, numerical).
+#[derive(Debug)]
+pub enum CliError {
+    Io(std::io::Error),
+    Parse(String),
+    Numerical(String),
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse(m) => write!(f, "parse error: {m}"),
+            CliError::Numerical(m) => write!(f, "numerical error: {m}"),
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parse a whitespace-separated stream of f64s.
+fn parse_floats(text: &str) -> Result<Vec<f64>, CliError> {
+    text.split_whitespace()
+        .map(|tok| {
+            tok.parse::<f64>()
+                .map_err(|e| CliError::Parse(format!("bad number {tok:?}: {e}")))
+        })
+        .collect()
+}
+
+/// Read a symmetric block Toeplitz matrix from the text format above.
+pub fn read_matrix(path: &Path) -> Result<SymBlockToeplitz, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let vals = parse_floats(&text)?;
+    if vals.len() < 2 {
+        return Err(CliError::Parse("expected header `m p`".into()));
+    }
+    let m = vals[0] as usize;
+    let p = vals[1] as usize;
+    if m == 0 || p == 0 || vals[0].fract() != 0.0 || vals[1].fract() != 0.0 {
+        return Err(CliError::Parse(format!(
+            "invalid header m = {}, p = {}",
+            vals[0], vals[1]
+        )));
+    }
+    let need = 2 + m * m * p;
+    if vals.len() != need {
+        return Err(CliError::Parse(format!(
+            "expected {} values after the header, found {}",
+            need - 2,
+            vals.len() - 2
+        )));
+    }
+    let blocks: Vec<Matrix> = (0..p)
+        .map(|d| {
+            let off = 2 + d * m * m;
+            // Row-major in the file.
+            Matrix::from_fn(m, m, |i, j| vals[off + i * m + j])
+        })
+        .collect();
+    Ok(SymBlockToeplitz::new(blocks))
+}
+
+/// Write a matrix in the text format.
+pub fn write_matrix(t: &SymBlockToeplitz, path: &Path) -> Result<(), CliError> {
+    let m = t.block_size();
+    let mut out = format!("{} {}\n", m, t.num_blocks());
+    for blk in t.first_block_row() {
+        for i in 0..m {
+            for j in 0..m {
+                let _ = write!(out, "{:.17e} ", blk[(i, j)]);
+            }
+            out.push('\n');
+        }
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Read a right-hand-side vector.
+pub fn read_vector(path: &Path, n: usize) -> Result<Vec<f64>, CliError> {
+    let vals = parse_floats(&std::fs::read_to_string(path)?)?;
+    if vals.len() != n {
+        return Err(CliError::Parse(format!(
+            "expected {n} values, found {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// `info` command: structural and numerical summary.
+pub fn cmd_info(matrix: &Path) -> Result<String, CliError> {
+    let t = read_matrix(matrix)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "symmetric block Toeplitz: n = {}, block size m = {}, p = {} blocks",
+        t.order(),
+        t.block_size(),
+        t.num_blocks()
+    );
+    let _ = writeln!(out, "‖T‖_inf = {:.6e}", t.norm_inf());
+    if t.order() <= 512 {
+        if let Ok(ev) = bs_matrix::eig::sym_eigenvalues(&t.to_dense()) {
+            let lo = ev.first().copied().unwrap_or(0.0);
+            let hi = ev.last().copied().unwrap_or(0.0);
+            let _ = writeln!(out, "spectrum: [{lo:.6e}, {hi:.6e}]");
+            if lo > 0.0 {
+                let _ = writeln!(out, "cond_2 = {:.6e}", hi / lo);
+            }
+        }
+    }
+    match ToeplitzSolver::new(&t) {
+        Ok(s) => {
+            let (pos, neg) = s.inertia();
+            let (sign, ln) = s.det_sign_ln();
+            let _ = writeln!(out, "positive definite: {}", s.is_positive_definite());
+            let _ = writeln!(out, "inertia: {pos}+ / {neg}-");
+            let _ = writeln!(out, "det: sign {sign:+.0}, ln|det| = {ln:.6}");
+            if let Factorization::Indefinite(f) = s.factorization() {
+                let _ = writeln!(
+                    out,
+                    "perturbations: {}, exchanges: {}",
+                    f.perturbations.len(),
+                    f.exchanges
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "factorization failed: {e}");
+        }
+    }
+    Ok(out)
+}
+
+/// `solve` command: returns the solution and a report.
+pub fn cmd_solve(
+    matrix: &Path,
+    rhs: Option<&Path>,
+    block_size: Option<usize>,
+) -> Result<(Vec<f64>, String), CliError> {
+    let t = read_matrix(matrix)?;
+    let n = t.order();
+    let b = match rhs {
+        Some(p) => read_vector(p, n)?,
+        None => t.matvec(&vec![1.0; n]), // reference RHS with x* = 1
+    };
+    let opts = SolverOptions {
+        spd: SchurOptions {
+            block_size,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let solver =
+        ToeplitzSolver::with_options(&t, &opts).map_err(|e| CliError::Numerical(e.to_string()))?;
+    let x = solver
+        .solve(&b)
+        .map_err(|e| CliError::Numerical(e.to_string()))?;
+    let secs = start.elapsed().as_secs_f64();
+    let r = t.residual(&x, &b);
+    let rel = bs_matrix::norms::vec_two(&r) / bs_matrix::norms::vec_two(&b).max(1e-300);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "solved n = {n} in {:.3} ms ({} path), relative residual {rel:.3e}",
+        secs * 1e3,
+        if solver.is_positive_definite() {
+            "SPD"
+        } else {
+            "indefinite"
+        }
+    );
+    Ok((x, report))
+}
+
+/// `gen` command: write a synthetic workload matrix.
+pub fn cmd_gen(
+    kind: &str,
+    n: usize,
+    m: usize,
+    rho: f64,
+    seed: u64,
+    out: &Path,
+) -> Result<String, CliError> {
+    if m == 0 || n == 0 || !n.is_multiple_of(m) {
+        return Err(CliError::Usage(format!("m = {m} must divide n = {n}")));
+    }
+    let p = n / m;
+    let t = match kind {
+        "kms" => {
+            if m != 1 {
+                return Err(CliError::Usage("kms is a scalar workload (m = 1)".into()));
+            }
+            workloads::kms(n, rho)
+        }
+        "spd" => workloads::spd_ar1_block(m, p, rho.clamp(0.0, 0.99), seed),
+        "spd-scalar" => {
+            if m != 1 {
+                return Err(CliError::Usage("spd-scalar needs m = 1".into()));
+            }
+            workloads::random_spd_scalar(n, seed)
+        }
+        "indefinite" => {
+            if m != 1 {
+                return Err(CliError::Usage("indefinite needs m = 1".into()));
+            }
+            workloads::random_indefinite_scalar(n, seed)
+        }
+        "singular-minor" => {
+            if m != 1 {
+                return Err(CliError::Usage("singular-minor needs m = 1".into()));
+            }
+            workloads::singular_minor_scalar(n, seed)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown kind {other:?} (kms | spd | spd-scalar | indefinite | singular-minor)"
+            )))
+        }
+    };
+    write_matrix(&t, out)?;
+    Ok(format!(
+        "wrote {kind} workload (n = {n}, m = {m}) to {}",
+        out.display()
+    ))
+}
+
+/// `simulate` command: one T3D data-distribution row.
+pub fn cmd_simulate(n: usize, m: usize, np: usize, scheme: &str) -> Result<String, CliError> {
+    use bs_simulator::analytic::{simulate, SimConfig};
+    let scheme = parse_scheme(scheme)?;
+    scheme
+        .validate(np)
+        .map_err(CliError::Usage)?;
+    if m == 0 || !n.is_multiple_of(m) {
+        return Err(CliError::Usage(format!("m = {m} must divide n = {n}")));
+    }
+    let r = simulate(
+        &SimConfig {
+            n,
+            m,
+            np,
+            scheme,
+            rep: bs_perfmodel::Rep::VY2,
+        },
+        &bs_simulator::T3DModel::default(),
+    );
+    Ok(format!(
+        "{} on {np} PEs (n = {n}, m = {m}): total {:.3} ms  [shift {:.3}, panel {:.3}, bcast {:.3}, apply {:.3}, barrier {:.3}]",
+        scheme.label(),
+        r.total * 1e3,
+        r.shift * 1e3,
+        r.panel * 1e3,
+        r.broadcast * 1e3,
+        r.apply * 1e3,
+        r.barrier * 1e3,
+    ))
+}
+
+fn parse_scheme(s: &str) -> Result<bs_simulator::Scheme, CliError> {
+    if s == "v1" {
+        return Ok(bs_simulator::Scheme::V1);
+    }
+    if let Some(b) = s.strip_prefix("v2:") {
+        let b: usize = b
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad v2 group size in {s:?}")))?;
+        return Ok(bs_simulator::Scheme::V2 { b });
+    }
+    if let Some(sp) = s.strip_prefix("v3:") {
+        let sp: usize = sp
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad v3 spread in {s:?}")))?;
+        return Ok(bs_simulator::Scheme::V3 { spread: sp });
+    }
+    Err(CliError::Usage(format!(
+        "unknown scheme {s:?} (v1 | v2:<b> | v3:<spread>)"
+    )))
+}
+
+/// Usage text for the binary.
+pub const USAGE: &str = "block-schur — block Schur Toeplitz solver (ICPP'94 reproduction)
+
+USAGE:
+    block-schur info <matrix>
+    block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--output <file>]
+    block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
+    block-schur simulate --n <n> --m <m> --np <p> --scheme <v1|v2:b|v3:s>
+
+KINDS: kms | spd | spd-scalar | indefinite | singular-minor
+MATRIX FILE: `m p` header then the m*m*p values of the first block row.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bschur-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let t = workloads::random_spd_block(2, 5, 42);
+        let path = tmp("roundtrip.txt");
+        write_matrix(&t, &path).unwrap();
+        let t2 = read_matrix(&path).unwrap();
+        assert_eq!(t2.block_size(), 2);
+        assert_eq!(t2.num_blocks(), 5);
+        assert!(t2.to_dense().max_abs_diff(&t.to_dense()) < 1e-15);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gen_info_solve_pipeline() {
+        let mat = tmp("pipeline.txt");
+        let msg = cmd_gen("singular-minor", 24, 1, 0.0, 7, &mat).unwrap();
+        assert!(msg.contains("singular-minor"));
+
+        let info = cmd_info(&mat).unwrap();
+        assert!(info.contains("n = 24"), "{info}");
+        assert!(info.contains("spectrum:"), "{info}");
+        assert!(info.contains("positive definite: false"), "{info}");
+        assert!(info.contains("perturbations: 1"), "{info}");
+
+        let (x, report) = cmd_solve(&mat, None, None).unwrap();
+        assert!(report.contains("indefinite"), "{report}");
+        // Default RHS has x* = 1.
+        for v in &x {
+            assert!((v - 1.0).abs() < 1e-8);
+        }
+        std::fs::remove_file(&mat).ok();
+    }
+
+    #[test]
+    fn solve_with_explicit_rhs_and_block_size() {
+        let mat = tmp("spd.txt");
+        cmd_gen("spd-scalar", 32, 1, 0.0, 3, &mat).unwrap();
+        let t = read_matrix(&mat).unwrap();
+        let x_true: Vec<f64> = (0..32).map(|i| i as f64 - 16.0).collect();
+        let b = t.matvec(&x_true);
+        let rhs = tmp("rhs.txt");
+        let text: String = b.iter().map(|v| format!("{v:.17e}\n")).collect();
+        std::fs::write(&rhs, text).unwrap();
+        let (x, report) = cmd_solve(&mat, Some(rhs.as_path()), Some(4)).unwrap();
+        assert!(report.contains("SPD"), "{report}");
+        for i in 0..32 {
+            assert!((x[i] - x_true[i]).abs() < 1e-8);
+        }
+        std::fs::remove_file(&mat).ok();
+        std::fs::remove_file(&rhs).ok();
+    }
+
+    #[test]
+    fn simulate_command_formats() {
+        let out = cmd_simulate(1024, 4, 8, "v2:4").unwrap();
+        assert!(out.contains("V2(b=4)"), "{out}");
+        assert!(cmd_simulate(1024, 4, 8, "v9").is_err());
+        assert!(cmd_simulate(1024, 3, 8, "v1").is_err());
+        assert!(cmd_simulate(1024, 4, 6, "v3:4").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let p = tmp("bad.txt");
+        std::fs::write(&p, "2 2\n1 0 0 1\n").unwrap(); // too few values
+        assert!(matches!(read_matrix(&p), Err(CliError::Parse(_))));
+        std::fs::write(&p, "0 2\n").unwrap();
+        assert!(matches!(read_matrix(&p), Err(CliError::Parse(_))));
+        std::fs::write(&p, "1 1\nnotanumber\n").unwrap();
+        assert!(matches!(read_matrix(&p), Err(CliError::Parse(_))));
+        std::fs::remove_file(&p).ok();
+        assert!(cmd_gen("bogus", 8, 1, 0.0, 0, &tmp("x.txt")).is_err());
+    }
+}

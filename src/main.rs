@@ -1,0 +1,107 @@
+//! The `block-schur` command-line tool. All logic lives in
+//! [`block_schur::cli`]; this is the argument-dispatch shell.
+
+use block_schur::cli::{self, CliError};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    match cmd.as_str() {
+        "info" => {
+            let m = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("info needs a matrix file".into()))?;
+            cli::cmd_info(Path::new(m))
+        }
+        "solve" => {
+            let m = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("solve needs a matrix file".into()))?;
+            let rhs = flag(args, "--rhs").map(PathBuf::from);
+            let bs = flag(args, "--block-size")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("bad block size {v:?}")))
+                })
+                .transpose()?;
+            let (x, report) = cli::cmd_solve(Path::new(m), rhs.as_deref(), bs)?;
+            if let Some(out) = flag(args, "--output") {
+                let text: String = x.iter().map(|v| format!("{v:.17e}\n")).collect();
+                std::fs::write(out, text)?;
+                Ok(report)
+            } else {
+                let mut s = report;
+                for v in x {
+                    s.push_str(&format!("{v:.12e}\n"));
+                }
+                Ok(s)
+            }
+        }
+        "gen" => {
+            let kind = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("gen needs a workload kind".into()))?;
+            let n = flag(args, "--n")
+                .ok_or_else(|| CliError::Usage("gen needs --n".into()))?
+                .parse::<usize>()
+                .map_err(|_| CliError::Usage("bad --n".into()))?;
+            let m = flag(args, "--m")
+                .map(|v| v.parse::<usize>().map_err(|_| CliError::Usage("bad --m".into())))
+                .transpose()?
+                .unwrap_or(1);
+            let rho = flag(args, "--rho")
+                .map(|v| v.parse::<f64>().map_err(|_| CliError::Usage("bad --rho".into())))
+                .transpose()?
+                .unwrap_or(0.6);
+            let seed = flag(args, "--seed")
+                .map(|v| v.parse::<u64>().map_err(|_| CliError::Usage("bad --seed".into())))
+                .transpose()?
+                .unwrap_or(0);
+            let out = flag(args, "--output")
+                .ok_or_else(|| CliError::Usage("gen needs --output".into()))?;
+            cli::cmd_gen(kind, n, m, rho, seed, Path::new(&out)).map(|s| s + "\n")
+        }
+        "simulate" => {
+            let n = flag(args, "--n")
+                .ok_or_else(|| CliError::Usage("simulate needs --n".into()))?
+                .parse::<usize>()
+                .map_err(|_| CliError::Usage("bad --n".into()))?;
+            let m = flag(args, "--m")
+                .ok_or_else(|| CliError::Usage("simulate needs --m".into()))?
+                .parse::<usize>()
+                .map_err(|_| CliError::Usage("bad --m".into()))?;
+            let np = flag(args, "--np")
+                .ok_or_else(|| CliError::Usage("simulate needs --np".into()))?
+                .parse::<usize>()
+                .map_err(|_| CliError::Usage("bad --np".into()))?;
+            let scheme = flag(args, "--scheme")
+                .ok_or_else(|| CliError::Usage("simulate needs --scheme".into()))?;
+            cli::cmd_simulate(n, m, np, &scheme).map(|s| s + "\n")
+        }
+        "help" | "--help" | "-h" => Ok(format!("{}\n", cli::USAGE)),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}

@@ -1,0 +1,152 @@
+//! Distributed execution (§7) integration tests: the message-passing
+//! implementation must produce the sequential factor under every
+//! distribution scheme, and its virtual clocks must agree with the
+//! analytic simulator.
+
+use block_schur::distmem::ZeroCost;
+use block_schur::perfmodel::Rep;
+use block_schur::prelude::*;
+use block_schur::simulator::analytic::{simulate, SimConfig};
+use block_schur::simulator::dist_exec::factor_distributed;
+use block_schur::simulator::{Scheme, T3DModel};
+use std::sync::Arc;
+
+#[test]
+fn v1_v2_match_sequential_across_sizes() {
+    for (m, p) in [(1usize, 24usize), (2, 12), (4, 8)] {
+        let t = workloads::random_spd_block(m, p, (m * 31 + p) as u64);
+        let seq = factor_spd(&t, &SchurOptions::default()).unwrap();
+        for np in [1usize, 2, 3, 5] {
+            for scheme in [Scheme::V1, Scheme::V2 { b: 2 }, Scheme::V2 { b: 4 }] {
+                let d = factor_distributed(&t, np, scheme, RepKind::VY2, Arc::new(ZeroCost));
+                assert!(
+                    d.r.max_abs_diff(&seq.r) < 1e-9,
+                    "m={m} p={p} np={np} {}: {:e}",
+                    scheme.label(),
+                    d.r.max_abs_diff(&seq.r)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_solve_end_to_end() {
+    let t = workloads::random_spd_block(2, 16, 8);
+    let (b, x_true) = workloads::rhs_for_ones(&t);
+    let d = factor_distributed(&t, 4, Scheme::V2 { b: 2 }, RepKind::YTY, Arc::new(ZeroCost));
+    let x = block_schur::core::solve::solve_rtdr(&d.r, None, &b).unwrap();
+    for i in 0..x.len() {
+        assert!((x[i] - x_true[i]).abs() < 1e-8, "i={i}");
+    }
+}
+
+#[test]
+fn virtual_times_match_analytic_across_schemes() {
+    let model = T3DModel::default();
+    for (m, p, np, scheme) in [
+        (2usize, 16usize, 4usize, Scheme::V1),
+        (2, 16, 4, Scheme::V2 { b: 2 }),
+        (4, 12, 3, Scheme::V1),
+    ] {
+        let t = workloads::random_spd_block(m, p, 55);
+        let d = factor_distributed(&t, np, scheme, RepKind::VY2, Arc::new(model.clone()));
+        let sim = simulate(
+            &SimConfig {
+                n: m * p,
+                m,
+                np,
+                scheme,
+                rep: Rep::VY2,
+            },
+            &model,
+        );
+        let rel = (d.max_time - sim.total).abs() / sim.total;
+        assert!(
+            rel < 0.05,
+            "{} np={np}: exec {} vs sim {} (rel {rel})",
+            scheme.label(),
+            d.max_time,
+            sim.total
+        );
+    }
+}
+
+#[test]
+fn more_ranks_do_not_change_the_result_but_cut_time() {
+    let t = workloads::random_spd_block(4, 16, 3);
+    let model = T3DModel::default();
+    let d1 = factor_distributed(&t, 1, Scheme::V1, RepKind::VY2, Arc::new(model.clone()));
+    let d4 = factor_distributed(&t, 4, Scheme::V1, RepKind::VY2, Arc::new(model.clone()));
+    assert!(d1.r.max_abs_diff(&d4.r) < 1e-9);
+    assert!(
+        d4.max_time < d1.max_time,
+        "4 ranks ({}) should beat 1 rank ({})",
+        d4.max_time,
+        d1.max_time
+    );
+}
+
+#[test]
+fn comm_volume_tracks_representation_size() {
+    // YTYᵀ broadcasts fewer bytes than VY (the §6.5 argument).
+    let t = workloads::random_spd_block(8, 8, 4);
+    let model = T3DModel::default();
+    let d_vy = factor_distributed(&t, 4, Scheme::V1, RepKind::VY2, Arc::new(model.clone()));
+    let d_yty = factor_distributed(&t, 4, Scheme::V1, RepKind::YTY, Arc::new(model));
+    let vy_bytes: usize = d_vy.bytes_sent.iter().sum();
+    let yty_bytes: usize = d_yty.bytes_sent.iter().sum();
+    assert!(
+        yty_bytes < vy_bytes,
+        "yty {yty_bytes} must be below vy {vy_bytes}"
+    );
+}
+
+#[test]
+fn analytic_simulator_is_deterministic() {
+    let model = T3DModel::default();
+    let cfg = SimConfig {
+        n: 1024,
+        m: 4,
+        np: 16,
+        scheme: Scheme::V2 { b: 4 },
+        rep: Rep::VY2,
+    };
+    let a = simulate(&cfg, &model);
+    let b = simulate(&cfg, &model);
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.bytes, b.bytes);
+}
+
+#[test]
+fn experiment_regimes_reproduce_paper_winners() {
+    // Compressed versions of Figs. 6-8 as assertions.
+    let model = T3DModel::default();
+    let run = |n: usize, m: usize, np: usize, scheme: Scheme| {
+        simulate(
+            &SimConfig {
+                n,
+                m,
+                np,
+                scheme,
+                rep: Rep::VY2,
+            },
+            &model,
+        )
+        .total
+    };
+    // Fig. 6 regime: moderate grouping beats both extremes.
+    let t_b1 = run(2048, 1, 16, Scheme::V1);
+    let t_b8 = run(2048, 1, 16, Scheme::V2 { b: 8 });
+    let t_b128 = run(2048, 1, 16, Scheme::V2 { b: 128 });
+    assert!(t_b8 < t_b1 && t_b8 < t_b128, "{t_b1} {t_b8} {t_b128}");
+    // Fig. 7 regime: V1 beats large grouping and wide spreading.
+    let t_v1 = run(2048, 8, 32, Scheme::V1);
+    let t_v2 = run(2048, 8, 32, Scheme::V2 { b: 8 });
+    let t_v3 = run(2048, 8, 32, Scheme::V3 { spread: 4 });
+    assert!(t_v1 < t_v2 && t_v1 < t_v3, "{t_v1} {t_v2} {t_v3}");
+    // Fig. 8 regime: moderate spreading beats V1.
+    let t8_v1 = run(2048, 32, 32, Scheme::V1);
+    let t8_v3 = run(2048, 32, 32, Scheme::V3 { spread: 4 });
+    assert!(t8_v3 < t8_v1, "{t8_v3} vs {t8_v1}");
+}

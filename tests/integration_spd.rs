@@ -1,0 +1,151 @@
+//! End-to-end SPD pipeline tests across crates: workloads → generator →
+//! block Schur factorization → solve, cross-checked against dense
+//! factorizations and across every configuration axis.
+
+use block_schur::prelude::*;
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn schur_equals_dense_cholesky_across_workloads() {
+    let cases: Vec<(SymBlockToeplitz, &str)> = vec![
+        (workloads::kms(48, 0.8), "kms(0.8)"),
+        (workloads::kms(48, 0.95), "kms(0.95)"),
+        (workloads::random_spd_scalar(48, 1), "random scalar"),
+        (workloads::random_spd_block(3, 16, 2), "random block m=3"),
+        (workloads::spd_ar1_block(4, 12, 0.7, 3), "ar1 m=4"),
+    ];
+    for (t, label) in cases {
+        let f = factor_spd(&t, &SchurOptions::default()).unwrap();
+        let l = block_schur::matrix::chol::cholesky(&t.to_dense()).unwrap();
+        let lt = l.transpose();
+        let diff = f.r.max_abs_diff(&lt);
+        assert!(diff < 1e-9, "{label}: R vs dense Cholesky diff {diff:e}");
+    }
+}
+
+#[test]
+fn all_option_combinations_agree() {
+    let t = workloads::random_spd_block(2, 12, 9);
+    let reference = factor_spd(&t, &SchurOptions::default()).unwrap();
+    for rep in RepKind::ALL {
+        for parallel in [false, true] {
+            for explicit_shift in [false, true] {
+                let opts = SchurOptions {
+                    rep,
+                    parallel,
+                    explicit_shift,
+                    ..Default::default()
+                };
+                let f = factor_spd(&t, &opts).unwrap();
+                let diff = f.r.max_abs_diff(&reference.r);
+                assert!(
+                    diff < 1e-10,
+                    "rep={rep:?} parallel={parallel} shift={explicit_shift}: diff {diff:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn retiling_preserves_solutions() {
+    let n = 96;
+    let t = workloads::random_spd_scalar(n, 17);
+    let (b, x_true) = workloads::rhs_for_ones(&t);
+    for ms_ in [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
+        let opts = SchurOptions {
+            block_size: Some(ms_),
+            ..Default::default()
+        };
+        let f = factor_spd(&t, &opts).unwrap();
+        let x = f.solve(&b).unwrap();
+        assert!(
+            max_err(&x, &x_true) < 1e-8,
+            "m_s={ms_}: error {:e}",
+            max_err(&x, &x_true)
+        );
+    }
+}
+
+#[test]
+fn block_retiling_multiples_of_structural_m() {
+    let t = workloads::random_spd_block(3, 16, 21); // n = 48, m = 3
+    let d0 = t.to_dense();
+    for ms_ in [3usize, 6, 12, 24] {
+        let opts = SchurOptions {
+            block_size: Some(ms_),
+            ..Default::default()
+        };
+        let f = factor_spd(&t, &opts).unwrap();
+        assert!(f.reconstruct().max_abs_diff(&d0) < 1e-9, "m_s={ms_}");
+    }
+}
+
+#[test]
+fn solve_matches_dense_lu_solution() {
+    let t = workloads::random_spd_block(4, 10, 5);
+    let n = t.order();
+    let x_star: Vec<f64> = (0..n).map(|i| ((i * 29 % 13) as f64) - 6.0).collect();
+    let b = t.matvec(&x_star);
+    let f = factor_spd(&t, &SchurOptions::default()).unwrap();
+    let x_schur = f.solve(&b).unwrap();
+    let x_lu = block_schur::baselines::dense_lu_solve(&t, &b).unwrap();
+    assert!(max_err(&x_schur, &x_lu) < 1e-8);
+    assert!(max_err(&x_schur, &x_star) < 1e-7);
+}
+
+#[test]
+fn ill_conditioned_kms_still_factors() {
+    // KMS with rho = 0.999: condition ~ 1e6-range. The Schur algorithm
+    // must survive and the residual must stay proportional to cond.
+    let t = workloads::kms(64, 0.999);
+    let f = factor_spd(&t, &SchurOptions::default()).unwrap();
+    let (b, x_true) = workloads::rhs_for_ones(&t);
+    let x = f.solve(&b).unwrap();
+    // Residual (not solution error) must be small.
+    let r = t.residual(&x, &b);
+    let rn = block_schur::matrix::norms::vec_two(&r);
+    assert!(rn < 1e-9, "residual {rn:e}");
+    // Solution error bounded by cond * eps-ish.
+    assert!(max_err(&x, &x_true) < 1e-6);
+}
+
+#[test]
+fn generator_signature_is_spd_for_spd_matrices() {
+    for seed in 0..5 {
+        let t = workloads::random_spd_block(2, 8, 100 + seed);
+        let g = build_generator(&t).unwrap();
+        assert!(g.is_spd_signature(), "seed {seed}");
+        assert_eq!(g.data.rows(), 4);
+        assert_eq!(g.data.cols(), t.order());
+    }
+}
+
+#[test]
+fn flop_count_scales_linearly_with_block_size() {
+    // The §6.5 model: work ≈ 4·m_s·n², linear in m_s.
+    let n = 256;
+    let t = workloads::random_spd_scalar(n, 3);
+    let count = |ms_: usize| {
+        let opts = SchurOptions {
+            block_size: Some(ms_),
+            ..Default::default()
+        };
+        block_schur::matrix::flops::reset();
+        let _ = factor_spd(&t, &opts).unwrap();
+        block_schur::matrix::flops::get() as f64
+    };
+    let f4 = count(4);
+    let f16 = count(16);
+    let ratio = f16 / f4;
+    assert!(
+        (ratio - 4.0).abs() < 1.0,
+        "flops(m_s=16)/flops(m_s=4) = {ratio}, expected ≈ 4"
+    );
+}
