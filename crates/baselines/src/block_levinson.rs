@@ -187,13 +187,7 @@ pub fn block_levinson_solve(
         // X' = [X; 0] + B' r_x.
         let mut rx = b[k * m..(k + 1) * m].to_vec();
         for j in 0..k {
-            bs_matrix::blas2::gemv_t(
-                -1.0,
-                r[k - j].rf(),
-                &x[j * m..(j + 1) * m],
-                1.0,
-                &mut rx,
-            );
+            bs_matrix::blas2::gemv_t(-1.0, r[k - j].rf(), &x[j * m..(j + 1) * m], 1.0, &mut rx);
         }
         for (j, bj) in bwd.iter().enumerate() {
             let seg = &mut x[j * m..(j + 1) * m];

@@ -22,12 +22,7 @@ pub struct CgResult {
 }
 
 /// Plain conjugate gradients on `A x = b` with `A` given as a matvec.
-pub fn cg(
-    matvec: impl Fn(&[f64]) -> Vec<f64>,
-    b: &[f64],
-    tol: f64,
-    max_iter: usize,
-) -> CgResult {
+pub fn cg(matvec: impl Fn(&[f64]) -> Vec<f64>, b: &[f64], tol: f64, max_iter: usize) -> CgResult {
     pcg(matvec, |r| r.to_vec(), b, tol, max_iter)
 }
 

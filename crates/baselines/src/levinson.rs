@@ -22,7 +22,10 @@ impl std::fmt::Display for LevinsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LevinsonError::NotPositiveDefinite { step } => {
-                write!(f, "Levinson breakdown at step {step}: not positive definite")
+                write!(
+                    f,
+                    "Levinson breakdown at step {step}: not positive definite"
+                )
             }
         }
     }

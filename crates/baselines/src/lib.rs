@@ -1,4 +1,5 @@
-#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read
+#![allow(clippy::needless_range_loop)]
+// index-heavy numeric kernels read
 // clearer with explicit indices when several parallel arrays are walked
 // together; iterator-zip rewrites were measured to obscure, not improve.
 

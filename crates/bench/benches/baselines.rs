@@ -2,11 +2,13 @@
 //! Levinson-Durbin (the O(n²) incumbent), the independent scalar
 //! hyperbolic Schur, and dense Cholesky (the O(n³) ceiling).
 
-use bs_baselines::{block_levinson_solve, dense_cholesky_solve, levinson_solve, scalar_schur_factor};
-use bs_toeplitz::{FastToeplitzMatVec, ToeplitzInverse};
+use bs_baselines::{
+    block_levinson_solve, dense_cholesky_solve, levinson_solve, scalar_schur_factor,
+};
+use bs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bs_core::{factor_spd, SchurOptions};
 use bs_toeplitz::workloads;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bs_toeplitz::{FastToeplitzMatVec, ToeplitzInverse};
 
 fn bench_solvers(c: &mut Criterion) {
     let mut g = c.benchmark_group("baselines");
@@ -49,7 +51,14 @@ fn bench_repeated_solves(c: &mut Criterion) {
     let n = 2048;
     let t = workloads::random_spd_scalar(n, 9);
     let (b, _) = workloads::rhs_for_ones(&t);
-    let f = factor_spd(&t, &SchurOptions { block_size: Some(8), ..Default::default() }).unwrap();
+    let f = factor_spd(
+        &t,
+        &SchurOptions {
+            block_size: Some(8),
+            ..Default::default()
+        },
+    )
+    .unwrap();
     g.bench_function("triangular_solve", |bch| {
         bch.iter(|| f.solve(&b).unwrap());
     });

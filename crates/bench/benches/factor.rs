@@ -2,7 +2,7 @@
 //! reflector representations and problem sizes, plus the dense
 //! Cholesky ceiling — the headline "O(m n²) vs O(n³)" contrast.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bs_core::{factor_spd, RepKind, SchurOptions};
 use bs_toeplitz::workloads;
 
@@ -61,10 +61,37 @@ fn bench_inplace_vs_shift(c: &mut Criterion) {
     g.finish();
 }
 
+/// The bs-probe acceptance check: with tracing disabled (the default)
+/// the span/event hooks in the factorization hot path must cost nothing
+/// measurable — each disabled hook is one relaxed atomic load.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(10);
+    let t = workloads::random_spd_block(8, 64, 42); // n = 512
+    let opts = SchurOptions::default();
+    bs_probe::trace::disable();
+    g.bench_function("tracing_disabled", |b| {
+        b.iter(|| factor_spd(&t, &opts).unwrap());
+    });
+    bs_probe::trace::enable();
+    g.bench_function("tracing_enabled", |b| {
+        b.iter(|| {
+            let f = factor_spd(&t, &opts).unwrap();
+            // Drain the ring buffers so repeated samples don't just
+            // overwrite a full buffer (that would under-state the cost).
+            bs_probe::trace::take_events();
+            f
+        });
+    });
+    bs_probe::trace::disable();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_representations,
     bench_scaling,
-    bench_inplace_vs_shift
+    bench_inplace_vs_shift,
+    bench_tracing_overhead
 );
 criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! (the shared-memory Y-MP-style parallelism), plus the parallel gemm
 //! kernel itself.
 
+use bs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bs_core::{factor_spd, SchurOptions};
 use bs_matrix::{gemm, par_gemm, Matrix, Trans};
 use bs_toeplitz::workloads;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_parallel_factor(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_factor");

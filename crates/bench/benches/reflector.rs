@@ -2,11 +2,11 @@
 //! phase 2 (application to the trailing generator) per representation —
 //! the microcosm of eqs. 25-32.
 
+use bs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bs_core::panel::factor_panel;
 use bs_core::RepKind;
 use bs_matrix::ldlt::Signature;
 use bs_matrix::Matrix;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn make_panel(m: usize) -> Matrix {
     let mut state = 0x12345u64;
@@ -45,7 +45,7 @@ fn bench_blocking(c: &mut Criterion) {
                     b.iter_batched(
                         || p0.clone(),
                         |mut p| factor_panel(p.mt(), &w, rep, 0, 1e-13, 1.0).unwrap(),
-                        criterion::BatchSize::SmallInput,
+                        bs_bench::harness::BatchSize::SmallInput,
                     );
                 },
             );
@@ -71,7 +71,7 @@ fn bench_application(c: &mut Criterion) {
                 b.iter_batched(
                     || trail.clone(),
                     |mut t| refl.apply(t.mt(), false),
-                    criterion::BatchSize::LargeInput,
+                    bs_bench::harness::BatchSize::LargeInput,
                 );
             },
         );

@@ -2,9 +2,9 @@
 //! as a measured ablation — `4·m_s·n²` flops against the level-3
 //! efficiency of larger blocks (Fig. 10's mechanism).
 
+use bs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bs_core::{factor_spd, SchurOptions};
 use bs_toeplitz::workloads;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_retile(c: &mut Criterion) {
     let mut g = c.benchmark_group("retile_ms");

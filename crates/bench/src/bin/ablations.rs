@@ -16,13 +16,14 @@ use bs_toeplitz::{workloads, FastToeplitzMatVec};
 fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let (_, secs) = time_it(&mut f);
-        best = best.min(secs);
+        let (_, run) = time_it(&mut f);
+        best = best.min(run.wall_s);
     }
     best
 }
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("ablations");
     let quick = quick_mode();
     let n = if quick { 512 } else { 2048 };
     let reps = if quick { 1 } else { 3 };
@@ -132,4 +133,5 @@ fn main() {
         &["n", "direct ms", "fft ms", "speedup"],
         &rows,
     );
+    timer.finish();
 }

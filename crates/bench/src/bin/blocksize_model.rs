@@ -57,13 +57,13 @@ fn characterize(m: usize, reps: usize) -> Rates {
     let iters = (2048 / m).max(8);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let (_, secs) = time_it(|| {
+        let (_, run) = time_it(|| {
             for _ in 0..iters {
                 let mut p = p0.clone();
                 let _ = factor_panel(p.mt(), &w, RepKind::VY2, 0, 1e-13, 1.0).unwrap();
             }
         });
-        best = best.min(secs);
+        best = best.min(run.wall_s);
     }
     let blocking = blocking_flops(Rep::VY2, m, m) * iters as f64 / best;
 
@@ -77,8 +77,8 @@ fn characterize(m: usize, reps: usize) -> Rates {
     for _ in 0..reps {
         let mut gu = gu0.clone();
         let mut gl = gl0.clone();
-        let (_, secs) = time_it(|| refl.apply_split(gu.mt(), gl.mt(), false));
-        best = best.min(secs);
+        let (_, run) = time_it(|| refl.apply_split(gu.mt(), gl.mt(), false));
+        best = best.min(run.wall_s);
     }
     let apply = apply_flops(Rep::VY2, m, m, q_blocks) / best;
     Rates { blocking, apply }
@@ -100,10 +100,15 @@ fn predict(n: usize, m: usize, r: &Rates) -> f64 {
 }
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("blocksize_model");
     let quick = quick_mode();
     let reps = if quick { 2 } else { 4 };
     let block_sizes = [1usize, 2, 4, 8, 16, 32];
-    let sizes: &[usize] = if quick { &[512, 1024] } else { &[1024, 2048, 4096] };
+    let sizes: &[usize] = if quick {
+        &[512, 1024]
+    } else {
+        &[1024, 2048, 4096]
+    };
 
     // Phase A: empirical characterization.
     let mut rows = Vec::new();
@@ -140,8 +145,8 @@ fn main() {
             };
             let mut meas = f64::INFINITY;
             for _ in 0..reps.min(3) {
-                let (_, secs) = time_it(|| factor_spd(&t, &opts).unwrap());
-                meas = meas.min(secs);
+                let (_, run) = time_it(|| factor_spd(&t, &opts).unwrap());
+                meas = meas.min(run.wall_s);
             }
             if pred < best_pred.1 {
                 best_pred = (*m, pred);
@@ -175,4 +180,5 @@ fn main() {
          the model captures compute phases only (shifts/emission excluded), so ratios near 1\n\
          and matching best-m_s picks are the success criteria"
     );
+    timer.finish();
 }

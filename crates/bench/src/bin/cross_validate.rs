@@ -24,6 +24,7 @@ fn max_err(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("cross_validate");
     let cases = if quick_mode() { 40 } else { 200 };
     let mut worst_spd = 0.0f64;
     let mut worst_indef = 0.0f64;
@@ -111,13 +112,8 @@ fn main() {
                 Scheme::V3 { spread } => spread * 2,
                 _ => 3,
             };
-            let d = factor_distributed(
-                &t,
-                np,
-                scheme,
-                RepKind::VY2,
-                Arc::new(bs_distmem::ZeroCost),
-            );
+            let d =
+                factor_distributed(&t, np, scheme, RepKind::VY2, Arc::new(bs_distmem::ZeroCost));
             worst_dist = worst_dist.max(d.r.max_abs_diff(&seq.r));
             dist_runs += 1;
         }
@@ -149,7 +145,11 @@ fn main() {
     );
     println!("\nskipped (singular / too ill-conditioned / non-convergent): {skipped}");
     assert!(worst_spd < 1e-6, "SPD disagreement {worst_spd:e}");
-    assert!(worst_indef < 1e-8, "indefinite disagreement {worst_indef:e}");
+    assert!(
+        worst_indef < 1e-8,
+        "indefinite disagreement {worst_indef:e}"
+    );
     assert!(worst_dist < 1e-9, "distributed disagreement {worst_dist:e}");
     println!("all checks within budget");
+    timer.finish();
 }

@@ -16,6 +16,7 @@ use bs_simulator::analytic::{simulate, SimConfig};
 use bs_simulator::{Scheme, T3DModel};
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("fig6");
     let n = 4096;
     let m = 1;
     let np = 16;
@@ -50,7 +51,13 @@ fn main() {
     print_table(
         "Fig. 6 — 4096x4096 point Toeplitz (m=1), NP=16: factor time vs b",
         &[
-            "b", "scheme", "total ms", "shift ms", "apply ms", "bcast ms", "panel ms",
+            "b",
+            "scheme",
+            "total ms",
+            "shift ms",
+            "apply ms",
+            "bcast ms",
+            "panel ms",
             "barrier ms",
         ],
         &rows,
@@ -60,4 +67,5 @@ fn main() {
         best.0,
         best.1 * 1e3,
     );
+    timer.finish();
 }

@@ -14,6 +14,7 @@ use bs_simulator::analytic::{simulate, SimConfig};
 use bs_simulator::{Scheme, T3DModel};
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("fig7");
     let n = 4096;
     let m = 8;
     let np = 64;
@@ -56,7 +57,13 @@ fn main() {
     print_table(
         "Fig. 7 — 4096x4096 block Toeplitz (m=8), NP=64: factor time vs b",
         &[
-            "b", "scheme", "total ms", "shift ms", "apply ms", "bcast ms", "panel ms",
+            "b",
+            "scheme",
+            "total ms",
+            "shift ms",
+            "apply ms",
+            "bcast ms",
+            "panel ms",
             "barrier ms",
         ],
         &rows,
@@ -66,4 +73,5 @@ fn main() {
         best.0,
         best.1 * 1e3
     );
+    timer.finish();
 }

@@ -14,6 +14,7 @@ use bs_simulator::analytic::{simulate, SimConfig};
 use bs_simulator::{Scheme, T3DModel};
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("fig8");
     let n = 4096;
     let m = 32;
     let np = 64;
@@ -53,7 +54,13 @@ fn main() {
     print_table(
         "Fig. 8 — 4096x4096 block Toeplitz (m=32), NP=64: factor time vs spread",
         &[
-            "spread", "scheme", "total ms", "shift ms", "apply ms", "bcast ms", "panel ms",
+            "spread",
+            "scheme",
+            "total ms",
+            "shift ms",
+            "apply ms",
+            "bcast ms",
+            "panel ms",
             "barrier ms",
         ],
         &rows,
@@ -63,4 +70,5 @@ fn main() {
         best.0,
         best.1 * 1e3
     );
+    timer.finish();
 }

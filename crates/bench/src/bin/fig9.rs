@@ -17,6 +17,7 @@ use bs_simulator::analytic::{simulate, SimConfig};
 use bs_simulator::{Scheme, T3DModel};
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("fig9");
     let n = 1024;
     let model = T3DModel::default();
     let mut rows = Vec::new();
@@ -59,4 +60,5 @@ fn main() {
         ),
         None => println!("\nno crossover observed up to NP = 64"),
     }
+    timer.finish();
 }

@@ -15,6 +15,7 @@ use bs_perfmodel::{apply_flops, blocking_flops, comm_words, Rep};
 use bs_toeplitz::workloads;
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("flops_table");
     // Analytic blocking + application costs.
     let mut rows = Vec::new();
     for m in [2usize, 4, 8, 16, 32, 64] {
@@ -85,4 +86,5 @@ fn main() {
          leading application term, while the implementation also counts panel production,\n\
          shifts of the R rows and lower-order terms"
     );
+    timer.finish();
 }

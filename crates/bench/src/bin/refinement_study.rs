@@ -17,6 +17,7 @@ use bs_core::{factor_indefinite, solve_refined, IndefOptions, RefineOptions};
 use bs_toeplitz::workloads;
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("refinement_study");
     let sizes: &[usize] = if quick_mode() {
         &[64, 128]
     } else {
@@ -62,20 +63,13 @@ fn main() {
 
             // PCG with the same factorization as preconditioner.
             bs_matrix::flops::reset();
-            let cg = pcg(
-                |v| t.matvec(v),
-                |r| f.solve(r).unwrap(),
-                &b,
-                1e-13,
-                100,
-            );
+            let cg = pcg(|v| t.matvec(v), |r| f.solve(r).unwrap(), &b, 1e-13, 100);
             let pcg_flops = bs_matrix::flops::get();
-            let err_pcg: f64 = cg
-                .x
-                .iter()
-                .zip(&x_true)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let err_pcg: f64 =
+                cg.x.iter()
+                    .zip(&x_true)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
 
             rows.push(vec![
                 n.to_string(),
@@ -114,4 +108,5 @@ fn main() {
          Krylov bookkeeping, O(n) on top of the shared matvec + solve, so the ratio tends to\n\
          1 from above as n grows; the bigger win is needing fewer iterations)"
     );
+    timer.finish();
 }

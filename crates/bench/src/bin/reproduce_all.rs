@@ -1,12 +1,19 @@
 //! Runs every experiment of the paper in sequence — Figures 6-10, the
 //! §8.2 worked example, the flop-count tables and the refinement
 //! study — plus the ablation, block-size-prediction and randomized
-//! cross-validation harnesses, by invoking the sibling binaries. Output is the full
-//! paper-vs-measured record (see EXPERIMENTS.md).
+//! cross-validation harnesses, by invoking the sibling binaries. Output
+//! is the full paper-vs-measured record (see EXPERIMENTS.md).
+//!
+//! Each child binary prints a machine-readable `@@BENCH {...}` record
+//! (wall time, flop total); this driver collects them all into
+//! `BENCH_schur.json` next to the working directory.
 //!
 //! Run: `cargo run -p bs-bench --release --bin reproduce_all [--quick]`
 
+use bs_probe::Json;
+use std::io::Write;
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     let quick = bs_bench::quick_mode();
@@ -25,16 +32,55 @@ fn main() {
         "blocksize_model",
         "cross_validate",
     ];
+    let started = Instant::now();
+    let mut records: Vec<Json> = Vec::new();
     for bin in bins {
         println!("\n==================== {bin} ====================");
         let mut cmd = Command::new(dir.join(bin));
         if quick {
             cmd.arg("--quick");
         }
-        let status = cmd.status().unwrap_or_else(|e| {
-            panic!("failed to launch {bin} (build the workspace first): {e}")
-        });
-        assert!(status.success(), "{bin} failed with {status}");
+        let wall = Instant::now();
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin} (build the workspace first): {e}"));
+        let wall_s = wall.elapsed().as_secs_f64();
+        // Echo the child's output, harvesting the marker lines.
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let mut found = false;
+        for line in stdout.lines() {
+            if let Some(payload) = line.strip_prefix(bs_bench::BENCH_MARKER) {
+                match Json::parse(payload) {
+                    Ok(rec) => {
+                        records.push(rec);
+                        found = true;
+                    }
+                    Err(e) => eprintln!("{bin}: unparseable bench record ({e}): {payload}"),
+                }
+            } else {
+                println!("{line}");
+            }
+        }
+        std::io::stderr()
+            .write_all(&out.stderr)
+            .expect("stderr passthrough");
+        assert!(out.status.success(), "{bin} failed with {}", out.status);
+        if !found {
+            // A binary without instrumentation still gets a wall-time row.
+            records.push(Json::obj(vec![
+                ("name", Json::Str(bin.to_string())),
+                ("wall_s", Json::Num(wall_s)),
+            ]));
+        }
     }
-    println!("\nall experiments completed");
+
+    let report = Json::obj(vec![
+        ("suite", Json::Str("block-schur reproduce_all".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("total_wall_s", Json::Num(started.elapsed().as_secs_f64())),
+        ("experiments", Json::Arr(records)),
+    ]);
+    let path = "BENCH_schur.json";
+    std::fs::write(path, format!("{report}\n")).expect("write BENCH_schur.json");
+    println!("\nall experiments completed; bench records written to {path}");
 }

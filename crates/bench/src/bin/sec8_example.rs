@@ -17,9 +17,13 @@ use bs_matrix::Matrix;
 use bs_toeplitz::workloads;
 
 fn main() {
+    let timer = bs_bench::RunTimer::start("sec8_example");
     let t = workloads::paper_singular_minor_example();
     let (b, x_true) = workloads::rhs_for_ones(&t);
-    println!("b = {:?}  (paper: 3.5919 4.2085 4.7305 4.7305 4.2085 3.5919)", b);
+    println!(
+        "b = {:?}  (paper: 3.5919 4.2085 4.7305 4.7305 4.2085 3.5919)",
+        b
+    );
 
     let opts = IndefOptions {
         delta: Some(1e-5),
@@ -88,7 +92,11 @@ fn main() {
             1 => "1.5877e-14",
             _ => "-",
         };
-        rows.push(vec![format!("x{} (refined)", i + 2), sci(err(&x)), paper.into()]);
+        rows.push(vec![
+            format!("x{} (refined)", i + 2),
+            sci(err(&x)),
+            paper.into(),
+        ]);
         if i >= 2 {
             break;
         }
@@ -102,4 +110,5 @@ fn main() {
         "\nrefinement converged = {} in {} steps (paper: two steps suffice)",
         res.converged, res.iterations
     );
+    timer.finish();
 }

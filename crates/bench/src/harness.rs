@@ -1,0 +1,225 @@
+//! Minimal criterion-compatible bench harness.
+//!
+//! The workspace builds with no external dependencies, so the
+//! `benches/*.rs` targets (declared `harness = false`) run on this
+//! drop-in subset of the criterion API: groups, `bench_function` /
+//! `bench_with_input`, `iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a
+//! warm-up pass plus `sample_size` timed samples and reports min /
+//! median / mean wall time and the per-iteration flop count from the
+//! `bs-probe` registry.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Entry point handed to every bench function (criterion-compatible).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            flops: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost. The mini harness times
+/// every routine call individually, so the variants only document
+/// intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+    flops: u64,
+}
+
+impl Bencher {
+    /// Time `f` once per sample (plus one untimed warm-up call).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        let flops0 = bs_matrix::flops::total();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+        self.flops = (bs_matrix::flops::total() - flops0) / self.sample_size as u64;
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup is untimed.
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let flops0 = bs_matrix::flops::total();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+        self.flops = (bs_matrix::flops::total() - flops0) / self.sample_size as u64;
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let label = format!("{group}/{id}");
+        println!(
+            "{label:<52} min {:>10}  median {:>10}  mean {:>10}  {:>10} flops/iter",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.flops,
+        );
+        crate::emit_bench(
+            &label,
+            median,
+            self.flops,
+            &[("min_s", min), ("mean_s", mean)],
+        );
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// criterion-compatible: bundle bench functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// criterion-compatible: run the bundles from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_flops() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("adds", |b| {
+            b.iter(|| bs_matrix::flops::add(50));
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0usize;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(4);
+        g.bench_with_input(BenchmarkId::new("batched", 1), &1, |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0.0f64; 8]
+                },
+                |v| v.iter().sum::<f64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        // 1 warm-up + 4 samples.
+        assert_eq!(setups, 5);
+    }
+}

@@ -1,14 +1,99 @@
-//! Shared helpers for the figure-regeneration binaries and criterion
-//! benches. Each binary under `src/bin/` regenerates one figure or
-//! experiment of the paper; `reproduce_all` chains them.
+//! Shared helpers for the figure-regeneration binaries and benches.
+//! Each binary under `src/bin/` regenerates one figure or experiment of
+//! the paper; `reproduce_all` chains them and collects their `@@BENCH`
+//! records into `BENCH_schur.json`.
 
+use bs_probe::Json;
 use std::time::Instant;
 
-/// Wall-clock a closure.
-pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+pub mod harness;
+
+/// Marker prefix for machine-readable bench records on stdout.
+/// `reproduce_all` greps child output for these lines.
+pub const BENCH_MARKER: &str = "@@BENCH ";
+
+/// One timed run of a kernel or driver: wall time plus the probe-side
+/// evidence of what the run did.
+#[derive(Clone, Debug)]
+pub struct TimedRun {
+    /// Elapsed wall-clock seconds.
+    pub wall_s: f64,
+    /// Flops performed during the run, aggregated across *all* threads
+    /// (`bs_matrix::flops::total` delta — parallel workers included).
+    pub flops: u64,
+    /// Peak §8.2 growth factor seen so far by the stability monitor
+    /// (0 when `bs_probe::stability` is disabled).
+    pub peak_growth: f64,
+}
+
+impl TimedRun {
+    /// Effective rate in Gflop/s (0 when no flops were recorded).
+    pub fn gflops(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.flops as f64 / self.wall_s / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wall-clock a closure and capture its probe counters.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, TimedRun) {
+    let flops0 = bs_matrix::flops::total();
     let start = Instant::now();
     let out = f();
-    (out, start.elapsed().as_secs_f64())
+    let wall_s = start.elapsed().as_secs_f64();
+    (
+        out,
+        TimedRun {
+            wall_s,
+            flops: bs_matrix::flops::total() - flops0,
+            peak_growth: bs_probe::stability::peak_growth(),
+        },
+    )
+}
+
+/// Emit a machine-readable bench record (one JSON object on a marker
+/// line). `extra` fields ride along with the standard ones.
+pub fn emit_bench(name: &str, wall_s: f64, flops: u64, extra: &[(&str, f64)]) {
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("name", Json::Str(name.to_string())),
+        ("wall_s", Json::Num(wall_s)),
+        ("flops", Json::Num(flops as f64)),
+        ("peak_growth", Json::Num(bs_probe::stability::peak_growth())),
+    ];
+    for (k, v) in extra {
+        fields.push((k, Json::Num(*v)));
+    }
+    println!("{BENCH_MARKER}{}", Json::obj(fields));
+}
+
+/// Whole-binary timer: `start` at the top of a figure binary's `main`,
+/// `finish` at the bottom — prints the `@@BENCH` record the
+/// `reproduce_all` driver collects into `BENCH_schur.json`.
+pub struct RunTimer {
+    name: &'static str,
+    start: Instant,
+    flops0: u64,
+}
+
+impl RunTimer {
+    pub fn start(name: &'static str) -> Self {
+        RunTimer {
+            name,
+            start: Instant::now(),
+            flops0: bs_matrix::flops::total(),
+        }
+    }
+
+    pub fn finish(self) {
+        emit_bench(
+            self.name,
+            self.start.elapsed().as_secs_f64(),
+            bs_matrix::flops::total() - self.flops0,
+            &[],
+        );
+    }
 }
 
 /// Render an aligned text table (markdown-pipe style).
@@ -25,7 +110,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::from("|");
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!(" {:>w$} |", c, w = widths[i.min(widths.len() - 1)]));
+            s.push_str(&format!(
+                " {:>w$} |",
+                c,
+                w = widths[i.min(widths.len() - 1)]
+            ));
         }
         println!("{s}");
     };
@@ -57,15 +146,46 @@ mod tests {
     use super::*;
 
     #[test]
-    fn time_it_returns_value() {
-        let (v, t) = time_it(|| 41 + 1);
+    fn time_it_returns_value_and_counters() {
+        let (v, run) = time_it(|| {
+            bs_matrix::flops::add(123);
+            41 + 1
+        });
         assert_eq!(v, 42);
-        assert!(t >= 0.0);
+        assert!(run.wall_s >= 0.0);
+        assert!(run.flops >= 123, "flops delta must include the run's adds");
+    }
+
+    #[test]
+    fn gflops_handles_zero_time() {
+        let r = TimedRun {
+            wall_s: 0.0,
+            flops: 100,
+            peak_growth: 0.0,
+        };
+        assert_eq!(r.gflops(), 0.0);
     }
 
     #[test]
     fn cells_format() {
         assert_eq!(sci(12345.678), "1.235e4");
         assert_eq!(ms(0.0123456), "12.346");
+    }
+
+    #[test]
+    fn bench_record_round_trips_through_json() {
+        // emit_bench writes to stdout; reproduce the payload here and
+        // make sure the parser reproduce_all uses accepts it.
+        let j = Json::obj(vec![
+            ("name", Json::Str("fig6".into())),
+            ("wall_s", Json::Num(0.25)),
+            ("flops", Json::Num(1.0e9)),
+        ]);
+        let parsed = bs_probe::Json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("fig6"));
+        assert_eq!(
+            parsed.get("flops").and_then(Json::as_u64),
+            Some(1_000_000_000)
+        );
     }
 }

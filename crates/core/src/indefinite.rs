@@ -29,6 +29,8 @@ use crate::reflector::{PivotOutcome, PivotReflector};
 use crate::solve;
 use crate::{Error, Result};
 use bs_matrix::Matrix;
+use bs_probe::metrics::{self, Counter};
+use bs_probe::stability;
 use bs_toeplitz::{build_generator, SymBlockToeplitz};
 
 /// Options for [`factor_indefinite`].
@@ -158,7 +160,9 @@ pub fn factor_indefinite(t: &SymBlockToeplitz, opts: &IndefOptions) -> Result<In
     for k in 1..=max_k {
         let schedule: Vec<f64> = match opts.delta {
             Some(d) => vec![d; 16], // fixed δ, effectively unbounded
-            None => (0..k).map(|i| eps.powf(1.0 / 3f64.powi((k - i) as i32))).collect(),
+            None => (0..k)
+                .map(|i| eps.powf(1.0 / 3f64.powi((k - i) as i32)))
+                .collect(),
         };
         match factor_indefinite_attempt(t, opts, &schedule)? {
             Attempt::Done(f) => return Ok(*f),
@@ -181,15 +185,15 @@ fn factor_indefinite_attempt(
     let m = t.block_size();
     let p = t.num_blocks();
     let n = m * p;
+    let _span = bs_probe::span!("factor_indefinite", n = n, m = m, p = p);
     let mut perturbations: Vec<Perturbation> = Vec::new();
-    let next_delta = |perts: &[Perturbation]| -> Option<f64> {
-        schedule.get(perts.len()).copied()
-    };
+    let next_delta = |perts: &[Perturbation]| -> Option<f64> { schedule.get(perts.len()).copied() };
 
     // Generator; if the leading block itself has a singular minor,
     // perturb the whole diagonal of T (δT = δ·s·I keeps T symmetric
     // Toeplitz because T̂₁ sits on the entire block diagonal).
     let t_scale = t.norm_inf().max(1.0);
+    stability::set_scale(t_scale);
     let gen = match build_generator(t) {
         Ok(g) => g,
         Err(bs_matrix::Error::SingularPivot { index, pivot }) => {
@@ -213,6 +217,8 @@ fn factor_indefinite_attempt(
                 delta,
                 hnorm_before: pivot,
             });
+            metrics::incr(Counter::Perturbations);
+            bs_probe::event!("perturbation", step = 0, column = index, delta = delta);
             let tp = SymBlockToeplitz::new(blocks);
             build_generator(&tp).map_err(Error::from)?
         }
@@ -236,6 +242,8 @@ fn factor_indefinite_attempt(
     let mut max_norm = 1.0f64;
 
     for s in 1..p {
+        let _step_span = bs_probe::span!("indef_step", step = s);
+        metrics::incr(Counter::SchurSteps);
         // Phase 3 (explicit): shift the upper half right by one block.
         for j in (s * m..n).rev() {
             for i in 0..m {
@@ -292,6 +300,7 @@ fn factor_indefinite_attempt(
                         }
                         w.0.swap(k, j_row);
                         exchanges += 1;
+                        metrics::incr(Counter::Exchanges);
                     }
                     PivotOutcome::ZeroNorm { hnorm } => {
                         if !opts.allow_perturbation {
@@ -321,8 +330,7 @@ fn factor_indefinite_attempt(
                         };
                         // §8.2 recipe: scale the pivot entry by √(1+δ),
                         // making the hyperbolic norm ≈ w_k·δ·u_k².
-                        let scale2: f64 =
-                            u_top * u_top + u_low.iter().map(|v| v * v).sum::<f64>();
+                        let scale2: f64 = u_top * u_top + u_low.iter().map(|v| v * v).sum::<f64>();
                         if u_top * u_top > 1e-3 * scale2 && scale2 > opts.zero_tol * t_scale {
                             g[(k, c)] = u_top * (1.0 + delta).sqrt();
                         } else {
@@ -339,11 +347,23 @@ fn factor_indefinite_attempt(
                                 delta,
                                 hnorm_before: hnorm,
                             });
+                            metrics::incr(Counter::Perturbations);
                         }
+                        bs_probe::event!("perturbation", step = s, column = k, delta = delta);
                     }
                 }
             };
             max_norm = max_norm.max(refl.norm_est());
+            metrics::incr(Counter::Reflectors);
+            if stability::is_enabled() {
+                // The column still holds its pre-elimination entries
+                // here (finalization overwrites them just below).
+                let mut cn = g[(k, c)] * g[(k, c)];
+                for i in 0..m {
+                    cn += g[(m + i, c)] * g[(m + i, c)];
+                }
+                stability::record_step(s, k, cn.sqrt(), refl.sigma * refl.sigma, refl.norm_est());
+            }
             // Finalize column c and update the trailing columns.
             g[(k, c)] = -refl.sigma;
             for i in 0..m {
@@ -426,7 +446,10 @@ mod tests {
     fn indefinite_scalar_factorizes_with_exchanges() {
         let t = workloads::random_indefinite_scalar(14, 7);
         let f = factor_indefinite(&t, &IndefOptions::default()).unwrap();
-        assert!(f.exchanges > 0, "dominant off-diagonal must force exchanges");
+        assert!(
+            f.exchanges > 0,
+            "dominant off-diagonal must force exchanges"
+        );
         assert!(f.perturbations.is_empty());
         check_reconstruction(&t, &f, 1e-10);
         // Inertia must match the true negative eigenvalue count

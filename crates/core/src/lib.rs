@@ -1,4 +1,5 @@
-#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read
+#![allow(clippy::needless_range_loop)]
+// index-heavy numeric kernels read
 // clearer with explicit indices when several parallel arrays are walked
 // together; iterator-zip rewrites were measured to obscure, not improve.
 
@@ -52,10 +53,18 @@ pub enum Error {
     Matrix(bs_matrix::Error),
     /// A pivot column had non-positive hyperbolic norm during the SPD
     /// factorization: the matrix is not positive definite.
-    NotPositiveDefinite { step: usize, column: usize, hnorm: f64 },
+    NotPositiveDefinite {
+        step: usize,
+        column: usize,
+        hnorm: f64,
+    },
     /// A pivot column's hyperbolic norm was (numerically) zero and
     /// perturbation was disabled: a principal minor is singular.
-    SingularMinor { step: usize, column: usize, hnorm: f64 },
+    SingularMinor {
+        step: usize,
+        column: usize,
+        hnorm: f64,
+    },
     /// The indefinite elimination needed an exchange but no generator
     /// row of the required signature was available.
     NoExchangeCandidate { step: usize, column: usize },

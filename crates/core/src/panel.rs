@@ -12,6 +12,8 @@ use crate::rep::{BlockReflector, RepKind};
 use crate::{Error, Result};
 use bs_matrix::ldlt::Signature;
 use bs_matrix::view::MatMut;
+use bs_probe::metrics::{self, Counter};
+use bs_probe::stability;
 
 /// Factor a `2m × m` pivot panel in place under the SPD working
 /// signature `W = diag(I_m, −I_m)`.
@@ -93,6 +95,13 @@ pub fn factor_panel_two_level(
                     })
                 }
             };
+            metrics::incr(Counter::Reflectors);
+            if stability::is_enabled() {
+                // σ² = |uᵀWu|: the hyperbolic norm the reflector
+                // eliminated; norm_est bounds ‖U‖₂ (the §8.2 growth).
+                let col_norm = (u_top * u_top + u_low.iter().map(|v| v * v).sum::<f64>()).sqrt();
+                stability::record_step(step, k, col_norm, r.sigma * r.sigma, r.norm_est());
+            }
             // Column k maps to −σ e_k (lower half annihilated).
             panel.set(k, k, -r.sigma);
             for i in 0..m {
@@ -109,10 +118,7 @@ pub fn factor_panel_two_level(
         // Level-3 update of the remaining pivot-block columns with the
         // whole chunk's transformation.
         if chunk_end < m {
-            rep.apply(
-                panel.sub_mut(0, chunk_end, 2 * m, m - chunk_end),
-                false,
-            );
+            rep.apply(panel.sub_mut(0, chunk_end, 2 * m, m - chunk_end), false);
         }
         reps.push(rep);
         chunk_start = chunk_end;
@@ -231,7 +237,9 @@ mod tests {
         p[(0, 0)] = 1.0;
         p[(1, 0)] = 1.0;
         match factor_panel(p.mt(), &w, RepKind::VY2, 3, 1e-12, 1.0) {
-            Err(Error::SingularMinor { step: 3, column: 0, .. }) => {}
+            Err(Error::SingularMinor {
+                step: 3, column: 0, ..
+            }) => {}
             other => panic!("expected SingularMinor, got {other:?}"),
         }
     }

@@ -18,6 +18,8 @@
 
 use crate::indefinite::IndefFactor;
 use crate::Result;
+use bs_probe::metrics::{self, Counter};
+use bs_probe::stability;
 use bs_toeplitz::{FastToeplitzMatVec, SymBlockToeplitz};
 
 /// Options for [`solve_refined`].
@@ -70,6 +72,7 @@ pub fn solve_refined(
 ) -> Result<RefineResult> {
     assert_eq!(b.len(), t.order());
     assert_eq!(factor.order(), t.order());
+    let _span = bs_probe::span!("refine", n = t.order(), max_iter = opts.max_iter);
     let use_fft = opts.use_fft.unwrap_or(t.order() >= 1024);
     let fast = if use_fft {
         Some(FastToeplitzMatVec::new(t))
@@ -89,7 +92,9 @@ pub fn solve_refined(
     let mut iterations = 0;
 
     let r0 = residual_of(&x);
-    residual_norms.push(bs_matrix::norms::vec_two(&r0));
+    let r0_norm = bs_matrix::norms::vec_two(&r0);
+    residual_norms.push(r0_norm);
+    stability::record_residual(r0_norm);
     let mut resid = r0;
     let tnorm = t.norm_inf().max(f64::MIN_POSITIVE);
     let bnorm = bs_matrix::norms::vec_two(b);
@@ -110,9 +115,11 @@ pub fn solve_refined(
         }
         bs_matrix::flops::add(x.len() as u64);
         iterations += 1;
+        metrics::incr(Counter::RefineIterations);
         resid = residual_of(&x);
         let rnorm = bs_matrix::norms::vec_two(&resid);
         residual_norms.push(rnorm);
+        stability::record_residual(rnorm);
         // Eq. 42's steady state: once corrections stop shrinking the
         // iterate sits at the attainable accuracy; accept it when the
         // residual is at the backward-stable level ε(‖T‖‖x‖ + ‖b‖).

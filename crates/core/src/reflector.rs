@@ -234,8 +234,7 @@ impl PivotReflector {
     /// factor the §8.2 perturbation analysis tracks (`‖U‖ ≈ 1/δ` after
     /// a perturbed pivot).
     pub fn norm_est(&self) -> f64 {
-        let x2 = self.x_top * self.x_top
-            + self.x_low.iter().map(|v| v * v).sum::<f64>();
+        let x2 = self.x_top * self.x_top + self.x_low.iter().map(|v| v * v).sum::<f64>();
         1.0 + self.beta.abs() * x2
     }
 

@@ -101,7 +101,11 @@ impl BlockReflector {
             w,
             left,
             right,
-            elems: Vec::with_capacity(if kind == RepKind::Sequential { k_max } else { 0 }),
+            elems: Vec::with_capacity(if kind == RepKind::Sequential {
+                k_max
+            } else {
+                0
+            }),
         }
     }
 
@@ -283,7 +287,9 @@ impl BlockReflector {
             RepKind::Accumulated => {
                 // G ← U G.
                 let gc = g.to_matrix();
-                mm(parallel,                     1.0,
+                mm(
+                    parallel,
+                    1.0,
                     self.left.rf(),
                     Trans::No,
                     gc.rf(),
@@ -299,7 +305,16 @@ impl BlockReflector {
                 let mut z = Matrix::zeros(k, q);
                 mm(parallel, 1.0, y, Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
                 apply_wk(&self.w, k, g.rb_mut());
-                mm(parallel, 1.0, v, Trans::No, z.rf(), Trans::No, 1.0, g.rb_mut());
+                mm(
+                    parallel,
+                    1.0,
+                    v,
+                    Trans::No,
+                    z.rf(),
+                    Trans::No,
+                    1.0,
+                    g.rb_mut(),
+                );
             }
             RepKind::YTY => {
                 // G ← Wᵏ G + Y (T (Yᵀ (W^{k-1} G))).
@@ -319,7 +334,16 @@ impl BlockReflector {
                         }
                     }
                     flops::add((n * k) as u64);
-                    mm(parallel, 1.0, yw.rf(), Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
+                    mm(
+                        parallel,
+                        1.0,
+                        yw.rf(),
+                        Trans::Yes,
+                        g.rb(),
+                        Trans::No,
+                        0.0,
+                        z.mt(),
+                    );
                 } else {
                     mm(parallel, 1.0, y, Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
                 }
@@ -336,7 +360,16 @@ impl BlockReflector {
                 }
                 flops::add((k * k * q) as u64);
                 apply_wk(&self.w, k, g.rb_mut());
-                mm(parallel, 1.0, y, Trans::No, tz.rf(), Trans::No, 1.0, g.rb_mut());
+                mm(
+                    parallel,
+                    1.0,
+                    y,
+                    Trans::No,
+                    tz.rf(),
+                    Trans::No,
+                    1.0,
+                    g.rb_mut(),
+                );
             }
         }
     }
@@ -392,10 +425,46 @@ impl BlockReflector {
                 let u22 = self.left.sub(m, m, m, m);
                 let gu0 = gu.to_matrix();
                 let gl0 = gl.to_matrix();
-                mm(parallel, 1.0, u11, Trans::No, gu0.rf(), Trans::No, 0.0, gu.rb_mut());
-                mm(parallel, 1.0, u12, Trans::No, gl0.rf(), Trans::No, 1.0, gu.rb_mut());
-                mm(parallel, 1.0, u21, Trans::No, gu0.rf(), Trans::No, 0.0, gl.rb_mut());
-                mm(parallel, 1.0, u22, Trans::No, gl0.rf(), Trans::No, 1.0, gl.rb_mut());
+                mm(
+                    parallel,
+                    1.0,
+                    u11,
+                    Trans::No,
+                    gu0.rf(),
+                    Trans::No,
+                    0.0,
+                    gu.rb_mut(),
+                );
+                mm(
+                    parallel,
+                    1.0,
+                    u12,
+                    Trans::No,
+                    gl0.rf(),
+                    Trans::No,
+                    1.0,
+                    gu.rb_mut(),
+                );
+                mm(
+                    parallel,
+                    1.0,
+                    u21,
+                    Trans::No,
+                    gu0.rf(),
+                    Trans::No,
+                    0.0,
+                    gl.rb_mut(),
+                );
+                mm(
+                    parallel,
+                    1.0,
+                    u22,
+                    Trans::No,
+                    gl0.rf(),
+                    Trans::No,
+                    1.0,
+                    gl.rb_mut(),
+                );
             }
             RepKind::VY1 | RepKind::VY2 => {
                 // Z = Yuᵀ Gu + Ylᵀ Gl;
@@ -405,10 +474,46 @@ impl BlockReflector {
                 let yu = self.right.sub(0, 0, m, k);
                 let yl = self.right.sub(m, 0, m, k);
                 let mut z = Matrix::zeros(k, q);
-                mm(parallel, 1.0, yu, Trans::Yes, gu.rb(), Trans::No, 0.0, z.mt());
-                mm(parallel, 1.0, yl, Trans::Yes, gl.rb(), Trans::No, 1.0, z.mt());
-                mm(parallel, 1.0, vu, Trans::No, z.rf(), Trans::No, 1.0, gu.rb_mut());
-                mm(parallel, 1.0, vl, Trans::No, z.rf(), Trans::No, low_sign, gl.rb_mut());
+                mm(
+                    parallel,
+                    1.0,
+                    yu,
+                    Trans::Yes,
+                    gu.rb(),
+                    Trans::No,
+                    0.0,
+                    z.mt(),
+                );
+                mm(
+                    parallel,
+                    1.0,
+                    yl,
+                    Trans::Yes,
+                    gl.rb(),
+                    Trans::No,
+                    1.0,
+                    z.mt(),
+                );
+                mm(
+                    parallel,
+                    1.0,
+                    vu,
+                    Trans::No,
+                    z.rf(),
+                    Trans::No,
+                    1.0,
+                    gu.rb_mut(),
+                );
+                mm(
+                    parallel,
+                    1.0,
+                    vl,
+                    Trans::No,
+                    z.rf(),
+                    Trans::No,
+                    low_sign,
+                    gl.rb_mut(),
+                );
             }
             RepKind::YTY => {
                 // Z = Yᵀ W^{k−1} [Gu; Gl] = Yuᵀ Gu + s' Ylᵀ Gl,
@@ -417,8 +522,26 @@ impl BlockReflector {
                 let yl = self.left.sub(m, 0, m, k);
                 let sp = if (k - 1) % 2 == 1 { -1.0 } else { 1.0 };
                 let mut z = Matrix::zeros(k, q);
-                mm(parallel, 1.0, yu, Trans::Yes, gu.rb(), Trans::No, 0.0, z.mt());
-                mm(parallel, sp, yl, Trans::Yes, gl.rb(), Trans::No, 1.0, z.mt());
+                mm(
+                    parallel,
+                    1.0,
+                    yu,
+                    Trans::Yes,
+                    gu.rb(),
+                    Trans::No,
+                    0.0,
+                    z.mt(),
+                );
+                mm(
+                    parallel,
+                    sp,
+                    yl,
+                    Trans::Yes,
+                    gl.rb(),
+                    Trans::No,
+                    1.0,
+                    z.mt(),
+                );
                 // TZ with lower triangular T (small, direct).
                 let mut tz = Matrix::zeros(k, q);
                 for jj in 0..q {
@@ -431,8 +554,26 @@ impl BlockReflector {
                     }
                 }
                 flops::add((k * k * q) as u64);
-                mm(parallel, 1.0, yu, Trans::No, tz.rf(), Trans::No, 1.0, gu.rb_mut());
-                mm(parallel, 1.0, yl, Trans::No, tz.rf(), Trans::No, low_sign, gl.rb_mut());
+                mm(
+                    parallel,
+                    1.0,
+                    yu,
+                    Trans::No,
+                    tz.rf(),
+                    Trans::No,
+                    1.0,
+                    gu.rb_mut(),
+                );
+                mm(
+                    parallel,
+                    1.0,
+                    yl,
+                    Trans::No,
+                    tz.rf(),
+                    Trans::No,
+                    low_sign,
+                    gl.rb_mut(),
+                );
             }
         }
     }
@@ -445,7 +586,6 @@ impl BlockReflector {
         u
     }
 }
-
 
 /// Dispatch a gemm to the sequential or rayon-parallel kernel.
 #[allow(clippy::too_many_arguments)]

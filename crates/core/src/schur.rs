@@ -23,6 +23,7 @@ use crate::solve;
 use crate::{Error, Result};
 use bs_matrix::ldlt::Signature;
 use bs_matrix::Matrix;
+use bs_probe::metrics::{self, Counter};
 use bs_toeplitz::{build_generator, SymBlockToeplitz};
 
 /// Options for [`factor_spd`].
@@ -171,6 +172,7 @@ pub fn factor_spd_streaming(
     let m = t_ref.block_size();
     let p = t_ref.num_blocks();
     let n = m * p;
+    let _span = bs_probe::span!("factor_spd", n = n, m = m, p = p);
 
     let gen = build_generator(t_ref)?;
     if !gen.is_spd_signature() {
@@ -192,9 +194,17 @@ pub fn factor_spd_streaming(
     let mut comm_words = 0usize;
     let mut panel_buf = Matrix::zeros(2 * m, m);
     let scale = t_ref.norm_inf().max(1.0);
+    bs_probe::stability::set_scale(scale);
 
     for s in 1..p {
         let width = (p - s) * m; // active upper width this step
+        let _step_span = bs_probe::span!("schur_step", step = s, width = width);
+        let step_flops0 = if bs_probe::trace::is_enabled() {
+            bs_matrix::flops::total()
+        } else {
+            0
+        };
+        metrics::incr(Counter::SchurSteps);
 
         if opts.explicit_shift {
             // Phase 3 (explicit): move the upper row right by one block.
@@ -219,9 +229,18 @@ pub fn factor_spd_streaming(
             .sub_mut(m, 0, m, m)
             .copy_from(gl.sub(0, low_piv, m, m));
         let k_block = opts.two_level.unwrap_or(m).clamp(1, m);
-        let reps =
-            factor_panel_two_level(panel_buf.mt(), &w, opts.rep, s, opts.zero_tol, scale, k_block)?;
-        comm_words = comm_words.max(reps.iter().map(|r| r.comm_words()).sum());
+        let reps = factor_panel_two_level(
+            panel_buf.mt(),
+            &w,
+            opts.rep,
+            s,
+            opts.zero_tol,
+            scale,
+            k_block,
+        )?;
+        let step_words: usize = reps.iter().map(|r| r.comm_words()).sum();
+        comm_words = comm_words.max(step_words);
+        metrics::add(Counter::CommWords, step_words as u64);
         gu.sub_mut(0, up_piv, m, m)
             .copy_from(panel_buf.sub(0, 0, m, m));
         gl.sub_mut(0, low_piv, m, m).fill(0.0);
@@ -242,6 +261,15 @@ pub fn factor_spd_streaming(
         // Emit R block row s.
         let src_col = if opts.explicit_shift { s * m } else { 0 };
         sink(s, m, n, gu.sub(0, src_col, m, width));
+
+        if bs_probe::trace::is_enabled() {
+            bs_probe::event!(
+                "schur_step_done",
+                step = s,
+                flops = (bs_matrix::flops::total() - step_flops0),
+                growth = bs_probe::stability::peak_growth(),
+            );
+        }
     }
 
     Ok((m, p, comm_words))
@@ -449,10 +477,7 @@ mod two_level_tests {
                 ..Default::default()
             };
             let f = factor_spd(&t, &opts).unwrap();
-            assert!(
-                f.reconstruct().max_abs_diff(&d0) < 1e-9,
-                "rep={rep:?}"
-            );
+            assert!(f.reconstruct().max_abs_diff(&d0) < 1e-9, "rep={rep:?}");
         }
     }
 
@@ -462,15 +487,12 @@ mod two_level_tests {
         use bs_matrix::ldlt::Signature;
         let m = 6;
         let w = Signature::hyperbolic(m);
-        let mut p = Matrix::identity(2 * m)
-            .sub(0, 0, 2 * m, m)
-            .to_matrix();
+        let mut p = Matrix::identity(2 * m).sub(0, 0, 2 * m, m).to_matrix();
         for j in 0..m {
             p[(j, j)] = 2.0;
             p[(m + j, j)] = 0.5;
         }
-        let reps =
-            factor_panel_two_level(p.mt(), &w, RepKind::VY2, 0, 1e-13, 1.0, 4).unwrap();
+        let reps = factor_panel_two_level(p.mt(), &w, RepKind::VY2, 0, 1e-13, 1.0, 4).unwrap();
         assert_eq!(reps.len(), 2); // chunks of 4 and 2
         assert_eq!(reps[0].len(), 4);
         assert_eq!(reps[1].len(), 2);

@@ -64,6 +64,7 @@ impl ToeplitzSolver {
 
     /// Factor `t` with explicit options.
     pub fn with_options(t: &SymBlockToeplitz, opts: &SolverOptions) -> Result<Self> {
+        let _span = bs_probe::span!("factor", n = t.order(), m = t.block_size());
         let factorization = match factor_spd(t, &opts.spd) {
             Ok(f) => Factorization::Spd(f),
             Err(Error::NotPositiveDefinite { .. }) | Err(Error::SingularMinor { .. }) => {
@@ -87,9 +88,7 @@ impl ToeplitzSolver {
     pub fn is_positive_definite(&self) -> bool {
         match &self.factorization {
             Factorization::Spd(_) => true,
-            Factorization::Indefinite(f) => {
-                f.perturbations.is_empty() && f.negative_inertia() == 0
-            }
+            Factorization::Indefinite(f) => f.perturbations.is_empty() && f.negative_inertia() == 0,
         }
     }
 
@@ -131,6 +130,7 @@ impl ToeplitzSolver {
     /// Solve `T x = b`. On the perturbed path the answer is refined to
     /// working accuracy (typically two extra matvec+solve rounds, §8.1).
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let _span = bs_probe::span!("solve", n = b.len());
         match &self.factorization {
             Factorization::Spd(f) => f.solve(b),
             Factorization::Indefinite(f) => {
@@ -243,7 +243,10 @@ mod tests {
         }
         // Block matrices have no scalar GS representation.
         let tb = workloads::random_spd_block(2, 8, 4);
-        assert!(ToeplitzSolver::new(&tb).unwrap().inverse_representation().is_none());
+        assert!(ToeplitzSolver::new(&tb)
+            .unwrap()
+            .inverse_representation()
+            .is_none());
     }
 
     #[test]

@@ -2,12 +2,19 @@
 //! clocks for timing.
 
 use crate::cost::{CostModel, Primitive};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Condvar, Mutex};
+use bs_probe::metrics::{self, Counter};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Lock recovering from poisoning: a rank's panic must not wedge the
+/// whole group (ClockBarrier deliberately panics while holding its
+/// lock when the group is poisoned).
+fn lock_poison_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A message in flight: payload plus its virtual arrival time.
 struct Msg {
@@ -53,7 +60,7 @@ impl ClockBarrier {
     /// Returns `(max clock, max payload)` across all participants.
     /// Panics if the group was poisoned by another rank's panic.
     fn wait(&self, clock: f64, payload: f64) -> (f64, f64) {
-        let mut st = self.state.lock();
+        let mut st = lock_poison_ok(&self.state);
         if st.poisoned {
             panic!("barrier poisoned: another rank panicked");
         }
@@ -72,7 +79,7 @@ impl ClockBarrier {
         } else {
             let gen = st.generation;
             while st.generation == gen && !st.poisoned {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             if st.poisoned {
                 panic!("barrier poisoned: another rank panicked");
@@ -83,7 +90,7 @@ impl ClockBarrier {
 
     /// Mark the group as failed and wake every waiter.
     fn poison(&self) {
-        let mut st = self.state.lock();
+        let mut st = lock_poison_ok(&self.state);
         st.poisoned = true;
         self.cv.notify_all();
     }
@@ -148,6 +155,8 @@ impl Proc {
         assert!(to < self.np && to != self.rank, "bad destination {to}");
         let bytes = data.len() * 8;
         self.bytes_sent += bytes;
+        metrics::add(Counter::CommBytes, bytes as u64);
+        metrics::incr(Counter::CommMessages);
         self.clock += self.cost.p2p_time(bytes);
         let arrive = self.clock;
         self.senders[to]
@@ -217,6 +226,8 @@ impl Proc {
             for to in 0..self.np {
                 if to != root {
                     self.bytes_sent += bytes;
+                    metrics::add(Counter::CommBytes, bytes as u64);
+                    metrics::incr(Counter::CommMessages);
                     self.senders[to]
                         .send(Msg {
                             tag,
@@ -304,7 +315,7 @@ impl World {
             (0..np).map(|_| Vec::with_capacity(np)).collect();
         for from in 0..np {
             for to in 0..np {
-                let (s, r) = unbounded();
+                let (s, r) = channel();
                 senders[from].push(s);
                 inboxes[to].push(r);
             }
@@ -330,13 +341,13 @@ impl World {
             .collect();
 
         let f = &f;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = procs
                 .iter_mut()
                 .map(|p| {
                     let barrier = Arc::clone(&barrier);
                     let poisoned = Arc::clone(&poisoned);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p)));
                         if out.is_err() {
                             // Fail the whole group instead of leaving
@@ -353,10 +364,12 @@ impl World {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
                 .collect()
         })
-        .expect("scope panicked")
     }
 }
 
@@ -388,7 +401,11 @@ mod tests {
     #[test]
     fn broadcast_delivers_payload_everywhere() {
         let out = World::run(4, Arc::new(ZeroCost), |p| {
-            let data: Vec<f64> = if p.rank() == 2 { vec![3.5, 4.5] } else { vec![] };
+            let data: Vec<f64> = if p.rank() == 2 {
+                vec![3.5, 4.5]
+            } else {
+                vec![]
+            };
             p.broadcast(2, 7, &data)
         });
         for v in out {
@@ -453,7 +470,11 @@ mod tests {
         // Blocking-put semantics: sender and receiver both reach the
         // completion time of the transfer.
         assert!((out[0] - 1.5).abs() < 1e-9, "sender blocks: {}", out[0]);
-        assert!((out[1] - 1.5).abs() < 1e-9, "receiver at arrival: {}", out[1]);
+        assert!(
+            (out[1] - 1.5).abs() < 1e-9,
+            "receiver at arrival: {}",
+            out[1]
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::flops;
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    flops::add(2 * x.len() as u64);
+    flops::add_l1(2 * x.len() as u64);
     // Four accumulators give the autovectorizer latitude without
     // changing results enough to matter for f64 test tolerances.
     let mut acc = [0.0f64; 4];
@@ -36,7 +36,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     if alpha == 0.0 {
         return;
     }
-    flops::add(2 * x.len() as u64);
+    flops::add_l1(2 * x.len() as u64);
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
@@ -45,7 +45,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// `x *= alpha`.
 #[inline]
 pub fn scal(alpha: f64, x: &mut [f64]) {
-    flops::add(x.len() as u64);
+    flops::add_l1(x.len() as u64);
     for xi in x {
         *xi *= alpha;
     }
@@ -53,7 +53,7 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 
 /// Euclidean norm with scaling to avoid overflow/underflow.
 pub fn nrm2(x: &[f64]) -> f64 {
-    flops::add(2 * x.len() as u64);
+    flops::add_l1(2 * x.len() as u64);
     let amax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
     if amax == 0.0 || !amax.is_finite() {
         return amax;
@@ -91,7 +91,7 @@ pub fn swap(x: &mut [f64], y: &mut [f64]) {
 pub fn wdot(x: &[f64], w: &[i8], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
     assert_eq!(x.len(), w.len());
-    flops::add(2 * x.len() as u64);
+    flops::add_l1(2 * x.len() as u64);
     let mut plus = 0.0;
     let mut minus = 0.0;
     for i in 0..x.len() {

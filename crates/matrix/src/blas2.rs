@@ -9,11 +9,13 @@ use crate::blas1;
 use crate::flops;
 use crate::view::{MatMut, MatRef};
 use crate::{Error, Result};
+use bs_probe::metrics::{self, Counter};
 
 /// `y <- alpha * A x + beta * y`.
 pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.cols(), x.len(), "gemv: A cols vs x len");
     assert_eq!(a.rows(), y.len(), "gemv: A rows vs y len");
+    metrics::incr(Counter::Matvecs);
     if beta == 0.0 {
         y.fill(0.0);
     } else if beta != 1.0 {
@@ -30,12 +32,13 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.rows(), x.len(), "gemv_t: A rows vs x len");
     assert_eq!(a.cols(), y.len(), "gemv_t: A cols vs y len");
+    metrics::incr(Counter::Matvecs);
     for j in 0..a.cols() {
         let d = blas1::dot(a.col(j), x);
         y[j] = alpha * d + if beta == 0.0 { 0.0 } else { beta * y[j] };
     }
     if beta != 0.0 {
-        flops::add(2 * a.cols() as u64);
+        flops::add_l2(2 * a.cols() as u64);
     }
 }
 
@@ -43,6 +46,7 @@ pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
     assert_eq!(a.rows(), x.len(), "ger: A rows vs x len");
     assert_eq!(a.cols(), y.len(), "ger: A cols vs y len");
+    metrics::incr(Counter::Rank1Updates);
     for j in 0..a.cols() {
         blas1::axpy(alpha * y[j], x, a.col_mut(j));
     }
@@ -60,7 +64,8 @@ pub fn symv(uplo: crate::Uplo, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, 
     } else if beta != 1.0 {
         blas1::scal(beta, y);
     }
-    flops::add(2 * (n * n) as u64);
+    metrics::incr(Counter::Matvecs);
+    flops::add_l2(2 * (n * n) as u64);
     match uplo {
         crate::Uplo::Lower => {
             for j in 0..n {
@@ -94,7 +99,8 @@ pub fn trsv_lower(a: MatRef<'_>, b: &mut [f64], unit_diag: bool) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
-    flops::add((n * n) as u64);
+    metrics::incr(Counter::TriangularSolves);
+    flops::add_l2((n * n) as u64);
     for j in 0..n {
         if !unit_diag {
             let d = a.get(j, j);
@@ -119,7 +125,8 @@ pub fn trsv_upper(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
-    flops::add((n * n) as u64);
+    metrics::incr(Counter::TriangularSolves);
+    flops::add_l2((n * n) as u64);
     for j in (0..n).rev() {
         let d = a.get(j, j);
         if d == 0.0 {
@@ -142,7 +149,8 @@ pub fn trsv_lower_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
-    flops::add((n * n) as u64);
+    metrics::incr(Counter::TriangularSolves);
+    flops::add_l2((n * n) as u64);
     for j in (0..n).rev() {
         let col = a.col(j);
         let mut s = b[j];
@@ -163,7 +171,8 @@ pub fn trsv_upper_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
-    flops::add((n * n) as u64);
+    metrics::incr(Counter::TriangularSolves);
+    flops::add_l2((n * n) as u64);
     for j in 0..n {
         let col = a.col(j);
         let mut s = b[j];

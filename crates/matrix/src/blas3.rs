@@ -1,6 +1,6 @@
 //! Level-3 kernels: general matrix multiply (packed, cache-blocked, with
-//! an optional rayon-parallel driver), symmetric rank-k update, and
-//! triangular solves with multiple right-hand sides.
+//! an optional scoped-thread parallel driver), symmetric rank-k update,
+//! and triangular solves with multiple right-hand sides.
 //!
 //! The paper's whole premise is that block algorithms are "rich in
 //! level-3 BLAS operations" (§1) and that BLAS3 on larger operands runs
@@ -11,9 +11,10 @@
 use crate::blas1;
 use crate::blas2;
 use crate::flops;
+use crate::par;
 use crate::view::{MatMut, MatRef};
 use crate::Result;
-use rayon::prelude::*;
+use bs_probe::metrics::{self, Counter};
 
 /// Transposition flag for `gemm` operands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,7 +92,11 @@ pub fn gemm(
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
-    flops::add(2 * (m * n * k) as u64);
+    flops::add_l3(2 * (m * n * k) as u64);
+    metrics::add(
+        Counter::BytesMoved,
+        (8 * (m * k + k * n + 2 * m * n)) as u64,
+    );
 
     // The packed path only pays when every dimension offers reuse;
     // with any extent below a register-tile's worth, packing traffic
@@ -104,8 +109,8 @@ pub fn gemm(
 }
 
 /// Parallel `gemm` driver: splits `C` (and `op(B)`) into column strips and
-/// runs the blocked kernel on each strip in the rayon pool. Falls back to
-/// the sequential path below a size threshold.
+/// runs the blocked kernel on each strip on its own scoped thread. Falls
+/// back to the sequential path below a size threshold.
 pub fn par_gemm(
     alpha: f64,
     a: MatRef<'_>,
@@ -119,7 +124,7 @@ pub fn par_gemm(
     let n = c.cols();
     let k = op_cols(a, ta);
     let work = m as u128 * n as u128 * k as u128;
-    let threads = rayon::current_num_threads();
+    let threads = par::current_num_threads();
     if threads <= 1 || work < 64 * 64 * 64 || n < 2 * NR {
         gemm(alpha, a, ta, b, tb, beta, c);
         return;
@@ -142,10 +147,9 @@ pub fn par_gemm(
         rest = tail;
         start += w;
     }
-    // Flop accounting: par_gemm charges the full product on the calling
-    // thread (worker-thread counters are thread-local and would be lost).
-    flops::add(2 * (m * n * k) as u64);
-    strips.into_par_iter().for_each(|(j0, cj)| {
+    // Flop accounting: each worker charges its own strip on its own
+    // thread-local probe slot; read the aggregate with `flops::total`.
+    par::for_each(strips, |(j0, cj)| {
         let w = cj.cols();
         let bj = match tb {
             Trans::No => b.sub(0, j0, k, w),
@@ -154,6 +158,11 @@ pub fn par_gemm(
         let mut cj = cj;
         scale_c(beta, cj.rb_mut());
         if alpha != 0.0 && m != 0 && w != 0 && k != 0 {
+            flops::add_l3(2 * (m * w * k) as u64);
+            metrics::add(
+                Counter::BytesMoved,
+                (8 * (m * k + k * w + 2 * m * w)) as u64,
+            );
             gemm_blocked(alpha, a, ta, bj, tb, cj);
         }
     });
@@ -213,14 +222,7 @@ fn gemm_naive_acc(
 
 /// Packed, cache-blocked gemm (C already scaled by beta; alpha folded in
 /// during packing of A).
-fn gemm_blocked(
-    alpha: f64,
-    a: MatRef<'_>,
-    ta: Trans,
-    b: MatRef<'_>,
-    tb: Trans,
-    mut c: MatMut<'_>,
-) {
+fn gemm_blocked(alpha: f64, a: MatRef<'_>, ta: Trans, b: MatRef<'_>, tb: Trans, mut c: MatMut<'_>) {
     let m = c.rows();
     let n = c.cols();
     let k = op_cols(a, ta);
@@ -281,15 +283,7 @@ fn pack_a(
 
 /// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into column micro-panels of width
 /// NR, zero padded.
-fn pack_b(
-    bpack: &mut [f64],
-    b: MatRef<'_>,
-    tb: Trans,
-    pc: usize,
-    jc: usize,
-    kc: usize,
-    nc: usize,
-) {
+fn pack_b(bpack: &mut [f64], b: MatRef<'_>, tb: Trans, pc: usize, jc: usize, kc: usize, nc: usize) {
     let mut dst = 0;
     let mut jr = 0;
     while jr < nc {
@@ -377,7 +371,8 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut 
     assert_eq!(c.cols(), n, "syrk: C must be square");
     assert_eq!(op_rows(a, trans), n, "syrk: op(A) rows vs C order");
     let k = op_cols(a, trans);
-    flops::add((n * n * k) as u64 + (n * n) as u64);
+    flops::add_l3((n * n * k) as u64 + (n * n) as u64);
+    metrics::add(Counter::BytesMoved, (8 * (n * k + n * n)) as u64);
     // Row i of op(A) dotted with row j of op(A).
     let dot_rows = |i: usize, j: usize| -> f64 {
         match trans {
@@ -496,7 +491,8 @@ pub fn trsm(
 
 fn trsv_lower_t_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     let n = a.rows();
-    flops::add((n * n) as u64);
+    metrics::incr(Counter::TriangularSolves);
+    flops::add_l2((n * n) as u64);
     for j in (0..n).rev() {
         let col = a.col(j);
         let mut s = b[j];
@@ -510,7 +506,8 @@ fn trsv_lower_t_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
 
 fn trsv_upper_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     let n = a.rows();
-    flops::add((n * n) as u64);
+    metrics::incr(Counter::TriangularSolves);
+    flops::add_l2((n * n) as u64);
     for j in (0..n).rev() {
         let bj = b[j];
         if bj != 0.0 {
@@ -525,7 +522,8 @@ fn trsv_upper_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
 
 fn trsv_upper_t_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     let n = a.rows();
-    flops::add((n * n) as u64);
+    metrics::incr(Counter::TriangularSolves);
+    flops::add_l2((n * n) as u64);
     for j in 0..n {
         let col = a.col(j);
         let mut s = b[j];
@@ -718,7 +716,16 @@ mod tests {
         let x = mat(n, 4, 21);
         let mut b = Matrix::zeros(n, 4);
         gemm(1.0, l.rf(), Trans::No, x.rf(), Trans::No, 0.0, b.mt());
-        trsm(Side::Left, Uplo::Lower, Trans::No, false, 1.0, l.rf(), b.mt()).unwrap();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        )
+        .unwrap();
         assert!(b.max_abs_diff(&x) < 1e-10);
     }
 
@@ -730,13 +737,31 @@ mod tests {
         let x = mat(n, 3, 23);
         let mut b = Matrix::zeros(n, 3);
         gemm(1.0, lt.rf(), Trans::No, x.rf(), Trans::No, 0.0, b.mt());
-        trsm(Side::Left, Uplo::Lower, Trans::Yes, false, 1.0, l.rf(), b.mt()).unwrap();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::Yes,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        )
+        .unwrap();
         assert!(b.max_abs_diff(&x) < 1e-10);
 
         let u = lt.clone();
         let mut b2 = Matrix::zeros(n, 3);
         gemm(1.0, u.rf(), Trans::No, x.rf(), Trans::No, 0.0, b2.mt());
-        trsm(Side::Left, Uplo::Upper, Trans::No, false, 1.0, u.rf(), b2.mt()).unwrap();
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            false,
+            1.0,
+            u.rf(),
+            b2.mt(),
+        )
+        .unwrap();
         assert!(b2.max_abs_diff(&x) < 1e-10);
     }
 
@@ -748,13 +773,31 @@ mod tests {
         // B = X * L
         let mut b = Matrix::zeros(4, n);
         gemm(1.0, x.rf(), Trans::No, l.rf(), Trans::No, 0.0, b.mt());
-        trsm(Side::Right, Uplo::Lower, Trans::No, false, 1.0, l.rf(), b.mt()).unwrap();
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        )
+        .unwrap();
         assert!(b.max_abs_diff(&x) < 1e-10);
 
         // B = X * Lᵀ
         let mut b2 = Matrix::zeros(4, n);
         gemm(1.0, x.rf(), Trans::No, l.rf(), Trans::Yes, 0.0, b2.mt());
-        trsm(Side::Right, Uplo::Lower, Trans::Yes, false, 1.0, l.rf(), b2.mt()).unwrap();
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::Yes,
+            false,
+            1.0,
+            l.rf(),
+            b2.mt(),
+        )
+        .unwrap();
         assert!(b2.max_abs_diff(&x) < 1e-10);
     }
 
@@ -765,7 +808,16 @@ mod tests {
         let x = mat(n, 2, 27);
         let mut b = Matrix::zeros(n, 2);
         gemm(1.0, l.rf(), Trans::No, x.rf(), Trans::No, 0.0, b.mt());
-        trsm(Side::Left, Uplo::Lower, Trans::No, false, 2.0, l.rf(), b.mt()).unwrap();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            2.0,
+            l.rf(),
+            b.mt(),
+        )
+        .unwrap();
         let mut want = x.clone();
         want.scale(2.0);
         assert!(b.max_abs_diff(&want) < 1e-10);
@@ -777,8 +829,19 @@ mod tests {
         l[(1, 1)] = 0.0;
         let mut b = Matrix::zeros(3, 1);
         b[(0, 0)] = 1.0;
-        let r = trsm(Side::Left, Uplo::Lower, Trans::No, false, 1.0, l.rf(), b.mt());
-        assert!(matches!(r, Err(crate::Error::SingularTriangle { index: 1 })));
+        let r = trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        );
+        assert!(matches!(
+            r,
+            Err(crate::Error::SingularTriangle { index: 1 })
+        ));
     }
 
     #[test]

@@ -1,33 +1,70 @@
-//! Thread-local floating-point operation counters.
+//! Flop counters, backed by the `bs-probe` metrics registry.
 //!
 //! The reproduced paper argues its representation choices with explicit
 //! flop counts (eqs. 25-32). Every kernel in this workspace reports the
 //! flops it performs here, *once per call* (not per element), so the
 //! counter costs nothing measurable and the analytic formulas in
 //! `bs-perfmodel` can be validated against instrumented reality.
+//!
+//! This module is now a shim over [`bs_probe::metrics`]: counts land in
+//! per-thread atomic slots, categorized by BLAS level. The historical
+//! API is preserved — [`add`]/[`get`]/[`reset`]/[`measure`] still see
+//! only the *current thread's* flops, exactly like the old thread-local
+//! `Cell` — while [`total`] aggregates every thread's contribution
+//! (what the parallel kernels' worker threads recorded included).
 
-use std::cell::Cell;
+use bs_probe::metrics::{self, Counter};
 
-thread_local! {
-    static FLOPS: Cell<u64> = const { Cell::new(0) };
-}
+const FLOP_COUNTERS: [Counter; 4] = [
+    Counter::FlopsBlas1,
+    Counter::FlopsBlas2,
+    Counter::FlopsBlas3,
+    Counter::FlopsOther,
+];
 
-/// Add `n` flops to the current thread's counter.
+/// Add `n` uncategorized flops to the current thread's counter.
 #[inline]
 pub fn add(n: u64) {
-    FLOPS.with(|f| f.set(f.get() + n));
+    metrics::add(Counter::FlopsOther, n);
 }
 
-/// Read the current thread's counter.
+/// Add `n` level-1 (vector kernel) flops.
+#[inline]
+pub fn add_l1(n: u64) {
+    metrics::add(Counter::FlopsBlas1, n);
+}
+
+/// Add `n` level-2 (matrix-vector kernel) flops.
+#[inline]
+pub fn add_l2(n: u64) {
+    metrics::add(Counter::FlopsBlas2, n);
+}
+
+/// Add `n` level-3 (matrix-matrix kernel) flops.
+#[inline]
+pub fn add_l3(n: u64) {
+    metrics::add(Counter::FlopsBlas3, n);
+}
+
+/// Read the current thread's counter (all categories).
 #[inline]
 pub fn get() -> u64 {
-    FLOPS.with(|f| f.get())
+    FLOP_COUNTERS.iter().map(|&c| metrics::local_get(c)).sum()
 }
 
-/// Reset the current thread's counter to zero.
+/// Reset the current thread's counter to zero (all categories).
+/// Other threads' slots — and hence their share of [`total`] — are
+/// unaffected.
 #[inline]
 pub fn reset() {
-    FLOPS.with(|f| f.set(0));
+    metrics::local_reset(&FLOP_COUNTERS);
+}
+
+/// Sum of flops across *every* thread since the last
+/// [`bs_probe::metrics::reset_all`], including parallel-kernel workers.
+#[inline]
+pub fn total() -> u64 {
+    metrics::flops_total()
 }
 
 /// Run `f` and return `(result, flops performed by f on this thread)`.
@@ -70,5 +107,38 @@ mod tests {
         });
         assert_eq!(handle.join().unwrap(), 1);
         assert_eq!(get(), 7);
+    }
+
+    #[test]
+    fn categories_all_land_in_get() {
+        reset();
+        add_l1(1);
+        add_l2(2);
+        add_l3(4);
+        add(8);
+        assert_eq!(get(), 15);
+    }
+
+    #[test]
+    fn total_aggregates_across_worker_threads() {
+        // The seed counter lost worker-thread flops entirely; the probe
+        // registry keeps every thread's slot, so `total` must grow by the
+        // full amount while the local `get` view stays thread-local.
+        reset();
+        let before_total = total();
+        add(3);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    add_l3(1000);
+                    assert_eq!(get(), 1000, "worker sees only its own flops");
+                });
+            }
+        });
+        assert_eq!(get(), 3, "local view unchanged by workers");
+        assert!(
+            total() >= before_total + 3 + 4000,
+            "total must include all worker contributions"
+        );
     }
 }

@@ -77,13 +77,7 @@ impl Signature {
     /// As a dense diagonal matrix (for tests / reconstruction checks).
     pub fn to_matrix(&self) -> Matrix {
         let n = self.0.len();
-        Matrix::from_fn(n, n, |i, j| {
-            if i == j {
-                self.0[i] as f64
-            } else {
-                0.0
-            }
-        })
+        Matrix::from_fn(n, n, |i, j| if i == j { self.0[i] as f64 } else { 0.0 })
     }
 }
 
@@ -96,7 +90,10 @@ impl Signature {
 pub fn ldlt_in_place(mut a: MatMut<'_>, pivot_tol: f64) -> Result<Vec<f64>> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "ldlt: matrix must be square");
-    let scale = (0..n).map(|i| a.get(i, i).abs()).fold(0.0, f64::max).max(1.0);
+    let scale = (0..n)
+        .map(|i| a.get(i, i).abs())
+        .fold(0.0, f64::max)
+        .max(1.0);
     flops::add((n * n * n) as u64 / 3);
     let mut d = vec![0.0f64; n];
     for j in 0..n {
@@ -207,11 +204,7 @@ mod tests {
     #[test]
     fn ldlt_indefinite_reconstructs() {
         // Indefinite but with nonsingular leading minors.
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, -3.0, 0.5],
-            &[0.0, 0.5, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, -3.0, 0.5], &[0.0, 0.5, 1.0]]);
         let mut lfac = a.clone();
         let d = ldlt_in_place(lfac.mt(), 0.0).unwrap();
         assert!(d[1] < 0.0, "second pivot must be negative");
@@ -232,11 +225,7 @@ mod tests {
 
     #[test]
     fn sldlt_signature_and_reconstruction() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 2.0, -1.0],
-            &[2.0, -2.0, 0.5],
-            &[-1.0, 0.5, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 2.0, -1.0], &[2.0, -2.0, 0.5], &[-1.0, 0.5, 3.0]]);
         let (l, sig) = sldlt(&a, 0.0).unwrap();
         assert_eq!(sig.sign(0), 1);
         assert_eq!(sig.sign(1), -1);
@@ -261,11 +250,7 @@ mod tests {
 
     #[test]
     fn ldlt_solve_round_trips() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, -3.0, 0.5],
-            &[0.0, 0.5, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, -3.0, 0.5], &[0.0, 0.5, 1.0]]);
         let mut lfac = a.clone();
         ldlt_in_place(lfac.mt(), 0.0).unwrap();
         let x_true = [1.0, -2.0, 3.0];

@@ -1,4 +1,5 @@
-#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read
+#![allow(clippy::needless_range_loop)]
+// index-heavy numeric kernels read
 // clearer with explicit indices when several parallel arrays are walked
 // together; iterator-zip rewrites were measured to obscure, not improve.
 
@@ -32,16 +33,17 @@ pub mod flops;
 pub mod ldlt;
 pub mod lu;
 pub mod norms;
+pub mod par;
 pub mod qr;
 pub mod trmm;
 pub mod view;
 
 pub use blas3::{gemm, par_gemm, syrk, trsm, Side, Trans, Uplo};
-pub use trmm::{symm, trmm};
 pub use chol::cholesky_in_place;
 pub use dense::Matrix;
 pub use ldlt::{ldlt_in_place, Signature};
 pub use lu::LuFactors;
+pub use trmm::{symm, trmm};
 pub use view::{MatMut, MatRef};
 
 /// Numerical failures surfaced by the factorization routines.

@@ -68,7 +68,10 @@ pub fn inv_one_norm_estimate(f: &LuFactors) -> f64 {
         let ynorm = vec_one(&y);
         est = est.max(ynorm);
         // xi = sign(y)
-        let xi: Vec<f64> = y.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let xi: Vec<f64> = y
+            .iter()
+            .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let z = match f.solve_transposed(&xi) {
             Ok(z) => z,
             Err(_) => return f64::INFINITY,

@@ -1,0 +1,81 @@
+//! Minimal parallel driver for the level-3 kernels.
+//!
+//! The parallel gemm path hands each worker a disjoint column strip of
+//! `C`; all a driver needs is "run this closure once per strip, on its
+//! own thread". Scoped threads do exactly that with no external
+//! dependency and no pool state, and because every strip carries a
+//! whole macro-kernel's worth of work, thread spawn cost is noise.
+//!
+//! Worker threads count their own flops into their thread-local
+//! `bs-probe` slots; aggregate with `bs_probe::metrics::total` (or
+//! `flops::total`), not the per-thread `flops::get`.
+
+/// Number of hardware threads available (1 when it cannot be queried).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` once per item, each on its own scoped thread. With zero or
+/// one item (or when only one hardware thread is available) the items
+/// run inline on the calling thread.
+pub fn for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if items.len() <= 1 || current_num_threads() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let fref = &f;
+    std::thread::scope(|s| {
+        for item in items {
+            s.spawn(move || fref(item));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        for_each((1..=10usize).collect(), |v| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn empty_and_single_item_run_inline() {
+        for_each(Vec::<usize>::new(), |_| panic!("no items"));
+        let hits = AtomicUsize::new(0);
+        for_each(vec![7usize], |v| {
+            assert_eq!(v, 7);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mutable_borrows_pass_through() {
+        let mut data = [0u64; 4];
+        let chunks: Vec<(usize, &mut [u64])> = data.chunks_mut(2).enumerate().collect();
+        for_each(chunks, |(i, chunk)| {
+            for c in chunk {
+                *c = i as u64 + 1;
+            }
+        });
+        assert_eq!(data, [1, 1, 2, 2]);
+    }
+}

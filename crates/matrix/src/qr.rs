@@ -33,7 +33,7 @@ pub fn qr_factor(a: &Matrix) -> (Matrix, Vec<f64>) {
         let beta = -(alpha.signum()) * (alpha * alpha + normx2).sqrt();
         let v0 = alpha - beta;
         tau[k] = -v0 / beta; // = 2 / (vᵀv) scaled for unit leading entry
-        // Store v/v0 below the diagonal, beta on it.
+                             // Store v/v0 below the diagonal, beta on it.
         for i in k + 1..m {
             qr[(i, k)] /= v0;
         }

@@ -28,7 +28,14 @@ pub fn trmm(
         Side::Left => assert_eq!(b.rows(), n, "trmm left: A order vs B rows"),
         Side::Right => assert_eq!(b.cols(), n, "trmm right: A order vs B cols"),
     }
-    flops::add((n * n) as u64 * if side == Side::Left { b.cols() } else { b.rows() } as u64);
+    flops::add(
+        (n * n) as u64
+            * if side == Side::Left {
+                b.cols()
+            } else {
+                b.rows()
+            } as u64,
+    );
     match side {
         Side::Left => {
             for j in 0..b.cols() {
@@ -276,9 +283,25 @@ mod tests {
         }
         let br = mat(4, n, 8);
         let mut want_r = Matrix::zeros(4, n);
-        gemm(1.0, br.rf(), Trans::No, full.rf(), Trans::No, 0.0, want_r.mt());
+        gemm(
+            1.0,
+            br.rf(),
+            Trans::No,
+            full.rf(),
+            Trans::No,
+            0.0,
+            want_r.mt(),
+        );
         let mut cr = Matrix::zeros(4, n);
-        symm(Side::Right, Uplo::Upper, 1.0, up.rf(), br.rf(), 0.0, cr.mt());
+        symm(
+            Side::Right,
+            Uplo::Upper,
+            1.0,
+            up.rf(),
+            br.rf(),
+            0.0,
+            cr.mt(),
+        );
         assert!(cr.max_abs_diff(&want_r) < 1e-12);
     }
 

@@ -38,7 +38,10 @@ impl<'a> MatRef<'a> {
     /// `(cols-1)*cstride + rows` elements.
     #[inline]
     pub fn from_parts(data: &'a [f64], rows: usize, cols: usize, cstride: usize) -> Self {
-        assert!(cstride >= rows || cols <= 1, "column stride smaller than rows");
+        assert!(
+            cstride >= rows || cols <= 1,
+            "column stride smaller than rows"
+        );
         assert!(
             data.len() >= required_len(rows, cols, cstride),
             "backing slice too short: {} < {}",
@@ -111,7 +114,10 @@ impl<'a> MatMut<'a> {
     /// Construct from raw parts; same contract as [`MatRef::from_parts`].
     #[inline]
     pub fn from_parts(data: &'a mut [f64], rows: usize, cols: usize, cstride: usize) -> Self {
-        assert!(cstride >= rows || cols <= 1, "column stride smaller than rows");
+        assert!(
+            cstride >= rows || cols <= 1,
+            "column stride smaller than rows"
+        );
         assert!(
             data.len() >= required_len(rows, cols, cstride),
             "backing slice too short: {} < {}",

@@ -14,7 +14,5 @@
 pub mod model;
 pub mod tradeoff;
 
-pub use model::{
-    apply_flops, blocking_flops, comm_words, step_flops, total_factor_flops, Rep,
-};
+pub use model::{apply_flops, blocking_flops, comm_words, step_flops, total_factor_flops, Rep};
 pub use tradeoff::{best_rep_for_apply, best_rep_for_blocking, crossover_block_size};

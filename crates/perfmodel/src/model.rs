@@ -38,19 +38,18 @@ pub fn blocking_flops(rep: Rep, m: usize, k: usize) -> f64 {
     match rep {
         // eq. 25: 4m²k + 2mk² − 3m² + 4mk + 0.5k² + m + 10.5k
         Rep::Accumulated => {
-            4.0 * m * m * k + 2.0 * m * k * k - 3.0 * m * m + 4.0 * m * k + 0.5 * k * k + m
+            4.0 * m * m * k + 2.0 * m * k * k - 3.0 * m * m
+                + 4.0 * m * k
+                + 0.5 * k * k
+                + m
                 + 10.5 * k
         }
         // eq. 26: 2mk² + k³/3 + 3.5mk + 0.25k² − m + 9k
-        Rep::VY1 => {
-            2.0 * m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k - m + 9.0 * k
-        }
+        Rep::VY1 => 2.0 * m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k - m + 9.0 * k,
         // eq. 27: 2mk² + 2.5mk + 0.5k² − 0.5m + 8.5k
         Rep::VY2 => 2.0 * m * k * k + 2.5 * m * k + 0.5 * k * k - 0.5 * m + 8.5 * k,
         // eq. 28: mk² + k³/3 + 3.5mk + 0.25k² + 9k − m − 1
-        Rep::YTY => {
-            m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k + 9.0 * k - m - 1.0
-        }
+        Rep::YTY => m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k + 9.0 * k - m - 1.0,
     }
 }
 
@@ -79,9 +78,7 @@ pub fn apply_flops(rep: Rep, m: usize, k: usize, p: usize) -> f64 {
                 + 2.0 * mf * pf * kf
         }
         // eq. 32: 4m²pk + mpk² + m²p + 4mpk
-        Rep::YTY => {
-            4.0 * mf * mf * pf * kf + mf * pf * kf * kf + mf * mf * pf + 4.0 * mf * pf * kf
-        }
+        Rep::YTY => 4.0 * mf * mf * pf * kf + mf * pf * kf * kf + mf * mf * pf + 4.0 * mf * pf * kf,
     }
 }
 
@@ -152,7 +149,11 @@ mod tests {
             // Leading terms 5m³p vs 7m³p (lower-order terms decay ~1/m).
             let m3p = (m * m * m * p) as f64;
             assert!((u / m3p - 7.0).abs() < 3.0 / m as f64, "m={m}: {}", u / m3p);
-            assert!((v2 / m3p - 5.0).abs() < 3.0 / m as f64, "m={m}: {}", v2 / m3p);
+            assert!(
+                (v2 / m3p - 5.0).abs() < 3.0 / m as f64,
+                "m={m}: {}",
+                v2 / m3p
+            );
         }
     }
 

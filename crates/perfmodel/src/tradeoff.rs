@@ -35,11 +35,7 @@ pub fn best_rep_for_apply(m: usize, p: usize) -> Rep {
 /// characterization of the primitives' performance" the paper uses for
 /// its Y-MP analysis), return the `m_s` from `candidates` minimizing
 /// predicted time `total_flops(n, m_s) / rate(m_s)`.
-pub fn crossover_block_size(
-    n: usize,
-    candidates: &[usize],
-    rate: impl Fn(usize) -> f64,
-) -> usize {
+pub fn crossover_block_size(n: usize, candidates: &[usize], rate: impl Fn(usize) -> f64) -> usize {
     assert!(!candidates.is_empty());
     *candidates
         .iter()

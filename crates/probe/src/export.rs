@@ -1,0 +1,201 @@
+//! JSON-lines export of traces, metrics, and stability reports.
+//!
+//! The trace file format is one JSON object per line, discriminated by
+//! a `"type"` member:
+//!
+//! * `{"type":"span","kind":"enter|exit|instant","name":...,"t_ns":...,
+//!   "thread":...,"fields":{...}}` — one line per trace event;
+//! * `{"type":"step","step":...,"column":...,"gen_col_norm":...,
+//!   "hnorm":...,"gamma":...,"growth":...,"flagged":...}` — one line
+//!   per stability record (per-step growth factors);
+//! * `{"type":"residual","iter":...,"norm":...}` — refinement history;
+//! * `{"type":"metrics",...}` — final counter totals, one line.
+
+use crate::json::Json;
+use crate::metrics::{self, Counter};
+use crate::stability::{StabilityReport, StepRecord};
+use crate::trace::Event;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serialize one trace event as a JSON object.
+pub fn event_json(e: &Event) -> Json {
+    Json::obj(vec![
+        ("type", Json::Str("span".into())),
+        ("kind", Json::Str(e.kind.name().into())),
+        ("name", Json::Str(e.name.into())),
+        ("t_ns", Json::Num(e.t_ns as f64)),
+        ("thread", Json::Num(e.thread as f64)),
+        (
+            "fields",
+            Json::Obj(
+                e.fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialize one stability step record as a JSON object.
+pub fn step_json(s: &StepRecord) -> Json {
+    Json::obj(vec![
+        ("type", Json::Str("step".into())),
+        ("step", Json::Num(s.step as f64)),
+        ("column", Json::Num(s.column as f64)),
+        ("gen_col_norm", Json::Num(s.gen_col_norm)),
+        ("hnorm", Json::Num(s.hnorm)),
+        ("gamma", Json::Num(s.gamma)),
+        ("growth", Json::Num(s.growth)),
+        ("flagged", Json::Bool(s.flagged)),
+    ])
+}
+
+/// Serialize current counter totals as a JSON object (no `"type"` tag;
+/// see [`metrics_line`] for the trace-file form).
+pub fn metrics_json() -> Json {
+    let snap = metrics::snapshot_total();
+    let mut fields: Vec<(String, Json)> = Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), Json::Num(snap[c as usize] as f64)))
+        .collect();
+    fields.push((
+        "flops_total".to_string(),
+        Json::Num(metrics::flops_total() as f64),
+    ));
+    Json::Obj(fields)
+}
+
+fn metrics_line() -> Json {
+    match metrics_json() {
+        Json::Obj(mut fields) => {
+            fields.insert(0, ("type".to_string(), Json::Str("metrics".into())));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// Serialize a stability report as one JSON document (used by
+/// `--metrics` output rather than the JSONL trace).
+pub fn stability_json(report: &StabilityReport) -> Json {
+    Json::obj(vec![
+        ("threshold", Json::Num(report.threshold)),
+        ("peak_growth", Json::Num(report.peak_growth)),
+        (
+            "steps",
+            Json::Arr(report.steps.iter().map(step_json).collect()),
+        ),
+        (
+            "residual_norms",
+            Json::Arr(
+                report
+                    .residual_norms
+                    .iter()
+                    .map(|&r| Json::Num(r))
+                    .collect(),
+            ),
+        ),
+        (
+            "warnings",
+            Json::Arr(report.warnings().into_iter().map(Json::Str).collect()),
+        ),
+    ])
+}
+
+/// Render trace events, a stability report, and the counter totals as
+/// JSON-lines text.
+pub fn trace_jsonl(events: &[Event], report: &StabilityReport) -> String {
+    let mut out = String::new();
+    for e in events {
+        event_json(e).write(&mut out);
+        out.push('\n');
+    }
+    for s in &report.steps {
+        step_json(s).write(&mut out);
+        out.push('\n');
+    }
+    for (i, r) in report.residual_norms.iter().enumerate() {
+        Json::obj(vec![
+            ("type", Json::Str("residual".into())),
+            ("iter", Json::Num(i as f64)),
+            ("norm", Json::Num(*r)),
+        ])
+        .write(&mut out);
+        out.push('\n');
+    }
+    metrics_line().write(&mut out);
+    out.push('\n');
+    out
+}
+
+/// Drain the trace and stability buffers and write them as JSON-lines
+/// to `path`.
+pub fn write_trace_jsonl(path: &Path) -> io::Result<()> {
+    let events = crate::trace::take_events();
+    let report = crate::stability::take_report();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(trace_jsonl(&events, &report).as_bytes())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    #[test]
+    fn jsonl_lines_are_each_valid_json() {
+        let events = vec![
+            Event {
+                kind: EventKind::Enter,
+                name: "factor",
+                t_ns: 10,
+                thread: 0,
+                fields: vec![("n", 64.0)],
+            },
+            Event {
+                kind: EventKind::Exit,
+                name: "factor",
+                t_ns: 99,
+                thread: 0,
+                fields: vec![],
+            },
+        ];
+        let report = StabilityReport {
+            steps: vec![StepRecord {
+                step: 1,
+                column: 0,
+                gen_col_norm: 2.0,
+                hnorm: 0.5,
+                gamma: 1.5,
+                growth: 1.5,
+                flagged: false,
+            }],
+            residual_norms: vec![1e-3, 1e-9],
+            peak_growth: 1.5,
+            threshold: 0.0,
+        };
+        let text = trace_jsonl(&events, &report);
+        let lines: Vec<&str> = text.lines().collect();
+        // 2 spans + 1 step + 2 residuals + 1 metrics line.
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            let v = Json::parse(line).expect("line parses");
+            assert!(v.get("type").is_some());
+        }
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("name").unwrap().as_str(), Some("factor"));
+        assert_eq!(
+            first.get("fields").unwrap().get("n").unwrap().as_f64(),
+            Some(64.0)
+        );
+        let step = Json::parse(lines[2]).unwrap();
+        assert_eq!(step.get("type").unwrap().as_str(), Some("step"));
+        assert_eq!(step.get("growth").unwrap().as_f64(), Some(1.5));
+        let metrics = Json::parse(lines[5]).unwrap();
+        assert_eq!(metrics.get("type").unwrap().as_str(), Some("metrics"));
+        assert!(metrics.get("flops_total").is_some());
+    }
+}

@@ -1,0 +1,59 @@
+//! `bs-probe` — observability for the block Schur factorization stack.
+//!
+//! Zero-dependency building blocks shared by every layer of the
+//! workspace, from the BLAS kernels up to the CLI:
+//!
+//! * [`trace`] — a lightweight span/event tracer. Each thread records
+//!   into its own ring buffer; when tracing is disabled the cost is a
+//!   single relaxed atomic load per site. Use the [`span!`] macro:
+//!   `let _s = bs_probe::span!("apply_rep", step = k);`
+//! * [`metrics`] — categorized counters (flops by BLAS level, matvec
+//!   and rank-1 counts, bytes moved, simulated communication volume)
+//!   kept in per-thread atomic slots so the parallel paths aggregate
+//!   across worker threads without contention. Always on; a counter
+//!   bump is one relaxed `fetch_add` on a thread-local slot.
+//! * [`stability`] — a numerical-stability monitor recording per-step
+//!   generator column norms, hyperbolic reflector norm estimates
+//!   (the growth factors of Bojanczyk/Brent/de Hoog), and residual
+//!   history from iterative refinement, flagging steps whose growth
+//!   exceeds a configurable threshold.
+//! * [`json`] / [`export`] — a minimal JSON value type plus writers
+//!   that serialize traces as JSON-lines and metrics/stability
+//!   reports as single JSON documents.
+//!
+//! The crate deliberately has no dependencies (not even on the rest of
+//! the workspace) so any crate can instrument itself without cycles.
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod stability;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::Counter;
+pub use stability::{StabilityReport, StepRecord};
+pub use trace::{Event, EventKind, SpanGuard};
+
+/// Enable tracing and stability monitoring together.
+///
+/// `growth_threshold` is forwarded to [`stability::enable`]; steps whose
+/// growth factor exceeds it are flagged in the report.
+pub fn enable_all(growth_threshold: f64) {
+    trace::enable();
+    stability::enable(growth_threshold);
+}
+
+/// Disable tracing and stability monitoring (metrics counters are
+/// always on) without clearing recorded data.
+pub fn disable_all() {
+    trace::disable();
+    stability::disable();
+}
+
+/// Clear every recorded event, counter, and stability record.
+pub fn reset_all() {
+    trace::clear();
+    metrics::reset_all();
+    stability::reset();
+}

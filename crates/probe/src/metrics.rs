@@ -1,0 +1,242 @@
+//! Categorized counters with cross-thread aggregation.
+//!
+//! Each thread owns a slot of atomic counters; a bump is one relaxed
+//! `fetch_add` on the local slot, so worker threads in the parallel
+//! kernels never contend. Slots are kept alive by a global registry
+//! even after their thread exits, so [`total`] always reflects every
+//! contribution since the last [`reset_all`].
+//!
+//! Counters are always on — this module generalizes the old
+//! `bs_matrix::flops` thread-local tally, and the flops shim there
+//! still needs per-thread reads ([`local_get`] / [`local_reset`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One category of counted work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Floating-point operations in level-1 (vector) kernels.
+    FlopsBlas1,
+    /// Floating-point operations in level-2 (matrix-vector) kernels.
+    FlopsBlas2,
+    /// Floating-point operations in level-3 (matrix-matrix) kernels.
+    FlopsBlas3,
+    /// Floating-point operations outside the BLAS kernels.
+    FlopsOther,
+    /// Matrix-vector products performed.
+    Matvecs,
+    /// Rank-1 updates performed.
+    Rank1Updates,
+    /// Triangular solves performed (any number of right-hand sides).
+    TriangularSolves,
+    /// Bytes read+written by the level-3 kernels (traffic estimate).
+    BytesMoved,
+    /// Bytes crossing simulated process boundaries (bs-distmem).
+    CommBytes,
+    /// Messages crossing simulated process boundaries.
+    CommMessages,
+    /// Words of generator data exchanged per the paper's comm model.
+    CommWords,
+    /// Block Schur steps completed.
+    SchurSteps,
+    /// Elementary hyperbolic reflectors generated.
+    Reflectors,
+    /// Perturbations applied by the indefinite factorization.
+    Perturbations,
+    /// Row exchanges applied by the indefinite factorization.
+    Exchanges,
+    /// Iterative-refinement iterations performed.
+    RefineIterations,
+}
+
+/// Number of counter categories.
+pub const N_COUNTERS: usize = 16;
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; N_COUNTERS] = [
+        Counter::FlopsBlas1,
+        Counter::FlopsBlas2,
+        Counter::FlopsBlas3,
+        Counter::FlopsOther,
+        Counter::Matvecs,
+        Counter::Rank1Updates,
+        Counter::TriangularSolves,
+        Counter::BytesMoved,
+        Counter::CommBytes,
+        Counter::CommMessages,
+        Counter::CommWords,
+        Counter::SchurSteps,
+        Counter::Reflectors,
+        Counter::Perturbations,
+        Counter::Exchanges,
+        Counter::RefineIterations,
+    ];
+
+    /// Stable snake_case name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::FlopsBlas1 => "flops_blas1",
+            Counter::FlopsBlas2 => "flops_blas2",
+            Counter::FlopsBlas3 => "flops_blas3",
+            Counter::FlopsOther => "flops_other",
+            Counter::Matvecs => "matvecs",
+            Counter::Rank1Updates => "rank1_updates",
+            Counter::TriangularSolves => "triangular_solves",
+            Counter::BytesMoved => "bytes_moved",
+            Counter::CommBytes => "comm_bytes",
+            Counter::CommMessages => "comm_messages",
+            Counter::CommWords => "comm_words",
+            Counter::SchurSteps => "schur_steps",
+            Counter::Reflectors => "reflectors",
+            Counter::Perturbations => "perturbations",
+            Counter::Exchanges => "exchanges",
+            Counter::RefineIterations => "refine_iterations",
+        }
+    }
+}
+
+struct Slot {
+    vals: [AtomicU64; N_COUNTERS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            vals: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+static SLOTS: Mutex<Vec<Arc<Slot>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: Arc<Slot> = {
+        let slot = Arc::new(Slot::new());
+        SLOTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(slot.clone());
+        slot
+    };
+}
+
+fn slots() -> std::sync::MutexGuard<'static, Vec<Arc<Slot>>> {
+    SLOTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Add `n` to counter `c` on the current thread's slot.
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if n == 0 {
+        return;
+    }
+    LOCAL.with(|slot| {
+        slot.vals[c as usize].fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// Increment counter `c` by one.
+#[inline]
+pub fn incr(c: Counter) {
+    add(c, 1);
+}
+
+/// Current thread's contribution to counter `c` since its last
+/// [`local_reset`] of that counter.
+pub fn local_get(c: Counter) -> u64 {
+    LOCAL.with(|slot| slot.vals[c as usize].load(Ordering::Relaxed))
+}
+
+/// Zero the given counters on the current thread's slot only.
+pub fn local_reset(counters: &[Counter]) {
+    LOCAL.with(|slot| {
+        for &c in counters {
+            slot.vals[c as usize].store(0, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Sum of counter `c` across every thread that ever recorded
+/// (including threads that have since exited).
+pub fn total(c: Counter) -> u64 {
+    slots()
+        .iter()
+        .map(|s| s.vals[c as usize].load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Snapshot of all counter totals, indexed like [`Counter::ALL`].
+pub fn snapshot_total() -> [u64; N_COUNTERS] {
+    let mut out = [0u64; N_COUNTERS];
+    for s in slots().iter() {
+        for (o, v) in out.iter_mut().zip(s.vals.iter()) {
+            *o += v.load(Ordering::Relaxed);
+        }
+    }
+    out
+}
+
+/// Total floating-point operations across all categories and threads.
+pub fn flops_total() -> u64 {
+    let snap = snapshot_total();
+    snap[Counter::FlopsBlas1 as usize]
+        + snap[Counter::FlopsBlas2 as usize]
+        + snap[Counter::FlopsBlas3 as usize]
+        + snap[Counter::FlopsOther as usize]
+}
+
+/// Zero every counter on every slot and forget slots whose thread has
+/// exited.
+pub fn reset_all() {
+    let mut slots = slots();
+    slots.retain(|s| Arc::strong_count(s) > 1);
+    for s in slots.iter() {
+        for v in s.vals.iter() {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_counts_are_per_thread_but_total_aggregates() {
+        local_reset(&[Counter::CommWords]);
+        add(Counter::CommWords, 5);
+        let before_total = total(Counter::CommWords);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    add(Counter::CommWords, 100);
+                    // A worker's local view sees only its own bumps.
+                    assert_eq!(local_get(Counter::CommWords), 100);
+                });
+            }
+        });
+        assert_eq!(local_get(Counter::CommWords), 5);
+        assert_eq!(total(Counter::CommWords), before_total + 400);
+    }
+
+    #[test]
+    fn totals_survive_thread_exit() {
+        let before = total(Counter::CommMessages);
+        std::thread::spawn(|| add(Counter::CommMessages, 7))
+            .join()
+            .unwrap();
+        assert_eq!(total(Counter::CommMessages), before + 7);
+    }
+
+    #[test]
+    fn snapshot_matches_individual_totals() {
+        add(Counter::Matvecs, 3);
+        let snap = snapshot_total();
+        for c in Counter::ALL {
+            assert_eq!(snap[c as usize], total(c), "{}", c.name());
+        }
+    }
+}

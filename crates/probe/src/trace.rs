@@ -1,0 +1,338 @@
+//! Span/event tracer with per-thread ring buffers.
+//!
+//! Tracing is off by default. Every record site first performs one
+//! relaxed atomic load; when disabled nothing else happens, so
+//! instrumented hot loops pay an unmeasurable cost. When enabled,
+//! events carry a nanosecond timestamp relative to the first recorded
+//! event, the recording thread's probe-assigned id, and a small list of
+//! named `f64` fields.
+//!
+//! Buffers are rings: once a thread's buffer reaches the configured
+//! capacity the oldest events are overwritten (and counted in
+//! [`dropped_events`]), so a long run keeps the most recent window.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// What a trace [`Event`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened.
+    Enter,
+    /// Span closed.
+    Exit,
+    /// Point event with no duration.
+    Instant,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Span or event name (static so recording never allocates for it).
+    pub name: &'static str,
+    /// Nanoseconds since the trace epoch (first use after enable).
+    pub t_ns: u64,
+    /// Probe-assigned id of the recording thread (0 = first thread seen).
+    pub thread: u64,
+    /// Named numeric payload, e.g. `[("step", 3.0)]`.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(1 << 16);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+#[derive(Default)]
+struct ThreadBuf {
+    events: Vec<Event>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+}
+
+impl ThreadBuf {
+    fn push(&mut self, e: Event, cap: usize) {
+        if self.events.len() < cap {
+            self.events.push(e);
+        } else if cap > 0 {
+            self.events[self.head] = e;
+            self.head = (self.head + 1) % cap;
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Event> {
+        let head = self.head;
+        self.head = 0;
+        let mut v = std::mem::take(&mut self.events);
+        v.rotate_left(head);
+        v
+    }
+}
+
+static REGISTRY: Mutex<Vec<Arc<Mutex<ThreadBuf>>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: (Arc<Mutex<ThreadBuf>>, u64) = {
+        let buf = Arc::new(Mutex::new(ThreadBuf::default()));
+        lock_poison_ok(&REGISTRY).push(buf.clone());
+        (buf, NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed))
+    };
+}
+
+/// Lock a mutex, recovering the data if a panicking thread poisoned it
+/// (trace buffers stay usable after a worker panic).
+fn lock_poison_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Turn tracing on. Events recorded before this call were dropped.
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turn tracing off. Already-recorded events stay buffered.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Cheap check used by every instrumentation site.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Cap each thread's ring buffer at `cap` events (default 65536).
+pub fn set_capacity(cap: usize) {
+    CAPACITY.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Events overwritten because a ring buffer filled up.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Record one event on the current thread (no-op when disabled).
+#[inline]
+pub fn record(kind: EventKind, name: &'static str, fields: Vec<(&'static str, f64)>) {
+    if !is_enabled() {
+        return;
+    }
+    let t_ns = now_ns();
+    LOCAL.with(|(buf, thread)| {
+        let cap = CAPACITY.load(Ordering::Relaxed);
+        lock_poison_ok(buf).push(
+            Event {
+                kind,
+                name,
+                t_ns,
+                thread: *thread,
+                fields,
+            },
+            cap,
+        );
+    });
+}
+
+/// Record an [`EventKind::Instant`] event (no-op when disabled).
+#[inline]
+pub fn instant(name: &'static str, fields: Vec<(&'static str, f64)>) {
+    record(EventKind::Instant, name, fields);
+}
+
+/// RAII guard emitting an [`EventKind::Exit`] event when dropped.
+///
+/// Produced by [`span`] / the [`span!`](crate::span) macro. When
+/// tracing was disabled at creation the guard is inert, even if
+/// tracing is enabled before it drops (spans never half-appear).
+#[must_use = "a span guard records its exit when dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    armed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            record(EventKind::Exit, self.name, Vec::new());
+        }
+    }
+}
+
+/// Open a span: records an [`EventKind::Enter`] event now and an exit
+/// when the returned guard drops. Prefer the [`span!`](crate::span)
+/// macro, which skips building `fields` while tracing is disabled.
+#[inline]
+pub fn span(name: &'static str, fields: Vec<(&'static str, f64)>) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { name, armed: false };
+    }
+    record(EventKind::Enter, name, fields);
+    SpanGuard { name, armed: true }
+}
+
+/// Drain every thread's buffered events, sorted by timestamp.
+pub fn take_events() -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut registry = lock_poison_ok(&REGISTRY);
+    for buf in registry.iter() {
+        out.append(&mut lock_poison_ok(buf).drain());
+    }
+    // Forget buffers whose thread has exited (their events were just taken).
+    registry.retain(|buf| Arc::strong_count(buf) > 1);
+    drop(registry);
+    out.sort_by_key(|e| e.t_ns);
+    out
+}
+
+/// Discard all buffered events.
+pub fn clear() {
+    let _ = take_events();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Open a trace span with optional numeric fields.
+///
+/// ```
+/// let _guard = bs_probe::span!("factor_spd");
+/// let k = 3usize;
+/// let _inner = bs_probe::span!("apply_rep", step = k, cols = 8);
+/// ```
+///
+/// Field values are evaluated and the field vector allocated only when
+/// tracing is enabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::trace::span(
+            $name,
+            if $crate::trace::is_enabled() {
+                <[_]>::into_vec(::std::boxed::Box::new([
+                    $((stringify!($key), ($val) as f64)),+
+                ]))
+            } else {
+                ::std::vec::Vec::new()
+            },
+        )
+    };
+}
+
+/// Record an instant event with optional numeric fields; same shape as
+/// [`span!`](crate::span) but with no guard.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::trace::instant($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::trace::instant(
+            $name,
+            if $crate::trace::is_enabled() {
+                <[_]>::into_vec(::std::boxed::Box::new([
+                    $((stringify!($key), ($val) as f64)),+
+                ]))
+            } else {
+                ::std::vec::Vec::new()
+            },
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global; serialize the tests that toggle it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = lock_poison_ok(&TEST_LOCK);
+        disable();
+        clear();
+        record(EventKind::Instant, "ghost", Vec::new());
+        let _g = span("ghost_span", Vec::new());
+        drop(_g);
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn span_macro_brackets_events() {
+        let _l = lock_poison_ok(&TEST_LOCK);
+        clear();
+        enable();
+        {
+            let _g = crate::span!("outer", step = 2usize);
+            crate::event!("inner", flops = 10.0);
+        }
+        disable();
+        let ev = take_events();
+        let names: Vec<_> = ev.iter().map(|e| (e.kind, e.name)).collect();
+        assert_eq!(
+            names,
+            vec![
+                (EventKind::Enter, "outer"),
+                (EventKind::Instant, "inner"),
+                (EventKind::Exit, "outer"),
+            ]
+        );
+        assert_eq!(ev[0].fields, vec![("step", 2.0)]);
+        assert!(ev[0].t_ns <= ev[1].t_ns && ev[1].t_ns <= ev[2].t_ns);
+    }
+
+    #[test]
+    fn events_from_spawned_threads_are_collected() {
+        let _l = lock_poison_ok(&TEST_LOCK);
+        clear();
+        enable();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| crate::event!("worker", one = 1));
+            }
+        });
+        disable();
+        let ev = take_events();
+        let workers = ev.iter().filter(|e| e.name == "worker").count();
+        assert_eq!(workers, 3);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let _l = lock_poison_ok(&TEST_LOCK);
+        clear();
+        set_capacity(4);
+        enable();
+        for _ in 0..10 {
+            crate::event!("tick");
+        }
+        disable();
+        let ev = take_events();
+        set_capacity(1 << 16);
+        let ticks = ev.iter().filter(|e| e.name == "tick").count();
+        assert_eq!(ticks, 4);
+        assert!(dropped_events() >= 6);
+        clear();
+    }
+}

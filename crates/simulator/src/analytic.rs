@@ -69,7 +69,13 @@ pub fn apply_dim(m: usize, spread: usize) -> usize {
 /// Simulate the factorization time of an `n × n` block Toeplitz matrix
 /// with block size `m` on `np` processors.
 pub fn simulate(cfg: &SimConfig, model: &dyn CostModel) -> SimResult {
-    let SimConfig { n, m, np, scheme, rep } = *cfg;
+    let SimConfig {
+        n,
+        m,
+        np,
+        scheme,
+        rep,
+    } = *cfg;
     assert!(m > 0 && n % m == 0, "m must divide n");
     scheme.validate(np).expect("invalid scheme");
     let p = n / m;
@@ -128,7 +134,10 @@ pub fn simulate(cfg: &SimConfig, model: &dyn CostModel) -> SimResult {
             // "the number of broadcasts increases by a factor of 1/b"
             // costs real time (§7.1.3).
             let sf = spread as f64;
-            panel_t += model.compute_time(bf * (2.0 * sf - 1.0) / (sf * sf), Primitive::Blas2 { dim: m });
+            panel_t += model.compute_time(
+                bf * (2.0 * sf - 1.0) / (sf * sf),
+                Primitive::Blas2 { dim: m },
+            );
             for _ in 0..spread {
                 bcast_t += model.broadcast_time(wire_bytes / spread, np) + model.barrier_time(np);
                 out.bytes += (wire_bytes / spread * (np - 1)) as f64;

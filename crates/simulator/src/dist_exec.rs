@@ -24,6 +24,7 @@ use bs_distmem::{CostModel, Primitive, Proc, World};
 use bs_matrix::ldlt::Signature;
 use bs_matrix::Matrix;
 use bs_perfmodel as pm;
+use bs_probe::metrics::{self, Counter};
 use bs_toeplitz::{build_generator, SymBlockToeplitz};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,6 +70,7 @@ pub fn factor_distributed(
     let m = t.block_size();
     let p = t.num_blocks();
     let n = m * p;
+    let _span = bs_probe::span!("factor_distributed", n = n, m = m, p = p, np = np);
     // Generator construction is the (untimed) input distribution step;
     // each rank derives its own columns from it.
     let gen = build_generator(t).expect("SPD generator");
@@ -154,6 +156,10 @@ pub fn factor_distributed(
                 panel.sub_mut(m, 0, m, m).copy_from(gl[&s].rf());
                 let data = panel.as_slice().to_vec();
                 if np > 1 {
+                    // The broadcast is charged at the representation's
+                    // wire size; mirror that volume in the probe
+                    // registry (words, root's outbound fan-out).
+                    metrics::add(Counter::CommWords, ((wire / 8) * (np - 1)) as u64);
                     px.broadcast_charged(piv_owner, (p * p + s) as u64, &data, wire);
                 }
                 data
@@ -246,7 +252,6 @@ pub fn factor_distributed(
     }
 }
 
-
 /// Real execution of the Version-3 distribution (§7.1.3): block column
 /// `j` belongs to group `j mod (NP/spread)`; rank `g·spread + c` of a
 /// group holds columns `c·(m/spread)..(c+1)·(m/spread)` of each of the
@@ -270,6 +275,13 @@ pub fn factor_distributed_v3(
     );
     let groups = np / spread;
     let mc = m / spread; // columns per rank
+    let _span = bs_probe::span!(
+        "factor_distributed_v3",
+        n = n,
+        m = m,
+        np = np,
+        spread = spread
+    );
     let gen = build_generator(t).expect("SPD generator");
     assert!(gen.is_spd_signature(), "dist_exec requires SPD input");
     let gen = Arc::new(gen.data);
@@ -299,7 +311,12 @@ pub fn factor_distributed_v3(
         }
         let mut r_blocks: Vec<(usize, usize, usize, Vec<f64>)> = Vec::new();
         for (&j, sl) in &slices {
-            r_blocks.push((0, j, cstart, sl.sub(0, 0, m, mc).to_matrix().as_slice().to_vec()));
+            r_blocks.push((
+                0,
+                j,
+                cstart,
+                sl.sub(0, 0, m, mc).to_matrix().as_slice().to_vec(),
+            ));
         }
 
         for s in 1..p {
@@ -340,9 +357,7 @@ pub fn factor_distributed_v3(
                 }
                 // Receive the upper halves for my blocks j in s..p-1
                 // whose predecessor j-1 belongs to the previous group.
-                let expect: Vec<usize> = (s..p)
-                    .filter(|&j| j % groups == group)
-                    .collect();
+                let expect: Vec<usize> = (s..p).filter(|&j| j % groups == group).collect();
                 if !expect.is_empty() {
                     let data = px.recv(src_rank, s as u64);
                     assert_eq!(data.len(), expect.len() * m * mc, "v3 shift framing");
@@ -384,8 +399,7 @@ pub fn factor_distributed_v3(
                     for local_c in 0..mc {
                         let k = c * mc + local_c; // global pivot row
                         let u_top = sl[(k, local_c)];
-                        let u_low: Vec<f64> =
-                            (0..m).map(|i| sl[(m + i, local_c)]).collect();
+                        let u_low: Vec<f64> = (0..m).map(|i| sl[(m + i, local_c)]).collect();
                         let (outcome, refl) = bs_core::reflector::PivotReflector::compute(
                             u_top, &u_low, &w, m, k, 1e-13, scale,
                         );
@@ -411,6 +425,7 @@ pub fn factor_distributed_v3(
                         wire_out.extend(&full.x);
                     }
                     if np > 1 {
+                        metrics::add(Counter::CommWords, ((wire / 8) * (np - 1)) as u64);
                         px.broadcast_charged(owner, tag as u64, &wire_out, wire);
                     }
                     wire_out
@@ -572,13 +587,7 @@ mod tests {
     fn virtual_time_matches_analytic_engine() {
         let t = workloads::random_spd_block(4, 12, 5);
         let model = T3DModel::default();
-        let dist = factor_distributed(
-            &t,
-            4,
-            Scheme::V1,
-            RepKind::VY2,
-            Arc::new(model.clone()),
-        );
+        let dist = factor_distributed(&t, 4, Scheme::V1, RepKind::VY2, Arc::new(model.clone()));
         let sim = simulate(
             &SimConfig {
                 n: 48,
@@ -656,10 +665,7 @@ mod v3_tests {
                 Arc::new(bs_distmem::ZeroCost),
             );
             let diff = dist.r.max_abs_diff(&seq.r);
-            assert!(
-                diff < 1e-9,
-                "m={m} p={p} np={np} spread={spread}: {diff:e}"
-            );
+            assert!(diff < 1e-9, "m={m} p={p} np={np} spread={spread}: {diff:e}");
         }
     }
 

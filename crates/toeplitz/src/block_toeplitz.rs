@@ -36,11 +36,7 @@ impl SymBlockToeplitz {
         let m = blocks[0].rows();
         assert!(m > 0, "blocks must be non-empty");
         for (d, b) in blocks.iter().enumerate() {
-            assert_eq!(
-                (b.rows(), b.cols()),
-                (m, m),
-                "block {d} must be {m}x{m}"
-            );
+            assert_eq!((b.rows(), b.cols()), (m, m), "block {d} must be {m}x{m}");
         }
         let t1 = &blocks[0];
         for i in 0..m {
@@ -170,8 +166,14 @@ impl SymBlockToeplitz {
     /// this reinterpretation. For `m_s < m` see [`Self::retile_checked`].
     pub fn retile(&self, m_s: usize) -> SymBlockToeplitz {
         let n = self.order();
-        assert!(m_s > 0 && m_s.is_multiple_of(self.m), "m_s must be a multiple of m");
-        assert!(n.is_multiple_of(m_s), "m_s must divide the matrix order n = {n}");
+        assert!(
+            m_s > 0 && m_s.is_multiple_of(self.m),
+            "m_s must be a multiple of m"
+        );
+        assert!(
+            n.is_multiple_of(m_s),
+            "m_s must divide the matrix order n = {n}"
+        );
         if m_s == self.m {
             return self.clone();
         }

@@ -125,7 +125,10 @@ mod tests {
             let r = displacement_rank(&t, 1e-9);
             assert!(r <= 2 * m, "m={m}: displacement rank {r} > 2m");
             // Generic matrices achieve the bound.
-            assert!(r >= 2 * m - 1, "m={m}: displacement rank {r} suspiciously low");
+            assert!(
+                r >= 2 * m - 1,
+                "m={m}: displacement rank {r} suspiciously low"
+            );
         }
     }
 

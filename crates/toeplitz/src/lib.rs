@@ -1,4 +1,5 @@
-#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read
+#![allow(clippy::needless_range_loop)]
+// index-heavy numeric kernels read
 // clearer with explicit indices when several parallel arrays are walked
 // together; iterator-zip rewrites were measured to obscure, not improve.
 
@@ -14,14 +15,15 @@
 //! experiments.
 
 pub mod block_toeplitz;
+pub mod displacement;
 pub mod fast;
 pub mod fft;
-pub mod displacement;
 pub mod generator;
 pub mod inverse;
+pub mod rng;
 pub mod workloads;
 
 pub use block_toeplitz::SymBlockToeplitz;
 pub use fast::FastToeplitzMatVec;
-pub use inverse::ToeplitzInverse;
 pub use generator::{build_generator, Generator};
+pub use inverse::ToeplitzInverse;

@@ -15,13 +15,12 @@
 //!   example of §8.2.
 
 use crate::block_toeplitz::SymBlockToeplitz;
+use crate::rng::Rng;
 use bs_matrix::blas3::{gemm, Trans};
 use bs_matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, scale: f64) -> Matrix {
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
+fn random_matrix(rng: &mut Rng, rows: usize, cols: usize, scale: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.range(-scale, scale))
 }
 
 /// Covariance block sequence of a stationary vector AR(1) process
@@ -36,7 +35,7 @@ pub fn spd_ar1_block(m: usize, p: usize, spectral_radius: f64, seed: u64) -> Sym
         (0.0..1.0).contains(&spectral_radius),
         "need spectral radius < 1 for stationarity"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Random A scaled to the requested spectral radius (estimated via
     // power iteration on AᵀA as an upper bound on |λ|max).
     let mut a = random_matrix(&mut rng, m, m, 1.0);
@@ -95,12 +94,12 @@ pub fn kms(n: usize, rho: f64) -> SymBlockToeplitz {
 /// Random diagonally dominant SPD scalar Toeplitz: `t₀ = 1`,
 /// `Σ_{k>0} |t_k| < 1/2`.
 pub fn random_spd_scalar(n: usize, seed: u64) -> SymBlockToeplitz {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut row = vec![1.0f64];
     let mut budget = 0.5;
     for k in 1..n {
         let cap = budget * 0.5 / (1.0 + 0.1 * k as f64);
-        let v = rng.gen_range(-cap..cap);
+        let v = rng.range(-cap, cap);
         budget -= v.abs();
         row.push(v);
     }
@@ -111,10 +110,10 @@ pub fn random_spd_scalar(n: usize, seed: u64) -> SymBlockToeplitz {
 /// kept at 1 but a dominant first off-diagonal pushes eigenvalues to
 /// both sides of zero. Leading minors are generically nonsingular.
 pub fn random_indefinite_scalar(n: usize, seed: u64) -> SymBlockToeplitz {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut row = vec![1.0f64, 1.5];
     for _ in 2..n {
-        row.push(rng.gen_range(-0.4..0.4));
+        row.push(rng.range(-0.4, 0.4));
     }
     row.truncate(n);
     SymBlockToeplitz::from_scalar_row(&row)
@@ -123,7 +122,7 @@ pub fn random_indefinite_scalar(n: usize, seed: u64) -> SymBlockToeplitz {
 /// Block Toeplitz with a symmetric *indefinite* (but nonsingular-minor)
 /// leading block and small off-diagonal blocks.
 pub fn random_indefinite_block(m: usize, p: usize, seed: u64) -> SymBlockToeplitz {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut t1 = Matrix::zeros(m, m);
     for i in 0..m {
         t1[(i, i)] = if i % 2 == 0 { 2.0 } else { -2.0 };
@@ -149,10 +148,10 @@ pub fn paper_singular_minor_example() -> SymBlockToeplitz {
 /// minor (`t₀ = t₁ = 1`), exercising the perturbation path of §8.
 pub fn singular_minor_scalar(n: usize, seed: u64) -> SymBlockToeplitz {
     assert!(n >= 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut row = vec![1.0f64, 1.0];
     for _ in 2..n {
-        row.push(rng.gen_range(-0.5..0.5));
+        row.push(rng.range(-0.5, 0.5));
     }
     SymBlockToeplitz::from_scalar_row(&row)
 }
@@ -171,7 +170,11 @@ pub fn sinusoids_in_noise(
     assert!(noise_sigma > 0.0, "need a positive noise floor for SPD");
     let row: Vec<f64> = (0..n)
         .map(|k| {
-            let mut v = if k == 0 { noise_sigma * noise_sigma } else { 0.0 };
+            let mut v = if k == 0 {
+                noise_sigma * noise_sigma
+            } else {
+                0.0
+            };
             for &(a, w) in tones {
                 v += a * a * (w * k as f64).cos();
             }
@@ -195,7 +198,9 @@ mod tests {
 
     fn min_eig_estimate(t: &SymBlockToeplitz) -> f64 {
         // Smallest eigenvalue via a crude bound: check Cholesky succeeds.
-        bs_matrix::chol::cholesky(&t.to_dense()).map(|_| 1.0).unwrap_or(-1.0)
+        bs_matrix::chol::cholesky(&t.to_dense())
+            .map(|_| 1.0)
+            .unwrap_or(-1.0)
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn main() {
 
     // Measure the achieved rate per block size on this machine.
     println!("measuring block Schur factorization at n = {n}:\n");
-    println!("{:>5} {:>12} {:>12} {:>14}", "m_s", "time (ms)", "Gflop/s", "flops (x 1e6)");
+    println!(
+        "{:>5} {:>12} {:>12} {:>14}",
+        "m_s", "time (ms)", "Gflop/s", "flops (x 1e6)"
+    );
     let mut rates = std::collections::HashMap::new();
     for &ms_ in &candidates {
         let opts = SchurOptions {
@@ -43,9 +46,7 @@ fn main() {
     // Feed the measured rates into the paper's tradeoff analysis: the
     // best m_s minimizes 4·m_s·n² / rate(m_s).
     let best = crossover_block_size(n, &candidates, |ms_| rates[&ms_]);
-    println!(
-        "\nempirical best algorithmic block size for this machine at n = {n}: m_s = {best}"
-    );
+    println!("\nempirical best algorithmic block size for this machine at n = {n}: m_s = {best}");
     println!(
         "(the structural block size is 1 — treating the scalar Toeplitz matrix as block\n\
          Toeplitz does {}x the arithmetic but can still win on level-3 efficiency, §6.5)",

@@ -17,8 +17,8 @@ use block_schur::prelude::*;
 fn main() {
     let m = 4; // channels
     let p = 32; // predictor order
-    // Covariance sequence of a stationary vector AR(1) process with
-    // spectral radius 0.7 — strongly correlated, so prediction pays.
+                // Covariance sequence of a stationary vector AR(1) process with
+                // spectral radius 0.7 — strongly correlated, so prediction pays.
     let t = workloads::spd_ar1_block(m, p, 0.7, 7);
     let n = t.order();
     println!("{m}-channel process, predictor order {p} (system size {n})");

@@ -45,7 +45,10 @@ fn best_scheme(n: usize, m: usize, np: usize, model: &T3DModel) -> (Scheme, f64)
 fn main() {
     let model = T3DModel::default();
     println!("best data distribution per (n, m, NP) on the simulated T3D:\n");
-    println!("{:>6} {:>4} {:>4}  {:<16} {:>12}", "n", "m", "NP", "best scheme", "time (ms)");
+    println!(
+        "{:>6} {:>4} {:>4}  {:<16} {:>12}",
+        "n", "m", "NP", "best scheme", "time (ms)"
+    );
     for (n, m, np) in [
         (4096usize, 1usize, 16usize), // Experiment 1 regime
         (4096, 8, 64),                // Experiment 2 regime
@@ -68,7 +71,10 @@ fn main() {
     let seq = factor_spd(&t, &SchurOptions::default()).expect("sequential");
     let dist = factor_distributed(&t, 4, Scheme::V1, RepKind::VY2, Arc::new(ZeroCost));
     let diff = dist.r.max_abs_diff(&seq.r);
-    println!("‖R_dist − R_seq‖_max = {diff:.3e} over {} ranks", dist.times.len());
+    println!(
+        "‖R_dist − R_seq‖_max = {diff:.3e} over {} ranks",
+        dist.times.len()
+    );
     assert!(diff < 1e-10);
 
     // And with the T3D clock: report the simulated factor time.

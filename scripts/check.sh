@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 build + test suite.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release
+cargo test -q
+
+echo "==> workspace crate tests"
+cargo test -q --workspace
+
+echo "check.sh: all green"

@@ -17,7 +17,55 @@
 use crate::prelude::*;
 use bs_matrix::Matrix;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Growth factors past this default are flagged in `--trace`/`--metrics`
+/// output (≈ half the double-precision digits gone; §8.2 discussion).
+pub const DEFAULT_GROWTH_THRESHOLD: f64 = 1e8;
+
+/// Observability switches shared by `solve` and `factor`.
+#[derive(Debug, Default, Clone)]
+pub struct Observe {
+    /// Write a JSON-lines trace (spans, per-step growth, metrics) here.
+    pub trace: Option<PathBuf>,
+    /// Append counter totals and stability summary to the report.
+    pub metrics: bool,
+}
+
+impl Observe {
+    fn active(&self) -> bool {
+        self.trace.is_some() || self.metrics
+    }
+
+    /// Arm the probe layer before running the instrumented operation.
+    fn begin(&self) {
+        if self.active() {
+            bs_probe::reset_all();
+            bs_probe::enable_all(DEFAULT_GROWTH_THRESHOLD);
+        }
+    }
+
+    /// Export whatever was recorded and append a human summary.
+    fn finish(&self, report: &mut String) -> Result<(), CliError> {
+        if !self.active() {
+            return Ok(());
+        }
+        if self.metrics {
+            let stab = bs_probe::stability::report();
+            let _ = writeln!(report, "metrics: {}", bs_probe::export::metrics_json());
+            let _ = writeln!(report, "peak growth factor: {:.6e}", stab.peak_growth);
+            for w in stab.warnings() {
+                let _ = writeln!(report, "warning: {w}");
+            }
+        }
+        if let Some(path) = &self.trace {
+            bs_probe::export::write_trace_jsonl(path)?;
+            let _ = writeln!(report, "trace written to {} (JSON-lines)", path.display());
+        }
+        bs_probe::disable_all();
+        Ok(())
+    }
+}
 
 /// CLI-level errors (I/O, parsing, numerical).
 #[derive(Debug)]
@@ -168,6 +216,7 @@ pub fn cmd_solve(
     matrix: &Path,
     rhs: Option<&Path>,
     block_size: Option<usize>,
+    obs: &Observe,
 ) -> Result<(Vec<f64>, String), CliError> {
     let t = read_matrix(matrix)?;
     let n = t.order();
@@ -182,6 +231,7 @@ pub fn cmd_solve(
         },
         ..Default::default()
     };
+    obs.begin();
     let start = std::time::Instant::now();
     let solver =
         ToeplitzSolver::with_options(&t, &opts).map_err(|e| CliError::Numerical(e.to_string()))?;
@@ -202,7 +252,55 @@ pub fn cmd_solve(
             "indefinite"
         }
     );
+    obs.finish(&mut report)?;
     Ok((x, report))
+}
+
+/// `factor` command: factor only (no solve), reporting structure,
+/// growth, and — with [`Observe`] switches — trace/metrics output.
+pub fn cmd_factor(
+    matrix: &Path,
+    block_size: Option<usize>,
+    obs: &Observe,
+) -> Result<String, CliError> {
+    let t = read_matrix(matrix)?;
+    let opts = SolverOptions {
+        spd: SchurOptions {
+            block_size,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    obs.begin();
+    let start = std::time::Instant::now();
+    let solver =
+        ToeplitzSolver::with_options(&t, &opts).map_err(|e| CliError::Numerical(e.to_string()))?;
+    let secs = start.elapsed().as_secs_f64();
+    let mut report = String::new();
+    let (pos, neg) = solver.inertia();
+    let _ = writeln!(
+        report,
+        "factored n = {} (m = {}) in {:.3} ms: {} path, inertia {pos}+ / {neg}-",
+        t.order(),
+        t.block_size(),
+        secs * 1e3,
+        if solver.is_positive_definite() {
+            "SPD"
+        } else {
+            "indefinite"
+        }
+    );
+    if let Factorization::Indefinite(f) = solver.factorization() {
+        let _ = writeln!(
+            report,
+            "perturbations: {}, exchanges: {}, max reflector norm {:.3e}",
+            f.perturbations.len(),
+            f.exchanges,
+            f.max_reflector_norm
+        );
+    }
+    obs.finish(&mut report)?;
+    Ok(report)
 }
 
 /// `gen` command: write a synthetic workload matrix.
@@ -261,9 +359,7 @@ pub fn cmd_gen(
 pub fn cmd_simulate(n: usize, m: usize, np: usize, scheme: &str) -> Result<String, CliError> {
     use bs_simulator::analytic::{simulate, SimConfig};
     let scheme = parse_scheme(scheme)?;
-    scheme
-        .validate(np)
-        .map_err(CliError::Usage)?;
+    scheme.validate(np).map_err(CliError::Usage)?;
     if m == 0 || !n.is_multiple_of(m) {
         return Err(CliError::Usage(format!("m = {m} must divide n = {n}")));
     }
@@ -316,8 +412,17 @@ pub const USAGE: &str = "block-schur — block Schur Toeplitz solver (ICPP'94 re
 USAGE:
     block-schur info <matrix>
     block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--output <file>]
+                     [--trace <file>] [--metrics]
+    block-schur factor <matrix> [--block-size <m_s>] [--trace <file>] [--metrics]
     block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
     block-schur simulate --n <n> --m <m> --np <p> --scheme <v1|v2:b|v3:s>
+
+OBSERVABILITY:
+    --trace <file>   write a JSON-lines trace: spans with ns timestamps,
+                     per-step flop deltas and growth factors, residual
+                     history, and final counter totals
+    --metrics        append counter totals and the stability summary
+                     (peak growth factor, flagged steps) to the report
 
 KINDS: kms | spd | spd-scalar | indefinite | singular-minor
 MATRIX FILE: `m p` header then the m*m*p values of the first block row.";
@@ -356,7 +461,7 @@ mod tests {
         assert!(info.contains("positive definite: false"), "{info}");
         assert!(info.contains("perturbations: 1"), "{info}");
 
-        let (x, report) = cmd_solve(&mat, None, None).unwrap();
+        let (x, report) = cmd_solve(&mat, None, None, &Observe::default()).unwrap();
         assert!(report.contains("indefinite"), "{report}");
         // Default RHS has x* = 1.
         for v in &x {
@@ -375,13 +480,62 @@ mod tests {
         let rhs = tmp("rhs.txt");
         let text: String = b.iter().map(|v| format!("{v:.17e}\n")).collect();
         std::fs::write(&rhs, text).unwrap();
-        let (x, report) = cmd_solve(&mat, Some(rhs.as_path()), Some(4)).unwrap();
+        let (x, report) =
+            cmd_solve(&mat, Some(rhs.as_path()), Some(4), &Observe::default()).unwrap();
         assert!(report.contains("SPD"), "{report}");
         for i in 0..32 {
             assert!((x[i] - x_true[i]).abs() < 1e-8);
         }
         std::fs::remove_file(&mat).ok();
         std::fs::remove_file(&rhs).ok();
+    }
+
+    #[test]
+    fn solve_with_trace_emits_valid_jsonl() {
+        let mat = tmp("traced.txt");
+        cmd_gen("spd-scalar", 48, 1, 0.0, 11, &mat).unwrap();
+        let trace = tmp("trace.jsonl");
+        let obs = Observe {
+            trace: Some(trace.clone()),
+            metrics: true,
+        };
+        let (_, report) = cmd_solve(&mat, None, Some(4), &obs).unwrap();
+        assert!(report.contains("metrics:"), "{report}");
+        assert!(report.contains("peak growth factor:"), "{report}");
+        assert!(report.contains("trace written to"), "{report}");
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let mut saw_step_flops = false;
+        let mut saw_growth = false;
+        for line in text.lines() {
+            let v = bs_probe::Json::parse(line).expect("every trace line is valid JSON");
+            match v.get("type").and_then(|t| t.as_str()) {
+                Some("span")
+                    if v.get("name").and_then(|n| n.as_str()) == Some("schur_step_done") =>
+                {
+                    let fields = v.get("fields").unwrap();
+                    saw_step_flops |= fields.get("flops").is_some();
+                }
+                Some("step") => {
+                    saw_growth |= v.get("growth").and_then(|g| g.as_f64()).is_some();
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_step_flops, "trace lacks per-step flop counts:\n{text}");
+        assert!(saw_growth, "trace lacks per-step growth factors:\n{text}");
+        std::fs::remove_file(&mat).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn factor_command_reports_structure() {
+        let mat = tmp("factor.txt");
+        cmd_gen("singular-minor", 24, 1, 0.0, 7, &mat).unwrap();
+        let report = cmd_factor(&mat, None, &Observe::default()).unwrap();
+        assert!(report.contains("indefinite"), "{report}");
+        assert!(report.contains("perturbations: 1"), "{report}");
+        std::fs::remove_file(&mat).ok();
     }
 
     #[test]

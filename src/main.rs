@@ -25,6 +25,26 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn observe(args: &[String]) -> cli::Observe {
+    cli::Observe {
+        trace: flag(args, "--trace").map(PathBuf::from),
+        metrics: has_flag(args, "--metrics"),
+    }
+}
+
+fn block_size(args: &[String]) -> Result<Option<usize>, CliError> {
+    flag(args, "--block-size")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("bad block size {v:?}")))
+        })
+        .transpose()
+}
+
 fn run(args: &[String]) -> Result<String, CliError> {
     let cmd = args
         .first()
@@ -41,13 +61,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .get(1)
                 .ok_or_else(|| CliError::Usage("solve needs a matrix file".into()))?;
             let rhs = flag(args, "--rhs").map(PathBuf::from);
-            let bs = flag(args, "--block-size")
-                .map(|v| {
-                    v.parse::<usize>()
-                        .map_err(|_| CliError::Usage(format!("bad block size {v:?}")))
-                })
-                .transpose()?;
-            let (x, report) = cli::cmd_solve(Path::new(m), rhs.as_deref(), bs)?;
+            let bs = block_size(args)?;
+            let (x, report) = cli::cmd_solve(Path::new(m), rhs.as_deref(), bs, &observe(args))?;
             if let Some(out) = flag(args, "--output") {
                 let text: String = x.iter().map(|v| format!("{v:.17e}\n")).collect();
                 std::fs::write(out, text)?;
@@ -60,6 +75,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 Ok(s)
             }
         }
+        "factor" => {
+            let m = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("factor needs a matrix file".into()))?;
+            let bs = block_size(args)?;
+            cli::cmd_factor(Path::new(m), bs, &observe(args))
+        }
         "gen" => {
             let kind = args
                 .get(1)
@@ -69,15 +91,24 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .parse::<usize>()
                 .map_err(|_| CliError::Usage("bad --n".into()))?;
             let m = flag(args, "--m")
-                .map(|v| v.parse::<usize>().map_err(|_| CliError::Usage("bad --m".into())))
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError::Usage("bad --m".into()))
+                })
                 .transpose()?
                 .unwrap_or(1);
             let rho = flag(args, "--rho")
-                .map(|v| v.parse::<f64>().map_err(|_| CliError::Usage("bad --rho".into())))
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| CliError::Usage("bad --rho".into()))
+                })
                 .transpose()?
                 .unwrap_or(0.6);
             let seed = flag(args, "--seed")
-                .map(|v| v.parse::<u64>().map_err(|_| CliError::Usage("bad --seed".into())))
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| CliError::Usage("bad --seed".into()))
+                })
                 .transpose()?
                 .unwrap_or(0);
             let out = flag(args, "--output")

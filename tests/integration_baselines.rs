@@ -4,9 +4,9 @@
 use block_schur::baselines::{
     cg, dense_cholesky_solve, dense_lu_solve, levinson_solve, scalar_schur_factor,
 };
-use block_schur::prelude::*;
 #[allow(unused_imports)]
 use block_schur::core::{factor_indefinite, IndefOptions};
+use block_schur::prelude::*;
 
 fn max_err(a: &[f64], b: &[f64]) -> f64 {
     a.iter()

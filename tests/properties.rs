@@ -1,59 +1,60 @@
-//! Property-based tests (proptest) on the core invariants:
-//! factorization reconstruction, hyperbolic-norm preservation, the
-//! displacement identity, retiling invariance, and solver agreement —
-//! over *generated* inputs rather than fixed seeds.
+//! Randomized property tests on the core invariants: factorization
+//! reconstruction, hyperbolic-norm preservation, the displacement
+//! identity, retiling invariance, and solver agreement — over
+//! *generated* inputs (deterministic seed sweeps) rather than fixed
+//! examples.
 
 use block_schur::matrix::blas1::wdot;
 use block_schur::matrix::Matrix;
 use block_schur::prelude::*;
-use proptest::prelude::*;
+use block_schur::toeplitz::rng::Rng;
 
-/// Strategy: first row of a diagonally dominant SPD scalar Toeplitz
-/// matrix (t₀ = 1, Σ|t_k| ≤ 0.45).
-fn spd_scalar_row(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
-    (2..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec(-1.0f64..1.0, n - 1).prop_map(|tail| {
-            let sum: f64 = tail.iter().map(|v| v.abs()).sum();
-            let scale = if sum > 0.0 { 0.45 / sum.max(1.0) } else { 0.0 };
-            let mut row = vec![1.0];
-            row.extend(tail.iter().map(|v| v * scale));
-            row
-        })
-    })
+/// First row of a diagonally dominant SPD scalar Toeplitz matrix
+/// (t₀ = 1, Σ|t_k| ≤ 0.45).
+fn spd_scalar_row(rng: &mut Rng, max_n: usize) -> Vec<f64> {
+    let n = 2 + (rng.next_u64() as usize) % (max_n - 1);
+    let tail: Vec<f64> = (0..n - 1).map(|_| rng.range(-1.0, 1.0)).collect();
+    let sum: f64 = tail.iter().map(|v| v.abs()).sum();
+    let scale = if sum > 0.0 { 0.45 / sum.max(1.0) } else { 0.0 };
+    let mut row = vec![1.0];
+    row.extend(tail.iter().map(|v| v * scale));
+    row
 }
 
-/// Strategy: a symmetric indefinite row with a forced singular 2x2
-/// leading minor (t₀ = t₁ = 1).
-fn singular_minor_row(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
-    (3..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec(-0.45f64..0.45, n - 2).prop_map(|tail| {
-            let mut row = vec![1.0, 1.0];
-            row.extend(tail);
-            row
-        })
-    })
+/// A symmetric indefinite row with a forced singular 2x2 leading minor
+/// (t₀ = t₁ = 1).
+fn singular_minor_row(rng: &mut Rng, max_n: usize) -> Vec<f64> {
+    let n = 3 + (rng.next_u64() as usize) % (max_n - 2);
+    let mut row = vec![1.0, 1.0];
+    row.extend((0..n - 2).map(|_| rng.range(-0.45, 0.45)));
+    row
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn factor_reconstructs_spd_toeplitz(row in spd_scalar_row(40)) {
+#[test]
+fn factor_reconstructs_spd_toeplitz() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(1000 + seed);
+        let row = spd_scalar_row(&mut rng, 40);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let f = factor_spd(&t, &SchurOptions::default()).unwrap();
         let diff = f.reconstruct().max_abs_diff(&t.to_dense());
-        prop_assert!(diff < 1e-10, "reconstruction diff {diff:e}");
+        assert!(diff < 1e-10, "seed {seed}: reconstruction diff {diff:e}");
         // R upper triangular with positive diagonal.
         for j in 0..t.order() {
-            prop_assert!(f.r[(j, j)] > 0.0);
+            assert!(f.r[(j, j)] > 0.0, "seed {seed}");
             for i in j + 1..t.order() {
-                prop_assert_eq!(f.r[(i, j)], 0.0);
+                assert_eq!(f.r[(i, j)], 0.0, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn solve_round_trips(row in spd_scalar_row(32), xseed in 0u64..1000) {
+#[test]
+fn solve_round_trips() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(2000 + seed);
+        let row = spd_scalar_row(&mut rng, 32);
+        let xseed = rng.next_u64() % 1000;
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let n = t.order();
         let x_star: Vec<f64> = (0..n)
@@ -63,107 +64,135 @@ proptest! {
         let f = factor_spd(&t, &SchurOptions::default()).unwrap();
         let x = f.solve(&b).unwrap();
         for i in 0..n {
-            prop_assert!((x[i] - x_star[i]).abs() < 1e-7, "i={i}");
+            assert!((x[i] - x_star[i]).abs() < 1e-7, "seed {seed} i={i}");
         }
     }
+}
 
-    #[test]
-    fn retiling_never_changes_the_matrix(row in spd_scalar_row(24)) {
+#[test]
+fn retiling_never_changes_the_matrix() {
+    for seed in 0..24 {
+        let mut rng = Rng::seed_from_u64(3000 + seed);
+        let row = spd_scalar_row(&mut rng, 24);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let n = t.order();
         let d0 = t.to_dense();
         for ms_ in 1..=n {
             if n.is_multiple_of(ms_) {
-                prop_assert!(t.retile(ms_).to_dense().max_abs_diff(&d0) == 0.0);
+                assert!(
+                    t.retile(ms_).to_dense().max_abs_diff(&d0) == 0.0,
+                    "seed {seed} m_s = {ms_}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn displacement_identity_holds(row in spd_scalar_row(24)) {
+#[test]
+fn displacement_identity_holds() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(4000 + seed);
+        let row = spd_scalar_row(&mut rng, 24);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let g = build_generator(&t).unwrap();
         let lhs = block_schur::toeplitz::displacement::displacement_dense(&t);
         let rhs = block_schur::toeplitz::generator::displacement_from_generator(&g);
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-11);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-11, "seed {seed}");
     }
+}
 
-    #[test]
-    fn reflectors_preserve_hyperbolic_norm(
-        pivot in 2.0f64..5.0,
-        low in proptest::collection::vec(-1.0f64..1.0, 1..6),
-        probe in proptest::collection::vec(-2.0f64..2.0, 12),
-    ) {
-        use block_schur::core::reflector::HypReflector;
-        let m = low.len();
+#[test]
+fn reflectors_preserve_hyperbolic_norm() {
+    use block_schur::core::reflector::HypReflector;
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(5000 + seed);
+        let pivot = rng.range(2.0, 5.0);
+        let m = 1 + (rng.next_u64() as usize) % 5;
+        let low: Vec<f64> = (0..m).map(|_| rng.range(-1.0, 1.0)).collect();
+        let probe: Vec<f64> = (0..12).map(|_| rng.range(-2.0, 2.0)).collect();
         let w = Signature::hyperbolic(m);
         let mut u = vec![0.0; 2 * m];
         u[0] = pivot; // dominant pivot => positive hyperbolic norm
         u[m..].copy_from_slice(&low);
         let (r, h) = HypReflector::compute(&u, &w, 0);
-        prop_assert!(h > 0.0);
+        assert!(h > 0.0, "seed {seed}");
         let r = r.unwrap();
         // Any probe vector keeps its hyperbolic norm.
         let mut c: Vec<f64> = probe[..2 * m].to_vec();
         let h0 = wdot(&c, &w.0, &c);
         r.apply_col(&w, &mut c);
         let h1 = wdot(&c, &w.0, &c);
-        prop_assert!((h0 - h1).abs() < 1e-9 * (1.0 + h0.abs()), "{h0} vs {h1}");
+        assert!(
+            (h0 - h1).abs() < 1e-9 * (1.0 + h0.abs()),
+            "seed {seed}: {h0} vs {h1}"
+        );
         // And u itself maps to -sigma e_0.
         let mut uu = u.clone();
         r.apply_col(&w, &mut uu);
-        prop_assert!((uu[0] + r.sigma).abs() < 1e-10);
+        assert!((uu[0] + r.sigma).abs() < 1e-10, "seed {seed}");
         for v in &uu[1..] {
-            prop_assert!(v.abs() < 1e-10);
+            assert!(v.abs() < 1e-10, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn levinson_agrees_with_schur(row in spd_scalar_row(32)) {
+#[test]
+fn levinson_agrees_with_schur() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(6000 + seed);
+        let row = spd_scalar_row(&mut rng, 32);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let (b, _) = workloads::rhs_for_ones(&t);
         let x_lev = block_schur::baselines::levinson_solve(&row, &b).unwrap();
         let f = factor_spd(&t, &SchurOptions::default()).unwrap();
         let x_schur = f.solve(&b).unwrap();
         for i in 0..t.order() {
-            prop_assert!((x_lev[i] - x_schur[i]).abs() < 1e-7, "i={i}");
+            assert!((x_lev[i] - x_schur[i]).abs() < 1e-7, "seed {seed} i={i}");
         }
     }
+}
 
-    #[test]
-    fn perturbed_factorization_error_is_order_delta(row in singular_minor_row(24)) {
+#[test]
+fn perturbed_factorization_error_is_order_delta() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(7000 + seed);
+        let row = singular_minor_row(&mut rng, 24);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let opts = IndefOptions::default();
         let f = match factor_indefinite(&t, &opts) {
             Ok(f) => f,
-            Err(_) => return Ok(()), // exchange impossible on degenerate input
+            Err(_) => continue, // exchange impossible on degenerate input
         };
         let delta = opts.effective_delta();
         let diff = f.reconstruct().max_abs_diff(&t.to_dense());
         let scale = t.norm_inf().max(1.0);
         // RᵀDR = T + δT with ‖δT‖ = O(δ‖T‖); allow generous slack for
         // the transformation growth factor.
-        prop_assert!(
+        assert!(
             diff <= 1e4 * delta * scale,
-            "perturbation blow-up: {diff:e} vs delta {delta:e}"
+            "seed {seed}: perturbation blow-up: {diff:e} vs delta {delta:e}"
         );
     }
+}
 
-    #[test]
-    fn refinement_solves_singular_minor_systems(row in singular_minor_row(20)) {
+#[test]
+fn refinement_solves_singular_minor_systems() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(8000 + seed);
+        let row = singular_minor_row(&mut rng, 20);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         // Skip matrices that are singular as a whole.
         if block_schur::matrix::lu::lu_factor(&t.to_dense()).is_err() {
-            return Ok(());
+            continue;
         }
         let cond = block_schur::matrix::norms::cond_one_estimate(&t.to_dense());
-        if !(cond.is_finite()) || cond > 1e8 {
-            return Ok(()); // too ill-conditioned for a 1e-8 assertion
+        if !cond.is_finite() || cond > 1e8 {
+            continue; // too ill-conditioned for a 1e-8 assertion
         }
         let (b, x_true) = workloads::rhs_for_ones(&t);
         let f = match factor_indefinite(&t, &IndefOptions::default()) {
             Ok(f) => f,
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         let res = solve_refined(&t, &f, &b, &RefineOptions::default()).unwrap();
         let err = res
@@ -172,16 +201,20 @@ proptest! {
             .zip(&x_true)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        prop_assert!(err < 1e-8 * cond.max(1.0), "err {err:e} cond {cond:e}");
+        assert!(
+            err < 1e-8 * cond.max(1.0),
+            "seed {seed}: err {err:e} cond {cond:e}"
+        );
     }
+}
 
-    #[test]
-    fn matvec_matches_dense(
-        m in 1usize..4,
-        p in 2usize..6,
-        seed in 0u64..500,
-    ) {
-        let t = workloads::random_spd_block(m, p, seed);
+#[test]
+fn matvec_matches_dense() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(9000 + seed);
+        let m = 1 + (rng.next_u64() as usize) % 3;
+        let p = 2 + (rng.next_u64() as usize) % 4;
+        let t = workloads::random_spd_block(m, p, rng.next_u64() % 500);
         let n = t.order();
         let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 23) as f64) / 7.0 - 1.5).collect();
         let got = t.matvec(&x);
@@ -189,46 +222,50 @@ proptest! {
         let mut want = vec![0.0; n];
         block_schur::matrix::blas2::gemv(1.0, dense.rf(), &x, 0.0, &mut want);
         for i in 0..n {
-            prop_assert!((got[i] - want[i]).abs() < 1e-11, "i={i}");
+            assert!((got[i] - want[i]).abs() < 1e-11, "seed {seed} i={i}");
         }
-    }
-
-    #[test]
-    fn gemm_transpose_identity(
-        mdim in 1usize..12,
-        k in 1usize..12,
-        ndim in 1usize..12,
-        seed in 0u64..1000,
-    ) {
-        // (A B)ᵀ == Bᵀ Aᵀ through independent gemm dispatch paths.
-        let mut s = seed | 1;
-        let mut rnd = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            ((s % 1000) as f64 - 500.0) / 250.0
-        };
-        let a = Matrix::from_fn(mdim, k, |_, _| rnd());
-        let b = Matrix::from_fn(k, ndim, |_, _| rnd());
-        let mut ab = Matrix::zeros(mdim, ndim);
-        block_schur::matrix::gemm(
-            1.0, a.rf(), block_schur::matrix::Trans::No,
-            b.rf(), block_schur::matrix::Trans::No, 0.0, ab.mt(),
-        );
-        let mut btat = Matrix::zeros(ndim, mdim);
-        block_schur::matrix::gemm(
-            1.0, b.rf(), block_schur::matrix::Trans::Yes,
-            a.rf(), block_schur::matrix::Trans::Yes, 0.0, btat.mt(),
-        );
-        prop_assert!(ab.transpose().max_abs_diff(&btat) < 1e-10);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn gemm_transpose_identity() {
+    for seed in 0..48 {
+        let mut rng = Rng::seed_from_u64(10_000 + seed);
+        let mdim = 1 + (rng.next_u64() as usize) % 11;
+        let k = 1 + (rng.next_u64() as usize) % 11;
+        let ndim = 1 + (rng.next_u64() as usize) % 11;
+        // (A B)ᵀ == Bᵀ Aᵀ through independent gemm dispatch paths.
+        let a = Matrix::from_fn(mdim, k, |_, _| rng.range(-2.0, 2.0));
+        let b = Matrix::from_fn(k, ndim, |_, _| rng.range(-2.0, 2.0));
+        let mut ab = Matrix::zeros(mdim, ndim);
+        block_schur::matrix::gemm(
+            1.0,
+            a.rf(),
+            block_schur::matrix::Trans::No,
+            b.rf(),
+            block_schur::matrix::Trans::No,
+            0.0,
+            ab.mt(),
+        );
+        let mut btat = Matrix::zeros(ndim, mdim);
+        block_schur::matrix::gemm(
+            1.0,
+            b.rf(),
+            block_schur::matrix::Trans::Yes,
+            a.rf(),
+            block_schur::matrix::Trans::Yes,
+            0.0,
+            btat.mt(),
+        );
+        assert!(ab.transpose().max_abs_diff(&btat) < 1e-10, "seed {seed}");
+    }
+}
 
-    #[test]
-    fn fft_matvec_matches_direct(row in spd_scalar_row(48)) {
+#[test]
+fn fft_matvec_matches_direct() {
+    for seed in 0..32 {
+        let mut rng = Rng::seed_from_u64(11_000 + seed);
+        let row = spd_scalar_row(&mut rng, 48);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let n = t.order();
         let fast = block_schur::toeplitz::FastToeplitzMatVec::new(&t);
@@ -236,12 +273,16 @@ proptest! {
         let direct = t.matvec(&x);
         let via_fft = fast.apply(&x);
         for i in 0..n {
-            prop_assert!((direct[i] - via_fft[i]).abs() < 1e-10);
+            assert!((direct[i] - via_fft[i]).abs() < 1e-10, "seed {seed} i={i}");
         }
     }
+}
 
-    #[test]
-    fn gohberg_semencul_inverts(row in spd_scalar_row(32)) {
+#[test]
+fn gohberg_semencul_inverts() {
+    for seed in 0..32 {
+        let mut rng = Rng::seed_from_u64(12_000 + seed);
+        let row = spd_scalar_row(&mut rng, 32);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let solver = ToeplitzSolver::new(&t).unwrap();
         let inv = solver.inverse_representation().unwrap();
@@ -250,36 +291,44 @@ proptest! {
         let tx = t.matvec(&x);
         let back = inv.apply(&tx);
         for i in 0..n {
-            prop_assert!((back[i] - x[i]).abs() < 1e-8, "i={i}");
+            assert!((back[i] - x[i]).abs() < 1e-8, "seed {seed} i={i}");
         }
     }
+}
 
-    #[test]
-    fn block_levinson_agrees_with_schur_on_spd(
-        m in 1usize..4,
-        p in 2usize..8,
-        seed in 0u64..300,
-    ) {
-        let t = workloads::random_spd_block(m, p, seed);
+#[test]
+fn block_levinson_agrees_with_schur_on_spd() {
+    for seed in 0..32 {
+        let mut rng = Rng::seed_from_u64(13_000 + seed);
+        let m = 1 + (rng.next_u64() as usize) % 3;
+        let p = 2 + (rng.next_u64() as usize) % 6;
+        let t = workloads::random_spd_block(m, p, rng.next_u64() % 300);
         let (b, _) = workloads::rhs_for_ones(&t);
         let x_bl = block_schur::baselines::block_levinson_solve(&t, &b).unwrap();
         let f = factor_spd(&t, &SchurOptions::default()).unwrap();
         let x_schur = f.solve(&b).unwrap();
         for i in 0..t.order() {
-            prop_assert!((x_bl[i] - x_schur[i]).abs() < 1e-7, "i={i}");
+            assert!((x_bl[i] - x_schur[i]).abs() < 1e-7, "seed {seed} i={i}");
         }
     }
+}
 
-    #[test]
-    fn eigenvalue_sum_matches_trace(row in spd_scalar_row(24)) {
+#[test]
+fn eigenvalue_sum_matches_trace() {
+    for seed in 0..32 {
+        let mut rng = Rng::seed_from_u64(14_000 + seed);
+        let row = spd_scalar_row(&mut rng, 24);
         let t = SymBlockToeplitz::from_scalar_row(&row);
         let n = t.order();
         let ev = block_schur::matrix::eig::sym_eigenvalues(&t.to_dense()).unwrap();
         let trace = n as f64 * row[0];
         let sum: f64 = ev.iter().sum();
-        prop_assert!((sum - trace).abs() < 1e-9 * trace.abs().max(1.0));
+        assert!(
+            (sum - trace).abs() < 1e-9 * trace.abs().max(1.0),
+            "seed {seed}"
+        );
         // SPD: every eigenvalue positive; cond agrees with the Schur
         // factorization succeeding.
-        prop_assert!(ev[0] > 0.0);
+        assert!(ev[0] > 0.0, "seed {seed}");
     }
 }
