@@ -15,7 +15,7 @@
 //! - [`scalar_schur`] — an independent implementation of the
 //!   Cybenko–Berry scalar hyperbolic Schur factorization using
 //!   hyperbolic *rotations*, cross-checking `bs-core` at `m = 1`.
-//! - [`cg`] — conjugate gradients and preconditioned CG; the paper
+//! - [`mod@cg`] — conjugate gradients and preconditioned CG; the paper
 //!   argues its iterative refinement needs "significantly lesser work
 //!   than the preconditioned conjugate-gradient algorithm per
 //!   iteration" (§8) — the `refinement_study` bench measures exactly

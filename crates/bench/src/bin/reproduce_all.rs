@@ -30,6 +30,7 @@ fn main() {
         "refinement_study",
         "ablations",
         "blocksize_model",
+        "steady_state",
         "cross_validate",
     ];
     let started = Instant::now();

@@ -25,13 +25,11 @@
 //! representations of §4 no longer commute past the permutations, and
 //! the indefinite experiments of §8 are about accuracy, not peak rate.
 
-use crate::reflector::{PivotOutcome, PivotReflector};
+use crate::eliminate::{eliminate_indefinite, Attempt, EngineScratch};
 use crate::solve;
 use crate::{Error, Result};
-use bs_matrix::Matrix;
-use bs_probe::metrics::{self, Counter};
-use bs_probe::stability;
-use bs_toeplitz::{build_generator, SymBlockToeplitz};
+use bs_matrix::{Matrix, Workspace};
+use bs_toeplitz::SymBlockToeplitz;
 
 /// Options for [`factor_indefinite`].
 #[derive(Clone, Debug)]
@@ -113,21 +111,13 @@ impl IndefFactor {
     /// Solve `(T + δT) x = b` — one forward and one backward
     /// triangular solve plus a signature scaling.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        solve::solve_rtdr(&self.r, Some(&self.d), b).map_err(Error::from)
+        solve::solve_rtdr(&self.r, Some(&self.d), b)
     }
 
     /// Dense reconstruction `Rᵀ D R` (test / verification).
     pub fn reconstruct(&self) -> Matrix {
         solve::reconstruct_rtdr(&self.r, Some(&self.d))
     }
-}
-
-/// Outcome of one factorization attempt under a fixed δ-schedule.
-enum Attempt {
-    Done(Box<IndefFactor>),
-    /// More singular minors were met than the schedule covers: restart
-    /// with a longer schedule (§8.2's backtracking).
-    NeedsLongerSchedule,
 }
 
 /// Factor a symmetric (possibly indefinite, possibly singular-minor)
@@ -155,6 +145,23 @@ enum Attempt {
 /// generically has no further singular minors). A user-supplied
 /// [`IndefOptions::delta`] disables grading and is used throughout.
 pub fn factor_indefinite(t: &SymBlockToeplitz, opts: &IndefOptions) -> Result<IndefFactor> {
+    // Fresh engine state per call (the compatibility entry point);
+    // plan/execute callers hold a warm workspace instead.
+    let mut ws = Workspace::new();
+    let mut scratch = EngineScratch::default();
+    factor_indefinite_with(t, opts, &mut ws, &mut scratch)
+}
+
+/// [`factor_indefinite`] with caller-owned engine state: the graded
+/// δ-schedule backtracking loop over [`eliminate_indefinite`] passes.
+/// State is reused across schedule attempts (a backtrack does not
+/// re-allocate) and, for plan/execute callers, across factorizations.
+pub(crate) fn factor_indefinite_with(
+    t: &SymBlockToeplitz,
+    opts: &IndefOptions,
+    ws: &mut Workspace,
+    scratch: &mut EngineScratch,
+) -> Result<IndefFactor> {
     let eps = f64::EPSILON;
     let max_k = 3usize;
     for k in 1..=max_k {
@@ -164,7 +171,7 @@ pub fn factor_indefinite(t: &SymBlockToeplitz, opts: &IndefOptions) -> Result<In
                 .map(|i| eps.powf(1.0 / 3f64.powi((k - i) as i32)))
                 .collect(),
         };
-        match factor_indefinite_attempt(t, opts, &schedule)? {
+        match eliminate_indefinite(t, opts, &schedule, ws, scratch)? {
             Attempt::Done(f) => return Ok(*f),
             Attempt::NeedsLongerSchedule => continue,
         }
@@ -174,245 +181,6 @@ pub fn factor_indefinite(t: &SymBlockToeplitz, opts: &IndefOptions) -> Result<In
         column: 0,
         hnorm: 0.0,
     })
-}
-
-/// One factorization pass using `schedule[i]` for the i-th perturbation.
-fn factor_indefinite_attempt(
-    t: &SymBlockToeplitz,
-    opts: &IndefOptions,
-    schedule: &[f64],
-) -> Result<Attempt> {
-    let m = t.block_size();
-    let p = t.num_blocks();
-    let n = m * p;
-    let _span = bs_probe::span!("factor_indefinite", n = n, m = m, p = p);
-    let mut perturbations: Vec<Perturbation> = Vec::new();
-    let next_delta = |perts: &[Perturbation]| -> Option<f64> { schedule.get(perts.len()).copied() };
-
-    // Generator; if the leading block itself has a singular minor,
-    // perturb the whole diagonal of T (δT = δ·s·I keeps T symmetric
-    // Toeplitz because T̂₁ sits on the entire block diagonal).
-    let t_scale = t.norm_inf().max(1.0);
-    stability::set_scale(t_scale);
-    let gen = match build_generator(t) {
-        Ok(g) => g,
-        Err(bs_matrix::Error::SingularPivot { index, pivot }) => {
-            if !opts.allow_perturbation {
-                return Err(Error::SingularMinor {
-                    step: 0,
-                    column: index,
-                    hnorm: pivot,
-                });
-            }
-            let Some(delta) = next_delta(&perturbations) else {
-                return Ok(Attempt::NeedsLongerSchedule);
-            };
-            let mut blocks = t.first_block_row().to_vec();
-            for i in 0..m {
-                blocks[0][(i, i)] += delta * t_scale;
-            }
-            perturbations.push(Perturbation {
-                step: 0,
-                column: index,
-                delta,
-                hnorm_before: pivot,
-            });
-            metrics::incr(Counter::Perturbations);
-            bs_probe::event!("perturbation", step = 0, column = index, delta = delta);
-            let tp = SymBlockToeplitz::new(blocks);
-            build_generator(&tp).map_err(Error::from)?
-        }
-        Err(e) => return Err(Error::from(e)),
-    };
-
-    let mut g = gen.data; // 2m × n working generator (explicit-shift layout)
-    let mut w = gen.w; // evolving working signature (length 2m)
-
-    let mut r = Matrix::zeros(n, n);
-    let mut d = vec![1i8; n];
-    // Emit block row 0.
-    for j in 0..n {
-        for i in 0..m {
-            r[(i, j)] = g[(i, j)];
-        }
-    }
-    d[..m].copy_from_slice(&w.0[..m]);
-
-    let mut exchanges = 0usize;
-    let mut max_norm = 1.0f64;
-
-    for s in 1..p {
-        let _step_span = bs_probe::span!("indef_step", step = s);
-        metrics::incr(Counter::SchurSteps);
-        // Phase 3 (explicit): shift the upper half right by one block.
-        for j in (s * m..n).rev() {
-            for i in 0..m {
-                let v = g[(i, j - m)];
-                g[(i, j)] = v;
-            }
-        }
-
-        for k in 0..m {
-            let c = s * m + k;
-            // Build (or repair) the pivot reflector for column c. A
-            // column can need at most one exchange plus a few escalating
-            // perturbation retries.
-            let mut attempts = 0;
-            let mut local_delta_boost = 1.0f64;
-            let refl = loop {
-                attempts += 1;
-                if attempts > 6 {
-                    return Err(Error::SingularMinor {
-                        step: s,
-                        column: k,
-                        hnorm: 0.0,
-                    });
-                }
-                let u_top = g[(k, c)];
-                let u_low: Vec<f64> = (0..m).map(|i| g[(m + i, c)]).collect();
-                let (outcome, refl) =
-                    PivotReflector::compute(u_top, &u_low, &w, m, k, opts.zero_tol, t_scale);
-                match outcome {
-                    PivotOutcome::Ok => break refl.expect("Ok carries reflector"),
-                    PivotOutcome::WrongSign { hnorm } => {
-                        // Exchange with the largest-magnitude lower row of
-                        // the signature sign(h) = −w_k.
-                        let want: i8 = if hnorm > 0.0 { 1 } else { -1 };
-                        let mut best: Option<(usize, f64)> = None;
-                        for (i, &v) in u_low.iter().enumerate() {
-                            if w.sign(m + i) == want {
-                                let mag = v.abs();
-                                if best.map(|(_, b)| mag > b).unwrap_or(true) {
-                                    best = Some((i, mag));
-                                }
-                            }
-                        }
-                        let Some((i, _)) = best else {
-                            return Err(Error::NoExchangeCandidate { step: s, column: k });
-                        };
-                        let j_row = m + i;
-                        // Swap rows k and j_row over the active columns.
-                        for col in s * m..n {
-                            let a = g[(k, col)];
-                            let b = g[(j_row, col)];
-                            g[(k, col)] = b;
-                            g[(j_row, col)] = a;
-                        }
-                        w.0.swap(k, j_row);
-                        exchanges += 1;
-                        metrics::incr(Counter::Exchanges);
-                    }
-                    PivotOutcome::ZeroNorm { hnorm } => {
-                        if !opts.allow_perturbation {
-                            return Err(Error::SingularMinor {
-                                step: s,
-                                column: k,
-                                hnorm,
-                            });
-                        }
-                        // Retries at the same column escalate the same
-                        // logical perturbation instead of consuming a new
-                        // schedule slot.
-                        let same_column = perturbations
-                            .last()
-                            .map(|pt| pt.step == s && pt.column == k)
-                            .unwrap_or(false);
-                        let delta = if same_column {
-                            local_delta_boost *= 100.0;
-                            let prev = perturbations.last().expect("same_column");
-                            (prev.delta * local_delta_boost).min(1e-2)
-                        } else {
-                            local_delta_boost = 1.0;
-                            match next_delta(&perturbations) {
-                                Some(dv) => dv,
-                                None => return Ok(Attempt::NeedsLongerSchedule),
-                            }
-                        };
-                        // §8.2 recipe: scale the pivot entry by √(1+δ),
-                        // making the hyperbolic norm ≈ w_k·δ·u_k².
-                        let scale2: f64 = u_top * u_top + u_low.iter().map(|v| v * v).sum::<f64>();
-                        if u_top * u_top > 1e-3 * scale2 && scale2 > opts.zero_tol * t_scale {
-                            g[(k, c)] = u_top * (1.0 + delta).sqrt();
-                        } else {
-                            // Degenerate pivot entry: inject an absolute
-                            // perturbation at the matrix scale.
-                            g[(k, c)] = u_top + delta * t_scale.sqrt();
-                        }
-                        if same_column {
-                            perturbations.last_mut().expect("same_column").delta = delta;
-                        } else {
-                            perturbations.push(Perturbation {
-                                step: s,
-                                column: k,
-                                delta,
-                                hnorm_before: hnorm,
-                            });
-                            metrics::incr(Counter::Perturbations);
-                        }
-                        bs_probe::event!("perturbation", step = s, column = k, delta = delta);
-                    }
-                }
-            };
-            max_norm = max_norm.max(refl.norm_est());
-            metrics::incr(Counter::Reflectors);
-            if stability::is_enabled() {
-                // The column still holds its pre-elimination entries
-                // here (finalization overwrites them just below).
-                let mut cn = g[(k, c)] * g[(k, c)];
-                for i in 0..m {
-                    cn += g[(m + i, c)] * g[(m + i, c)];
-                }
-                stability::record_step(s, k, cn.sqrt(), refl.sigma * refl.sigma, refl.norm_est());
-            }
-            // Finalize column c and update the trailing columns.
-            g[(k, c)] = -refl.sigma;
-            for i in 0..m {
-                g[(m + i, c)] = 0.0;
-            }
-            for col in c + 1..n {
-                let (mut top, mut low) = (g[(k, col)], [0.0f64; 0].to_vec());
-                low.clear();
-                low.extend((0..m).map(|i| g[(m + i, col)]));
-                refl.apply_split(&w, m, &mut top, &mut low);
-                g[(k, col)] = top;
-                for i in 0..m {
-                    g[(m + i, col)] = low[i];
-                }
-            }
-        }
-
-        // Emit block row s with its signature.
-        for j in s * m..n {
-            for i in 0..m {
-                r[(s * m + i, j)] = g[(i, j)];
-            }
-        }
-        d[s * m..(s + 1) * m].copy_from_slice(&w.0[..m]);
-    }
-
-    // Positive diagonal normalization (row sign flips leave RᵀDR fixed)
-    // and removal of O(ε) sub-diagonal roundoff.
-    for i in 0..n {
-        if r[(i, i)] < 0.0 {
-            for j in i..n {
-                r[(i, j)] = -r[(i, j)];
-            }
-        }
-    }
-    for j in 0..n {
-        for i in j + 1..n {
-            r[(i, j)] = 0.0;
-        }
-    }
-    Ok(Attempt::Done(Box::new(IndefFactor {
-        r,
-        d,
-        perturbations,
-        exchanges,
-        max_reflector_norm: max_norm,
-        m,
-        p,
-    })))
 }
 
 #[cfg(test)]

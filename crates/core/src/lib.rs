@@ -30,16 +30,26 @@
 //! - [`solver`] — the high-level [`ToeplitzSolver`] façade with
 //!   automatic SPD/indefinite dispatch.
 
+pub mod eliminate;
 pub mod indefinite;
 pub mod panel;
+pub mod plan;
 pub mod refine;
 pub mod reflector;
 pub mod rep;
 pub mod schur;
-pub mod solve;
 pub mod solver;
 
+/// Former home of the triangular-solve helpers, kept as a thin alias so
+/// `bs_core::solve::solve_rtdr` callers keep compiling; the routines
+/// live in [`solver`] now.
+pub mod solve {
+    pub use crate::solver::{reconstruct_rtdr, solve_rtdr};
+}
+
+pub use eliminate::{EngineScratch, PivotPolicy};
 pub use indefinite::{factor_indefinite, IndefFactor, IndefOptions, Perturbation};
+pub use plan::{FactorPlan, PlanRequest, PlanWorkspace};
 pub use refine::{solve_refined, RefineOptions, RefineResult};
 pub use rep::RepKind;
 pub use schur::{factor_spd, SchurOptions, SpdFactor};
@@ -71,6 +81,15 @@ pub enum Error {
     /// An option combination was invalid (e.g. `m_s` not a multiple of
     /// `m` or not dividing `n`).
     InvalidOptions(String),
+    /// A caller-supplied operand had the wrong size for the factored
+    /// system (right-hand side length, signature length, or a matrix
+    /// with a different order/block size than the plan was built for).
+    DimensionMismatch {
+        /// What was being checked (e.g. `"rhs length"`).
+        context: &'static str,
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl From<bs_matrix::Error> for Error {
@@ -96,6 +115,11 @@ impl std::fmt::Display for Error {
                 "no exchange row with matching signature for column {column} at step {step}"
             ),
             Error::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            Error::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "dimension mismatch: {context} expected {expected}, found {found}"),
         }
     }
 }

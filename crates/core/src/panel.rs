@@ -8,12 +8,34 @@
 //! representation absorbs it for the later level-3 trailing update.
 
 use crate::reflector::{PivotOutcome, PivotReflector};
-use crate::rep::{BlockReflector, RepKind};
+use crate::rep::{BlockReflector, RepKind, RepScratch};
 use crate::{Error, Result};
 use bs_matrix::ldlt::Signature;
 use bs_matrix::view::MatMut;
+use bs_matrix::Workspace;
 use bs_probe::metrics::{self, Counter};
 use bs_probe::stability;
+
+/// Reusable per-step state for [`factor_panel_into`]: the pivot
+/// reflector, its source column, and the block-representation update
+/// buffers. Held across Schur steps by the plan/execute engine so the
+/// warm panel factorization allocates nothing.
+#[derive(Debug)]
+pub struct PanelScratch {
+    refl: PivotReflector,
+    u_low: Vec<f64>,
+    rep: RepScratch,
+}
+
+impl Default for PanelScratch {
+    fn default() -> Self {
+        PanelScratch {
+            refl: PivotReflector::empty(),
+            u_low: Vec::new(),
+            rep: RepScratch::default(),
+        }
+    }
+}
 
 /// Factor a `2m × m` pivot panel in place under the SPD working
 /// signature `W = diag(I_m, −I_m)`.
@@ -53,7 +75,7 @@ pub fn factor_panel(
 /// Returns one [`BlockReflector`] per chunk; apply them to the trailing
 /// generator *in order*.
 pub fn factor_panel_two_level(
-    mut panel: MatMut<'_>,
+    panel: MatMut<'_>,
     w: &Signature,
     kind: RepKind,
     step: usize,
@@ -61,6 +83,48 @@ pub fn factor_panel_two_level(
     scale: f64,
     k_block: usize,
 ) -> Result<Vec<BlockReflector>> {
+    let mut reps = Vec::new();
+    let mut scratch = PanelScratch::default();
+    let mut ws = Workspace::new();
+    factor_panel_into(
+        panel,
+        w,
+        kind,
+        step,
+        zero_tol,
+        scale,
+        k_block,
+        &mut reps,
+        &mut scratch,
+        &mut ws,
+    )?;
+    Ok(reps)
+}
+
+/// [`factor_panel_two_level`] with every working buffer caller-owned:
+/// the chunk [`BlockReflector`]s in `reps` are reused via
+/// [`BlockReflector::reset`] when their shape fits (re-created on a
+/// cold or mismatched call), per-column temporaries live in `scratch`,
+/// and level-3 intra-panel updates draw from `ws`. Warm calls perform
+/// zero heap allocations. The arithmetic is identical to
+/// [`factor_panel_two_level`] — that function is now this one with
+/// fresh state.
+///
+/// On success `reps` holds exactly the chunk transformations, in
+/// application order.
+#[allow(clippy::too_many_arguments)]
+pub fn factor_panel_into(
+    mut panel: MatMut<'_>,
+    w: &Signature,
+    kind: RepKind,
+    step: usize,
+    zero_tol: f64,
+    scale: f64,
+    k_block: usize,
+    reps: &mut Vec<BlockReflector>,
+    scratch: &mut PanelScratch,
+    ws: &mut Workspace,
+) -> Result<()> {
     let m = panel.cols();
     assert_eq!(panel.rows(), 2 * m, "panel must be 2m x m");
     assert_eq!(w.len(), 2 * m);
@@ -69,17 +133,35 @@ pub fn factor_panel_two_level(
         (0..m).all(|i| w.sign(i) > 0),
         "SPD panel factorization expects an all-plus upper signature"
     );
-    let mut reps = Vec::with_capacity(m.div_ceil(k_block));
     let mut chunk_start = 0;
+    let mut chunk_idx = 0;
     while chunk_start < m {
         let chunk_end = (chunk_start + k_block).min(m);
-        let mut rep = BlockReflector::new(kind, w.clone(), chunk_end - chunk_start);
+        let k_len = chunk_end - chunk_start;
+        if chunk_idx == reps.len() {
+            reps.push(BlockReflector::new(kind, w.clone(), k_len));
+        } else if reps[chunk_idx].fits(kind, w, k_len) {
+            reps[chunk_idx].reset();
+        } else {
+            reps[chunk_idx] = BlockReflector::new(kind, w.clone(), k_len);
+        }
+        let rep = &mut reps[chunk_idx];
         for k in chunk_start..chunk_end {
             let u_top = panel.get(k, k);
-            let u_low: Vec<f64> = panel.col(k)[m..].to_vec();
-            let (outcome, r) = PivotReflector::compute(u_top, &u_low, w, m, k, zero_tol, scale);
-            let r = match outcome {
-                PivotOutcome::Ok => r.expect("Ok outcome carries a reflector"),
+            scratch.u_low.clear();
+            scratch.u_low.extend_from_slice(&panel.col(k)[m..]);
+            let outcome = PivotReflector::compute_into(
+                u_top,
+                &scratch.u_low,
+                w,
+                m,
+                k,
+                zero_tol,
+                scale,
+                &mut scratch.refl,
+            );
+            match outcome {
+                PivotOutcome::Ok => {}
                 PivotOutcome::ZeroNorm { hnorm } => {
                     return Err(Error::SingularMinor {
                         step,
@@ -94,12 +176,14 @@ pub fn factor_panel_two_level(
                         hnorm,
                     })
                 }
-            };
+            }
+            let r = &scratch.refl;
             metrics::incr(Counter::Reflectors);
             if stability::is_enabled() {
                 // σ² = |uᵀWu|: the hyperbolic norm the reflector
                 // eliminated; norm_est bounds ‖U‖₂ (the §8.2 growth).
-                let col_norm = (u_top * u_top + u_low.iter().map(|v| v * v).sum::<f64>()).sqrt();
+                let col_norm =
+                    (u_top * u_top + scratch.u_low.iter().map(|v| v * v).sum::<f64>()).sqrt();
                 stability::record_step(step, k, col_norm, r.sigma * r.sigma, r.norm_est());
             }
             // Column k maps to −σ e_k (lower half annihilated).
@@ -113,17 +197,18 @@ pub fn factor_panel_two_level(
                 let (top_half, low_half) = col.split_at_mut(m);
                 r.apply_split(w, m, &mut top_half[k], low_half);
             }
-            rep.push(&r.to_full(m));
+            rep.push_pivot(&scratch.refl, m, &mut scratch.rep);
         }
         // Level-3 update of the remaining pivot-block columns with the
         // whole chunk's transformation.
         if chunk_end < m {
-            rep.apply(panel.sub_mut(0, chunk_end, 2 * m, m - chunk_end), false);
+            rep.apply_ws(panel.sub_mut(0, chunk_end, 2 * m, m - chunk_end), false, ws);
         }
-        reps.push(rep);
         chunk_start = chunk_end;
+        chunk_idx += 1;
     }
-    Ok(reps)
+    reps.truncate(chunk_idx);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,587 @@
+//! Plan/execute engine: decide *how* to factor once, run it many times.
+//!
+//! A [`FactorPlan`] captures every algorithmic choice of the block
+//! Schur factorization — representation of the block reflectors (§4),
+//! algorithmic block size `m_s` (§6.5), shift variant, two-level
+//! chunking, pivot fallback policy — for one system shape `(n, m)`.
+//! Fields a [`PlanRequest`] leaves unset are chosen from the
+//! `bs-perfmodel` cost formulas (eqs. 25–32): the representation by
+//! total blocking + application flops over all `p − 1` steps, the
+//! block size by the §6.5 retiling tradeoff under the default
+//! saturating rate model.
+//!
+//! [`FactorPlan::execute`] runs the plan against a concrete matrix
+//! using a caller-owned [`PlanWorkspace`] — the pooled scratch arena
+//! plus engine scratch. The first execution warms the pool; subsequent
+//! executions against same-shaped systems perform zero heap
+//! allocations inside the elimination loop. The SPD kernel is
+//! attempted first and the indefinite kernel (row exchanges + graded
+//! δ-perturbation, §8) is the automatic fallback, exactly like the
+//! historical `factor_spd` → `factor_indefinite` sequence — and
+//! bitwise-identical to it, because pooled buffers are zero-filled on
+//! checkout.
+
+use crate::eliminate::{eliminate_spd, normalize_diagonal, retiled, EngineScratch};
+use crate::indefinite::{factor_indefinite_with, IndefOptions};
+use crate::rep::RepKind;
+use crate::schur::{SchurOptions, SpdFactor};
+use crate::solver::Factorization;
+use crate::{Error, Result};
+use bs_matrix::Workspace;
+use bs_perfmodel::model::{self, Rep};
+use bs_perfmodel::tradeoff;
+use bs_toeplitz::SymBlockToeplitz;
+
+/// A request for a [`FactorPlan`]: pin the choices you care about,
+/// leave the rest `None` for the cost model to decide.
+#[derive(Clone, Debug, Default)]
+pub struct PlanRequest {
+    /// Block reflector representation; `None` → minimize the total
+    /// blocking + application flops (eqs. 25–32).
+    pub rep: Option<RepKind>,
+    /// Algorithmic block size `m_s`; `None` → the §6.5 retiling
+    /// tradeoff under [`bs_perfmodel::tradeoff::default_rate`]. Must be
+    /// a multiple of the structural block size and divide `n` when
+    /// pinned.
+    pub block_size: Option<usize>,
+    /// Use the rayon pool for the trailing update.
+    pub parallel: bool,
+    /// Explicit generator shift instead of the in-place §6.4 pairing.
+    pub explicit_shift: bool,
+    /// Two-level panel chunk size (§6.2); `None` blocks whole panels.
+    pub two_level: Option<usize>,
+    /// SPD zero-pivot tolerance; `None` → the [`SchurOptions`] default.
+    pub zero_tol: Option<f64>,
+    /// Options for the indefinite fallback kernel.
+    pub indefinite: IndefOptions,
+}
+
+/// Caller-owned execution state for [`FactorPlan::execute`]: the pooled
+/// scratch arena plus the engine's reusable per-step buffers. Hold one
+/// per solver (or per worker thread) and reuse it across executions —
+/// that is what makes the steady state allocation-free.
+#[derive(Debug, Default)]
+pub struct PlanWorkspace {
+    pub(crate) ws: Workspace,
+    pub(crate) scratch: EngineScratch,
+    /// A retired factor matrix from a previous execution, kept whole so
+    /// the next execution can reuse it *without* the pool's zero-fill
+    /// (see [`PlanWorkspace::donate`]).
+    pub(crate) retired: Option<bs_matrix::Matrix>,
+}
+
+impl PlanWorkspace {
+    /// An empty (cold) workspace; the first execution warms it.
+    pub fn new() -> Self {
+        PlanWorkspace::default()
+    }
+
+    /// A workspace with pooling disabled: every scratch checkout
+    /// allocates per call, reproducing the allocate-per-call behaviour
+    /// the arena replaced. Factors are bitwise-identical either way;
+    /// this exists as a benchmark baseline and A/B switch.
+    pub fn bypass() -> Self {
+        PlanWorkspace {
+            ws: Workspace::bypass(),
+            ..PlanWorkspace::default()
+        }
+    }
+
+    /// Cold pool allocations since creation or the last
+    /// [`reset_stats`](Self::reset_stats).
+    pub fn allocations(&self) -> u64 {
+        self.ws.allocations()
+    }
+
+    /// Peak simultaneously checked-out elements.
+    pub fn high_water_elems(&self) -> usize {
+        self.ws.high_water_elems()
+    }
+
+    /// Total capacity (elements) of the idle pool.
+    pub fn pooled_elems(&self) -> usize {
+        self.ws.pooled_elems()
+    }
+
+    /// Zero the allocation / high-water statistics, keeping the pool.
+    pub fn reset_stats(&mut self) {
+        self.ws.reset_stats();
+    }
+
+    /// Donate a retired factor matrix so the next execution can reuse
+    /// its storage. The buffer is kept whole and handed back *without*
+    /// the pool's defensive zero-fill: every entry of an emitted factor
+    /// is deterministically overwritten (the staircase emission covers
+    /// the whole upper triangle and the diagonal normalization zeroes
+    /// the strict lower triangle), so prior contents never reach the
+    /// output. This skips an O(n²) memset per warm refactorization —
+    /// the cost a per-call `vec![0.0; n*n]` baseline always pays.
+    pub fn donate(&mut self, m: bs_matrix::Matrix) {
+        if let Some(old) = self.retired.replace(m) {
+            self.ws.give_matrix(old);
+        }
+    }
+}
+
+/// An executable factorization plan for one system shape. Build with
+/// [`FactorPlan::new`] (cost-model auto-selection for unset fields) or
+/// [`FactorPlan::from_options`] (everything pinned, the compatibility
+/// path of [`crate::ToeplitzSolver::with_options`]).
+#[derive(Clone, Debug)]
+pub struct FactorPlan {
+    n: usize,
+    m: usize,
+    m_s: usize,
+    p: usize,
+    rep_auto: bool,
+    block_auto: bool,
+    spd: SchurOptions,
+    indefinite: IndefOptions,
+    predicted_flops: f64,
+    predicted_comm_words: usize,
+}
+
+/// `RepKind` → cost-model [`Rep`]; `Sequential` has no blocked-cost
+/// counterpart.
+fn kind_to_rep(k: RepKind) -> Option<Rep> {
+    match k {
+        RepKind::Accumulated => Some(Rep::Accumulated),
+        RepKind::VY1 => Some(Rep::VY1),
+        RepKind::VY2 => Some(Rep::VY2),
+        RepKind::YTY => Some(Rep::YTY),
+        RepKind::Sequential => None,
+    }
+}
+
+fn rep_to_kind(r: Rep) -> RepKind {
+    match r {
+        Rep::Accumulated => RepKind::Accumulated,
+        Rep::VY1 => RepKind::VY1,
+        Rep::VY2 => RepKind::VY2,
+        Rep::YTY => RepKind::YTY,
+    }
+}
+
+/// Stable index for trace events (which carry only numeric values).
+fn rep_index(k: RepKind) -> usize {
+    match k {
+        RepKind::Accumulated => 0,
+        RepKind::VY1 => 1,
+        RepKind::VY2 => 2,
+        RepKind::YTY => 3,
+        RepKind::Sequential => 4,
+    }
+}
+
+impl FactorPlan {
+    /// Plan for the shape of `t`, auto-selecting what `req` leaves
+    /// unset.
+    pub fn new(t: &SymBlockToeplitz, req: &PlanRequest) -> Result<FactorPlan> {
+        Self::for_shape(t.order(), t.block_size(), req)
+    }
+
+    /// Plan for an order-`n` system with structural block size `m`
+    /// (no matrix needed — shapes are all the planner consumes).
+    pub fn for_shape(n: usize, m: usize, req: &PlanRequest) -> Result<FactorPlan> {
+        if m == 0 || n == 0 || !n.is_multiple_of(m) {
+            return Err(Error::InvalidOptions(format!(
+                "order n = {n} must be a positive multiple of the block size m = {m}"
+            )));
+        }
+        let (m_s, block_auto) = match req.block_size {
+            Some(ms) => {
+                if ms == 0 || !ms.is_multiple_of(m) {
+                    return Err(Error::InvalidOptions(format!(
+                        "m_s = {ms} is not a positive multiple of m = {m}"
+                    )));
+                }
+                if !n.is_multiple_of(ms) {
+                    return Err(Error::InvalidOptions(format!(
+                        "m_s = {ms} does not divide n = {n}"
+                    )));
+                }
+                (ms, false)
+            }
+            None => (tradeoff::auto_block_size(n, m), true),
+        };
+        let p = n / m_s;
+        let (rep, rep_auto) = match req.rep {
+            Some(r) => (r, false),
+            None => (rep_to_kind(tradeoff::best_rep_total(m_s, p)), true),
+        };
+        let spd = SchurOptions {
+            rep,
+            parallel: req.parallel,
+            block_size: (m_s != m).then_some(m_s),
+            explicit_shift: req.explicit_shift,
+            two_level: req.two_level,
+            zero_tol: req.zero_tol.unwrap_or(SchurOptions::default().zero_tol),
+        };
+        Ok(Self::assemble(
+            n,
+            m,
+            spd,
+            req.indefinite.clone(),
+            rep_auto,
+            block_auto,
+        ))
+    }
+
+    /// Plan with everything pinned by explicit driver options — the
+    /// exact configuration `factor_spd` / `factor_indefinite` would
+    /// run, no cost-model involvement.
+    pub fn from_options(
+        t: &SymBlockToeplitz,
+        spd: &SchurOptions,
+        indefinite: &IndefOptions,
+    ) -> Result<FactorPlan> {
+        let (n, m) = (t.order(), t.block_size());
+        if let Some(ms) = spd.block_size {
+            if ms == 0 || ms % m != 0 {
+                return Err(Error::InvalidOptions(format!(
+                    "m_s = {ms} is not a positive multiple of m = {m}"
+                )));
+            }
+            if n % ms != 0 {
+                return Err(Error::InvalidOptions(format!(
+                    "m_s = {ms} does not divide n = {n}"
+                )));
+            }
+        }
+        Ok(Self::assemble(
+            n,
+            m,
+            spd.clone(),
+            indefinite.clone(),
+            false,
+            false,
+        ))
+    }
+
+    fn assemble(
+        n: usize,
+        m: usize,
+        spd: SchurOptions,
+        indefinite: IndefOptions,
+        rep_auto: bool,
+        block_auto: bool,
+    ) -> FactorPlan {
+        let m_s = spd.block_size.unwrap_or(m);
+        let p = n / m_s;
+        let (predicted_flops, predicted_comm_words) = match kind_to_rep(spd.rep) {
+            Some(r) => (
+                tradeoff::total_schur_flops(r, m_s, p),
+                model::comm_words(r, m_s),
+            ),
+            // Sequential: the headline §6.5 estimate and a per-reflector
+            // broadcast (2m + 2 words each, m of them).
+            None => (model::total_factor_flops(n, m_s), m_s * (2 * m_s + 2)),
+        };
+        bs_probe::event!(
+            "plan_built",
+            n = n,
+            m = m,
+            m_s = m_s,
+            p = p,
+            rep = rep_index(spd.rep),
+            rep_auto = rep_auto as usize,
+            block_auto = block_auto as usize,
+            predicted_flops = predicted_flops,
+        );
+        FactorPlan {
+            n,
+            m,
+            m_s,
+            p,
+            rep_auto,
+            block_auto,
+            spd,
+            indefinite,
+            predicted_flops,
+            predicted_comm_words,
+        }
+    }
+
+    /// Execute against a concrete matrix of the planned shape: SPD
+    /// attempt first, automatic indefinite fallback on
+    /// `NotPositiveDefinite` / `SingularMinor`, all scratch drawn from
+    /// `pw`.
+    pub fn execute(&self, t: &SymBlockToeplitz, pw: &mut PlanWorkspace) -> Result<Factorization> {
+        if t.order() != self.n {
+            return Err(Error::DimensionMismatch {
+                context: "planned matrix order",
+                expected: self.n,
+                found: t.order(),
+            });
+        }
+        if t.block_size() != self.m {
+            return Err(Error::DimensionMismatch {
+                context: "planned structural block size",
+                expected: self.m,
+                found: t.block_size(),
+            });
+        }
+        match self.execute_spd(t, pw) {
+            Ok(f) => Ok(Factorization::Spd(f)),
+            Err(Error::NotPositiveDefinite { .. }) | Err(Error::SingularMinor { .. }) => {
+                bs_probe::event!("plan_fallback_indefinite", n = self.n, m = self.m);
+                let f = factor_indefinite_with(t, &self.indefinite, &mut pw.ws, &mut pw.scratch)?;
+                Ok(Factorization::Indefinite(f))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn execute_spd(&self, t: &SymBlockToeplitz, pw: &mut PlanWorkspace) -> Result<SpdFactor> {
+        let t_ref = retiled(t, self.spd.block_size)?;
+        // A retired factor of the right shape is reused as-is, with no
+        // zero-fill: the sink below writes every row from its diagonal
+        // block to the right edge (⊇ the upper triangle) and
+        // `normalize_diagonal` zeroes the strict lower triangle, so
+        // every entry is overwritten regardless of prior contents. A
+        // wrong-shape donation goes to the pool (zero-filled on take).
+        let mut r = match pw.retired.take() {
+            Some(buf) if buf.rows() == self.n && buf.cols() == self.n => buf,
+            Some(buf) => {
+                pw.ws.give_matrix(buf);
+                pw.ws.take_matrix(self.n, self.n)
+            }
+            None => pw.ws.take_matrix(self.n, self.n),
+        };
+        let mut sink = |s: usize, mm: usize, _n: usize, row: bs_matrix::MatRef<'_>| {
+            r.sub_mut(s * mm, s * mm, mm, row.cols()).copy_from(row);
+        };
+        match eliminate_spd(&t_ref, &self.spd, &mut pw.ws, &mut pw.scratch, &mut sink) {
+            Ok((m, p, comm_words_per_step)) => {
+                normalize_diagonal(&mut r);
+                Ok(SpdFactor {
+                    r,
+                    m,
+                    p,
+                    comm_words_per_step,
+                })
+            }
+            Err(e) => {
+                pw.ws.give_matrix(r);
+                Err(e)
+            }
+        }
+    }
+
+    /// Matrix order the plan was built for.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Structural block size of the planned systems.
+    pub fn structural_block_size(&self) -> usize {
+        self.m
+    }
+
+    /// Algorithmic block size `m_s` the elimination runs at.
+    pub fn block_size(&self) -> usize {
+        self.m_s
+    }
+
+    /// Number of block columns at the algorithmic block size.
+    pub fn num_blocks(&self) -> usize {
+        self.p
+    }
+
+    /// Chosen block reflector representation.
+    pub fn rep(&self) -> RepKind {
+        self.spd.rep
+    }
+
+    /// `true` when the representation was cost-model-chosen.
+    pub fn rep_is_auto(&self) -> bool {
+        self.rep_auto
+    }
+
+    /// `true` when the block size was cost-model-chosen.
+    pub fn block_size_is_auto(&self) -> bool {
+        self.block_auto
+    }
+
+    /// Predicted elimination flops (eqs. 25–32 summed over the `p − 1`
+    /// steps; the §6.5 estimate `4·m_s·n²` for `Sequential`).
+    pub fn predicted_flops(&self) -> f64 {
+        self.predicted_flops
+    }
+
+    /// Predicted per-step broadcast volume (§7), in words.
+    pub fn predicted_comm_words(&self) -> usize {
+        self.predicted_comm_words
+    }
+
+    /// The resolved SPD driver options the plan executes with.
+    pub fn schur_options(&self) -> &SchurOptions {
+        &self.spd
+    }
+
+    /// The indefinite-fallback options the plan executes with.
+    pub fn indefinite_options(&self) -> &IndefOptions {
+        &self.indefinite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indefinite::factor_indefinite;
+    use crate::schur::factor_spd;
+    use bs_toeplitz::workloads;
+
+    #[test]
+    fn auto_rep_is_yty_when_blocking_dominates() {
+        // p = 2 blocks of size 8: one elimination step, application
+        // over a single trailing block — blocking cost dominates.
+        let plan = FactorPlan::for_shape(16, 8, &PlanRequest::default()).unwrap();
+        assert!(plan.rep_is_auto());
+        assert_eq!(plan.rep(), RepKind::YTY, "blocking-heavy regime");
+        assert_eq!(plan.block_size(), 8, "m_s = 8 sits at the rate optimum");
+    }
+
+    #[test]
+    fn auto_rep_is_vy2_when_application_dominates() {
+        // Many trailing block columns at small m: the per-step trailing
+        // update dominates and VY2 (eq. 31) wins.
+        let plan = FactorPlan::for_shape(
+            64,
+            2,
+            &PlanRequest {
+                block_size: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(plan.rep_is_auto());
+        assert!(!plan.block_size_is_auto());
+        assert_eq!(plan.rep(), RepKind::VY2, "application-heavy regime");
+        assert_eq!(plan.num_blocks(), 32);
+    }
+
+    #[test]
+    fn pinned_fields_are_respected() {
+        let plan = FactorPlan::for_shape(
+            32,
+            1,
+            &PlanRequest {
+                rep: Some(RepKind::Accumulated),
+                block_size: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!plan.rep_is_auto());
+        assert!(!plan.block_size_is_auto());
+        assert_eq!(plan.rep(), RepKind::Accumulated);
+        assert_eq!(plan.block_size(), 4);
+        assert!(plan.predicted_flops() > 0.0);
+        assert!(plan.predicted_comm_words() > 0);
+    }
+
+    #[test]
+    fn invalid_block_sizes_rejected() {
+        let bad = FactorPlan::for_shape(
+            10,
+            1,
+            &PlanRequest {
+                block_size: Some(3),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(bad, Err(Error::InvalidOptions(_))));
+        let bad2 = FactorPlan::for_shape(
+            10,
+            2,
+            &PlanRequest {
+                block_size: Some(5),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(bad2, Err(Error::InvalidOptions(_))));
+    }
+
+    #[test]
+    fn execute_matches_factor_spd_bitwise() {
+        let t = workloads::random_spd_block(2, 8, 9);
+        let opts = SchurOptions::default();
+        let reference = factor_spd(&t, &opts).unwrap();
+        let plan = FactorPlan::from_options(&t, &opts, &IndefOptions::default()).unwrap();
+        let mut pw = PlanWorkspace::new();
+        // Execute twice: cold then warm — both must equal the wrapper.
+        for round in 0..2 {
+            match plan.execute(&t, &mut pw).unwrap() {
+                Factorization::Spd(f) => {
+                    assert_eq!(
+                        f.r.max_abs_diff(&reference.r),
+                        0.0,
+                        "round {round}: plan/execute must be bitwise-identical"
+                    );
+                    assert_eq!(f.comm_words_per_step, reference.comm_words_per_step);
+                    pw.donate(f.r);
+                }
+                other => panic!("expected SPD, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spd_plan_falls_back_to_indefinite_identically() {
+        // A non-PD pivot inside the SPD attempt must replan onto the
+        // indefinite kernel and produce exactly factor_indefinite's
+        // output.
+        for t in [
+            workloads::random_indefinite_scalar(14, 7),
+            workloads::paper_singular_minor_example(),
+        ] {
+            let reference = factor_indefinite(&t, &IndefOptions::default()).unwrap();
+            let plan =
+                FactorPlan::from_options(&t, &SchurOptions::default(), &IndefOptions::default())
+                    .unwrap();
+            let mut pw = PlanWorkspace::new();
+            match plan.execute(&t, &mut pw).unwrap() {
+                Factorization::Indefinite(f) => {
+                    assert_eq!(f.r.max_abs_diff(&reference.r), 0.0, "n={}", t.order());
+                    assert_eq!(f.d, reference.d);
+                    assert_eq!(f.exchanges, reference.exchanges);
+                    assert_eq!(f.perturbations, reference.perturbations);
+                }
+                other => panic!("expected indefinite fallback, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn execute_rejects_wrong_shape() {
+        let t = workloads::random_spd_scalar(16, 1);
+        let plan = FactorPlan::new(&t, &PlanRequest::default()).unwrap();
+        let other = workloads::random_spd_scalar(20, 1);
+        let mut pw = PlanWorkspace::new();
+        assert!(matches!(
+            plan.execute(&other, &mut pw),
+            Err(Error::DimensionMismatch {
+                expected: 16,
+                found: 20,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn auto_planned_execution_reconstructs() {
+        // End to end with both choices auto: factor and verify RᵀR.
+        let t = workloads::random_spd_scalar(24, 6);
+        let plan = FactorPlan::new(&t, &PlanRequest::default()).unwrap();
+        assert!(plan.rep_is_auto() && plan.block_size_is_auto());
+        let mut pw = PlanWorkspace::new();
+        match plan.execute(&t, &mut pw).unwrap() {
+            Factorization::Spd(f) => {
+                let diff = f.reconstruct().max_abs_diff(&t.to_dense());
+                assert!(diff < 1e-9, "||R^TR - T|| = {diff:e}");
+            }
+            other => panic!("expected SPD, got {other:?}"),
+        }
+    }
+}

@@ -159,6 +159,39 @@ impl PivotReflector {
         zero_tol: f64,
         scale: f64,
     ) -> (PivotOutcome, Option<PivotReflector>) {
+        let mut out = PivotReflector::empty();
+        let outcome =
+            PivotReflector::compute_into(u_top, u_low, w, m, pivot, zero_tol, scale, &mut out);
+        let r = matches!(outcome, PivotOutcome::Ok).then_some(out);
+        (outcome, r)
+    }
+
+    /// A placeholder reflector ready for [`compute_into`](Self::compute_into)
+    /// to overwrite; its `x_low` buffer is reused across Schur steps.
+    pub fn empty() -> PivotReflector {
+        PivotReflector {
+            x_top: 0.0,
+            x_low: Vec::new(),
+            beta: 0.0,
+            sigma: 0.0,
+            pivot: 0,
+        }
+    }
+
+    /// [`compute`](Self::compute) writing into a caller-owned reflector,
+    /// so `x_low` reuses its existing heap buffer. Identical arithmetic;
+    /// on non-`Ok` outcomes `out` holds unspecified (stale) data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_into(
+        u_top: f64,
+        u_low: &[f64],
+        w: &Signature,
+        m: usize,
+        pivot: usize,
+        zero_tol: f64,
+        scale: f64,
+        out: &mut PivotReflector,
+    ) -> PivotOutcome {
         assert!(pivot < m);
         assert_eq!(w.len(), m + u_low.len());
         let wj = w.sign(pivot) as f64;
@@ -169,16 +202,17 @@ impl PivotReflector {
         }
         flops::add(3 * u_low.len() as u64 + 3);
         if h.abs() <= zero_tol * scale.max(f64::MIN_POSITIVE) {
-            return (PivotOutcome::ZeroNorm { hnorm: h }, None);
+            return PivotOutcome::ZeroNorm { hnorm: h };
         }
         if h * wj < 0.0 {
-            return (PivotOutcome::WrongSign { hnorm: h }, None);
+            return PivotOutcome::WrongSign { hnorm: h };
         }
         let sigma = sign_or_one(u_top) * (h * wj).sqrt() * wj.signum();
         // x = W u + σ e_j on the support.
         let x_top = wj * u_top + sigma;
-        let mut x_low = u_low.to_vec();
-        for (i, v) in x_low.iter_mut().enumerate() {
+        out.x_low.clear();
+        out.x_low.extend_from_slice(u_low);
+        for (i, v) in out.x_low.iter_mut().enumerate() {
             if w.sign(m + i) < 0 {
                 *v = -*v;
             }
@@ -186,18 +220,13 @@ impl PivotReflector {
         let xtwx = 2.0 * (h + sigma * u_top);
         flops::add(6);
         if xtwx == 0.0 {
-            return (PivotOutcome::ZeroNorm { hnorm: h }, None);
+            return PivotOutcome::ZeroNorm { hnorm: h };
         }
-        (
-            PivotOutcome::Ok,
-            Some(PivotReflector {
-                x_top,
-                x_low,
-                beta: -2.0 / xtwx,
-                sigma,
-                pivot,
-            }),
-        )
+        out.x_top = x_top;
+        out.beta = -2.0 / xtwx;
+        out.sigma = sigma;
+        out.pivot = pivot;
+        PivotOutcome::Ok
     }
 
     /// Inner product of the support with a split column.

@@ -19,11 +19,11 @@
 //! for all blocked forms: one or two `gemm`s against the `2m × q`
 //! trailing columns.
 
-use crate::reflector::HypReflector;
-use bs_matrix::blas3::{gemm, par_gemm, Trans};
+use crate::reflector::{HypReflector, PivotReflector};
+use bs_matrix::blas3::{gemm, gemm_ws, par_gemm, Trans};
 use bs_matrix::ldlt::Signature;
 use bs_matrix::view::MatMut;
-use bs_matrix::{flops, Matrix};
+use bs_matrix::{flops, Matrix, Workspace};
 
 /// Which representation of the block hyperbolic Householder product to
 /// build and apply.
@@ -66,6 +66,23 @@ impl std::fmt::Display for RepKind {
     }
 }
 
+/// Reusable scratch buffers for the [`BlockReflector::push`] update
+/// kernels. One instance, held across steps by the plan/execute engine,
+/// turns the per-reflector temporaries (`z`, `xᵀV`, the `T`-row
+/// accumulator, the densified pivot vector) into buffer reuses instead
+/// of heap allocations.
+#[derive(Debug, Default, Clone)]
+pub struct RepScratch {
+    /// Length-`n` buffer (`z` / `xᵀU` intermediates).
+    nbuf: Vec<f64>,
+    /// Length-`k` buffer (`xᵀV` / `xᵀY`).
+    kbuf1: Vec<f64>,
+    /// Second length-`k` buffer (the YTYᵀ `T`-row accumulator).
+    kbuf2: Vec<f64>,
+    /// Full-length expansion of a sparse pivot reflector.
+    xfull: Vec<f64>,
+}
+
 /// A product of `k` elementary hyperbolic reflectors over `n = 2m` rows
 /// in one of the representations of [`RepKind`].
 #[derive(Debug, Clone)]
@@ -73,6 +90,7 @@ pub struct BlockReflector {
     kind: RepKind,
     n: usize,
     k: usize,
+    k_max: usize,
     w: Signature,
     /// Accumulated: the dense U. VY1/VY2: V. YTY: Y.
     left: Matrix,
@@ -98,6 +116,7 @@ impl BlockReflector {
             kind,
             n,
             k: 0,
+            k_max,
             w,
             left,
             right,
@@ -107,6 +126,22 @@ impl BlockReflector {
                 0
             }),
         }
+    }
+
+    /// Rewind to the empty product, keeping the allocated panels for
+    /// reuse by the next Schur step. Sound because every `push` writes
+    /// the entries a later `push`/`apply` reads before they are read —
+    /// stale data from the previous step is never observed.
+    pub fn reset(&mut self) {
+        self.k = 0;
+        self.elems.clear();
+    }
+
+    /// Whether this instance's allocation can be reused (via
+    /// [`reset`](Self::reset)) for a product of shape
+    /// `(kind, n, k_max)` under signature `w`.
+    pub fn fits(&self, kind: RepKind, w: &Signature, k_max: usize) -> bool {
+        self.kind == kind && self.n == w.len() && self.k_max == k_max && self.w.0 == w.0
     }
 
     #[inline]
@@ -145,25 +180,54 @@ impl BlockReflector {
     /// Absorb the next elementary reflector `U_{k+1}` (given by its
     /// full-length vector form) on the *left* of the product.
     pub fn push(&mut self, r: &HypReflector) {
-        assert_eq!(r.x.len(), self.n);
+        let mut scratch = RepScratch::default();
+        self.push_parts(&r.x, r.beta, r.sigma, r.pivot, &mut scratch);
+    }
+
+    /// [`push`](Self::push) for the Schur step's sparse
+    /// [`PivotReflector`] with caller-provided scratch: the full-length
+    /// vector is expanded into `scratch` instead of a fresh allocation,
+    /// and all update temporaries reuse `scratch` buffers. This is the
+    /// allocation-free path the warm plan/execute engine runs.
+    pub fn push_pivot(&mut self, r: &PivotReflector, m: usize, scratch: &mut RepScratch) {
+        let mut xfull = std::mem::take(&mut scratch.xfull);
+        xfull.clear();
+        xfull.resize(m + r.x_low.len(), 0.0);
+        xfull[r.pivot] = r.x_top;
+        xfull[m..].copy_from_slice(&r.x_low);
+        self.push_parts(&xfull, r.beta, r.sigma, r.pivot, scratch);
+        scratch.xfull = xfull;
+    }
+
+    /// Shared update kernel behind [`push`](Self::push) /
+    /// [`push_pivot`](Self::push_pivot). The arithmetic is byte-for-byte
+    /// the same whichever entry point is used: every scratch buffer is
+    /// fully overwritten before it is read.
+    fn push_parts(&mut self, x: &[f64], beta: f64, sigma: f64, pivot: usize, s: &mut RepScratch) {
+        assert_eq!(x.len(), self.n);
         let k = self.k;
         let n = self.n;
         match self.kind {
-            RepKind::Sequential => self.elems.push(r.clone()),
+            RepKind::Sequential => self.elems.push(HypReflector {
+                x: x.to_vec(),
+                beta,
+                sigma,
+                pivot,
+            }),
             RepKind::Accumulated => {
                 if k == 0 {
                     // U = W + beta x xᵀ.
                     for j in 0..n {
                         for i in 0..n {
                             let wij = if i == j { self.w.sign(i) as f64 } else { 0.0 };
-                            self.left[(i, j)] = wij + r.beta * r.x[i] * r.x[j];
+                            self.left[(i, j)] = wij + beta * x[i] * x[j];
                         }
                     }
                     flops::add(3 * (n * n) as u64);
                 } else {
                     // U ← U_{k+1} U = W U + beta x (xᵀ U).
-                    let mut xtu = vec![0.0; n];
-                    bs_matrix::blas2::gemv_t(1.0, self.left.rf(), &r.x, 0.0, &mut xtu);
+                    let xtu = resized(&mut s.nbuf, n);
+                    bs_matrix::blas2::gemv_t(1.0, self.left.rf(), x, 0.0, xtu);
                     for j in 0..n {
                         let col = self.left.col_mut(j);
                         for (i, c) in col.iter_mut().enumerate() {
@@ -171,21 +235,22 @@ impl BlockReflector {
                                 *c = -*c;
                             }
                         }
-                        bs_matrix::blas1::axpy(r.beta * xtu[j], &r.x, col);
+                        bs_matrix::blas1::axpy(beta * xtu[j], x, col);
                     }
                     flops::add((n * n) as u64);
                 }
             }
             RepKind::VY1 => {
                 // z = β xᵀ U⁽ᵏ⁾ = β xᵀWᵏ + β (xᵀV) Yᵀ  — two matvecs.
-                let mut z = wk_vec(&self.w, k, &r.x);
-                bs_matrix::blas1::scal(r.beta, &mut z);
+                wk_into(&self.w, k, x, &mut s.nbuf);
+                let z = s.nbuf.as_mut_slice();
+                bs_matrix::blas1::scal(beta, z);
                 if k > 0 {
                     let v = self.left.sub(0, 0, n, k);
                     let y = self.right.sub(0, 0, n, k);
-                    let mut xv = vec![0.0; k];
-                    bs_matrix::blas2::gemv_t(r.beta, v, &r.x, 0.0, &mut xv);
-                    bs_matrix::blas2::gemv(1.0, y, &xv, 1.0, &mut z);
+                    let xv = resized(&mut s.kbuf1, k);
+                    bs_matrix::blas2::gemv_t(beta, v, x, 0.0, xv);
+                    bs_matrix::blas2::gemv(1.0, y, xv, 1.0, z);
                     // V ← W V.
                     for j in 0..k {
                         let col = self.left.col_mut(j);
@@ -197,18 +262,19 @@ impl BlockReflector {
                     }
                     flops::add((n * k) as u64);
                 }
-                self.left.col_mut(k).copy_from_slice(&r.x);
-                self.right.col_mut(k).copy_from_slice(&z);
+                self.left.col_mut(k).copy_from_slice(x);
+                self.right.col_mut(k).copy_from_slice(z);
             }
             RepKind::VY2 => {
                 // z = β xᵀWᵏ (cheap); V ← [U_{k+1} V, x] via matvec + rank-1.
-                let mut z = wk_vec(&self.w, k, &r.x);
-                bs_matrix::blas1::scal(r.beta, &mut z);
+                wk_into(&self.w, k, x, &mut s.nbuf);
+                let z = s.nbuf.as_mut_slice();
+                bs_matrix::blas1::scal(beta, z);
                 if k > 0 {
-                    let mut xv = vec![0.0; k];
+                    let xv = resized(&mut s.kbuf1, k);
                     {
                         let v = self.left.sub(0, 0, n, k);
-                        bs_matrix::blas2::gemv_t(1.0, v, &r.x, 0.0, &mut xv);
+                        bs_matrix::blas2::gemv_t(1.0, v, x, 0.0, xv);
                     }
                     // V ← W V + (β x) (xᵀV).
                     for j in 0..k {
@@ -218,29 +284,29 @@ impl BlockReflector {
                                 *c = -*c;
                             }
                         }
-                        bs_matrix::blas1::axpy(r.beta * xv[j], &r.x, col);
+                        bs_matrix::blas1::axpy(beta * xv[j], x, col);
                     }
                     flops::add((n * k) as u64);
                 }
-                self.left.col_mut(k).copy_from_slice(&r.x);
-                self.right.col_mut(k).copy_from_slice(&z);
+                self.left.col_mut(k).copy_from_slice(x);
+                self.right.col_mut(k).copy_from_slice(z);
             }
             RepKind::YTY => {
                 // Y ← [W Y, x]; T ← [[T, 0], [a, b]], a = β xᵀ Y T, b = β.
                 if k > 0 {
-                    let mut xy = vec![0.0; k];
+                    let xy = resized(&mut s.kbuf1, k);
                     {
                         let y = self.left.sub(0, 0, n, k);
-                        bs_matrix::blas2::gemv_t(1.0, y, &r.x, 0.0, &mut xy);
+                        bs_matrix::blas2::gemv_t(1.0, y, x, 0.0, xy);
                     }
                     // a = β (xᵀY) T with T lower triangular k×k.
-                    let mut a = vec![0.0; k];
+                    let a = resized(&mut s.kbuf2, k);
                     for j in 0..k {
-                        let mut s = 0.0;
+                        let mut acc = 0.0;
                         for i in j..k {
-                            s += xy[i] * self.right[(i, j)];
+                            acc += s.kbuf1[i] * self.right[(i, j)];
                         }
-                        a[j] = r.beta * s;
+                        a[j] = beta * acc;
                     }
                     flops::add((k * k) as u64 + k as u64);
                     // Y ← W Y.
@@ -254,11 +320,11 @@ impl BlockReflector {
                     }
                     flops::add((n * k) as u64);
                     for j in 0..k {
-                        self.right[(k, j)] = a[j];
+                        self.right[(k, j)] = s.kbuf2[j];
                     }
                 }
-                self.left.col_mut(k).copy_from_slice(&r.x);
-                self.right[(k, k)] = r.beta;
+                self.left.col_mut(k).copy_from_slice(x);
+                self.right[(k, k)] = beta;
             }
         }
         self.k += 1;
@@ -267,7 +333,19 @@ impl BlockReflector {
     /// Apply the product to the trailing generator columns:
     /// `G ← U⁽ᵏ⁾ G` (phase 2). Level-3 for the blocked kinds; when
     /// `parallel` is set the dominant `gemm`s use the rayon pool.
-    pub fn apply(&self, mut g: MatMut<'_>, parallel: bool) {
+    pub fn apply(&self, g: MatMut<'_>, parallel: bool) {
+        self.apply_impl(g, parallel, None);
+    }
+
+    /// [`apply`](Self::apply) with all temporaries (`Z`, `TZ`, generator
+    /// copies, gemm pack buffers) checked out of `ws` instead of heap
+    /// allocated. Identical arithmetic: pooled buffers are zero-filled
+    /// on checkout, exactly like the fresh allocations they replace.
+    pub fn apply_ws(&self, g: MatMut<'_>, parallel: bool, ws: &mut Workspace) {
+        self.apply_impl(g, parallel, Some(ws));
+    }
+
+    fn apply_impl(&self, mut g: MatMut<'_>, parallel: bool, mut ws: Option<&mut Workspace>) {
         assert_eq!(g.rows(), self.n);
         if self.k == 0 || g.cols() == 0 {
             return;
@@ -286,7 +364,10 @@ impl BlockReflector {
             }
             RepKind::Accumulated => {
                 // G ← U G.
-                let gc = g.to_matrix();
+                let mut gc = take_mat(&mut ws, n, q);
+                for j in 0..q {
+                    gc.col_mut(j).copy_from_slice(g.col(j));
+                }
                 mm(
                     parallel,
                     1.0,
@@ -296,14 +377,26 @@ impl BlockReflector {
                     Trans::No,
                     0.0,
                     g.rb_mut(),
+                    ws.as_deref_mut(),
                 );
+                give_mat(&mut ws, gc);
             }
             RepKind::VY1 | RepKind::VY2 => {
                 // G ← Wᵏ G + V (Yᵀ G).
                 let v = self.left.sub(0, 0, n, k);
                 let y = self.right.sub(0, 0, n, k);
-                let mut z = Matrix::zeros(k, q);
-                mm(parallel, 1.0, y, Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
+                let mut z = take_mat(&mut ws, k, q);
+                mm(
+                    parallel,
+                    1.0,
+                    y,
+                    Trans::Yes,
+                    g.rb(),
+                    Trans::No,
+                    0.0,
+                    z.mt(),
+                    ws.as_deref_mut(),
+                );
                 apply_wk(&self.w, k, g.rb_mut());
                 mm(
                     parallel,
@@ -314,19 +407,22 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     g.rb_mut(),
+                    ws.as_deref_mut(),
                 );
+                give_mat(&mut ws, z);
             }
             RepKind::YTY => {
                 // G ← Wᵏ G + Y (T (Yᵀ (W^{k-1} G))).
                 let y = self.left.sub(0, 0, n, k);
-                let mut z = Matrix::zeros(k, q);
+                let mut z = take_mat(&mut ws, k, q);
                 // Z = Yᵀ W^{k-1} G: fold W^{k-1} into a row-sign-flipped
                 // copy of Y instead of touching G.
                 if k.is_multiple_of(2) {
                     // W^{k-1} = W (odd power): use sign-flipped Y.
-                    let mut yw = self.left.sub(0, 0, n, k).to_matrix();
+                    let mut yw = take_mat(&mut ws, n, k);
                     for j in 0..k {
                         let col = yw.col_mut(j);
+                        col.copy_from_slice(&self.left.col(j)[..n]);
                         for (i, c) in col.iter_mut().enumerate() {
                             if self.w.sign(i) < 0 {
                                 *c = -*c;
@@ -343,12 +439,24 @@ impl BlockReflector {
                         Trans::No,
                         0.0,
                         z.mt(),
+                        ws.as_deref_mut(),
                     );
+                    give_mat(&mut ws, yw);
                 } else {
-                    mm(parallel, 1.0, y, Trans::Yes, g.rb(), Trans::No, 0.0, z.mt());
+                    mm(
+                        parallel,
+                        1.0,
+                        y,
+                        Trans::Yes,
+                        g.rb(),
+                        Trans::No,
+                        0.0,
+                        z.mt(),
+                        ws.as_deref_mut(),
+                    );
                 }
                 // Z ← T Z with T lower triangular (k×k, small): direct.
-                let mut tz = Matrix::zeros(k, q);
+                let mut tz = take_mat(&mut ws, k, q);
                 for jj in 0..q {
                     for i in 0..k {
                         let mut s = 0.0;
@@ -369,7 +477,10 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     g.rb_mut(),
+                    ws.as_deref_mut(),
                 );
+                give_mat(&mut ws, z);
+                give_mat(&mut ws, tz);
             }
         }
     }
@@ -381,7 +492,29 @@ impl BlockReflector {
     /// `j − s` with lower block column `j`). Requires the SPD working
     /// signature `W = diag(I_m, −I_m)` — the quadrant split exploits
     /// `Wᵏ = diag(I, (−1)ᵏ I)`.
-    pub fn apply_split(&self, mut gu: MatMut<'_>, mut gl: MatMut<'_>, parallel: bool) {
+    pub fn apply_split(&self, gu: MatMut<'_>, gl: MatMut<'_>, parallel: bool) {
+        self.apply_split_impl(gu, gl, parallel, None);
+    }
+
+    /// [`apply_split`](Self::apply_split) with all temporaries checked
+    /// out of `ws` — the warm plan/execute trailing-update path.
+    pub fn apply_split_ws(
+        &self,
+        gu: MatMut<'_>,
+        gl: MatMut<'_>,
+        parallel: bool,
+        ws: &mut Workspace,
+    ) {
+        self.apply_split_impl(gu, gl, parallel, Some(ws));
+    }
+
+    fn apply_split_impl(
+        &self,
+        mut gu: MatMut<'_>,
+        mut gl: MatMut<'_>,
+        parallel: bool,
+        mut ws: Option<&mut Workspace>,
+    ) {
         let m = self.n / 2;
         assert_eq!(gu.rows(), m);
         assert_eq!(gl.rows(), m);
@@ -423,8 +556,12 @@ impl BlockReflector {
                 let u12 = self.left.sub(0, m, m, m);
                 let u21 = self.left.sub(m, 0, m, m);
                 let u22 = self.left.sub(m, m, m, m);
-                let gu0 = gu.to_matrix();
-                let gl0 = gl.to_matrix();
+                let mut gu0 = take_mat(&mut ws, m, q);
+                let mut gl0 = take_mat(&mut ws, m, q);
+                for j in 0..q {
+                    gu0.col_mut(j).copy_from_slice(gu.col(j));
+                    gl0.col_mut(j).copy_from_slice(gl.col(j));
+                }
                 mm(
                     parallel,
                     1.0,
@@ -434,6 +571,7 @@ impl BlockReflector {
                     Trans::No,
                     0.0,
                     gu.rb_mut(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -444,6 +582,7 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     gu.rb_mut(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -454,6 +593,7 @@ impl BlockReflector {
                     Trans::No,
                     0.0,
                     gl.rb_mut(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -464,7 +604,10 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     gl.rb_mut(),
+                    ws.as_deref_mut(),
                 );
+                give_mat(&mut ws, gu0);
+                give_mat(&mut ws, gl0);
             }
             RepKind::VY1 | RepKind::VY2 => {
                 // Z = Yuᵀ Gu + Ylᵀ Gl;
@@ -473,7 +616,7 @@ impl BlockReflector {
                 let vl = self.left.sub(m, 0, m, k);
                 let yu = self.right.sub(0, 0, m, k);
                 let yl = self.right.sub(m, 0, m, k);
-                let mut z = Matrix::zeros(k, q);
+                let mut z = take_mat(&mut ws, k, q);
                 mm(
                     parallel,
                     1.0,
@@ -483,6 +626,7 @@ impl BlockReflector {
                     Trans::No,
                     0.0,
                     z.mt(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -493,6 +637,7 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     z.mt(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -503,6 +648,7 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     gu.rb_mut(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -513,7 +659,9 @@ impl BlockReflector {
                     Trans::No,
                     low_sign,
                     gl.rb_mut(),
+                    ws.as_deref_mut(),
                 );
+                give_mat(&mut ws, z);
             }
             RepKind::YTY => {
                 // Z = Yᵀ W^{k−1} [Gu; Gl] = Yuᵀ Gu + s' Ylᵀ Gl,
@@ -521,7 +669,7 @@ impl BlockReflector {
                 let yu = self.left.sub(0, 0, m, k);
                 let yl = self.left.sub(m, 0, m, k);
                 let sp = if (k - 1) % 2 == 1 { -1.0 } else { 1.0 };
-                let mut z = Matrix::zeros(k, q);
+                let mut z = take_mat(&mut ws, k, q);
                 mm(
                     parallel,
                     1.0,
@@ -531,6 +679,7 @@ impl BlockReflector {
                     Trans::No,
                     0.0,
                     z.mt(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -541,9 +690,10 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     z.mt(),
+                    ws.as_deref_mut(),
                 );
                 // TZ with lower triangular T (small, direct).
-                let mut tz = Matrix::zeros(k, q);
+                let mut tz = take_mat(&mut ws, k, q);
                 for jj in 0..q {
                     for i in 0..k {
                         let mut s = 0.0;
@@ -563,6 +713,7 @@ impl BlockReflector {
                     Trans::No,
                     1.0,
                     gu.rb_mut(),
+                    ws.as_deref_mut(),
                 );
                 mm(
                     parallel,
@@ -573,7 +724,10 @@ impl BlockReflector {
                     Trans::No,
                     low_sign,
                     gl.rb_mut(),
+                    ws.as_deref_mut(),
                 );
+                give_mat(&mut ws, z);
+                give_mat(&mut ws, tz);
             }
         }
     }
@@ -587,7 +741,10 @@ impl BlockReflector {
     }
 }
 
-/// Dispatch a gemm to the sequential or rayon-parallel kernel.
+/// Dispatch a gemm to the sequential or rayon-parallel kernel. With a
+/// workspace the sequential kernel packs into pooled buffers; the
+/// parallel kernel always uses per-worker private buffers (a shared
+/// arena would serialize the strips).
 #[allow(clippy::too_many_arguments)]
 fn mm(
     parallel: bool,
@@ -598,21 +755,48 @@ fn mm(
     tb: Trans,
     beta: f64,
     c: MatMut<'_>,
+    ws: Option<&mut Workspace>,
 ) {
     if parallel {
         par_gemm(alpha, a, ta, b, tb, beta, c)
+    } else if let Some(w) = ws {
+        gemm_ws(alpha, a, ta, b, tb, beta, c, w)
     } else {
         gemm(alpha, a, ta, b, tb, beta, c)
     }
 }
 
-/// `Wᵏ x` as a fresh vector.
-fn wk_vec(w: &Signature, k: usize, x: &[f64]) -> Vec<f64> {
-    let mut v = x.to_vec();
+/// Resize `buf` to exactly `len` zeros and return it as a slice — the
+/// reusable-buffer equivalent of `vec![0.0; len]`.
+fn resized(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    buf.clear();
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// `Wᵏ x` into a reusable buffer.
+fn wk_into(w: &Signature, k: usize, x: &[f64], buf: &mut Vec<f64>) {
+    buf.clear();
+    buf.extend_from_slice(x);
     if k % 2 == 1 {
-        w.apply(&mut v);
+        w.apply(buf);
     }
-    v
+}
+
+/// Zeroed `rows × cols` scratch matrix: pooled when a workspace is
+/// present, fresh otherwise. Either way the caller sees all zeros.
+fn take_mat(ws: &mut Option<&mut Workspace>, rows: usize, cols: usize) -> Matrix {
+    match ws {
+        Some(w) => w.take_matrix(rows, cols),
+        None => Matrix::zeros(rows, cols),
+    }
+}
+
+/// Return a scratch matrix to the pool (drop it when workspace-less).
+fn give_mat(ws: &mut Option<&mut Workspace>, m: Matrix) {
+    if let Some(w) = ws {
+        w.give_matrix(m);
+    }
 }
 
 /// `G ← Wᵏ G` in place.

@@ -17,14 +17,12 @@
 //! which makes the in-place column pairing a pair of disjoint
 //! sub-views rather than an aliasing hazard.
 
-use crate::panel::factor_panel_two_level;
+use crate::eliminate::{eliminate_spd, normalize_diagonal, retiled, EngineScratch};
 use crate::rep::RepKind;
 use crate::solve;
-use crate::{Error, Result};
-use bs_matrix::ldlt::Signature;
-use bs_matrix::Matrix;
-use bs_probe::metrics::{self, Counter};
-use bs_toeplitz::{build_generator, SymBlockToeplitz};
+use crate::Result;
+use bs_matrix::{Matrix, Workspace};
+use bs_toeplitz::SymBlockToeplitz;
 
 /// Options for [`factor_spd`].
 #[derive(Clone, Debug)]
@@ -87,7 +85,7 @@ impl SpdFactor {
 
     /// Solve `T x = b` via `Rᵀ(Rx) = b`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        solve::solve_rtdr(&self.r, None, b).map_err(Error::from)
+        solve::solve_rtdr(&self.r, None, b)
     }
 
     /// Reconstruct `RᵀR` densely (test / verification, O(n³)).
@@ -149,156 +147,19 @@ pub fn factor_spd_streaming(
     opts: &SchurOptions,
     mut sink: impl FnMut(usize, usize, usize, bs_matrix::MatRef<'_>),
 ) -> Result<(usize, usize, usize)> {
-    let t_alg;
-    let t_ref = if let Some(ms) = opts.block_size {
-        if ms == 0 || ms % t.block_size() != 0 {
-            return Err(Error::InvalidOptions(format!(
-                "m_s = {ms} is not a positive multiple of m = {}",
-                t.block_size()
-            )));
-        }
-        if !t.order().is_multiple_of(ms) {
-            return Err(Error::InvalidOptions(format!(
-                "m_s = {ms} does not divide n = {}",
-                t.order()
-            )));
-        }
-        t_alg = t.retile(ms);
-        &t_alg
-    } else {
-        t
-    };
-
-    let m = t_ref.block_size();
-    let p = t_ref.num_blocks();
-    let n = m * p;
-    let _span = bs_probe::span!("factor_spd", n = n, m = m, p = p);
-
-    let gen = build_generator(t_ref)?;
-    if !gen.is_spd_signature() {
-        return Err(Error::NotPositiveDefinite {
-            step: 0,
-            column: 0,
-            hnorm: -1.0,
-        });
-    }
-    let w = Signature::hyperbolic(m);
-
-    // Split the generator into its two halves.
-    let mut gu = gen.data.sub(0, 0, m, n).to_matrix();
-    let mut gl = gen.data.sub(m, 0, m, n).to_matrix();
-
-    // R block row 0 is the untransformed upper generator half.
-    sink(0, m, n, gu.rf());
-
-    let mut comm_words = 0usize;
-    let mut panel_buf = Matrix::zeros(2 * m, m);
-    let scale = t_ref.norm_inf().max(1.0);
-    bs_probe::stability::set_scale(scale);
-
-    for s in 1..p {
-        let width = (p - s) * m; // active upper width this step
-        let _step_span = bs_probe::span!("schur_step", step = s, width = width);
-        let step_flops0 = if bs_probe::trace::is_enabled() {
-            bs_matrix::flops::total()
-        } else {
-            0
-        };
-        metrics::incr(Counter::SchurSteps);
-
-        if opts.explicit_shift {
-            // Phase 3 (explicit): move the upper row right by one block.
-            for j in (s..p).rev() {
-                let src = gu.sub(0, (j - 1) * m, m, m).to_matrix();
-                gu.sub_mut(0, j * m, m, m).copy_from(src.rf());
-            }
-        }
-        // Column index of the pivot (and trailing) data in each half.
-        let (up_piv, up_trail) = if opts.explicit_shift {
-            (s * m, (s + 1) * m)
-        } else {
-            (0, m)
-        };
-        let low_piv = s * m;
-
-        // Phase 1: assemble and factor the pivot panel.
-        panel_buf
-            .sub_mut(0, 0, m, m)
-            .copy_from(gu.sub(0, up_piv, m, m));
-        panel_buf
-            .sub_mut(m, 0, m, m)
-            .copy_from(gl.sub(0, low_piv, m, m));
-        let k_block = opts.two_level.unwrap_or(m).clamp(1, m);
-        let reps = factor_panel_two_level(
-            panel_buf.mt(),
-            &w,
-            opts.rep,
-            s,
-            opts.zero_tol,
-            scale,
-            k_block,
-        )?;
-        let step_words: usize = reps.iter().map(|r| r.comm_words()).sum();
-        comm_words = comm_words.max(step_words);
-        metrics::add(Counter::CommWords, step_words as u64);
-        gu.sub_mut(0, up_piv, m, m)
-            .copy_from(panel_buf.sub(0, 0, m, m));
-        gl.sub_mut(0, low_piv, m, m).fill(0.0);
-
-        // Phase 2: trailing update on the paired column ranges, one
-        // chunk transformation after the other.
-        let trail = width - m;
-        if trail > 0 {
-            for rep in &reps {
-                rep.apply_split(
-                    gu.sub_mut(0, up_trail, m, trail),
-                    gl.sub_mut(0, low_piv + m, m, trail),
-                    opts.parallel,
-                );
-            }
-        }
-
-        // Emit R block row s.
-        let src_col = if opts.explicit_shift { s * m } else { 0 };
-        sink(s, m, n, gu.sub(0, src_col, m, width));
-
-        if bs_probe::trace::is_enabled() {
-            bs_probe::event!(
-                "schur_step_done",
-                step = s,
-                flops = (bs_matrix::flops::total() - step_flops0),
-                growth = bs_probe::stability::peak_growth(),
-            );
-        }
-    }
-
-    Ok((m, p, comm_words))
-}
-
-/// Flip the sign of rows whose diagonal is negative so `R` has a
-/// positive diagonal (`RᵀR` is invariant under row sign changes), and
-/// zero the strict lower triangle — within each emitted diagonal block
-/// the sub-diagonal entries are exact zeros in exact arithmetic but
-/// carry `O(ε)` roundoff from the level-3 updates.
-fn normalize_diagonal(r: &mut Matrix) {
-    let n = r.rows();
-    for i in 0..n {
-        if r[(i, i)] < 0.0 {
-            for j in i..n {
-                r[(i, j)] = -r[(i, j)];
-            }
-        }
-    }
-    for j in 0..n {
-        for i in j + 1..n {
-            r[(i, j)] = 0.0;
-        }
-    }
+    let t_ref = retiled(t, opts.block_size)?;
+    // Fresh engine state: this compatibility entry point reproduces the
+    // historical allocate-per-call behavior; long-lived callers that
+    // want warm (allocation-free) repeats hold a `FactorPlan` instead.
+    let mut ws = Workspace::new();
+    let mut scratch = EngineScratch::default();
+    eliminate_spd(&t_ref, opts, &mut ws, &mut scratch, &mut sink)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Error;
     use bs_toeplitz::workloads;
 
     fn check_factor(t: &SymBlockToeplitz, opts: &SchurOptions, tol: f64) {

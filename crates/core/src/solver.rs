@@ -1,17 +1,98 @@
-//! High-level solver façade: pick the right algorithm automatically.
+//! High-level solver façade: pick the right algorithm automatically,
+//! keep the machinery warm for repeated solves.
 //!
-//! [`ToeplitzSolver`] tries the fast SPD path first and falls back to
-//! the extended indefinite algorithm (with perturbation + iterative
-//! refinement) when the matrix is not positive definite — the
-//! workflow a downstream user actually wants, wrapped around the §5/§8
-//! machinery.
+//! [`ToeplitzSolver`] holds a [`FactorPlan`] (what to run: chosen
+//! representation, algorithmic block size, pivot fallback) and a
+//! [`PlanWorkspace`] (what to run *with*: the pooled scratch arena and
+//! engine scratch). Construction factors once; [`refactor`] re-factors
+//! a new same-shaped system reusing both, so a warm solver performs
+//! zero heap allocations inside the elimination loop — retired factor
+//! storage is donated back to the pool and picked up by the next
+//! factorization.
+//!
+//! The triangular-solve helpers with the `Rᵀ D R` factors live here
+//! too (they were `solve.rs`; the [`crate::solve`] alias keeps old
+//! paths compiling).
+//!
+//! [`refactor`]: ToeplitzSolver::refactor
 
-use crate::indefinite::{factor_indefinite, IndefFactor, IndefOptions};
+use crate::indefinite::{IndefFactor, IndefOptions};
+use crate::plan::{FactorPlan, PlanRequest, PlanWorkspace};
 use crate::refine::{solve_refined, RefineOptions};
-use crate::schur::{factor_spd, SchurOptions, SpdFactor};
+use crate::schur::{SchurOptions, SpdFactor};
 use crate::{Error, Result};
 use bs_matrix::Matrix;
 use bs_toeplitz::SymBlockToeplitz;
+
+/// Solve `Rᵀ D R x = b` where `R` is upper triangular and
+/// `D = diag(d)` with `d ∈ {±1}ⁿ` (`None` means `D = I`, the SPD case).
+pub fn solve_rtdr(r: &Matrix, d: Option<&[i8]>, b: &[f64]) -> Result<Vec<f64>> {
+    let n = r.rows();
+    if r.cols() != n {
+        return Err(Error::DimensionMismatch {
+            context: "triangular factor must be square",
+            expected: n,
+            found: r.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(Error::DimensionMismatch {
+            context: "right-hand side length",
+            expected: n,
+            found: b.len(),
+        });
+    }
+    if let Some(d) = d {
+        if d.len() != n {
+            return Err(Error::DimensionMismatch {
+                context: "signature length",
+                expected: n,
+                found: d.len(),
+            });
+        }
+    }
+    let mut x = b.to_vec();
+    // Rᵀ y = b.
+    bs_matrix::blas2::trsv_upper_t(r.rf(), &mut x)?;
+    // y ← D⁻¹ y = D y.
+    if let Some(d) = d {
+        for (xi, &s) in x.iter_mut().zip(d) {
+            if s < 0 {
+                *xi = -*xi;
+            }
+        }
+        bs_matrix::flops::add(n as u64);
+    }
+    // R x = y.
+    bs_matrix::blas2::trsv_upper(r.rf(), &mut x)?;
+    Ok(x)
+}
+
+/// Dense reconstruction `Rᵀ D R` (test / verification, O(n³)).
+pub fn reconstruct_rtdr(r: &Matrix, d: Option<&[i8]>) -> Matrix {
+    let n = r.rows();
+    let mut dr = r.clone();
+    if let Some(d) = d {
+        for i in 0..n {
+            if d[i] < 0 {
+                for j in i..n {
+                    dr[(i, j)] = -dr[(i, j)];
+                }
+            }
+        }
+    }
+    let mut out = Matrix::zeros(n, n);
+    bs_matrix::blas3::gemm(
+        1.0,
+        r.rf(),
+        bs_matrix::Trans::Yes,
+        dr.rf(),
+        bs_matrix::Trans::No,
+        0.0,
+        out.mt(),
+    );
+    out
+}
 
 /// Which factorization the solver ended up with.
 #[derive(Debug, Clone)]
@@ -48,11 +129,44 @@ pub struct SolverOptions {
 /// let x = solver.solve(&b).unwrap();
 /// assert!((x[3] - x_true[3]).abs() < 1e-10);
 /// ```
-#[derive(Debug, Clone)]
+///
+/// For a stream of same-shaped systems, keep one solver and
+/// [`refactor`](Self::refactor) it — the plan and workspace are reused
+/// and the warm elimination loop allocates nothing:
+///
+/// ```
+/// use bs_core::ToeplitzSolver;
+/// use bs_toeplitz::workloads;
+///
+/// let mut solver = ToeplitzSolver::new(&workloads::kms(32, 0.6)).unwrap();
+/// for rho in [0.5f64, 0.7, 0.8] {
+///     solver.refactor(&workloads::kms(32, rho)).unwrap();
+///     let (b, x_true) = workloads::rhs_for_ones(&workloads::kms(32, rho));
+///     let x = solver.solve(&b).unwrap();
+///     assert!((x[0] - x_true[0]).abs() < 1e-8);
+/// }
+/// ```
+#[derive(Debug)]
 pub struct ToeplitzSolver {
     t: SymBlockToeplitz,
+    plan: FactorPlan,
     factorization: Factorization,
     refine: RefineOptions,
+    workspace: PlanWorkspace,
+}
+
+impl Clone for ToeplitzSolver {
+    /// Clones the system, plan, and factorization; the clone starts
+    /// with a cold (empty) workspace of its own.
+    fn clone(&self) -> Self {
+        ToeplitzSolver {
+            t: self.t.clone(),
+            plan: self.plan.clone(),
+            factorization: self.factorization.clone(),
+            refine: self.refine.clone(),
+            workspace: PlanWorkspace::new(),
+        }
+    }
 }
 
 impl ToeplitzSolver {
@@ -62,21 +176,97 @@ impl ToeplitzSolver {
         Self::with_options(t, &SolverOptions::default())
     }
 
-    /// Factor `t` with explicit options.
+    /// Factor `t` with explicit options. Every algorithmic choice is
+    /// pinned by `opts` (no cost-model auto-selection); use
+    /// [`with_plan_request`](Self::with_plan_request) to let the plan
+    /// pick the representation / block size.
     pub fn with_options(t: &SymBlockToeplitz, opts: &SolverOptions) -> Result<Self> {
+        let plan = FactorPlan::from_options(t, &opts.spd, &opts.indefinite)?;
+        Self::from_plan(t, plan, opts.refine.clone())
+    }
+
+    /// Factor `t` under a [`PlanRequest`]: fields left `None` are
+    /// chosen by the `bs-perfmodel` cost formulas (representation by
+    /// total blocking+application flops, block size by the §6.5
+    /// retiling tradeoff).
+    pub fn with_plan_request(t: &SymBlockToeplitz, req: &PlanRequest) -> Result<Self> {
+        let plan = FactorPlan::new(t, req)?;
+        Self::from_plan(t, plan, RefineOptions::default())
+    }
+
+    fn from_plan(t: &SymBlockToeplitz, plan: FactorPlan, refine: RefineOptions) -> Result<Self> {
         let _span = bs_probe::span!("factor", n = t.order(), m = t.block_size());
-        let factorization = match factor_spd(t, &opts.spd) {
-            Ok(f) => Factorization::Spd(f),
-            Err(Error::NotPositiveDefinite { .. }) | Err(Error::SingularMinor { .. }) => {
-                Factorization::Indefinite(factor_indefinite(t, &opts.indefinite)?)
-            }
-            Err(e) => return Err(e),
-        };
+        let mut workspace = PlanWorkspace::new();
+        let factorization = plan.execute(t, &mut workspace)?;
         Ok(ToeplitzSolver {
             t: t.clone(),
+            plan,
             factorization,
-            refine: opts.refine.clone(),
+            refine,
+            workspace,
         })
+    }
+
+    /// Re-factor a new system of the *same shape* (order and block
+    /// size), reusing the plan and the warm workspace. The retired
+    /// factor's storage is donated for direct reuse and the stored
+    /// matrix copy is overwritten in place, so from the second
+    /// refactor on the whole cycle performs zero heap allocations
+    /// (observable via
+    /// [`workspace_allocations`](Self::workspace_allocations)).
+    ///
+    /// On error the solver is left unchanged (still holding the
+    /// previous system's factorization).
+    pub fn refactor(&mut self, t: &SymBlockToeplitz) -> Result<()> {
+        if t.order() != self.t.order() {
+            return Err(Error::DimensionMismatch {
+                context: "refactor matrix order",
+                expected: self.t.order(),
+                found: t.order(),
+            });
+        }
+        if t.block_size() != self.t.block_size() {
+            return Err(Error::DimensionMismatch {
+                context: "refactor block size",
+                expected: self.t.block_size(),
+                found: t.block_size(),
+            });
+        }
+        let _span = bs_probe::span!("refactor", n = t.order(), m = t.block_size());
+        let new_f = self.plan.execute(t, &mut self.workspace)?;
+        match std::mem::replace(&mut self.factorization, new_f) {
+            Factorization::Spd(old) => self.workspace.donate(old.r),
+            Factorization::Indefinite(old) => self.workspace.donate(old.r),
+        }
+        self.t.clone_data_from(t);
+        bs_probe::event!(
+            "refactor_done",
+            allocations = self.workspace.allocations(),
+            high_water_elems = self.workspace.high_water_elems(),
+        );
+        Ok(())
+    }
+
+    /// The execution plan in use.
+    pub fn plan(&self) -> &FactorPlan {
+        &self.plan
+    }
+
+    /// Cold workspace allocations (pool misses) since construction or
+    /// the last [`reset_workspace_stats`](Self::reset_workspace_stats).
+    pub fn workspace_allocations(&self) -> u64 {
+        self.workspace.allocations()
+    }
+
+    /// Peak simultaneously checked-out workspace elements.
+    pub fn workspace_high_water(&self) -> usize {
+        self.workspace.high_water_elems()
+    }
+
+    /// Zero the workspace allocation statistics (the pooled buffers are
+    /// kept). Call after warm-up, before a measured steady-state run.
+    pub fn reset_workspace_stats(&mut self) {
+        self.workspace.reset_stats();
     }
 
     /// The factorization in use.
@@ -162,7 +352,13 @@ impl ToeplitzSolver {
     /// Solve `T X = B` column by column (`B` is `n × r`).
     pub fn solve_many(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.t.order();
-        assert_eq!(b.rows(), n, "RHS row count must equal the matrix order");
+        if b.rows() != n {
+            return Err(Error::DimensionMismatch {
+                context: "right-hand-side row count",
+                expected: n,
+                found: b.rows(),
+            });
+        }
         let mut x = Matrix::zeros(n, b.cols());
         for j in 0..b.cols() {
             let xj = self.solve(b.col(j))?;
@@ -232,6 +428,100 @@ mod tests {
     }
 
     #[test]
+    fn wrong_shapes_are_typed_errors() {
+        let t = workloads::random_spd_scalar(8, 1);
+        let s = ToeplitzSolver::new(&t).unwrap();
+        // Short right-hand side.
+        assert!(matches!(
+            s.solve(&[1.0; 5]),
+            Err(Error::DimensionMismatch {
+                expected: 8,
+                found: 5,
+                ..
+            })
+        ));
+        // Wrong solve_many row count.
+        let b = Matrix::zeros(5, 2);
+        assert!(matches!(
+            s.solve_many(&b),
+            Err(Error::DimensionMismatch {
+                expected: 8,
+                found: 5,
+                ..
+            })
+        ));
+        // Refactor with a different order.
+        let mut s = s;
+        let t2 = workloads::random_spd_scalar(10, 1);
+        assert!(matches!(
+            s.refactor(&t2),
+            Err(Error::DimensionMismatch {
+                expected: 8,
+                found: 10,
+                ..
+            })
+        ));
+        // The solver still answers for the original system.
+        let (b, x_true) = workloads::rhs_for_ones(&t);
+        let x = s.solve(&b).unwrap();
+        assert!((x[0] - x_true[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization() {
+        // A warm refactor must produce exactly the factor a fresh
+        // solver computes (pooled buffers are zero-filled on checkout,
+        // so the arithmetic paths are identical).
+        let t1 = workloads::random_spd_block(2, 6, 11);
+        let t2 = workloads::random_spd_block(2, 6, 12);
+        let mut warm = ToeplitzSolver::new(&t1).unwrap();
+        warm.refactor(&t2).unwrap();
+        let fresh = ToeplitzSolver::new(&t2).unwrap();
+        match (warm.factorization(), fresh.factorization()) {
+            (Factorization::Spd(a), Factorization::Spd(b)) => {
+                assert_eq!(a.r.max_abs_diff(&b.r), 0.0, "factors must be bitwise equal");
+            }
+            other => panic!("expected SPD factorizations, got {other:?}"),
+        }
+        // And through the indefinite path too.
+        let i1 = workloads::random_indefinite_scalar(12, 5);
+        let i2 = workloads::random_indefinite_scalar(12, 6);
+        let mut warm = ToeplitzSolver::new(&i1).unwrap();
+        warm.refactor(&i2).unwrap();
+        let fresh = ToeplitzSolver::new(&i2).unwrap();
+        match (warm.factorization(), fresh.factorization()) {
+            (Factorization::Indefinite(a), Factorization::Indefinite(b)) => {
+                assert_eq!(a.r.max_abs_diff(&b.r), 0.0);
+                assert_eq!(a.d, b.d);
+            }
+            other => panic!("expected indefinite factorizations, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_refactor_performs_zero_workspace_allocations() {
+        let systems: Vec<_> = (0..4)
+            .map(|s| workloads::random_spd_block(2, 8, 40 + s))
+            .collect();
+        let mut solver = ToeplitzSolver::new(&systems[0]).unwrap();
+        // First refactor may still miss (the retired factor's storage
+        // is only donated as it retires).
+        solver.refactor(&systems[1]).unwrap();
+        solver.reset_workspace_stats();
+        for t in &systems[2..] {
+            solver.refactor(t).unwrap();
+            let (b, _) = workloads::rhs_for_ones(t);
+            solver.solve(&b).unwrap();
+        }
+        assert_eq!(
+            solver.workspace_allocations(),
+            0,
+            "warm refactor+solve cycles must not allocate from the pool"
+        );
+        assert!(solver.workspace_high_water() > 0);
+    }
+
+    #[test]
     fn gohberg_semencul_representation_solves() {
         let t = workloads::random_spd_scalar(48, 3);
         let solver = ToeplitzSolver::new(&t).unwrap();
@@ -267,5 +557,91 @@ mod tests {
                 det.abs().ln()
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod rtdr_tests {
+    use super::*;
+
+    fn upper(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut r = Matrix::from_fn(n, n, |i, j| {
+            if j < i {
+                return 0.0;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 500.0
+        });
+        for i in 0..n {
+            r[(i, i)] = r[(i, i)].abs() + 1.0;
+        }
+        r
+    }
+
+    #[test]
+    fn spd_solve_round_trip() {
+        let n = 9;
+        let r = upper(n, 4);
+        let a = reconstruct_rtdr(&r, None);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        let mut b = vec![0.0; n];
+        bs_matrix::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+        let x = solve_rtdr(&r, None, &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn signed_solve_round_trip() {
+        let n = 7;
+        let r = upper(n, 9);
+        let d: Vec<i8> = (0..n).map(|i| if i % 3 == 1 { -1 } else { 1 }).collect();
+        let a = reconstruct_rtdr(&r, Some(&d));
+        // A must be symmetric.
+        for i in 0..n {
+            for j in 0..n {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).cos()).collect();
+        let mut b = vec![0.0; n];
+        bs_matrix::blas2::gemv(1.0, a.rf(), &x_true, 0.0, &mut b);
+        let x = solve_rtdr(&r, Some(&d), &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_triangle_propagates() {
+        let mut r = upper(3, 2);
+        r[(1, 1)] = 0.0;
+        assert!(solve_rtdr(&r, None, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed_errors() {
+        let r = upper(4, 1);
+        assert!(matches!(
+            solve_rtdr(&r, None, &[1.0; 3]),
+            Err(Error::DimensionMismatch {
+                expected: 4,
+                found: 3,
+                ..
+            })
+        ));
+        let d = [1i8, -1];
+        assert!(matches!(
+            solve_rtdr(&r, Some(&d), &[1.0; 4]),
+            Err(Error::DimensionMismatch {
+                expected: 4,
+                found: 2,
+                ..
+            })
+        ));
     }
 }

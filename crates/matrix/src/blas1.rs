@@ -70,7 +70,7 @@ pub fn nrm2(x: &[f64]) -> f64 {
 pub fn iamax(x: &[f64]) -> Option<usize> {
     x.iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).unwrap())
+        .max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs()))
         .map(|(i, _)| i)
 }
 

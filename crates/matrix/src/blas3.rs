@@ -13,6 +13,7 @@ use crate::blas2;
 use crate::flops;
 use crate::par;
 use crate::view::{MatMut, MatRef};
+use crate::workspace::Workspace;
 use crate::Result;
 use bs_probe::metrics::{self, Counter};
 
@@ -79,7 +80,38 @@ pub fn gemm(
     b: MatRef<'_>,
     tb: Trans,
     beta: f64,
+    c: MatMut<'_>,
+) {
+    gemm_dispatch(alpha, a, ta, b, tb, beta, c, None);
+}
+
+/// [`gemm`] with packing buffers checked out of `ws` instead of heap
+/// allocated — the form the warm factorization path uses so repeated
+/// multiplies of the same shape allocate nothing.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature plus the arena
+pub fn gemm_ws(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    c: MatMut<'_>,
+    ws: &mut Workspace,
+) {
+    gemm_dispatch(alpha, a, ta, b, tb, beta, c, Some(ws));
+}
+
+#[allow(clippy::too_many_arguments)] // internal driver mirrors the BLAS signature
+fn gemm_dispatch(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
     mut c: MatMut<'_>,
+    ws: Option<&mut Workspace>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -105,7 +137,7 @@ pub fn gemm(
         gemm_naive_acc(alpha, a, ta, b, tb, c);
         return;
     }
-    gemm_blocked(alpha, a, ta, b, tb, c);
+    gemm_blocked(alpha, a, ta, b, tb, c, ws);
 }
 
 /// Parallel `gemm` driver: splits `C` (and `op(B)`) into column strips and
@@ -163,7 +195,9 @@ pub fn par_gemm(
                 Counter::BytesMoved,
                 (8 * (m * k + k * w + 2 * m * w)) as u64,
             );
-            gemm_blocked(alpha, a, ta, bj, tb, cj);
+            // Worker threads pack into private buffers; a shared
+            // workspace would serialize them, so each strip allocates.
+            gemm_blocked(alpha, a, ta, bj, tb, cj, None);
         }
     });
 }
@@ -222,13 +256,29 @@ fn gemm_naive_acc(
 
 /// Packed, cache-blocked gemm (C already scaled by beta; alpha folded in
 /// during packing of A).
-fn gemm_blocked(alpha: f64, a: MatRef<'_>, ta: Trans, b: MatRef<'_>, tb: Trans, mut c: MatMut<'_>) {
+fn gemm_blocked(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    mut c: MatMut<'_>,
+    ws: Option<&mut Workspace>,
+) {
     let m = c.rows();
     let n = c.cols();
     let k = op_cols(a, ta);
 
-    let mut apack = vec![0.0f64; MC * KC];
-    let mut bpack = vec![0.0f64; KC * NC];
+    // The packing buffers are the only heap traffic in the kernel; a
+    // caller-supplied workspace turns them into pool checkouts.
+    let (mut apack, mut bpack, ws) = match ws {
+        Some(ws) => {
+            let a = ws.take_vec(MC * KC);
+            let b = ws.take_vec(KC * NC);
+            (a, b, Some(ws))
+        }
+        None => (vec![0.0f64; MC * KC], vec![0.0f64; KC * NC], None),
+    };
 
     let mut jc = 0;
     while jc < n {
@@ -247,6 +297,10 @@ fn gemm_blocked(alpha: f64, a: MatRef<'_>, ta: Trans, b: MatRef<'_>, tb: Trans, 
             pc += kc;
         }
         jc += nc;
+    }
+    if let Some(ws) = ws {
+        ws.give_vec(apack);
+        ws.give_vec(bpack);
     }
 }
 
@@ -407,6 +461,22 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut 
     }
 }
 
+/// [`syrk`] in workspace-threaded form. The dot-product kernel needs no
+/// scratch, so this forwards directly; it exists so call sites moving
+/// to the `_ws` BLAS family stay uniform (and keeps the door open for a
+/// packed syrk later without touching callers).
+pub fn syrk_ws(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+    _ws: &mut Workspace,
+) {
+    syrk(uplo, trans, alpha, a, beta, c);
+}
+
 /// Triangular solve with multiple right-hand sides.
 ///
 /// - `Side::Left`:  solves `op(A) X = alpha * B`, overwriting `B` with `X`.
@@ -421,7 +491,37 @@ pub fn trsm(
     unit_diag: bool,
     alpha: f64,
     a: MatRef<'_>,
+    b: MatMut<'_>,
+) -> Result<()> {
+    trsm_dispatch(side, uplo, trans, unit_diag, alpha, a, b, None)
+}
+
+/// [`trsm`] with the `Side::Right` row buffer checked out of `ws`
+/// instead of heap allocated (the left-sided solves need no scratch).
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS trsm signature plus the arena
+pub fn trsm_ws(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatMut<'_>,
+    ws: &mut Workspace,
+) -> Result<()> {
+    trsm_dispatch(side, uplo, trans, unit_diag, alpha, a, b, Some(ws))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trsm_dispatch(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    alpha: f64,
+    a: MatRef<'_>,
     mut b: MatMut<'_>,
+    ws: Option<&mut Workspace>,
 ) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "trsm: A must be square");
@@ -468,7 +568,13 @@ pub fn trsm(
         Side::Right => {
             // X op(A) = B  <=>  op(A)ᵀ Xᵀ = Bᵀ: solve row by row of B.
             let m = b.rows();
-            let mut row = vec![0.0f64; n];
+            let (mut row, ws) = match ws {
+                Some(ws) => {
+                    let r = ws.take_vec(n);
+                    (r, Some(ws))
+                }
+                None => (vec![0.0f64; n], None),
+            };
             for i in 0..m {
                 for j in 0..n {
                     row[j] = b.get(i, j);
@@ -483,6 +589,9 @@ pub fn trsm(
                 for j in 0..n {
                     b.set(i, j, row[j]);
                 }
+            }
+            if let Some(ws) = ws {
+                ws.give_vec(row);
             }
             Ok(())
         }

@@ -75,6 +75,13 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Consume the matrix, yielding its column-major storage. The
+    /// inverse of [`Matrix::from_col_major`]; lets a scratch arena
+    /// recycle a matrix's buffer without copying.
+    pub fn into_col_major(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Build from row-major data (convenient for literals in tests).
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         let r = rows.len();

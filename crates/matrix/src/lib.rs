@@ -37,14 +37,16 @@ pub mod par;
 pub mod qr;
 pub mod trmm;
 pub mod view;
+pub mod workspace;
 
-pub use blas3::{gemm, par_gemm, syrk, trsm, Side, Trans, Uplo};
+pub use blas3::{gemm, gemm_ws, par_gemm, syrk, syrk_ws, trsm, trsm_ws, Side, Trans, Uplo};
 pub use chol::cholesky_in_place;
 pub use dense::Matrix;
 pub use ldlt::{ldlt_in_place, Signature};
 pub use lu::LuFactors;
 pub use trmm::{symm, trmm};
 pub use view::{MatMut, MatRef};
+pub use workspace::Workspace;
 
 /// Numerical failures surfaced by the factorization routines.
 #[derive(Debug, Clone, PartialEq)]

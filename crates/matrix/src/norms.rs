@@ -80,7 +80,7 @@ pub fn inv_one_norm_estimate(f: &LuFactors) -> f64 {
             .iter()
             .enumerate()
             .map(|(i, &v)| (i, v.abs()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         let zx: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
         if zmax <= zx.abs() {

@@ -9,11 +9,7 @@ use crate::model::{apply_flops, blocking_flops, total_factor_flops, Rep};
 pub fn best_rep_for_blocking(m: usize) -> Rep {
     Rep::ALL
         .into_iter()
-        .min_by(|a, b| {
-            blocking_flops(*a, m, m)
-                .partial_cmp(&blocking_flops(*b, m, m))
-                .unwrap()
-        })
+        .min_by(|a, b| blocking_flops(*a, m, m).total_cmp(&blocking_flops(*b, m, m)))
         .unwrap()
 }
 
@@ -22,12 +18,59 @@ pub fn best_rep_for_blocking(m: usize) -> Rep {
 pub fn best_rep_for_apply(m: usize, p: usize) -> Rep {
     Rep::ALL
         .into_iter()
-        .min_by(|a, b| {
-            apply_flops(*a, m, m, p)
-                .partial_cmp(&apply_flops(*b, m, m, p))
-                .unwrap()
-        })
+        .min_by(|a, b| apply_flops(*a, m, m, p).total_cmp(&apply_flops(*b, m, m, p)))
         .unwrap()
+}
+
+/// Total predicted elimination flops of a whole factorization at block
+/// size `m` with `p` block columns: each step `s = 1 .. p−1` pays the
+/// panel blocking cost (`k = m`) plus the trailing application over the
+/// `p − s` remaining block columns.
+pub fn total_schur_flops(rep: Rep, m: usize, p: usize) -> f64 {
+    (1..p)
+        .map(|s| blocking_flops(rep, m, m) + apply_flops(rep, m, m, p - s))
+        .sum()
+}
+
+/// Representation minimizing [`total_schur_flops`] — the whole-run
+/// blocking/application tradeoff of §6.2–§6.3. For short factorizations
+/// (small `p`) the blocking cost dominates and `YTYᵀ` wins; once the
+/// trailing updates dominate (large `p`) the second VY form takes over.
+pub fn best_rep_total(m: usize, p: usize) -> Rep {
+    Rep::ALL
+        .into_iter()
+        .min_by(|a, b| total_schur_flops(*a, m, p).total_cmp(&total_schur_flops(*b, m, p)))
+        .unwrap()
+}
+
+/// Default empirical rate model for [`auto_block_size`]: level-3
+/// kernels at block size `m_s` run at a fraction `m_s²/(m_s² + 64)` of
+/// peak — the saturating shape of the paper's Y-MP primitive
+/// characterization (tiny blocks are latency/bandwidth-bound, the rate
+/// is within 50% of peak by `m_s = 8` and flat past ~32).
+pub fn default_rate(m_s: usize) -> f64 {
+    let x = (m_s * m_s) as f64;
+    x / (x + 64.0)
+}
+
+/// Pick an algorithmic block size for an order-`n` system with
+/// structural block size `m` by the §6.5 retiling tradeoff under
+/// [`default_rate`]: candidates are the multiples of `m` dividing `n`,
+/// scored by predicted time `total_factor_flops(n, m_s) / rate(m_s)`.
+///
+/// The flop count grows linearly in `m_s` while the rate saturates, so
+/// the optimum sits at a moderate block size (8 under the default
+/// model) rather than at either extreme.
+pub fn auto_block_size(n: usize, m: usize) -> usize {
+    assert!(
+        m > 0 && n > 0 && n.is_multiple_of(m),
+        "n must be a multiple of m"
+    );
+    let candidates: Vec<usize> = (1..=n / m)
+        .map(|q| q * m)
+        .filter(|&ms| n.is_multiple_of(ms))
+        .collect();
+    crossover_block_size(n, &candidates, default_rate)
 }
 
 /// Given an empirical effective rate `rate(m_s)` in flops/second for
@@ -42,7 +85,7 @@ pub fn crossover_block_size(n: usize, candidates: &[usize], rate: impl Fn(usize)
         .min_by(|&&a, &&b| {
             let ta = total_factor_flops(n, a) / rate(a);
             let tb = total_factor_flops(n, b) / rate(b);
-            ta.partial_cmp(&tb).unwrap()
+            ta.total_cmp(&tb)
         })
         .unwrap()
 }
@@ -63,6 +106,37 @@ mod tests {
         for m in [2usize, 8, 64] {
             assert_eq!(best_rep_for_apply(m, 50), Rep::VY2, "m={m}");
         }
+    }
+
+    #[test]
+    fn total_cost_prefers_yty_when_blocking_heavy() {
+        // p = 2: one step, application over a single trailing block —
+        // the panel blocking cost dominates, so YTYᵀ (eq. 28) wins
+        // (the margin `(2/3)m³ − 3.75m²` turns positive from m ≈ 6).
+        for m in [8usize, 16, 32] {
+            assert_eq!(best_rep_total(m, 2), Rep::YTY, "m={m}");
+        }
+    }
+
+    #[test]
+    fn total_cost_prefers_vy2_when_application_heavy() {
+        // Many trailing columns: the per-step application dominates and
+        // the second VY form (eq. 31) wins overall.
+        for (m, p) in [(2usize, 32usize), (4, 64), (8, 128)] {
+            assert_eq!(best_rep_total(m, p), Rep::VY2, "m={m} p={p}");
+        }
+    }
+
+    #[test]
+    fn auto_block_size_picks_moderate_divisor() {
+        // Under the default saturating rate, time ∝ m_s + 64/m_s, so
+        // the optimum among divisors of n is the one nearest 8.
+        assert_eq!(auto_block_size(256, 1), 8);
+        assert_eq!(auto_block_size(256, 4), 8);
+        // Candidates restricted to multiples of m.
+        assert_eq!(auto_block_size(96, 6), 6);
+        // Degenerate: only one candidate.
+        assert_eq!(auto_block_size(6, 6), 6);
     }
 
     #[test]

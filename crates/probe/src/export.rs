@@ -53,7 +53,7 @@ pub fn step_json(s: &StepRecord) -> Json {
 }
 
 /// Serialize current counter totals as a JSON object (no `"type"` tag;
-/// see [`metrics_line`] for the trace-file form).
+/// the trace file carries the same totals as a `"metrics"`-typed line).
 pub fn metrics_json() -> Json {
     let snap = metrics::snapshot_total();
     let mut fields: Vec<(String, Json)> = Counter::ALL

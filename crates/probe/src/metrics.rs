@@ -49,10 +49,14 @@ pub enum Counter {
     Exchanges,
     /// Iterative-refinement iterations performed.
     RefineIterations,
+    /// Cold heap allocations made by a `Workspace` arena (pool misses).
+    WorkspaceAllocs,
+    /// Elements (f64 words) heap-allocated by `Workspace` pool misses.
+    WorkspaceElems,
 }
 
 /// Number of counter categories.
-pub const N_COUNTERS: usize = 16;
+pub const N_COUNTERS: usize = 18;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -73,6 +77,8 @@ impl Counter {
         Counter::Perturbations,
         Counter::Exchanges,
         Counter::RefineIterations,
+        Counter::WorkspaceAllocs,
+        Counter::WorkspaceElems,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -94,6 +100,8 @@ impl Counter {
             Counter::Perturbations => "perturbations",
             Counter::Exchanges => "exchanges",
             Counter::RefineIterations => "refine_iterations",
+            Counter::WorkspaceAllocs => "workspace_allocs",
+            Counter::WorkspaceElems => "workspace_elems",
         }
     }
 }

@@ -51,6 +51,21 @@ impl SymBlockToeplitz {
         SymBlockToeplitz { m, p, blocks }
     }
 
+    /// Overwrite this matrix's data with `other`'s, reusing the
+    /// existing block storage — no allocation when the shapes match,
+    /// which is what keeps a warm solver's `refactor` allocation-free.
+    /// Panics on a shape mismatch.
+    pub fn clone_data_from(&mut self, other: &SymBlockToeplitz) {
+        assert_eq!(
+            (self.m, self.p),
+            (other.m, other.p),
+            "clone_data_from requires identical shapes"
+        );
+        for (dst, src) in self.blocks.iter_mut().zip(&other.blocks) {
+            dst.mt().copy_from(src.rf());
+        }
+    }
+
     /// Scalar (m = 1) symmetric Toeplitz from its first row.
     pub fn from_scalar_row(row: &[f64]) -> Self {
         let blocks = row

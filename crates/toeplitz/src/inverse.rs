@@ -2,7 +2,7 @@
 //! Toeplitz matrix.
 //!
 //! The displacement theory underlying the Schur algorithm (the paper's
-//! ref [8], Kailath–Kung–Morf) also states that `T⁻¹` has displacement
+//! ref \[8\], Kailath–Kung–Morf) also states that `T⁻¹` has displacement
 //! rank ≤ 2: for a symmetric nonsingular Toeplitz `T` with
 //! `u = T⁻¹ e₀` and `u₀ ≠ 0`,
 //!

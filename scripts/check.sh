@@ -17,4 +17,10 @@ cargo test -q
 echo "==> workspace crate tests"
 cargo test -q --workspace
 
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> cross_validate smoke run"
+cargo run -q -p bs-bench --release --bin cross_validate -- --quick
+
 echo "check.sh: all green"

@@ -303,6 +303,71 @@ pub fn cmd_factor(
     Ok(report)
 }
 
+/// Parse a `--rep` flag value into a [`RepKind`].
+fn parse_rep(s: &str) -> Result<RepKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "u" | "accumulated" => Ok(RepKind::Accumulated),
+        "vy1" => Ok(RepKind::VY1),
+        "vy2" => Ok(RepKind::VY2),
+        "yty" => Ok(RepKind::YTY),
+        "seq" | "sequential" => Ok(RepKind::Sequential),
+        other => Err(CliError::Usage(format!(
+            "unknown representation {other:?} (u | vy1 | vy2 | yty | seq)"
+        ))),
+    }
+}
+
+/// `plan` command: show the execution plan the solver would run for a
+/// matrix (or a bare shape) — chosen representation, algorithmic block
+/// size, and the cost-model predictions behind the choices — without
+/// factoring anything.
+pub fn cmd_plan(
+    shape: (usize, usize),
+    rep: Option<&str>,
+    block_size: Option<usize>,
+) -> Result<String, CliError> {
+    let (n, m) = shape;
+    let req = PlanRequest {
+        rep: rep.map(parse_rep).transpose()?,
+        block_size,
+        ..Default::default()
+    };
+    let plan = FactorPlan::for_shape(n, m, &req).map_err(|e| CliError::Numerical(e.to_string()))?;
+    let auto = |is_auto: bool| if is_auto { " (auto)" } else { " (pinned)" };
+    let mut out = String::new();
+    let _ = writeln!(out, "plan for n = {n}, structural block size m = {m}:");
+    let _ = writeln!(
+        out,
+        "  representation: {}{}",
+        plan.rep(),
+        auto(plan.rep_is_auto())
+    );
+    let _ = writeln!(
+        out,
+        "  block size m_s = {}{}, p = {} block columns",
+        plan.block_size(),
+        auto(plan.block_size_is_auto()),
+        plan.num_blocks()
+    );
+    let _ = writeln!(
+        out,
+        "  predicted elimination flops: {:.4e} (eqs. 25-32 over {} steps)",
+        plan.predicted_flops(),
+        plan.num_blocks().saturating_sub(1)
+    );
+    let _ = writeln!(
+        out,
+        "  predicted broadcast volume: {} words/step (§7)",
+        plan.predicted_comm_words()
+    );
+    let _ = writeln!(
+        out,
+        "  fallback: indefinite kernel, delta = {:.6e}",
+        plan.indefinite_options().effective_delta()
+    );
+    Ok(out)
+}
+
 /// `gen` command: write a synthetic workload matrix.
 pub fn cmd_gen(
     kind: &str,
@@ -414,6 +479,7 @@ USAGE:
     block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--output <file>]
                      [--trace <file>] [--metrics]
     block-schur factor <matrix> [--block-size <m_s>] [--trace <file>] [--metrics]
+    block-schur plan (<matrix> | --n <n> [--m <m>]) [--rep <kind>] [--block-size <m_s>]
     block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
     block-schur simulate --n <n> --m <m> --np <p> --scheme <v1|v2:b|v3:s>
 
@@ -423,6 +489,11 @@ OBSERVABILITY:
                      history, and final counter totals
     --metrics        append counter totals and the stability summary
                      (peak growth factor, flagged steps) to the report
+
+PLAN: prints the configuration the plan/execute engine would run —
+      representation and algorithmic block size (cost-model-chosen
+      unless pinned with --rep / --block-size) with predicted flops.
+      REPS: u | vy1 | vy2 | yty | seq
 
 KINDS: kms | spd | spd-scalar | indefinite | singular-minor
 MATRIX FILE: `m p` header then the m*m*p values of the first block row.";
@@ -536,6 +607,34 @@ mod tests {
         assert!(report.contains("indefinite"), "{report}");
         assert!(report.contains("perturbations: 1"), "{report}");
         std::fs::remove_file(&mat).ok();
+    }
+
+    #[test]
+    fn plan_command_reports_choices() {
+        // Fully automatic: n = 256, m = 4 retiles to m_s = 8 (p = 32),
+        // where the trailing applications dominate and VY2 wins.
+        let out = cmd_plan((256, 4), None, None).unwrap();
+        assert!(out.contains("plan for n = 256"), "{out}");
+        assert!(out.contains("VY form 2 (auto)"), "{out}");
+        assert!(out.contains("m_s = 8 (auto), p = 32"), "{out}");
+        assert!(out.contains("predicted elimination flops:"), "{out}");
+        assert!(out.contains("words/step"), "{out}");
+        assert!(out.contains("fallback: indefinite kernel"), "{out}");
+
+        // Pinned representation and block size are echoed as such.
+        let out = cmd_plan((32, 1), Some("yty"), Some(4)).unwrap();
+        assert!(out.contains("(pinned)"), "{out}");
+        assert!(out.contains("m_s = 4 (pinned), p = 8"), "{out}");
+
+        // Bad inputs surface as CLI errors, not panics.
+        assert!(matches!(
+            cmd_plan((32, 1), Some("bogus"), None),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_plan((32, 1), None, Some(5)),
+            Err(CliError::Numerical(_))
+        ));
     }
 
     #[test]

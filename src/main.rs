@@ -82,6 +82,37 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let bs = block_size(args)?;
             cli::cmd_factor(Path::new(m), bs, &observe(args))
         }
+        "plan" => {
+            // Shape from an explicit --n/--m pair or from a matrix file.
+            let shape = match flag(args, "--n") {
+                Some(nv) => {
+                    let n = nv
+                        .parse::<usize>()
+                        .map_err(|_| CliError::Usage("bad --n".into()))?;
+                    let m = flag(args, "--m")
+                        .map(|v| {
+                            v.parse::<usize>()
+                                .map_err(|_| CliError::Usage("bad --m".into()))
+                        })
+                        .transpose()?
+                        .unwrap_or(1);
+                    (n, m)
+                }
+                None => {
+                    let m = args
+                        .get(1)
+                        .filter(|a| !a.starts_with("--"))
+                        .ok_or_else(|| {
+                            CliError::Usage("plan needs a matrix file or --n <n>".into())
+                        })?;
+                    let t = cli::read_matrix(Path::new(m))?;
+                    (t.order(), t.block_size())
+                }
+            };
+            let rep = flag(args, "--rep");
+            let bs = block_size(args)?;
+            cli::cmd_plan(shape, rep.as_deref(), bs)
+        }
         "gen" => {
             let kind = args
                 .get(1)
