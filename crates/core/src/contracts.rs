@@ -1,0 +1,176 @@
+//! Runtime invariant contracts for the factorization stack (the
+//! `paranoid` cargo feature).
+//!
+//! Each contract encodes a mathematical invariant of the block Schur
+//! algorithm that must hold at a specific point of the elimination —
+//! not a numerical tolerance, but a structural fact that is violated
+//! only by a logic bug, memory corruption, or a NaN/Inf cascade:
+//!
+//! * [`hyperbolic_existence`] — a reflector that the pivot
+//!   classification reported as constructible must actually satisfy
+//!   the §3 existence condition: `σ² = |uᵀWu| > 0` and finite, and the
+//!   scaling `β = −2/(xᵀWx)` finite and nonzero. A NaN generator entry
+//!   slips past sign tests (`NaN > 0` is false *and* `NaN < 0` is
+//!   false) and would otherwise poison the whole trailing update.
+//! * [`signature_consistency`] — the working signature `W` of the
+//!   indefinite elimination evolves only by row *exchanges* (§8.1),
+//!   which permute its entries: every entry stays ±1 and the sum of
+//!   entries (the signature's inertia surplus) is invariant across
+//!   steps.
+//! * [`spd_diagonal`] — after diagonal normalization the SPD factor
+//!   `R` must have a strictly positive diagonal (`T = RᵀR` with `T`
+//!   nonsingular); a zero survivor means a singular minor escaped the
+//!   pivot classification.
+//! * Workspace checkout/checkin balance lives on the arena itself:
+//!   [`bs_matrix::Workspace::contract_region`].
+//!
+//! Violations are **always recorded** in `bs_probe::stability` (and
+//! bump `Counter::ContractViolations`) so they surface in traces and
+//! metric dumps; whether they additionally abort the process is
+//! controlled by [`set_abort`] — the default aborts in debug builds
+//! and records-only in release builds.
+//!
+//! Every check compiles to nothing without the `paranoid` feature: the
+//! bodies are behind `cfg!(feature = "paranoid")`, so both
+//! configurations type-check and the disabled form is trivially
+//! inlined away.
+
+use bs_probe::stability;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ABORT: AtomicBool = AtomicBool::new(cfg!(debug_assertions));
+
+/// Whether a violated contract panics after being recorded. Defaults
+/// to `true` in debug builds, `false` in release builds. Tests that
+/// deliberately feed broken inputs call `set_abort(false)` and inspect
+/// `bs_probe::stability::violation_count()` instead.
+pub fn set_abort(abort: bool) {
+    ABORT.store(abort, Ordering::Relaxed);
+}
+
+/// Current abort-on-violation setting.
+pub fn abort_on_violation() -> bool {
+    ABORT.load(Ordering::Relaxed)
+}
+
+/// `true` when the crate was built with the `paranoid` feature (i.e.
+/// the contracts below actually check anything).
+#[inline]
+pub const fn enabled() -> bool {
+    cfg!(feature = "paranoid")
+}
+
+/// Record a violation and, when configured, abort.
+fn violated(contract: &'static str, detail: String) {
+    stability::record_violation(contract, detail.clone());
+    if ABORT.load(Ordering::Relaxed) {
+        // bs-lint: allow(no-panic-paths) -- deliberate abort on a broken invariant; opt out with set_abort(false)
+        panic!("contract `{contract}` violated: {detail}");
+    }
+}
+
+/// §3 existence contract, checked right after a pivot classification
+/// reports a constructible reflector: `σ` (with `σ² = |uᵀWu|`, the
+/// pivot's hyperbolic norm) must be finite and nonzero, and the
+/// reflector scaling `β` finite and nonzero. Catches NaN/Inf pivot
+/// columns that defeat the sign-based classification.
+#[inline]
+pub fn hyperbolic_existence(step: usize, column: usize, sigma: f64, beta: f64) {
+    if cfg!(feature = "paranoid")
+        && !(sigma.is_finite() && sigma != 0.0 && beta.is_finite() && beta != 0.0)
+    {
+        violated(
+            "hyperbolic_existence",
+            format!(
+                "step {step} column {column}: reflector classified Ok but sigma = {sigma:e}, \
+                 beta = {beta:e} — the existence condition uᵀWu·w_j > 0 cannot have held \
+                 numerically"
+            ),
+        );
+    }
+}
+
+/// Signature-evolution contract for the indefinite elimination: the
+/// working signature `w` is only ever *permuted* by row exchanges, so
+/// every entry stays ±1 and the entry sum equals `expected_sum` (its
+/// value when the generator was built) at every step.
+#[inline]
+pub fn signature_consistency(w: &[i8], expected_sum: i64, step: usize) {
+    if cfg!(feature = "paranoid") {
+        let mut sum = 0i64;
+        let mut non_unit = false;
+        for &s in w {
+            sum += s as i64;
+            if s != 1 && s != -1 {
+                non_unit = true;
+            }
+        }
+        if non_unit || sum != expected_sum {
+            violated(
+                "signature_consistency",
+                format!(
+                    "step {step}: working signature sum {sum} (expected {expected_sum}), \
+                     non-unit entry present: {non_unit} — exchanges must only permute W"
+                ),
+            );
+        }
+    }
+}
+
+/// SPD-mode diagonal contract: after diagonal normalization every
+/// diagonal entry of `R` must be strictly positive (and finite).
+/// Checked at `site` (e.g. `"factor_spd"`).
+#[inline]
+pub fn spd_diagonal(r: &bs_matrix::Matrix, site: &'static str) {
+    if cfg!(feature = "paranoid") {
+        let n = r.rows().min(r.cols());
+        for j in 0..n {
+            let v = r[(j, j)];
+            if !v.is_finite() || v <= 0.0 {
+                violated(
+                    "spd_diagonal",
+                    format!(
+                        "{site}: r[({j},{j})] = {v:e} is not strictly positive after \
+                         diagonal normalization — T = RᵀR cannot be SPD"
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The cross-case behaviour (recording, counters, abort toggling)
+    // is exercised by `tests/contracts.rs` under the `paranoid`
+    // feature; here we only pin the always-available surface.
+    #[test]
+    fn abort_toggle_round_trips() {
+        let initial = abort_on_violation();
+        set_abort(false);
+        assert!(!abort_on_violation());
+        set_abort(true);
+        assert!(abort_on_violation());
+        set_abort(initial);
+    }
+
+    #[test]
+    fn enabled_reflects_feature() {
+        assert_eq!(enabled(), cfg!(feature = "paranoid"));
+    }
+
+    #[test]
+    fn checks_are_silent_on_valid_inputs() {
+        // Valid inputs must never record, in either configuration.
+        let before = bs_probe::stability::violation_count();
+        hyperbolic_existence(1, 0, 2.5, -0.3);
+        signature_consistency(&[1, -1, 1, 1], 2, 3);
+        let mut r = bs_matrix::Matrix::identity(4);
+        r[(2, 2)] = 0.5;
+        spd_diagonal(&r, "test");
+        assert_eq!(bs_probe::stability::violation_count(), before);
+    }
+}

@@ -76,6 +76,11 @@ pub struct EngineScratch {
     u_low: Vec<f64>,
     /// Trailing-update column buffer (indefinite kernel).
     low: Vec<f64>,
+    /// Pool for the indefinite factor's signature vector `d`: retired
+    /// factors donate theirs back so warm refactors reuse the storage.
+    sig_pool: Vec<i8>,
+    /// Pool for the perturbation log, recycled the same way.
+    pert_pool: Vec<Perturbation>,
 }
 
 impl Default for EngineScratch {
@@ -86,6 +91,22 @@ impl Default for EngineScratch {
             refl: PivotReflector::empty(),
             u_low: Vec::new(),
             low: Vec::new(),
+            sig_pool: Vec::new(),
+            pert_pool: Vec::new(),
+        }
+    }
+}
+
+impl EngineScratch {
+    /// Donate a retired indefinite factor's owned vectors back to the
+    /// scratch pools so the next `eliminate_indefinite` run reuses the
+    /// storage instead of allocating.
+    pub fn donate_indefinite(&mut self, d: Vec<i8>, perturbations: Vec<Perturbation>) {
+        if d.capacity() > self.sig_pool.capacity() {
+            self.sig_pool = d;
+        }
+        if perturbations.capacity() > self.pert_pool.capacity() {
+            self.pert_pool = perturbations;
         }
     }
 }
@@ -134,6 +155,7 @@ pub(crate) fn eliminate_spd(
     let p = t_ref.num_blocks();
     let n = m * p;
     let _span = bs_probe::span!("factor_spd", n = n, m = m, p = p);
+    let ws_entry = ws.outstanding();
 
     let gen = build_generator(t_ref)?;
     if !gen.is_spd_signature() {
@@ -248,6 +270,9 @@ pub(crate) fn eliminate_spd(
     ws.give_matrix(panel_buf);
     ws.give_matrix(gu);
     ws.give_matrix(gl);
+    // paranoid: every scratch checkout must be back in the pool here,
+    // success or failure.
+    ws.contract_region("eliminate_spd", ws_entry, 0);
     match failure {
         Some(e) => Err(e),
         None => Ok((m, p, comm_words)),
@@ -280,7 +305,9 @@ pub(crate) fn eliminate_indefinite(
     let p = t.num_blocks();
     let n = m * p;
     let _span = bs_probe::span!("factor_indefinite", n = n, m = m, p = p);
-    let mut perturbations: Vec<Perturbation> = Vec::new();
+    let ws_entry = ws.outstanding();
+    let mut perturbations: Vec<Perturbation> = std::mem::take(&mut scratch.pert_pool);
+    perturbations.clear();
     let next_delta = |perts: &[Perturbation]| -> Option<f64> { schedule.get(perts.len()).copied() };
 
     // Generator; if the leading block itself has a singular minor,
@@ -299,8 +326,10 @@ pub(crate) fn eliminate_indefinite(
                 });
             }
             let Some(delta) = next_delta(&perturbations) else {
+                scratch.pert_pool = perturbations;
                 return Ok(Attempt::NeedsLongerSchedule);
             };
+            // bs-lint: allow(no-alloc-hot) -- singular-leading-minor repair, runs at most once per factorization
             let mut blocks = t.first_block_row().to_vec();
             for i in 0..m {
                 blocks[0][(i, i)] += delta * t_scale;
@@ -321,9 +350,14 @@ pub(crate) fn eliminate_indefinite(
 
     let mut g = gen.data; // 2m × n working generator (explicit-shift layout)
     let mut w = gen.w; // evolving working signature (length 2m)
+                       // paranoid: exchanges only permute W, so its entry sum is an
+                       // invariant of the elimination (checked per step below).
+    let w_sum: i64 = w.0.iter().map(|&x| i64::from(x)).sum();
 
     let mut r = ws.take_matrix(n, n);
-    let mut d = vec![1i8; n];
+    let mut d = std::mem::take(&mut scratch.sig_pool);
+    d.clear();
+    d.resize(n, 1i8);
     // Emit block row 0.
     for j in 0..n {
         for i in 0..m {
@@ -419,21 +453,26 @@ pub(crate) fn eliminate_indefinite(
                         // Retries at the same column escalate the same
                         // logical perturbation instead of consuming a new
                         // schedule slot.
-                        let same_column = perturbations
+                        let prev_delta = perturbations
                             .last()
-                            .map(|pt| pt.step == s && pt.column == k)
-                            .unwrap_or(false);
-                        let delta = if same_column {
-                            local_delta_boost *= 100.0;
-                            let prev = perturbations.last().expect("same_column");
-                            (prev.delta * local_delta_boost).min(1e-2)
-                        } else {
-                            local_delta_boost = 1.0;
-                            match next_delta(&perturbations) {
-                                Some(dv) => dv,
-                                None => {
-                                    ws.give_matrix(r);
-                                    return Ok(Attempt::NeedsLongerSchedule);
+                            .filter(|pt| pt.step == s && pt.column == k)
+                            .map(|pt| pt.delta);
+                        let delta = match prev_delta {
+                            Some(prev) => {
+                                local_delta_boost *= 100.0;
+                                (prev * local_delta_boost).min(1e-2)
+                            }
+                            None => {
+                                local_delta_boost = 1.0;
+                                match next_delta(&perturbations) {
+                                    Some(dv) => dv,
+                                    None => {
+                                        ws.give_matrix(r);
+                                        scratch.sig_pool = d;
+                                        scratch.pert_pool = perturbations;
+                                        ws.contract_region("eliminate_indefinite", ws_entry, 0);
+                                        return Ok(Attempt::NeedsLongerSchedule);
+                                    }
                                 }
                             }
                         };
@@ -448,22 +487,24 @@ pub(crate) fn eliminate_indefinite(
                             // perturbation at the matrix scale.
                             g[(k, c)] = u_top + delta * t_scale.sqrt();
                         }
-                        if same_column {
-                            perturbations.last_mut().expect("same_column").delta = delta;
-                        } else {
-                            perturbations.push(Perturbation {
-                                step: s,
-                                column: k,
-                                delta,
-                                hnorm_before: hnorm,
-                            });
-                            metrics::incr(Counter::Perturbations);
+                        match perturbations.last_mut() {
+                            Some(pt) if prev_delta.is_some() => pt.delta = delta,
+                            _ => {
+                                perturbations.push(Perturbation {
+                                    step: s,
+                                    column: k,
+                                    delta,
+                                    hnorm_before: hnorm,
+                                });
+                                metrics::incr(Counter::Perturbations);
+                            }
                         }
                         bs_probe::event!("perturbation", step = s, column = k, delta = delta);
                     }
                 }
             }
             let refl = &scratch.refl;
+            crate::contracts::hyperbolic_existence(s, k, refl.sigma, refl.beta);
             max_norm = max_norm.max(refl.norm_est());
             metrics::incr(Counter::Reflectors);
             if stability::is_enabled() {
@@ -499,11 +540,16 @@ pub(crate) fn eliminate_indefinite(
             }
         }
         d[s * m..(s + 1) * m].copy_from_slice(&w.0[..m]);
+        crate::contracts::signature_consistency(&w.0, w_sum, s);
     }
 
     // Positive diagonal normalization (row sign flips leave RᵀDR fixed)
     // and removal of O(ε) sub-diagonal roundoff.
     normalize_diagonal(&mut r);
+    // paranoid: the factor keeps `r` checked out, so the balance delta
+    // across a completed elimination is exactly +1.
+    ws.contract_region("eliminate_indefinite", ws_entry, 1);
+    // bs-lint: allow(no-alloc-hot) -- one Box per completed factorization (the return value), not per solve
     Ok(Attempt::Done(Box::new(IndefFactor {
         r,
         d,

@@ -79,6 +79,7 @@ pub struct Perturbation {
 /// The factorization `T + δT = Rᵀ D R` produced by
 /// [`factor_indefinite`] (`δT = 0` when no perturbation was needed).
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct IndefFactor {
     /// Upper triangular `n × n` factor with positive diagonal.
     pub r: Matrix,

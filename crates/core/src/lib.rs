@@ -30,6 +30,7 @@
 //! - [`solver`] — the high-level [`ToeplitzSolver`] façade with
 //!   automatic SPD/indefinite dispatch.
 
+pub mod contracts;
 pub mod eliminate;
 pub mod indefinite;
 pub mod panel;

@@ -59,7 +59,9 @@ pub fn factor_panel(
     let m = panel.cols();
     let mut reps = factor_panel_two_level(panel, w, kind, step, zero_tol, scale, m)?;
     debug_assert_eq!(reps.len(), 1);
-    Ok(reps.pop().expect("single chunk"))
+    reps.pop().ok_or_else(|| {
+        Error::InvalidOptions("panel factorization produced no reflector chunk".to_string())
+    })
 }
 
 /// Two-level blocked panel factorization (§6.2): the elementary
@@ -139,10 +141,12 @@ pub fn factor_panel_into(
         let chunk_end = (chunk_start + k_block).min(m);
         let k_len = chunk_end - chunk_start;
         if chunk_idx == reps.len() {
+            // bs-lint: allow(no-alloc-hot) -- cold first-call path; warm steps hit the `fits`/`reset` branch
             reps.push(BlockReflector::new(kind, w.clone(), k_len));
         } else if reps[chunk_idx].fits(kind, w, k_len) {
             reps[chunk_idx].reset();
         } else {
+            // bs-lint: allow(no-alloc-hot) -- cold reshape path (problem shape changed under the plan)
             reps[chunk_idx] = BlockReflector::new(kind, w.clone(), k_len);
         }
         let rep = &mut reps[chunk_idx];
@@ -178,6 +182,7 @@ pub fn factor_panel_into(
                 }
             }
             let r = &scratch.refl;
+            crate::contracts::hyperbolic_existence(step, k, r.sigma, r.beta);
             metrics::incr(Counter::Reflectors);
             if stability::is_enabled() {
                 // σ² = |uᵀWu|: the hyperbolic norm the reflector

@@ -61,6 +61,7 @@ pub struct PlanRequest {
 /// per solver (or per worker thread) and reuse it across executions —
 /// that is what makes the steady state allocation-free.
 #[derive(Debug, Default)]
+#[must_use]
 pub struct PlanWorkspace {
     pub(crate) ws: Workspace,
     pub(crate) scratch: EngineScratch,
@@ -121,6 +122,13 @@ impl PlanWorkspace {
             self.ws.give_matrix(old);
         }
     }
+
+    /// Donate a retired indefinite factor's signature vector and
+    /// perturbation log back to the engine scratch pools, so the next
+    /// indefinite execution reuses their storage instead of allocating.
+    pub fn donate_indefinite(&mut self, d: Vec<i8>, perturbations: Vec<crate::Perturbation>) {
+        self.scratch.donate_indefinite(d, perturbations);
+    }
 }
 
 /// An executable factorization plan for one system shape. Build with
@@ -128,6 +136,7 @@ impl PlanWorkspace {
 /// [`FactorPlan::from_options`] (everything pinned, the compatibility
 /// path of [`crate::ToeplitzSolver::with_options`]).
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct FactorPlan {
     n: usize,
     m: usize,
@@ -354,6 +363,7 @@ impl FactorPlan {
         match eliminate_spd(&t_ref, &self.spd, &mut pw.ws, &mut pw.scratch, &mut sink) {
             Ok((m, p, comm_words_per_step)) => {
                 normalize_diagonal(&mut r);
+                crate::contracts::spd_diagonal(&r, "FactorPlan::execute_spd");
                 Ok(SpdFactor {
                     r,
                     m,

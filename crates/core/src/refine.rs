@@ -47,6 +47,7 @@ impl Default for RefineOptions {
 
 /// Outcome of the refinement loop.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct RefineResult {
     /// Final solution estimate.
     pub x: Vec<f64>,

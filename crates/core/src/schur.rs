@@ -65,6 +65,7 @@ impl Default for SchurOptions {
 
 /// The factorization `T = RᵀR` produced by [`factor_spd`].
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct SpdFactor {
     /// Upper triangular `n × n` factor with positive diagonal.
     pub r: Matrix,
@@ -119,13 +120,13 @@ impl SpdFactor {
 /// assert!((x[0] - x_true[0]).abs() < 1e-9);
 /// ```
 pub fn factor_spd(t: &SymBlockToeplitz, opts: &SchurOptions) -> Result<SpdFactor> {
-    let mut r: Option<Matrix> = None;
-    let (m, p, comm_words_per_step) = factor_spd_streaming(t, opts, |s, mm, n, row| {
-        let rm = r.get_or_insert_with(|| Matrix::zeros(n, n));
-        rm.sub_mut(s * mm, s * mm, mm, row.cols()).copy_from(row);
+    let n = t.block_size() * t.num_blocks();
+    let mut r = Matrix::zeros(n, n);
+    let (m, p, comm_words_per_step) = factor_spd_streaming(t, opts, |s, mm, _n, row| {
+        r.sub_mut(s * mm, s * mm, mm, row.cols()).copy_from(row);
     })?;
-    let mut r = r.expect("at least one block row");
     normalize_diagonal(&mut r);
+    crate::contracts::spd_diagonal(&r, "factor_spd");
     Ok(SpdFactor {
         r,
         m,
@@ -153,7 +154,11 @@ pub fn factor_spd_streaming(
     // want warm (allocation-free) repeats hold a `FactorPlan` instead.
     let mut ws = Workspace::new();
     let mut scratch = EngineScratch::default();
-    eliminate_spd(&t_ref, opts, &mut ws, &mut scratch, &mut sink)
+    let out = eliminate_spd(&t_ref, opts, &mut ws, &mut scratch, &mut sink);
+    // paranoid: the workspace is ours and received no donations, so it
+    // must be fully quiescent whatever the elimination returned.
+    ws.contract_quiescent("factor_spd_streaming");
+    out
 }
 
 #[cfg(test)]

@@ -96,6 +96,7 @@ pub fn reconstruct_rtdr(r: &Matrix, d: Option<&[i8]>) -> Matrix {
 
 /// Which factorization the solver ended up with.
 #[derive(Debug, Clone)]
+#[must_use]
 pub enum Factorization {
     /// `T = RᵀR` (positive definite path).
     Spd(SpdFactor),
@@ -236,7 +237,10 @@ impl ToeplitzSolver {
         let new_f = self.plan.execute(t, &mut self.workspace)?;
         match std::mem::replace(&mut self.factorization, new_f) {
             Factorization::Spd(old) => self.workspace.donate(old.r),
-            Factorization::Indefinite(old) => self.workspace.donate(old.r),
+            Factorization::Indefinite(old) => {
+                self.workspace.donate(old.r);
+                self.workspace.donate_indefinite(old.d, old.perturbations);
+            }
         }
         self.t.clone_data_from(t);
         bs_probe::event!(

@@ -1,0 +1,170 @@
+//! Contract-layer tests — compiled only with the `paranoid` feature:
+//!
+//! ```text
+//! cargo test -p bs-core --features paranoid
+//! ```
+//!
+//! Two properties are pinned here: valid factorizations must be
+//! contract-silent (no false positives across a seeded sweep of SPD
+//! and indefinite problems), and each contract must actually fire on
+//! inputs that break its invariant, with the violation routed through
+//! `bs_probe::stability` and its counter.
+#![cfg(feature = "paranoid")]
+
+use bs_core::{contracts, factor_indefinite, factor_spd, IndefOptions, SchurOptions};
+use bs_probe::stability;
+use bs_toeplitz::workloads;
+use std::sync::{Mutex, MutexGuard};
+
+/// The violation buffer, the `ContractViolations` counter, and the
+/// abort flag are process-global, so the tests serialize on one lock
+/// and start from a drained report with aborting disabled.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn setup() -> MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    contracts::set_abort(false);
+    let _ = stability::take_report();
+    g
+}
+
+#[test]
+fn paranoid_feature_is_active() {
+    assert!(contracts::enabled());
+}
+
+#[test]
+fn valid_spd_factorizations_are_contract_silent() {
+    let _g = setup();
+    // Proptest-style seeded sweep: shapes × seeds, every case must
+    // factor correctly and record zero violations.
+    for (m, p) in [(1usize, 12usize), (2, 6), (3, 5), (4, 4)] {
+        for seed in 1..=8u64 {
+            let t = workloads::random_spd_block(m, p, 1000 * seed + m as u64);
+            let f = factor_spd(&t, &SchurOptions::default()).expect("SPD factorization");
+            let diff = f.reconstruct().max_abs_diff(&t.to_dense());
+            assert!(
+                diff < 1e-8 * t.norm_inf().max(1.0),
+                "m={m} p={p} seed={seed}"
+            );
+        }
+    }
+    assert_eq!(
+        stability::violation_count(),
+        0,
+        "valid SPD inputs must not trip any contract: {:?}",
+        stability::report().violations
+    );
+}
+
+#[test]
+fn valid_indefinite_factorizations_are_contract_silent() {
+    let _g = setup();
+    for n in [8usize, 12, 16] {
+        for seed in 1..=6u64 {
+            let t = workloads::random_indefinite_scalar(n, 77 * seed + n as u64);
+            let f =
+                factor_indefinite(&t, &IndefOptions::default()).expect("indefinite factorization");
+            let diff = f.reconstruct().max_abs_diff(&t.to_dense());
+            assert!(diff < 1e-7 * t.norm_inf().max(1.0), "n={n} seed={seed}");
+        }
+    }
+    assert_eq!(
+        stability::violation_count(),
+        0,
+        "valid indefinite inputs must not trip any contract: {:?}",
+        stability::report().violations
+    );
+}
+
+#[test]
+fn hyperbolic_existence_fires_on_nonfinite_reflector() {
+    let _g = setup();
+    contracts::hyperbolic_existence(3, 1, f64::NAN, -2.0);
+    contracts::hyperbolic_existence(3, 2, 1.5, f64::INFINITY);
+    contracts::hyperbolic_existence(3, 3, 0.0, -2.0);
+    let r = stability::take_report();
+    assert_eq!(r.violations.len(), 3);
+    assert!(r
+        .violations
+        .iter()
+        .all(|v| v.contract == "hyperbolic_existence"));
+    assert!(r.violations[0].detail.contains("step 3 column 1"));
+}
+
+#[test]
+fn signature_consistency_fires_on_corrupted_w() {
+    let _g = setup();
+    // Sum drift (an exchange that overwrote instead of swapping).
+    contracts::signature_consistency(&[1, 1, 1, -1], 0, 2);
+    // Non-unit entry (memory corruption).
+    contracts::signature_consistency(&[1, 0, -1, -1], -1, 4);
+    // A genuine permutation of the same entries is silent.
+    contracts::signature_consistency(&[-1, 1, 1, -1], 0, 5);
+    let r = stability::take_report();
+    assert_eq!(r.violations.len(), 2);
+    assert!(r
+        .violations
+        .iter()
+        .all(|v| v.contract == "signature_consistency"));
+    assert!(r.violations[1]
+        .detail
+        .contains("non-unit entry present: true"));
+}
+
+#[test]
+fn spd_diagonal_fires_on_nonpositive_diagonal() {
+    let _g = setup();
+    let mut r = bs_matrix::Matrix::identity(4);
+    r[(2, 2)] = 0.0;
+    contracts::spd_diagonal(&r, "test_site");
+    r[(2, 2)] = f64::NAN;
+    contracts::spd_diagonal(&r, "test_site");
+    let rep = stability::take_report();
+    assert_eq!(rep.violations.len(), 2);
+    assert!(rep.violations[0].detail.contains("test_site"));
+    assert!(rep.violations[0].detail.contains("(2,2)"));
+}
+
+#[test]
+fn workspace_balance_fires_on_leaked_checkout() {
+    let _g = setup();
+    let mut ws = bs_matrix::Workspace::new();
+    let entry = ws.outstanding();
+    let leaked = ws.take_vec(16);
+    ws.contract_region("leak_test", entry, 0); // fires: delta is +1
+    ws.give_vec(leaked);
+    ws.contract_region("balanced_test", entry, 0); // silent
+    ws.contract_quiescent("quiescent_test"); // silent
+    let r = stability::take_report();
+    assert_eq!(r.violations.len(), 1);
+    assert_eq!(r.violations[0].contract, "workspace_balance");
+    assert!(r.violations[0].detail.contains("leak_test"));
+    assert!(r.violations[0].detail.contains("changed by 1"));
+}
+
+#[test]
+fn abort_mode_panics_after_recording() {
+    let _g = setup();
+    contracts::set_abort(true);
+    let result = std::panic::catch_unwind(|| {
+        contracts::hyperbolic_existence(0, 0, f64::NAN, 1.0);
+    });
+    contracts::set_abort(false);
+    assert!(result.is_err(), "abort mode must panic on a violation");
+    // The violation is recorded *before* the abort, so post-mortem
+    // traces still carry it.
+    let r = stability::take_report();
+    assert_eq!(r.violations.len(), 1);
+    assert_eq!(r.violations[0].contract, "hyperbolic_existence");
+}
+
+#[test]
+fn violations_bump_the_probe_counter() {
+    let _g = setup();
+    use bs_probe::metrics::{self, Counter};
+    let before = metrics::total(Counter::ContractViolations);
+    contracts::signature_consistency(&[1, 1], 0, 1);
+    assert_eq!(metrics::total(Counter::ContractViolations), before + 1);
+    let _ = stability::take_report();
+}

@@ -62,6 +62,7 @@ impl ClockBarrier {
     fn wait(&self, clock: f64, payload: f64) -> (f64, f64) {
         let mut st = lock_poison_ok(&self.state);
         if st.poisoned {
+            // bs-lint: allow(no-panic-paths) -- another simulated rank already panicked; propagating is the only sane exit
             panic!("barrier poisoned: another rank panicked");
         }
         st.max_clock = st.max_clock.max(clock);
@@ -82,6 +83,7 @@ impl ClockBarrier {
                 st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             if st.poisoned {
+                // bs-lint: allow(no-panic-paths) -- another simulated rank already panicked; propagating is the only sane exit
                 panic!("barrier poisoned: another rank panicked");
             }
             (st.result_clock, st.result_payload)
@@ -165,6 +167,7 @@ impl Proc {
                 data: data.to_vec(),
                 arrive,
             })
+            // bs-lint: allow(no-panic-paths) -- a hung-up receiver means its rank thread panicked; propagate
             .expect("receiver hung up");
     }
 
@@ -174,6 +177,7 @@ impl Proc {
         assert!(from < self.np && from != self.rank, "bad source {from}");
         // Check the stash first.
         if let Some(pos) = self.stash[from].iter().position(|m| m.tag == tag) {
+            // bs-lint: allow(no-panic-paths) -- `pos` comes from `position` on the same deque one line up
             let msg = self.stash[from].remove(pos).unwrap();
             self.clock = self.clock.max(msg.arrive);
             return msg.data;
@@ -191,9 +195,11 @@ impl Proc {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if self.poisoned.load(Ordering::Relaxed) {
+                        // bs-lint: allow(no-panic-paths) -- another simulated rank already panicked; propagating is the only sane exit
                         panic!("recv aborted: another rank panicked");
                     }
                 }
+                // bs-lint: allow(no-panic-paths) -- a disconnected sender means its rank thread panicked; propagate
                 Err(RecvTimeoutError::Disconnected) => panic!("sender hung up"),
             }
         }
@@ -234,6 +240,7 @@ impl Proc {
                             data: data.to_vec(),
                             arrive: depart + bcast,
                         })
+                        // bs-lint: allow(no-panic-paths) -- a hung-up receiver means its rank thread panicked; propagate
                         .expect("receiver hung up");
                 }
             }

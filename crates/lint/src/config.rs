@@ -1,0 +1,275 @@
+//! The `lint.toml` manifest, parsed with no dependencies.
+//!
+//! The format is a deliberately small TOML subset: `[section]`
+//! headers, `key = value` pairs, bare list entries, and `#` comments.
+//! Sections:
+//!
+//! - `[lints]` — `lint-name = on|off` switches.
+//! - `[library-crates]` — bare directory prefixes (relative to the
+//!   workspace root); `no-panic-paths`, `float-eq`, and
+//!   `must-use-results` only apply to files under these.
+//! - `[hot-paths]` — `path/to/file.rs = fn_a, fn_b` (or `*` for the
+//!   whole file): the manifest of allocation-free hot paths checked by
+//!   `no-alloc-hot`.
+//! - `[must-use-types]` — bare type names whose values must not be
+//!   silently dropped; `pub fn`s returning them need `#[must_use]` at
+//!   the function or the type declaration.
+//! - `[float-eq-allowed]` — bare float literals exempt from `float-eq`
+//!   (exact-zero guards like `alpha == 0.0` are how BLAS fast paths
+//!   are specified, so `0.0` belongs here).
+
+use std::collections::BTreeMap;
+
+/// Names of the lints the engine implements, in catalog order.
+pub const LINT_NAMES: &[&str] = &[
+    "no-panic-paths",
+    "safety-comment",
+    "no-alloc-hot",
+    "float-eq",
+    "must-use-results",
+];
+
+/// One `[hot-paths]` entry: a file plus the functions within it that
+/// must stay allocation-free (empty ⇒ `*`, the whole file).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotPath {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// Function names; empty means every non-test function in the file.
+    pub fns: Vec<String>,
+}
+
+impl HotPath {
+    /// Does this entry cover function `name` (or the whole file)?
+    pub fn covers(&self, name: &str) -> bool {
+        self.fns.is_empty() || self.fns.iter().any(|f| f == name)
+    }
+}
+
+/// Parsed lint manifest.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Lint name → enabled.
+    pub lints: BTreeMap<String, bool>,
+    /// Directory prefixes of the library crates in scope for the
+    /// crate-scoped lints.
+    pub library_crates: Vec<String>,
+    /// The hot-path manifest.
+    pub hot_paths: Vec<HotPath>,
+    /// Types whose values must be `#[must_use]`.
+    pub must_use_types: Vec<String>,
+    /// Float literals exempt from `float-eq` (normalized via `f64`
+    /// parsing, so `0.0`, `0.`, and `0.0f64` all match).
+    pub float_eq_allowed: Vec<f64>,
+}
+
+impl Default for Config {
+    /// All lints on, no scope: useful for fixture tests that build
+    /// their scope programmatically.
+    fn default() -> Self {
+        Config {
+            lints: LINT_NAMES.iter().map(|n| (n.to_string(), true)).collect(),
+            library_crates: Vec::new(),
+            hot_paths: Vec::new(),
+            must_use_types: Vec::new(),
+            float_eq_allowed: vec![0.0],
+        }
+    }
+}
+
+impl Config {
+    /// Is `lint` switched on?
+    pub fn enabled(&self, lint: &str) -> bool {
+        self.lints.get(lint).copied().unwrap_or(false)
+    }
+
+    /// Is `file` (workspace-relative, forward slashes) inside one of
+    /// the configured library crates?
+    pub fn in_library_crate(&self, file: &str) -> bool {
+        self.library_crates
+            .iter()
+            .any(|c| file.starts_with(c.trim_end_matches('/')))
+    }
+
+    /// Hot-path entries covering `file`.
+    pub fn hot_entries<'a>(&'a self, file: &str) -> Vec<&'a HotPath> {
+        self.hot_paths.iter().filter(|h| h.file == file).collect()
+    }
+
+    /// Is `lit` (the text of a float literal) one of the exempted
+    /// values for `float-eq`?
+    pub fn float_literal_allowed(&self, lit: &str) -> bool {
+        let cleaned: String = lit
+            .trim_end_matches("f64")
+            .trim_end_matches("f32")
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        match cleaned.parse::<f64>() {
+            Ok(v) => self.float_eq_allowed.contains(&v),
+            Err(_) => false,
+        }
+    }
+
+    /// Parse a manifest. Errors carry the 1-based line number.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let mut cfg = Config {
+            lints: BTreeMap::new(),
+            library_crates: Vec::new(),
+            hot_paths: Vec::new(),
+            must_use_types: Vec::new(),
+            float_eq_allowed: Vec::new(),
+        };
+        let mut section = String::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "lints" | "library-crates" | "hot-paths" | "must-use-types"
+                    | "float-eq-allowed" => {}
+                    other => return Err(format!("line {lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, value) = match line.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (line, None),
+            };
+            match section.as_str() {
+                "lints" => {
+                    if !LINT_NAMES.contains(&key) {
+                        return Err(format!("line {lineno}: unknown lint `{key}`"));
+                    }
+                    let on = match value {
+                        Some("on") | Some("true") => true,
+                        Some("off") | Some("false") => false,
+                        _ => {
+                            return Err(format!(
+                                "line {lineno}: expected `{key} = on|off`, got `{raw}`"
+                            ))
+                        }
+                    };
+                    cfg.lints.insert(key.to_string(), on);
+                }
+                "library-crates" => {
+                    if value.is_some() {
+                        return Err(format!("line {lineno}: [library-crates] takes bare paths"));
+                    }
+                    cfg.library_crates.push(key.to_string());
+                }
+                "hot-paths" => {
+                    let Some(v) = value else {
+                        return Err(format!(
+                            "line {lineno}: [hot-paths] entries are `file.rs = fn, fn` or `file.rs = *`"
+                        ));
+                    };
+                    let fns = if v == "*" {
+                        Vec::new()
+                    } else {
+                        let fns: Vec<String> = v
+                            .split(',')
+                            .map(|f| f.trim().to_string())
+                            .filter(|f| !f.is_empty())
+                            .collect();
+                        if fns.is_empty() {
+                            return Err(format!("line {lineno}: empty function list for `{key}`"));
+                        }
+                        fns
+                    };
+                    cfg.hot_paths.push(HotPath {
+                        file: key.to_string(),
+                        fns,
+                    });
+                }
+                "must-use-types" => {
+                    if value.is_some() {
+                        return Err(format!("line {lineno}: [must-use-types] takes bare names"));
+                    }
+                    cfg.must_use_types.push(key.to_string());
+                }
+                "float-eq-allowed" => {
+                    if value.is_some() {
+                        return Err(format!(
+                            "line {lineno}: [float-eq-allowed] takes bare float literals"
+                        ));
+                    }
+                    let v = key
+                        .parse::<f64>()
+                        .map_err(|_| format!("line {lineno}: `{key}` is not a float literal"))?;
+                    cfg.float_eq_allowed.push(v);
+                }
+                "" => return Err(format!("line {lineno}: entry before any [section]")),
+                _ => unreachable!("section validated at header"),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment
+[lints]
+no-panic-paths = on
+float-eq = off
+
+[library-crates]
+crates/core
+crates/matrix
+
+[hot-paths]
+crates/core/src/eliminate.rs = eliminate_spd, eliminate_indefinite
+crates/matrix/src/blas3.rs = *
+
+[must-use-types]
+FactorPlan
+
+[float-eq-allowed]
+0.0
+";
+
+    #[test]
+    fn parses_all_sections() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert!(cfg.enabled("no-panic-paths"));
+        assert!(!cfg.enabled("float-eq"));
+        assert!(!cfg.enabled("no-alloc-hot"), "unlisted lints default off");
+        assert!(cfg.in_library_crate("crates/core/src/lib.rs"));
+        assert!(!cfg.in_library_crate("crates/bench/src/lib.rs"));
+        let hot = cfg.hot_entries("crates/core/src/eliminate.rs");
+        assert_eq!(hot.len(), 1);
+        assert!(hot[0].covers("eliminate_spd"));
+        assert!(!hot[0].covers("retiled"));
+        assert!(cfg.hot_entries("crates/matrix/src/blas3.rs")[0].covers("anything"));
+        assert_eq!(cfg.must_use_types, vec!["FactorPlan"]);
+        assert!(cfg.float_literal_allowed("0.0"));
+        assert!(cfg.float_literal_allowed("0.0f64"));
+        assert!(!cfg.float_literal_allowed("1.0"));
+    }
+
+    #[test]
+    fn rejects_unknown_lint_and_section() {
+        assert!(Config::parse("[lints]\nbogus = on\n").is_err());
+        assert!(Config::parse("[wat]\n").is_err());
+        assert!(Config::parse("stray-entry\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert!(Config::parse("[lints]\nfloat-eq = maybe\n").is_err());
+        assert!(Config::parse("[hot-paths]\nfile.rs\n").is_err());
+        assert!(Config::parse("[float-eq-allowed]\nnot-a-float\n").is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! **bs-lint** — a dependency-free static-analysis gate for the block
+//! Schur workspace.
+//!
+//! The block Schur algorithm's correctness claims rest on invariants a
+//! compiler cannot see: hot loops must stay allocation-free for the
+//! paper's flop/storage accounting (eqs. 25–32) to mean anything,
+//! library paths must not abort a production solver, and every escape
+//! hatch (`unsafe`, exact float compares) must carry its justification
+//! in the source. This crate machine-checks those rules with a
+//! token-level pass over the workspace — pure `std`, no syn, no
+//! rustc internals — so the gate runs anywhere the code builds.
+//!
+//! Run it with `cargo run -p bs-lint` from the workspace root (or see
+//! `scripts/check.sh`, which runs it as a CI stage). Configuration
+//! lives in `lint.toml`; individual findings are waived in the source
+//! with `// bs-lint: allow(<lint>) -- <justification>`.
+
+pub mod config;
+pub mod lints;
+pub mod scan;
+pub mod tokens;
+
+use config::Config;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lint name (one of [`config::LINT_NAMES`], or `allow-directive`
+    /// for a malformed waiver).
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Lint a set of `(workspace-relative path, contents)` pairs.
+///
+/// Two passes: the first collects `#[must_use]`-annotated type names
+/// across every file (so a type declared in `plan.rs` satisfies
+/// `must-use-results` for a constructor in `solver.rs`); the second
+/// runs the lint catalog per file.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    let scans: Vec<(&str, scan::FileScan)> = files
+        .iter()
+        .map(|(path, src)| (path.as_str(), scan::scan(tokens::tokenize(src))))
+        .collect();
+    let registry: BTreeSet<String> = scans
+        .iter()
+        .flat_map(|(_, s)| s.must_use_types.iter().cloned())
+        .collect();
+    let mut out = Vec::new();
+    for (path, s) in &scans {
+        out.extend(lints::lint_file(path, s, cfg, &registry));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Collect the workspace source set: every `.rs` file under
+/// `crates/*/src` and under the root `src/`, skipping `target/` and
+/// hidden directories. Returned paths are workspace-relative with
+/// forward slashes, sorted.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut src_dirs: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let sub = entry?.path().join("src");
+            if sub.is_dir() {
+                src_dirs.push(sub);
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        src_dirs.push(root_src);
+    }
+    let mut files = Vec::new();
+    for dir in src_dirs {
+        collect_rs_files(&dir, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        out.push((rel, src));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_crosses_files() {
+        let cfg = Config {
+            library_crates: vec!["crates/core".to_string()],
+            must_use_types: vec!["Plan".to_string()],
+            ..Config::default()
+        };
+        let files = vec![
+            (
+                "crates/core/src/a.rs".to_string(),
+                "#[must_use] pub struct Plan;".to_string(),
+            ),
+            (
+                "crates/core/src/b.rs".to_string(),
+                "pub fn make() -> Plan { Plan }".to_string(),
+            ),
+        ];
+        assert!(lint_files(&files, &cfg).is_empty());
+        // Without the annotation the constructor in b.rs is flagged.
+        let files2 = vec![
+            (
+                "crates/core/src/a.rs".to_string(),
+                "pub struct Plan;".to_string(),
+            ),
+            files[1].clone(),
+        ];
+        let d = lint_files(&files2, &cfg);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "must-use-results");
+    }
+}

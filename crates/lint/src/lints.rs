@@ -1,0 +1,432 @@
+//! The lint catalog: five token-level passes over a [`FileScan`].
+//!
+//! | lint | scope | what it forbids |
+//! |------|-------|-----------------|
+//! | `no-panic-paths` | library crates, non-test | `.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!` |
+//! | `safety-comment` | everywhere | `unsafe` without a nearby `// SAFETY:` comment |
+//! | `no-alloc-hot` | hot-path manifest, non-test | `Vec::new`, `vec![`, `.to_vec()`, `.clone()`, `Box::new`, `String::`/`format!`/`.to_string()`/`.to_owned()` |
+//! | `float-eq` | library crates, non-test | `==`/`!=` with a float-literal operand (configured literals, `0.0` by default, exempt) |
+//! | `must-use-results` | library crates | `pub fn` returning a configured must-use type without `#[must_use]` at the fn or the type |
+//!
+//! Every diagnostic can be suppressed with
+//! `// bs-lint: allow(<lint>) -- <justification>` on or directly above
+//! the offending line, or `// bs-lint: allow-file(<lint>) -- ...` for a
+//! whole file. A directive without a justification is itself reported.
+
+use crate::config::Config;
+use crate::scan::FileScan;
+use crate::tokens::{TokKind, Token};
+use crate::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Run every enabled lint on one scanned file. `must_use_registry` is
+/// the workspace-wide set of type names declared `#[must_use]`
+/// (collected in a first pass over every file).
+pub fn lint_file(
+    file: &str,
+    scan: &FileScan,
+    cfg: &Config,
+    must_use_registry: &BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (line, msg) in &scan.malformed_directives {
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line: *line,
+            lint: "allow-directive",
+            message: msg.clone(),
+        });
+    }
+    let in_lib = cfg.in_library_crate(file);
+    if cfg.enabled("no-panic-paths") && in_lib {
+        no_panic_paths(file, scan, &mut out);
+    }
+    if cfg.enabled("safety-comment") {
+        safety_comment(file, scan, &mut out);
+    }
+    if cfg.enabled("no-alloc-hot") {
+        no_alloc_hot(file, scan, cfg, &mut out);
+    }
+    if cfg.enabled("float-eq") && in_lib {
+        float_eq(file, scan, cfg, &mut out);
+    }
+    if cfg.enabled("must-use-results") && in_lib {
+        must_use_results(file, scan, cfg, must_use_registry, &mut out);
+    }
+    // Apply allow directives last so every pass sees the same state.
+    out.retain(|d| d.lint == "allow-directive" || !scan.allowed(d.lint, d.line));
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+fn diag(out: &mut Vec<Diagnostic>, file: &str, line: u32, lint: &'static str, message: String) {
+    out.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        lint,
+        message,
+    });
+}
+
+fn is_punct(t: Option<&Token>, s: &str) -> bool {
+    matches!(t, Some(t) if t.kind == TokKind::Punct && t.text == s)
+}
+
+/// `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` in
+/// non-test library code. These either hide a recoverable error behind
+/// a process abort or mark unfinished work; library paths must surface
+/// typed errors instead.
+fn no_panic_paths(file: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    let toks = &scan.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || scan.in_test(i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+        let next = toks.get(i + 1);
+        match t.text.as_str() {
+            "unwrap" | "expect" if is_punct(prev, ".") && is_punct(next, "(") => {
+                diag(
+                    out,
+                    file,
+                    t.line,
+                    "no-panic-paths",
+                    format!(
+                        "`.{}(` can abort the process; return a typed error instead",
+                        t.text
+                    ),
+                );
+            }
+            "panic" | "todo" | "unimplemented" if is_punct(next, "!") => {
+                diag(
+                    out,
+                    file,
+                    t.line,
+                    "no-panic-paths",
+                    format!(
+                        "`{}!` in library code; return a typed error instead",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every `unsafe` keyword (block, fn, impl, trait) needs a comment
+/// containing `SAFETY:` within the three lines above it, on its line,
+/// or on the line just below (the `unsafe { // SAFETY: ...` style).
+fn safety_comment(file: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    let toks = &scan.toks;
+    for t in toks.iter() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let window = t.line.saturating_sub(3)..=t.line + 1;
+        let documented = toks
+            .iter()
+            .any(|c| c.is_comment() && window.contains(&c.line) && c.text.contains("SAFETY:"));
+        if !documented {
+            diag(
+                out,
+                file,
+                t.line,
+                "safety-comment",
+                "`unsafe` without a `// SAFETY:` comment explaining the invariant".to_string(),
+            );
+        }
+    }
+}
+
+/// Heap allocation inside a function listed in the hot-path manifest.
+/// Hot loops must draw scratch from the `Workspace` arena so warm
+/// steady-state runs stay allocation-free.
+fn no_alloc_hot(file: &str, scan: &FileScan, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let entries = cfg.hot_entries(file);
+    if entries.is_empty() {
+        return;
+    }
+    let toks = &scan.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || scan.in_test(i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+        let next = toks.get(i + 1);
+        let next2 = toks.get(i + 2);
+        let what: Option<&str> = match t.text.as_str() {
+            "Vec"
+                if is_punct(next, "::")
+                    && matches!(next2, Some(n) if n.text == "new" || n.text == "with_capacity") =>
+            {
+                Some("Vec construction")
+            }
+            "Box" if is_punct(next, "::") && matches!(next2, Some(n) if n.text == "new") => {
+                Some("Box::new")
+            }
+            "String" if is_punct(next, "::") => Some("String construction"),
+            "vec" if is_punct(next, "!") => Some("vec! literal"),
+            "format" if is_punct(next, "!") => Some("format! allocation"),
+            "to_vec" | "to_string" | "to_owned" if is_punct(prev, ".") && is_punct(next, "(") => {
+                Some("owned-copy allocation")
+            }
+            "clone" if is_punct(prev, ".") && is_punct(next, "(") => Some(".clone() allocation"),
+            _ => None,
+        };
+        let Some(what) = what else { continue };
+        let enclosing = scan.enclosing_fns(i);
+        let hot = enclosing
+            .iter()
+            .find(|f| entries.iter().any(|e| e.covers(f)));
+        if let Some(hot_fn) = hot {
+            diag(
+                out,
+                file,
+                t.line,
+                "no-alloc-hot",
+                format!(
+                    "{what} inside hot path `{hot_fn}`; check scratch out of the Workspace arena instead"
+                ),
+            );
+        }
+    }
+}
+
+/// `==` / `!=` with a float-literal operand in non-test library code.
+/// Exact float equality is almost always a rounding bug; the
+/// configured literals (`0.0` by default) are exempt because exact-zero
+/// guards define BLAS fast paths.
+fn float_eq(file: &str, scan: &FileScan, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &scan.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") || scan.in_test(i) {
+            continue;
+        }
+        let mut operands: Vec<&Token> = Vec::new();
+        if let Some(p) = i.checked_sub(1).and_then(|j| toks.get(j)) {
+            operands.push(p);
+        }
+        // Skip a unary minus on the right-hand side.
+        match toks.get(i + 1) {
+            Some(n) if n.kind == TokKind::Punct && n.text == "-" => {
+                if let Some(n2) = toks.get(i + 2) {
+                    operands.push(n2);
+                }
+            }
+            Some(n) => operands.push(n),
+            None => {}
+        }
+        for op in operands {
+            if op.kind == TokKind::Float && !cfg.float_literal_allowed(&op.text) {
+                diag(
+                    out,
+                    file,
+                    t.line,
+                    "float-eq",
+                    format!(
+                        "exact float comparison `{} {}`; compare against a tolerance instead",
+                        t.text, op.text
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// `pub fn` returning a configured must-use type needs `#[must_use]`
+/// on the function or on the type declaration (anywhere in the
+/// workspace). Functions returning `Result` are satisfied: std's
+/// `Result` is `#[must_use]` at the type level already.
+fn must_use_results(
+    file: &str,
+    scan: &FileScan,
+    cfg: &Config,
+    registry: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for f in &scan.fns {
+        if !f.is_pub || f.has_must_use || f.body.is_none() {
+            continue;
+        }
+        if let Some((body_start, _)) = f.body {
+            if scan.in_test(body_start) {
+                continue;
+            }
+        }
+        if f.ret_idents.iter().any(|r| r == "Result" || r == "Option") {
+            // Wrapped in a std type that is already #[must_use].
+            continue;
+        }
+        let offending: Vec<&String> = f
+            .ret_idents
+            .iter()
+            .filter(|r| cfg.must_use_types.iter().any(|t| t == *r))
+            .filter(|r| !registry.contains(*r))
+            .collect();
+        if let Some(ty) = offending.first() {
+            diag(
+                out,
+                file,
+                f.line,
+                "must-use-results",
+                format!(
+                    "`pub fn {}` returns `{ty}` but neither the fn nor the type is `#[must_use]`",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HotPath;
+    use crate::scan::scan;
+    use crate::tokens::tokenize;
+
+    fn run(src: &str, cfg: &Config) -> Vec<Diagnostic> {
+        let s = scan(tokenize(src));
+        let registry: BTreeSet<String> = s.must_use_types.iter().cloned().collect();
+        lint_file("crates/core/src/x.rs", &s, cfg, &registry)
+    }
+
+    fn lib_cfg() -> Config {
+        Config {
+            library_crates: vec!["crates/core".to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn flags_panic_paths_outside_tests_only() {
+        let src = "fn a() { b.unwrap(); c.expect(\"x\"); panic!(); todo!(); unimplemented!(); }\n\
+                   #[cfg(test)] mod t { fn u() { v.unwrap(); } }\n";
+        let d = run(src, &lib_cfg());
+        let n = d.iter().filter(|d| d.lint == "no-panic-paths").count();
+        assert_eq!(n, 5, "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let d = run(
+            "fn a() { b.unwrap_or(0); c.unwrap_or_else(f); d.unwrap_or_default(); e.expect_err(\"x\"); }\n",
+            &lib_cfg(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn outside_library_crates_no_panic_lint() {
+        let cfg = Config {
+            library_crates: vec!["crates/other".to_string()],
+            ..Config::default()
+        };
+        let s = scan(tokenize("fn a() { b.unwrap(); }"));
+        let d = lint_file("crates/core/src/x.rs", &s, &cfg, &BTreeSet::new());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn safety_comment_required_and_satisfied() {
+        let bad = run("fn a() { unsafe { q(); } }\n", &lib_cfg());
+        assert_eq!(bad.iter().filter(|d| d.lint == "safety-comment").count(), 1);
+        let good = run(
+            "fn a() {\n    // SAFETY: q is in bounds by the loop invariant.\n    unsafe { q(); }\n}\n",
+            &lib_cfg(),
+        );
+        assert!(good.iter().all(|d| d.lint != "safety-comment"), "{good:?}");
+    }
+
+    #[test]
+    fn hot_path_allocations_flagged_in_listed_fns_only() {
+        let cfg = Config {
+            library_crates: vec!["crates/core".to_string()],
+            hot_paths: vec![HotPath {
+                file: "crates/core/src/x.rs".to_string(),
+                fns: vec!["hot".to_string()],
+            }],
+            ..Config::default()
+        };
+        let src = "\
+fn hot() { let v = vec![0.0; 8]; let w = Vec::new(); let b = x.clone(); }
+fn cold() { let v = vec![0.0; 8]; }
+";
+        let d = run(src, &cfg);
+        let hot: Vec<_> = d.iter().filter(|d| d.lint == "no-alloc-hot").collect();
+        assert_eq!(hot.len(), 3, "{hot:?}");
+        assert!(hot.iter().all(|d| d.line == 1));
+    }
+
+    #[test]
+    fn whole_file_hot_entry() {
+        let cfg = Config {
+            library_crates: vec!["crates/core".to_string()],
+            hot_paths: vec![HotPath {
+                file: "crates/core/src/x.rs".to_string(),
+                fns: Vec::new(),
+            }],
+            ..Config::default()
+        };
+        let d = run("fn any() { q.to_vec(); }\n", &cfg);
+        assert_eq!(d.iter().filter(|d| d.lint == "no-alloc-hot").count(), 1);
+    }
+
+    #[test]
+    fn float_eq_flags_non_zero_literals() {
+        let src = "fn a() { if x == 1.0 {} if y != 2.5 {} if z == 0.0 {} if w == -1.5 {} if 3.5 == v {} }\n";
+        let d = run(src, &lib_cfg());
+        let fe: Vec<_> = d.iter().filter(|d| d.lint == "float-eq").collect();
+        assert_eq!(fe.len(), 4, "{fe:?}");
+    }
+
+    #[test]
+    fn int_comparisons_not_flagged() {
+        let d = run("fn a() { if x == 1 {} if n != 0 {} }\n", &lib_cfg());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn must_use_fn_level_type_level_and_violation() {
+        let cfg = Config {
+            library_crates: vec!["crates/core".to_string()],
+            must_use_types: vec!["Plan".to_string(), "Factor".to_string()],
+            ..Config::default()
+        };
+        let src = "\
+#[must_use] pub struct Plan;
+pub struct Factor;
+pub fn make_plan() -> Plan { Plan }
+pub fn make_factor() -> Factor { Factor }
+#[must_use] pub fn make_factor2() -> Factor { Factor }
+pub fn make_result() -> Result<Factor, ()> { Ok(Factor) }
+";
+        let d = run(src, &cfg);
+        let mu: Vec<_> = d.iter().filter(|d| d.lint == "must-use-results").collect();
+        assert_eq!(mu.len(), 1, "{mu:?}");
+        assert!(mu[0].message.contains("make_factor"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "\
+fn a() {
+    // bs-lint: allow(no-panic-paths) -- boot-time invariant, cannot fail
+    let x = b.unwrap();
+    let y = c.unwrap();
+}
+";
+        let d = run(src, &lib_cfg());
+        let np: Vec<_> = d.iter().filter(|d| d.lint == "no-panic-paths").collect();
+        assert_eq!(np.len(), 1, "{np:?}");
+        assert_eq!(np[0].line, 4);
+    }
+
+    #[test]
+    fn allow_without_justification_is_reported() {
+        let d = run("// bs-lint: allow(float-eq)\n", &lib_cfg());
+        assert_eq!(d.iter().filter(|d| d.lint == "allow-directive").count(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The `bs-lint` gate binary.
+//!
+//! ```text
+//! cargo run -p bs-lint                  # lint the enclosing workspace
+//! cargo run -p bs-lint -- --root DIR    # lint another tree
+//! cargo run -p bs-lint -- --config F    # use a specific manifest
+//! cargo run -p bs-lint -- --list        # print the lint catalog
+//! ```
+//!
+//! Exit status: `0` clean, `1` violations found, `2` usage / IO /
+//! config error. The workspace root is located by walking upward from
+//! the current directory until a `lint.toml` is found.
+
+use bs_lint::config::{Config, LINT_NAMES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--quiet" | "-q" => quiet = true,
+            "--list" => {
+                for name in LINT_NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bs-lint: static-analysis gate\n\
+                     usage: bs-lint [--root DIR] [--config FILE] [--quiet] [--list]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bs-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("bs-lint: no lint.toml found from the current directory upward");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bs-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&config_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bs-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let files = match bs_lint::collect_workspace_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bs-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diags = bs_lint::lint_files(&files, &cfg);
+    if !quiet {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    if diags.is_empty() {
+        if !quiet {
+            println!(
+                "bs-lint: {} files clean ({} lints enabled)",
+                files.len(),
+                cfg.lints.values().filter(|on| **on).count()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!("bs-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,480 @@
+//! Structural pass over a token stream: recovers the minimal shape the
+//! lints need — `#[cfg(test)]` / `#[test]` regions, function spans with
+//! their attributes and return types, `#[must_use]` type declarations,
+//! and `// bs-lint: allow(...)` directives.
+
+use crate::tokens::{TokKind, Token};
+
+/// A function item found in the file.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// Declared with a leading `pub` (any visibility restriction such
+    /// as `pub(crate)` counts — the lint cares about dropped results,
+    /// not module privacy).
+    pub is_pub: bool,
+    /// Carries `#[must_use]` directly.
+    pub has_must_use: bool,
+    /// Identifiers appearing in the return type (empty for `()`).
+    pub ret_idents: Vec<String>,
+    /// Token-index range of the body, inclusive of both braces.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// A parsed `bs-lint` allow directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub lint: String,
+    /// Lines the directive covers (`None` = whole file).
+    pub lines: Option<Vec<u32>>,
+}
+
+/// Everything the structural pass recovered from one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub toks: Vec<Token>,
+    /// Token-index ranges (inclusive) that are test code.
+    pub test_regions: Vec<(usize, usize)>,
+    pub fns: Vec<FnSpan>,
+    pub allows: Vec<Allow>,
+    /// Type names declared with `#[must_use]` in this file.
+    pub must_use_types: Vec<String>,
+    /// `(line, message)` for malformed `bs-lint:` directives.
+    pub malformed_directives: Vec<(u32, String)>,
+}
+
+impl FileScan {
+    /// Is token `idx` inside test code?
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_regions.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Names of the functions whose bodies contain token `idx`
+    /// (outermost first).
+    pub fn enclosing_fns(&self, idx: usize) -> Vec<&str> {
+        self.fns
+            .iter()
+            .filter(|f| matches!(f.body, Some((a, b)) if idx >= a && idx <= b))
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Is `(lint, line)` suppressed by an allow directive?
+    pub fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.lint == lint
+                && match &a.lines {
+                    None => true,
+                    Some(ls) => ls.contains(&line),
+                }
+        })
+    }
+}
+
+/// Find the index of the `}` matching the `{` at `open`, or the last
+/// token if the file is unbalanced (lint passes must never panic on
+/// the tree they check).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Keywords that introduce an item and thereby consume any pending
+/// attributes.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "impl",
+    "mod",
+    "use",
+    "static",
+    "const",
+    "type",
+    "macro_rules",
+    "extern",
+];
+
+/// Run the structural pass.
+pub fn scan(toks: Vec<Token>) -> FileScan {
+    let mut out = FileScan {
+        toks,
+        ..FileScan::default()
+    };
+    let toks = &out.toks;
+    let mut test_regions: Vec<(usize, usize)> = Vec::new();
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut must_use_types: Vec<String> = Vec::new();
+
+    // Pending attribute state, reset when an item consumes it.
+    let mut pending_test = false;
+    let mut pending_must_use = false;
+    let mut pending_pub = false;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "#" => {
+                // Attribute group `#[...]` or inner `#![...]`.
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "!" {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "[" {
+                    // Collect idents to the matching `]`.
+                    let mut depth = 0usize;
+                    let mut idents: Vec<&str> = Vec::new();
+                    let mut k = j;
+                    while k < toks.len() {
+                        let a = &toks[k];
+                        if a.kind == TokKind::Punct {
+                            match a.text.as_str() {
+                                "[" => depth += 1,
+                                "]" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        } else if a.kind == TokKind::Ident {
+                            idents.push(&a.text);
+                        }
+                        k += 1;
+                    }
+                    // `not` makes the attribute ambiguous (`cfg(not(test))`
+                    // is production code) — only unnegated test cfgs count.
+                    let is_cfg_test = idents.contains(&"cfg")
+                        && idents.contains(&"test")
+                        && !idents.contains(&"not");
+                    let is_test_attr = idents == ["test"] || idents.contains(&"should_panic");
+                    if is_cfg_test || is_test_attr {
+                        pending_test = true;
+                    }
+                    if idents.contains(&"must_use") {
+                        pending_must_use = true;
+                    }
+                    i = k + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "pub" => {
+                pending_pub = true;
+                i += 1;
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let line = t.line;
+                let name = match toks.get(i + 1) {
+                    Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+                    // `fn` pointer type or malformed — not an item.
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                // Walk the signature: collect return-type idents after
+                // `->`, stop at the body `{` or a `;`.
+                let mut ret_idents = Vec::new();
+                let mut in_ret = false;
+                let mut body = None;
+                let mut j = i + 2;
+                while j < toks.len() {
+                    let s = &toks[j];
+                    match s.kind {
+                        TokKind::Punct if s.text == "->" => in_ret = true,
+                        TokKind::Punct if s.text == "{" => {
+                            body = Some((j, matching_brace(toks, j)));
+                            break;
+                        }
+                        TokKind::Punct if s.text == ";" => break,
+                        TokKind::Ident if s.text == "where" => in_ret = false,
+                        TokKind::Ident if in_ret => ret_idents.push(s.text.clone()),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if pending_test {
+                    if let Some((a, b)) = body {
+                        test_regions.push((a, b));
+                    }
+                }
+                fns.push(FnSpan {
+                    name,
+                    is_pub: pending_pub,
+                    has_must_use: pending_must_use,
+                    ret_idents,
+                    body,
+                    line,
+                });
+                pending_test = false;
+                pending_must_use = false;
+                pending_pub = false;
+                // Continue scanning *inside* the body too (nested fns,
+                // test regions in nested modules).
+                i += 2;
+            }
+            TokKind::Ident if t.text == "struct" || t.text == "enum" || t.text == "union" => {
+                if let Some(n) = toks.get(i + 1) {
+                    if n.kind == TokKind::Ident && pending_must_use {
+                        must_use_types.push(n.text.clone());
+                    }
+                }
+                if pending_test {
+                    // `#[cfg(test)] struct ...` — treat its body (if
+                    // any) as test code.
+                    if let Some(open) = next_brace_before_semi(toks, i + 1) {
+                        test_regions.push((open, matching_brace(toks, open)));
+                    }
+                }
+                pending_test = false;
+                pending_must_use = false;
+                pending_pub = false;
+                i += 1;
+            }
+            TokKind::Ident if t.text == "mod" || t.text == "impl" || t.text == "trait" => {
+                if pending_test {
+                    if let Some(open) = next_brace_before_semi(toks, i + 1) {
+                        test_regions.push((open, matching_brace(toks, open)));
+                    }
+                }
+                pending_test = false;
+                pending_must_use = false;
+                pending_pub = false;
+                i += 1;
+            }
+            TokKind::Ident if ITEM_KEYWORDS.contains(&t.text.as_str()) => {
+                // use / static / const / type / macro_rules / extern:
+                // consume pending attributes without special handling.
+                if pending_test {
+                    if let Some(open) = next_brace_before_semi(toks, i + 1) {
+                        test_regions.push((open, matching_brace(toks, open)));
+                    }
+                }
+                pending_test = false;
+                pending_must_use = false;
+                pending_pub = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Allow directives, from comment tokens. Doc comments are skipped:
+    // they *document* the directive syntax rather than invoke it.
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (ci, c) in out.toks.iter().enumerate() {
+        if c.kind != TokKind::LineComment && c.kind != TokKind::BlockComment {
+            continue;
+        }
+        if is_doc_comment(c) {
+            continue;
+        }
+        let Some(pos) = c.text.find("bs-lint:") else {
+            continue;
+        };
+        let directive = c.text[pos + "bs-lint:".len()..].trim();
+        let file_wide = directive.starts_with("allow-file(");
+        let prefix = if file_wide { "allow-file(" } else { "allow(" };
+        if !directive.starts_with(prefix) {
+            malformed.push((
+                c.line,
+                format!("unrecognized bs-lint directive: `{directive}`"),
+            ));
+            continue;
+        }
+        let rest = &directive[prefix.len()..];
+        let Some(close) = rest.find(')') else {
+            malformed.push((c.line, "missing `)` in bs-lint allow directive".to_string()));
+            continue;
+        };
+        let lint = rest[..close].trim().to_string();
+        if !crate::config::LINT_NAMES.contains(&lint.as_str()) {
+            malformed.push((c.line, format!("allow names unknown lint `{lint}`")));
+            continue;
+        }
+        let justification = rest[close + 1..].trim();
+        if !justification.starts_with("--")
+            || justification.trim_start_matches('-').trim().len() < 3
+        {
+            malformed.push((
+                c.line,
+                format!("allow({lint}) needs a `-- <justification>`"),
+            ));
+            continue;
+        }
+        let lines = if file_wide {
+            None
+        } else {
+            // Cover the directive's own line (trailing-comment form)
+            // and the first code line after it (preceding-comment form).
+            let mut lines = vec![c.line];
+            if let Some(next) = out.toks[ci + 1..]
+                .iter()
+                .find(|t| !t.is_comment() && t.line > c.line)
+            {
+                lines.push(next.line);
+            }
+            Some(lines)
+        };
+        allows.push(Allow { lint, lines });
+    }
+
+    out.test_regions = test_regions;
+    out.fns = fns;
+    out.allows = allows;
+    out.must_use_types = must_use_types;
+    out.malformed_directives = malformed;
+    out
+}
+
+/// `///`, `//!`, `/** */`, `/*! */` — documentation, not directives.
+fn is_doc_comment(t: &Token) -> bool {
+    ["///", "//!", "/**", "/*!"]
+        .iter()
+        .any(|p| t.text.starts_with(p))
+}
+
+/// First `{` after `from`, unless a `;` intervenes at nesting level 0
+/// of `()`/`[]`/`<...>`-free scanning (good enough for item headers).
+fn next_brace_before_semi(toks: &[Token], from: usize) -> Option<usize> {
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => return Some(i),
+                ";" => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::tokenize;
+
+    fn scan_src(src: &str) -> FileScan {
+        scan(tokenize(src))
+    }
+
+    #[test]
+    fn finds_fns_and_bodies() {
+        let s = scan_src("pub fn a() -> Result<u32> { 1 }\nfn b() {}\n");
+        assert_eq!(s.fns.len(), 2);
+        assert!(s.fns[0].is_pub);
+        assert_eq!(s.fns[0].ret_idents, vec!["Result", "u32"]);
+        assert!(!s.fns[1].is_pub);
+        assert!(s.fns[1].ret_idents.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_test_region() {
+        let src =
+            "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let s = scan_src(src);
+        // The unwrap inside `mod tests` is in a test region; the one in
+        // `lib` is not.
+        let unwraps: Vec<usize> = s
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!s.in_test(unwraps[0]));
+        assert!(s.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn test_attr_fn_is_test_region() {
+        let s = scan_src("#[test]\nfn t() { z.unwrap(); }\nfn lib() {}\n");
+        let unwrap_idx = s.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(s.in_test(unwrap_idx));
+    }
+
+    #[test]
+    fn must_use_attrs_recorded() {
+        let s = scan_src("#[must_use]\npub struct Plan;\n#[must_use]\npub fn f() -> u8 { 0 }\npub fn g() -> u8 { 0 }\n");
+        assert_eq!(s.must_use_types, vec!["Plan"]);
+        assert!(s.fns[0].has_must_use);
+        assert!(!s.fns[1].has_must_use);
+    }
+
+    #[test]
+    fn enclosing_fns_nest() {
+        let s = scan_src("fn outer() { fn inner() { q.clone(); } }\n");
+        let idx = s.toks.iter().position(|t| t.text == "clone").unwrap();
+        assert_eq!(s.enclosing_fns(idx), vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn allow_directive_covers_next_code_line() {
+        let src =
+            "// bs-lint: allow(float-eq) -- exact sentinel\nlet a = x == 1.5;\nlet b = y == 2.5;\n";
+        let s = scan_src(src);
+        assert!(s.allowed("float-eq", 1));
+        assert!(s.allowed("float-eq", 2));
+        assert!(!s.allowed("float-eq", 3));
+        assert!(!s.allowed("no-panic-paths", 2));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "let a = x.unwrap(); // bs-lint: allow(no-panic-paths) -- boot path\n";
+        let s = scan_src(src);
+        assert!(s.allowed("no-panic-paths", 1));
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let s = scan_src("// bs-lint: allow-file(safety-comment) -- vetted module\n");
+        assert!(s.allowed("safety-comment", 999));
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_directives() {
+        let src = "\
+//! Waive findings with `// bs-lint: allow(<lint>) -- <reason>`.
+/// Or file-wide: `bs-lint: allow-file(...)`.
+fn f() {}
+";
+        let s = scan_src(src);
+        assert!(s.allows.is_empty());
+        assert!(
+            s.malformed_directives.is_empty(),
+            "{:?}",
+            s.malformed_directives
+        );
+    }
+
+    #[test]
+    fn malformed_directives_reported() {
+        let s = scan_src("// bs-lint: allow(no-panic-paths)\n// bs-lint: allow(bogus) -- reason\n// bs-lint: disallow(x)\n");
+        assert_eq!(s.malformed_directives.len(), 3);
+        assert!(s.allows.is_empty());
+    }
+}

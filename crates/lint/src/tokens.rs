@@ -1,0 +1,423 @@
+//! A minimal Rust tokenizer — just enough lexical structure for the
+//! token-level lints.
+//!
+//! The tokenizer understands the pieces of Rust surface syntax that a
+//! text-match lint would trip over: line and (nested) block comments,
+//! string / raw-string / byte-string literals, character literals vs
+//! lifetimes, numeric literals (classified int vs float), identifiers
+//! (including raw `r#ident`), and multi-character punctuation. It does
+//! **not** parse; downstream passes reconstruct the little structure
+//! they need (brace depth, `#[...]` attributes, `fn` items) from the
+//! token stream.
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#type`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Floating-point literal (`0.0`, `1e-3`, `2.5f64`).
+    Float,
+    /// String literal of any flavour (`"s"`, `r#"s"#`, `b"s"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'steps`).
+    Lifetime,
+    /// Punctuation; multi-character operators arrive as one token
+    /// (`==`, `->`, `::`, ...).
+    Punct,
+    /// A `//` comment, doc or plain; `text` excludes the newline.
+    LineComment,
+    /// A `/* ... */` comment (possibly nested), including delimiters.
+    BlockComment,
+}
+
+/// One lexical token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character punctuation recognized as single tokens, longest
+/// first so the greedy scan below picks the full operator.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "->", "=>", "::", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenize `src`. The lexer is forgiving: malformed input (an
+/// unterminated string, say) never panics — it degrades to consuming
+/// the rest of the file as the current token, which is the right
+/// behaviour for a lint that must not crash on the tree it checks.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let push = |toks: &mut Vec<Token>, kind, text: &str, line| {
+        toks.push(Token {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    };
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            push(&mut toks, TokKind::LineComment, &src[start..i], start_line);
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            push(&mut toks, TokKind::BlockComment, &src[start..i], start_line);
+            continue;
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#,
+        // and raw identifiers r#ident.
+        if (c == b'r' || c == b'b') && i + 1 < b.len() {
+            let (prefix_len, is_raw) = match (c, b.get(i + 1), b.get(i + 2)) {
+                (b'r', Some(b'"'), _) | (b'r', Some(b'#'), _) => (1, true),
+                (b'b', Some(b'"'), _) => (1, false),
+                (b'b', Some(b'r'), Some(b'"')) | (b'b', Some(b'r'), Some(b'#')) => (2, true),
+                _ => (0, false),
+            };
+            if prefix_len > 0 {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    // Raw or plain string with this prefix.
+                    j += 1;
+                    if is_raw || hashes == 0 {
+                        if hashes == 0 && !is_raw {
+                            // b"..." — escapes apply.
+                            let (ni, nl) = scan_plain_string(b, j, line);
+                            i = ni;
+                            line = nl;
+                        } else {
+                            // Raw: ends at `"` followed by `hashes` #s.
+                            loop {
+                                if j >= b.len() {
+                                    break;
+                                }
+                                if b[j] == b'\n' {
+                                    line += 1;
+                                    j += 1;
+                                    continue;
+                                }
+                                if b[j] == b'"' {
+                                    let mut k = 0usize;
+                                    while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#'
+                                    {
+                                        k += 1;
+                                    }
+                                    if k == hashes {
+                                        j += 1 + hashes;
+                                        break;
+                                    }
+                                }
+                                j += 1;
+                            }
+                            i = j;
+                        }
+                        push(&mut toks, TokKind::Str, &src[start..i], start_line);
+                        continue;
+                    }
+                } else if c == b'r' && hashes >= 1 && j < b.len() && is_ident_start(b[j]) {
+                    // Raw identifier r#ident.
+                    let mut k = j;
+                    while k < b.len() && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    i = k;
+                    push(&mut toks, TokKind::Ident, &src[start..i], start_line);
+                    continue;
+                }
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // Plain string.
+        if c == b'"' {
+            let (ni, nl) = scan_plain_string(b, i + 1, line);
+            i = ni;
+            line = nl;
+            push(&mut toks, TokKind::Str, &src[start..i], start_line);
+            continue;
+        }
+        // Char literal, byte char b'x', or lifetime.
+        if c == b'\'' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'') {
+            let q = if c == b'b' { i + 1 } else { i };
+            let after = q + 1;
+            let is_lifetime = c != b'b'
+                && after < b.len()
+                && is_ident_start(b[after])
+                && !(after + 1 < b.len() && b[after + 1] == b'\'');
+            if is_lifetime {
+                let mut k = after;
+                while k < b.len() && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                i = k;
+                push(&mut toks, TokKind::Lifetime, &src[start..i], start_line);
+            } else {
+                // Char literal: consume to the closing quote, honoring
+                // backslash escapes.
+                let mut k = after;
+                while k < b.len() {
+                    if b[k] == b'\\' {
+                        k += 2;
+                    } else if b[k] == b'\'' {
+                        k += 1;
+                        break;
+                    } else if b[k] == b'\n' {
+                        break; // malformed; stop at line end
+                    } else {
+                        k += 1;
+                    }
+                }
+                i = k;
+                push(&mut toks, TokKind::Char, &src[start..i], start_line);
+            }
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut k = i + 1;
+            let mut is_float = false;
+            if c == b'0' && k < b.len() && matches!(b[k], b'x' | b'o' | b'b') {
+                // Radix literal: digits/underscores/hex letters.
+                k += 1;
+                while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                    k += 1;
+                }
+            } else {
+                while k < b.len() && (b[k].is_ascii_digit() || b[k] == b'_') {
+                    k += 1;
+                }
+                // Fractional part — but not `..` (range) and not a
+                // method call on an integer (`1.max(2)`).
+                if k < b.len()
+                    && b[k] == b'.'
+                    && !(k + 1 < b.len() && (b[k + 1] == b'.' || is_ident_start(b[k + 1])))
+                {
+                    is_float = true;
+                    k += 1;
+                    while k < b.len() && (b[k].is_ascii_digit() || b[k] == b'_') {
+                        k += 1;
+                    }
+                }
+                // Exponent.
+                if k < b.len()
+                    && (b[k] == b'e' || b[k] == b'E')
+                    && (k + 1 < b.len()
+                        && (b[k + 1].is_ascii_digit()
+                            || ((b[k + 1] == b'+' || b[k + 1] == b'-')
+                                && k + 2 < b.len()
+                                && b[k + 2].is_ascii_digit())))
+                {
+                    is_float = true;
+                    k += 1;
+                    if b[k] == b'+' || b[k] == b'-' {
+                        k += 1;
+                    }
+                    while k < b.len() && (b[k].is_ascii_digit() || b[k] == b'_') {
+                        k += 1;
+                    }
+                }
+                // Suffix (f64, u32, usize, ...).
+                let suffix_start = k;
+                while k < b.len() && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                if src[suffix_start..k].starts_with('f') {
+                    is_float = true;
+                }
+            }
+            i = k;
+            let kind = if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            };
+            push(&mut toks, kind, &src[start..i], start_line);
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut k = i + 1;
+            while k < b.len() && is_ident_continue(b[k]) {
+                k += 1;
+            }
+            i = k;
+            push(&mut toks, TokKind::Ident, &src[start..i], start_line);
+            continue;
+        }
+        // Punctuation: longest multi-char operator first.
+        let rest = &src[i..];
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                i += op.len();
+                push(&mut toks, TokKind::Punct, op, start_line);
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            // Single char (non-ASCII bytes are consumed one scalar at a
+            // time so we never split a UTF-8 sequence).
+            let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+            i += ch_len;
+            push(&mut toks, TokKind::Punct, &src[start..i], start_line);
+        }
+    }
+    toks
+}
+
+fn scan_plain_string(b: &[u8], mut i: usize, mut line: u32) -> (usize, u32) {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i.min(b.len()), line)
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars() {
+        let ts = kinds("// line\n/* b /* nest */ */ \"s\\\"t\" 'a' '\\n' b'q'");
+        assert_eq!(ts[0].0, TokKind::LineComment);
+        assert_eq!(ts[1].0, TokKind::BlockComment);
+        assert_eq!(ts[2], (TokKind::Str, "\"s\\\"t\"".to_string()));
+        assert_eq!(ts[3], (TokKind::Char, "'a'".to_string()));
+        assert_eq!(ts[4], (TokKind::Char, "'\\n'".to_string()));
+        assert_eq!(ts[5], (TokKind::Char, "b'q'".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_and_labels() {
+        let ts = kinds("&'a str 'steps: loop {}");
+        assert!(ts.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(ts.contains(&(TokKind::Lifetime, "'steps".to_string())));
+    }
+
+    #[test]
+    fn numbers_classified() {
+        let ts = kinds("0 1_000 0.0 1e-3 2.5f64 3f32 0xFF 1..n 4.max(5)");
+        let floats: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["0.0", "1e-3", "2.5f64", "3f32"]);
+        // `1..n` keeps the range operator; `4.max` keeps the int.
+        assert!(ts.contains(&(TokKind::Punct, "..".to_string())));
+        assert!(ts.contains(&(TokKind::Int, "4".to_string())));
+    }
+
+    #[test]
+    fn multi_char_punct_is_one_token() {
+        let ts = kinds("a == b != c -> d :: e");
+        let puncts: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "->", "::"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let ts = kinds(r##"r"raw" r#"ra"w"# r#type b"bytes""##);
+        assert_eq!(ts[0].0, TokKind::Str);
+        assert_eq!(ts[1].0, TokKind::Str);
+        assert_eq!(ts[2], (TokKind::Ident, "r#type".to_string()));
+        assert_eq!(ts[3].0, TokKind::Str);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let ts = tokenize("a\nb\n\nc");
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let ts = tokenize("let s = \"oops");
+        assert_eq!(ts.last().unwrap().kind, TokKind::Str);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end tests over the fixture trees in `tests/fixtures/`:
+//! the library API must report every violation class planted in
+//! `fixtures/tree`, and the `bs-lint` binary must exit non-zero there
+//! and zero on `fixtures/clean`.
+
+use bs_lint::config::Config;
+use bs_lint::{collect_workspace_files, lint_files, Diagnostic};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let root = fixture_root(name);
+    let cfg_src = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let cfg = Config::parse(&cfg_src).unwrap();
+    let files = collect_workspace_files(&root).unwrap();
+    lint_files(&files, &cfg)
+}
+
+fn count<'a>(diags: &'a [Diagnostic], lint: &str, file: &str) -> Vec<&'a Diagnostic> {
+    diags
+        .iter()
+        .filter(|d| d.lint == lint && Path::new(&d.file).file_name().is_some_and(|n| n == file))
+        .collect()
+}
+
+#[test]
+fn fixture_tree_reports_every_violation_class() {
+    let diags = lint_fixture("tree");
+
+    let panics = count(&diags, "no-panic-paths", "panics.rs");
+    assert_eq!(panics.len(), 4, "{panics:?}");
+    assert!(panics.iter().any(|d| d.message.contains("unwrap")));
+    assert!(panics.iter().any(|d| d.message.contains("expect")));
+    assert!(panics.iter().any(|d| d.message.contains("panic!")));
+    assert!(panics.iter().any(|d| d.message.contains("todo!")));
+
+    let safety = count(&diags, "safety-comment", "unsafety.rs");
+    assert_eq!(safety.len(), 2, "{safety:?}");
+
+    let hot = count(&diags, "no-alloc-hot", "hot.rs");
+    assert_eq!(hot.len(), 3, "{hot:?}");
+    assert!(hot.iter().all(|d| d.message.contains("inner_kernel")));
+
+    let whole = count(&diags, "no-alloc-hot", "whole_hot.rs");
+    assert_eq!(whole.len(), 2, "{whole:?}");
+
+    let floats = count(&diags, "float-eq", "floats.rs");
+    assert_eq!(floats.len(), 2, "{floats:?}");
+
+    let must_use = count(&diags, "must-use-results", "must_use.rs");
+    assert_eq!(must_use.len(), 1, "{must_use:?}");
+    assert!(must_use[0].message.contains("make_factor"));
+
+    // Nothing else: the waivers, test modules, and clean.rs stay silent.
+    assert_eq!(diags.len(), 14, "{diags:#?}");
+    assert!(count(&diags, "no-panic-paths", "clean.rs").is_empty());
+}
+
+#[test]
+fn waivers_and_test_modules_are_exempt() {
+    let diags = lint_fixture("tree");
+    // panics.rs: the waived unwrap (fn waived) is not among the 4.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file.ends_with("panics.rs") && d.line > 18 && d.lint == "no-panic-paths"),
+        "waived or test-module unwrap leaked: {diags:?}"
+    );
+    // whole_hot.rs: the waived format! and the test-module vec! stay out.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file.ends_with("whole_hot.rs") && d.line > 12),
+        "{diags:?}"
+    );
+    // No malformed directives planted.
+    assert!(!diags.iter().any(|d| d.lint == "allow-directive"));
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = lint_fixture("clean");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
+    let bin = env!("CARGO_BIN_EXE_bs-lint");
+
+    let out = Command::new(bin)
+        .arg("--root")
+        .arg(fixture_root("tree"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no-panic-paths"), "{stdout}");
+    assert!(stdout.contains("violation(s)"), "{stdout}");
+
+    let out = Command::new(bin)
+        .arg("--root")
+        .arg(fixture_root("clean"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Unknown flag and missing root are usage errors (exit 2).
+    let out = Command::new(bin).arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = Command::new(bin)
+        .arg("--root")
+        .arg(fixture_root("tree"))
+        .arg("--config")
+        .arg(fixture_root("tree").join("no-such-file.toml"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn list_flag_prints_catalog() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bs-lint"))
+        .arg("--list")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in bs_lint::config::LINT_NAMES {
+        assert!(stdout.contains(name), "missing {name} in {stdout}");
+    }
+}

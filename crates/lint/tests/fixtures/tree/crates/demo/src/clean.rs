@@ -1,0 +1,33 @@
+//! Fixture: a file with no violations at all — strings, chars,
+//! lifetimes, and doc examples that mention unwrap() must not trip the
+//! tokenizer.
+
+/// Doc examples are comments, not code:
+///
+/// ```
+/// let x = Some(1).unwrap(); // fine here
+/// ```
+pub fn doc_mention() -> &'static str {
+    "calling panic!(...) or .unwrap() inside a string is not a violation"
+}
+
+pub struct Holder<'a> {
+    pub s: &'a str,
+}
+
+pub fn label_loop(n: usize) -> usize {
+    let mut total = 0;
+    'outer: for i in 0..n {
+        if i == 3 {
+            break 'outer;
+        }
+        total += i;
+    }
+    total
+}
+
+pub fn char_literals() -> char {
+    let c = 'x';
+    let _escaped = '\'';
+    c
+}

@@ -1,0 +1,30 @@
+//! Fixture: exact float comparisons. Expected `float-eq` violations: 2
+//! (`== 1.0` and `!= 2.5`); the `0.0` guard, the waived comparison,
+//! and the test module are exempt.
+
+pub fn bad(x: f64, y: f64) -> bool {
+    x == 1.0 || y != 2.5
+}
+
+pub fn zero_guard(alpha: f64) -> bool {
+    alpha == 0.0
+}
+
+pub fn waived(beta: f64) -> bool {
+    // bs-lint: allow(float-eq) -- fixture: beta is an exact API sentinel
+    beta == 1.0
+}
+
+pub fn int_compare(n: usize) -> bool {
+    n == 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compare_fine_in_tests() {
+        assert!(super::zero_guard(0.0));
+        let x = 0.5f64;
+        assert!(x * 2.0 == 1.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: allocations inside the manifest-listed hot function.
+//! Expected `no-alloc-hot` violations: 3 (vec!, Vec::new, .clone()
+//! inside `inner_kernel`); the same tokens in `cold_path` are fine.
+
+pub fn inner_kernel(xs: &[f64]) -> f64 {
+    let scratch = vec![0.0; xs.len()];
+    let more: Vec<f64> = Vec::new();
+    let copy = scratch.clone();
+    xs.iter().sum::<f64>() + copy.len() as f64 + more.len() as f64
+}
+
+pub fn cold_path(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    out.push(0.0);
+    out
+}
+
+pub fn waived_kernel(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

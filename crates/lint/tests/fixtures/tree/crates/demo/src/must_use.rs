@@ -1,0 +1,30 @@
+//! Fixture: must-use coverage. Expected `must-use-results`
+//! violations: 1 (`make_factor` returns the unannotated `DemoFactor`);
+//! `DemoPlan` is covered at the type level, `make_factor_annotated` at
+//! the fn level, and Result/Option returns are covered by std.
+
+#[must_use]
+pub struct DemoPlan {
+    pub n: usize,
+}
+
+pub struct DemoFactor {
+    pub n: usize,
+}
+
+pub fn make_plan(n: usize) -> DemoPlan {
+    DemoPlan { n }
+}
+
+pub fn make_factor(n: usize) -> DemoFactor {
+    DemoFactor { n }
+}
+
+#[must_use]
+pub fn make_factor_annotated(n: usize) -> DemoFactor {
+    DemoFactor { n }
+}
+
+pub fn try_make_factor(n: usize) -> Result<DemoFactor, ()> {
+    Ok(DemoFactor { n })
+}

@@ -1,0 +1,40 @@
+//! Fixture: panic paths in library code, with test-module and
+//! allow-comment exemptions. Expected `no-panic-paths` violations: 4
+//! (one unwrap, one expect, one panic!, one todo!).
+
+pub fn bad(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    a + b
+}
+
+pub fn aborts() {
+    panic!("library code must not abort");
+}
+
+pub fn unfinished() {
+    todo!()
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    // bs-lint: allow(no-panic-paths) -- fixture: checked by caller
+    v.unwrap()
+}
+
+pub fn fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Result<u32, ()> = Ok(2);
+        w.expect("fine in tests");
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: `unsafe` with and without SAFETY comments. Expected
+//! `safety-comment` violations: 2 (one block, one fn).
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: p is non-null and points into the caller's live buffer.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// A doc comment is not a SAFETY comment.
+pub unsafe fn undocumented_fn(p: *const u8) -> u8 {
+    *p
+}
+
+// SAFETY: the transmute preserves layout; both types are repr(C).
+pub unsafe fn documented_fn(p: *const u8) -> u8 {
+    *p
+}

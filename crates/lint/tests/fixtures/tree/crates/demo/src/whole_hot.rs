@@ -1,0 +1,25 @@
+//! Fixture: a `*` (whole-file) hot-path entry. Expected
+//! `no-alloc-hot` violations: 2 (`.to_vec()`, `Box::new`); the waived
+//! `format!` and the test module are exempt.
+
+pub fn any_function(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+
+pub fn boxed(x: f64) -> Box<f64> {
+    Box::new(x)
+}
+
+pub fn waived(x: f64) -> String {
+    // bs-lint: allow(no-alloc-hot) -- fixture: diagnostics only, off the solve path
+    format!("{x}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        let v = vec![1.0f64, 2.0];
+        assert_eq!(super::any_function(&v).len(), 2);
+    }
+}

@@ -18,6 +18,7 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     metrics::incr(Counter::Matvecs);
     if beta == 0.0 {
         y.fill(0.0);
+    // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
     } else if beta != 1.0 {
         blas1::scal(beta, y);
     }
@@ -61,6 +62,7 @@ pub fn symv(uplo: crate::Uplo, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, 
     assert_eq!(y.len(), n);
     if beta == 0.0 {
         y.fill(0.0);
+    // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
     } else if beta != 1.0 {
         blas1::scal(beta, y);
     }

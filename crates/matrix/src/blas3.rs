@@ -169,6 +169,7 @@ pub fn par_gemm(
     let strip = n.div_ceil(nstrips);
     // Decompose C into disjoint column strips; each strip multiplies the
     // matching columns of op(B).
+    // bs-lint: allow(no-alloc-hot) -- O(threads) strip descriptors at dispatch; the descriptors borrow C, so they cannot live in a pool
     let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(nstrips);
     let mut rest = c;
     let mut start = 0;
@@ -204,6 +205,7 @@ pub fn par_gemm(
 
 #[inline]
 fn scale_c(beta: f64, mut c: MatMut<'_>) {
+    // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
     if beta == 1.0 {
         return;
     }
@@ -277,6 +279,7 @@ fn gemm_blocked(
             let b = ws.take_vec(KC * NC);
             (a, b, Some(ws))
         }
+        // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
         None => (vec![0.0f64; MC * KC], vec![0.0f64; KC * NC], None),
     };
 
@@ -529,6 +532,7 @@ fn trsm_dispatch(
         Side::Left => assert_eq!(b.rows(), n, "trsm left: A order vs B rows"),
         Side::Right => assert_eq!(b.cols(), n, "trsm right: A order vs B cols"),
     }
+    // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
     if alpha != 1.0 {
         for j in 0..b.cols() {
             blas1::scal(alpha, b.col_mut(j));
@@ -573,6 +577,7 @@ fn trsm_dispatch(
                     let r = ws.take_vec(n);
                     (r, Some(ws))
                 }
+                // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
                 None => (vec![0.0f64; n], None),
             };
             for i in 0..m {

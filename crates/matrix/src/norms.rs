@@ -76,12 +76,15 @@ pub fn inv_one_norm_estimate(f: &LuFactors) -> f64 {
             Ok(z) => z,
             Err(_) => return f64::INFINITY,
         };
-        let (jmax, zmax) = z
+        let Some((jmax, zmax)) = z
             .iter()
             .enumerate()
             .map(|(i, &v)| (i, v.abs()))
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        else {
+            // Empty solve vector: nothing further to estimate.
+            break;
+        };
         let zx: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
         if zmax <= zx.abs() {
             break;

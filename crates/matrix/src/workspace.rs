@@ -28,6 +28,7 @@ use bs_probe::metrics::{self, Counter};
 /// the plan/execute path produce bitwise-identical factors to the
 /// historical allocate-per-call code.
 #[derive(Debug, Default)]
+#[must_use]
 pub struct Workspace {
     /// Idle buffers, kept sorted by capacity (ascending) so checkout
     /// can best-fit with a linear scan over a short list.
@@ -44,6 +45,13 @@ pub struct Workspace {
     /// When set, pooling is disabled: every checkout allocates and
     /// every return is dropped (see [`Workspace::bypass`]).
     bypass: bool,
+    /// Checkouts minus returns since creation. Donated buffers (ones
+    /// the workspace never handed out) drive this negative, so it is a
+    /// *balance*, not a live-buffer count: region deltas are what the
+    /// `paranoid` contracts compare (see [`contract_region`]).
+    ///
+    /// [`contract_region`]: Self::contract_region
+    outstanding: i64,
 }
 
 impl Workspace {
@@ -70,7 +78,12 @@ impl Workspace {
     /// Pool hit: the smallest idle buffer whose capacity covers `len`.
     /// Pool miss: a fresh allocation, counted against
     /// [`allocations`](Self::allocations) and the probe counters.
+    ///
+    /// Dropping the returned buffer instead of `give_vec`-ing it back
+    /// leaks it from the pool, so the checkout is `#[must_use]`.
+    #[must_use]
     pub fn take_vec(&mut self, len: usize) -> Vec<f64> {
+        self.outstanding += 1;
         self.live_elems += len;
         self.high_water_elems = self.high_water_elems.max(self.live_elems);
         if self.bypass {
@@ -109,6 +122,7 @@ impl Workspace {
     /// including ones the workspace did not hand out (that is how a
     /// solver donates a retired factor's storage).
     pub fn give_vec(&mut self, v: Vec<f64>) {
+        self.outstanding -= 1;
         self.live_elems = self.live_elems.saturating_sub(v.len());
         if self.bypass || v.capacity() == 0 {
             return;
@@ -117,6 +131,7 @@ impl Workspace {
     }
 
     /// Check out a zeroed `rows x cols` matrix backed by pooled storage.
+    #[must_use]
     pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
         Matrix::from_col_major(rows, cols, self.take_vec(rows * cols))
     }
@@ -159,6 +174,49 @@ impl Workspace {
         self.allocations = 0;
         self.allocated_elems = 0;
         self.high_water_elems = self.live_elems;
+    }
+
+    /// Checkout balance: `take_*` calls minus `give_*` calls since
+    /// creation. Donations (giving back a buffer the workspace never
+    /// handed out) push this negative, so only *deltas* across a code
+    /// region are meaningful — snapshot on entry and compare on exit.
+    pub fn outstanding(&self) -> i64 {
+        self.outstanding
+    }
+
+    /// `paranoid` contract: assert the checkout balance changed by
+    /// exactly `expected_delta` across a code region. `entry` is the
+    /// [`outstanding`](Self::outstanding) snapshot taken when the
+    /// region was entered. A mismatch means a buffer was leaked from
+    /// (or double-returned to) the pool; the violation is recorded in
+    /// `bs_probe::stability` and counted in
+    /// `Counter::ContractViolations`. Compiles to nothing without the
+    /// `paranoid` feature.
+    #[inline]
+    pub fn contract_region(&self, site: &'static str, entry: i64, expected_delta: i64) {
+        if cfg!(feature = "paranoid") {
+            let delta = self.outstanding - entry;
+            if delta != expected_delta {
+                bs_probe::stability::record_violation(
+                    "workspace_balance",
+                    format!(
+                        "{site}: checkout balance changed by {delta} across the region \
+                         (expected {expected_delta}) — a scratch buffer was leaked from \
+                         or double-returned to the pool"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `paranoid` contract: assert the workspace is quiescent — every
+    /// checkout since creation has been returned (balance zero). Only
+    /// valid for workspaces that never received donations; regions of a
+    /// long-lived workspace should use
+    /// [`contract_region`](Self::contract_region) instead.
+    #[inline]
+    pub fn contract_quiescent(&self, site: &'static str) {
+        self.contract_region(site, 0, 0);
     }
 }
 
@@ -236,6 +294,22 @@ mod tests {
         }
         assert_eq!(ws.allocations(), 4, "every bypass checkout allocates");
         assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn outstanding_tracks_checkout_balance() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.outstanding(), 0);
+        let a = ws.take_vec(8);
+        let m = ws.take_matrix(2, 2);
+        assert_eq!(ws.outstanding(), 2);
+        ws.give_vec(a);
+        ws.give_matrix(m);
+        assert_eq!(ws.outstanding(), 0);
+        // A donation (a buffer the pool never handed out) drives the
+        // balance negative — it is a balance, not a live count.
+        ws.give_vec(vec![1.0; 4]);
+        assert_eq!(ws.outstanding(), -1);
     }
 
     #[test]

@@ -101,6 +101,18 @@ pub fn stability_json(report: &StabilityReport) -> Json {
             "warnings",
             Json::Arr(report.warnings().into_iter().map(Json::Str).collect()),
         ),
+        (
+            "violations",
+            Json::Arr(report.violations.iter().map(violation_json).collect()),
+        ),
+    ])
+}
+
+fn violation_json(v: &crate::stability::ContractViolation) -> Json {
+    Json::obj(vec![
+        ("type", Json::Str("contract_violation".into())),
+        ("contract", Json::Str(v.contract.to_string())),
+        ("detail", Json::Str(v.detail.clone())),
     ])
 }
 
@@ -114,6 +126,10 @@ pub fn trace_jsonl(events: &[Event], report: &StabilityReport) -> String {
     }
     for s in &report.steps {
         step_json(s).write(&mut out);
+        out.push('\n');
+    }
+    for v in &report.violations {
+        violation_json(v).write(&mut out);
         out.push('\n');
     }
     for (i, r) in report.residual_norms.iter().enumerate() {
@@ -174,13 +190,17 @@ mod tests {
                 flagged: false,
             }],
             residual_norms: vec![1e-3, 1e-9],
+            violations: vec![crate::stability::ContractViolation {
+                contract: "spd_diagonal",
+                detail: "r[(2,2)] = -1e-16".to_string(),
+            }],
             peak_growth: 1.5,
             threshold: 0.0,
         };
         let text = trace_jsonl(&events, &report);
         let lines: Vec<&str> = text.lines().collect();
-        // 2 spans + 1 step + 2 residuals + 1 metrics line.
-        assert_eq!(lines.len(), 6);
+        // 2 spans + 1 step + 1 violation + 2 residuals + 1 metrics line.
+        assert_eq!(lines.len(), 7);
         for line in &lines {
             let v = Json::parse(line).expect("line parses");
             assert!(v.get("type").is_some());
@@ -194,7 +214,16 @@ mod tests {
         let step = Json::parse(lines[2]).unwrap();
         assert_eq!(step.get("type").unwrap().as_str(), Some("step"));
         assert_eq!(step.get("growth").unwrap().as_f64(), Some(1.5));
-        let metrics = Json::parse(lines[5]).unwrap();
+        let violation = Json::parse(lines[3]).unwrap();
+        assert_eq!(
+            violation.get("type").unwrap().as_str(),
+            Some("contract_violation")
+        );
+        assert_eq!(
+            violation.get("contract").unwrap().as_str(),
+            Some("spd_diagonal")
+        );
+        let metrics = Json::parse(lines[6]).unwrap();
         assert_eq!(metrics.get("type").unwrap().as_str(), Some("metrics"));
         assert!(metrics.get("flops_total").is_some());
     }

@@ -53,10 +53,13 @@ pub enum Counter {
     WorkspaceAllocs,
     /// Elements (f64 words) heap-allocated by `Workspace` pool misses.
     WorkspaceElems,
+    /// Runtime invariant-contract violations observed (the `paranoid`
+    /// feature's checks in bs-core / bs-matrix).
+    ContractViolations,
 }
 
 /// Number of counter categories.
-pub const N_COUNTERS: usize = 18;
+pub const N_COUNTERS: usize = 19;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -79,6 +82,7 @@ impl Counter {
         Counter::RefineIterations,
         Counter::WorkspaceAllocs,
         Counter::WorkspaceElems,
+        Counter::ContractViolations,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -102,6 +106,7 @@ impl Counter {
             Counter::RefineIterations => "refine_iterations",
             Counter::WorkspaceAllocs => "workspace_allocs",
             Counter::WorkspaceElems => "workspace_elems",
+            Counter::ContractViolations => "contract_violations",
         }
     }
 }

@@ -36,6 +36,16 @@ pub struct StepRecord {
     pub flagged: bool,
 }
 
+/// One runtime invariant-contract violation (recorded by the
+/// `paranoid`-feature checks in bs-core / bs-matrix).
+#[derive(Clone, Debug)]
+pub struct ContractViolation {
+    /// Stable contract name, e.g. `hyperbolic_existence`.
+    pub contract: &'static str,
+    /// What was observed, with the offending values.
+    pub detail: String,
+}
+
 /// Everything the monitor captured since it was enabled (or last
 /// [`take_report`]).
 #[derive(Clone, Debug, Default)]
@@ -45,6 +55,10 @@ pub struct StabilityReport {
     /// Residual norms recorded by iterative refinement, in order
     /// (first entry is the pre-refinement residual).
     pub residual_norms: Vec<f64>,
+    /// Contract violations, in the order they were observed. Unlike
+    /// `steps`, these are recorded even while the monitor is disabled —
+    /// a broken invariant is a correctness event, not a sample.
+    pub violations: Vec<ContractViolation>,
     /// Largest growth factor seen.
     pub peak_growth: f64,
     /// Threshold used for flagging (0 = flagging disabled).
@@ -91,6 +105,7 @@ static STATE: Mutex<State> = Mutex::new(State {
     report: StabilityReport {
         steps: Vec::new(),
         residual_norms: Vec::new(),
+        violations: Vec::new(),
         peak_growth: 0.0,
         threshold: 0.0,
     },
@@ -175,6 +190,26 @@ pub fn record_residual(norm: f64) {
     state().report.residual_norms.push(norm);
 }
 
+/// Record an invariant-contract violation. Unlike the sampling
+/// recorders above this is **not** gated on [`is_enabled`]: a violated
+/// invariant is a correctness event that must not be droppable by
+/// monitor configuration. Also bumps
+/// [`Counter::ContractViolations`](crate::metrics::Counter) so fleet
+/// dashboards see it without pulling a report.
+pub fn record_violation(contract: &'static str, detail: String) {
+    crate::metrics::incr(crate::metrics::Counter::ContractViolations);
+    crate::event!("contract_violation");
+    state()
+        .report
+        .violations
+        .push(ContractViolation { contract, detail });
+}
+
+/// Number of contract violations recorded since the last report drain.
+pub fn violation_count() -> usize {
+    state().report.violations.len()
+}
+
 /// Largest growth factor recorded (0.0 when nothing was recorded).
 pub fn peak_growth() -> f64 {
     state().report.peak_growth
@@ -223,6 +258,25 @@ mod tests {
         assert_eq!(r.peak_growth, 40.0);
         assert_eq!(r.residual_norms, vec![1e-3, 1e-7]);
         assert_eq!(r.warnings().len(), 1);
+    }
+
+    #[test]
+    fn violations_recorded_even_while_disabled() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        enable(0.0);
+        disable();
+        let before = crate::metrics::total(crate::metrics::Counter::ContractViolations);
+        record_violation("test_contract", "h*w = -1 at step 3".to_string());
+        assert_eq!(violation_count(), 1);
+        let r = take_report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].contract, "test_contract");
+        assert!(r.violations[0].detail.contains("step 3"));
+        assert_eq!(
+            crate::metrics::total(crate::metrics::Counter::ContractViolations),
+            before + 1
+        );
+        assert_eq!(violation_count(), 0, "take_report drains violations");
     }
 
     #[test]

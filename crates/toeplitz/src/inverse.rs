@@ -24,6 +24,7 @@ use crate::fft::{fft, ifft, next_pow2};
 
 /// Fast `T⁻¹·x` operator built from the first column of the inverse.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct ToeplitzInverse {
     n: usize,
     len: usize,

@@ -10,12 +10,21 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bs-lint (domain static-analysis gate, lint.toml)"
+cargo run -q -p bs-lint
+
+echo "==> bs-lint self-tests"
+cargo test -q -p bs-lint
+
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q
 
 echo "==> workspace crate tests"
 cargo test -q --workspace
+
+echo "==> paranoid tier: invariant contracts enabled"
+cargo test -q -p bs-core --features paranoid
 
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
