@@ -1,20 +1,23 @@
-//! Criterion bench: sequential vs rayon-parallel trailing update
-//! (the shared-memory Y-MP-style parallelism), plus the parallel gemm
+//! Criterion bench: sequential vs pooled trailing update (the
+//! shared-memory Y-MP-style parallelism), plus the parallel gemm
 //! kernel itself.
 
 use bs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bs_core::{factor_spd, SchurOptions};
-use bs_matrix::{gemm, par_gemm, Matrix, Trans};
+use bs_matrix::{gemm, par_gemm, ExecPolicy, Matrix, Trans};
 use bs_toeplitz::workloads;
 
 fn bench_parallel_factor(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_factor");
     g.sample_size(10);
     let t = workloads::random_spd_block(32, 64, 13); // n = 2048
-    for (label, parallel) in [("sequential", false), ("rayon", true)] {
+    for (label, exec) in [
+        ("sequential", ExecPolicy::sequential()),
+        ("pooled", ExecPolicy::max_threads()),
+    ] {
         g.bench_function(label, |b| {
             let opts = SchurOptions {
-                parallel,
+                exec,
                 ..Default::default()
             };
             b.iter(|| factor_spd(&t, &opts).unwrap());

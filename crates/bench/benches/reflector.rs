@@ -70,7 +70,7 @@ fn bench_application(c: &mut Criterion) {
             |b, refl| {
                 b.iter_batched(
                     || trail.clone(),
-                    |mut t| refl.apply(t.mt(), false),
+                    |mut t| refl.apply(t.mt(), &bs_matrix::ExecPolicy::sequential()),
                     bs_bench::harness::BatchSize::LargeInput,
                 );
             },

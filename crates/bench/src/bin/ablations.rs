@@ -4,7 +4,7 @@
 //!    for the whole factorization;
 //! 2. in-place phase 3 (§6.4) vs explicit shift;
 //! 3. two-level panel blocking chunk size (§6.2);
-//! 4. sequential vs rayon-parallel trailing update;
+//! 4. sequential vs pooled trailing update;
 //! 5. direct O(n²) vs FFT O(n log n) Toeplitz product.
 //!
 //! Run: `cargo run -p bs-bench --release --bin ablations [--quick]`
@@ -95,10 +95,13 @@ fn main() {
 
     // 4. Parallel trailing update.
     let mut rows = Vec::new();
-    for (label, parallel) in [("sequential", false), ("rayon", true)] {
+    for (label, exec) in [
+        ("sequential", bs_matrix::ExecPolicy::sequential()),
+        ("pooled", bs_matrix::ExecPolicy::max_threads()),
+    ] {
         let opts = SchurOptions {
             block_size: Some(32),
-            parallel,
+            exec,
             ..Default::default()
         };
         let secs = best_of(reps, || factor_spd(&t, &opts).unwrap());

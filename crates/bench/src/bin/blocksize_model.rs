@@ -77,7 +77,8 @@ fn characterize(m: usize, reps: usize) -> Rates {
     for _ in 0..reps {
         let mut gu = gu0.clone();
         let mut gl = gl0.clone();
-        let (_, run) = time_it(|| refl.apply_split(gu.mt(), gl.mt(), false));
+        let (_, run) =
+            time_it(|| refl.apply_split(gu.mt(), gl.mt(), &bs_matrix::ExecPolicy::sequential()));
         best = best.min(run.wall_s);
     }
     let apply = apply_flops(Rep::VY2, m, m, q_blocks) / best;

@@ -45,7 +45,11 @@ fn main() {
             let rep = RepKind::ALL[seed as usize % RepKind::ALL.len()];
             let opts = SchurOptions {
                 rep,
-                parallel: seed % 3 == 0,
+                exec: if seed % 3 == 0 {
+                    bs_matrix::ExecPolicy::max_threads()
+                } else {
+                    bs_matrix::ExecPolicy::sequential()
+                },
                 explicit_shift: seed % 2 == 0,
                 two_level: if seed % 5 == 0 { Some(2) } else { None },
                 ..Default::default()

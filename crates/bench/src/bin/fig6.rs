@@ -34,6 +34,7 @@ fn main() {
             },
             &model,
         );
+        bs_bench::charge_model_flops(r.flops);
         if r.total < best.1 {
             best = (b, r.total);
         }

@@ -40,6 +40,7 @@ fn main() {
             },
             &model,
         );
+        bs_bench::charge_model_flops(r.flops);
         if r.total < best.1 {
             best = (scheme.label(), r.total);
         }

@@ -24,7 +24,7 @@ fn main() {
     let mut crossover: Option<usize> = None;
     for np in [1usize, 2, 4, 8, 16, 32, 64] {
         let t = |m: usize| {
-            simulate(
+            let r = simulate(
                 &SimConfig {
                     n,
                     m,
@@ -33,8 +33,9 @@ fn main() {
                     rep: Rep::VY2,
                 },
                 &model,
-            )
-            .total
+            );
+            bs_bench::charge_model_flops(r.flops);
+            r.total
         };
         let t2 = t(2);
         let t4 = t(4);

@@ -24,7 +24,10 @@
 //! Run: `cargo run -p bs-bench --release --bin steady_state [--quick]`
 
 use bs_bench::{emit_bench, ms, print_table, quick_mode};
-use bs_core::{Factorization, PlanRequest, PlanWorkspace, ToeplitzSolver};
+use bs_core::{
+    Factorization, PlanRequest, PlanWorkspace, SchurOptions, SolverOptions, ToeplitzSolver,
+};
+use bs_matrix::{ExecPolicy, Partition};
 use bs_toeplitz::workloads;
 use std::time::Instant;
 
@@ -180,6 +183,97 @@ fn bench_size(m: usize, p: usize, rounds: usize) -> SizeResult {
     }
 }
 
+/// Parallel-vs-sequential sweep over the warm steady-state loop: the
+/// same stream of systems through identically-planned solvers whose
+/// `ExecPolicy` differs only in thread count (`min_work` lowered so the
+/// strip dispatcher engages at bench sizes). Asserts the pooled warm
+/// path stays allocation-free and produces bitwise-identical factors,
+/// then emits one `@@BENCH` record per thread count with the
+/// `threads` / `speedup_vs_seq` fields.
+fn bench_exec_sweep(m: usize, p: usize, rounds: usize) {
+    let n = m * p;
+    let systems: Vec<_> = (0..SYSTEMS as u64)
+        .map(|s| workloads::spd_ar1_block(m, p, 0.55, 900 + s))
+        .collect();
+    let rhs: Vec<_> = systems
+        .iter()
+        .map(|t| workloads::rhs_for_ones(t).0)
+        .collect();
+
+    let max_t = bs_matrix::par::current_num_threads();
+    let mut sweep = vec![1usize, 2, max_t];
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let mut seq_round = f64::INFINITY;
+    let mut seq_x0: Vec<f64> = Vec::new();
+    for &threads in &sweep {
+        let opts = SolverOptions {
+            spd: SchurOptions {
+                exec: ExecPolicy {
+                    threads,
+                    min_work: 1,
+                    partition: Partition::Auto,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut solver =
+            ToeplitzSolver::with_options(&systems[0], &opts).expect("sweep factorization");
+        let round_flops = (solver.plan().predicted_flops() * SYSTEMS as f64) as u64;
+        solver.refactor(&systems[1]).expect("sweep warm-up");
+        solver.reset_workspace_stats();
+        let mut best = f64::INFINITY;
+        let mut x0 = Vec::new();
+        for round in -1i64..rounds as i64 {
+            let start = Instant::now();
+            for (t, b) in systems.iter().zip(&rhs) {
+                solver.refactor(t).expect("sweep refactor");
+                x0 = solver.solve(b).expect("sweep solve");
+            }
+            if round >= 0 {
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+        }
+        // The zero-allocation invariant must survive the pooled path:
+        // parallel strips draw from per-worker thread-local scratch,
+        // never from the plan workspace.
+        let allocs = solver.workspace_allocations();
+        assert_eq!(
+            allocs, 0,
+            "n={n} threads={threads}: pooled warm loop must stay \
+             allocation-free (saw {allocs} pool misses)"
+        );
+        if threads == 1 {
+            seq_round = best;
+            seq_x0 = x0.clone();
+        } else {
+            // Deterministic strips: every thread count is bitwise equal
+            // to the sequential result, not merely close.
+            assert_eq!(
+                x0, seq_x0,
+                "n={n} threads={threads}: pooled solve diverged from sequential"
+            );
+        }
+        emit_bench(
+            "steady_state_exec",
+            best,
+            round_flops,
+            &[
+                ("n", n as f64),
+                ("m", m as f64),
+                ("threads", threads as f64),
+                ("speedup_vs_seq", seq_round / best),
+            ],
+        );
+    }
+    println!(
+        "exec sweep: n = {n}, threads {sweep:?} — pooled path allocation-free, \
+         bitwise equal to sequential"
+    );
+}
+
 fn main() {
     let timer = bs_bench::RunTimer::start("steady_state");
     let quick = quick_mode();
@@ -318,5 +412,10 @@ fn main() {
             ],
         );
     }
+
+    // Satellite sweep: same warm loop, ExecPolicy on/off. Uses the
+    // largest quick-safe size so the strips carry real work.
+    bench_exec_sweep(m, 16, if quick { 20 } else { 60 });
+
     timer.finish();
 }

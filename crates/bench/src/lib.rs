@@ -53,6 +53,15 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, TimedRun) {
     )
 }
 
+/// Credit analytically-modeled flops to the flop counter the timers
+/// read, so simulation-driven experiments (fig6–fig9) report their
+/// work in `@@BENCH` records the same way instrumented runs do.
+pub fn charge_model_flops(flops: f64) {
+    if flops.is_finite() && flops > 0.0 {
+        bs_matrix::flops::add(flops as u64);
+    }
+}
+
 /// Emit a machine-readable bench record (one JSON object on a marker
 /// line). `extra` fields ride along with the standard ones.
 pub fn emit_bench(name: &str, wall_s: f64, flops: u64, extra: &[(&str, f64)]) {

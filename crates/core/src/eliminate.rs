@@ -247,7 +247,7 @@ pub(crate) fn eliminate_spd(
                 rep.apply_split_ws(
                     gu.sub_mut(0, up_trail, m, trail),
                     gl.sub_mut(0, low_piv + m, m, trail),
-                    opts.parallel,
+                    &opts.exec,
                     ws,
                 );
             }

@@ -207,7 +207,13 @@ pub fn factor_panel_into(
         // Level-3 update of the remaining pivot-block columns with the
         // whole chunk's transformation.
         if chunk_end < m {
-            rep.apply_ws(panel.sub_mut(0, chunk_end, 2 * m, m - chunk_end), false, ws);
+            // Pivot panels are narrow (≤ m columns); fan-out belongs to
+            // the trailing update, not here.
+            rep.apply_ws(
+                panel.sub_mut(0, chunk_end, 2 * m, m - chunk_end),
+                &bs_matrix::ExecPolicy::sequential(),
+                ws,
+            );
         }
         chunk_start = chunk_end;
         chunk_idx += 1;

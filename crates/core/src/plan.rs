@@ -27,7 +27,7 @@ use crate::rep::RepKind;
 use crate::schur::{SchurOptions, SpdFactor};
 use crate::solver::Factorization;
 use crate::{Error, Result};
-use bs_matrix::Workspace;
+use bs_matrix::{par, ExecPolicy, Workspace};
 use bs_perfmodel::model::{self, Rep};
 use bs_perfmodel::tradeoff;
 use bs_toeplitz::SymBlockToeplitz;
@@ -44,8 +44,11 @@ pub struct PlanRequest {
     /// a multiple of the structural block size and divide `n` when
     /// pinned.
     pub block_size: Option<usize>,
-    /// Use the rayon pool for the trailing update.
-    pub parallel: bool,
+    /// Worker threads for the trailing update; `None` → `BS_THREADS`
+    /// when set, otherwise cost-model selection
+    /// ([`bs_perfmodel::tradeoff::auto_threads`] on the predicted
+    /// elimination flops, clamped to the machine's cores).
+    pub threads: Option<usize>,
     /// Explicit generator shift instead of the in-place §6.4 pairing.
     pub explicit_shift: bool,
     /// Two-level panel chunk size (§6.2); `None` blocks whole panels.
@@ -144,6 +147,7 @@ pub struct FactorPlan {
     p: usize,
     rep_auto: bool,
     block_auto: bool,
+    threads_auto: bool,
     spd: SchurOptions,
     indefinite: IndefOptions,
     predicted_flops: f64,
@@ -218,9 +222,16 @@ impl FactorPlan {
             Some(r) => (r, false),
             None => (rep_to_kind(tradeoff::best_rep_total(m_s, p)), true),
         };
+        // Thread resolution: explicit request > BS_THREADS environment >
+        // cost model (resolved in `assemble` once the predicted flops
+        // are known).
+        let (exec, threads_auto) = match req.threads.or_else(par::env_threads) {
+            Some(t) => (ExecPolicy::with_threads(t), false),
+            None => (ExecPolicy::sequential(), true),
+        };
         let spd = SchurOptions {
             rep,
-            parallel: req.parallel,
+            exec,
             block_size: (m_s != m).then_some(m_s),
             explicit_shift: req.explicit_shift,
             two_level: req.two_level,
@@ -233,6 +244,7 @@ impl FactorPlan {
             req.indefinite.clone(),
             rep_auto,
             block_auto,
+            threads_auto,
         ))
     }
 
@@ -264,16 +276,18 @@ impl FactorPlan {
             indefinite.clone(),
             false,
             false,
+            false,
         ))
     }
 
     fn assemble(
         n: usize,
         m: usize,
-        spd: SchurOptions,
+        mut spd: SchurOptions,
         indefinite: IndefOptions,
         rep_auto: bool,
         block_auto: bool,
+        threads_auto: bool,
     ) -> FactorPlan {
         let m_s = spd.block_size.unwrap_or(m);
         let p = n / m_s;
@@ -286,6 +300,9 @@ impl FactorPlan {
             // broadcast (2m + 2 words each, m of them).
             None => (model::total_factor_flops(n, m_s), m_s * (2 * m_s + 2)),
         };
+        if threads_auto {
+            spd.exec.threads = tradeoff::auto_threads(predicted_flops, par::current_num_threads());
+        }
         bs_probe::event!(
             "plan_built",
             n = n,
@@ -295,6 +312,8 @@ impl FactorPlan {
             rep = rep_index(spd.rep),
             rep_auto = rep_auto as usize,
             block_auto = block_auto as usize,
+            threads = spd.exec.threads,
+            threads_auto = threads_auto as usize,
             predicted_flops = predicted_flops,
         );
         FactorPlan {
@@ -304,6 +323,7 @@ impl FactorPlan {
             p,
             rep_auto,
             block_auto,
+            threads_auto,
             spd,
             indefinite,
             predicted_flops,
@@ -411,6 +431,17 @@ impl FactorPlan {
     /// `true` when the block size was cost-model-chosen.
     pub fn block_size_is_auto(&self) -> bool {
         self.block_auto
+    }
+
+    /// Worker threads the trailing update fans out to (1 = inline).
+    pub fn threads(&self) -> usize {
+        self.spd.exec.threads
+    }
+
+    /// `true` when the thread count was cost-model-chosen (neither
+    /// pinned in the request nor forced through `BS_THREADS`).
+    pub fn threads_is_auto(&self) -> bool {
+        self.threads_auto
     }
 
     /// Predicted elimination flops (eqs. 25–32 summed over the `p − 1`

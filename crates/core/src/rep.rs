@@ -20,8 +20,9 @@
 //! trailing columns.
 
 use crate::reflector::{HypReflector, PivotReflector};
-use bs_matrix::blas3::{gemm, gemm_ws, par_gemm, Trans};
+use bs_matrix::blas3::{gemm, gemm_ws, Trans};
 use bs_matrix::ldlt::Signature;
+use bs_matrix::par::{self, ExecPolicy};
 use bs_matrix::view::MatMut;
 use bs_matrix::{flops, Matrix, Workspace};
 
@@ -330,22 +331,82 @@ impl BlockReflector {
         self.k += 1;
     }
 
+    /// Work volume (multiply-add scale) of applying this product to `q`
+    /// trailing columns — the quantity gated against
+    /// [`ExecPolicy::min_work`]. Depends only on the representation's
+    /// shape, so the strip/no-strip decision is identical at every
+    /// thread count.
+    fn apply_work(&self, q: usize) -> u128 {
+        let n = self.n as u128;
+        let k = self.k.max(1) as u128;
+        let q = q as u128;
+        match self.kind {
+            RepKind::Accumulated => n * n * q,
+            RepKind::VY1 | RepKind::VY2 | RepKind::YTY => 2 * n * k * q,
+            RepKind::Sequential => n * k * q,
+        }
+    }
+
     /// Apply the product to the trailing generator columns:
-    /// `G ← U⁽ᵏ⁾ G` (phase 2). Level-3 for the blocked kinds; when
-    /// `parallel` is set the dominant `gemm`s use the rayon pool.
-    pub fn apply(&self, g: MatMut<'_>, parallel: bool) {
-        self.apply_impl(g, parallel, None);
+    /// `G ← U⁽ᵏ⁾ G` (phase 2). Level-3 for the blocked kinds; under a
+    /// parallel [`ExecPolicy`] the trailing columns are cut into
+    /// deterministic strips executed on the worker pool — the
+    /// shared-memory analogue of the paper's scheme-1 column
+    /// distribution (§6–7), bitwise identical to sequential execution.
+    pub fn apply(&self, g: MatMut<'_>, exec: &ExecPolicy) {
+        self.apply_impl(g, exec, None);
     }
 
     /// [`apply`](Self::apply) with all temporaries (`Z`, `TZ`, generator
     /// copies, gemm pack buffers) checked out of `ws` instead of heap
     /// allocated. Identical arithmetic: pooled buffers are zero-filled
     /// on checkout, exactly like the fresh allocations they replace.
-    pub fn apply_ws(&self, g: MatMut<'_>, parallel: bool, ws: &mut Workspace) {
-        self.apply_impl(g, parallel, Some(ws));
+    /// Parallel strips draw from per-worker workspaces instead of `ws`.
+    pub fn apply_ws(&self, g: MatMut<'_>, exec: &ExecPolicy, ws: &mut Workspace) {
+        self.apply_impl(g, exec, Some(ws));
     }
 
-    fn apply_impl(&self, mut g: MatMut<'_>, parallel: bool, mut ws: Option<&mut Workspace>) {
+    fn apply_impl(&self, g: MatMut<'_>, exec: &ExecPolicy, mut ws: Option<&mut Workspace>) {
+        assert_eq!(g.rows(), self.n);
+        if self.k == 0 || g.cols() == 0 {
+            return;
+        }
+        // The split decision and strip boundaries depend only on the
+        // extent and the policy's partition/work gate — never on the
+        // thread count — so every thread count performs identical
+        // arithmetic (see DESIGN.md §9).
+        let q = g.cols();
+        let width = exec.partition.strip_width(q);
+        if self.apply_work(q) < exec.min_work as u128 || width >= q {
+            self.apply_cols(g, ws.as_deref_mut());
+            return;
+        }
+        // bs-lint: allow(no-alloc-hot) -- O(strips) descriptors at dispatch; they borrow G and cannot live in a pool
+        let mut strips: Vec<MatMut<'_>> = Vec::with_capacity(q.div_ceil(width));
+        let mut rest = g;
+        let mut start = 0;
+        while start < q {
+            let w = width.min(q - start);
+            let (head, tail) = rest.split_at_col(w);
+            strips.push(head);
+            rest = tail;
+            start += w;
+        }
+        if exec.threads <= 1 || par::in_dispatch() {
+            // Same strips, executed inline with the caller's workspace.
+            for s in strips {
+                self.apply_cols(s, ws.as_deref_mut());
+            }
+        } else {
+            par::for_each_policy(exec, strips, |s| {
+                par::with_worker_ws(|wws| self.apply_cols(s, Some(wws)));
+            });
+        }
+    }
+
+    /// Monolithic application to one group of columns — the unit the
+    /// strip dispatcher distributes. Always sequential inside.
+    fn apply_cols(&self, mut g: MatMut<'_>, mut ws: Option<&mut Workspace>) {
         assert_eq!(g.rows(), self.n);
         if self.k == 0 || g.cols() == 0 {
             return;
@@ -369,7 +430,6 @@ impl BlockReflector {
                     gc.col_mut(j).copy_from_slice(g.col(j));
                 }
                 mm(
-                    parallel,
                     1.0,
                     self.left.rf(),
                     Trans::No,
@@ -387,7 +447,6 @@ impl BlockReflector {
                 let y = self.right.sub(0, 0, n, k);
                 let mut z = take_mat(&mut ws, k, q);
                 mm(
-                    parallel,
                     1.0,
                     y,
                     Trans::Yes,
@@ -399,7 +458,6 @@ impl BlockReflector {
                 );
                 apply_wk(&self.w, k, g.rb_mut());
                 mm(
-                    parallel,
                     1.0,
                     v,
                     Trans::No,
@@ -431,7 +489,6 @@ impl BlockReflector {
                     }
                     flops::add((n * k) as u64);
                     mm(
-                        parallel,
                         1.0,
                         yw.rf(),
                         Trans::Yes,
@@ -444,7 +501,6 @@ impl BlockReflector {
                     give_mat(&mut ws, yw);
                 } else {
                     mm(
-                        parallel,
                         1.0,
                         y,
                         Trans::Yes,
@@ -469,7 +525,6 @@ impl BlockReflector {
                 flops::add((k * k * q) as u64);
                 apply_wk(&self.w, k, g.rb_mut());
                 mm(
-                    parallel,
                     1.0,
                     y,
                     Trans::No,
@@ -492,8 +547,8 @@ impl BlockReflector {
     /// `j − s` with lower block column `j`). Requires the SPD working
     /// signature `W = diag(I_m, −I_m)` — the quadrant split exploits
     /// `Wᵏ = diag(I, (−1)ᵏ I)`.
-    pub fn apply_split(&self, gu: MatMut<'_>, gl: MatMut<'_>, parallel: bool) {
-        self.apply_split_impl(gu, gl, parallel, None);
+    pub fn apply_split(&self, gu: MatMut<'_>, gl: MatMut<'_>, exec: &ExecPolicy) {
+        self.apply_split_impl(gu, gl, exec, None);
     }
 
     /// [`apply_split`](Self::apply_split) with all temporaries checked
@@ -502,17 +557,65 @@ impl BlockReflector {
         &self,
         gu: MatMut<'_>,
         gl: MatMut<'_>,
-        parallel: bool,
+        exec: &ExecPolicy,
         ws: &mut Workspace,
     ) {
-        self.apply_split_impl(gu, gl, parallel, Some(ws));
+        self.apply_split_impl(gu, gl, exec, Some(ws));
     }
 
+    /// Strip dispatcher for the split application. The strip boundaries
+    /// depend only on the representation and `exec.{min_work, partition}`
+    /// — never on `exec.threads` — so the parallel result is bitwise
+    /// identical to the sequential one at every thread count.
     fn apply_split_impl(
+        &self,
+        gu: MatMut<'_>,
+        gl: MatMut<'_>,
+        exec: &ExecPolicy,
+        mut ws: Option<&mut Workspace>,
+    ) {
+        assert_eq!(gu.cols(), gl.cols());
+        let q = gu.cols();
+        if self.k == 0 || q == 0 {
+            self.apply_split_cols(gu, gl, ws.as_deref_mut());
+            return;
+        }
+        let width = exec.partition.strip_width(q);
+        if self.apply_work(q) < exec.min_work as u128 || width >= q {
+            self.apply_split_cols(gu, gl, ws.as_deref_mut());
+            return;
+        }
+        // bs-lint: allow(no-alloc-hot) -- O(strips) descriptors at dispatch; they borrow Gu/Gl and cannot live in a pool
+        let mut strips: Vec<(MatMut<'_>, MatMut<'_>)> = Vec::with_capacity(q.div_ceil(width));
+        let (mut rest_u, mut rest_l) = (gu, gl);
+        let mut start = 0;
+        while start < q {
+            let w = width.min(q - start);
+            let (head_u, tail_u) = rest_u.split_at_col(w);
+            let (head_l, tail_l) = rest_l.split_at_col(w);
+            strips.push((head_u, head_l));
+            rest_u = tail_u;
+            rest_l = tail_l;
+            start += w;
+        }
+        if exec.threads <= 1 || par::in_dispatch() {
+            // Same strips, executed inline with the caller's workspace.
+            for (su, sl) in strips {
+                self.apply_split_cols(su, sl, ws.as_deref_mut());
+            }
+        } else {
+            par::for_each_policy(exec, strips, |(su, sl)| {
+                par::with_worker_ws(|wws| self.apply_split_cols(su, sl, Some(wws)));
+            });
+        }
+    }
+
+    /// Monolithic split application to one group of column pairs — the
+    /// unit the strip dispatcher distributes. Always sequential inside.
+    fn apply_split_cols(
         &self,
         mut gu: MatMut<'_>,
         mut gl: MatMut<'_>,
-        parallel: bool,
         mut ws: Option<&mut Workspace>,
     ) {
         let m = self.n / 2;
@@ -563,7 +666,6 @@ impl BlockReflector {
                     gl0.col_mut(j).copy_from_slice(gl.col(j));
                 }
                 mm(
-                    parallel,
                     1.0,
                     u11,
                     Trans::No,
@@ -574,7 +676,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     1.0,
                     u12,
                     Trans::No,
@@ -585,7 +686,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     1.0,
                     u21,
                     Trans::No,
@@ -596,7 +696,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     1.0,
                     u22,
                     Trans::No,
@@ -618,7 +717,6 @@ impl BlockReflector {
                 let yl = self.right.sub(m, 0, m, k);
                 let mut z = take_mat(&mut ws, k, q);
                 mm(
-                    parallel,
                     1.0,
                     yu,
                     Trans::Yes,
@@ -629,7 +727,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     1.0,
                     yl,
                     Trans::Yes,
@@ -640,7 +737,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     1.0,
                     vu,
                     Trans::No,
@@ -651,7 +747,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     1.0,
                     vl,
                     Trans::No,
@@ -671,7 +766,6 @@ impl BlockReflector {
                 let sp = if (k - 1) % 2 == 1 { -1.0 } else { 1.0 };
                 let mut z = take_mat(&mut ws, k, q);
                 mm(
-                    parallel,
                     1.0,
                     yu,
                     Trans::Yes,
@@ -682,7 +776,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     sp,
                     yl,
                     Trans::Yes,
@@ -705,7 +798,6 @@ impl BlockReflector {
                 }
                 flops::add((k * k * q) as u64);
                 mm(
-                    parallel,
                     1.0,
                     yu,
                     Trans::No,
@@ -716,7 +808,6 @@ impl BlockReflector {
                     ws.as_deref_mut(),
                 );
                 mm(
-                    parallel,
                     1.0,
                     yl,
                     Trans::No,
@@ -736,18 +827,17 @@ impl BlockReflector {
     pub fn to_dense(&self) -> Matrix {
         let n = self.n;
         let mut u = Matrix::identity(n);
-        self.apply(u.mt(), false);
+        self.apply(u.mt(), &ExecPolicy::sequential());
         u
     }
 }
 
-/// Dispatch a gemm to the sequential or rayon-parallel kernel. With a
-/// workspace the sequential kernel packs into pooled buffers; the
-/// parallel kernel always uses per-worker private buffers (a shared
-/// arena would serialize the strips).
+/// Sequential gemm used inside one column strip. Parallelism lives a
+/// layer up (the strip dispatchers in `apply_impl` / `apply_split_impl`),
+/// so the inner product kernel never fans out again: with a workspace it
+/// packs into pooled buffers, without one it allocates privately.
 #[allow(clippy::too_many_arguments)]
 fn mm(
-    parallel: bool,
     alpha: f64,
     a: bs_matrix::MatRef<'_>,
     ta: Trans,
@@ -757,9 +847,7 @@ fn mm(
     c: MatMut<'_>,
     ws: Option<&mut Workspace>,
 ) {
-    if parallel {
-        par_gemm(alpha, a, ta, b, tb, beta, c)
-    } else if let Some(w) = ws {
+    if let Some(w) = ws {
         gemm_ws(alpha, a, ta, b, tb, beta, c, w)
     } else {
         gemm(alpha, a, ta, b, tb, beta, c)
@@ -907,12 +995,47 @@ mod tests {
         let mut want = Matrix::zeros(2 * m, 9);
         gemm(1.0, u.rf(), Trans::No, g0.rf(), Trans::No, 0.0, want.mt());
         let mut g = g0.clone();
-        b.apply(g.mt(), false);
+        b.apply(g.mt(), &ExecPolicy::sequential());
         assert!(g.max_abs_diff(&want) < 1e-10);
-        // Parallel path must agree.
-        let mut g2 = g0.clone();
-        b.apply(g2.mt(), true);
-        assert!(g2.max_abs_diff(&want) < 1e-10);
+        // Pooled path must be bitwise identical, not merely close: the
+        // strip boundaries are thread-independent by construction.
+        for threads in [2, bs_matrix::par::current_num_threads().max(2) * 2] {
+            let par = ExecPolicy {
+                threads,
+                min_work: 1,
+                partition: bs_matrix::Partition::Auto,
+            };
+            let mut g2 = g0.clone();
+            b.apply(g2.mt(), &par);
+            assert_eq!(g2.max_abs_diff(&g), 0.0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn apply_split_is_bitwise_across_thread_counts() {
+        let m = 6;
+        let (w, rs) = make_reflectors(m, m, 31);
+        for kind in RepKind::ALL {
+            let mut b = BlockReflector::new(kind, w.clone(), m);
+            for r in &rs {
+                b.push(r);
+            }
+            let gu0 = Matrix::from_fn(m, 13, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+            let gl0 = Matrix::from_fn(m, 13, |i, j| ((i * 3 + j * 7) % 17) as f64 - 8.0);
+            let (mut su, mut sl) = (gu0.clone(), gl0.clone());
+            b.apply_split(su.mt(), sl.mt(), &ExecPolicy::sequential());
+            for threads in [2, 5] {
+                let par = ExecPolicy {
+                    threads,
+                    min_work: 1,
+                    partition: bs_matrix::Partition::Width(3),
+                };
+                let (mut pu, mut pl) = (gu0.clone(), gl0.clone());
+                b.apply_split(pu.mt(), pl.mt(), &par);
+                assert_eq!(pu.max_abs_diff(&su), 0.0, "kind={kind} threads={threads}");
+                assert_eq!(pl.max_abs_diff(&sl), 0.0, "kind={kind} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::eliminate::{eliminate_spd, normalize_diagonal, retiled, EngineScratch
 use crate::rep::RepKind;
 use crate::solve;
 use crate::Result;
-use bs_matrix::{Matrix, Workspace};
+use bs_matrix::{ExecPolicy, Matrix, Workspace};
 use bs_toeplitz::SymBlockToeplitz;
 
 /// Options for [`factor_spd`].
@@ -29,8 +29,11 @@ use bs_toeplitz::SymBlockToeplitz;
 pub struct SchurOptions {
     /// Block reflector representation (phase 1/2 tradeoff, §4 & §6).
     pub rep: RepKind,
-    /// Use the rayon pool for the trailing update (phase 2).
-    pub parallel: bool,
+    /// Execution policy for the trailing update (phase 2): thread
+    /// count, minimum work to fan out, and column partitioning. Strip
+    /// boundaries are thread-independent, so any thread count produces
+    /// a bitwise-identical factor.
+    pub exec: ExecPolicy,
     /// Algorithmic block size `m_s` (§6.5). Must be a multiple of the
     /// structural block size and divide `n`; `None` keeps `m_s = m`.
     pub block_size: Option<usize>,
@@ -54,7 +57,8 @@ impl Default for SchurOptions {
             // cheapest application for most k, and its production is
             // close to YTYᵀ; it is the all-round default.
             rep: RepKind::VY2,
-            parallel: false,
+            // Honors BS_THREADS when set; sequential otherwise.
+            exec: ExecPolicy::from_env(),
             block_size: None,
             explicit_shift: false,
             two_level: None,
@@ -216,16 +220,25 @@ mod tests {
     #[test]
     fn parallel_update_matches_sequential() {
         let t = workloads::random_spd_block(4, 12, 5);
-        let f1 = factor_spd(&t, &SchurOptions::default()).unwrap();
-        let f2 = factor_spd(
-            &t,
-            &SchurOptions {
-                parallel: true,
+        let seq = SchurOptions {
+            exec: ExecPolicy::sequential(),
+            ..Default::default()
+        };
+        let f1 = factor_spd(&t, &seq).unwrap();
+        // min_work: 1 forces the strip dispatcher even at this size;
+        // the pooled factor must be bitwise identical, not merely close.
+        for threads in [2usize, bs_matrix::par::current_num_threads() * 2 + 1] {
+            let par = SchurOptions {
+                exec: ExecPolicy {
+                    threads,
+                    min_work: 1,
+                    partition: bs_matrix::Partition::Auto,
+                },
                 ..Default::default()
-            },
-        )
-        .unwrap();
-        assert!(f1.r.max_abs_diff(&f2.r) < 1e-11);
+            };
+            let f2 = factor_spd(&t, &par).unwrap();
+            assert_eq!(f1.r.max_abs_diff(&f2.r), 0.0, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,11 +11,12 @@
 use crate::blas1;
 use crate::blas2;
 use crate::flops;
-use crate::par;
+use crate::par::{self, ExecPolicy};
 use crate::view::{MatMut, MatRef};
 use crate::workspace::Workspace;
-use crate::Result;
+use crate::{Error, Result};
 use bs_probe::metrics::{self, Counter};
+use std::sync::Mutex;
 
 /// Transposition flag for `gemm` operands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,10 +141,20 @@ fn gemm_dispatch(
     gemm_blocked(alpha, a, ta, b, tb, c, ws);
 }
 
-/// Parallel `gemm` driver: splits `C` (and `op(B)`) into column strips and
-/// runs the blocked kernel on each strip on its own scoped thread. Falls
-/// back to the sequential path below a size threshold.
-pub fn par_gemm(
+/// Parallel `gemm` driver under an [`ExecPolicy`]: splits `C` (and
+/// `op(B)`) into deterministic column strips and runs the blocked
+/// kernel on each strip via the persistent pool. Falls back to the
+/// sequential path for sequential policies, small problems, or when
+/// already inside a pool dispatch.
+///
+/// Determinism: the packed/naive kernel choice is made from the *full*
+/// problem dimensions (the same predicate [`gemm`] uses), and the
+/// packed kernel computes each column of `C` independently of how the
+/// columns are grouped — so the stripped parallel result is bitwise
+/// identical to the monolithic sequential one at every thread count.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature plus the policy
+pub fn par_gemm_policy(
+    policy: &ExecPolicy,
     alpha: f64,
     a: MatRef<'_>,
     ta: Trans,
@@ -156,8 +167,17 @@ pub fn par_gemm(
     let n = c.cols();
     let k = op_cols(a, ta);
     let work = m as u128 * n as u128 * k as u128;
-    let threads = par::current_num_threads();
-    if threads <= 1 || work < 64 * 64 * 64 || n < 2 * NR {
+    // Same predicate as gemm_dispatch: a problem the sequential path
+    // would hand to the naive kernel is never worth stripping (and
+    // stripping it would change the kernel choice, breaking bitwise
+    // equality with the sequential run).
+    let blocked = !(m < 16 || n < 16 || k < 16 || m * n * k <= 16 * 16 * 16);
+    if !blocked
+        || policy.threads <= 1
+        || par::in_dispatch()
+        || work < policy.min_work as u128
+        || n < 2 * NR
+    {
         gemm(alpha, a, ta, b, tb, beta, c);
         return;
     }
@@ -165,16 +185,16 @@ pub fn par_gemm(
     assert_eq!(op_rows(b, tb), k);
     assert_eq!(op_cols(b, tb), n);
 
-    let nstrips = threads.min(n / NR).max(1);
-    let strip = n.div_ceil(nstrips);
+    let width = policy.partition.strip_width(n);
     // Decompose C into disjoint column strips; each strip multiplies the
-    // matching columns of op(B).
-    // bs-lint: allow(no-alloc-hot) -- O(threads) strip descriptors at dispatch; the descriptors borrow C, so they cannot live in a pool
-    let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(nstrips);
+    // matching columns of op(B). Strip boundaries depend only on (n,
+    // partition) — never on the thread count.
+    // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow C, so they cannot live in a pool
+    let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(n.div_ceil(width));
     let mut rest = c;
     let mut start = 0;
     while start < n {
-        let w = strip.min(n - start);
+        let w = width.min(n - start);
         let (head, tail) = rest.split_at_col(w);
         strips.push((start, head));
         rest = tail;
@@ -182,7 +202,7 @@ pub fn par_gemm(
     }
     // Flop accounting: each worker charges its own strip on its own
     // thread-local probe slot; read the aggregate with `flops::total`.
-    par::for_each(strips, |(j0, cj)| {
+    par::for_each_policy(policy, strips, |(j0, cj)| {
         let w = cj.cols();
         let bj = match tb {
             Trans::No => b.sub(0, j0, k, w),
@@ -196,11 +216,25 @@ pub fn par_gemm(
                 Counter::BytesMoved,
                 (8 * (m * k + k * w + 2 * m * w)) as u64,
             );
-            // Worker threads pack into private buffers; a shared
-            // workspace would serialize them, so each strip allocates.
-            gemm_blocked(alpha, a, ta, bj, tb, cj, None);
+            // Pack buffers come from the executing thread's persistent
+            // workspace, so warm dispatches allocate nothing.
+            par::with_worker_ws(|ws| gemm_blocked(alpha, a, ta, bj, tb, cj, Some(ws)));
         }
     });
+}
+
+/// [`par_gemm_policy`] with every hardware thread (compatibility shim
+/// for callers without a policy).
+pub fn par_gemm(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    par_gemm_policy(&ExecPolicy::max_threads(), alpha, a, ta, b, tb, beta, c);
 }
 
 #[inline]
@@ -427,9 +461,30 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut 
     let n = c.rows();
     assert_eq!(c.cols(), n, "syrk: C must be square");
     assert_eq!(op_rows(a, trans), n, "syrk: op(A) rows vs C order");
+    syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
+}
+
+/// One full-height column strip of [`syrk`]: global columns
+/// `j0 .. j0 + w` of the order-`n` update, where `c` views those
+/// columns with all `n` rows. Every `C(i, j)` entry is computed by the
+/// same fixed-order dot product regardless of how columns are grouped,
+/// so any strip decomposition reproduces the monolithic result
+/// bitwise.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS syrk signature plus the strip window
+fn syrk_cols(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+    j0: usize,
+    w: usize,
+) {
+    let n = c.rows();
     let k = op_cols(a, trans);
-    flops::add_l3((n * n * k) as u64 + (n * n) as u64);
-    metrics::add(Counter::BytesMoved, (8 * (n * k + n * n)) as u64);
+    flops::add_l3((n * w * k) as u64 + (n * w) as u64);
+    metrics::add(Counter::BytesMoved, (8 * (w * k + n * w)) as u64);
     // Row i of op(A) dotted with row j of op(A).
     let dot_rows = |i: usize, j: usize| -> f64 {
         match trans {
@@ -444,24 +499,63 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut 
             Trans::Yes => blas1::dot(a.col(i), a.col(j)),
         }
     };
-    match uplo {
-        Uplo::Lower => {
-            for j in 0..n {
-                for i in j..n {
-                    let v = alpha * dot_rows(i, j) + beta * c.get(i, j);
+    for j in 0..w {
+        let jj = j0 + j;
+        match uplo {
+            Uplo::Lower => {
+                for i in jj..n {
+                    let v = alpha * dot_rows(i, jj) + beta * c.get(i, j);
                     c.set(i, j, v);
                 }
             }
-        }
-        Uplo::Upper => {
-            for j in 0..n {
-                for i in 0..=j {
-                    let v = alpha * dot_rows(i, j) + beta * c.get(i, j);
+            Uplo::Upper => {
+                for i in 0..=jj {
+                    let v = alpha * dot_rows(i, jj) + beta * c.get(i, j);
                     c.set(i, j, v);
                 }
             }
         }
     }
+}
+
+/// Parallel [`syrk`] under an [`ExecPolicy`]: the update's column
+/// strips run on the pool. Entries are computed independently, so the
+/// result is bitwise identical to the sequential update.
+pub fn syrk_policy(
+    policy: &ExecPolicy,
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n, "syrk: C must be square");
+    assert_eq!(op_rows(a, trans), n, "syrk: op(A) rows vs C order");
+    let k = op_cols(a, trans);
+    // The triangle holds ~n²/2 entries of k-long dots.
+    let work = (n as u128 * n as u128 * k as u128) / 2;
+    if policy.threads <= 1 || par::in_dispatch() || work < policy.min_work as u128 {
+        syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
+        return;
+    }
+    let width = policy.partition.strip_width(n);
+    // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow C, so they cannot live in a pool
+    let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(n.div_ceil(width));
+    let mut rest = c;
+    let mut start = 0;
+    while start < n {
+        let w = width.min(n - start);
+        let (head, tail) = rest.split_at_col(w);
+        strips.push((start, head));
+        rest = tail;
+        start += w;
+    }
+    par::for_each_policy(policy, strips, |(j0, cj)| {
+        let w = cj.cols();
+        syrk_cols(uplo, trans, alpha, a, beta, cj, j0, w);
+    });
 }
 
 /// [`syrk`] in workspace-threaded form. The dot-product kernel needs no
@@ -541,31 +635,7 @@ fn trsm_dispatch(
     match side {
         Side::Left => {
             for j in 0..b.cols() {
-                let col = b.col_mut(j);
-                match (uplo, trans) {
-                    (Uplo::Lower, Trans::No) => blas2::trsv_lower(a, col, unit_diag)?,
-                    (Uplo::Lower, Trans::Yes) => {
-                        if unit_diag {
-                            trsv_lower_t_unit(a, col)?;
-                        } else {
-                            blas2::trsv_lower_t(a, col)?;
-                        }
-                    }
-                    (Uplo::Upper, Trans::No) => {
-                        if unit_diag {
-                            trsv_upper_unit(a, col)?;
-                        } else {
-                            blas2::trsv_upper(a, col)?;
-                        }
-                    }
-                    (Uplo::Upper, Trans::Yes) => {
-                        if unit_diag {
-                            trsv_upper_t_unit(a, col)?;
-                        } else {
-                            blas2::trsv_upper_t(a, col)?;
-                        }
-                    }
-                }
+                trsm_left_col(uplo, trans, unit_diag, a, b.col_mut(j))?;
             }
             Ok(())
         }
@@ -600,6 +670,110 @@ fn trsm_dispatch(
             }
             Ok(())
         }
+    }
+}
+
+/// One column of a `Side::Left` triangular solve — the independent unit
+/// of work the parallel driver distributes.
+fn trsm_left_col(
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    a: MatRef<'_>,
+    col: &mut [f64],
+) -> Result<()> {
+    match (uplo, trans) {
+        (Uplo::Lower, Trans::No) => blas2::trsv_lower(a, col, unit_diag),
+        (Uplo::Lower, Trans::Yes) => {
+            if unit_diag {
+                trsv_lower_t_unit(a, col)
+            } else {
+                blas2::trsv_lower_t(a, col)
+            }
+        }
+        (Uplo::Upper, Trans::No) => {
+            if unit_diag {
+                trsv_upper_unit(a, col)
+            } else {
+                blas2::trsv_upper(a, col)
+            }
+        }
+        (Uplo::Upper, Trans::Yes) => {
+            if unit_diag {
+                trsv_upper_t_unit(a, col)
+            } else {
+                blas2::trsv_upper_t(a, col)
+            }
+        }
+    }
+}
+
+/// Parallel [`trsm`] under an [`ExecPolicy`].
+///
+/// `Side::Left` distributes `B`'s columns (each an independent
+/// triangular solve) across the pool in deterministic strips — results
+/// are bitwise identical to the sequential solve. `Side::Right`
+/// couples the rows of `B` through a shared scratch row and stays
+/// sequential; it simply forwards to [`trsm`].
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS trsm signature plus the policy
+pub fn trsm_policy(
+    policy: &ExecPolicy,
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatMut<'_>,
+) -> Result<()> {
+    let n = a.rows();
+    let ncols = b.cols();
+    // Each column costs ~n²/2 multiply-adds.
+    let work = (n as u128 * n as u128 * ncols as u128) / 2;
+    if side == Side::Right
+        || policy.threads <= 1
+        || par::in_dispatch()
+        || work < policy.min_work as u128
+        || ncols < 2
+    {
+        return trsm(side, uplo, trans, unit_diag, alpha, a, b);
+    }
+    assert_eq!(a.cols(), n, "trsm: A must be square");
+    assert_eq!(b.rows(), n, "trsm left: A order vs B rows");
+
+    let width = policy.partition.strip_width(ncols);
+    // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow B, so they cannot live in a pool
+    let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(ncols.div_ceil(width));
+    let mut rest = b;
+    let mut start = 0;
+    while start < ncols {
+        let w = width.min(ncols - start);
+        let (head, tail) = rest.split_at_col(w);
+        strips.push((start, head));
+        rest = tail;
+        start += w;
+    }
+    // Strips report failures through a shared slot; the lowest column
+    // index wins so the surfaced error is deterministic.
+    let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+    par::for_each_policy(policy, strips, |(j0, mut bj)| {
+        for j in 0..bj.cols() {
+            // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
+            if alpha != 1.0 {
+                blas1::scal(alpha, bj.col_mut(j));
+            }
+            if let Err(e) = trsm_left_col(uplo, trans, unit_diag, a, bj.col_mut(j)) {
+                let mut slot = failed.lock().unwrap_or_else(|p| p.into_inner());
+                if slot.as_ref().is_none_or(|(seen, _)| j0 < *seen) {
+                    *slot = Some((j0, e));
+                }
+                return;
+            }
+        }
+    });
+    match failed.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -955,6 +1129,151 @@ mod tests {
         assert!(matches!(
             r,
             Err(crate::Error::SingularTriangle { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn par_gemm_policy_is_bitwise_across_thread_counts() {
+        // The determinism contract: strips are fixed by the partition,
+        // the kernel choice comes from the full dims, and the blocked
+        // kernel is column-decomposable — so every thread count gives
+        // the exact same bits, including the sequential fallback.
+        let m = 64;
+        let k = 48;
+        let n = 96;
+        let a = mat(m, k, 40);
+        let b = mat(k, n, 41);
+        let c0 = mat(m, n, 42);
+        let mut base = c0.clone();
+        gemm(1.25, a.rf(), Trans::No, b.rf(), Trans::No, 0.5, base.mt());
+        for threads in [1usize, 2, 3, par::current_num_threads().max(2) * 4] {
+            let policy = ExecPolicy {
+                threads,
+                min_work: 1,
+                partition: crate::par::Partition::Auto,
+            };
+            let mut c = c0.clone();
+            par_gemm_policy(
+                &policy,
+                1.25,
+                a.rf(),
+                Trans::No,
+                b.rf(),
+                Trans::No,
+                0.5,
+                c.mt(),
+            );
+            assert_eq!(
+                c.max_abs_diff(&base),
+                0.0,
+                "threads={threads}: parallel gemm must be bitwise sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn syrk_policy_is_bitwise_across_thread_counts() {
+        let a = mat(40, 24, 43);
+        let c0 = mat(40, 40, 44);
+        for (uplo, trans, aa) in [
+            (Uplo::Lower, Trans::No, &a),
+            (Uplo::Upper, Trans::Yes, &a.transpose()),
+        ] {
+            let mut base = c0.clone();
+            syrk(uplo, trans, 1.5, aa.rf(), 0.25, base.mt());
+            for threads in [1usize, 2, 5] {
+                let policy = ExecPolicy {
+                    threads,
+                    min_work: 1,
+                    partition: crate::par::Partition::Width(7),
+                };
+                let mut c = c0.clone();
+                syrk_policy(&policy, uplo, trans, 1.5, aa.rf(), 0.25, c.mt());
+                assert_eq!(
+                    c.max_abs_diff(&base),
+                    0.0,
+                    "threads={threads} uplo={uplo:?}: parallel syrk must be bitwise sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_policy_left_is_bitwise_and_right_falls_back() {
+        let n = 24;
+        let l = lower_tri(n, 45);
+        let b0 = mat(n, 33, 46);
+        let mut base = b0.clone();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.5,
+            l.rf(),
+            base.mt(),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            let policy = ExecPolicy {
+                threads,
+                min_work: 1,
+                partition: crate::par::Partition::Width(5),
+            };
+            let mut b = b0.clone();
+            trsm_policy(
+                &policy,
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                false,
+                1.5,
+                l.rf(),
+                b.mt(),
+            )
+            .unwrap();
+            assert_eq!(b.max_abs_diff(&base), 0.0, "threads={threads}");
+        }
+        // Right side stays sequential but must still be correct.
+        let x = mat(4, n, 47);
+        let mut b = Matrix::zeros(4, n);
+        gemm(1.0, x.rf(), Trans::No, l.rf(), Trans::No, 0.0, b.mt());
+        trsm_policy(
+            &ExecPolicy::with_threads(4),
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        )
+        .unwrap();
+        assert!(b.max_abs_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_policy_surfaces_deterministic_error() {
+        let mut l = lower_tri(6, 48);
+        l[(2, 2)] = 0.0;
+        let mut b = mat(6, 20, 49);
+        let r = trsm_policy(
+            &ExecPolicy {
+                threads: 3,
+                min_work: 1,
+                partition: crate::par::Partition::Width(4),
+            },
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        );
+        assert!(matches!(
+            r,
+            Err(crate::Error::SingularTriangle { index: 2 })
         ));
     }
 

@@ -39,11 +39,15 @@ pub mod trmm;
 pub mod view;
 pub mod workspace;
 
-pub use blas3::{gemm, gemm_ws, par_gemm, syrk, syrk_ws, trsm, trsm_ws, Side, Trans, Uplo};
+pub use blas3::{
+    gemm, gemm_ws, par_gemm, par_gemm_policy, syrk, syrk_policy, syrk_ws, trsm, trsm_policy,
+    trsm_ws, Side, Trans, Uplo,
+};
 pub use chol::cholesky_in_place;
 pub use dense::Matrix;
 pub use ldlt::{ldlt_in_place, Signature};
 pub use lu::LuFactors;
+pub use par::{ExecPolicy, Partition};
 pub use trmm::{symm, trmm};
 pub use view::{MatMut, MatRef};
 pub use workspace::Workspace;

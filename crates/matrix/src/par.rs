@@ -1,14 +1,35 @@
-//! Minimal parallel driver for the level-3 kernels.
+//! Execution layer: a persistent worker pool plus the [`ExecPolicy`]
+//! that every parallel-capable kernel consults.
 //!
-//! The parallel gemm path hands each worker a disjoint column strip of
-//! `C`; all a driver needs is "run this closure once per strip, on its
-//! own thread". Scoped threads do exactly that with no external
-//! dependency and no pool state, and because every strip carries a
-//! whole macro-kernel's worth of work, thread spawn cost is noise.
+//! The paper distributes the generator's column panels across
+//! processors (the three T3D schemes, §6–7); this module is the
+//! shared-memory analogue. Work is cut into **deterministic column
+//! strips** — strip boundaries depend only on the problem extent and
+//! the [`Partition`] rule, never on the thread count — and the strips
+//! are claimed dynamically by a lazily-started pool of reusable worker
+//! threads. Because every strip computes exactly what it would compute
+//! sequentially (same kernel, same operand shapes, same traversal
+//! order), a parallel run is **bitwise identical** to a sequential run
+//! at every thread count; threads only change *who* executes each
+//! strip, never *what* is computed.
+//!
+//! Worker scratch comes from a per-thread [`Workspace`] arena (see
+//! [`with_worker_ws`]), so the steady-state zero-allocation invariant
+//! of the plan/execute engine survives fan-out: after one warm
+//! dispatch every strip's temporaries are pool hits.
 //!
 //! Worker threads count their own flops into their thread-local
 //! `bs-probe` slots; aggregate with `bs_probe::metrics::total` (or
-//! `flops::total`), not the per-thread `flops::get`.
+//! `flops::total`), not the per-thread `flops::get`. The pool itself
+//! reports `pool_dispatches` / `pool_strips` / `pool_strip_nanos`
+//! counters and a `pool_dispatch` span per parallel region.
+
+use crate::workspace::Workspace;
+use bs_probe::metrics::{self, Counter};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Number of hardware threads available (1 when it cannot be queried).
 pub fn current_num_threads() -> usize {
@@ -17,26 +38,394 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Run `f` once per item, each on its own scoped thread. With zero or
-/// one item (or when only one hardware thread is available) the items
-/// run inline on the calling thread.
-pub fn for_each<T, F>(items: Vec<T>, f: F)
+/// Columns per partition grain: strip widths are rounded up to a
+/// multiple of this so micro-kernel-friendly alignment survives
+/// partitioning.
+pub const GRAIN_COLS: usize = 4;
+
+/// Upper bound on the number of strips an [`Partition::Auto`] extent is
+/// cut into. Kept modest so each strip carries a macro-kernel's worth
+/// of work and per-strip bookkeeping stays noise.
+const MAX_STRIPS: usize = 16;
+
+/// Minimum `m·n·k`-style work (flop volume / 2) below which a parallel
+/// region is not worth dispatching. One 64³ gemm is roughly where strip
+/// dispatch cost disappears into arithmetic.
+pub const DEFAULT_MIN_WORK: u64 = 64 * 64 * 64;
+
+/// How a column extent is cut into strips. The rule is **deterministic
+/// in the extent alone**: the same extent always yields the same strip
+/// boundaries, independent of thread count, so parallel and sequential
+/// execution perform identical arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// `extent.div_ceil(16)` rounded up to a [`GRAIN_COLS`] multiple:
+    /// at most 16 strips, each a multiple of the grain.
+    Auto,
+    /// Fixed strip width (clamped to at least 1 column).
+    Width(usize),
+}
+
+impl Partition {
+    /// Strip width for a `cols`-wide extent under this rule.
+    pub fn strip_width(self, cols: usize) -> usize {
+        match self {
+            Partition::Auto => cols
+                .div_ceil(MAX_STRIPS)
+                .next_multiple_of(GRAIN_COLS)
+                .max(GRAIN_COLS),
+            Partition::Width(w) => w.max(1),
+        }
+    }
+}
+
+/// Execution policy threaded from the plan layer down to the kernels:
+/// how many threads may run, how much work justifies a dispatch, and
+/// how extents are partitioned.
+///
+/// `threads` is an upper bound, not a demand — a region never uses more
+/// threads than it has strips, and `threads <= 1` short-circuits to the
+/// plain sequential loop with zero pool involvement. `min_work` gates
+/// dispatch on problem volume so small problems never pay fan-out
+/// latency. `partition` fixes strip boundaries; see [`Partition`] for
+/// the determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecPolicy {
+    /// Maximum threads a region may use (including the caller).
+    pub threads: usize,
+    /// Minimum work volume (product-of-extents scale) to dispatch.
+    pub min_work: u64,
+    /// Strip partitioning rule.
+    pub partition: Partition,
+}
+
+impl ExecPolicy {
+    /// Strictly sequential execution (the default).
+    pub fn sequential() -> Self {
+        ExecPolicy {
+            threads: 1,
+            min_work: DEFAULT_MIN_WORK,
+            partition: Partition::Auto,
+        }
+    }
+
+    /// At most `threads` threads, default work gate and partitioning.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy {
+            threads: threads.max(1),
+            ..ExecPolicy::sequential()
+        }
+    }
+
+    /// Use every hardware thread.
+    pub fn max_threads() -> Self {
+        ExecPolicy::with_threads(current_num_threads())
+    }
+
+    /// Policy from the `BS_THREADS` environment variable (a positive
+    /// integer or `max`); sequential when unset or unparsable.
+    pub fn from_env() -> Self {
+        match env_threads() {
+            Some(t) => ExecPolicy::with_threads(t),
+            None => ExecPolicy::sequential(),
+        }
+    }
+
+    /// Whether this policy can ever dispatch to the pool.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::sequential()
+    }
+}
+
+/// Parse a thread-count spec: a positive integer, or `max` for every
+/// hardware thread.
+pub fn parse_threads(s: &str) -> Option<usize> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("max") {
+        Some(current_num_threads())
+    } else {
+        s.parse::<usize>().ok().filter(|&t| t > 0)
+    }
+}
+
+/// Thread count requested via the `BS_THREADS` environment variable,
+/// if set and parsable.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("BS_THREADS")
+        .ok()
+        .and_then(|s| parse_threads(&s))
+}
+
+/// Deterministic column strips: `(start, width)` pairs covering `cols`
+/// in ascending order, each `width` wide except possibly the last.
+/// Boundaries depend only on `cols` and `width` — never on threads.
+pub fn strips(cols: usize, width: usize) -> Vec<(usize, usize)> {
+    let w = width.max(1);
+    // bs-lint: allow(no-alloc-hot) -- O(strips) descriptor list built
+    // once per dispatch, proportional to MAX_STRIPS, not problem size.
+    let mut out = Vec::with_capacity(cols.div_ceil(w));
+    let mut j = 0;
+    while j < cols {
+        let sw = w.min(cols - j);
+        out.push((j, sw));
+        j += sw;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Persistent worker pool.
+// ---------------------------------------------------------------------
+
+/// One parallel region's worth of work, delivered to a worker's
+/// mailbox. Raw pointers into the dispatcher's stack frame; see the
+/// SAFETY discussion on [`dispatch`].
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    next: *const AtomicUsize,
+    n: usize,
+}
+
+// A Job crosses threads only from `dispatch` to a pool worker, and
+// `dispatch` keeps the pointed-to closure and strip counter alive on
+// its stack until every worker that received the Job has checked in.
+// SAFETY: the `done` barrier bounds the pointers' lifetimes, and the
+// closure is `Sync`, so shared access from several workers is sound.
+unsafe impl Send for Job {}
+
+/// A worker's private mailbox: the dispatcher delivers at most one Job
+/// per parallel region, the worker takes it and runs strips to
+/// completion before checking in.
+struct WorkerChan {
+    mail: Mutex<Option<Job>>,
+    cv: Condvar,
+}
+
+struct Pool {
+    /// Serializes parallel regions: one dispatch owns the whole pool.
+    region: Mutex<()>,
+    /// Live worker mailboxes, grown on demand (never shrunk).
+    workers: Mutex<Vec<Arc<WorkerChan>>>,
+    /// Count of workers that finished the current region.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        region: Mutex::new(()),
+        workers: Mutex::new(Vec::new()),
+        done: Mutex::new(0),
+        done_cv: Condvar::new(),
+    })
+}
+
+thread_local! {
+    /// True while this thread is executing strips of a dispatched
+    /// region; nested `run_indexed` calls then run inline (the region
+    /// mutex is not reentrant, and nesting would deadlock).
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+
+    /// Per-thread scratch arena for strip execution; stays warm across
+    /// dispatches, preserving the zero-allocation steady state.
+    static WORKER_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Whether the current thread is already inside a pool dispatch (its
+/// own or as a worker). Kernels use this to fall back to their
+/// sequential path instead of nesting regions.
+pub fn in_dispatch() -> bool {
+    IN_DISPATCH.with(Cell::get)
+}
+
+/// Run `f` against the current thread's persistent scratch workspace.
+/// Strip closures use this for their temporaries: the workspace warms
+/// up once per thread and every later checkout is a pool hit. Not
+/// reentrant — do not call `with_worker_ws` from inside `f`.
+pub fn with_worker_ws<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    WORKER_WS.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// Claim-and-run loop shared by the dispatcher and the workers: grab
+/// the next unclaimed strip index, execute it, repeat. Dynamic
+/// claiming balances uneven strips; determinism is unaffected because
+/// strip *content* is fixed regardless of who runs it.
+fn run_strips(f: &(dyn Fn(usize) + Sync), next: &AtomicUsize, n: usize) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let t0 = Instant::now();
+        f(i);
+        metrics::incr(Counter::PoolStrips);
+        metrics::add(Counter::PoolStripNanos, t0.elapsed().as_nanos() as u64);
+    }
+}
+
+fn worker_loop(chan: Arc<WorkerChan>) {
+    let pool = pool();
+    loop {
+        let job = {
+            let mut mail = chan.mail.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = mail.take() {
+                    break j;
+                }
+                mail = chan.cv.wait(mail).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // The dispatcher that delivered this Job is blocked on the
+        // `done` barrier until this worker checks in below, so the
+        // closure and counter behind these pointers are alive for the
+        // whole scope of `f` / `next`.
+        // SAFETY: barrier-bounded lifetimes (above); neither reference
+        // escapes, and the check-in is strictly after the last use.
+        let f = unsafe { &*job.f };
+        let next = unsafe { &*job.next };
+        IN_DISPATCH.with(|d| d.set(true));
+        run_strips(f, next, job.n);
+        IN_DISPATCH.with(|d| d.set(false));
+        let mut done = pool.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done += 1;
+        drop(done);
+        pool.done_cv.notify_one();
+    }
+}
+
+impl Pool {
+    /// Grow the pool to at least `want` workers and return the first
+    /// `want` mailboxes. Spawn failure degrades gracefully: the region
+    /// runs on however many workers exist (possibly zero — then the
+    /// dispatcher does everything itself).
+    fn ensure_workers(&self, want: usize) -> Vec<Arc<WorkerChan>> {
+        let mut ws = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        while ws.len() < want {
+            let chan = Arc::new(WorkerChan {
+                mail: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            let body = Arc::clone(&chan);
+            // bs-lint: allow(no-alloc-hot) -- one-time cold growth:
+            // names and mailboxes are allocated only while the pool is
+            // smaller than ever requested, never in the warm path.
+            let spawned = std::thread::Builder::new()
+                .name(format!("bs-pool-{}", ws.len()))
+                .spawn(move || worker_loop(body));
+            if spawned.is_err() {
+                break; // run the region on the workers we have
+            }
+            ws.push(chan);
+        }
+        ws.iter().take(want).cloned().collect()
+    }
+}
+
+/// Dispatch `n` strips across up to `threads` threads (the caller
+/// included) and block until all strips have executed.
+fn dispatch(threads: usize, n: usize, f: &(dyn Fn(usize) + Sync)) {
+    let pool = pool();
+    let region = pool.region.lock().unwrap_or_else(|e| e.into_inner());
+    let want = threads.min(n).saturating_sub(1);
+    let chans = pool.ensure_workers(want);
+    let w = chans.len();
+    let _span = bs_probe::span!("pool_dispatch", strips = n, threads = w + 1);
+    metrics::incr(Counter::PoolDispatches);
+    {
+        let mut done = pool.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = 0;
+    }
+    let next = AtomicUsize::new(0);
+    // Lifetime erasure only — the Job (and thus this pointer) never
+    // outlives this stack frame.
+    // SAFETY: the `done` barrier below blocks until every worker that
+    // received the Job has checked in, bounding the erased lifetime.
+    let fp: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &(dyn Fn(usize) + Sync)>(f) };
+    for chan in &chans {
+        let mut mail = chan.mail.lock().unwrap_or_else(|e| e.into_inner());
+        *mail = Some(Job {
+            f: fp,
+            next: &next,
+            n,
+        });
+        drop(mail);
+        chan.cv.notify_one();
+    }
+    IN_DISPATCH.with(|d| d.set(true));
+    run_strips(f, &next, n);
+    IN_DISPATCH.with(|d| d.set(false));
+    // Barrier: wait for every worker that received the Job to check in.
+    // Only after this may the closure and counter leave scope (see the
+    // SAFETY notes on Job / worker_loop).
+    let mut done = pool.done.lock().unwrap_or_else(|e| e.into_inner());
+    while *done < w {
+        done = pool.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(done);
+    drop(region);
+}
+
+/// Run `f(0) .. f(n-1)`, fanning the indices out to the pool when the
+/// policy allows more than one thread. With `threads <= 1`, a single
+/// index, or when already inside a dispatch, the indices run inline on
+/// the calling thread in ascending order — the pool is never touched
+/// and no per-strip bookkeeping is paid.
+pub fn run_indexed<F>(policy: &ExecPolicy, n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    if policy.threads <= 1 || n <= 1 || in_dispatch() {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    dispatch(policy.threads, n, &f);
+}
+
+/// Run `f` once per item under `policy`. Items are claimed in order;
+/// with one item or a sequential policy they run inline.
+pub fn for_each_policy<T, F>(policy: &ExecPolicy, items: Vec<T>, f: F)
 where
     T: Send,
     F: Fn(T) + Sync,
 {
-    if items.len() <= 1 || current_num_threads() <= 1 {
+    if items.len() <= 1 || policy.threads <= 1 || in_dispatch() {
         for item in items {
             f(item);
         }
         return;
     }
-    let fref = &f;
-    std::thread::scope(|s| {
-        for item in items {
-            s.spawn(move || fref(item));
+    // bs-lint: allow(no-alloc-hot) -- O(items) slot list at dispatch;
+    // the slots hand each owned item to exactly one claiming worker.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    run_indexed(policy, slots.len(), |i| {
+        let item = slots[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(item) = item {
+            f(item);
         }
     });
+}
+
+/// Run `f` once per item on every available hardware thread
+/// (compatibility shim for callers without a policy).
+pub fn for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    for_each_policy(&ExecPolicy::max_threads(), items, f);
 }
 
 #[cfg(test)]
@@ -77,5 +466,136 @@ mod tests {
             }
         });
         assert_eq!(data, [1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn threads_1_runs_inline_in_order() {
+        // The inline fallback must run on the calling thread, in
+        // ascending index order, without touching the pool.
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        run_indexed(&ExecPolicy::with_threads(1), 8, |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            seen.lock().unwrap().push(i);
+        });
+        assert_eq!(*seen.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_run_claims_every_index_exactly_once() {
+        let n = 37;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(&ExecPolicy::with_threads(3), n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn oversubscription_smoke() {
+        // More threads than cores (and than strips): every index still
+        // runs exactly once and the dispatch terminates.
+        let threads = 4 * current_num_threads() + 3;
+        let n = 64;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let sum = AtomicUsize::new(0);
+        run_indexed(&ExecPolicy::with_threads(threads), n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        // A region launched from inside a strip must not deadlock on
+        // the (non-reentrant) region mutex: it runs inline instead.
+        let inner_hits = AtomicUsize::new(0);
+        run_indexed(&ExecPolicy::with_threads(2), 4, |_| {
+            run_indexed(&ExecPolicy::with_threads(2), 3, |_| {
+                assert!(in_dispatch());
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn repeated_dispatches_reuse_the_pool() {
+        let before = bs_probe::metrics::total(Counter::PoolDispatches);
+        for _ in 0..5 {
+            let hits = AtomicUsize::new(0);
+            run_indexed(&ExecPolicy::with_threads(2), 6, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 6);
+        }
+        assert!(bs_probe::metrics::total(Counter::PoolDispatches) >= before + 5);
+    }
+
+    #[test]
+    fn worker_ws_hands_out_zeroed_scratch() {
+        let first = with_worker_ws(|ws| {
+            let v = ws.take_vec(32);
+            let ok = v.iter().all(|&x| x == 0.0);
+            ws.give_vec(v);
+            ok
+        });
+        assert!(first);
+        // Second checkout of the same size is a pool hit.
+        let (allocs0, allocs1) = with_worker_ws(|ws| {
+            let a0 = ws.allocations();
+            let v = ws.take_vec(32);
+            ws.give_vec(v);
+            (a0, ws.allocations())
+        });
+        assert_eq!(allocs0, allocs1, "warm checkout must not allocate");
+    }
+
+    #[test]
+    fn parse_threads_accepts_counts_and_max() {
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads(" 8 "), Some(8));
+        assert_eq!(parse_threads("max"), Some(current_num_threads()));
+        assert_eq!(parse_threads("MAX"), Some(current_num_threads()));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("lots"), None);
+    }
+
+    #[test]
+    fn strip_boundaries_are_thread_independent() {
+        // The partition rule sees only the extent — identical strips no
+        // matter how many threads later execute them.
+        for cols in [1usize, 4, 17, 64, 257, 1024] {
+            let w = Partition::Auto.strip_width(cols);
+            assert!(w >= GRAIN_COLS);
+            assert_eq!(w % GRAIN_COLS, 0);
+            let s = strips(cols, w);
+            assert!(s.len() <= MAX_STRIPS + 1);
+            // Strips tile the extent exactly, in order.
+            let mut at = 0;
+            for (j, sw) in s {
+                assert_eq!(j, at);
+                assert!(sw > 0);
+                at += sw;
+            }
+            assert_eq!(at, cols);
+        }
+        assert_eq!(Partition::Width(5).strip_width(100), 5);
+        assert_eq!(Partition::Width(0).strip_width(100), 1);
+    }
+
+    #[test]
+    fn policy_constructors() {
+        let seq = ExecPolicy::default();
+        assert_eq!(seq.threads, 1);
+        assert!(!seq.is_parallel());
+        assert_eq!(seq.min_work, DEFAULT_MIN_WORK);
+        assert_eq!(ExecPolicy::with_threads(0).threads, 1);
+        assert_eq!(ExecPolicy::max_threads().threads, current_num_threads());
     }
 }

@@ -73,6 +73,27 @@ pub fn auto_block_size(n: usize, m: usize) -> usize {
     crossover_block_size(n, &candidates, default_rate)
 }
 
+/// Minimum predicted flops each additional thread must amortize before
+/// fanning out pays. Calibrated against the pool's dispatch overhead
+/// (mailbox wake + done-barrier, ~microseconds) versus level-3 kernel
+/// throughput (~10⁹ flop/s): below a few Mflop a worker costs more to
+/// wake than it computes.
+pub const MIN_FLOPS_PER_THREAD: f64 = 4.0e6;
+
+/// Cost-model thread-count selection: how many threads (≤ `available`)
+/// a factorization predicted to cost `total_flops` should fan out to.
+/// Scales linearly — one thread per [`MIN_FLOPS_PER_THREAD`] of work —
+/// so small systems stay inline and large ones saturate the machine.
+/// Always returns at least 1.
+pub fn auto_threads(total_flops: f64, available: usize) -> usize {
+    // NaN and non-positive predictions both land in the sequential arm.
+    if total_flops.is_nan() || total_flops <= 0.0 || available <= 1 {
+        return 1;
+    }
+    let by_work = (total_flops / MIN_FLOPS_PER_THREAD).floor() as usize;
+    by_work.clamp(1, available)
+}
+
 /// Given an empirical effective rate `rate(m_s)` in flops/second for
 /// the dominant kernels at block size `m_s` (the "empirical
 /// characterization of the primitives' performance" the paper uses for
@@ -137,6 +158,20 @@ mod tests {
         assert_eq!(auto_block_size(96, 6), 6);
         // Degenerate: only one candidate.
         assert_eq!(auto_block_size(6, 6), 6);
+    }
+
+    #[test]
+    fn auto_threads_scales_with_predicted_work() {
+        // Tiny problems stay inline regardless of the machine.
+        assert_eq!(auto_threads(1.0e5, 64), 1);
+        assert_eq!(auto_threads(0.0, 64), 1);
+        assert_eq!(auto_threads(f64::NAN, 64), 1);
+        // One thread per MIN_FLOPS_PER_THREAD of predicted work.
+        assert_eq!(auto_threads(2.5 * MIN_FLOPS_PER_THREAD, 64), 2);
+        assert_eq!(auto_threads(8.0 * MIN_FLOPS_PER_THREAD, 64), 8);
+        // Clamped to what the machine has.
+        assert_eq!(auto_threads(1.0e12, 4), 4);
+        assert_eq!(auto_threads(1.0e12, 1), 1);
     }
 
     #[test]

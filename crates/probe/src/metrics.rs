@@ -56,10 +56,16 @@ pub enum Counter {
     /// Runtime invariant-contract violations observed (the `paranoid`
     /// feature's checks in bs-core / bs-matrix).
     ContractViolations,
+    /// Parallel regions dispatched to the persistent worker pool.
+    PoolDispatches,
+    /// Work strips executed by the pool (dispatcher strips included).
+    PoolStrips,
+    /// Nanoseconds spent executing pool strips, summed over workers.
+    PoolStripNanos,
 }
 
 /// Number of counter categories.
-pub const N_COUNTERS: usize = 19;
+pub const N_COUNTERS: usize = 22;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -83,6 +89,9 @@ impl Counter {
         Counter::WorkspaceAllocs,
         Counter::WorkspaceElems,
         Counter::ContractViolations,
+        Counter::PoolDispatches,
+        Counter::PoolStrips,
+        Counter::PoolStripNanos,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -107,6 +116,9 @@ impl Counter {
             Counter::WorkspaceAllocs => "workspace_allocs",
             Counter::WorkspaceElems => "workspace_elems",
             Counter::ContractViolations => "contract_violations",
+            Counter::PoolDispatches => "pool_dispatches",
+            Counter::PoolStrips => "pool_strips",
+            Counter::PoolStripNanos => "pool_strip_nanos",
         }
     }
 }

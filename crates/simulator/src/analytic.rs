@@ -52,6 +52,11 @@ pub struct SimResult {
     pub barrier: f64,
     /// Total bytes crossing the network.
     pub bytes: f64,
+    /// Total model flops charged across all processors (panel blocking
+    /// plus trailing application, eqs. 25–32 summed over the steps) —
+    /// what the simulated machine computes, independent of how the
+    /// scheme distributes it.
+    pub flops: f64,
 }
 
 /// Effective blocking dimension of the trailing-update gemm. The
@@ -115,6 +120,7 @@ pub fn simulate(cfg: &SimConfig, model: &dyn CostModel) -> SimResult {
 
         // ---- Phase 1: panel production (+ broadcast of the rep). ----
         let bf = blocking_flops(rep, m, m);
+        out.flops += bf;
         let wire_bytes = comm_words(rep, m) * 8;
         let mut panel_t = 0.0;
         let mut bcast_t = 0.0;
@@ -151,6 +157,7 @@ pub fn simulate(cfg: &SimConfig, model: &dyn CostModel) -> SimResult {
         let hi = p;
         let mut max_apply = 0.0f64;
         if hi > lo {
+            out.flops += apply_flops(rep, m, m, hi - lo);
             let dim = apply_dim(m, spread);
             for r in 0..np {
                 let local = scheme.owned_in_range(r, np, lo, hi);
@@ -242,6 +249,21 @@ mod tests {
         assert_eq!(t.barrier, 0.0);
         assert!(t.apply > 0.0 && t.panel > 0.0);
         assert_eq!(t.bytes, 0.0);
+    }
+
+    #[test]
+    fn model_flops_are_positive_and_distribution_independent() {
+        // The flop tally is a property of the algorithm (n, m, rep),
+        // not of how the scheme spreads it over processors.
+        let a = run(1024, 8, 1, Scheme::V1);
+        let b = run(1024, 8, 32, Scheme::V1);
+        let c = run(1024, 8, 32, Scheme::V2 { b: 4 });
+        assert!(a.flops > 0.0);
+        assert_eq!(a.flops, b.flops);
+        assert_eq!(a.flops, c.flops);
+        // Roughly the §6.5 headline 4·m·n² (same order of magnitude).
+        let headline = 4.0 * 8.0 * 1024.0f64 * 1024.0;
+        assert!(a.flops > 0.1 * headline && a.flops < 10.0 * headline);
     }
 
     #[test]

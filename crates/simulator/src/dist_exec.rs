@@ -22,7 +22,7 @@ use bs_core::rep::BlockReflector;
 use bs_core::rep::RepKind;
 use bs_distmem::{CostModel, Primitive, Proc, World};
 use bs_matrix::ldlt::Signature;
-use bs_matrix::Matrix;
+use bs_matrix::{ExecPolicy, Matrix};
 use bs_perfmodel as pm;
 use bs_probe::metrics::{self, Counter};
 use bs_toeplitz::{build_generator, SymBlockToeplitz};
@@ -195,7 +195,7 @@ pub fn factor_distributed(
                     // Work around double mutable borrow of the two maps
                     // by splitting the operation on raw entries.
                     let glj = gl.get_mut(&j).expect("lower");
-                    block_refl.apply_split(guj, glj.mt(), false);
+                    block_refl.apply_split(guj, glj.mt(), &ExecPolicy::sequential());
                 }
             }
             px.barrier();
@@ -451,7 +451,7 @@ pub fn factor_distributed_v3(
                 // dependency the analytic model charges a sync for).
                 if group == gs && intra > c && rank != owner {
                     let sl = slices.get_mut(&s).expect("pivot slice");
-                    crep.apply(sl.mt(), false);
+                    crep.apply(sl.mt(), &ExecPolicy::sequential());
                 }
                 px.barrier();
                 chunk_reps.push(crep);
@@ -470,7 +470,7 @@ pub fn factor_distributed_v3(
                 for j in local {
                     let sl = slices.get_mut(&j).expect("trailing slice");
                     for crep in &chunk_reps {
-                        crep.apply(sl.mt(), false);
+                        crep.apply(sl.mt(), &ExecPolicy::sequential());
                     }
                 }
             }

@@ -18,7 +18,7 @@ fn main() {
     let opts = SolverOptions {
         spd: SchurOptions {
             block_size: Some(8),
-            parallel: true,
+            exec: ExecPolicy::max_threads(),
             ..Default::default()
         },
         ..Default::default()
@@ -32,7 +32,7 @@ fn main() {
     let t_solve = start.elapsed();
 
     println!(
-        "n = {n}: factored in {:.1} ms (m_s = 8, rayon), solved in {:.2} ms",
+        "n = {n}: factored in {:.1} ms (m_s = 8, pooled), solved in {:.2} ms",
         t_factor.as_secs_f64() * 1e3,
         t_solve.as_secs_f64() * 1e3
     );

@@ -23,6 +23,13 @@ cargo test -q
 echo "==> workspace crate tests"
 cargo test -q --workspace
 
+echo "==> execution tier: workspace tests under BS_THREADS=1 and BS_THREADS=max"
+# SchurOptions::default() reads BS_THREADS, so these two runs push the
+# whole suite through the forced-sequential and fully-pooled paths; the
+# determinism contract says both must pass identically.
+BS_THREADS=1 cargo test -q --workspace
+BS_THREADS=max cargo test -q --workspace
+
 echo "==> paranoid tier: invariant contracts enabled"
 cargo test -q -p bs-core --features paranoid
 

@@ -211,11 +211,35 @@ pub fn cmd_info(matrix: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parse a `--threads` flag value: a positive count or `max`.
+pub fn parse_threads_flag(s: &str) -> Result<usize, CliError> {
+    bs_matrix::par::parse_threads(s)
+        .ok_or_else(|| CliError::Usage(format!("bad --threads {s:?} (positive count or \"max\")")))
+}
+
+/// Driver options for `solve` / `factor`: the pinned block size plus
+/// the execution policy (`--threads`, falling back to `BS_THREADS` /
+/// sequential via the [`SchurOptions`] default).
+fn solver_options(block_size: Option<usize>, threads: Option<usize>) -> SolverOptions {
+    let mut spd = SchurOptions {
+        block_size,
+        ..Default::default()
+    };
+    if let Some(t) = threads {
+        spd.exec = ExecPolicy::with_threads(t);
+    }
+    SolverOptions {
+        spd,
+        ..Default::default()
+    }
+}
+
 /// `solve` command: returns the solution and a report.
 pub fn cmd_solve(
     matrix: &Path,
     rhs: Option<&Path>,
     block_size: Option<usize>,
+    threads: Option<usize>,
     obs: &Observe,
 ) -> Result<(Vec<f64>, String), CliError> {
     let t = read_matrix(matrix)?;
@@ -224,13 +248,7 @@ pub fn cmd_solve(
         Some(p) => read_vector(p, n)?,
         None => t.matvec(&vec![1.0; n]), // reference RHS with x* = 1
     };
-    let opts = SolverOptions {
-        spd: SchurOptions {
-            block_size,
-            ..Default::default()
-        },
-        ..Default::default()
-    };
+    let opts = solver_options(block_size, threads);
     obs.begin();
     let start = std::time::Instant::now();
     let solver =
@@ -244,13 +262,14 @@ pub fn cmd_solve(
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "solved n = {n} in {:.3} ms ({} path), relative residual {rel:.3e}",
+        "solved n = {n} in {:.3} ms ({} path, {} thread(s)), relative residual {rel:.3e}",
         secs * 1e3,
         if solver.is_positive_definite() {
             "SPD"
         } else {
             "indefinite"
-        }
+        },
+        opts.spd.exec.threads
     );
     obs.finish(&mut report)?;
     Ok((x, report))
@@ -261,16 +280,11 @@ pub fn cmd_solve(
 pub fn cmd_factor(
     matrix: &Path,
     block_size: Option<usize>,
+    threads: Option<usize>,
     obs: &Observe,
 ) -> Result<String, CliError> {
     let t = read_matrix(matrix)?;
-    let opts = SolverOptions {
-        spd: SchurOptions {
-            block_size,
-            ..Default::default()
-        },
-        ..Default::default()
-    };
+    let opts = solver_options(block_size, threads);
     obs.begin();
     let start = std::time::Instant::now();
     let solver =
@@ -280,7 +294,7 @@ pub fn cmd_factor(
     let (pos, neg) = solver.inertia();
     let _ = writeln!(
         report,
-        "factored n = {} (m = {}) in {:.3} ms: {} path, inertia {pos}+ / {neg}-",
+        "factored n = {} (m = {}) in {:.3} ms: {} path, {} thread(s), inertia {pos}+ / {neg}-",
         t.order(),
         t.block_size(),
         secs * 1e3,
@@ -288,7 +302,8 @@ pub fn cmd_factor(
             "SPD"
         } else {
             "indefinite"
-        }
+        },
+        opts.spd.exec.threads
     );
     if let Factorization::Indefinite(f) = solver.factorization() {
         let _ = writeln!(
@@ -325,11 +340,13 @@ pub fn cmd_plan(
     shape: (usize, usize),
     rep: Option<&str>,
     block_size: Option<usize>,
+    threads: Option<usize>,
 ) -> Result<String, CliError> {
     let (n, m) = shape;
     let req = PlanRequest {
         rep: rep.map(parse_rep).transpose()?,
         block_size,
+        threads,
         ..Default::default()
     };
     let plan = FactorPlan::for_shape(n, m, &req).map_err(|e| CliError::Numerical(e.to_string()))?;
@@ -348,6 +365,12 @@ pub fn cmd_plan(
         plan.block_size(),
         auto(plan.block_size_is_auto()),
         plan.num_blocks()
+    );
+    let _ = writeln!(
+        out,
+        "  execution: {} thread(s){} for the trailing update",
+        plan.threads(),
+        auto(plan.threads_is_auto())
     );
     let _ = writeln!(
         out,
@@ -476,12 +499,20 @@ pub const USAGE: &str = "block-schur — block Schur Toeplitz solver (ICPP'94 re
 
 USAGE:
     block-schur info <matrix>
-    block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--output <file>]
+    block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--threads <t|max>]
+                     [--output <file>] [--trace <file>] [--metrics]
+    block-schur factor <matrix> [--block-size <m_s>] [--threads <t|max>]
                      [--trace <file>] [--metrics]
-    block-schur factor <matrix> [--block-size <m_s>] [--trace <file>] [--metrics]
     block-schur plan (<matrix> | --n <n> [--m <m>]) [--rep <kind>] [--block-size <m_s>]
+                     [--threads <t|max>]
     block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
     block-schur simulate --n <n> --m <m> --np <p> --scheme <v1|v2:b|v3:s>
+
+EXECUTION:
+    --threads <t|max>  worker threads for the trailing-update strips
+                       (\"max\" = all cores). Default: BS_THREADS when
+                       set, else the cost model picks per plan. Any
+                       thread count produces bitwise-identical factors.
 
 OBSERVABILITY:
     --trace <file>   write a JSON-lines trace: spans with ns timestamps,
@@ -532,7 +563,7 @@ mod tests {
         assert!(info.contains("positive definite: false"), "{info}");
         assert!(info.contains("perturbations: 1"), "{info}");
 
-        let (x, report) = cmd_solve(&mat, None, None, &Observe::default()).unwrap();
+        let (x, report) = cmd_solve(&mat, None, None, None, &Observe::default()).unwrap();
         assert!(report.contains("indefinite"), "{report}");
         // Default RHS has x* = 1.
         for v in &x {
@@ -551,8 +582,14 @@ mod tests {
         let rhs = tmp("rhs.txt");
         let text: String = b.iter().map(|v| format!("{v:.17e}\n")).collect();
         std::fs::write(&rhs, text).unwrap();
-        let (x, report) =
-            cmd_solve(&mat, Some(rhs.as_path()), Some(4), &Observe::default()).unwrap();
+        let (x, report) = cmd_solve(
+            &mat,
+            Some(rhs.as_path()),
+            Some(4),
+            None,
+            &Observe::default(),
+        )
+        .unwrap();
         assert!(report.contains("SPD"), "{report}");
         for i in 0..32 {
             assert!((x[i] - x_true[i]).abs() < 1e-8);
@@ -570,7 +607,7 @@ mod tests {
             trace: Some(trace.clone()),
             metrics: true,
         };
-        let (_, report) = cmd_solve(&mat, None, Some(4), &obs).unwrap();
+        let (_, report) = cmd_solve(&mat, None, Some(4), None, &obs).unwrap();
         assert!(report.contains("metrics:"), "{report}");
         assert!(report.contains("peak growth factor:"), "{report}");
         assert!(report.contains("trace written to"), "{report}");
@@ -603,7 +640,7 @@ mod tests {
     fn factor_command_reports_structure() {
         let mat = tmp("factor.txt");
         cmd_gen("singular-minor", 24, 1, 0.0, 7, &mat).unwrap();
-        let report = cmd_factor(&mat, None, &Observe::default()).unwrap();
+        let report = cmd_factor(&mat, None, None, &Observe::default()).unwrap();
         assert!(report.contains("indefinite"), "{report}");
         assert!(report.contains("perturbations: 1"), "{report}");
         std::fs::remove_file(&mat).ok();
@@ -613,26 +650,36 @@ mod tests {
     fn plan_command_reports_choices() {
         // Fully automatic: n = 256, m = 4 retiles to m_s = 8 (p = 32),
         // where the trailing applications dominate and VY2 wins.
-        let out = cmd_plan((256, 4), None, None).unwrap();
+        let out = cmd_plan((256, 4), None, None, None).unwrap();
         assert!(out.contains("plan for n = 256"), "{out}");
         assert!(out.contains("VY form 2 (auto)"), "{out}");
         assert!(out.contains("m_s = 8 (auto), p = 32"), "{out}");
+        // Thread count may come from BS_THREADS (pinned) or the cost
+        // model (auto); either way the line is reported.
+        assert!(out.contains("thread(s)"), "{out}");
         assert!(out.contains("predicted elimination flops:"), "{out}");
         assert!(out.contains("words/step"), "{out}");
         assert!(out.contains("fallback: indefinite kernel"), "{out}");
 
         // Pinned representation and block size are echoed as such.
-        let out = cmd_plan((32, 1), Some("yty"), Some(4)).unwrap();
+        let out = cmd_plan((32, 1), Some("yty"), Some(4), Some(3)).unwrap();
         assert!(out.contains("(pinned)"), "{out}");
         assert!(out.contains("m_s = 4 (pinned), p = 8"), "{out}");
+        assert!(out.contains("3 thread(s) (pinned)"), "{out}");
+
+        // --threads parsing: counts and "max", junk rejected.
+        assert_eq!(parse_threads_flag("2").unwrap(), 2);
+        assert!(parse_threads_flag("max").unwrap() >= 1);
+        assert!(parse_threads_flag("0").is_err());
+        assert!(parse_threads_flag("lots").is_err());
 
         // Bad inputs surface as CLI errors, not panics.
         assert!(matches!(
-            cmd_plan((32, 1), Some("bogus"), None),
+            cmd_plan((32, 1), Some("bogus"), None, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_plan((32, 1), None, Some(5)),
+            cmd_plan((32, 1), None, Some(5), None),
             Err(CliError::Numerical(_))
         ));
     }

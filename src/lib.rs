@@ -49,6 +49,6 @@ pub mod prelude {
         IndefOptions, Perturbation, PlanRequest, PlanWorkspace, RefineOptions, RefineResult,
         RepKind, SchurOptions, SolverOptions, SpdFactor, ToeplitzSolver,
     };
-    pub use bs_matrix::{Matrix, Signature};
+    pub use bs_matrix::{ExecPolicy, Matrix, Partition, Signature};
     pub use bs_toeplitz::{build_generator, workloads, Generator, SymBlockToeplitz};
 }

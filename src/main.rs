@@ -45,6 +45,12 @@ fn block_size(args: &[String]) -> Result<Option<usize>, CliError> {
         .transpose()
 }
 
+fn threads(args: &[String]) -> Result<Option<usize>, CliError> {
+    flag(args, "--threads")
+        .map(|v| cli::parse_threads_flag(&v))
+        .transpose()
+}
+
 fn run(args: &[String]) -> Result<String, CliError> {
     let cmd = args
         .first()
@@ -62,7 +68,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("solve needs a matrix file".into()))?;
             let rhs = flag(args, "--rhs").map(PathBuf::from);
             let bs = block_size(args)?;
-            let (x, report) = cli::cmd_solve(Path::new(m), rhs.as_deref(), bs, &observe(args))?;
+            let t = threads(args)?;
+            let (x, report) = cli::cmd_solve(Path::new(m), rhs.as_deref(), bs, t, &observe(args))?;
             if let Some(out) = flag(args, "--output") {
                 let text: String = x.iter().map(|v| format!("{v:.17e}\n")).collect();
                 std::fs::write(out, text)?;
@@ -80,7 +87,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .get(1)
                 .ok_or_else(|| CliError::Usage("factor needs a matrix file".into()))?;
             let bs = block_size(args)?;
-            cli::cmd_factor(Path::new(m), bs, &observe(args))
+            cli::cmd_factor(Path::new(m), bs, threads(args)?, &observe(args))
         }
         "plan" => {
             // Shape from an explicit --n/--m pair or from a matrix file.
@@ -111,7 +118,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             };
             let rep = flag(args, "--rep");
             let bs = block_size(args)?;
-            cli::cmd_plan(shape, rep.as_deref(), bs)
+            cli::cmd_plan(shape, rep.as_deref(), bs, threads(args)?)
         }
         "gen" => {
             let kind = args

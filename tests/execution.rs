@@ -1,0 +1,128 @@
+//! Execution-layer contract tests: the persistent worker pool must be
+//! an implementation detail of *speed*, never of *results*. Strip
+//! boundaries depend only on the problem shape and the partition
+//! policy — not on the thread count — so a pooled factorization is
+//! bitwise identical to the sequential one at every thread count,
+//! including absurd oversubscription.
+//!
+//! The tests share one mutex: pool-dispatch counters are process-wide,
+//! so the inline-fallback assertions must not race the pooled runs.
+
+use block_schur::prelude::*;
+use bs_probe::metrics::{self, Counter};
+use std::sync::Mutex;
+
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An ExecPolicy that engages the strip dispatcher even at test sizes.
+fn exec(threads: usize) -> ExecPolicy {
+    ExecPolicy {
+        threads,
+        min_work: 1,
+        partition: Partition::Auto,
+    }
+}
+
+fn spd_opts(threads: usize) -> SchurOptions {
+    SchurOptions {
+        exec: exec(threads),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn spd_factorization_is_bitwise_identical_across_thread_counts() {
+    let _g = lock();
+    let max = block_schur::matrix::par::current_num_threads();
+    let systems = [
+        workloads::kms(48, 0.85),
+        workloads::random_spd_block(3, 16, 11),
+        workloads::spd_ar1_block(4, 16, 0.6, 5),
+    ];
+    for t in &systems {
+        let (b, _) = workloads::rhs_for_ones(t);
+        let baseline = factor_spd(t, &spd_opts(1)).unwrap();
+        let x0 = baseline.solve(&b).unwrap();
+        for threads in [2usize, max, max * 2] {
+            let f = factor_spd(t, &spd_opts(threads)).unwrap();
+            // Elementwise *equality*, not closeness: deterministic
+            // strips mean no reassociation anywhere in the update.
+            assert_eq!(
+                f.r.max_abs_diff(&baseline.r),
+                0.0,
+                "threads={threads}: pooled R differs from sequential"
+            );
+            let x = f.solve(&b).unwrap();
+            assert_eq!(x, x0, "threads={threads}: pooled solve differs");
+        }
+    }
+}
+
+#[test]
+fn indefinite_solver_is_bitwise_identical_across_thread_counts() {
+    let _g = lock();
+    let max = block_schur::matrix::par::current_num_threads();
+    let systems = [
+        workloads::random_indefinite_block(2, 12, 21),
+        workloads::singular_minor_scalar(40, 503),
+    ];
+    for t in &systems {
+        let (b, _) = workloads::rhs_for_ones(t);
+        let mk = |threads: usize| SolverOptions {
+            spd: spd_opts(threads),
+            ..Default::default()
+        };
+        let base = ToeplitzSolver::with_options(t, &mk(1)).unwrap();
+        let x0 = base.solve(&b).unwrap();
+        assert!(!base.is_positive_definite(), "workload must be indefinite");
+        for threads in [2usize, max, max * 2] {
+            let s = ToeplitzSolver::with_options(t, &mk(threads)).unwrap();
+            let x = s.solve(&b).unwrap();
+            assert_eq!(x, x0, "threads={threads}: indefinite solve differs");
+        }
+    }
+}
+
+#[test]
+fn threads_one_never_touches_the_pool() {
+    let _g = lock();
+    let t = workloads::random_spd_block(4, 12, 7);
+    let before = metrics::total(Counter::PoolDispatches);
+    let _ = factor_spd(&t, &spd_opts(1)).unwrap();
+    assert_eq!(
+        metrics::total(Counter::PoolDispatches),
+        before,
+        "threads=1 must run strips inline on the caller's thread"
+    );
+    // The same problem with threads=2 *does* route through the pool —
+    // proving the counter would have caught an accidental dispatch.
+    let _ = factor_spd(&t, &spd_opts(2)).unwrap();
+    assert!(
+        metrics::total(Counter::PoolDispatches) > before,
+        "threads=2 at min_work=1 must dispatch to the pool"
+    );
+}
+
+#[test]
+fn oversubscription_smoke() {
+    let _g = lock();
+    // Far more workers than cores: the pool grows on demand, the claim
+    // loop load-balances, and the result is still bitwise sequential.
+    let threads = block_schur::matrix::par::current_num_threads() * 8;
+    let t = workloads::spd_ar1_block(4, 24, 0.7, 13);
+    let (b, x_true) = workloads::rhs_for_ones(&t);
+    let baseline = factor_spd(&t, &spd_opts(1)).unwrap();
+    let f = factor_spd(&t, &spd_opts(threads)).unwrap();
+    assert_eq!(f.r.max_abs_diff(&baseline.r), 0.0);
+    let x = f.solve(&b).unwrap();
+    let err = x
+        .iter()
+        .zip(&x_true)
+        .map(|(a, c)| (a - c).abs())
+        .fold(0.0, f64::max);
+    assert!(err < 1e-8, "oversubscribed solve error {err:e}");
+}

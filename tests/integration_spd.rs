@@ -34,11 +34,15 @@ fn all_option_combinations_agree() {
     let t = workloads::random_spd_block(2, 12, 9);
     let reference = factor_spd(&t, &SchurOptions::default()).unwrap();
     for rep in RepKind::ALL {
-        for parallel in [false, true] {
+        for threads in [1usize, 2, 7] {
             for explicit_shift in [false, true] {
                 let opts = SchurOptions {
                     rep,
-                    parallel,
+                    exec: ExecPolicy {
+                        threads,
+                        min_work: 1,
+                        partition: Partition::Auto,
+                    },
                     explicit_shift,
                     ..Default::default()
                 };
@@ -46,7 +50,7 @@ fn all_option_combinations_agree() {
                 let diff = f.r.max_abs_diff(&reference.r);
                 assert!(
                     diff < 1e-10,
-                    "rep={rep:?} parallel={parallel} shift={explicit_shift}: diff {diff:e}"
+                    "rep={rep:?} threads={threads} shift={explicit_shift}: diff {diff:e}"
                 );
             }
         }
