@@ -1,0 +1,216 @@
+//! Microkernel engine bench: measured GEMM / SYRK / TRSM rates per
+//! dispatched ISA.
+//!
+//! The fig. 10 experiment shows the *algorithm-level* payoff of
+//! retiling; this binary characterizes the *kernel-level* rates that
+//! payoff rests on. For each kernel choice (`portable`, then the
+//! machine's native SIMD dispatch when it differs) it sweeps
+//!
+//! - the dominant Schur trailing-update GEMM shape
+//!   `C(m_s x n) += A(m_s x m_s) B(m_s x n)` over the fig. 10 block
+//!   sizes,
+//! - square GEMM at the fig. 10 quick problem sizes,
+//! - the SYRK and TRSM shapes the factorization's panel step runs,
+//!
+//! emitting one `@@BENCH` record per (kernel, shape) with the achieved
+//! Gflop/s. The run asserts the native kernel is no slower than the
+//! portable one on the headline square GEMM — and at least 2x on
+//! AVX2/AVX-512 hardware, where the FMA microkernel retires 4+ flops
+//! per cycle the scalar kernel cannot.
+//!
+//! Run: `cargo run -p bs-bench --release --bin kernels [--quick]`
+
+use bs_bench::{emit_bench, print_table, quick_mode, time_it};
+use bs_matrix::kernel::{self, Choice};
+use bs_matrix::{gemm, syrk, trsm, Matrix, Side, Trans, Uplo};
+
+/// Fig. 10 retiling sweep (the trailing-update block sizes).
+const BLOCK_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Best-of-`reps` wall time of `f`, re-run until the timer is off the
+/// noise floor.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let ((), run) = time_it(&mut f);
+        best = best.min(run.wall_s.max(1.0e-9));
+    }
+    best
+}
+
+fn fill(seed: u64) -> impl FnMut(usize, usize) -> f64 {
+    let mut state = seed | 1;
+    move |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 1000) as f64 - 500.0) / 250.0
+    }
+}
+
+/// A doubly diagonally-dominant lower triangle: safe to solve against
+/// at bench sizes without the exponential conditioning of a random
+/// triangle.
+fn dd_lower(n: usize, seed: u64) -> Matrix {
+    let mut f = fill(seed);
+    let mut l = Matrix::from_fn(n, n, |i, j| if j <= i { 0.1 * f(i, j) } else { 0.0 });
+    for i in 0..n {
+        let row: f64 = (0..i).map(|j| l[(i, j)].abs()).sum();
+        let col: f64 = (i + 1..n).map(|k| l[(k, i)].abs()).sum();
+        l[(i, i)] = 1.0 + row + col;
+    }
+    l
+}
+
+struct Measured {
+    label: String,
+    flops: f64,
+    gflops: f64,
+}
+
+/// Rate of one timed kernel shape, recorded and tabled.
+fn measure(
+    isa: &str,
+    label: &str,
+    flops: f64,
+    reps: usize,
+    rows: &mut Vec<Measured>,
+    f: impl FnMut(),
+) {
+    let secs = best_of(reps, f);
+    let gflops = flops / secs / 1e9;
+    emit_bench(
+        &format!("kernels_{label}_{isa}"),
+        secs,
+        flops as u64,
+        &[("gflops", gflops)],
+    );
+    rows.push(Measured {
+        label: label.to_string(),
+        flops,
+        gflops,
+    });
+}
+
+/// Sweep every shape for one kernel choice; returns the headline
+/// square-GEMM rate used for the cross-ISA assertions.
+fn sweep(choice: Choice, quick: bool, table: &mut Vec<Vec<String>>) -> f64 {
+    kernel::set_override(Some(choice));
+    let isa = kernel::active_isa_name();
+    let reps = if quick { 3 } else { 5 };
+    let mut rows = Vec::new();
+
+    // Trailing-update GEMM over the fig. 10 block sizes.
+    let trailing = if quick { 256 } else { 512 };
+    for ms in BLOCK_SIZES {
+        let a = Matrix::from_fn(ms, ms, fill(11));
+        let b = Matrix::from_fn(ms, trailing, fill(13));
+        let mut c = Matrix::zeros(ms, trailing);
+        let flops = 2.0 * (ms * ms * trailing) as f64;
+        // Iterate tiny shapes so each sample is off the timer floor.
+        let iters = ((2.0e6 / flops).ceil() as usize).clamp(1, 65536);
+        measure(
+            isa,
+            &format!("update_ms{ms}"),
+            flops * iters as f64,
+            reps,
+            &mut rows,
+            || {
+                for _ in 0..iters {
+                    gemm(1.0, a.rf(), Trans::No, b.rf(), Trans::No, 1.0, c.mt());
+                }
+            },
+        );
+    }
+
+    // Headline square GEMM at the fig. 10 quick sizes.
+    let sizes: &[usize] = if quick { &[128, 256] } else { &[256, 512] };
+    let mut headline = 0.0;
+    for &n in sizes {
+        let a = Matrix::from_fn(n, n, fill(17));
+        let b = Matrix::from_fn(n, n, fill(19));
+        let mut c = Matrix::zeros(n, n);
+        let flops = 2.0 * (n * n * n) as f64;
+        measure(isa, &format!("gemm_n{n}"), flops, reps, &mut rows, || {
+            gemm(1.0, a.rf(), Trans::No, b.rf(), Trans::No, 0.0, c.mt());
+        });
+        headline = rows.last().map(|r| r.gflops).unwrap_or(0.0);
+    }
+
+    // Panel-step SYRK: C(n x n) lower <- A(n x k) Aᵀ.
+    let (sn, sk) = if quick { (192, 96) } else { (384, 192) };
+    let a = Matrix::from_fn(sn, sk, fill(23));
+    let mut c = Matrix::zeros(sn, sn);
+    let flops = (sn * sn * sk + sn * sn) as f64;
+    measure(isa, "syrk", flops, reps, &mut rows, || {
+        syrk(Uplo::Lower, Trans::No, 1.0, a.rf(), 0.0, c.mt());
+    });
+
+    // Blocked TRSM: L X = B with a well-conditioned lower triangle.
+    let (tn, tcols) = if quick { (192, 192) } else { (384, 384) };
+    let l = dd_lower(tn, 29);
+    let b0 = Matrix::from_fn(tn, tcols, fill(31));
+    let mut b = Matrix::zeros(tn, tcols);
+    let flops = (tn * tn * tcols) as f64;
+    measure(isa, "trsm", flops, reps, &mut rows, || {
+        b.mt().copy_from(b0.rf());
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        )
+        .unwrap();
+    });
+
+    for r in rows {
+        table.push(vec![
+            isa.to_string(),
+            r.label,
+            format!("{:.2e}", r.flops),
+            format!("{:.3}", r.gflops),
+        ]);
+    }
+    headline
+}
+
+fn main() {
+    let timer = bs_bench::RunTimer::start("kernels");
+    let quick = quick_mode();
+    let mut table = Vec::new();
+
+    let portable = sweep(Choice::Portable, quick, &mut table);
+    let native_isa = kernel::native_isa();
+    let native = if native_isa == kernel::Isa::Portable {
+        portable
+    } else {
+        sweep(Choice::Native, quick, &mut table)
+    };
+    kernel::set_override(None);
+
+    print_table(
+        "Kernel engine — measured rates per dispatched ISA",
+        &["isa", "shape", "flops", "Gflop/s"],
+        &table,
+    );
+    println!(
+        "\nnative dispatch: {} (headline square GEMM {native:.3} Gflop/s vs portable {portable:.3})",
+        native_isa.name()
+    );
+
+    assert!(
+        native >= portable * 0.95,
+        "native kernel ({native:.3} Gflop/s) slower than portable ({portable:.3} Gflop/s)"
+    );
+    if matches!(native_isa, kernel::Isa::Avx2 | kernel::Isa::Avx512) {
+        assert!(
+            native >= 2.0 * portable,
+            "SIMD GEMM must be at least 2x the scalar kernel on AVX2/AVX-512 \
+             hardware: got {native:.3} vs {portable:.3} Gflop/s"
+        );
+    }
+    timer.finish();
+}

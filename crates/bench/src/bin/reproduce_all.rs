@@ -32,6 +32,7 @@ fn main() {
         "blocksize_model",
         "steady_state",
         "cross_validate",
+        "kernels",
     ];
     let started = Instant::now();
     let mut records: Vec<Json> = Vec::new();

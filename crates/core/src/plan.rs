@@ -27,9 +27,9 @@ use crate::rep::RepKind;
 use crate::schur::{SchurOptions, SpdFactor};
 use crate::solver::Factorization;
 use crate::{Error, Result};
-use bs_matrix::{par, ExecPolicy, Workspace};
+use bs_matrix::{kernel, par, ExecPolicy, Workspace};
 use bs_perfmodel::model::{self, Rep};
-use bs_perfmodel::tradeoff;
+use bs_perfmodel::tradeoff::{self, RateTable};
 use bs_toeplitz::SymBlockToeplitz;
 
 /// A request for a [`FactorPlan`]: pin the choices you care about,
@@ -57,6 +57,20 @@ pub struct PlanRequest {
     pub zero_tol: Option<f64>,
     /// Options for the indefinite fallback kernel.
     pub indefinite: IndefOptions,
+    /// Drive the auto-selection of `m_s` and threads from the one-shot
+    /// kernel calibration ([`bs_matrix::kernel::calibrate`]) instead of
+    /// the assumed saturating rate model. Also enabled process-wide by
+    /// `BS_CALIBRATE=1`. Opt-in: the measurement is wall-clock and the
+    /// resulting picks vary with the machine, so pinned-expectation
+    /// callers (tests, reproducibility scripts) keep the analytic model
+    /// by default.
+    pub calibrate: bool,
+}
+
+/// `BS_CALIBRATE=1` (or `true`) turns measured-rate planning on for
+/// every request in the process.
+fn env_calibrate() -> bool {
+    std::env::var("BS_CALIBRATE").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 /// Caller-owned execution state for [`FactorPlan::execute`]: the pooled
@@ -148,6 +162,8 @@ pub struct FactorPlan {
     rep_auto: bool,
     block_auto: bool,
     threads_auto: bool,
+    calibrated: bool,
+    kernel_isa: &'static str,
     spd: SchurOptions,
     indefinite: IndefOptions,
     predicted_flops: f64,
@@ -186,6 +202,16 @@ fn rep_index(k: RepKind) -> usize {
     }
 }
 
+/// Stable index of the dispatched kernel ISA for trace events.
+fn isa_index(isa: kernel::Isa) -> usize {
+    match isa {
+        kernel::Isa::Portable => 0,
+        kernel::Isa::Avx2 => 1,
+        kernel::Isa::Avx512 => 2,
+        kernel::Isa::Neon => 3,
+    }
+}
+
 impl FactorPlan {
     /// Plan for the shape of `t`, auto-selecting what `req` leaves
     /// unset.
@@ -201,6 +227,12 @@ impl FactorPlan {
                 "order n = {n} must be a positive multiple of the block size m = {m}"
             )));
         }
+        // Measured-rate planning (opt-in): swap the assumed saturating
+        // rate curve for the one-shot kernel calibration of the running
+        // machine. The first calibrated plan in a process pays the
+        // measurement; later ones reuse it.
+        let rates = (req.calibrate || env_calibrate())
+            .then(|| RateTable::new(&kernel::calibrate::calibration().points));
         let (m_s, block_auto) = match req.block_size {
             Some(ms) => {
                 if ms == 0 || !ms.is_multiple_of(m) {
@@ -215,7 +247,10 @@ impl FactorPlan {
                 }
                 (ms, false)
             }
-            None => (tradeoff::auto_block_size(n, m), true),
+            None => match &rates {
+                Some(t) => (tradeoff::auto_block_size_with_rate(n, m, t), true),
+                None => (tradeoff::auto_block_size(n, m), true),
+            },
         };
         let p = n / m_s;
         let (rep, rep_auto) = match req.rep {
@@ -245,6 +280,7 @@ impl FactorPlan {
             rep_auto,
             block_auto,
             threads_auto,
+            rates.as_ref(),
         ))
     }
 
@@ -277,9 +313,11 @@ impl FactorPlan {
             false,
             false,
             false,
+            None,
         ))
     }
 
+    #[allow(clippy::too_many_arguments)] // private assembly step; the public surface is PlanRequest
     fn assemble(
         n: usize,
         m: usize,
@@ -288,6 +326,7 @@ impl FactorPlan {
         rep_auto: bool,
         block_auto: bool,
         threads_auto: bool,
+        rates: Option<&RateTable>,
     ) -> FactorPlan {
         let m_s = spd.block_size.unwrap_or(m);
         let p = n / m_s;
@@ -301,8 +340,13 @@ impl FactorPlan {
             None => (model::total_factor_flops(n, m_s), m_s * (2 * m_s + 2)),
         };
         if threads_auto {
-            spd.exec.threads = tradeoff::auto_threads(predicted_flops, par::current_num_threads());
+            let avail = par::current_num_threads();
+            spd.exec.threads = match rates {
+                Some(t) => tradeoff::auto_threads_with_rate(predicted_flops, t.rate(m_s), avail),
+                None => tradeoff::auto_threads(predicted_flops, avail),
+            };
         }
+        let active = kernel::active().isa();
         bs_probe::event!(
             "plan_built",
             n = n,
@@ -314,6 +358,8 @@ impl FactorPlan {
             block_auto = block_auto as usize,
             threads = spd.exec.threads,
             threads_auto = threads_auto as usize,
+            kernel = isa_index(active),
+            calibrated = rates.is_some() as usize,
             predicted_flops = predicted_flops,
         );
         FactorPlan {
@@ -324,6 +370,8 @@ impl FactorPlan {
             rep_auto,
             block_auto,
             threads_auto,
+            calibrated: rates.is_some(),
+            kernel_isa: active.name(),
             spd,
             indefinite,
             predicted_flops,
@@ -442,6 +490,19 @@ impl FactorPlan {
     /// pinned in the request nor forced through `BS_THREADS`).
     pub fn threads_is_auto(&self) -> bool {
         self.threads_auto
+    }
+
+    /// Name of the SIMD microkernel ISA the BLAS-3 drivers were
+    /// dispatching to when the plan was built (`portable`, `avx2`,
+    /// `avx512`, or `neon`).
+    pub fn kernel_isa(&self) -> &'static str {
+        self.kernel_isa
+    }
+
+    /// `true` when auto-selection ran on the measured kernel-rate table
+    /// instead of the assumed saturating model.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
     }
 
     /// Predicted elimination flops (eqs. 25–32 summed over the `p − 1`
@@ -591,6 +652,42 @@ mod tests {
                 }
                 other => panic!("expected indefinite fallback, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn plans_record_the_dispatched_kernel() {
+        let plan = FactorPlan::for_shape(16, 8, &PlanRequest::default()).unwrap();
+        assert!(["portable", "avx2", "avx512", "neon"].contains(&plan.kernel_isa()));
+        assert!(!plan.is_calibrated(), "calibration is opt-in");
+    }
+
+    #[test]
+    fn calibrated_plans_pick_a_valid_block_size() {
+        // The measured picks vary by machine, so assert structure, not
+        // the value: m_s must still be a multiple of m dividing n, and
+        // the plan must execute correctly.
+        let t = workloads::random_spd_block(3, 16, 7);
+        let plan = FactorPlan::new(
+            &t,
+            &PlanRequest {
+                calibrate: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(plan.is_calibrated());
+        assert!(plan.block_size_is_auto());
+        let ms = plan.block_size();
+        assert!(ms.is_multiple_of(3) && 48 % ms == 0, "m_s = {ms}");
+        assert!(plan.threads() >= 1);
+        let mut pw = PlanWorkspace::new();
+        match plan.execute(&t, &mut pw).unwrap() {
+            Factorization::Spd(f) => {
+                let diff = f.reconstruct().max_abs_diff(&t.to_dense());
+                assert!(diff < 1e-9, "||R^TR - T|| = {diff:e}");
+            }
+            other => panic!("expected SPD, got {other:?}"),
         }
     }
 

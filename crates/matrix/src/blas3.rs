@@ -6,17 +6,25 @@
 //! level-3 BLAS operations" (§1) and that BLAS3 on larger operands runs
 //! at a higher rate than BLAS1/2 on small ones. The blocked `gemm` here
 //! reproduces that behaviour on a modern cache hierarchy: a packed
-//! BLIS-style loop nest with an `MR x NR` register microkernel.
+//! BLIS-style loop nest whose `MR x NR` register microkernel is
+//! runtime-dispatched to the best SIMD the machine supports (see
+//! [`crate::kernel`]), with cache-block extents autotuned from the
+//! detected hierarchy (see [`crate::kernel::tuning`]). `syrk` and
+//! `trsm` route their bulk work through the same packed engine: `syrk`
+//! builds its triangle from packed sub-products, and `trsm` solves in
+//! diagonal blocks whose trailing updates are packed GEMMs.
 
 use crate::blas1;
 use crate::blas2;
 use crate::flops;
+use crate::kernel::{self, pack, tuning, Kernel, MR, NR};
 use crate::par::{self, ExecPolicy};
 use crate::view::{MatMut, MatRef};
 use crate::workspace::Workspace;
 use crate::{Error, Result};
 use bs_probe::metrics::{self, Counter};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Transposition flag for `gemm` operands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,14 +46,6 @@ pub enum Side {
     Left,
     Right,
 }
-
-// Cache blocking parameters (f64): sized so the packed A block stays in
-// L2 (MC*KC*8 = 256 KiB) and a B micro-panel in L1.
-const MC: usize = 128;
-const KC: usize = 256;
-const NC: usize = 1024;
-const MR: usize = 8;
-const NR: usize = 4;
 
 #[inline]
 fn op_rows(a: MatRef<'_>, t: Trans) -> usize {
@@ -69,6 +69,18 @@ fn op_get(a: MatRef<'_>, t: Trans, i: usize, j: usize) -> f64 {
         Trans::No => a.get(i, j),
         Trans::Yes => a.get(j, i),
     }
+}
+
+/// Whether a `gemm` of these full-problem dimensions takes the packed
+/// path. The packed path only pays when every dimension offers reuse;
+/// with any extent below a register-tile's worth, packing traffic
+/// dominates and the direct column-axpy loop is faster.
+///
+/// Shared by the sequential dispatch, the parallel driver, and the
+/// calibration harness so all three agree on which kernel a shape runs.
+#[inline]
+pub(crate) fn uses_packed(m: usize, n: usize, k: usize) -> bool {
+    !(m < 16 || n < 16 || k < 16 || m * n * k <= 16 * 16 * 16)
 }
 
 /// General matrix multiply: `C <- alpha * op(A) op(B) + beta * C`.
@@ -131,14 +143,11 @@ fn gemm_dispatch(
         (8 * (m * k + k * n + 2 * m * n)) as u64,
     );
 
-    // The packed path only pays when every dimension offers reuse;
-    // with any extent below a register-tile's worth, packing traffic
-    // dominates and the direct column-axpy loop is faster.
-    if m < 16 || n < 16 || k < 16 || m * n * k <= 16 * 16 * 16 {
+    if !uses_packed(m, n, k) {
         gemm_naive_acc(alpha, a, ta, b, tb, c);
         return;
     }
-    gemm_blocked(alpha, a, ta, b, tb, c, ws);
+    gemm_blocked(alpha, a, ta, b, tb, c, ws, kernel::active());
 }
 
 /// Parallel `gemm` driver under an [`ExecPolicy`]: splits `C` (and
@@ -148,7 +157,8 @@ fn gemm_dispatch(
 /// already inside a pool dispatch.
 ///
 /// Determinism: the packed/naive kernel choice is made from the *full*
-/// problem dimensions (the same predicate [`gemm`] uses), and the
+/// problem dimensions (the same predicate [`gemm`] uses), the SIMD
+/// microkernel is resolved once here and handed to every strip, and the
 /// packed kernel computes each column of `C` independently of how the
 /// columns are grouped — so the stripped parallel result is bitwise
 /// identical to the monolithic sequential one at every thread count.
@@ -171,7 +181,7 @@ pub fn par_gemm_policy(
     // would hand to the naive kernel is never worth stripping (and
     // stripping it would change the kernel choice, breaking bitwise
     // equality with the sequential run).
-    let blocked = !(m < 16 || n < 16 || k < 16 || m * n * k <= 16 * 16 * 16);
+    let blocked = uses_packed(m, n, k);
     if !blocked
         || policy.threads <= 1
         || par::in_dispatch()
@@ -185,6 +195,9 @@ pub fn par_gemm_policy(
     assert_eq!(op_rows(b, tb), k);
     assert_eq!(op_cols(b, tb), n);
 
+    // Resolve the microkernel once so a concurrent override flip can
+    // never mix kernels across this multiply's strips.
+    let kern = kernel::active();
     let width = policy.partition.strip_width(n);
     // Decompose C into disjoint column strips; each strip multiplies the
     // matching columns of op(B). Strip boundaries depend only on (n,
@@ -218,7 +231,7 @@ pub fn par_gemm_policy(
             );
             // Pack buffers come from the executing thread's persistent
             // workspace, so warm dispatches allocate nothing.
-            par::with_worker_ws(|ws| gemm_blocked(alpha, a, ta, bj, tb, cj, Some(ws)));
+            par::with_worker_ws(|ws| gemm_blocked(alpha, a, ta, bj, tb, cj, Some(ws), kern));
         }
     });
 }
@@ -253,7 +266,7 @@ fn scale_c(beta: f64, mut c: MatMut<'_>) {
 }
 
 /// Reference triple loop, accumulating into C (C already scaled by beta).
-fn gemm_naive_acc(
+pub(crate) fn gemm_naive_acc(
     alpha: f64,
     a: MatRef<'_>,
     ta: Trans,
@@ -291,8 +304,11 @@ fn gemm_naive_acc(
 }
 
 /// Packed, cache-blocked gemm (C already scaled by beta; alpha folded in
-/// during packing of A).
-fn gemm_blocked(
+/// during packing of A). The register microkernel is `kern` — resolved
+/// once by the caller so one multiply never mixes ISAs — and the cache
+/// blocking comes from the [`tuning`] autotuner.
+#[allow(clippy::too_many_arguments)] // internal engine: BLAS signature plus arena and kernel
+pub(crate) fn gemm_blocked(
     alpha: f64,
     a: MatRef<'_>,
     ta: Trans,
@@ -300,35 +316,46 @@ fn gemm_blocked(
     tb: Trans,
     mut c: MatMut<'_>,
     ws: Option<&mut Workspace>,
+    kern: Kernel,
 ) {
     let m = c.rows();
     let n = c.cols();
     let k = op_cols(a, ta);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    metrics::incr(Counter::KernelDispatches);
+    let t0 = Instant::now();
+    let bl = tuning::blocking();
 
     // The packing buffers are the only heap traffic in the kernel; a
-    // caller-supplied workspace turns them into pool checkouts.
+    // caller-supplied workspace turns them into pool checkouts. Sized
+    // for the problem at hand, not the worst-case cache block, so small
+    // multiplies don't drag full-block buffers out of the pool.
+    let apack_len = m.min(bl.mc).div_ceil(MR) * MR * k.min(bl.kc);
+    let bpack_len = k.min(bl.kc) * n.min(bl.nc).div_ceil(NR) * NR;
     let (mut apack, mut bpack, ws) = match ws {
         Some(ws) => {
-            let a = ws.take_vec(MC * KC);
-            let b = ws.take_vec(KC * NC);
+            let a = ws.take_vec(apack_len);
+            let b = ws.take_vec(bpack_len);
             (a, b, Some(ws))
         }
         // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
-        None => (vec![0.0f64; MC * KC], vec![0.0f64; KC * NC], None),
+        None => (vec![0.0f64; apack_len], vec![0.0f64; bpack_len], None),
     };
 
     let mut jc = 0;
     while jc < n {
-        let nc = NC.min(n - jc);
+        let nc = bl.nc.min(n - jc);
         let mut pc = 0;
         while pc < k {
-            let kc = KC.min(k - pc);
-            pack_b(&mut bpack, b, tb, pc, jc, kc, nc);
+            let kc = bl.kc.min(k - pc);
+            pack::pack_b(&mut bpack, b, tb, pc, jc, kc, nc);
             let mut ic = 0;
             while ic < m {
-                let mc = MC.min(m - ic);
-                pack_a(&mut apack, a, ta, alpha, ic, pc, mc, kc);
-                macro_kernel(&apack, &bpack, mc, nc, kc, c.rb_mut(), ic, jc);
+                let mc = bl.mc.min(m - ic);
+                pack::pack_a(&mut apack, a, ta, alpha, ic, pc, mc, kc);
+                macro_kernel(&apack, &bpack, mc, nc, kc, c.rb_mut(), ic, jc, kern);
                 ic += mc;
             }
             pc += kc;
@@ -339,58 +366,9 @@ fn gemm_blocked(
         ws.give_vec(apack);
         ws.give_vec(bpack);
     }
-}
-
-/// Pack `alpha * op(A)[ic..ic+mc, pc..pc+kc]` into row micro-panels of
-/// height MR, zero padded.
-#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-fn pack_a(
-    apack: &mut [f64],
-    a: MatRef<'_>,
-    ta: Trans,
-    alpha: f64,
-    ic: usize,
-    pc: usize,
-    mc: usize,
-    kc: usize,
-) {
-    let mut dst = 0;
-    let mut ir = 0;
-    while ir < mc {
-        let mr = MR.min(mc - ir);
-        for p in 0..kc {
-            for i in 0..MR {
-                apack[dst + i] = if i < mr {
-                    alpha * op_get(a, ta, ic + ir + i, pc + p)
-                } else {
-                    0.0
-                };
-            }
-            dst += MR;
-        }
-        ir += MR;
-    }
-}
-
-/// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into column micro-panels of width
-/// NR, zero padded.
-fn pack_b(bpack: &mut [f64], b: MatRef<'_>, tb: Trans, pc: usize, jc: usize, kc: usize, nc: usize) {
-    let mut dst = 0;
-    let mut jr = 0;
-    while jr < nc {
-        let nr = NR.min(nc - jr);
-        for p in 0..kc {
-            for j in 0..NR {
-                bpack[dst + j] = if j < nr {
-                    op_get(b, tb, pc + p, jc + jr + j)
-                } else {
-                    0.0
-                };
-            }
-            dst += NR;
-        }
-        jr += NR;
-    }
+    let isa = kern.isa();
+    metrics::add(isa.flops_counter(), 2 * (m * n * k) as u64);
+    metrics::add(isa.nanos_counter(), t0.elapsed().as_nanos() as u64);
 }
 
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
@@ -403,6 +381,7 @@ fn macro_kernel(
     mut c: MatMut<'_>,
     ic: usize,
     jc: usize,
+    kern: Kernel,
 ) {
     let mut jr = 0;
     while jr < nc {
@@ -412,56 +391,56 @@ fn macro_kernel(
         while ir < mc {
             let mr = MR.min(mc - ir);
             let apanel = &apack[(ir / MR) * kc * MR..];
-            micro_kernel(apanel, bpanel, kc, c.rb_mut(), ic + ir, jc + jr, mr, nr);
+            // SAFETY: `kernel_for` only selects a SIMD microkernel after
+            // runtime detection confirmed its ISA, and the panel slices
+            // hold ≥ kc*MR / kc*NR elements by the pack layout invariant.
+            unsafe { (kern.micro)(apanel, bpanel, kc, c.rb_mut(), ic + ir, jc + jr, mr, nr) };
             ir += MR;
         }
         jr += NR;
     }
 }
 
-/// MR x NR register microkernel: accumulates a rank-kc product into a
-/// local tile, then adds into C (handles edge tiles via `mr`/`nr`).
+/// Whether a `syrk` of order `n`, depth `k` builds its triangle from
+/// packed sub-products instead of the direct dot loop.
 #[inline]
-#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-fn micro_kernel(
-    apanel: &[f64],
-    bpanel: &[f64],
-    kc: usize,
-    mut c: MatMut<'_>,
-    ci: usize,
-    cj: usize,
-    mr: usize,
-    nr: usize,
-) {
-    let mut acc = [[0.0f64; MR]; NR];
-    for p in 0..kc {
-        let av: &[f64] = &apanel[p * MR..p * MR + MR];
-        let bv: &[f64] = &bpanel[p * NR..p * NR + NR];
-        for j in 0..NR {
-            let bj = bv[j];
-            for i in 0..MR {
-                acc[j][i] += av[i] * bj;
-            }
-        }
-    }
-    for j in 0..nr {
-        let col = c.col_mut(cj + j);
-        for i in 0..mr {
-            col[ci + i] += acc[j][i];
-        }
-    }
+pub(crate) fn syrk_uses_packed(n: usize, k: usize) -> bool {
+    n >= 16 && k >= 16
 }
+
+/// Column-block width of the packed `syrk` path: each block of the
+/// triangle is one packed GEMM of `nb` columns against the rows at and
+/// below (or above) it.
+const SYRK_NB: usize = 64;
 
 /// Symmetric rank-k update on the `uplo` triangle:
 /// `C <- alpha * A Aᵀ + beta * C` (`trans = No`, `A` is `n x k`) or
 /// `C <- alpha * Aᵀ A + beta * C` (`trans = Yes`, `A` is `k x n`).
 ///
-/// Only the requested triangle of `C` is read or written.
+/// Only the requested triangle of `C` is read or written. Large updates
+/// route through the packed SIMD engine; small ones use the direct dot
+/// loop.
 pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
     let n = c.rows();
     assert_eq!(c.cols(), n, "syrk: C must be square");
     assert_eq!(op_rows(a, trans), n, "syrk: op(A) rows vs C order");
-    syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
+    let k = op_cols(a, trans);
+    if syrk_uses_packed(n, k) {
+        syrk_strip_packed(
+            uplo,
+            trans,
+            alpha,
+            a,
+            beta,
+            c.rb_mut(),
+            0,
+            n,
+            None,
+            kernel::active(),
+        );
+    } else {
+        syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
+    }
 }
 
 /// One full-height column strip of [`syrk`]: global columns
@@ -518,9 +497,98 @@ fn syrk_cols(
     }
 }
 
+/// One full-height column strip of the *packed* [`syrk`]: the strip's
+/// columns are processed in [`SYRK_NB`]-wide blocks, each computed as a
+/// packed GEMM of the triangle rows against the block's rows of
+/// `op(A)`, staged through a scratch rectangle so only the triangle is
+/// written back.
+///
+/// Determinism: each scratch entry's accumulation chain depends only on
+/// the depth-`k` blocking and order — never on the block's row offset,
+/// width, or position within a strip — so any strip decomposition of
+/// the update reproduces the monolithic packed result bitwise.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS syrk signature plus strip window, arena, kernel
+fn syrk_strip_packed(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+    j0: usize,
+    w: usize,
+    mut ws: Option<&mut Workspace>,
+    kern: Kernel,
+) {
+    let n = c.rows();
+    let k = op_cols(a, trans);
+    flops::add_l3((n * w * k) as u64 + (n * w) as u64);
+    metrics::add(Counter::BytesMoved, (8 * (w * k + n * w)) as u64);
+    let mut jb = 0;
+    while jb < w {
+        let nb = SYRK_NB.min(w - jb);
+        let jj0 = j0 + jb;
+        // Rows of the triangle this block touches.
+        let (r0, r1) = match uplo {
+            Uplo::Lower => (jj0, n),
+            Uplo::Upper => (0, jj0 + nb),
+        };
+        let rows = r1 - r0;
+        let len = rows * nb;
+        let mut tmp = match ws.as_deref_mut() {
+            Some(w) => w.take_vec(len),
+            // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
+            None => vec![0.0f64; len],
+        };
+        {
+            let tm = MatMut::from_parts(&mut tmp, rows, nb, rows);
+            // tmp <- alpha * op(A)[r0..r1, :] * op(A)[jj0..jj0+nb, :]ᵀ
+            match trans {
+                Trans::No => gemm_blocked(
+                    alpha,
+                    a.sub(r0, 0, rows, k),
+                    Trans::No,
+                    a.sub(jj0, 0, nb, k),
+                    Trans::Yes,
+                    tm,
+                    ws.as_deref_mut(),
+                    kern,
+                ),
+                Trans::Yes => gemm_blocked(
+                    alpha,
+                    a.sub(0, r0, k, rows),
+                    Trans::Yes,
+                    a.sub(0, jj0, k, nb),
+                    Trans::No,
+                    tm,
+                    ws.as_deref_mut(),
+                    kern,
+                ),
+            }
+        }
+        for j in 0..nb {
+            let jj = jj0 + j;
+            let tcol = &tmp[j * rows..(j + 1) * rows];
+            let ccol = c.col_mut(jb + j);
+            let (i0, i1) = match uplo {
+                Uplo::Lower => (jj, n),
+                Uplo::Upper => (0, jj + 1),
+            };
+            for i in i0..i1 {
+                ccol[i] = tcol[i - r0] + beta * ccol[i];
+            }
+        }
+        if let Some(w) = ws.as_deref_mut() {
+            w.give_vec(tmp);
+        }
+        jb += nb;
+    }
+}
+
 /// Parallel [`syrk`] under an [`ExecPolicy`]: the update's column
-/// strips run on the pool. Entries are computed independently, so the
-/// result is bitwise identical to the sequential update.
+/// strips run on the pool. Entries are computed independently of the
+/// strip decomposition (for both the packed and the dot-loop path), so
+/// the result is bitwise identical to the sequential update.
 pub fn syrk_policy(
     policy: &ExecPolicy,
     uplo: Uplo,
@@ -534,10 +602,18 @@ pub fn syrk_policy(
     assert_eq!(c.cols(), n, "syrk: C must be square");
     assert_eq!(op_rows(a, trans), n, "syrk: op(A) rows vs C order");
     let k = op_cols(a, trans);
+    // Kernel-choice predicate from the full dims, microkernel resolved
+    // once — both shared by every strip, for bitwise determinism.
+    let packed = syrk_uses_packed(n, k);
+    let kern = kernel::active();
     // The triangle holds ~n²/2 entries of k-long dots.
     let work = (n as u128 * n as u128 * k as u128) / 2;
     if policy.threads <= 1 || par::in_dispatch() || work < policy.min_work as u128 {
-        syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
+        if packed {
+            syrk_strip_packed(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n, None, kern);
+        } else {
+            syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
+        }
         return;
     }
     let width = policy.partition.strip_width(n);
@@ -554,25 +630,53 @@ pub fn syrk_policy(
     }
     par::for_each_policy(policy, strips, |(j0, cj)| {
         let w = cj.cols();
-        syrk_cols(uplo, trans, alpha, a, beta, cj, j0, w);
+        if packed {
+            par::with_worker_ws(|ws| {
+                syrk_strip_packed(uplo, trans, alpha, a, beta, cj, j0, w, Some(ws), kern)
+            });
+        } else {
+            syrk_cols(uplo, trans, alpha, a, beta, cj, j0, w);
+        }
     });
 }
 
-/// [`syrk`] in workspace-threaded form. The dot-product kernel needs no
-/// scratch, so this forwards directly; it exists so call sites moving
-/// to the `_ws` BLAS family stay uniform (and keeps the door open for a
-/// packed syrk later without touching callers).
+/// [`syrk`] in workspace-threaded form: the packed path stages its
+/// scratch rectangle and pack buffers through `ws`, so repeated updates
+/// of the same shape allocate nothing.
 pub fn syrk_ws(
     uplo: Uplo,
     trans: Trans,
     alpha: f64,
     a: MatRef<'_>,
     beta: f64,
-    c: MatMut<'_>,
-    _ws: &mut Workspace,
+    mut c: MatMut<'_>,
+    ws: &mut Workspace,
 ) {
-    syrk(uplo, trans, alpha, a, beta, c);
+    let n = c.rows();
+    assert_eq!(c.cols(), n, "syrk: C must be square");
+    assert_eq!(op_rows(a, trans), n, "syrk: op(A) rows vs C order");
+    let k = op_cols(a, trans);
+    if syrk_uses_packed(n, k) {
+        syrk_strip_packed(
+            uplo,
+            trans,
+            alpha,
+            a,
+            beta,
+            c.rb_mut(),
+            0,
+            n,
+            Some(ws),
+            kernel::active(),
+        );
+    } else {
+        syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
+    }
 }
+
+/// Order above which `trsm` solves in diagonal blocks with packed-GEMM
+/// trailing updates instead of whole-triangle vector solves.
+const TRSM_NB: usize = 32;
 
 /// Triangular solve with multiple right-hand sides.
 ///
@@ -580,7 +684,8 @@ pub fn syrk_ws(
 /// - `Side::Right`: solves `X op(A) = alpha * B`, overwriting `B` with `X`.
 ///
 /// `A` must be square triangular per `uplo`; `unit_diag` treats its
-/// diagonal as ones.
+/// diagonal as ones. Orders above `TRSM_NB` solve blockwise so the
+/// bulk of the work runs in the packed SIMD engine.
 pub fn trsm(
     side: Side,
     uplo: Uplo,
@@ -593,8 +698,9 @@ pub fn trsm(
     trsm_dispatch(side, uplo, trans, unit_diag, alpha, a, b, None)
 }
 
-/// [`trsm`] with the `Side::Right` row buffer checked out of `ws`
-/// instead of heap allocated (the left-sided solves need no scratch).
+/// [`trsm`] with scratch (the blocked paths' staging buffers, the small
+/// `Side::Right` row buffer) checked out of `ws` instead of heap
+/// allocated.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS trsm signature plus the arena
 pub fn trsm_ws(
     side: Side,
@@ -634,12 +740,18 @@ fn trsm_dispatch(
     }
     match side {
         Side::Left => {
+            if n > TRSM_NB {
+                return trsm_left_blocked(uplo, trans, unit_diag, a, b, ws, kernel::active());
+            }
             for j in 0..b.cols() {
                 trsm_left_col(uplo, trans, unit_diag, a, b.col_mut(j))?;
             }
             Ok(())
         }
         Side::Right => {
+            if n > TRSM_NB {
+                return trsm_right_blocked(uplo, trans, unit_diag, a, b, ws, kernel::active());
+            }
             // X op(A) = B  <=>  op(A)ᵀ Xᵀ = Bᵀ: solve row by row of B.
             let m = b.rows();
             let (mut row, ws) = match ws {
@@ -650,7 +762,7 @@ fn trsm_dispatch(
                 // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
                 None => (vec![0.0f64; n], None),
             };
-            for i in 0..m {
+            let r = (0..m).try_for_each(|i| {
                 for j in 0..n {
                     row[j] = b.get(i, j);
                 }
@@ -664,17 +776,306 @@ fn trsm_dispatch(
                 for j in 0..n {
                     b.set(i, j, row[j]);
                 }
-            }
+                Ok(())
+            });
             if let Some(ws) = ws {
                 ws.give_vec(row);
             }
-            Ok(())
+            r
         }
     }
 }
 
+/// Map a block-local singular diagnosis to the global diagonal index.
+fn offset_singular(e: Error, off: usize) -> Error {
+    match e {
+        Error::SingularTriangle { index } => Error::SingularTriangle { index: index + off },
+        other => other,
+    }
+}
+
+/// A trailing/leading update inside the blocked `trsm`: charges the
+/// usual level-3 accounting and always runs the packed engine, so the
+/// per-column accumulation chains are independent of how `B`'s columns
+/// are stripped.
+#[allow(clippy::too_many_arguments)] // internal engine: BLAS signature plus arena and kernel
+fn gemm_update(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    c: MatMut<'_>,
+    ws: Option<&mut Workspace>,
+    kern: Kernel,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = op_cols(a, ta);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    flops::add_l3(2 * (m * n * k) as u64);
+    metrics::add(
+        Counter::BytesMoved,
+        (8 * (m * k + k * n + 2 * m * n)) as u64,
+    );
+    gemm_blocked(alpha, a, ta, b, tb, c, ws, kern);
+}
+
+/// Blocked `Side::Left` solve: `op(A) X = B` in [`TRSM_NB`]-order
+/// diagonal blocks. Each block's columns are solved by the level-2
+/// kernels, then the solved block (staged contiguously in `xbuf`)
+/// updates the remaining rows through one packed GEMM.
+///
+/// Flop accounting is conserved against the per-column solve: for each
+/// column, `Σ nb²` (block solves) plus `2 Σ nb·rest` (updates) equals
+/// the `n²` the whole-triangle solve charges.
+fn trsm_left_blocked(
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    a: MatRef<'_>,
+    b: MatMut<'_>,
+    mut ws: Option<&mut Workspace>,
+    kern: Kernel,
+) -> Result<()> {
+    let ncols = b.cols();
+    if ncols == 0 {
+        return Ok(());
+    }
+    let len = TRSM_NB * ncols;
+    let mut xbuf = match ws.as_deref_mut() {
+        Some(w) => w.take_vec(len),
+        // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
+        None => vec![0.0f64; len],
+    };
+    let r = trsm_left_blocked_go(
+        uplo,
+        trans,
+        unit_diag,
+        a,
+        b,
+        &mut xbuf,
+        ws.as_deref_mut(),
+        kern,
+    );
+    if let Some(w) = ws {
+        w.give_vec(xbuf);
+    }
+    r
+}
+
+#[allow(clippy::too_many_arguments)] // internal: split from trsm_left_blocked so `?` cannot leak the checkout
+fn trsm_left_blocked_go(
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    a: MatRef<'_>,
+    mut b: MatMut<'_>,
+    xbuf: &mut [f64],
+    mut ws: Option<&mut Workspace>,
+    kern: Kernel,
+) -> Result<()> {
+    let n = a.rows();
+    let ncols = b.cols();
+    // Forward when op(A) is lower triangular (solve top block first).
+    let forward = matches!(
+        (uplo, trans),
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+    );
+    let nblocks = n.div_ceil(TRSM_NB);
+    for step in 0..nblocks {
+        let bi = if forward { step } else { nblocks - 1 - step };
+        let kb = bi * TRSM_NB;
+        let nb = TRSM_NB.min(n - kb);
+        let adiag = a.sub(kb, kb, nb, nb);
+        // Solve the diagonal block column by column, staging the solved
+        // block contiguously (column-major, leading dimension nb) so the
+        // update below can read it while the rest of B is written.
+        for j in 0..ncols {
+            let col = &mut b.col_mut(j)[kb..kb + nb];
+            trsm_left_col(uplo, trans, unit_diag, adiag, col)
+                .map_err(|e| offset_singular(e, kb))?;
+            xbuf[j * nb..(j + 1) * nb].copy_from_slice(col);
+        }
+        let xk = MatRef::from_parts(&xbuf[..nb * ncols], nb, ncols, nb);
+        let rest = n - kb - nb;
+        match (uplo, trans) {
+            (Uplo::Lower, Trans::No) if rest > 0 => gemm_update(
+                -1.0,
+                a.sub(kb + nb, kb, rest, nb),
+                Trans::No,
+                xk,
+                Trans::No,
+                b.sub_mut(kb + nb, 0, rest, ncols),
+                ws.as_deref_mut(),
+                kern,
+            ),
+            (Uplo::Upper, Trans::Yes) if rest > 0 => gemm_update(
+                -1.0,
+                a.sub(kb, kb + nb, nb, rest),
+                Trans::Yes,
+                xk,
+                Trans::No,
+                b.sub_mut(kb + nb, 0, rest, ncols),
+                ws.as_deref_mut(),
+                kern,
+            ),
+            (Uplo::Upper, Trans::No) if kb > 0 => gemm_update(
+                -1.0,
+                a.sub(0, kb, kb, nb),
+                Trans::No,
+                xk,
+                Trans::No,
+                b.sub_mut(0, 0, kb, ncols),
+                ws.as_deref_mut(),
+                kern,
+            ),
+            (Uplo::Lower, Trans::Yes) if kb > 0 => gemm_update(
+                -1.0,
+                a.sub(kb, 0, nb, kb),
+                Trans::Yes,
+                xk,
+                Trans::No,
+                b.sub_mut(0, 0, kb, ncols),
+                ws.as_deref_mut(),
+                kern,
+            ),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Blocked `Side::Right` solve: `X op(A) = B` in [`TRSM_NB`]-order
+/// diagonal blocks of `op(A)`. Each block of `B`'s columns is solved
+/// row by row against the diagonal block (the transposed level-2
+/// solves, exactly as the small path), then propagated to the remaining
+/// column blocks through one packed GEMM.
+fn trsm_right_blocked(
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    a: MatRef<'_>,
+    b: MatMut<'_>,
+    mut ws: Option<&mut Workspace>,
+    kern: Kernel,
+) -> Result<()> {
+    let mut row = match ws.as_deref_mut() {
+        Some(w) => w.take_vec(TRSM_NB),
+        // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
+        None => vec![0.0f64; TRSM_NB],
+    };
+    let r = trsm_right_blocked_go(
+        uplo,
+        trans,
+        unit_diag,
+        a,
+        b,
+        &mut row,
+        ws.as_deref_mut(),
+        kern,
+    );
+    if let Some(w) = ws {
+        w.give_vec(row);
+    }
+    r
+}
+
+#[allow(clippy::too_many_arguments)] // internal: split from trsm_right_blocked so `?` cannot leak the checkout
+fn trsm_right_blocked_go(
+    uplo: Uplo,
+    trans: Trans,
+    unit_diag: bool,
+    a: MatRef<'_>,
+    mut b: MatMut<'_>,
+    row: &mut [f64],
+    mut ws: Option<&mut Workspace>,
+    kern: Kernel,
+) -> Result<()> {
+    let n = a.rows();
+    let m = b.rows();
+    // Forward (left-to-right over B's column blocks) when op(A) is
+    // upper triangular.
+    let forward = matches!(
+        (uplo, trans),
+        (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes)
+    );
+    let nblocks = n.div_ceil(TRSM_NB);
+    for step in 0..nblocks {
+        let bi = if forward { step } else { nblocks - 1 - step };
+        let kb = bi * TRSM_NB;
+        let nb = TRSM_NB.min(n - kb);
+        let adiag = a.sub(kb, kb, nb, nb);
+        {
+            // Solve X_k op(A_kk) = B_k row by row, as the small path does
+            // for the whole triangle.
+            let mut bk = b.sub_mut(0, kb, m, nb);
+            for i in 0..m {
+                let rr = &mut row[..nb];
+                for (j, r) in rr.iter_mut().enumerate() {
+                    *r = bk.get(i, j);
+                }
+                match (uplo, trans) {
+                    (Uplo::Lower, Trans::No) => blas2::trsv_lower_t(adiag, rr),
+                    (Uplo::Lower, Trans::Yes) => blas2::trsv_lower(adiag, rr, unit_diag),
+                    (Uplo::Upper, Trans::No) => blas2::trsv_upper_t(adiag, rr),
+                    (Uplo::Upper, Trans::Yes) => blas2::trsv_upper(adiag, rr),
+                }
+                .map_err(|e| offset_singular(e, kb))?;
+                for (j, r) in rr.iter().enumerate() {
+                    bk.set(i, j, *r);
+                }
+            }
+        }
+        // Propagate the solved block into the not-yet-solved columns:
+        // B_j -= X_k op(A)_{kj}.
+        if forward && kb + nb < n {
+            let rest = n - kb - nb;
+            let bv = b.rb_mut();
+            let (xpart, mut target) = bv.split_at_col(kb + nb);
+            let xk = xpart.rb().sub(0, kb, m, nb);
+            let (ap, tb2) = match (uplo, trans) {
+                (Uplo::Upper, Trans::No) => (a.sub(kb, kb + nb, nb, rest), Trans::No),
+                _ => (a.sub(kb + nb, kb, rest, nb), Trans::Yes), // (Lower, Yes)
+            };
+            gemm_update(
+                -1.0,
+                xk,
+                Trans::No,
+                ap,
+                tb2,
+                target.rb_mut(),
+                ws.as_deref_mut(),
+                kern,
+            );
+        } else if !forward && kb > 0 {
+            let bv = b.rb_mut();
+            let (mut target, xpart) = bv.split_at_col(kb);
+            let xk = xpart.rb().sub(0, 0, m, nb);
+            let (ap, tb2) = match (uplo, trans) {
+                (Uplo::Lower, Trans::No) => (a.sub(kb, 0, nb, kb), Trans::No),
+                _ => (a.sub(0, kb, kb, nb), Trans::Yes), // (Upper, Yes)
+            };
+            gemm_update(
+                -1.0,
+                xk,
+                Trans::No,
+                ap,
+                tb2,
+                target.rb_mut(),
+                ws.as_deref_mut(),
+                kern,
+            );
+        }
+    }
+    Ok(())
+}
+
 /// One column of a `Side::Left` triangular solve — the independent unit
-/// of work the parallel driver distributes.
+/// of work the parallel driver distributes (and the diagonal-block
+/// solve of the blocked path).
 fn trsm_left_col(
     uplo: Uplo,
     trans: Trans,
@@ -712,7 +1113,9 @@ fn trsm_left_col(
 ///
 /// `Side::Left` distributes `B`'s columns (each an independent
 /// triangular solve) across the pool in deterministic strips — results
-/// are bitwise identical to the sequential solve. `Side::Right`
+/// are bitwise identical to the sequential solve, because the
+/// blocked/level-2 choice comes from the triangle order alone and the
+/// blocked path's update chains are column-decomposable. `Side::Right`
 /// couples the rows of `B` through a shared scratch row and stays
 /// sequential; it simply forwards to [`trsm`].
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS trsm signature plus the policy
@@ -741,6 +1144,10 @@ pub fn trsm_policy(
     assert_eq!(a.cols(), n, "trsm: A must be square");
     assert_eq!(b.rows(), n, "trsm left: A order vs B rows");
 
+    // Blocked/level-2 choice from the triangle order, microkernel
+    // resolved once — shared by every strip, for bitwise determinism.
+    let blocked = n > TRSM_NB;
+    let kern = kernel::active();
     let width = policy.partition.strip_width(ncols);
     // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow B, so they cannot live in a pool
     let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(ncols.div_ceil(width));
@@ -757,17 +1164,23 @@ pub fn trsm_policy(
     // index wins so the surfaced error is deterministic.
     let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
     par::for_each_policy(policy, strips, |(j0, mut bj)| {
-        for j in 0..bj.cols() {
-            // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
-            if alpha != 1.0 {
+        // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
+        if alpha != 1.0 {
+            for j in 0..bj.cols() {
                 blas1::scal(alpha, bj.col_mut(j));
             }
-            if let Err(e) = trsm_left_col(uplo, trans, unit_diag, a, bj.col_mut(j)) {
-                let mut slot = failed.lock().unwrap_or_else(|p| p.into_inner());
-                if slot.as_ref().is_none_or(|(seen, _)| j0 < *seen) {
-                    *slot = Some((j0, e));
-                }
-                return;
+        }
+        let r = if blocked {
+            par::with_worker_ws(|ws| {
+                trsm_left_blocked(uplo, trans, unit_diag, a, bj, Some(ws), kern)
+            })
+        } else {
+            (0..bj.cols()).try_for_each(|j| trsm_left_col(uplo, trans, unit_diag, a, bj.col_mut(j)))
+        };
+        if let Err(e) = r {
+            let mut slot = failed.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.as_ref().is_none_or(|(seen, _)| j0 < *seen) {
+                *slot = Some((j0, e));
             }
         }
     });
@@ -879,6 +1292,80 @@ mod tests {
     }
 
     #[test]
+    fn every_supported_microkernel_matches_reference() {
+        use crate::kernel::Isa;
+        let shapes = [(17, 9, 23), (40, 64, 33), (64, 32, 48), (129, 300, 65)];
+        for isa in [Isa::Portable, Isa::Avx2, Isa::Avx512, Isa::Neon] {
+            if !kernel::isa_supported(isa) {
+                continue;
+            }
+            let kern = kernel::kernel_for(isa);
+            for &(m, k, n) in &shapes {
+                let a = mat(m, k, 60);
+                let b = mat(k, n, 61);
+                let want = gemm_ref(&a, &b);
+                let mut c = Matrix::zeros(m, n);
+                gemm_blocked(
+                    1.0,
+                    a.rf(),
+                    Trans::No,
+                    b.rf(),
+                    Trans::No,
+                    c.mt(),
+                    None,
+                    kern,
+                );
+                for j in 0..n {
+                    for i in 0..m {
+                        let w = want[(i, j)];
+                        let d = (c[(i, j)] - w).abs();
+                        assert!(
+                            d <= 1e-11 * (1.0 + w.abs()),
+                            "isa={isa:?} shape=({m},{k},{n}) entry=({i},{j}) diff={d}"
+                        );
+                    }
+                }
+            }
+            // Transpose coverage per kernel at one odd shape.
+            let (m, k, n) = (33, 40, 29);
+            let a = mat(m, k, 62);
+            let b = mat(k, n, 63);
+            let want = gemm_ref(&a, &b);
+            let at = a.transpose();
+            let bt = b.transpose();
+            for (ta, tb, aa, bb) in [
+                (Trans::Yes, Trans::No, &at, &b),
+                (Trans::No, Trans::Yes, &a, &bt),
+                (Trans::Yes, Trans::Yes, &at, &bt),
+            ] {
+                let mut c = Matrix::zeros(m, n);
+                gemm_blocked(1.0, aa.rf(), ta, bb.rf(), tb, c.mt(), None, kern);
+                assert!(
+                    c.max_abs_diff(&want) < 1e-10,
+                    "isa={isa:?} ta={ta:?} tb={tb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_charges_kernel_counters() {
+        let kern = kernel::active();
+        let isa = kern.isa();
+        let m = 64;
+        let a = mat(m, m, 90);
+        let b = mat(m, m, 91);
+        let mut c = Matrix::zeros(m, m);
+        metrics::local_reset(&[Counter::KernelDispatches, isa.flops_counter()]);
+        gemm(1.0, a.rf(), Trans::No, b.rf(), Trans::No, 0.0, c.mt());
+        assert_eq!(metrics::local_get(Counter::KernelDispatches), 1);
+        assert_eq!(
+            metrics::local_get(isa.flops_counter()),
+            (2 * m * m * m) as u64
+        );
+    }
+
+    #[test]
     fn gemm_transpose_flags() {
         let m = 13;
         let k = 11;
@@ -986,6 +1473,41 @@ mod tests {
         }
     }
 
+    #[test]
+    fn packed_syrk_matches_gemm_and_preserves_opposite_triangle() {
+        // n, k both >= 16 so the packed path runs for every variant.
+        let n = 45;
+        let k = 37;
+        let a = mat(n, k, 64);
+        let at = a.transpose();
+        let c0 = mat(n, n, 65);
+        let mut full = Matrix::zeros(n, n);
+        gemm(1.0, a.rf(), Trans::No, at.rf(), Trans::No, 0.0, full.mt());
+        for (uplo, trans, aa) in [(Uplo::Lower, Trans::No, &a), (Uplo::Upper, Trans::Yes, &at)] {
+            assert!(syrk_uses_packed(n, k));
+            let mut c = c0.clone();
+            syrk(uplo, trans, 1.5, aa.rf(), 0.25, c.mt());
+            for j in 0..n {
+                for i in 0..n {
+                    let in_tri = match uplo {
+                        Uplo::Lower => i >= j,
+                        Uplo::Upper => i <= j,
+                    };
+                    if in_tri {
+                        let want = 1.5 * full[(i, j)] + 0.25 * c0[(i, j)];
+                        assert!((c[(i, j)] - want).abs() < 1e-10, "uplo={uplo:?} ({i},{j})");
+                    } else {
+                        assert_eq!(
+                            c[(i, j)],
+                            c0[(i, j)],
+                            "uplo={uplo:?}: outside triangle must be untouched"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     fn lower_tri(n: usize, seed: u64) -> Matrix {
         let mut l = mat(n, n, seed);
         for j in 0..n {
@@ -993,6 +1515,30 @@ mod tests {
                 l[(i, j)] = 0.0;
             }
             l[(j, j)] = l[(j, j)].abs() + 1.0;
+        }
+        l
+    }
+
+    /// Lower triangle that is diagonally dominant by rows *and*
+    /// columns, so every `(uplo, trans)` solve of it (and its
+    /// transpose) is well conditioned even at blocked-path orders —
+    /// plain random triangles have condition growing like 2ⁿ.
+    fn dd_lower_tri(n: usize, seed: u64) -> Matrix {
+        let mut l = mat(n, n, seed);
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+        }
+        for j in 0..n {
+            let mut s = 1.0;
+            for p in 0..j {
+                s += l[(j, p)].abs();
+            }
+            for i in j + 1..n {
+                s += l[(i, j)].abs();
+            }
+            l[(j, j)] = s;
         }
         l
     }
@@ -1087,6 +1633,138 @@ mod tests {
         )
         .unwrap();
         assert!(b2.max_abs_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn blocked_trsm_left_roundtrips_all_cases() {
+        // n > TRSM_NB with a non-multiple tail block.
+        let n = 97;
+        let ncols = 13;
+        let l = dd_lower_tri(n, 70);
+        let u = l.transpose();
+        let x = mat(n, ncols, 71);
+        for (uplo, trans, aa) in [
+            (Uplo::Lower, Trans::No, &l),
+            (Uplo::Lower, Trans::Yes, &l),
+            (Uplo::Upper, Trans::No, &u),
+            (Uplo::Upper, Trans::Yes, &u),
+        ] {
+            // B = op(A) X, then solving must recover X.
+            let mut b = Matrix::zeros(n, ncols);
+            gemm(1.0, aa.rf(), trans, x.rf(), Trans::No, 0.0, b.mt());
+            trsm(Side::Left, uplo, trans, false, 1.0, aa.rf(), b.mt()).unwrap();
+            assert!(
+                b.max_abs_diff(&x) < 1e-8,
+                "uplo={uplo:?} trans={trans:?}: {}",
+                b.max_abs_diff(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_trsm_right_roundtrips_all_cases() {
+        let n = 97;
+        let m = 9;
+        let l = dd_lower_tri(n, 72);
+        let u = l.transpose();
+        let x = mat(m, n, 73);
+        for (uplo, trans, aa) in [
+            (Uplo::Lower, Trans::No, &l),
+            (Uplo::Lower, Trans::Yes, &l),
+            (Uplo::Upper, Trans::No, &u),
+            (Uplo::Upper, Trans::Yes, &u),
+        ] {
+            // B = X op(A), then solving must recover X.
+            let mut b = Matrix::zeros(m, n);
+            gemm(1.0, x.rf(), Trans::No, aa.rf(), trans, 0.0, b.mt());
+            trsm(Side::Right, uplo, trans, false, 1.0, aa.rf(), b.mt()).unwrap();
+            assert!(
+                b.max_abs_diff(&x) < 1e-8,
+                "uplo={uplo:?} trans={trans:?}: {}",
+                b.max_abs_diff(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_trsm_left_unit_diag_ignores_stored_diagonal() {
+        let n = 70;
+        let ncols = 5;
+        // Unit-triangular with small off-diagonals (so the inverse stays
+        // bounded) and garbage on the stored diagonal.
+        let mut l = mat(n, n, 74);
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+            for i in j + 1..n {
+                let v = l[(i, j)] * 0.05;
+                l[(i, j)] = v;
+            }
+            l[(j, j)] = 5.0;
+        }
+        let mut l1 = l.clone();
+        for j in 0..n {
+            l1[(j, j)] = 1.0;
+        }
+        let u = l.transpose();
+        let u1 = l1.transpose();
+        let x = mat(n, ncols, 75);
+        for (uplo, trans, solve_a, mul_a) in [
+            (Uplo::Lower, Trans::No, &l, &l1),
+            (Uplo::Lower, Trans::Yes, &l, &l1),
+            (Uplo::Upper, Trans::No, &u, &u1),
+            (Uplo::Upper, Trans::Yes, &u, &u1),
+        ] {
+            let mut b = Matrix::zeros(n, ncols);
+            gemm(1.0, mul_a.rf(), trans, x.rf(), Trans::No, 0.0, b.mt());
+            trsm(Side::Left, uplo, trans, true, 1.0, solve_a.rf(), b.mt()).unwrap();
+            assert!(
+                b.max_abs_diff(&x) < 1e-8,
+                "uplo={uplo:?} trans={trans:?}: {}",
+                b.max_abs_diff(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_trsm_reports_global_singular_index() {
+        // The zero lands in a later diagonal block; the surfaced index
+        // must be global, not block-local.
+        let n = 70;
+        let mut l = dd_lower_tri(n, 76);
+        l[(40, 40)] = 0.0;
+        let mut b = mat(n, 3, 77);
+        let r = trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l.rf(),
+            b.mt(),
+        );
+        assert!(matches!(
+            r,
+            Err(crate::Error::SingularTriangle { index: 40 })
+        ));
+
+        let mut l2 = dd_lower_tri(n, 78);
+        l2[(55, 55)] = 0.0;
+        let mut b2 = mat(3, n, 79);
+        let r2 = trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.0,
+            l2.rf(),
+            b2.mt(),
+        );
+        assert!(matches!(
+            r2,
+            Err(crate::Error::SingularTriangle { index: 55 })
+        ));
     }
 
     #[test]
@@ -1250,6 +1928,47 @@ mod tests {
         )
         .unwrap();
         assert!(b.max_abs_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_policy_blocked_is_bitwise_across_thread_counts() {
+        // Above TRSM_NB, strips run the blocked solve; its update chains
+        // are column-decomposable so strip width never changes the bits.
+        let n = 80;
+        let ncols = 21;
+        let l = dd_lower_tri(n, 80);
+        let b0 = mat(n, ncols, 81);
+        let mut base = b0.clone();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            false,
+            1.5,
+            l.rf(),
+            base.mt(),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            let policy = ExecPolicy {
+                threads,
+                min_work: 1,
+                partition: crate::par::Partition::Width(5),
+            };
+            let mut b = b0.clone();
+            trsm_policy(
+                &policy,
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                false,
+                1.5,
+                l.rf(),
+                b.mt(),
+            )
+            .unwrap();
+            assert_eq!(b.max_abs_diff(&base), 0.0, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! One-shot kernel throughput calibration.
+//!
+//! The paper's §6.5 retiling analysis is driven by an "empirical
+//! characterization of the primitives' performance" — measured kernel
+//! rate as a function of block size, not an assumed curve. This module
+//! produces that characterization for the running machine: for each
+//! candidate block size `m_s` it times the trailing-update GEMM shape
+//! that dominates the Schur elimination (`C(m_s x n') += A(m_s x m_s)
+//! B(m_s x n')`) and records the achieved flop rate. `bs-perfmodel`
+//! turns the points into a `RateTable` that replaces its assumed
+//! saturating rate model when calibration is enabled (`BS_CALIBRATE=1`
+//! or the CLI `--calibrate` flag).
+//!
+//! The measurement deliberately goes through the same kernel-choice
+//! predicate as production `gemm`: small `m_s` shapes are timed on the
+//! direct loop they would actually run, large ones on the packed SIMD
+//! path — so the resulting curve reflects the real dispatch, loop
+//! overhead and all.
+//!
+//! Results are measured once per process against the kernel active at
+//! first call ([`Calibration::isa`] records which); they are wall-clock
+//! measurements and vary run to run, which is why calibration is
+//! opt-in rather than the default for plan auto-selection.
+
+use crate::blas3::{self, Trans};
+use crate::dense::Matrix;
+use crate::workspace::Workspace;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Block sizes measured — the fig. 10 retiling sweep plus 64.
+pub const BLOCK_SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Trailing extent of the timed update (one block-row's worth of a
+/// moderate factorization).
+const TRAILING: usize = 256;
+
+/// Flop budget per timing sample; samples below this iterate until
+/// they reach it so tiny shapes aren't timer-noise.
+const SAMPLE_FLOPS: f64 = 2.0e6;
+
+/// Timing samples per block size (best-of, to shed scheduler noise).
+const SAMPLES: usize = 3;
+
+/// Measured kernel rates for this process.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Name of the ISA that was active when the measurement ran.
+    pub isa: &'static str,
+    /// `(m_s, achieved flop/s)` per measured block size, ascending.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The process-wide calibration, measured on first call.
+pub fn calibration() -> &'static Calibration {
+    static CAL: OnceLock<Calibration> = OnceLock::new();
+    CAL.get_or_init(run)
+}
+
+fn run() -> Calibration {
+    let kern = super::active();
+    let mut ws = Workspace::new();
+    let points = BLOCK_SIZES
+        .iter()
+        .map(|&ms| (ms, measure(ms, kern, &mut ws)))
+        .collect();
+    Calibration {
+        isa: kern.isa().name(),
+        points,
+    }
+}
+
+/// Achieved flop/s of the dominant update shape at block size `ms`.
+fn measure(ms: usize, kern: super::Kernel, ws: &mut Workspace) -> f64 {
+    let mut state = 0x9E3779B97F4A7C15u64 | 1;
+    let mut fill = |_: usize, _: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 1000) as f64 - 500.0) / 250.0
+    };
+    let a = Matrix::from_fn(ms, ms, &mut fill);
+    let b = Matrix::from_fn(ms, TRAILING, &mut fill);
+    let mut c = Matrix::zeros(ms, TRAILING);
+
+    let flops_per_iter = 2.0 * (ms * ms * TRAILING) as f64;
+    let iters = ((SAMPLE_FLOPS / flops_per_iter).ceil() as usize).clamp(4, 65536);
+    // Same predicate as the production dispatch: time the path this
+    // shape would actually run.
+    let packed = blas3::uses_packed(ms, TRAILING, ms);
+
+    let mut best = 0.0f64;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            // beta = 1 accumulation: no per-iteration rescale distorts
+            // the measurement, and the operands keep the sum bounded.
+            if packed {
+                blas3::gemm_blocked(
+                    1.0,
+                    a.rf(),
+                    Trans::No,
+                    b.rf(),
+                    Trans::No,
+                    c.mt(),
+                    Some(ws),
+                    kern,
+                );
+            } else {
+                blas3::gemm_naive_acc(1.0, a.rf(), Trans::No, b.rf(), Trans::No, c.mt());
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1.0e-9);
+        best = best.max(flops_per_iter * iters as f64 / secs);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_positive_rates_for_every_block_size() {
+        let cal = calibration();
+        assert_eq!(cal.points.len(), BLOCK_SIZES.len());
+        for &(ms, rate) in &cal.points {
+            assert!(rate > 0.0 && rate.is_finite(), "m_s={ms} rate={rate}");
+        }
+        assert!(!cal.isa.is_empty());
+        // One-shot: a second call returns the identical measurement.
+        assert!(std::ptr::eq(calibration(), cal));
+    }
+}

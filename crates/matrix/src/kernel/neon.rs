@@ -1,0 +1,69 @@
+//! NEON microkernel for `aarch64`.
+//!
+//! Same per-entry accumulation chain as the portable kernel (one
+//! partial sum per `C` entry, `p` in packed order), computed with
+//! 2-lane fused multiply-adds — bitwise strip-invariant for a fixed
+//! kernel, last-bit different from the twice-rounded scalar kernel.
+
+use super::{MR, NR};
+use crate::view::MatMut;
+use std::arch::aarch64::*;
+
+/// `MR x NR` microkernel on NEON: each of the `NR` accumulator columns
+/// is four 2-lane `float64x2_t` registers covering the 8 rows.
+///
+/// # Safety
+///
+/// The CPU must support NEON (always true on `aarch64`, but dispatch
+/// still verifies it). `apanel`/`bpanel` must hold at least `kc * MR` /
+/// `kc * NR` elements (slice indexing enforces this).
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
+                                     // SAFETY: only dispatched by `kernel_for` after
+                                     // `is_aarch64_feature_detected!("neon")` reports true; all loads/stores
+                                     // go through bounds-checked slices.
+pub(crate) unsafe fn micro_8x4_neon(
+    apanel: &[f64],
+    bpanel: &[f64],
+    kc: usize,
+    mut c: MatMut<'_>,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[vdupq_n_f64(0.0); 4]; NR];
+    for p in 0..kc {
+        let av: &[f64] = &apanel[p * MR..p * MR + MR];
+        let bv: &[f64] = &bpanel[p * NR..p * NR + NR];
+        let a0 = vld1q_f64(av.as_ptr());
+        let a1 = vld1q_f64(av.as_ptr().add(2));
+        let a2 = vld1q_f64(av.as_ptr().add(4));
+        let a3 = vld1q_f64(av.as_ptr().add(6));
+        for j in 0..NR {
+            let bj = vdupq_n_f64(bv[j]);
+            acc[j][0] = vfmaq_f64(acc[j][0], a0, bj);
+            acc[j][1] = vfmaq_f64(acc[j][1], a1, bj);
+            acc[j][2] = vfmaq_f64(acc[j][2], a2, bj);
+            acc[j][3] = vfmaq_f64(acc[j][3], a3, bj);
+        }
+    }
+    for j in 0..nr {
+        let col = c.col_mut(cj + j);
+        let dst: &mut [f64] = &mut col[ci..ci + mr];
+        if mr == MR {
+            for (q, lane) in acc[j].iter().enumerate() {
+                let p = dst.as_mut_ptr().add(2 * q);
+                vst1q_f64(p, vaddq_f64(vld1q_f64(p), *lane));
+            }
+        } else {
+            let mut tmp = [0.0f64; MR];
+            for (q, lane) in acc[j].iter().enumerate() {
+                vst1q_f64(tmp.as_mut_ptr().add(2 * q), *lane);
+            }
+            for (d, t) in dst.iter_mut().zip(tmp.iter()) {
+                *d += *t;
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Panel packing for the blocked GEMM, specialized by [`Trans`].
+//!
+//! The packers copy cache-block windows of `op(A)` / `op(B)` into the
+//! contiguous micro-panel layout the microkernels stream: A in row
+//! micro-panels of height `MR` (k-major within a panel, `alpha` folded
+//! in), B in column micro-panels of width `NR`, both zero-padded to the
+//! register tile. Specializing on `Trans` up front — instead of calling
+//! an `op_get` that re-matches the flag per element — keeps the inner
+//! copy loops branch-free and lets the non-transposed cases run over
+//! contiguous column slices.
+//!
+//! Layout invariant (shared with every microkernel): panel `q` of the
+//! packed A block starts at `q * kc * MR` and holds, for each `p` in
+//! `0..kc`, the `MR` values `alpha * op(A)[ic + q*MR .. , pc + p]`;
+//! symmetrically for B with `NR`-wide panels.
+
+use super::{MR, NR};
+use crate::blas3::Trans;
+use crate::view::MatRef;
+
+/// Pack `alpha * op(A)[ic..ic+mc, pc..pc+kc]` into row micro-panels of
+/// height `MR`, zero padded. `apack` must hold at least
+/// `mc.div_ceil(MR) * MR * kc` elements.
+#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
+pub(crate) fn pack_a(
+    apack: &mut [f64],
+    a: MatRef<'_>,
+    ta: Trans,
+    alpha: f64,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+) {
+    match ta {
+        // op(A) = A: the mr values of one (panel, p) cell sit
+        // contiguously in column `pc + p`.
+        Trans::No => {
+            let mut dst = 0;
+            let mut ir = 0;
+            while ir < mc {
+                let mr = MR.min(mc - ir);
+                for p in 0..kc {
+                    let src = &a.col(pc + p)[ic + ir..ic + ir + mr];
+                    for (d, &v) in apack[dst..dst + mr].iter_mut().zip(src) {
+                        *d = alpha * v;
+                    }
+                    for d in apack[dst + mr..dst + MR].iter_mut() {
+                        *d = 0.0;
+                    }
+                    dst += MR;
+                }
+                ir += MR;
+            }
+        }
+        // op(A) = Aᵀ: row `ic + ir + i` of the op is column
+        // `ic + ir + i` of A, so walk each source column once with a
+        // strided write into the panel.
+        Trans::Yes => {
+            let mut ir = 0;
+            while ir < mc {
+                let mr = MR.min(mc - ir);
+                let base = (ir / MR) * kc * MR;
+                for i in 0..MR {
+                    if i < mr {
+                        let src = &a.col(ic + ir + i)[pc..pc + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            apack[base + p * MR + i] = alpha * v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            apack[base + p * MR + i] = 0.0;
+                        }
+                    }
+                }
+                ir += MR;
+            }
+        }
+    }
+}
+
+/// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into column micro-panels of width
+/// `NR`, zero padded. `bpack` must hold at least
+/// `nc.div_ceil(NR) * NR * kc` elements.
+pub(crate) fn pack_b(
+    bpack: &mut [f64],
+    b: MatRef<'_>,
+    tb: Trans,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+) {
+    match tb {
+        // op(B) = B: column `jc + jr + j` of the op is a contiguous
+        // source column; walk it once with a strided panel write.
+        Trans::No => {
+            let mut jr = 0;
+            while jr < nc {
+                let nr = NR.min(nc - jr);
+                let base = (jr / NR) * kc * NR;
+                for j in 0..NR {
+                    if j < nr {
+                        let src = &b.col(jc + jr + j)[pc..pc + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            bpack[base + p * NR + j] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            bpack[base + p * NR + j] = 0.0;
+                        }
+                    }
+                }
+                jr += NR;
+            }
+        }
+        // op(B) = Bᵀ: the nr values of one (panel, p) cell sit
+        // contiguously in column `pc + p`.
+        Trans::Yes => {
+            let mut dst = 0;
+            let mut jr = 0;
+            while jr < nc {
+                let nr = NR.min(nc - jr);
+                for p in 0..kc {
+                    let src = &b.col(pc + p)[jc + jr..jc + jr + nr];
+                    bpack[dst..dst + nr].copy_from_slice(src);
+                    for d in bpack[dst + nr..dst + NR].iter_mut() {
+                        *d = 0.0;
+                    }
+                    dst += NR;
+                }
+                jr += NR;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    fn sample(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| (i * 1000 + j) as f64 + 0.25)
+    }
+
+    fn op_get(a: &Matrix, t: Trans, i: usize, j: usize) -> f64 {
+        match t {
+            Trans::No => a[(i, j)],
+            Trans::Yes => a[(j, i)],
+        }
+    }
+
+    #[test]
+    fn pack_a_matches_reference_layout_for_both_ops() {
+        let a = sample(23, 19);
+        let at = sample(19, 23);
+        for (m, t) in [(&a, Trans::No), (&at, Trans::Yes)] {
+            let (ic, pc, mc, kc): (usize, usize, usize, usize) = (3, 2, 17, 11);
+            let alpha = 1.5;
+            let panels = mc.div_ceil(MR);
+            let mut pack = vec![f64::NAN; panels * MR * kc];
+            pack_a(&mut pack, m.rf(), t, alpha, ic, pc, mc, kc);
+            for q in 0..panels {
+                for p in 0..kc {
+                    for i in 0..MR {
+                        let want = if q * MR + i < mc {
+                            alpha * op_get(m, t, ic + q * MR + i, pc + p)
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(
+                            pack[q * kc * MR + p * MR + i],
+                            want,
+                            "{t:?} q={q} p={p} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_matches_reference_layout_for_both_ops() {
+        let b = sample(21, 26);
+        let bt = sample(26, 21);
+        for (m, t) in [(&b, Trans::No), (&bt, Trans::Yes)] {
+            let (pc, jc, kc, nc): (usize, usize, usize, usize) = (4, 5, 13, 18);
+            let panels = nc.div_ceil(NR);
+            let mut pack = vec![f64::NAN; panels * NR * kc];
+            pack_b(&mut pack, m.rf(), t, pc, jc, kc, nc);
+            for q in 0..panels {
+                for p in 0..kc {
+                    for j in 0..NR {
+                        let want = if q * NR + j < nc {
+                            op_get(m, t, pc + p, jc + q * NR + j)
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(
+                            pack[q * kc * NR + p * NR + j],
+                            want,
+                            "{t:?} q={q} p={p} j={j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

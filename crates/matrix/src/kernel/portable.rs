@@ -1,0 +1,49 @@
+//! The portable scalar microkernel — the always-available fallback and
+//! the reference semantics every SIMD kernel is property-tested
+//! against. This is the exact register-tile loop the blocked `gemm`
+//! shipped with before runtime dispatch existed.
+
+use super::{MR, NR};
+use crate::view::MatMut;
+
+/// `MR x NR` scalar microkernel: accumulates a rank-`kc` product from
+/// packed panels into a local tile, then adds into `C` (edge tiles via
+/// `mr`/`nr`).
+///
+/// # Safety
+///
+/// No unsafe operations are performed; the signature is `unsafe fn`
+/// only so it coerces to [`super::MicroFn`] alongside the SIMD
+/// kernels. `apanel`/`bpanel` must hold at least `kc * MR` /
+/// `kc * NR` elements (enforced by slice indexing — out-of-contract
+/// calls panic rather than misbehave).
+#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
+                                     // SAFETY: body is entirely safe code; `unsafe fn` only matches the MicroFn dispatch signature.
+pub(crate) unsafe fn micro_8x4(
+    apanel: &[f64],
+    bpanel: &[f64],
+    kc: usize,
+    mut c: MatMut<'_>,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for p in 0..kc {
+        let av: &[f64] = &apanel[p * MR..p * MR + MR];
+        let bv: &[f64] = &bpanel[p * NR..p * NR + NR];
+        for j in 0..NR {
+            let bj = bv[j];
+            for i in 0..MR {
+                acc[j][i] += av[i] * bj;
+            }
+        }
+    }
+    for j in 0..nr {
+        let col = c.col_mut(cj + j);
+        for i in 0..mr {
+            col[ci + i] += acc[j][i];
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Cache-aware blocking autotuner: pick the `MC/KC/NC` cache-block
+//! extents from the detected cache hierarchy instead of hard-coded
+//! constants.
+//!
+//! The BLIS sizing rules, applied once per process:
+//!
+//! - `KC` so one A micro-panel (`MR x KC`) plus one B micro-panel
+//!   (`KC x NR`) fill about half of L1d — the microkernel streams both
+//!   per iteration.
+//! - `MC` so the packed A block (`MC x KC`) fills about half of L2,
+//!   leaving room for the B panel and the C tile.
+//! - `NC` so the packed B block (`KC x NC`) fills about a quarter of
+//!   L3 (shared, so stay modest), capped to keep the pack buffer small.
+//!
+//! Sizes come from Linux sysfs (`/sys/devices/system/cpu/cpu0/cache`);
+//! when that is unavailable (other OSes, stripped containers) the
+//! historical constants `128/256/1024` are used. Each extent can be
+//! forced with `BS_MC` / `BS_KC` / `BS_NC` (values are sanitized to the
+//! register-tile granularity, never trusted blindly).
+
+use super::{MR, NR};
+use std::sync::OnceLock;
+
+/// The three cache-block extents of the packed GEMM loop nest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blocking {
+    /// Rows of the packed A block (multiple of `MR`).
+    pub mc: usize,
+    /// Depth of both packed blocks.
+    pub kc: usize,
+    /// Columns of the packed B block (multiple of `NR`).
+    pub nc: usize,
+}
+
+/// The pre-autotuner constants, kept as the no-information fallback
+/// (sized so the packed A block is 256 KiB — a safe half-L2 for the
+/// small end of x86 parts).
+pub const FALLBACK: Blocking = Blocking {
+    mc: 128,
+    kc: 256,
+    nc: 1024,
+};
+
+/// The blocking the packed GEMM uses, detected once per process.
+pub fn blocking() -> Blocking {
+    static TUNED: OnceLock<Blocking> = OnceLock::new();
+    *TUNED.get_or_init(|| detect(&sysfs_cache_sizes()))
+}
+
+fn round_up(x: usize, q: usize) -> usize {
+    x.div_ceil(q) * q
+}
+
+/// Derive the blocking from `(l1d, l2, l3)` byte sizes (any of which
+/// may be unknown), then apply the env overrides. Pure so tests can
+/// probe it with synthetic hierarchies.
+fn detect(caches: &CacheSizes) -> Blocking {
+    const F64: usize = 8;
+    let kc = match caches.l1d {
+        // Half of L1d split across one MR-row and one NR-column panel.
+        Some(l1d) => (l1d / 2 / (F64 * (MR + NR))).clamp(64, 512) / 8 * 8,
+        None => FALLBACK.kc,
+    };
+    let mc = match caches.l2 {
+        // Packed A (mc x kc) in half of L2.
+        Some(l2) => (l2 / 2 / (F64 * kc)).clamp(MR * 4, 1024) / MR * MR,
+        None => FALLBACK.mc,
+    };
+    let nc = match caches.l3 {
+        // Packed B (kc x nc) in a quarter of (shared) L3, capped so the
+        // pack buffer stays a few MiB at most.
+        Some(l3) => (l3 / 4 / (F64 * kc)).clamp(NR * 64, 4096) / NR * NR,
+        None => FALLBACK.nc,
+    };
+    Blocking {
+        mc: env_extent("BS_MC", mc, MR),
+        kc: env_extent("BS_KC", kc, 8),
+        nc: env_extent("BS_NC", nc, NR),
+    }
+}
+
+/// An extent override from the environment, rounded up to the tile
+/// granularity `q`; unset or unparsable values keep the detected one.
+fn env_extent(var: &str, detected: usize, q: usize) -> usize {
+    match std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => round_up(n, q),
+        _ => detected,
+    }
+}
+
+/// Cache sizes in bytes, where detectable.
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheSizes {
+    l1d: Option<usize>,
+    l2: Option<usize>,
+    l3: Option<usize>,
+}
+
+/// Walk `/sys/devices/system/cpu/cpu0/cache/index*` for the data/
+/// unified cache sizes at each level. Missing sysfs (non-Linux) yields
+/// all-`None`, which lands on [`FALLBACK`].
+fn sysfs_cache_sizes() -> CacheSizes {
+    let mut out = CacheSizes::default();
+    for idx in 0..8 {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
+        let read = |f: &str| std::fs::read_to_string(format!("{base}/{f}")).ok();
+        let (Some(level), Some(ty), Some(size)) = (read("level"), read("type"), read("size"))
+        else {
+            continue;
+        };
+        let Some(bytes) = parse_size(size.trim()) else {
+            continue;
+        };
+        let ty = ty.trim();
+        if ty == "Instruction" {
+            continue;
+        }
+        match level.trim() {
+            "1" => out.l1d = Some(bytes),
+            "2" => out.l2 = Some(bytes),
+            "3" => out.l3 = Some(bytes),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parse a sysfs cache size like `48K`, `2048K`, or `8M` into bytes.
+fn parse_size(s: &str) -> Option<usize> {
+    if let Some(k) = s.strip_suffix('K') {
+        k.parse::<usize>().ok().map(|v| v * 1024)
+    } else if let Some(m) = s.strip_suffix('M') {
+        m.parse::<usize>().ok().map(|v| v * 1024 * 1024)
+    } else {
+        s.parse::<usize>().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_size_handles_sysfs_suffixes() {
+        assert_eq!(parse_size("48K"), Some(48 * 1024));
+        assert_eq!(parse_size("2048K"), Some(2048 * 1024));
+        assert_eq!(parse_size("8M"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_size("32768"), Some(32768));
+        assert_eq!(parse_size("lots"), None);
+    }
+
+    #[test]
+    fn detect_scales_with_the_hierarchy() {
+        // A typical client part: 48K L1d, 2M L2, large L3.
+        let b = detect(&CacheSizes {
+            l1d: Some(48 * 1024),
+            l2: Some(2 * 1024 * 1024),
+            l3: Some(256 * 1024 * 1024),
+        });
+        assert_eq!(b.kc, 256);
+        assert_eq!(b.mc, 512);
+        assert_eq!(b.nc, 4096);
+        // A small part halves kc and mc accordingly.
+        let small = detect(&CacheSizes {
+            l1d: Some(24 * 1024),
+            l2: Some(512 * 1024),
+            l3: None,
+        });
+        assert_eq!(small.kc, 128);
+        assert_eq!(small.mc, 256);
+        assert_eq!(small.nc, FALLBACK.nc);
+        // No information at all lands on the historical constants.
+        assert_eq!(detect(&CacheSizes::default()), FALLBACK);
+    }
+
+    #[test]
+    fn detected_blocking_is_tile_aligned_and_sane() {
+        let b = blocking();
+        assert!(b.mc >= MR && b.mc.is_multiple_of(MR), "mc = {}", b.mc);
+        assert!((64..=4096).contains(&b.kc), "kc = {}", b.kc);
+        assert!(b.nc >= NR && b.nc.is_multiple_of(NR), "nc = {}", b.nc);
+    }
+}

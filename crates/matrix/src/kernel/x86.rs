@@ -1,0 +1,116 @@
+//! AVX2+FMA and (behind the `avx512` cargo feature) AVX-512F
+//! microkernels for `x86_64`.
+//!
+//! Both kernels compute each `C(i, j)` entry through the same
+//! per-entry accumulation chain as the portable kernel — one partial
+//! sum per entry, `p` in packed order — so for a fixed kernel choice
+//! results stay bitwise identical across any strip decomposition. They
+//! differ from the portable kernel only in using fused multiply-add
+//! (one rounding per term instead of two), which is why switching
+//! kernels may change the last bits while switching thread counts
+//! never does.
+
+use super::{MR, NR};
+use crate::view::MatMut;
+use std::arch::x86_64::*;
+
+/// `MR x NR` microkernel on AVX2+FMA: each of the `NR` accumulator
+/// columns is a pair of 4-lane `__m256d` registers covering the 8 rows.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA. `apanel`/`bpanel` must hold at
+/// least `kc * MR` / `kc * NR` elements (slice indexing enforces this;
+/// an out-of-contract call panics rather than reads out of bounds).
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
+                                     // SAFETY: only dispatched by `kernel_for` after `is_x86_feature_detected!("avx2")`
+                                     // and `("fma")` both report true; all loads/stores go through bounds-checked slices.
+pub(crate) unsafe fn micro_8x4_avx2(
+    apanel: &[f64],
+    bpanel: &[f64],
+    kc: usize,
+    mut c: MatMut<'_>,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[_mm256_setzero_pd(); 2]; NR];
+    for p in 0..kc {
+        let av: &[f64] = &apanel[p * MR..p * MR + MR];
+        let bv: &[f64] = &bpanel[p * NR..p * NR + NR];
+        let alo = _mm256_loadu_pd(av.as_ptr());
+        let ahi = _mm256_loadu_pd(av.as_ptr().add(4));
+        for j in 0..NR {
+            let bj = _mm256_set1_pd(bv[j]);
+            acc[j][0] = _mm256_fmadd_pd(alo, bj, acc[j][0]);
+            acc[j][1] = _mm256_fmadd_pd(ahi, bj, acc[j][1]);
+        }
+    }
+    for j in 0..nr {
+        let col = c.col_mut(cj + j);
+        let dst: &mut [f64] = &mut col[ci..ci + mr];
+        if mr == MR {
+            let p = dst.as_mut_ptr();
+            _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), acc[j][0]));
+            let ph = p.add(4);
+            _mm256_storeu_pd(ph, _mm256_add_pd(_mm256_loadu_pd(ph), acc[j][1]));
+        } else {
+            let mut tmp = [0.0f64; MR];
+            _mm256_storeu_pd(tmp.as_mut_ptr(), acc[j][0]);
+            _mm256_storeu_pd(tmp.as_mut_ptr().add(4), acc[j][1]);
+            for (d, t) in dst.iter_mut().zip(tmp.iter()) {
+                *d += *t;
+            }
+        }
+    }
+}
+
+/// `MR x NR` microkernel on AVX-512F: one 8-lane `__m512d` accumulator
+/// per column covers the whole register tile.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F. `apanel`/`bpanel` must hold at least
+/// `kc * MR` / `kc * NR` elements (slice indexing enforces this).
+#[cfg(feature = "avx512")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
+                                     // SAFETY: only dispatched by `kernel_for` after `is_x86_feature_detected!("avx512f")`
+                                     // reports true; all loads/stores go through bounds-checked slices.
+pub(crate) unsafe fn micro_8x4_avx512(
+    apanel: &[f64],
+    bpanel: &[f64],
+    kc: usize,
+    mut c: MatMut<'_>,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [_mm512_setzero_pd(); NR];
+    for p in 0..kc {
+        let av: &[f64] = &apanel[p * MR..p * MR + MR];
+        let bv: &[f64] = &bpanel[p * NR..p * NR + NR];
+        let a8 = _mm512_loadu_pd(av.as_ptr());
+        for j in 0..NR {
+            let bj = _mm512_set1_pd(bv[j]);
+            acc[j] = _mm512_fmadd_pd(a8, bj, acc[j]);
+        }
+    }
+    for j in 0..nr {
+        let col = c.col_mut(cj + j);
+        let dst: &mut [f64] = &mut col[ci..ci + mr];
+        if mr == MR {
+            let p = dst.as_mut_ptr();
+            _mm512_storeu_pd(p, _mm512_add_pd(_mm512_loadu_pd(p), acc[j]));
+        } else {
+            let mut tmp = [0.0f64; MR];
+            _mm512_storeu_pd(tmp.as_mut_ptr(), acc[j]);
+            for (d, t) in dst.iter_mut().zip(tmp.iter()) {
+                *d += *t;
+            }
+        }
+    }
+}

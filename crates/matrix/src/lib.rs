@@ -30,6 +30,7 @@ pub mod chol;
 pub mod dense;
 pub mod eig;
 pub mod flops;
+pub mod kernel;
 pub mod ldlt;
 pub mod lu;
 pub mod norms;

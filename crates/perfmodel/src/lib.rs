@@ -15,4 +15,7 @@ pub mod model;
 pub mod tradeoff;
 
 pub use model::{apply_flops, blocking_flops, comm_words, step_flops, total_factor_flops, Rep};
-pub use tradeoff::{best_rep_for_apply, best_rep_for_blocking, crossover_block_size};
+pub use tradeoff::{
+    auto_block_size_with_rate, auto_threads_with_rate, best_rep_for_apply, best_rep_for_blocking,
+    crossover_block_size, RateTable,
+};

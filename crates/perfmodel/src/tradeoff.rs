@@ -94,6 +94,92 @@ pub fn auto_threads(total_flops: f64, available: usize) -> usize {
     by_work.clamp(1, available)
 }
 
+/// An empirical kernel-rate characterization: measured `(m_s, flop/s)`
+/// points, queried by piecewise-linear interpolation. This is the
+/// paper's "empirical characterization of the primitives' performance"
+/// as a value — `bs-matrix`'s one-shot kernel calibration produces the
+/// points, and the planner swaps this in for [`default_rate`] when
+/// calibration is enabled.
+#[derive(Clone, Debug)]
+pub struct RateTable {
+    /// `(m_s, flop/s)` sorted ascending by `m_s`.
+    points: Vec<(usize, f64)>,
+}
+
+impl RateTable {
+    /// Build a table from measured points (any order; non-finite or
+    /// non-positive rates are dropped). Panics if no valid point
+    /// remains — a calibration that measured nothing is a caller bug.
+    pub fn new(points: &[(usize, f64)]) -> Self {
+        let mut pts: Vec<(usize, f64)> = points
+            .iter()
+            .copied()
+            .filter(|&(_, r)| r.is_finite() && r > 0.0)
+            .collect();
+        assert!(!pts.is_empty(), "RateTable::new: no valid rate points");
+        pts.sort_by_key(|&(ms, _)| ms);
+        pts.dedup_by_key(|&mut (ms, _)| ms);
+        RateTable { points: pts }
+    }
+
+    /// Interpolated rate (flop/s) at block size `ms`, clamped to the
+    /// measured range at both ends.
+    pub fn rate(&self, ms: usize) -> f64 {
+        let pts = &self.points;
+        if ms <= pts[0].0 {
+            return pts[0].1;
+        }
+        if let Some(&(last_ms, last_r)) = pts.last() {
+            if ms >= last_ms {
+                return last_r;
+            }
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if ms <= x1 {
+                let t = (ms - x0) as f64 / (x1 - x0) as f64;
+                return y0 + t * (y1 - y0);
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+}
+
+/// [`auto_block_size`] under a measured [`RateTable`] instead of the
+/// assumed saturating model: candidates are the multiples of `m`
+/// dividing `n`, scored by predicted time
+/// `total_factor_flops(n, m_s) / table.rate(m_s)`.
+pub fn auto_block_size_with_rate(n: usize, m: usize, table: &RateTable) -> usize {
+    assert!(
+        m > 0 && n > 0 && n.is_multiple_of(m),
+        "n must be a multiple of m"
+    );
+    let candidates: Vec<usize> = (1..=n / m)
+        .map(|q| q * m)
+        .filter(|&ms| n.is_multiple_of(ms))
+        .collect();
+    crossover_block_size(n, &candidates, |ms| table.rate(ms))
+}
+
+/// [`auto_threads`] under a measured kernel rate (flop/s): each thread
+/// must amortize about a millisecond of kernel work before fanning out
+/// pays — the same dispatch-overhead calibration behind
+/// [`MIN_FLOPS_PER_THREAD`] (which this recovers at 4 Gflop/s). A
+/// non-finite or non-positive rate falls back to the assumed constant.
+pub fn auto_threads_with_rate(total_flops: f64, rate: f64, available: usize) -> usize {
+    let per_thread = if rate.is_finite() && rate > 0.0 {
+        rate * 1.0e-3
+    } else {
+        MIN_FLOPS_PER_THREAD
+    };
+    if total_flops.is_nan() || total_flops <= 0.0 || available <= 1 {
+        return 1;
+    }
+    let by_work = (total_flops / per_thread).floor() as usize;
+    by_work.clamp(1, available)
+}
+
 /// Given an empirical effective rate `rate(m_s)` in flops/second for
 /// the dominant kernels at block size `m_s` (the "empirical
 /// characterization of the primitives' performance" the paper uses for
@@ -172,6 +258,66 @@ mod tests {
         // Clamped to what the machine has.
         assert_eq!(auto_threads(1.0e12, 4), 4);
         assert_eq!(auto_threads(1.0e12, 1), 1);
+    }
+
+    #[test]
+    fn rate_table_interpolates_and_clamps() {
+        // Points given out of order, with a junk entry that must drop.
+        let t = RateTable::new(&[(8, 4.0e9), (1, 1.0e9), (32, 6.0e9), (16, f64::NAN)]);
+        // Clamped below and above the measured range.
+        assert_eq!(t.rate(0), 1.0e9);
+        assert_eq!(t.rate(1), 1.0e9);
+        assert_eq!(t.rate(64), 6.0e9);
+        // Exact points, then midpoints interpolate linearly.
+        assert_eq!(t.rate(8), 4.0e9);
+        let mid = t.rate(20);
+        assert!((mid - 5.0e9).abs() < 1.0e6, "rate(20) = {mid}");
+    }
+
+    #[test]
+    fn auto_block_size_with_rate_follows_the_measurement() {
+        // A measured curve that keeps growing past 8 drags the pick to
+        // larger blocks than the assumed saturating model's 8.
+        let growing = RateTable::new(&[
+            (1, 0.2e9),
+            (2, 0.6e9),
+            (4, 1.8e9),
+            (8, 5.0e9),
+            (16, 14.0e9),
+            (32, 40.0e9),
+        ]);
+        assert_eq!(auto_block_size_with_rate(256, 1, &growing), 32);
+        // A flat curve makes the linear flop growth decisive: m_s = m.
+        let flat = RateTable::new(&[(1, 3.0e9), (32, 3.0e9)]);
+        assert_eq!(auto_block_size_with_rate(256, 1, &flat), 1);
+        // Candidates stay restricted to multiples of m.
+        assert_eq!(auto_block_size_with_rate(96, 6, &flat), 6);
+    }
+
+    #[test]
+    fn auto_threads_with_rate_scales_with_kernel_speed() {
+        // At 4 Gflop/s this recovers the assumed constant exactly.
+        assert_eq!(
+            auto_threads_with_rate(2.5 * MIN_FLOPS_PER_THREAD, 4.0e9, 64),
+            2
+        );
+        // A faster kernel needs more work per thread, so fewer threads.
+        assert_eq!(
+            auto_threads_with_rate(8.0 * MIN_FLOPS_PER_THREAD, 16.0e9, 64),
+            2
+        );
+        // A slower kernel amortizes sooner.
+        assert_eq!(
+            auto_threads_with_rate(2.0 * MIN_FLOPS_PER_THREAD, 1.0e9, 64),
+            8
+        );
+        // Degenerate rates fall back to the assumed constant.
+        assert_eq!(
+            auto_threads_with_rate(8.0 * MIN_FLOPS_PER_THREAD, f64::NAN, 64),
+            8
+        );
+        assert_eq!(auto_threads_with_rate(f64::NAN, 4.0e9, 64), 1);
+        assert_eq!(auto_threads_with_rate(1.0e12, 4.0e9, 1), 1);
     }
 
     #[test]

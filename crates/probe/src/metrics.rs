@@ -62,10 +62,28 @@ pub enum Counter {
     PoolStrips,
     /// Nanoseconds spent executing pool strips, summed over workers.
     PoolStripNanos,
+    /// Packed-GEMM kernel invocations dispatched (any ISA).
+    KernelDispatches,
+    /// Flops executed by the portable scalar microkernel.
+    KernelFlopsPortable,
+    /// Flops executed by the AVX2+FMA microkernel.
+    KernelFlopsAvx2,
+    /// Flops executed by the AVX-512F microkernel.
+    KernelFlopsAvx512,
+    /// Flops executed by the NEON microkernel.
+    KernelFlopsNeon,
+    /// Nanoseconds spent in packed GEMM on the portable microkernel.
+    KernelNanosPortable,
+    /// Nanoseconds spent in packed GEMM on the AVX2+FMA microkernel.
+    KernelNanosAvx2,
+    /// Nanoseconds spent in packed GEMM on the AVX-512F microkernel.
+    KernelNanosAvx512,
+    /// Nanoseconds spent in packed GEMM on the NEON microkernel.
+    KernelNanosNeon,
 }
 
 /// Number of counter categories.
-pub const N_COUNTERS: usize = 22;
+pub const N_COUNTERS: usize = 31;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -92,6 +110,15 @@ impl Counter {
         Counter::PoolDispatches,
         Counter::PoolStrips,
         Counter::PoolStripNanos,
+        Counter::KernelDispatches,
+        Counter::KernelFlopsPortable,
+        Counter::KernelFlopsAvx2,
+        Counter::KernelFlopsAvx512,
+        Counter::KernelFlopsNeon,
+        Counter::KernelNanosPortable,
+        Counter::KernelNanosAvx2,
+        Counter::KernelNanosAvx512,
+        Counter::KernelNanosNeon,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -119,6 +146,15 @@ impl Counter {
             Counter::PoolDispatches => "pool_dispatches",
             Counter::PoolStrips => "pool_strips",
             Counter::PoolStripNanos => "pool_strip_nanos",
+            Counter::KernelDispatches => "kernel_dispatches",
+            Counter::KernelFlopsPortable => "kernel_flops_portable",
+            Counter::KernelFlopsAvx2 => "kernel_flops_avx2",
+            Counter::KernelFlopsAvx512 => "kernel_flops_avx512",
+            Counter::KernelFlopsNeon => "kernel_flops_neon",
+            Counter::KernelNanosPortable => "kernel_nanos_portable",
+            Counter::KernelNanosAvx2 => "kernel_nanos_avx2",
+            Counter::KernelNanosAvx512 => "kernel_nanos_avx512",
+            Counter::KernelNanosNeon => "kernel_nanos_neon",
         }
     }
 }

@@ -30,6 +30,15 @@ echo "==> execution tier: workspace tests under BS_THREADS=1 and BS_THREADS=max"
 BS_THREADS=1 cargo test -q --workspace
 BS_THREADS=max cargo test -q --workspace
 
+echo "==> kernel tier: full workspace suite forced onto the portable microkernel"
+# BS_KERNEL=portable pins the scalar microkernel: every test must pass
+# with SIMD dispatch disabled (the fallback the engine degrades to on
+# hardware without AVX2/NEON).
+BS_KERNEL=portable cargo test -q --workspace
+
+echo "==> kernel tier: avx512 feature build (runtime-gated microkernel)"
+cargo test -q -p bs-matrix --features avx512
+
 echo "==> paranoid tier: invariant contracts enabled"
 cargo test -q -p bs-core --features paranoid
 

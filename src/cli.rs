@@ -217,6 +217,19 @@ pub fn parse_threads_flag(s: &str) -> Result<usize, CliError> {
         .ok_or_else(|| CliError::Usage(format!("bad --threads {s:?} (positive count or \"max\")")))
 }
 
+/// Parse and apply a `--kernel` flag: force the process-wide BLAS-3
+/// microkernel choice (overrides `BS_KERNEL`). An explicit ISA the
+/// machine cannot run degrades to the portable kernel at dispatch.
+pub fn apply_kernel_flag(s: &str) -> Result<(), CliError> {
+    let c = bs_matrix::kernel::parse_choice(s).ok_or_else(|| {
+        CliError::Usage(format!(
+            "bad --kernel {s:?} (portable | native | avx2 | avx512 | neon)"
+        ))
+    })?;
+    bs_matrix::kernel::set_override(Some(c));
+    Ok(())
+}
+
 /// Driver options for `solve` / `factor`: the pinned block size plus
 /// the execution policy (`--threads`, falling back to `BS_THREADS` /
 /// sequential via the [`SchurOptions`] default).
@@ -262,14 +275,15 @@ pub fn cmd_solve(
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "solved n = {n} in {:.3} ms ({} path, {} thread(s)), relative residual {rel:.3e}",
+        "solved n = {n} in {:.3} ms ({} path, {} thread(s), {} kernel), relative residual {rel:.3e}",
         secs * 1e3,
         if solver.is_positive_definite() {
             "SPD"
         } else {
             "indefinite"
         },
-        opts.spd.exec.threads
+        opts.spd.exec.threads,
+        bs_matrix::kernel::active_isa_name()
     );
     obs.finish(&mut report)?;
     Ok((x, report))
@@ -294,7 +308,7 @@ pub fn cmd_factor(
     let (pos, neg) = solver.inertia();
     let _ = writeln!(
         report,
-        "factored n = {} (m = {}) in {:.3} ms: {} path, {} thread(s), inertia {pos}+ / {neg}-",
+        "factored n = {} (m = {}) in {:.3} ms: {} path, {} thread(s), {} kernel, inertia {pos}+ / {neg}-",
         t.order(),
         t.block_size(),
         secs * 1e3,
@@ -303,7 +317,8 @@ pub fn cmd_factor(
         } else {
             "indefinite"
         },
-        opts.spd.exec.threads
+        opts.spd.exec.threads,
+        bs_matrix::kernel::active_isa_name()
     );
     if let Factorization::Indefinite(f) = solver.factorization() {
         let _ = writeln!(
@@ -341,12 +356,14 @@ pub fn cmd_plan(
     rep: Option<&str>,
     block_size: Option<usize>,
     threads: Option<usize>,
+    calibrate: bool,
 ) -> Result<String, CliError> {
     let (n, m) = shape;
     let req = PlanRequest {
         rep: rep.map(parse_rep).transpose()?,
         block_size,
         threads,
+        calibrate,
         ..Default::default()
     };
     let plan = FactorPlan::for_shape(n, m, &req).map_err(|e| CliError::Numerical(e.to_string()))?;
@@ -371,6 +388,16 @@ pub fn cmd_plan(
         "  execution: {} thread(s){} for the trailing update",
         plan.threads(),
         auto(plan.threads_is_auto())
+    );
+    let _ = writeln!(
+        out,
+        "  kernel: {} microkernels, {} rate model",
+        plan.kernel_isa(),
+        if plan.is_calibrated() {
+            "measured (calibrated)"
+        } else {
+            "analytic"
+        }
     );
     let _ = writeln!(
         out,
@@ -500,11 +527,11 @@ pub const USAGE: &str = "block-schur — block Schur Toeplitz solver (ICPP'94 re
 USAGE:
     block-schur info <matrix>
     block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--threads <t|max>]
-                     [--output <file>] [--trace <file>] [--metrics]
+                     [--kernel <k>] [--output <file>] [--trace <file>] [--metrics]
     block-schur factor <matrix> [--block-size <m_s>] [--threads <t|max>]
-                     [--trace <file>] [--metrics]
+                     [--kernel <k>] [--trace <file>] [--metrics]
     block-schur plan (<matrix> | --n <n> [--m <m>]) [--rep <kind>] [--block-size <m_s>]
-                     [--threads <t|max>]
+                     [--threads <t|max>] [--kernel <k>] [--calibrate]
     block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
     block-schur simulate --n <n> --m <m> --np <p> --scheme <v1|v2:b|v3:s>
 
@@ -513,6 +540,15 @@ EXECUTION:
                        (\"max\" = all cores). Default: BS_THREADS when
                        set, else the cost model picks per plan. Any
                        thread count produces bitwise-identical factors.
+    --kernel <k>       BLAS-3 microkernel ISA: portable | native | avx2
+                       | avx512 | neon. Default: BS_KERNEL when set,
+                       else native runtime detection; an ISA the machine
+                       cannot run falls back to portable. A fixed choice
+                       is bitwise-deterministic across thread counts.
+    --calibrate        (plan) score block-size / thread auto-selection
+                       on a one-shot measured kernel-rate table instead
+                       of the analytic saturating model. BS_CALIBRATE=1
+                       enables the same process-wide.
 
 OBSERVABILITY:
     --trace <file>   write a JSON-lines trace: spans with ns timestamps,
@@ -650,22 +686,28 @@ mod tests {
     fn plan_command_reports_choices() {
         // Fully automatic: n = 256, m = 4 retiles to m_s = 8 (p = 32),
         // where the trailing applications dominate and VY2 wins.
-        let out = cmd_plan((256, 4), None, None, None).unwrap();
+        let out = cmd_plan((256, 4), None, None, None, false).unwrap();
         assert!(out.contains("plan for n = 256"), "{out}");
         assert!(out.contains("VY form 2 (auto)"), "{out}");
         assert!(out.contains("m_s = 8 (auto), p = 32"), "{out}");
         // Thread count may come from BS_THREADS (pinned) or the cost
         // model (auto); either way the line is reported.
         assert!(out.contains("thread(s)"), "{out}");
+        assert!(out.contains("microkernels, analytic rate model"), "{out}");
         assert!(out.contains("predicted elimination flops:"), "{out}");
         assert!(out.contains("words/step"), "{out}");
         assert!(out.contains("fallback: indefinite kernel"), "{out}");
 
         // Pinned representation and block size are echoed as such.
-        let out = cmd_plan((32, 1), Some("yty"), Some(4), Some(3)).unwrap();
+        let out = cmd_plan((32, 1), Some("yty"), Some(4), Some(3), false).unwrap();
         assert!(out.contains("(pinned)"), "{out}");
         assert!(out.contains("m_s = 4 (pinned), p = 8"), "{out}");
         assert!(out.contains("3 thread(s) (pinned)"), "{out}");
+
+        // Calibrated planning reports the measured-rate model and still
+        // produces a structurally valid plan.
+        let out = cmd_plan((64, 4), None, None, None, true).unwrap();
+        assert!(out.contains("measured (calibrated) rate model"), "{out}");
 
         // --threads parsing: counts and "max", junk rejected.
         assert_eq!(parse_threads_flag("2").unwrap(), 2);
@@ -675,12 +717,16 @@ mod tests {
 
         // Bad inputs surface as CLI errors, not panics.
         assert!(matches!(
-            cmd_plan((32, 1), Some("bogus"), None, None),
+            cmd_plan((32, 1), Some("bogus"), None, None, false),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_plan((32, 1), None, Some(5), None),
+            cmd_plan((32, 1), None, Some(5), None, false),
             Err(CliError::Numerical(_))
+        ));
+        assert!(matches!(
+            apply_kernel_flag("bogus"),
+            Err(CliError::Usage(_))
         ));
     }
 

@@ -55,6 +55,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let cmd = args
         .first()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    // Process-wide microkernel override; validated before any kernel
+    // dispatch happens so a typo fails fast instead of running native.
+    if let Some(k) = flag(args, "--kernel") {
+        cli::apply_kernel_flag(&k)?;
+    }
     match cmd.as_str() {
         "info" => {
             let m = args
@@ -118,7 +123,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
             };
             let rep = flag(args, "--rep");
             let bs = block_size(args)?;
-            cli::cmd_plan(shape, rep.as_deref(), bs, threads(args)?)
+            let calibrate = has_flag(args, "--calibrate");
+            cli::cmd_plan(shape, rep.as_deref(), bs, threads(args)?, calibrate)
         }
         "gen" => {
             let kind = args

@@ -88,6 +88,42 @@ fn indefinite_solver_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn fixed_kernel_choice_is_bitwise_identical_across_thread_counts() {
+    // The kernel-engine determinism contract: for any *fixed* microkernel
+    // choice, every C entry's accumulation chain depends only on the
+    // problem shape — never on strip boundaries — so a pooled run is
+    // bitwise equal to the sequential one whichever ISA is dispatched.
+    // (Different ISAs may differ in the last bits: FMA fuses what the
+    // portable kernel rounds twice. That is why the choice is held
+    // fixed inside the comparison, under the process-wide EXCLUSIVE
+    // lock since the override is global.)
+    use block_schur::matrix::kernel;
+    let _g = lock();
+    let max = block_schur::matrix::par::current_num_threads();
+    let t = workloads::spd_ar1_block(4, 20, 0.65, 17);
+    let (b, _) = workloads::rhs_for_ones(&t);
+    for choice in [kernel::Choice::Portable, kernel::Choice::Native] {
+        kernel::set_override(Some(choice));
+        let baseline = factor_spd(&t, &spd_opts(1)).unwrap();
+        let x0 = baseline.solve(&b).unwrap();
+        for threads in [2usize, max, max * 2] {
+            let f = factor_spd(&t, &spd_opts(threads)).unwrap();
+            assert_eq!(
+                f.r.max_abs_diff(&baseline.r),
+                0.0,
+                "{choice:?} threads={threads}: pooled R differs from sequential"
+            );
+            assert_eq!(
+                f.solve(&b).unwrap(),
+                x0,
+                "{choice:?} threads={threads}: pooled solve differs"
+            );
+        }
+    }
+    kernel::set_override(None);
+}
+
+#[test]
 fn threads_one_never_touches_the_pool() {
     let _g = lock();
     let t = workloads::random_spd_block(4, 12, 7);
