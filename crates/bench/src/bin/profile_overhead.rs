@@ -1,0 +1,108 @@
+//! Overhead contract bench: instrumentation that is switched *off* must
+//! be free.
+//!
+//! Every probe site in the workspace (spans, instant events, latency
+//! histograms) promises one relaxed atomic load when disabled. This
+//! binary prices that promise: it times a small GEMM workload bare,
+//! then the same workload with a dense layer of *disabled* probe sites
+//! per iteration (a span, an instant event with fields, and a histogram
+//! record — more sites per flop than any real phase carries), and
+//! asserts the instrumented loop is **< 2% slower**. Trials interleave
+//! bare/instrumented and keep the best of each so frequency ramps and
+//! scheduler noise cancel instead of accumulating into one side.
+//!
+//! Run: `cargo run -p bs-bench --release --bin profile_overhead [--quick]`
+//!
+//! Emits one `@@BENCH` record (`profile_overhead`) with the measured
+//! `overhead_pct`, collected by `reproduce_all` and tracked by the
+//! bench regression gate.
+
+use bs_bench::{emit_bench, quick_mode};
+use bs_matrix::{gemm, Matrix, Trans};
+use std::time::Instant;
+
+/// Disabled probe sites layered over each workload iteration —
+/// deliberately denser than real instrumentation (the elimination loop
+/// runs a handful of sites per factor *step*, each step a panel factor
+/// plus a trailing update many times this GEMM's size).
+const SITES_PER_ITER: usize = 8;
+
+fn workload(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    gemm(1.0, a.rf(), Trans::No, b.rf(), Trans::No, 0.0, c.mt());
+}
+
+fn instrumented(a: &Matrix, b: &Matrix, c: &mut Matrix, iter: usize) {
+    for s in 0..SITES_PER_ITER {
+        let _span = bs_probe::span!("overhead_probe", iter = iter, site = s);
+        bs_probe::event!("overhead_tick", iter = iter, site = s, flops = 0.0);
+        bs_probe::histogram::record(bs_probe::Hist::KernelCallNs, (iter + s) as u64);
+    }
+    workload(a, b, c);
+}
+
+fn main() {
+    let quick = quick_mode();
+    let n = 96;
+    let (iters, trials) = if quick { (40, 5) } else { (150, 9) };
+
+    // All probes off: this is the configuration whose cost we price.
+    bs_probe::disable_all();
+    bs_probe::reset_all();
+
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 13) as f64 / 13.0 - 0.4);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) % 17) as f64 / 17.0 - 0.5);
+    let mut c = Matrix::zeros(n, n);
+
+    // Warm up the kernel dispatch, tuning tables, and caches.
+    for i in 0..iters / 4 {
+        instrumented(&a, &b, &mut c, i);
+    }
+
+    let mut best_bare = f64::INFINITY;
+    let mut best_inst = f64::INFINITY;
+    let total = Instant::now();
+    for _ in 0..trials {
+        let t = Instant::now();
+        for _ in 0..iters {
+            workload(&a, &b, &mut c);
+        }
+        best_bare = best_bare.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for i in 0..iters {
+            instrumented(&a, &b, &mut c, i);
+        }
+        best_inst = best_inst.min(t.elapsed().as_secs_f64());
+    }
+
+    let overhead_pct = 100.0 * (best_inst - best_bare) / best_bare;
+    println!(
+        "profile_overhead: bare {:.3} ms, instrumented {:.3} ms over {iters} iters \
+         x {SITES_PER_ITER} disabled sites -> overhead {overhead_pct:+.3}%",
+        best_bare * 1e3,
+        best_inst * 1e3,
+    );
+
+    // Nothing may have been recorded while disabled.
+    assert_eq!(
+        bs_probe::trace::take_events().len(),
+        0,
+        "disabled trace sites recorded events"
+    );
+    assert!(
+        bs_probe::histogram::merged(bs_probe::Hist::KernelCallNs).is_empty(),
+        "disabled histogram sites recorded samples"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled instrumentation costs {overhead_pct:.3}% (> 2% contract); \
+         a probe site is doing work while off"
+    );
+
+    emit_bench(
+        "profile_overhead",
+        total.elapsed().as_secs_f64(),
+        0,
+        &[("overhead_pct", overhead_pct)],
+    );
+}

@@ -6,10 +6,18 @@
 //!
 //! Each child binary prints a machine-readable `@@BENCH {...}` record
 //! (wall time, flop total); this driver collects them all into
-//! `BENCH_schur.json` next to the working directory.
+//! `BENCH_schur.json` next to the working directory (override the
+//! output path with `BS_BENCH_OUT=<file>`).
+//!
+//! With `BS_BENCH_GATE=1` the fresh records are additionally diffed
+//! against the committed baseline (`BENCH_schur.json` or
+//! `BS_BENCH_BASELINE=<file>`) before it is overwritten, and the
+//! verdict is written to `BENCH_regressions.json`; `BS_BENCH_GATE=strict`
+//! exits nonzero on any counted regression.
 //!
 //! Run: `cargo run -p bs-bench --release --bin reproduce_all [--quick]`
 
+use bs_bench::regression::{RegressionReport, Tolerances};
 use bs_probe::Json;
 use std::io::Write;
 use std::process::Command;
@@ -33,6 +41,7 @@ fn main() {
         "steady_state",
         "cross_validate",
         "kernels",
+        "profile_overhead",
     ];
     let started = Instant::now();
     let mut records: Vec<Json> = Vec::new();
@@ -82,7 +91,38 @@ fn main() {
         ("total_wall_s", Json::Num(started.elapsed().as_secs_f64())),
         ("experiments", Json::Arr(records)),
     ]);
-    let path = "BENCH_schur.json";
-    std::fs::write(path, format!("{report}\n")).expect("write BENCH_schur.json");
+
+    // Gate BEFORE overwriting: the baseline on disk is the committed
+    // reference, the fresh report is the candidate.
+    let gate = std::env::var("BS_BENCH_GATE").unwrap_or_default();
+    let baseline_path =
+        std::env::var("BS_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_schur.json".to_string());
+    let mut gate_failed = false;
+    if gate == "1" || gate == "strict" {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Json::parse(text.trim()) {
+                Ok(baseline) => {
+                    let verdict =
+                        RegressionReport::compare(&baseline, &report, &Tolerances::default());
+                    print!("\n{}", verdict.summary());
+                    std::fs::write("BENCH_regressions.json", format!("{}\n", verdict.to_json()))
+                        .expect("write BENCH_regressions.json");
+                    println!("gate verdict written to BENCH_regressions.json");
+                    gate_failed = gate == "strict" && !verdict.is_clean();
+                }
+                Err(e) => eprintln!("bench gate: baseline {baseline_path} unparseable ({e})"),
+            },
+            Err(e) => eprintln!(
+                "bench gate: no baseline at {baseline_path} ({e}); run once and commit it"
+            ),
+        }
+    }
+
+    let path = std::env::var("BS_BENCH_OUT").unwrap_or_else(|_| "BENCH_schur.json".to_string());
+    std::fs::write(&path, format!("{report}\n")).expect("write bench report");
     println!("\nall experiments completed; bench records written to {path}");
+    if gate_failed {
+        eprintln!("bench gate (strict): regressions against {baseline_path}");
+        std::process::exit(1);
+    }
 }

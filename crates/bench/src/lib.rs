@@ -7,6 +7,7 @@ use bs_probe::Json;
 use std::time::Instant;
 
 pub mod harness;
+pub mod regression;
 
 /// Marker prefix for machine-readable bench records on stdout.
 /// `reproduce_all` greps child output for these lines.

@@ -1,0 +1,390 @@
+//! Bench regression gate: diff a fresh `reproduce_all` report against
+//! the committed `BENCH_schur.json` baseline.
+//!
+//! Wall time on shared CI hardware is noisy, so each metric carries its
+//! own tolerance ([`Tolerances`]): wall-time regressions need both a
+//! relative slowdown *and* an absolute excess before they count; flop
+//! totals are deterministic and tolerate only rounding-level drift
+//! (in either direction — a silent flop-count change is as much a bug
+//! as a slowdown); growth factors may wiggle but not jump an order of
+//! magnitude. A `--quick` report is never compared against a full one —
+//! the verdict is `incomparable` instead of a wall of false alarms.
+//!
+//! The gate is opt-in: `BS_BENCH_GATE=1` makes `reproduce_all` diff and
+//! write `BENCH_regressions.json` (report-only); `BS_BENCH_GATE=strict`
+//! additionally exits nonzero on any counted regression.
+
+use bs_probe::Json;
+
+/// Per-metric comparison tolerances.
+#[derive(Clone, Debug)]
+pub struct Tolerances {
+    /// Allowed relative wall-time slowdown (0.5 ⇒ +50%).
+    pub wall_rel: f64,
+    /// Wall-time differences below this many seconds never count
+    /// (scheduler noise floor for sub-100ms experiments).
+    pub wall_abs_floor_s: f64,
+    /// Allowed relative flop-total drift, either direction.
+    pub flops_rel: f64,
+    /// Allowed growth-factor inflation (10 ⇒ one order of magnitude).
+    pub growth_factor: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            wall_rel: 0.5,
+            wall_abs_floor_s: 0.05,
+            flops_rel: 0.02,
+            growth_factor: 10.0,
+        }
+    }
+}
+
+/// One metric of one experiment, baseline vs current.
+#[derive(Clone, Debug)]
+pub struct MetricDiff {
+    /// Experiment name (the `name` field of the `@@BENCH` record).
+    pub experiment: String,
+    /// Metric name (`wall_s`, `flops`, `peak_growth`).
+    pub metric: &'static str,
+    pub baseline: f64,
+    pub current: f64,
+    /// `current / baseline` (∞ when the baseline is 0 and current is not).
+    pub ratio: f64,
+    /// `true` when the difference exceeds the metric's tolerance.
+    pub regressed: bool,
+}
+
+impl MetricDiff {
+    fn new(experiment: &str, metric: &'static str, baseline: f64, current: f64) -> MetricDiff {
+        let ratio = if baseline != 0.0 {
+            current / baseline
+        } else if current == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+        MetricDiff {
+            experiment: experiment.to_string(),
+            metric,
+            baseline,
+            current,
+            ratio,
+            regressed: false,
+        }
+    }
+}
+
+/// Outcome of diffing a fresh bench report against the baseline.
+#[must_use = "a regression report carries the gate verdict; write or summarize it"]
+#[derive(Clone, Debug, Default)]
+pub struct RegressionReport {
+    /// Baseline and current were run in different modes (`--quick` vs
+    /// full); metric comparison would be meaningless.
+    pub mode_mismatch: bool,
+    /// Experiments present in the baseline but missing from the
+    /// current run (a silently dropped benchmark is a regression of
+    /// coverage, counted in [`regressions`](Self::regressions)).
+    pub missing: Vec<String>,
+    /// Experiments in the current run with no baseline row (new
+    /// benchmarks; informational).
+    pub added: Vec<String>,
+    /// Every compared metric (regressed or not).
+    pub diffs: Vec<MetricDiff>,
+}
+
+/// Pull `(name-with-occurrence, record)` pairs out of a report
+/// document. Records sharing a name are disambiguated by occurrence
+/// order (`name`, `name#2`, …) so repeated `@@BENCH` records from one
+/// binary compare positionally.
+fn keyed_records(report: &Json) -> Vec<(String, Json)> {
+    let mut out = Vec::new();
+    let Some(Json::Arr(records)) = report.get("experiments") else {
+        return out;
+    };
+    let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for rec in records {
+        let name = rec
+            .get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or("(unnamed)")
+            .to_string();
+        let n = seen.entry(name.clone()).or_insert(0);
+        *n += 1;
+        let key = if *n == 1 { name } else { format!("{name}#{n}") };
+        out.push((key, rec.clone()));
+    }
+    out
+}
+
+fn num(rec: &Json, field: &str) -> Option<f64> {
+    rec.get(field).and_then(|v| v.as_f64())
+}
+
+impl RegressionReport {
+    /// Diff `current` against `baseline` (both full `reproduce_all`
+    /// report documents) under the given tolerances.
+    pub fn compare(baseline: &Json, current: &Json, tol: &Tolerances) -> RegressionReport {
+        let mut report = RegressionReport::default();
+        let base_quick = baseline.get("quick").and_then(|q| q.as_bool());
+        let cur_quick = current.get("quick").and_then(|q| q.as_bool());
+        if base_quick != cur_quick {
+            report.mode_mismatch = true;
+            return report;
+        }
+        let base: std::collections::BTreeMap<String, Json> =
+            keyed_records(baseline).into_iter().collect();
+        let cur: std::collections::BTreeMap<String, Json> =
+            keyed_records(current).into_iter().collect();
+        for key in cur.keys() {
+            if !base.contains_key(key) {
+                report.added.push(key.clone());
+            }
+        }
+        for (key, brec) in &base {
+            let Some(crec) = cur.get(key) else {
+                report.missing.push(key.clone());
+                continue;
+            };
+            if let (Some(b), Some(c)) = (num(brec, "wall_s"), num(crec, "wall_s")) {
+                let mut d = MetricDiff::new(key, "wall_s", b, c);
+                d.regressed = c > b * (1.0 + tol.wall_rel) && c - b > tol.wall_abs_floor_s;
+                report.diffs.push(d);
+            }
+            if let (Some(b), Some(c)) = (num(brec, "flops"), num(crec, "flops")) {
+                let mut d = MetricDiff::new(key, "flops", b, c);
+                let rel = if b != 0.0 {
+                    ((c - b) / b).abs()
+                } else if c != 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                d.regressed = rel > tol.flops_rel;
+                report.diffs.push(d);
+            }
+            if let (Some(b), Some(c)) = (num(brec, "peak_growth"), num(crec, "peak_growth")) {
+                let mut d = MetricDiff::new(key, "peak_growth", b, c);
+                // Growth 0 means the monitor was off for that run.
+                d.regressed = b > 0.0 && c > b * tol.growth_factor;
+                report.diffs.push(d);
+            }
+        }
+        report
+    }
+
+    /// Counted regressions: exceeded metric tolerances plus dropped
+    /// experiments. 0 when the modes were incomparable.
+    pub fn regressions(&self) -> usize {
+        if self.mode_mismatch {
+            return 0;
+        }
+        self.diffs.iter().filter(|d| d.regressed).count() + self.missing.len()
+    }
+
+    /// `true` when the gate found nothing to complain about.
+    pub fn is_clean(&self) -> bool {
+        !self.mode_mismatch && self.regressions() == 0
+    }
+
+    /// Gate verdict string: `ok`, `regressions`, or `incomparable`.
+    pub fn verdict(&self) -> &'static str {
+        if self.mode_mismatch {
+            "incomparable"
+        } else if self.regressions() == 0 {
+            "ok"
+        } else {
+            "regressions"
+        }
+    }
+
+    /// The full verdict document written to `BENCH_regressions.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("verdict", Json::Str(self.verdict().to_string())),
+            ("mode_mismatch", Json::Bool(self.mode_mismatch)),
+            ("regressions", Json::Num(self.regressions() as f64)),
+            (
+                "missing",
+                Json::Arr(self.missing.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "added",
+                Json::Arr(self.added.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "diffs",
+                Json::Arr(
+                    self.diffs
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("experiment", Json::Str(d.experiment.clone())),
+                                ("metric", Json::Str(d.metric.to_string())),
+                                ("baseline", Json::Num(d.baseline)),
+                                ("current", Json::Num(d.current)),
+                                ("ratio", Json::Num(d.ratio)),
+                                ("regressed", Json::Bool(d.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Multi-line human summary (regressed rows only, plus the verdict).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.mode_mismatch {
+            let _ = writeln!(
+                out,
+                "bench gate: incomparable (baseline and current were run in different \
+                 --quick modes); no metrics compared"
+            );
+            return out;
+        }
+        for d in self.diffs.iter().filter(|d| d.regressed) {
+            let _ = writeln!(
+                out,
+                "REGRESSION {} / {}: {:.4} -> {:.4} ({:.2}x)",
+                d.experiment, d.metric, d.baseline, d.current, d.ratio
+            );
+        }
+        for m in &self.missing {
+            let _ = writeln!(out, "REGRESSION {m}: experiment missing from current run");
+        }
+        for a in &self.added {
+            let _ = writeln!(out, "note: {a} has no baseline row (new experiment)");
+        }
+        let _ = writeln!(
+            out,
+            "bench gate: {} ({} regression{}, {} metric{} compared)",
+            self.verdict(),
+            self.regressions(),
+            if self.regressions() == 1 { "" } else { "s" },
+            self.diffs.len(),
+            if self.diffs.len() == 1 { "" } else { "s" },
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(quick: bool, recs: Vec<Json>) -> Json {
+        Json::obj(vec![
+            ("suite", Json::Str("test".into())),
+            ("quick", Json::Bool(quick)),
+            ("experiments", Json::Arr(recs)),
+        ])
+    }
+
+    fn rec(name: &str, wall_s: f64, flops: f64, growth: f64) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("wall_s", Json::Num(wall_s)),
+            ("flops", Json::Num(flops)),
+            ("peak_growth", Json::Num(growth)),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let b = report(false, vec![rec("fig6", 1.0, 1e9, 2.0)]);
+        let r = RegressionReport::compare(&b, &b, &Tolerances::default());
+        assert!(r.is_clean());
+        assert_eq!(r.verdict(), "ok");
+        assert_eq!(r.diffs.len(), 3);
+        assert!(r.summary().contains("bench gate: ok"));
+    }
+
+    #[test]
+    fn slowdown_beyond_both_tolerances_regresses() {
+        let tol = Tolerances::default();
+        let b = report(false, vec![rec("fig6", 1.0, 1e9, 2.0)]);
+        // +60% and +0.6s: over both the relative and absolute bars.
+        let c = report(false, vec![rec("fig6", 1.6, 1e9, 2.0)]);
+        let r = RegressionReport::compare(&b, &c, &tol);
+        assert_eq!(r.regressions(), 1);
+        assert_eq!(r.verdict(), "regressions");
+        // +60% relative but only 6ms absolute: under the noise floor.
+        let b_small = report(false, vec![rec("fig6", 0.010, 1e9, 2.0)]);
+        let c_small = report(false, vec![rec("fig6", 0.016, 1e9, 2.0)]);
+        let r = RegressionReport::compare(&b_small, &c_small, &tol);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn flop_drift_regresses_in_both_directions() {
+        let tol = Tolerances::default();
+        let b = report(false, vec![rec("fig6", 1.0, 1e9, 2.0)]);
+        for flops in [1.05e9, 0.95e9] {
+            let c = report(false, vec![rec("fig6", 1.0, flops, 2.0)]);
+            let r = RegressionReport::compare(&b, &c, &tol);
+            assert_eq!(r.regressions(), 1, "flops {flops}");
+            assert_eq!(
+                r.diffs.iter().find(|d| d.regressed).unwrap().metric,
+                "flops"
+            );
+        }
+    }
+
+    #[test]
+    fn growth_jump_and_missing_experiment_regress() {
+        let tol = Tolerances::default();
+        let b = report(
+            false,
+            vec![rec("fig6", 1.0, 1e9, 2.0), rec("fig7", 1.0, 1e9, 0.0)],
+        );
+        let c = report(false, vec![rec("fig6", 1.0, 1e9, 25.0)]);
+        let r = RegressionReport::compare(&b, &c, &tol);
+        // growth 2.0 -> 25.0 (>10x) plus fig7 dropped.
+        assert_eq!(r.regressions(), 2);
+        assert_eq!(r.missing, vec!["fig7".to_string()]);
+        assert!(r.summary().contains("missing from current run"));
+    }
+
+    #[test]
+    fn quick_vs_full_is_incomparable() {
+        let b = report(false, vec![rec("fig6", 10.0, 1e12, 2.0)]);
+        let c = report(true, vec![rec("fig6", 0.1, 1e8, 2.0)]);
+        let r = RegressionReport::compare(&b, &c, &Tolerances::default());
+        assert!(r.mode_mismatch);
+        assert_eq!(r.regressions(), 0);
+        assert_eq!(r.verdict(), "incomparable");
+        let doc = r.to_json();
+        assert_eq!(doc.get("verdict").unwrap().as_str(), Some("incomparable"));
+    }
+
+    #[test]
+    fn duplicate_names_compare_positionally() {
+        let b = report(
+            false,
+            vec![rec("kernels", 1.0, 1e9, 0.0), rec("kernels", 2.0, 2e9, 0.0)],
+        );
+        let c = report(
+            false,
+            vec![rec("kernels", 1.0, 1e9, 0.0), rec("kernels", 2.0, 2e9, 0.0)],
+        );
+        let r = RegressionReport::compare(&b, &c, &Tolerances::default());
+        assert!(r.is_clean());
+        assert_eq!(r.diffs.len(), 6);
+        assert!(r.diffs.iter().any(|d| d.experiment == "kernels#2"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let b = report(false, vec![rec("fig6", 1.0, 1e9, 2.0)]);
+        let c = report(false, vec![rec("fig6", 9.0, 1e9, 2.0)]);
+        let r = RegressionReport::compare(&b, &c, &Tolerances::default());
+        let text = r.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("verdict").unwrap().as_str(), Some("regressions"));
+        assert_eq!(parsed.get("regressions").unwrap().as_f64(), Some(1.0));
+    }
+}

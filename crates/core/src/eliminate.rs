@@ -190,6 +190,7 @@ pub(crate) fn eliminate_spd(
         } else {
             0
         };
+        let step_t0 = bs_probe::histogram::is_enabled().then(std::time::Instant::now);
         metrics::incr(Counter::SchurSteps);
 
         if opts.explicit_shift {
@@ -210,6 +211,12 @@ pub(crate) fn eliminate_spd(
         let low_piv = s * m;
 
         // Phase 1: assemble and factor the pivot panel.
+        let panel_flops0 = if bs_probe::trace::is_enabled() {
+            bs_matrix::flops::total()
+        } else {
+            0
+        };
+        let panel_span = bs_probe::span!("factor_panel", step = s);
         panel_buf
             .sub_mut(0, 0, m, m)
             .copy_from(gu.sub(0, up_piv, m, m));
@@ -238,17 +245,39 @@ pub(crate) fn eliminate_spd(
         gu.sub_mut(0, up_piv, m, m)
             .copy_from(panel_buf.sub(0, 0, m, m));
         gl.sub_mut(0, low_piv, m, m).fill(0.0);
+        drop(panel_span);
+        if bs_probe::trace::is_enabled() {
+            bs_probe::event!(
+                "panel_done",
+                step = s,
+                flops = (bs_matrix::flops::total() - panel_flops0),
+            );
+        }
 
         // Phase 2: trailing update on the paired column ranges, one
         // chunk transformation after the other.
         let trail = width - m;
         if trail > 0 {
+            let apply_flops0 = if bs_probe::trace::is_enabled() {
+                bs_matrix::flops::total()
+            } else {
+                0
+            };
+            let apply_span = bs_probe::span!("apply_rep", step = s, cols = trail);
             for rep in &scratch.reps {
                 rep.apply_split_ws(
                     gu.sub_mut(0, up_trail, m, trail),
                     gl.sub_mut(0, low_piv + m, m, trail),
                     &opts.exec,
                     ws,
+                );
+            }
+            drop(apply_span);
+            if bs_probe::trace::is_enabled() {
+                bs_probe::event!(
+                    "apply_done",
+                    step = s,
+                    flops = (bs_matrix::flops::total() - apply_flops0),
                 );
             }
         }
@@ -263,6 +292,12 @@ pub(crate) fn eliminate_spd(
                 step = s,
                 flops = (bs_matrix::flops::total() - step_flops0),
                 growth = bs_probe::stability::peak_growth(),
+            );
+        }
+        if let Some(t0) = step_t0 {
+            bs_probe::histogram::record(
+                bs_probe::Hist::FactorStepNs,
+                t0.elapsed().as_nanos() as u64,
             );
         }
     }
@@ -371,6 +406,12 @@ pub(crate) fn eliminate_indefinite(
 
     for s in 1..p {
         let _step_span = bs_probe::span!("indef_step", step = s);
+        let step_flops0 = if bs_probe::trace::is_enabled() {
+            bs_matrix::flops::total()
+        } else {
+            0
+        };
+        let step_t0 = bs_probe::histogram::is_enabled().then(std::time::Instant::now);
         metrics::incr(Counter::SchurSteps);
         // Phase 3 (explicit): shift the upper half right by one block.
         for j in (s * m..n).rev() {
@@ -541,6 +582,20 @@ pub(crate) fn eliminate_indefinite(
         }
         d[s * m..(s + 1) * m].copy_from_slice(&w.0[..m]);
         crate::contracts::signature_consistency(&w.0, w_sum, s);
+        if bs_probe::trace::is_enabled() {
+            bs_probe::event!(
+                "indef_step_done",
+                step = s,
+                flops = (bs_matrix::flops::total() - step_flops0),
+                growth = bs_probe::stability::peak_growth(),
+            );
+        }
+        if let Some(t0) = step_t0 {
+            bs_probe::histogram::record(
+                bs_probe::Hist::FactorStepNs,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     // Positive diagonal normalization (row sign flips leave RᵀDR fixed)

@@ -347,6 +347,8 @@ impl FactorPlan {
             };
         }
         let active = kernel::active().isa();
+        // Events carry at most trace::MAX_FIELDS fields inline, so the
+        // plan decision is traced as a structural + an execution event.
         bs_probe::event!(
             "plan_built",
             n = n,
@@ -355,6 +357,9 @@ impl FactorPlan {
             p = p,
             rep = rep_index(spd.rep),
             rep_auto = rep_auto as usize,
+        );
+        bs_probe::event!(
+            "plan_exec",
             block_auto = block_auto as usize,
             threads = spd.exec.threads,
             threads_auto = threads_auto as usize,

@@ -51,6 +51,7 @@ pub fn solve_rtdr(r: &Matrix, d: Option<&[i8]>, b: &[f64]) -> Result<Vec<f64>> {
             });
         }
     }
+    let _span = bs_probe::span!("tri_solve", n = n);
     let mut x = b.to_vec();
     // Rᵀ y = b.
     bs_matrix::blas2::trsv_upper_t(r.rf(), &mut x)?;
@@ -65,6 +66,8 @@ pub fn solve_rtdr(r: &Matrix, d: Option<&[i8]>, b: &[f64]) -> Result<Vec<f64>> {
     }
     // R x = y.
     bs_matrix::blas2::trsv_upper(r.rf(), &mut x)?;
+    // Two triangular solves at n² flops each (roofline attribution).
+    bs_probe::event!("tri_solve_done", flops = 2 * n * n);
     Ok(x)
 }
 
@@ -325,7 +328,8 @@ impl ToeplitzSolver {
     /// working accuracy (typically two extra matvec+solve rounds, §8.1).
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let _span = bs_probe::span!("solve", n = b.len());
-        match &self.factorization {
+        let t0 = bs_probe::histogram::is_enabled().then(std::time::Instant::now);
+        let out = match &self.factorization {
             Factorization::Spd(f) => f.solve(b),
             Factorization::Indefinite(f) => {
                 if f.perturbations.is_empty() {
@@ -334,7 +338,11 @@ impl ToeplitzSolver {
                     Ok(solve_refined(&self.t, f, b, &self.refine)?.x)
                 }
             }
+        };
+        if let Some(t0) = t0 {
+            bs_probe::histogram::record(bs_probe::Hist::SolveNs, t0.elapsed().as_nanos() as u64);
         }
+        out
     }
 
     /// Build the Gohberg–Semencul representation of `T⁻¹` (scalar

@@ -367,8 +367,10 @@ pub(crate) fn gemm_blocked(
         ws.give_vec(bpack);
     }
     let isa = kern.isa();
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
     metrics::add(isa.flops_counter(), 2 * (m * n * k) as u64);
-    metrics::add(isa.nanos_counter(), t0.elapsed().as_nanos() as u64);
+    metrics::add(isa.nanos_counter(), elapsed_ns);
+    bs_probe::histogram::record(bs_probe::histogram::Hist::KernelCallNs, elapsed_ns);
 }
 
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry

@@ -337,6 +337,7 @@ fn dispatch(threads: usize, n: usize, f: &(dyn Fn(usize) + Sync)) {
     let chans = pool.ensure_workers(want);
     let w = chans.len();
     let _span = bs_probe::span!("pool_dispatch", strips = n, threads = w + 1);
+    let t0 = bs_probe::histogram::is_enabled().then(std::time::Instant::now);
     metrics::incr(Counter::PoolDispatches);
     {
         let mut done = pool.done.lock().unwrap_or_else(|e| e.into_inner());
@@ -371,6 +372,12 @@ fn dispatch(threads: usize, n: usize, f: &(dyn Fn(usize) + Sync)) {
     }
     drop(done);
     drop(region);
+    if let Some(t0) = t0 {
+        bs_probe::histogram::record(
+            bs_probe::histogram::Hist::PoolDispatchNs,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
 }
 
 /// Run `f(0) .. f(n-1)`, fanning the indices out to the pool when the

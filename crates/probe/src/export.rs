@@ -11,6 +11,7 @@
 //! * `{"type":"residual","iter":...,"norm":...}` — refinement history;
 //! * `{"type":"metrics",...}` — final counter totals, one line.
 
+use crate::histogram::{self, Hist};
 use crate::json::Json;
 use crate::metrics::{self, Counter};
 use crate::stability::{StabilityReport, StepRecord};
@@ -64,7 +65,106 @@ pub fn metrics_json() -> Json {
         "flops_total".to_string(),
         Json::Num(metrics::flops_total() as f64),
     ));
+    fields.push((
+        "dropped_events".to_string(),
+        Json::Num(crate::trace::dropped_events() as f64),
+    ));
     Json::Obj(fields)
+}
+
+/// Serialize one merged latency histogram (count + quantiles + the
+/// non-empty bucket list) as a JSON object.
+pub fn histogram_json(h: Hist) -> Json {
+    let snap = histogram::merged(h);
+    Json::obj(vec![
+        ("name", Json::Str(h.name().into())),
+        ("count", Json::Num(snap.count() as f64)),
+        ("p50_ns", Json::Num(snap.p50() as f64)),
+        ("p90_ns", Json::Num(snap.p90() as f64)),
+        ("p99_ns", Json::Num(snap.p99() as f64)),
+        ("p999_ns", Json::Num(snap.p999() as f64)),
+        ("min_ns", Json::Num(snap.min() as f64)),
+        ("max_ns", Json::Num(snap.max() as f64)),
+        ("mean_ns", Json::Num(snap.mean())),
+        (
+            "buckets",
+            Json::Arr(
+                snap.nonzero_buckets()
+                    .into_iter()
+                    .map(|(lo, hi, c)| {
+                        Json::obj(vec![
+                            ("low_ns", Json::Num(lo as f64)),
+                            ("high_ns", Json::Num(hi as f64)),
+                            ("count", Json::Num(c as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialize every latency histogram as one JSON object keyed by
+/// histogram name (empty histograms included, with `count` 0).
+pub fn histograms_json() -> Json {
+    Json::Obj(
+        Hist::ALL
+            .iter()
+            .map(|&h| (h.name().to_string(), histogram_json(h)))
+            .collect(),
+    )
+}
+
+/// Render trace events as Chrome/Perfetto trace-event JSON
+/// (`chrome://tracing` "JSON Array Format": a top-level object with a
+/// `traceEvents` array of `B`/`E`/`i` phase records, timestamps in
+/// microseconds).
+pub fn perfetto_json(events: &[Event]) -> Json {
+    let trace_events: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            let ph = match e.kind {
+                crate::trace::EventKind::Enter => "B",
+                crate::trace::EventKind::Exit => "E",
+                crate::trace::EventKind::Instant => "i",
+            };
+            let mut obj = vec![
+                ("name", Json::Str(e.name.into())),
+                ("ph", Json::Str(ph.into())),
+                ("ts", Json::Num(e.t_ns as f64 / 1e3)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(e.thread as f64)),
+            ];
+            if matches!(e.kind, crate::trace::EventKind::Instant) {
+                // Thread-scoped instant marker.
+                obj.push(("s", Json::Str("t".into())));
+            }
+            if !e.fields.is_empty() {
+                obj.push((
+                    "args",
+                    Json::Obj(
+                        e.fields
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::obj(obj)
+        })
+        .collect();
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::Str("ns".into())),
+    ])
+}
+
+/// Write events as a Perfetto-loadable trace-event JSON file.
+pub fn write_perfetto(path: &Path, events: &[Event]) -> io::Result<()> {
+    let mut text = String::new();
+    perfetto_json(events).write(&mut text);
+    text.push('\n');
+    std::fs::write(path, text)
 }
 
 fn metrics_line() -> Json {
@@ -141,6 +241,19 @@ pub fn trace_jsonl(events: &[Event], report: &StabilityReport) -> String {
         .write(&mut out);
         out.push('\n');
     }
+    for &h in Hist::ALL.iter() {
+        if histogram::merged(h).is_empty() {
+            continue;
+        }
+        match histogram_json(h) {
+            Json::Obj(mut fields) => {
+                fields.insert(0, ("type".to_string(), Json::Str("hist".into())));
+                Json::Obj(fields).write(&mut out);
+                out.push('\n');
+            }
+            _ => unreachable!("histogram_json returns an object"),
+        }
+    }
     metrics_line().write(&mut out);
     out.push('\n');
     out
@@ -159,7 +272,7 @@ pub fn write_trace_jsonl(path: &Path) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::EventKind;
+    use crate::trace::{EventKind, FieldList};
 
     #[test]
     fn jsonl_lines_are_each_valid_json() {
@@ -169,14 +282,14 @@ mod tests {
                 name: "factor",
                 t_ns: 10,
                 thread: 0,
-                fields: vec![("n", 64.0)],
+                fields: FieldList::new(&[("n", 64.0)]),
             },
             Event {
                 kind: EventKind::Exit,
                 name: "factor",
                 t_ns: 99,
                 thread: 0,
-                fields: vec![],
+                fields: FieldList::empty(),
             },
         ];
         let report = StabilityReport {
@@ -198,23 +311,33 @@ mod tests {
             threshold: 0.0,
         };
         let text = trace_jsonl(&events, &report);
-        let lines: Vec<&str> = text.lines().collect();
-        // 2 spans + 1 step + 1 violation + 2 residuals + 1 metrics line.
-        assert_eq!(lines.len(), 7);
-        for line in &lines {
-            let v = Json::parse(line).expect("line parses");
-            assert!(v.get("type").is_some());
-        }
-        let first = Json::parse(lines[0]).unwrap();
+        let lines: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("invalid line ({e:?}): {l}")))
+            .collect();
+        let count = |ty: &str| {
+            lines
+                .iter()
+                .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some(ty))
+                .count()
+        };
+        // 2 spans + 1 step + 1 violation + 2 residuals + 1 metrics line
+        // (other tests may race histogram lines in; those are separate).
+        assert_eq!(count("span"), 2);
+        assert_eq!(count("step"), 1);
+        assert_eq!(count("contract_violation"), 1);
+        assert_eq!(count("residual"), 2);
+        assert_eq!(count("metrics"), 1);
+        let first = &lines[0];
         assert_eq!(first.get("name").unwrap().as_str(), Some("factor"));
         assert_eq!(
             first.get("fields").unwrap().get("n").unwrap().as_f64(),
             Some(64.0)
         );
-        let step = Json::parse(lines[2]).unwrap();
+        let step = &lines[2];
         assert_eq!(step.get("type").unwrap().as_str(), Some("step"));
         assert_eq!(step.get("growth").unwrap().as_f64(), Some(1.5));
-        let violation = Json::parse(lines[3]).unwrap();
+        let violation = &lines[3];
         assert_eq!(
             violation.get("type").unwrap().as_str(),
             Some("contract_violation")
@@ -223,8 +346,70 @@ mod tests {
             violation.get("contract").unwrap().as_str(),
             Some("spd_diagonal")
         );
-        let metrics = Json::parse(lines[6]).unwrap();
+        let metrics = lines.last().unwrap();
         assert_eq!(metrics.get("type").unwrap().as_str(), Some("metrics"));
         assert!(metrics.get("flops_total").is_some());
+        assert!(metrics.get("dropped_events").is_some());
+    }
+
+    #[test]
+    fn perfetto_json_has_balanced_phases() {
+        let events = vec![
+            Event {
+                kind: EventKind::Enter,
+                name: "solve",
+                t_ns: 1_000,
+                thread: 0,
+                fields: FieldList::new(&[("n", 64.0)]),
+            },
+            Event {
+                kind: EventKind::Instant,
+                name: "tick",
+                t_ns: 1_500,
+                thread: 1,
+                fields: FieldList::empty(),
+            },
+            Event {
+                kind: EventKind::Exit,
+                name: "solve",
+                t_ns: 9_000,
+                thread: 0,
+                fields: FieldList::empty(),
+            },
+        ];
+        let doc = perfetto_json(&events);
+        // Round-trip through text to prove the output is valid JSON.
+        let mut text = String::new();
+        doc.write(&mut text);
+        let parsed = Json::parse(&text).expect("perfetto doc parses");
+        let arr = match parsed.get("traceEvents").expect("traceEvents") {
+            Json::Arr(a) => a.clone(),
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        assert_eq!(arr.len(), 3);
+        let phs: Vec<&str> = arr
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phs, ["B", "i", "E"]);
+        // Timestamps are microseconds.
+        assert_eq!(arr[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            arr[0].get("args").unwrap().get("n").unwrap().as_f64(),
+            Some(64.0)
+        );
+        assert_eq!(arr[1].get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(arr[1].get("tid").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn histograms_json_lists_every_histogram() {
+        let doc = histograms_json();
+        for h in Hist::ALL {
+            let entry = doc.get(h.name()).expect("histogram entry");
+            assert!(entry.get("count").unwrap().as_f64().is_some());
+            assert!(entry.get("p50_ns").is_some());
+            assert!(entry.get("p999_ns").is_some());
+        }
     }
 }

@@ -17,43 +17,65 @@
 //!   (the growth factors of Bojanczyk/Brent/de Hoog), and residual
 //!   history from iterative refinement, flagging steps whose growth
 //!   exceeds a configurable threshold.
+//! * [`histogram`] — HDR-style log-bucketed latency histograms
+//!   (per-solve, per-factor-step, per-pool-dispatch, per-kernel-call)
+//!   with per-thread sharded slots merged on read and
+//!   p50/p90/p99/p999 quantile accessors.
+//! * [`profile`] — span aggregation: folds drained trace events into a
+//!   hierarchical call-tree [`Profile`] (folded-stack / flamegraph and
+//!   top-N exports) and joins kernel counters with a calibrated rate
+//!   into a [`Roofline`] efficiency report.
 //! * [`json`] / [`export`] — a minimal JSON value type plus writers
-//!   that serialize traces as JSON-lines and metrics/stability
-//!   reports as single JSON documents.
+//!   that serialize traces as JSON-lines, Chrome/Perfetto trace-event
+//!   JSON, and metrics/stability/histogram reports as JSON documents.
+//!
+//! The overhead contract, everywhere: a *disabled* instrumentation
+//! site costs one relaxed atomic load; an *enabled* one never touches
+//! the global allocator (inline [`trace::FieldList`] payloads,
+//! fixed-size histogram buckets, per-thread counter slots).
 //!
 //! The crate deliberately has no dependencies (not even on the rest of
 //! the workspace) so any crate can instrument itself without cycles.
 
 pub mod export;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod stability;
 pub mod trace;
 
+pub use histogram::{Hist, Histogram};
 pub use json::Json;
 pub use metrics::Counter;
+pub use profile::{Profile, Roofline};
 pub use stability::{StabilityReport, StepRecord};
-pub use trace::{Event, EventKind, SpanGuard};
+pub use trace::{Event, EventKind, FieldList, SpanGuard};
 
-/// Enable tracing and stability monitoring together.
+/// Enable tracing, latency histograms, and stability monitoring
+/// together.
 ///
 /// `growth_threshold` is forwarded to [`stability::enable`]; steps whose
 /// growth factor exceeds it are flagged in the report.
 pub fn enable_all(growth_threshold: f64) {
     trace::enable();
+    histogram::enable();
     stability::enable(growth_threshold);
 }
 
-/// Disable tracing and stability monitoring (metrics counters are
-/// always on) without clearing recorded data.
+/// Disable tracing, histograms, and stability monitoring (metrics
+/// counters are always on) without clearing recorded data.
 pub fn disable_all() {
     trace::disable();
+    histogram::disable();
     stability::disable();
 }
 
-/// Clear every recorded event, counter, and stability record.
+/// Clear every recorded event, histogram bucket, counter, and
+/// stability record.
 pub fn reset_all() {
     trace::clear();
+    histogram::reset_all();
     metrics::reset_all();
     stability::reset();
 }

@@ -37,8 +37,104 @@ impl EventKind {
     }
 }
 
+/// Maximum named fields one event carries. Events store their fields
+/// inline (see [`FieldList`]) so recording never touches the heap;
+/// extra fields beyond this are silently dropped.
+pub const MAX_FIELDS: usize = 6;
+
+/// Fixed-capacity inline list of named `f64` fields.
+///
+/// The record path must not allocate (the overhead contract is one
+/// relaxed atomic load per disabled site and a ring-buffer store per
+/// enabled one), so events carry their payload in a `[_; MAX_FIELDS]`
+/// array instead of a `Vec`.
+#[derive(Clone, Copy, Debug)]
+pub struct FieldList {
+    buf: [(&'static str, f64); MAX_FIELDS],
+    len: u8,
+}
+
+impl FieldList {
+    /// The empty field list (what `span!("name")` records).
+    pub const fn empty() -> FieldList {
+        FieldList {
+            buf: [("", 0.0); MAX_FIELDS],
+            len: 0,
+        }
+    }
+
+    /// Build from a slice, keeping the first [`MAX_FIELDS`] entries.
+    #[inline]
+    pub fn new(fields: &[(&'static str, f64)]) -> FieldList {
+        debug_assert!(
+            fields.len() <= MAX_FIELDS,
+            "event carries {} fields; MAX_FIELDS is {MAX_FIELDS}",
+            fields.len()
+        );
+        let mut out = FieldList::empty();
+        for &f in fields.iter().take(MAX_FIELDS) {
+            out.buf[out.len as usize] = f;
+            out.len += 1;
+        }
+        out
+    }
+
+    /// The recorded `(name, value)` pairs.
+    #[inline]
+    pub fn as_slice(&self) -> &[(&'static str, f64)] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Iterator over the recorded pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (&'static str, f64)> {
+        self.as_slice().iter()
+    }
+
+    /// Value of field `key`, if recorded.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.as_slice()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for FieldList {
+    fn default() -> Self {
+        FieldList::empty()
+    }
+}
+
+impl PartialEq for FieldList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[(&'static str, f64)]> for FieldList {
+    fn eq(&self, other: &&[(&'static str, f64)]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<'a> IntoIterator for &'a FieldList {
+    type Item = &'a (&'static str, f64);
+    type IntoIter = std::slice::Iter<'a, (&'static str, f64)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One recorded trace event.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct Event {
     pub kind: EventKind,
     /// Span or event name (static so recording never allocates for it).
@@ -47,8 +143,8 @@ pub struct Event {
     pub t_ns: u64,
     /// Probe-assigned id of the recording thread (0 = first thread seen).
     pub thread: u64,
-    /// Named numeric payload, e.g. `[("step", 3.0)]`.
-    pub fields: Vec<(&'static str, f64)>,
+    /// Named numeric payload, e.g. `[("step", 3.0)]`, stored inline.
+    pub fields: FieldList,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -132,8 +228,10 @@ fn now_ns() -> u64 {
 }
 
 /// Record one event on the current thread (no-op when disabled).
+/// Allocation-free: the event (fields included) is stored by value in
+/// the thread's ring buffer.
 #[inline]
-pub fn record(kind: EventKind, name: &'static str, fields: Vec<(&'static str, f64)>) {
+pub fn record(kind: EventKind, name: &'static str, fields: FieldList) {
     if !is_enabled() {
         return;
     }
@@ -155,7 +253,7 @@ pub fn record(kind: EventKind, name: &'static str, fields: Vec<(&'static str, f6
 
 /// Record an [`EventKind::Instant`] event (no-op when disabled).
 #[inline]
-pub fn instant(name: &'static str, fields: Vec<(&'static str, f64)>) {
+pub fn instant(name: &'static str, fields: FieldList) {
     record(EventKind::Instant, name, fields);
 }
 
@@ -173,16 +271,16 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.armed {
-            record(EventKind::Exit, self.name, Vec::new());
+            record(EventKind::Exit, self.name, FieldList::empty());
         }
     }
 }
 
 /// Open a span: records an [`EventKind::Enter`] event now and an exit
 /// when the returned guard drops. Prefer the [`span!`](crate::span)
-/// macro, which skips building `fields` while tracing is disabled.
+/// macro, which skips evaluating `fields` while tracing is disabled.
 #[inline]
-pub fn span(name: &'static str, fields: Vec<(&'static str, f64)>) -> SpanGuard {
+pub fn span(name: &'static str, fields: FieldList) -> SpanGuard {
     if !is_enabled() {
         return SpanGuard { name, armed: false };
     }
@@ -218,22 +316,23 @@ pub fn clear() {
 /// let _inner = bs_probe::span!("apply_rep", step = k, cols = 8);
 /// ```
 ///
-/// Field values are evaluated and the field vector allocated only when
-/// tracing is enabled.
+/// Field values are evaluated only when tracing is enabled, and the
+/// field list is a fixed-size inline array ([`FieldList`]) — an enabled
+/// trace site performs no heap allocation.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
-        $crate::trace::span($name, ::std::vec::Vec::new())
+        $crate::trace::span($name, $crate::trace::FieldList::empty())
     };
     ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
         $crate::trace::span(
             $name,
             if $crate::trace::is_enabled() {
-                <[_]>::into_vec(::std::boxed::Box::new([
+                $crate::trace::FieldList::new(&[
                     $((stringify!($key), ($val) as f64)),+
-                ]))
+                ])
             } else {
-                ::std::vec::Vec::new()
+                $crate::trace::FieldList::empty()
             },
         )
     };
@@ -244,17 +343,17 @@ macro_rules! span {
 #[macro_export]
 macro_rules! event {
     ($name:expr) => {
-        $crate::trace::instant($name, ::std::vec::Vec::new())
+        $crate::trace::instant($name, $crate::trace::FieldList::empty())
     };
     ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
         $crate::trace::instant(
             $name,
             if $crate::trace::is_enabled() {
-                <[_]>::into_vec(::std::boxed::Box::new([
+                $crate::trace::FieldList::new(&[
                     $((stringify!($key), ($val) as f64)),+
-                ]))
+                ])
             } else {
-                ::std::vec::Vec::new()
+                $crate::trace::FieldList::empty()
             },
         )
     };
@@ -272,8 +371,8 @@ mod tests {
         let _l = lock_poison_ok(&TEST_LOCK);
         disable();
         clear();
-        record(EventKind::Instant, "ghost", Vec::new());
-        let _g = span("ghost_span", Vec::new());
+        record(EventKind::Instant, "ghost", FieldList::empty());
+        let _g = span("ghost_span", FieldList::empty());
         drop(_g);
         assert!(take_events().is_empty());
     }
@@ -298,8 +397,21 @@ mod tests {
                 (EventKind::Exit, "outer"),
             ]
         );
-        assert_eq!(ev[0].fields, vec![("step", 2.0)]);
+        assert_eq!(ev[0].fields.as_slice(), &[("step", 2.0)]);
+        assert_eq!(ev[0].fields.get("step"), Some(2.0));
         assert!(ev[0].t_ns <= ev[1].t_ns && ev[1].t_ns <= ev[2].t_ns);
+    }
+
+    #[test]
+    fn field_list_truncates_and_compares() {
+        let a = FieldList::new(&[("a", 1.0), ("b", 2.0)]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.get("b"), Some(2.0));
+        assert_eq!(a.get("c"), None);
+        assert_eq!(a, FieldList::new(&[("a", 1.0), ("b", 2.0)]));
+        assert_ne!(a, FieldList::empty());
+        assert_eq!(a.iter().count(), 2);
     }
 
     #[test]

@@ -48,4 +48,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cross_validate smoke run"
 cargo run -q -p bs-bench --release --bin cross_validate -- --quick
 
+echo "==> profile tier: disabled-instrumentation overhead contract (<2%)"
+cargo run -q -p bs-bench --release --bin profile_overhead -- --quick
+
+# Bench regression gate — opt-in because it re-runs the full (non-quick)
+# reproduce_all sweep. BS_BENCH_GATE=1 diffs fresh @@BENCH records
+# against the committed BENCH_schur.json and writes BENCH_regressions.json
+# in report-only mode; BS_BENCH_GATE=strict makes drift fail the gate.
+# BS_BENCH_OUT keeps the fresh report out of the committed baseline.
+if [[ "${BS_BENCH_GATE:-0}" != "0" ]]; then
+  echo "==> profile tier: bench regression gate vs committed BENCH_schur.json"
+  BS_BENCH_OUT=target/BENCH_current.json \
+    cargo run -q -p bs-bench --release --bin reproduce_all
+fi
+
 echo "check.sh: all green"

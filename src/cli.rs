@@ -28,13 +28,25 @@ pub const DEFAULT_GROWTH_THRESHOLD: f64 = 1e8;
 pub struct Observe {
     /// Write a JSON-lines trace (spans, per-step growth, metrics) here.
     pub trace: Option<PathBuf>,
+    /// Write a folded-stack profile (flamegraph input) here.
+    pub profile: Option<PathBuf>,
+    /// Write a Chrome/Perfetto trace-event JSON timeline here.
+    pub perfetto: Option<PathBuf>,
     /// Append counter totals and stability summary to the report.
     pub metrics: bool,
 }
 
+/// Run context `finish` needs for the roofline join: the plan's
+/// algorithmic block size and thread count.
+#[derive(Debug, Clone, Copy)]
+struct ObserveCtx {
+    block_size: usize,
+    threads: usize,
+}
+
 impl Observe {
     fn active(&self) -> bool {
-        self.trace.is_some() || self.metrics
+        self.trace.is_some() || self.profile.is_some() || self.perfetto.is_some() || self.metrics
     }
 
     /// Arm the probe layer before running the instrumented operation.
@@ -46,23 +58,73 @@ impl Observe {
     }
 
     /// Export whatever was recorded and append a human summary.
-    fn finish(&self, report: &mut String) -> Result<(), CliError> {
+    ///
+    /// Drains the trace ONCE and fans the events out to every consumer
+    /// (JSONL trace, folded profile, Perfetto timeline, roofline).
+    /// Counter-derived numbers are snapshotted before the calibrated
+    /// rate is fetched, because calibration runs kernel work of its own.
+    fn finish(&self, report: &mut String, ctx: Option<ObserveCtx>) -> Result<(), CliError> {
         if !self.active() {
             return Ok(());
         }
+        let dropped = bs_probe::trace::dropped_events();
+        let events = bs_probe::trace::take_events();
+        let stab = bs_probe::stability::take_report();
+        bs_probe::disable_all();
+        if dropped > 0 {
+            let _ = writeln!(
+                report,
+                "warning: trace ring buffer saturated — {dropped} event(s) overwritten; \
+                 traces and profiles below are a partial window \
+                 (raise bs_probe::trace::set_capacity)"
+            );
+        }
+        let need_profile = self.profile.is_some() || self.metrics;
+        let prof = need_profile.then(|| bs_probe::Profile::from_events(&events));
         if self.metrics {
-            let stab = bs_probe::stability::report();
             let _ = writeln!(report, "metrics: {}", bs_probe::export::metrics_json());
             let _ = writeln!(report, "peak growth factor: {:.6e}", stab.peak_growth);
             for w in stab.warnings() {
                 let _ = writeln!(report, "warning: {w}");
             }
+            for h in bs_probe::Hist::ALL {
+                let snap = bs_probe::histogram::merged(h);
+                if !snap.is_empty() {
+                    let _ = writeln!(report, "latency {}: {}", h.label(), snap.summary());
+                }
+            }
+            if let (Some(prof), Some(ctx)) = (prof.as_ref(), ctx) {
+                // Achieved rates first (counter snapshot), calibrated
+                // ceiling second (calibration pollutes the counters).
+                let roofline = bs_probe::Roofline::compute(prof, 0.0, ctx.threads);
+                let cal = bs_matrix::kernel::calibrate::calibration();
+                let rate = bs_perfmodel::RateTable::new(&cal.points).rate(ctx.block_size) / 1e9;
+                report.push_str(&roofline.with_calibrated(rate).render());
+                let _ = write!(report, "top spans by self time:\n{}", prof.top_table(8));
+            }
+        }
+        if let Some(path) = &self.profile {
+            let prof = prof.as_ref().expect("profile built when requested");
+            std::fs::write(path, prof.folded())?;
+            let _ = writeln!(
+                report,
+                "profile written to {} (folded stacks{})",
+                path.display(),
+                if prof.truncated() { ", TRUNCATED" } else { "" }
+            );
+        }
+        if let Some(path) = &self.perfetto {
+            bs_probe::export::write_perfetto(path, &events)?;
+            let _ = writeln!(
+                report,
+                "timeline written to {} (Perfetto / chrome://tracing JSON)",
+                path.display()
+            );
         }
         if let Some(path) = &self.trace {
-            bs_probe::export::write_trace_jsonl(path)?;
+            std::fs::write(path, bs_probe::export::trace_jsonl(&events, &stab))?;
             let _ = writeln!(report, "trace written to {} (JSON-lines)", path.display());
         }
-        bs_probe::disable_all();
         Ok(())
     }
 }
@@ -285,7 +347,13 @@ pub fn cmd_solve(
         opts.spd.exec.threads,
         bs_matrix::kernel::active_isa_name()
     );
-    obs.finish(&mut report)?;
+    obs.finish(
+        &mut report,
+        Some(ObserveCtx {
+            block_size: solver.plan().block_size(),
+            threads: opts.spd.exec.threads,
+        }),
+    )?;
     Ok((x, report))
 }
 
@@ -329,7 +397,13 @@ pub fn cmd_factor(
             f.max_reflector_norm
         );
     }
-    obs.finish(&mut report)?;
+    obs.finish(
+        &mut report,
+        Some(ObserveCtx {
+            block_size: solver.plan().block_size(),
+            threads: opts.spd.exec.threads,
+        }),
+    )?;
     Ok(report)
 }
 
@@ -527,9 +601,11 @@ pub const USAGE: &str = "block-schur — block Schur Toeplitz solver (ICPP'94 re
 USAGE:
     block-schur info <matrix>
     block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--threads <t|max>]
-                     [--kernel <k>] [--output <file>] [--trace <file>] [--metrics]
+                     [--kernel <k>] [--output <file>] [--trace <file>]
+                     [--profile <file>] [--perfetto <file>] [--metrics]
     block-schur factor <matrix> [--block-size <m_s>] [--threads <t|max>]
-                     [--kernel <k>] [--trace <file>] [--metrics]
+                     [--kernel <k>] [--trace <file>] [--profile <file>]
+                     [--perfetto <file>] [--metrics]
     block-schur plan (<matrix> | --n <n> [--m <m>]) [--rep <kind>] [--block-size <m_s>]
                      [--threads <t|max>] [--kernel <k>] [--calibrate]
     block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
@@ -551,11 +627,20 @@ EXECUTION:
                        enables the same process-wide.
 
 OBSERVABILITY:
-    --trace <file>   write a JSON-lines trace: spans with ns timestamps,
-                     per-step flop deltas and growth factors, residual
-                     history, and final counter totals
-    --metrics        append counter totals and the stability summary
-                     (peak growth factor, flagged steps) to the report
+    --trace <file>    write a JSON-lines trace: spans with ns timestamps,
+                      per-step flop deltas and growth factors, residual
+                      history, latency histograms, and counter totals
+    --profile <file>  write a folded-stack profile (self time per call
+                      path) — feed to flamegraph.pl / inferno / speedscope
+    --perfetto <file> write a Chrome trace-event JSON timeline — open in
+                      ui.perfetto.dev or chrome://tracing
+    --metrics         append counter totals, the stability summary,
+                      latency quantiles (p50/p90/p99/p999 per solve,
+                      factor step, pool dispatch, kernel call), and the
+                      roofline report (achieved vs calibrated Gflop/s
+                      per phase, strip_efficiency, dispatch_overhead_ns)
+                      to the report. A saturated trace ring is warned
+                      about, never silently truncated.
 
 PLAN: prints the configuration the plan/execute engine would run —
       representation and algorithmic block size (cost-model-chosen
@@ -642,6 +727,7 @@ mod tests {
         let obs = Observe {
             trace: Some(trace.clone()),
             metrics: true,
+            ..Default::default()
         };
         let (_, report) = cmd_solve(&mat, None, Some(4), None, &obs).unwrap();
         assert!(report.contains("metrics:"), "{report}");

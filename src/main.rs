@@ -32,6 +32,8 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn observe(args: &[String]) -> cli::Observe {
     cli::Observe {
         trace: flag(args, "--trace").map(PathBuf::from),
+        profile: flag(args, "--profile").map(PathBuf::from),
+        perfetto: flag(args, "--perfetto").map(PathBuf::from),
         metrics: has_flag(args, "--metrics"),
     }
 }

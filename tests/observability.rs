@@ -132,3 +132,97 @@ fn exported_trace_is_valid_jsonl() {
     assert_eq!(last.get("type").unwrap().as_str(), Some("metrics"));
     assert!(last.get("flops_total").unwrap().as_f64().unwrap() > 0.0);
 }
+
+/// Acceptance: the aggregated profile of an instrumented solve accounts
+/// for the wall clock of the traced region to within 5%, and both the
+/// folded-stack and Perfetto trace-event exports are well-formed.
+#[test]
+fn profile_roots_cover_wall_and_exports_are_valid() {
+    let _g = probe_guard();
+    let t = workloads::random_spd_block(8, 48, 11); // n = 384
+    let (b, _) = workloads::rhs_for_ones(&t);
+
+    bs_probe::trace::clear();
+    bs_probe::trace::enable();
+    let wall = std::time::Instant::now();
+    let solver = ToeplitzSolver::new(&t).unwrap();
+    let x = solver.solve(&b).unwrap();
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    bs_probe::trace::disable();
+    let events = bs_probe::trace::take_events();
+    assert!(x.iter().all(|v| v.is_finite()));
+
+    let prof = bs_probe::Profile::from_events(&events);
+    assert!(!prof.truncated(), "trace ring saturated during test solve");
+    let roots = prof.root_total_ns();
+    assert!(
+        roots <= wall_ns,
+        "root spans ({roots} ns) exceed the wall clock ({wall_ns} ns)"
+    );
+    assert!(
+        roots as f64 >= 0.95 * wall_ns as f64,
+        "root spans cover only {:.1}% of wall ({roots} of {wall_ns} ns)",
+        100.0 * roots as f64 / wall_ns as f64,
+    );
+
+    // Folded-stack export: `root;child;... <self_ns>` lines.
+    let folded = prof.folded();
+    assert!(!folded.is_empty(), "folded export is empty");
+    for line in folded.lines() {
+        let (stack, ns) = line.rsplit_once(' ').expect("stack + self_ns");
+        assert!(!stack.is_empty(), "empty stack in {line:?}");
+        ns.parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad self_ns in {line:?}"));
+    }
+    assert!(folded.lines().any(|l| l.starts_with("factor")));
+    assert!(folded.lines().any(|l| l.starts_with("solve")));
+
+    // Perfetto export round-trips through the JSON parser with paired
+    // B/E duration events.
+    let perfetto = bs_probe::export::perfetto_json(&events);
+    let v = bs_probe::Json::parse(&perfetto.to_string()).expect("perfetto JSON parses");
+    let trace_events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+    let count_ph = |ph: &str| {
+        trace_events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+            .count()
+    };
+    assert_eq!(count_ph("B"), count_ph("E"), "unpaired B/E duration events");
+    assert!(count_ph("B") > 0, "no duration events exported");
+}
+
+/// Acceptance: with histograms armed, a batch of solves yields non-empty
+/// solve/factor-step latency distributions with ordered quantiles.
+#[test]
+fn solve_latency_histogram_has_quantiles() {
+    let _g = probe_guard();
+    let t = workloads::random_spd_block(4, 16, 5); // n = 64
+    let (b, _) = workloads::rhs_for_ones(&t);
+
+    bs_probe::reset_all();
+    bs_probe::histogram::enable();
+    let solver = ToeplitzSolver::new(&t).unwrap();
+    for _ in 0..8 {
+        solver.solve(&b).unwrap();
+    }
+    bs_probe::histogram::disable();
+
+    let solve = bs_probe::histogram::merged(bs_probe::Hist::SolveNs);
+    assert_eq!(solve.count(), 8, "one sample per solve");
+    let (p50, p99) = (solve.p50(), solve.p99());
+    assert!(p50 > 0, "zero p50 solve latency");
+    assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+    assert!(solve.min() <= p50 && p99 <= solve.max() * 2);
+
+    let steps = bs_probe::histogram::merged(bs_probe::Hist::FactorStepNs);
+    assert!(
+        steps.count() > 0,
+        "factoring recorded no per-step latencies"
+    );
+    bs_probe::histogram::reset_all();
+}
