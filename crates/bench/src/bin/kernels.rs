@@ -177,6 +177,63 @@ fn sweep(choice: Choice, quick: bool, table: &mut Vec<Vec<String>>) -> f64 {
     headline
 }
 
+/// f32 vs f64 headline square GEMM for one kernel choice, measured as
+/// alternating back-to-back pairs: the scalar-generic engine runs the
+/// same blocked drivers over `Matrix<f32>`, where each SIMD lane holds
+/// twice the elements — the rate should roughly double. The two
+/// precisions share every rep's machine conditions, so the ratio the
+/// cross-precision assertion checks is insulated from the host-load
+/// drift that separate sweeps minutes apart would fold in.
+fn sweep_f32(choice: Choice, quick: bool, table: &mut Vec<Vec<String>>) -> (f64, f64) {
+    kernel::set_override(Some(choice));
+    let isa = kernel::active_isa_name();
+    let reps = if quick { 4 } else { 8 };
+    let n = if quick { 256 } else { 512 };
+    let a = Matrix::from_fn(n, n, fill(17));
+    let b = Matrix::from_fn(n, n, fill(19));
+    let mut c = Matrix::zeros(n, n);
+    let a32 = a.convert::<f32>();
+    let b32 = b.convert::<f32>();
+    let mut c32 = Matrix::<f32>::zeros(n, n);
+    let flops = 2.0 * (n * n * n) as f64;
+    let mut best64 = f64::INFINITY;
+    let mut best32 = f64::INFINITY;
+    for _ in 0..reps {
+        best64 = best64.min(best_of(1, || {
+            gemm(1.0, a.rf(), Trans::No, b.rf(), Trans::No, 0.0, c.mt());
+        }));
+        best32 = best32.min(best_of(1, || {
+            gemm(
+                1.0f32,
+                a32.rf(),
+                Trans::No,
+                b32.rf(),
+                Trans::No,
+                0.0,
+                c32.mt(),
+            );
+        }));
+    }
+    let gflops64 = flops / best64 / 1e9;
+    let gflops32 = flops / best32 / 1e9;
+    emit_bench(
+        &format!("kernels_gemm_f32_n{n}_{isa}"),
+        best32,
+        flops as u64,
+        &[
+            ("gflops", gflops32),
+            ("speedup_vs_f64", gflops32 / gflops64),
+        ],
+    );
+    table.push(vec![
+        isa.to_string(),
+        format!("gemm_f32_n{n}"),
+        format!("{flops:.2e}"),
+        format!("{gflops32:.3}"),
+    ]);
+    (gflops64, gflops32)
+}
+
 fn main() {
     let timer = bs_bench::RunTimer::start("kernels");
     let quick = quick_mode();
@@ -189,6 +246,15 @@ fn main() {
     } else {
         sweep(Choice::Native, quick, &mut table)
     };
+    let (paired_f64, native_f32) = sweep_f32(
+        if native_isa == kernel::Isa::Portable {
+            Choice::Portable
+        } else {
+            Choice::Native
+        },
+        quick,
+        &mut table,
+    );
     kernel::set_override(None);
 
     print_table(
@@ -210,6 +276,23 @@ fn main() {
             native >= 2.0 * portable,
             "SIMD GEMM must be at least 2x the scalar kernel on AVX2/AVX-512 \
              hardware: got {native:.3} vs {portable:.3} Gflop/s"
+        );
+    }
+    println!(
+        "f32 headline GEMM: {native_f32:.3} Gflop/s ({:.2}x f64 paired at {paired_f64:.3})",
+        native_f32 / paired_f64
+    );
+    if native_isa != kernel::Isa::Portable {
+        // The lane-width payoff of the scalar-generic engine: f32
+        // packs twice the elements per vector register, so the native
+        // SIMD microkernel must clear at least 1.5x the f64 rate
+        // (2x ideal, minus packing and tail overhead). Compared against
+        // the pair-interleaved f64 rate, not the earlier sweep's, so
+        // host-load drift between the sweeps cannot fail the gate.
+        assert!(
+            native_f32 >= 1.5 * paired_f64,
+            "f32 GEMM ({native_f32:.3} Gflop/s) must be at least 1.5x the f64 \
+             rate ({paired_f64:.3} Gflop/s) on the native SIMD kernel"
         );
     }
     timer.finish();

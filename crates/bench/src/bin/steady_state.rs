@@ -25,9 +25,12 @@
 
 use bs_bench::{emit_bench, ms, print_table, quick_mode};
 use bs_core::{
-    Factorization, PlanRequest, PlanWorkspace, SchurOptions, SolverOptions, ToeplitzSolver,
+    Factorization, PlanRequest, PlanWorkspace, Precision, SchurOptions, SolverOptions,
+    ToeplitzSolver,
 };
 use bs_matrix::{ExecPolicy, Partition};
+use bs_perfmodel::tradeoff;
+use bs_probe::metrics::{self, Counter};
 use bs_toeplitz::workloads;
 use std::time::Instant;
 
@@ -185,12 +188,17 @@ fn bench_size(m: usize, p: usize, rounds: usize) -> SizeResult {
 
 /// Parallel-vs-sequential sweep over the warm steady-state loop: the
 /// same stream of systems through identically-planned solvers whose
-/// `ExecPolicy` differs only in thread count (`min_work` lowered so the
-/// strip dispatcher engages at bench sizes). Asserts the pooled warm
-/// path stays allocation-free and produces bitwise-identical factors,
-/// then emits one `@@BENCH` record per thread count with the
-/// `threads` / `speedup_vs_seq` fields.
-fn bench_exec_sweep(m: usize, p: usize, rounds: usize) {
+/// `ExecPolicy` differs only in thread count. `min_work` is derived
+/// from the calibrated kernel rate and the measured pool dispatch
+/// overhead ([`tradeoff::min_dispatch_work`]) — the crossover the plan
+/// itself would pick — so regions too small to recoup a dispatch run
+/// inline instead of being fanned out at a loss (the old pinned
+/// `min_work: 1` lost ~40% at n = 64 / 2 threads to exactly that).
+/// Asserts the pooled warm path stays allocation-free, produces
+/// bitwise-identical factors, and never drops below 0.95x sequential
+/// at the small-n point, then emits one `@@BENCH` record per thread
+/// count with the `threads` / `speedup_vs_seq` fields.
+fn bench_exec_sweep(m: usize, p: usize, rounds: usize, assert_speedup_floor: bool) {
     let n = m * p;
     let systems: Vec<_> = (0..SYSTEMS as u64)
         .map(|s| workloads::spd_ar1_block(m, p, 0.55, 900 + s))
@@ -205,6 +213,13 @@ fn bench_exec_sweep(m: usize, p: usize, rounds: usize) {
     sweep.sort_unstable();
     sweep.dedup();
 
+    // The overhead-derived dispatch gate: a parallel region below this
+    // work volume (product-of-extents units) cannot pay for waking the
+    // pool, so the strip dispatcher runs it inline.
+    let rate = tradeoff::RateTable::new(&bs_matrix::kernel::calibrate::calibration().points);
+    let overhead_ns = bs_matrix::par::dispatch_overhead_ns();
+    let min_work = tradeoff::min_dispatch_work(rate.rate(m), overhead_ns);
+
     let mut seq_round = f64::INFINITY;
     let mut seq_x0: Vec<f64> = Vec::new();
     for &threads in &sweep {
@@ -212,7 +227,7 @@ fn bench_exec_sweep(m: usize, p: usize, rounds: usize) {
             spd: SchurOptions {
                 exec: ExecPolicy {
                     threads,
-                    min_work: 1,
+                    min_work,
                     partition: Partition::Auto,
                 },
                 ..Default::default()
@@ -256,6 +271,18 @@ fn bench_exec_sweep(m: usize, p: usize, rounds: usize) {
                 "n={n} threads={threads}: pooled solve diverged from sequential"
             );
         }
+        let speedup = seq_round / best;
+        if assert_speedup_floor && threads > 1 {
+            // With the derived gate, fanning out must never *cost*:
+            // small regions stay inline, so the worst case is parity
+            // (0.95 leaves room for timer noise on a shared host).
+            assert!(
+                speedup >= 0.95,
+                "n={n} threads={threads}: speedup_vs_seq {speedup:.2} < 0.95 — \
+                 the derived min_work ({min_work}) failed to keep sub-crossover \
+                 regions inline"
+            );
+        }
         emit_bench(
             "steady_state_exec",
             best,
@@ -264,13 +291,193 @@ fn bench_exec_sweep(m: usize, p: usize, rounds: usize) {
                 ("n", n as f64),
                 ("m", m as f64),
                 ("threads", threads as f64),
-                ("speedup_vs_seq", seq_round / best),
+                ("min_work", min_work as f64),
+                ("speedup_vs_seq", speedup),
             ],
         );
     }
     println!(
-        "exec sweep: n = {n}, threads {sweep:?} — pooled path allocation-free, \
-         bitwise equal to sequential"
+        "exec sweep: n = {n}, threads {sweep:?}, min_work {min_work} \
+         (rate-derived) — pooled path allocation-free, bitwise equal to sequential"
+    );
+}
+
+/// Stable numeric label for `@@BENCH` records (which carry only f64
+/// fields).
+fn precision_index(p: Precision) -> f64 {
+    match p {
+        Precision::F64 => 0.0,
+        Precision::F32 => 1.0,
+        Precision::Mixed => 2.0,
+    }
+}
+
+/// Mixed-precision sweep: the same warm refactor/solve stream through
+/// f64, f32, and mixed plans. Emits one `@@BENCH` record per precision
+/// with per-cycle refinement-iteration and stall-fallback counts, and
+/// asserts every precision still answers (accuracy is pinned by the
+/// refinement test tier; this measures the throughput side of the
+/// trade).
+fn bench_precision_sweep(m: usize, p: usize, rounds: usize) {
+    let n = m * p;
+    let systems: Vec<_> = (0..SYSTEMS as u64)
+        .map(|s| workloads::spd_ar1_block(m, p, 0.55, 1100 + s))
+        .collect();
+    let rhs: Vec<_> = systems
+        .iter()
+        .map(|t| workloads::rhs_for_ones(t).0)
+        .collect();
+
+    let mut f64_round = f64::INFINITY;
+    for precision in [Precision::F64, Precision::F32, Precision::Mixed] {
+        let req = PlanRequest {
+            precision,
+            ..Default::default()
+        };
+        let mut solver =
+            ToeplitzSolver::with_plan_request(&systems[0], &req).expect("precision factorization");
+        let round_flops = (solver.plan().predicted_flops() * SYSTEMS as f64) as u64;
+        solver.refactor(&systems[1]).expect("precision warm-up");
+        let iters0 = metrics::total(Counter::RefineIterations);
+        let stalls0 = metrics::total(Counter::MixedStallFallbacks);
+        let mut best = f64::INFINITY;
+        let mut cycles = 0u64;
+        for round in -1i64..rounds as i64 {
+            let start = Instant::now();
+            for (t, b) in systems.iter().zip(&rhs) {
+                solver.refactor(t).expect("precision refactor");
+                let x = solver.solve(b).expect("precision solve");
+                assert!(x[0].is_finite(), "precision {precision:?} produced NaN");
+            }
+            if round >= 0 {
+                best = best.min(start.elapsed().as_secs_f64());
+                cycles += SYSTEMS as u64;
+            }
+        }
+        let refine_iters = metrics::total(Counter::RefineIterations) - iters0;
+        let stalls = metrics::total(Counter::MixedStallFallbacks) - stalls0;
+        if precision == Precision::F64 {
+            f64_round = best;
+        }
+        emit_bench(
+            "steady_state_precision",
+            best,
+            round_flops,
+            &[
+                ("n", n as f64),
+                ("m", m as f64),
+                ("precision", precision_index(precision)),
+                (
+                    "refine_iters_per_cycle",
+                    refine_iters as f64 / cycles as f64,
+                ),
+                ("stall_fallbacks", stalls as f64),
+                ("speedup_vs_f64", f64_round / best),
+            ],
+        );
+        println!(
+            "precision sweep: n = {n} {}: best round {:.3} ms, {:.2} refine \
+             iters/cycle, {stalls} stall fallbacks",
+            precision.as_str(),
+            best * 1e3,
+            refine_iters as f64 / cycles as f64,
+        );
+    }
+}
+
+/// Batched-dispatch throughput: `factor_batch` over the system stream
+/// and `solve_batch` over a many-column RHS, against their looped
+/// equivalents on the same plan. The batched paths amortize pool
+/// dispatch and workspace warm-up per *batch* instead of per item.
+fn bench_batch(m: usize, p: usize, rhs_cols: usize, rounds: usize) {
+    let n = m * p;
+    let systems: Vec<_> = (0..SYSTEMS as u64)
+        .map(|s| workloads::spd_ar1_block(m, p, 0.55, 1300 + s))
+        .collect();
+    let threads = bs_matrix::par::current_num_threads();
+    let req = PlanRequest {
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let plan = bs_core::FactorPlan::new(&systems[0], &req).expect("batch plan");
+
+    // factor_batch vs a loop of single executes (one warm workspace,
+    // the same arithmetic).
+    let mut batch_best = f64::INFINITY;
+    let mut loop_best = f64::INFINITY;
+    for round in -1i64..rounds as i64 {
+        let start = Instant::now();
+        let fs = plan.execute_batch(&systems).expect("batched factor");
+        if round >= 0 {
+            batch_best = batch_best.min(start.elapsed().as_secs_f64());
+        }
+        drop(fs);
+        let start = Instant::now();
+        let mut pw = PlanWorkspace::new();
+        for t in &systems {
+            let f = plan.execute(t, &mut pw).expect("looped factor");
+            drop(f);
+        }
+        if round >= 0 {
+            loop_best = loop_best.min(start.elapsed().as_secs_f64());
+        }
+    }
+    let factor_flops = (plan.predicted_flops() * SYSTEMS as f64) as u64;
+    emit_bench(
+        "factor_batch",
+        batch_best,
+        factor_flops,
+        &[
+            ("n", n as f64),
+            ("m", m as f64),
+            ("systems", SYSTEMS as f64),
+            ("threads", threads as f64),
+            ("speedup_vs_looped", loop_best / batch_best),
+        ],
+    );
+
+    // solve_batch vs solve_many on one factored system.
+    let solver = ToeplitzSolver::with_plan_request(&systems[0], &req).expect("batch solver");
+    let b = bs_matrix::Matrix::from_fn(n, rhs_cols, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+    let mut sb_best = f64::INFINITY;
+    let mut sm_best = f64::INFINITY;
+    let mut x_batch = bs_matrix::Matrix::zeros(0, 0);
+    let mut x_loop = bs_matrix::Matrix::zeros(0, 0);
+    for round in -1i64..rounds as i64 {
+        let start = Instant::now();
+        x_batch = solver.solve_batch(&b).expect("batched solve");
+        if round >= 0 {
+            sb_best = sb_best.min(start.elapsed().as_secs_f64());
+        }
+        let start = Instant::now();
+        x_loop = solver.solve_many(&b).expect("looped solve");
+        if round >= 0 {
+            sm_best = sm_best.min(start.elapsed().as_secs_f64());
+        }
+    }
+    assert_eq!(
+        x_batch.max_abs_diff(&x_loop),
+        0.0,
+        "n={n}: solve_batch must be bitwise identical to solve_many"
+    );
+    // Two triangular solves per column.
+    let solve_flops = (2 * n * n * rhs_cols) as u64;
+    emit_bench(
+        "solve_batch",
+        sb_best,
+        solve_flops,
+        &[
+            ("n", n as f64),
+            ("rhs", rhs_cols as f64),
+            ("threads", threads as f64),
+            ("speedup_vs_looped", sm_best / sb_best),
+        ],
+    );
+    println!(
+        "batch: n = {n}, {SYSTEMS} systems, {rhs_cols} rhs — factor_batch \
+         {:.2}x vs looped, solve_batch {:.2}x vs solve_many",
+        loop_best / batch_best,
+        sm_best / sb_best
     );
 }
 
@@ -413,9 +620,20 @@ fn main() {
         );
     }
 
-    // Satellite sweep: same warm loop, ExecPolicy on/off. Uses the
-    // largest quick-safe size so the strips carry real work.
-    bench_exec_sweep(m, 16, if quick { 20 } else { 60 });
+    // Exec sweep at two sizes: n = 64 is below the dispatch crossover
+    // (the derived min_work must keep it at sequential parity — the
+    // asserted floor), n = 256 carries enough work per strip for the
+    // fan-out to engage and pay.
+    bench_exec_sweep(m, 16, if quick { 20 } else { 60 }, true);
+    bench_exec_sweep(m, 64, if quick { 8 } else { 20 }, false);
+
+    // Mixed-precision throughput sweep + batched-dispatch throughput.
+    // n = 64 is overhead-dominated (demotion + refinement cost shows);
+    // n = 256 gives the f32 kernels enough work for the lane-width
+    // payoff to surface in end-to-end factor time.
+    bench_precision_sweep(m, 16, if quick { 20 } else { 60 });
+    bench_precision_sweep(m, 64, if quick { 6 } else { 20 });
+    bench_batch(m, 16, 32, if quick { 10 } else { 30 });
 
     timer.finish();
 }

@@ -121,11 +121,11 @@ pub fn signature_consistency(w: &[i8], expected_sum: i64, step: usize) {
 /// diagonal entry of `R` must be strictly positive (and finite).
 /// Checked at `site` (e.g. `"factor_spd"`).
 #[inline]
-pub fn spd_diagonal(r: &bs_matrix::Matrix, site: &'static str) {
+pub fn spd_diagonal<T: bs_matrix::Scalar>(r: &bs_matrix::Matrix<T>, site: &'static str) {
     if cfg!(feature = "paranoid") {
         let n = r.rows().min(r.cols());
         for j in 0..n {
-            let v = r[(j, j)];
+            let v = r[(j, j)].to_f64();
             if !v.is_finite() || v <= 0.0 {
                 violated(
                     "spd_diagonal",

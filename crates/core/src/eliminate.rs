@@ -32,7 +32,7 @@ use crate::rep::BlockReflector;
 use crate::schur::SchurOptions;
 use crate::{Error, Result};
 use bs_matrix::ldlt::Signature;
-use bs_matrix::{MatRef, Matrix, Workspace};
+use bs_matrix::{MatRef, Matrix, Scalar, Workspace};
 use bs_probe::metrics::{self, Counter};
 use bs_probe::stability;
 use bs_toeplitz::{build_generator, SymBlockToeplitz};
@@ -64,18 +64,18 @@ impl PivotPolicy {
 /// instance per plan/solver; fresh instances reproduce the historical
 /// allocate-per-call behavior exactly.
 #[derive(Debug)]
-pub struct EngineScratch {
+pub struct EngineScratch<T: Scalar = f64> {
     /// Panel-factorization scratch (pivot reflector, source column,
     /// representation-update buffers).
-    panel: PanelScratch,
+    panel: PanelScratch<T>,
     /// Chunk block reflectors, reused across steps via `reset`.
-    reps: Vec<BlockReflector>,
+    reps: Vec<BlockReflector<T>>,
     /// The indefinite kernel's elementary reflector.
-    refl: PivotReflector,
+    refl: PivotReflector<T>,
     /// Pivot-column lower half (indefinite kernel).
-    u_low: Vec<f64>,
+    u_low: Vec<T>,
     /// Trailing-update column buffer (indefinite kernel).
-    low: Vec<f64>,
+    low: Vec<T>,
     /// Pool for the indefinite factor's signature vector `d`: retired
     /// factors donate theirs back so warm refactors reuse the storage.
     sig_pool: Vec<i8>,
@@ -83,7 +83,7 @@ pub struct EngineScratch {
     pert_pool: Vec<Perturbation>,
 }
 
-impl Default for EngineScratch {
+impl<T: Scalar> Default for EngineScratch<T> {
     fn default() -> Self {
         EngineScratch {
             panel: PanelScratch::default(),
@@ -97,7 +97,7 @@ impl Default for EngineScratch {
     }
 }
 
-impl EngineScratch {
+impl<T: Scalar> EngineScratch<T> {
     /// Donate a retired indefinite factor's owned vectors back to the
     /// scratch pools so the next `eliminate_indefinite` run reuses the
     /// storage instead of allocating.
@@ -113,10 +113,10 @@ impl EngineScratch {
 
 /// Validate and apply an algorithmic-block-size override: `m_s` must be
 /// a positive multiple of the structural block size and divide `n`.
-pub(crate) fn retiled<'a>(
-    t: &'a SymBlockToeplitz,
+pub(crate) fn retiled<'a, T: Scalar>(
+    t: &'a SymBlockToeplitz<T>,
     block_size: Option<usize>,
-) -> Result<Cow<'a, SymBlockToeplitz>> {
+) -> Result<Cow<'a, SymBlockToeplitz<T>>> {
     let Some(ms) = block_size else {
         return Ok(Cow::Borrowed(t));
     };
@@ -135,6 +135,10 @@ pub(crate) fn retiled<'a>(
     Ok(Cow::Owned(t.retile(ms)))
 }
 
+/// Receiver for emitted factor block rows: `sink(s, m, n, row)` gets
+/// block-row `s` of the factor at algorithmic block size `m`.
+pub(crate) type RowSink<'a, T> = dyn FnMut(usize, usize, usize, MatRef<'_, T>) + 'a;
+
 /// SPD elimination kernel (phases 1–3 of §6). `t_ref` must already be
 /// retiled to the algorithmic block size (see [`retiled`]). Emits each
 /// factor block row through `sink(s, m, n, row)`; rows are *not*
@@ -144,12 +148,12 @@ pub(crate) fn retiled<'a>(
 /// temporaries) is checked out of `ws` and returned before this
 /// function exits — even on error — so a warm workspace makes the whole
 /// loop allocation-free.
-pub(crate) fn eliminate_spd(
-    t_ref: &SymBlockToeplitz,
+pub(crate) fn eliminate_spd<T: Scalar>(
+    t_ref: &SymBlockToeplitz<T>,
     opts: &SchurOptions,
-    ws: &mut Workspace,
-    scratch: &mut EngineScratch,
-    sink: &mut dyn FnMut(usize, usize, usize, MatRef<'_>),
+    ws: &mut Workspace<T>,
+    scratch: &mut EngineScratch<T>,
+    sink: &mut RowSink<'_, T>,
 ) -> Result<(usize, usize, usize)> {
     let m = t_ref.block_size();
     let p = t_ref.num_blocks();
@@ -244,7 +248,7 @@ pub(crate) fn eliminate_spd(
         metrics::add(Counter::CommWords, step_words as u64);
         gu.sub_mut(0, up_piv, m, m)
             .copy_from(panel_buf.sub(0, 0, m, m));
-        gl.sub_mut(0, low_piv, m, m).fill(0.0);
+        gl.sub_mut(0, low_piv, m, m).fill(T::ZERO);
         drop(panel_span);
         if bs_probe::trace::is_enabled() {
             bs_probe::event!(
@@ -315,8 +319,8 @@ pub(crate) fn eliminate_spd(
 }
 
 /// Outcome of one indefinite elimination pass under a fixed δ-schedule.
-pub(crate) enum Attempt {
-    Done(Box<IndefFactor>),
+pub(crate) enum Attempt<T: Scalar = f64> {
+    Done(Box<IndefFactor<T>>),
     /// More singular minors were met than the schedule covers: restart
     /// with a longer schedule (§8.2's backtracking).
     NeedsLongerSchedule,
@@ -329,13 +333,13 @@ pub(crate) enum Attempt {
 /// returned to it on every non-`Done` exit), so a solver that donates
 /// retired factors back to the pool runs warm passes allocation-free
 /// apart from the generator build.
-pub(crate) fn eliminate_indefinite(
-    t: &SymBlockToeplitz,
+pub(crate) fn eliminate_indefinite<T: Scalar>(
+    t: &SymBlockToeplitz<T>,
     opts: &IndefOptions,
     schedule: &[f64],
-    ws: &mut Workspace,
-    scratch: &mut EngineScratch,
-) -> Result<Attempt> {
+    ws: &mut Workspace<T>,
+    scratch: &mut EngineScratch<T>,
+) -> Result<Attempt<T>> {
     let m = t.block_size();
     let p = t.num_blocks();
     let n = m * p;
@@ -367,7 +371,7 @@ pub(crate) fn eliminate_indefinite(
             // bs-lint: allow(no-alloc-hot) -- singular-leading-minor repair, runs at most once per factorization
             let mut blocks = t.first_block_row().to_vec();
             for i in 0..m {
-                blocks[0][(i, i)] += delta * t_scale;
+                blocks[0][(i, i)] += T::from_f64(delta * t_scale);
             }
             perturbations.push(Perturbation {
                 step: 0,
@@ -457,7 +461,7 @@ pub(crate) fn eliminate_indefinite(
                         // Exchange with the largest-magnitude lower row of
                         // the signature sign(h) = −w_k.
                         let want: i8 = if hnorm > 0.0 { 1 } else { -1 };
-                        let mut best: Option<(usize, f64)> = None;
+                        let mut best: Option<(usize, T)> = None;
                         for (i, &v) in scratch.u_low.iter().enumerate() {
                             if w.sign(m + i) == want {
                                 let mag = v.abs();
@@ -519,14 +523,17 @@ pub(crate) fn eliminate_indefinite(
                         };
                         // §8.2 recipe: scale the pivot entry by √(1+δ),
                         // making the hyperbolic norm ≈ w_k·δ·u_k².
-                        let scale2: f64 =
-                            u_top * u_top + scratch.u_low.iter().map(|v| v * v).sum::<f64>();
-                        if u_top * u_top > 1e-3 * scale2 && scale2 > opts.zero_tol * t_scale {
-                            g[(k, c)] = u_top * (1.0 + delta).sqrt();
+                        let scale2 = (u_top * u_top
+                            + scratch.u_low.iter().fold(T::ZERO, |acc, &v| acc + v * v))
+                        .to_f64();
+                        if (u_top * u_top).to_f64() > 1e-3 * scale2
+                            && scale2 > opts.zero_tol * t_scale
+                        {
+                            g[(k, c)] = u_top * T::from_f64((1.0 + delta).sqrt());
                         } else {
                             // Degenerate pivot entry: inject an absolute
                             // perturbation at the matrix scale.
-                            g[(k, c)] = u_top + delta * t_scale.sqrt();
+                            g[(k, c)] = u_top + T::from_f64(delta * t_scale.sqrt());
                         }
                         match perturbations.last_mut() {
                             Some(pt) if prev_delta.is_some() => pt.delta = delta,
@@ -545,7 +552,7 @@ pub(crate) fn eliminate_indefinite(
                 }
             }
             let refl = &scratch.refl;
-            crate::contracts::hyperbolic_existence(s, k, refl.sigma, refl.beta);
+            crate::contracts::hyperbolic_existence(s, k, refl.sigma.to_f64(), refl.beta.to_f64());
             max_norm = max_norm.max(refl.norm_est());
             metrics::incr(Counter::Reflectors);
             if stability::is_enabled() {
@@ -555,12 +562,18 @@ pub(crate) fn eliminate_indefinite(
                 for i in 0..m {
                     cn += g[(m + i, c)] * g[(m + i, c)];
                 }
-                stability::record_step(s, k, cn.sqrt(), refl.sigma * refl.sigma, refl.norm_est());
+                stability::record_step(
+                    s,
+                    k,
+                    cn.to_f64().sqrt(),
+                    (refl.sigma * refl.sigma).to_f64(),
+                    refl.norm_est(),
+                );
             }
             // Finalize column c and update the trailing columns.
             g[(k, c)] = -refl.sigma;
             for i in 0..m {
-                g[(m + i, c)] = 0.0;
+                g[(m + i, c)] = T::ZERO;
             }
             for col in c + 1..n {
                 let mut top = g[(k, col)];
@@ -621,10 +634,10 @@ pub(crate) fn eliminate_indefinite(
 /// changes), and zero the strict lower triangle — within each emitted
 /// diagonal block the sub-diagonal entries are exact zeros in exact
 /// arithmetic but carry `O(ε)` roundoff from the level-3 updates.
-pub(crate) fn normalize_diagonal(r: &mut Matrix) {
+pub(crate) fn normalize_diagonal<T: Scalar>(r: &mut Matrix<T>) {
     let n = r.rows();
     for i in 0..n {
-        if r[(i, i)] < 0.0 {
+        if r[(i, i)] < T::ZERO {
             for j in i..n {
                 r[(i, j)] = -r[(i, j)];
             }
@@ -632,7 +645,7 @@ pub(crate) fn normalize_diagonal(r: &mut Matrix) {
     }
     for j in 0..n {
         for i in j + 1..n {
-            r[(i, j)] = 0.0;
+            r[(i, j)] = T::ZERO;
         }
     }
 }

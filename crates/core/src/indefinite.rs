@@ -28,7 +28,7 @@
 use crate::eliminate::{eliminate_indefinite, Attempt, EngineScratch};
 use crate::solve;
 use crate::{Error, Result};
-use bs_matrix::{Matrix, Workspace};
+use bs_matrix::{Matrix, Scalar, Workspace};
 use bs_toeplitz::SymBlockToeplitz;
 
 /// Options for [`factor_indefinite`].
@@ -80,9 +80,9 @@ pub struct Perturbation {
 /// [`factor_indefinite`] (`δT = 0` when no perturbation was needed).
 #[derive(Clone, Debug)]
 #[must_use]
-pub struct IndefFactor {
+pub struct IndefFactor<T: Scalar = f64> {
     /// Upper triangular `n × n` factor with positive diagonal.
-    pub r: Matrix,
+    pub r: Matrix<T>,
     /// Signature `D` of the factorization, one ±1 per row of `R`.
     pub d: Vec<i8>,
     /// Perturbations applied (empty for strongly nonsingular input).
@@ -97,7 +97,7 @@ pub struct IndefFactor {
     pub p: usize,
 }
 
-impl IndefFactor {
+impl<T: Scalar> IndefFactor<T> {
     /// Matrix order.
     pub fn order(&self) -> usize {
         self.r.rows()
@@ -111,12 +111,12 @@ impl IndefFactor {
 
     /// Solve `(T + δT) x = b` — one forward and one backward
     /// triangular solve plus a signature scaling.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
         solve::solve_rtdr(&self.r, Some(&self.d), b)
     }
 
     /// Dense reconstruction `Rᵀ D R` (test / verification).
-    pub fn reconstruct(&self) -> Matrix {
+    pub fn reconstruct(&self) -> Matrix<T> {
         solve::reconstruct_rtdr(&self.r, Some(&self.d))
     }
 }
@@ -145,7 +145,10 @@ impl IndefFactor {
 /// wasteful, as the paper notes, but rarely needed: a perturbed matrix
 /// generically has no further singular minors). A user-supplied
 /// [`IndefOptions::delta`] disables grading and is used throughout.
-pub fn factor_indefinite(t: &SymBlockToeplitz, opts: &IndefOptions) -> Result<IndefFactor> {
+pub fn factor_indefinite<T: Scalar>(
+    t: &SymBlockToeplitz<T>,
+    opts: &IndefOptions,
+) -> Result<IndefFactor<T>> {
     // Fresh engine state per call (the compatibility entry point);
     // plan/execute callers hold a warm workspace instead.
     let mut ws = Workspace::new();
@@ -157,12 +160,12 @@ pub fn factor_indefinite(t: &SymBlockToeplitz, opts: &IndefOptions) -> Result<In
 /// δ-schedule backtracking loop over [`eliminate_indefinite`] passes.
 /// State is reused across schedule attempts (a backtrack does not
 /// re-allocate) and, for plan/execute callers, across factorizations.
-pub(crate) fn factor_indefinite_with(
-    t: &SymBlockToeplitz,
+pub(crate) fn factor_indefinite_with<T: Scalar>(
+    t: &SymBlockToeplitz<T>,
     opts: &IndefOptions,
-    ws: &mut Workspace,
-    scratch: &mut EngineScratch,
-) -> Result<IndefFactor> {
+    ws: &mut Workspace<T>,
+    scratch: &mut EngineScratch<T>,
+) -> Result<IndefFactor<T>> {
     let eps = f64::EPSILON;
     let max_k = 3usize;
     for k in 1..=max_k {

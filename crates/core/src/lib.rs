@@ -50,7 +50,7 @@ pub mod solve {
 
 pub use eliminate::{EngineScratch, PivotPolicy};
 pub use indefinite::{factor_indefinite, IndefFactor, IndefOptions, Perturbation};
-pub use plan::{FactorPlan, PlanRequest, PlanWorkspace};
+pub use plan::{FactorPlan, PlanRequest, PlanWorkspace, Precision};
 pub use refine::{solve_refined, RefineOptions, RefineResult};
 pub use rep::RepKind;
 pub use schur::{factor_spd, SchurOptions, SpdFactor};

@@ -12,7 +12,7 @@ use crate::rep::{BlockReflector, RepKind, RepScratch};
 use crate::{Error, Result};
 use bs_matrix::ldlt::Signature;
 use bs_matrix::view::MatMut;
-use bs_matrix::Workspace;
+use bs_matrix::{Scalar, Workspace};
 use bs_probe::metrics::{self, Counter};
 use bs_probe::stability;
 
@@ -21,13 +21,13 @@ use bs_probe::stability;
 /// buffers. Held across Schur steps by the plan/execute engine so the
 /// warm panel factorization allocates nothing.
 #[derive(Debug)]
-pub struct PanelScratch {
-    refl: PivotReflector,
-    u_low: Vec<f64>,
-    rep: RepScratch,
+pub struct PanelScratch<T: Scalar = f64> {
+    refl: PivotReflector<T>,
+    u_low: Vec<T>,
+    rep: RepScratch<T>,
 }
 
-impl Default for PanelScratch {
+impl<T: Scalar> Default for PanelScratch<T> {
     fn default() -> Self {
         PanelScratch {
             refl: PivotReflector::empty(),
@@ -48,14 +48,14 @@ impl Default for PanelScratch {
 /// `step` is only used for error reporting. `scale` is the absolute
 /// matrix scale (`‖T‖∞`) against which `zero_tol` classifies a pivot's
 /// hyperbolic norm as numerically zero.
-pub fn factor_panel(
-    panel: MatMut<'_>,
+pub fn factor_panel<T: Scalar>(
+    panel: MatMut<'_, T>,
     w: &Signature,
     kind: RepKind,
     step: usize,
     zero_tol: f64,
     scale: f64,
-) -> Result<BlockReflector> {
+) -> Result<BlockReflector<T>> {
     let m = panel.cols();
     let mut reps = factor_panel_two_level(panel, w, kind, step, zero_tol, scale, m)?;
     debug_assert_eq!(reps.len(), 1);
@@ -76,15 +76,15 @@ pub fn factor_panel(
 ///
 /// Returns one [`BlockReflector`] per chunk; apply them to the trailing
 /// generator *in order*.
-pub fn factor_panel_two_level(
-    panel: MatMut<'_>,
+pub fn factor_panel_two_level<T: Scalar>(
+    panel: MatMut<'_, T>,
     w: &Signature,
     kind: RepKind,
     step: usize,
     zero_tol: f64,
     scale: f64,
     k_block: usize,
-) -> Result<Vec<BlockReflector>> {
+) -> Result<Vec<BlockReflector<T>>> {
     let mut reps = Vec::new();
     let mut scratch = PanelScratch::default();
     let mut ws = Workspace::new();
@@ -115,17 +115,17 @@ pub fn factor_panel_two_level(
 /// On success `reps` holds exactly the chunk transformations, in
 /// application order.
 #[allow(clippy::too_many_arguments)]
-pub fn factor_panel_into(
-    mut panel: MatMut<'_>,
+pub fn factor_panel_into<T: Scalar>(
+    mut panel: MatMut<'_, T>,
     w: &Signature,
     kind: RepKind,
     step: usize,
     zero_tol: f64,
     scale: f64,
     k_block: usize,
-    reps: &mut Vec<BlockReflector>,
-    scratch: &mut PanelScratch,
-    ws: &mut Workspace,
+    reps: &mut Vec<BlockReflector<T>>,
+    scratch: &mut PanelScratch<T>,
+    ws: &mut Workspace<T>,
 ) -> Result<()> {
     let m = panel.cols();
     assert_eq!(panel.rows(), 2 * m, "panel must be 2m x m");
@@ -182,19 +182,25 @@ pub fn factor_panel_into(
                 }
             }
             let r = &scratch.refl;
-            crate::contracts::hyperbolic_existence(step, k, r.sigma, r.beta);
+            crate::contracts::hyperbolic_existence(step, k, r.sigma.to_f64(), r.beta.to_f64());
             metrics::incr(Counter::Reflectors);
             if stability::is_enabled() {
                 // σ² = |uᵀWu|: the hyperbolic norm the reflector
                 // eliminated; norm_est bounds ‖U‖₂ (the §8.2 growth).
-                let col_norm =
-                    (u_top * u_top + scratch.u_low.iter().map(|v| v * v).sum::<f64>()).sqrt();
-                stability::record_step(step, k, col_norm, r.sigma * r.sigma, r.norm_est());
+                let h2 = u_top * u_top + scratch.u_low.iter().fold(T::ZERO, |acc, &v| acc + v * v);
+                let col_norm = h2.to_f64().sqrt();
+                stability::record_step(
+                    step,
+                    k,
+                    col_norm,
+                    (r.sigma * r.sigma).to_f64(),
+                    r.norm_est(),
+                );
             }
             // Column k maps to −σ e_k (lower half annihilated).
             panel.set(k, k, -r.sigma);
             for i in 0..m {
-                panel.set(m + i, k, 0.0);
+                panel.set(m + i, k, T::ZERO);
             }
             // Elementary update of the rest of this chunk only.
             for j in k + 1..chunk_end {

@@ -22,7 +22,7 @@
 //! checkout.
 
 use crate::eliminate::{eliminate_spd, normalize_diagonal, retiled, EngineScratch};
-use crate::indefinite::{factor_indefinite_with, IndefOptions};
+use crate::indefinite::{factor_indefinite_with, IndefFactor, IndefOptions};
 use crate::rep::RepKind;
 use crate::schur::{SchurOptions, SpdFactor};
 use crate::solver::Factorization;
@@ -31,6 +31,62 @@ use bs_matrix::{kernel, par, ExecPolicy, Workspace};
 use bs_perfmodel::model::{self, Rep};
 use bs_perfmodel::tradeoff::{self, RateTable};
 use bs_toeplitz::SymBlockToeplitz;
+use std::sync::Mutex;
+
+/// Arithmetic precision of the factorization stage.
+///
+/// The solve-side contract differs per variant (see
+/// [`crate::ToeplitzSolver::solve`]): `F64` is the bitwise-pinned
+/// reference path, `F32` trades accuracy for the doubled SIMD width of
+/// the f32 microkernels, and `Mixed` recovers f64-grade residuals from
+/// the f32 factor through the §8.1 refinement loop — the paper's
+/// perturbation-recovery machinery reused as a precision-recovery loop
+/// (the promoted factor plays the role of `Rᵀ D R` of `T + δT` with
+/// `δT` the f32 rounding backward error).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// Factor and solve entirely in f64 (the default).
+    #[default]
+    F64,
+    /// Factor in f32 and promote: roughly half the factor time on
+    /// SIMD-bound shapes, residuals at f32 resolution, no recovery.
+    F32,
+    /// Factor in f32, promote, and refine every solve against the f64
+    /// operator until the residual bound is met; when refinement
+    /// stalls the solver falls back to a cached full f64
+    /// refactorization (surfaced via `Counter::MixedStallFallbacks`).
+    Mixed,
+}
+
+impl Precision {
+    /// Canonical lower-case name (`f64`, `f32`, `mixed`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a case-insensitive precision name.
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f64" | "double" => Some(Precision::F64),
+            "f32" | "single" => Some(Precision::F32),
+            "mixed" => Some(Precision::Mixed),
+            _ => None,
+        }
+    }
+
+    /// Stable index for trace events.
+    fn index(self) -> usize {
+        match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+            Precision::Mixed => 2,
+        }
+    }
+}
 
 /// A request for a [`FactorPlan`]: pin the choices you care about,
 /// leave the rest `None` for the cost model to decide.
@@ -65,12 +121,26 @@ pub struct PlanRequest {
     /// callers (tests, reproducibility scripts) keep the analytic model
     /// by default.
     pub calibrate: bool,
+    /// Arithmetic precision of the factorization stage; see
+    /// [`Precision`].
+    pub precision: Precision,
 }
 
 /// `BS_CALIBRATE=1` (or `true`) turns measured-rate planning on for
 /// every request in the process.
 fn env_calibrate() -> bool {
     std::env::var("BS_CALIBRATE").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// `BS_PRECISION=f64|f32|mixed` overrides the requested factorization
+/// precision for every plan *request* in the process — the test tier
+/// hook that pushes a targeted suite through the low-precision paths.
+/// Explicit [`FactorPlan::from_options`] plans stay pinned at f64;
+/// unparseable values are ignored.
+fn env_precision() -> Option<Precision> {
+    std::env::var("BS_PRECISION")
+        .ok()
+        .and_then(|v| Precision::parse(&v))
 }
 
 /// Caller-owned execution state for [`FactorPlan::execute`]: the pooled
@@ -82,6 +152,12 @@ fn env_calibrate() -> bool {
 pub struct PlanWorkspace {
     pub(crate) ws: Workspace,
     pub(crate) scratch: EngineScratch,
+    /// f32 siblings of the arena and engine scratch for the
+    /// low-precision factor stage of [`Precision::F32`] /
+    /// [`Precision::Mixed`] plans. Separate because the pools are
+    /// typed; they stay empty (zero allocation) on pure-f64 plans.
+    pub(crate) ws32: Workspace<f32>,
+    pub(crate) scratch32: EngineScratch<f32>,
     /// A retired factor matrix from a previous execution, kept whole so
     /// the next execution can reuse it *without* the pool's zero-fill
     /// (see [`PlanWorkspace::donate`]).
@@ -101,29 +177,32 @@ impl PlanWorkspace {
     pub fn bypass() -> Self {
         PlanWorkspace {
             ws: Workspace::bypass(),
+            ws32: Workspace::bypass(),
             ..PlanWorkspace::default()
         }
     }
 
     /// Cold pool allocations since creation or the last
-    /// [`reset_stats`](Self::reset_stats).
+    /// [`reset_stats`](Self::reset_stats), summed over the f64 and f32
+    /// arenas.
     pub fn allocations(&self) -> u64 {
-        self.ws.allocations()
+        self.ws.allocations() + self.ws32.allocations()
     }
 
-    /// Peak simultaneously checked-out elements.
+    /// Peak simultaneously checked-out elements (f64 + f32 arenas).
     pub fn high_water_elems(&self) -> usize {
-        self.ws.high_water_elems()
+        self.ws.high_water_elems() + self.ws32.high_water_elems()
     }
 
-    /// Total capacity (elements) of the idle pool.
+    /// Total capacity (elements) of the idle pools.
     pub fn pooled_elems(&self) -> usize {
-        self.ws.pooled_elems()
+        self.ws.pooled_elems() + self.ws32.pooled_elems()
     }
 
-    /// Zero the allocation / high-water statistics, keeping the pool.
+    /// Zero the allocation / high-water statistics, keeping the pools.
     pub fn reset_stats(&mut self) {
         self.ws.reset_stats();
+        self.ws32.reset_stats();
     }
 
     /// Donate a retired factor matrix so the next execution can reuse
@@ -163,6 +242,7 @@ pub struct FactorPlan {
     block_auto: bool,
     threads_auto: bool,
     calibrated: bool,
+    precision: Precision,
     kernel_isa: &'static str,
     spd: SchurOptions,
     indefinite: IndefOptions,
@@ -227,12 +307,20 @@ impl FactorPlan {
                 "order n = {n} must be a positive multiple of the block size m = {m}"
             )));
         }
+        let precision = env_precision().unwrap_or(req.precision);
         // Measured-rate planning (opt-in): swap the assumed saturating
         // rate curve for the one-shot kernel calibration of the running
         // machine. The first calibrated plan in a process pays the
-        // measurement; later ones reuse it.
-        let rates = (req.calibrate || env_calibrate())
-            .then(|| RateTable::new(&kernel::calibrate::calibration().points));
+        // measurement; later ones reuse it. Low-precision plans price
+        // their factor stage from the f32 calibration — the f32 kernels
+        // run at roughly double rate, which shifts both the block-size
+        // and thread-count crossovers.
+        let rates = (req.calibrate || env_calibrate()).then(|| match precision {
+            Precision::F64 => RateTable::new(&kernel::calibrate::calibration().points),
+            Precision::F32 | Precision::Mixed => {
+                RateTable::new(&kernel::calibrate::calibration_f32().points)
+            }
+        });
         let (m_s, block_auto) = match req.block_size {
             Some(ms) => {
                 if ms == 0 || !ms.is_multiple_of(m) {
@@ -281,6 +369,7 @@ impl FactorPlan {
             block_auto,
             threads_auto,
             rates.as_ref(),
+            precision,
         ))
     }
 
@@ -314,6 +403,7 @@ impl FactorPlan {
             false,
             false,
             None,
+            Precision::F64,
         ))
     }
 
@@ -327,6 +417,7 @@ impl FactorPlan {
         block_auto: bool,
         threads_auto: bool,
         rates: Option<&RateTable>,
+        precision: Precision,
     ) -> FactorPlan {
         let m_s = spd.block_size.unwrap_or(m);
         let p = n / m_s;
@@ -342,11 +433,24 @@ impl FactorPlan {
         if threads_auto {
             let avail = par::current_num_threads();
             spd.exec.threads = match rates {
-                Some(t) => tradeoff::auto_threads_with_rate(predicted_flops, t.rate(m_s), avail),
+                Some(t) => tradeoff::auto_threads_with_rate(
+                    predicted_flops,
+                    t.rate(m_s),
+                    par::dispatch_overhead_ns(),
+                    avail,
+                ),
                 None => tradeoff::auto_threads(predicted_flops, avail),
             };
         }
-        let active = kernel::active().isa();
+        if let Some(t) = rates {
+            // Calibrated plans also gate strip dispatch on the measured
+            // crossover (kernel rate × dispatch overhead) instead of
+            // the static default volume, so small trailing updates run
+            // inline even when threads were pinned > 1.
+            spd.exec.min_work =
+                tradeoff::min_dispatch_work(t.rate(m_s), par::dispatch_overhead_ns());
+        }
+        let active = kernel::active_isa();
         // Events carry at most trace::MAX_FIELDS fields inline, so the
         // plan decision is traced as a structural + an execution event.
         bs_probe::event!(
@@ -358,13 +462,15 @@ impl FactorPlan {
             rep = rep_index(spd.rep),
             rep_auto = rep_auto as usize,
         );
+        // (block_auto moved off this event to stay within MAX_FIELDS;
+        // it remains queryable via `block_size_is_auto`.)
         bs_probe::event!(
             "plan_exec",
-            block_auto = block_auto as usize,
             threads = spd.exec.threads,
             threads_auto = threads_auto as usize,
             kernel = isa_index(active),
             calibrated = rates.is_some() as usize,
+            precision = precision.index(),
             predicted_flops = predicted_flops,
         );
         FactorPlan {
@@ -376,6 +482,7 @@ impl FactorPlan {
             block_auto,
             threads_auto,
             calibrated: rates.is_some(),
+            precision,
             kernel_isa: active.name(),
             spd,
             indefinite,
@@ -387,7 +494,11 @@ impl FactorPlan {
     /// Execute against a concrete matrix of the planned shape: SPD
     /// attempt first, automatic indefinite fallback on
     /// `NotPositiveDefinite` / `SingularMinor`, all scratch drawn from
-    /// `pw`.
+    /// `pw`. [`Precision::F32`] and [`Precision::Mixed`] plans run the
+    /// same sequence at f32 and promote the factor to f64 storage; a
+    /// `Mixed` plan whose f32 stage fails outright (e.g. a minor that
+    /// is singular at f32 resolution) falls back to the full f64
+    /// factorization, counted in `Counter::MixedStallFallbacks`.
     pub fn execute(&self, t: &SymBlockToeplitz, pw: &mut PlanWorkspace) -> Result<Factorization> {
         if t.order() != self.n {
             return Err(Error::DimensionMismatch {
@@ -403,15 +514,201 @@ impl FactorPlan {
                 found: t.block_size(),
             });
         }
+        match self.precision {
+            Precision::F64 => self.execute_f64(t, pw),
+            Precision::F32 => self.execute_demoted(t, pw),
+            Precision::Mixed => match self.execute_demoted(t, pw) {
+                Ok(f) => Ok(f),
+                Err(_) => {
+                    bs_probe::metrics::incr(bs_probe::metrics::Counter::MixedStallFallbacks);
+                    bs_probe::event!("mixed_factor_fallback", n = self.n, m = self.m);
+                    self.execute_f64(t, pw)
+                }
+            },
+        }
+    }
+
+    /// The reference f64 execution path — shape checks already done.
+    /// Also the target of the mixed-precision stall fallback, which
+    /// must bypass the precision dispatch of [`execute`](Self::execute).
+    pub(crate) fn execute_f64(
+        &self,
+        t: &SymBlockToeplitz,
+        pw: &mut PlanWorkspace,
+    ) -> Result<Factorization> {
         match self.execute_spd(t, pw) {
             Ok(f) => Ok(Factorization::Spd(f)),
-            Err(Error::NotPositiveDefinite { .. }) | Err(Error::SingularMinor { .. }) => {
+            // A singular pivot inside the retiled SPD panel solve is the
+            // m_s > m manifestation of a singular leading minor: the
+            // zero lands on a triangular diagonal instead of a pivot
+            // classification, so it surfaces as a kernel error.
+            Err(Error::NotPositiveDefinite { .. })
+            | Err(Error::SingularMinor { .. })
+            | Err(Error::Matrix(bs_matrix::Error::SingularPivot { .. })) => {
                 bs_probe::event!("plan_fallback_indefinite", n = self.n, m = self.m);
                 let f = factor_indefinite_with(t, &self.indefinite, &mut pw.ws, &mut pw.scratch)?;
                 Ok(Factorization::Indefinite(f))
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Low-precision execution: demote the operator to f32, run the
+    /// same SPD-then-indefinite sequence on the f32 arena, and promote
+    /// the factor to f64 storage. The result is always
+    /// [`Factorization::Indefinite`] (an SPD success promotes with
+    /// `d = +1` and no perturbations) because the solve side feeds it
+    /// to [`crate::solve_refined`], which takes the `Rᵀ D R` form.
+    fn execute_demoted(
+        &self,
+        t: &SymBlockToeplitz,
+        pw: &mut PlanWorkspace,
+    ) -> Result<Factorization> {
+        let _span = bs_probe::span!("factor_f32", n = self.n, m = self.m);
+        // Geometrically decaying generators drop below the f32 normal
+        // range mid-elimination; without flushing, hardware subnormal
+        // assists make the demoted factor *slower* than f64 (measured
+        // ~6x at n = 256). Anything flushed is far below the f32
+        // rounding backward error the refinement loop already absorbs.
+        let _ftz = par::FlushSubnormals::engage();
+        let t32 = t.convert::<f32>();
+        match self.execute_spd32(&t32, pw) {
+            Ok(f) => Ok(Factorization::Indefinite(f)),
+            Err(Error::NotPositiveDefinite { .. })
+            | Err(Error::SingularMinor { .. })
+            | Err(Error::Matrix(bs_matrix::Error::SingularPivot { .. })) => {
+                bs_probe::event!("plan_fallback_indefinite", n = self.n, m = self.m);
+                let f = factor_indefinite_with(
+                    &t32,
+                    &self.indefinite,
+                    &mut pw.ws32,
+                    &mut pw.scratch32,
+                )?;
+                Ok(Factorization::Indefinite(IndefFactor {
+                    r: f.r.convert::<f64>(),
+                    d: f.d,
+                    perturbations: f.perturbations,
+                    exchanges: f.exchanges,
+                    max_reflector_norm: f.max_reflector_norm,
+                    m: f.m,
+                    p: f.p,
+                }))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn execute_spd32(
+        &self,
+        t32: &SymBlockToeplitz<f32>,
+        pw: &mut PlanWorkspace,
+    ) -> Result<IndefFactor> {
+        let t_ref = retiled(t32, self.spd.block_size)?;
+        let mut r = pw.ws32.take_matrix(self.n, self.n);
+        let mut sink = |s: usize, mm: usize, _n: usize, row: bs_matrix::MatRef<'_, f32>| {
+            r.sub_mut(s * mm, s * mm, mm, row.cols()).copy_from(row);
+        };
+        match eliminate_spd(
+            &t_ref,
+            &self.spd,
+            &mut pw.ws32,
+            &mut pw.scratch32,
+            &mut sink,
+        ) {
+            Ok((m, p, _comm_words_per_step)) => {
+                normalize_diagonal(&mut r);
+                let promoted = r.convert::<f64>();
+                pw.ws32.give_matrix(r);
+                crate::contracts::spd_diagonal(&promoted, "FactorPlan::execute_spd32");
+                Ok(IndefFactor {
+                    r: promoted,
+                    d: vec![1; self.n],
+                    perturbations: Vec::new(),
+                    exchanges: 0,
+                    // No perturbation fired, so reflector norms are O(1).
+                    max_reflector_norm: 1.0,
+                    m,
+                    p,
+                })
+            }
+            Err(e) => {
+                pw.ws32.give_matrix(r);
+                Err(e)
+            }
+        }
+    }
+
+    /// Factor a batch of same-shaped systems through one pool dispatch:
+    /// the systems are chunked across the plan's worker threads and
+    /// each chunk reuses a single warm [`PlanWorkspace`], so engine
+    /// scratch warm-up and dispatch latency are amortized across the
+    /// batch instead of paid per system. Results align positionally
+    /// with `systems`, and each factorization is bitwise identical to
+    /// a standalone [`execute`](Self::execute) (workspace reuse never
+    /// changes the arithmetic — pooled buffers are zero-filled on
+    /// checkout). The lowest-indexed failing system aborts the batch
+    /// with its error.
+    pub fn execute_batch(&self, systems: &[SymBlockToeplitz]) -> Result<Vec<Factorization>> {
+        for t in systems {
+            if t.order() != self.n || t.block_size() != self.m {
+                return Err(Error::DimensionMismatch {
+                    context: "batched matrix shape",
+                    expected: self.n,
+                    found: t.order(),
+                });
+            }
+        }
+        let k = systems.len();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let _span = bs_probe::span!("factor_batch", systems = k, n = self.n);
+        let threads = self.spd.exec.threads.clamp(1, k);
+        let chunk = k.div_ceil(threads);
+        let mut out: Vec<Option<Factorization>> = Vec::with_capacity(k);
+        out.resize_with(k, || None);
+        let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+        // One batch job: (first system index, systems, result slots).
+        type BatchJob<'a> = (
+            usize,
+            &'a [SymBlockToeplitz],
+            &'a mut [Option<Factorization>],
+        );
+        let jobs: Vec<BatchJob<'_>> = systems
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+            .map(|(ci, (ts, slots))| (ci * chunk, ts, slots))
+            .collect();
+        par::for_each_policy(&self.spd.exec, jobs, |(i0, ts, slots)| {
+            // One workspace per chunk: the first system warms it, the
+            // rest run allocation-free against the recycled pool.
+            let mut pw = PlanWorkspace::new();
+            for (j, (t, slot)) in ts.iter().zip(slots.iter_mut()).enumerate() {
+                match self.execute(t, &mut pw) {
+                    Ok(f) => *slot = Some(f),
+                    Err(e) => {
+                        let mut g = failed.lock().unwrap_or_else(|p| p.into_inner());
+                        if g.as_ref().is_none_or(|(fi, _)| i0 + j < *fi) {
+                            *g = Some((i0 + j, e));
+                        }
+                        break;
+                    }
+                }
+            }
+        });
+        if let Some((_, e)) = failed.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+        // Every slot is Some here: a None would have recorded an error
+        // above. Flatten without a panic path regardless.
+        let filled: Vec<Factorization> = out.into_iter().flatten().collect();
+        if filled.len() != k {
+            return Err(Error::InvalidOptions(
+                "batched factorization left an unfactored slot".into(),
+            ));
+        }
+        Ok(filled)
     }
 
     fn execute_spd(&self, t: &SymBlockToeplitz, pw: &mut PlanWorkspace) -> Result<SpdFactor> {
@@ -479,6 +776,11 @@ impl FactorPlan {
     /// `true` when the representation was cost-model-chosen.
     pub fn rep_is_auto(&self) -> bool {
         self.rep_auto
+    }
+
+    /// Arithmetic precision the plan factors at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// `true` when the block size was cost-model-chosen.

@@ -13,10 +13,17 @@
 //! support `{j} ∪ {m..2m}` — one pivot entry in the upper half and a
 //! dense lower half (Fig. 1). [`PivotReflector`] stores exactly that and
 //! its `apply_*` kernels skip the structural zeros.
+//!
+//! Both reflector types are generic over the working [`Scalar`]
+//! (`f64` by default): the mixed-precision pipeline builds the same
+//! reflectors at `f32`. Pivot *classification* thresholds
+//! (`zero_tol`, `scale`) stay `f64` — they are tolerances, not working
+//! data — and the reported `hnorm` diagnostics are widened to `f64`.
 
 use bs_matrix::flops;
 use bs_matrix::ldlt::Signature;
 use bs_matrix::view::MatMut;
+use bs_matrix::Scalar;
 
 /// Outcome of attempting to build a reflector from a pivot column.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,26 +42,26 @@ pub enum PivotOutcome {
 ///
 /// Stores `x` and `beta = −2/(xᵀWx)`, so `U_x c = W c + beta · x (xᵀ c)`.
 #[derive(Debug, Clone)]
-pub struct HypReflector {
-    pub x: Vec<f64>,
-    pub beta: f64,
+pub struct HypReflector<T: Scalar = f64> {
+    pub x: Vec<T>,
+    pub beta: T,
     /// `σ`: the pivot entry maps to `−σ`.
-    pub sigma: f64,
+    pub sigma: T,
     /// Pivot index `j`.
     pub pivot: usize,
 }
 
-impl HypReflector {
+impl<T: Scalar> HypReflector<T> {
     /// Build the reflector mapping `u → −σ e_j` under signature `w`.
     /// Requires `sign(uᵀWu) = w_j`; callers decide how to handle the
     /// other outcomes (exchange / perturbation / failure).
-    pub fn compute(u: &[f64], w: &Signature, pivot: usize) -> (Option<HypReflector>, f64) {
+    pub fn compute(u: &[T], w: &Signature, pivot: usize) -> (Option<HypReflector<T>>, T) {
         let n = u.len();
         assert_eq!(w.len(), n);
         assert!(pivot < n);
         let h = bs_matrix::blas1::wdot(u, &w.0, u);
-        let wj = w.sign(pivot) as f64;
-        if h * wj <= 0.0 {
+        let wj = T::from_f64(w.sign(pivot) as f64);
+        if h * wj <= T::ZERO {
             return (None, h);
         }
         let sigma = sign_or_one(u[pivot]) * (h * wj).sqrt() * wj.signum();
@@ -64,15 +71,16 @@ impl HypReflector {
         x[pivot] += sigma;
         // xᵀWx = 2(uᵀWu + σ u_j) — the closed form from §3; computing it
         // directly is cheaper and avoids cancellation.
-        let xtwx = 2.0 * (h + sigma * u[pivot]);
+        let two = T::from_f64(2.0);
+        let xtwx = two * (h + sigma * u[pivot]);
         flops::add(6);
-        if xtwx == 0.0 {
+        if xtwx == T::ZERO {
             return (None, h);
         }
         (
             Some(HypReflector {
                 x,
-                beta: -2.0 / xtwx,
+                beta: (-two) / xtwx,
                 sigma,
                 pivot,
             }),
@@ -81,14 +89,14 @@ impl HypReflector {
     }
 
     /// Apply to a dense column: `c ← W c + beta x (xᵀ c)`.
-    pub fn apply_col(&self, w: &Signature, c: &mut [f64]) {
+    pub fn apply_col(&self, w: &Signature, c: &mut [T]) {
         let s = bs_matrix::blas1::dot(&self.x, c);
         w.apply(c);
         bs_matrix::blas1::axpy(self.beta * s, &self.x, c);
     }
 
     /// Apply to every column of a matrix view.
-    pub fn apply(&self, w: &Signature, mut g: MatMut<'_>) {
+    pub fn apply(&self, w: &Signature, mut g: MatMut<'_, T>) {
         assert_eq!(g.rows(), self.x.len());
         for j in 0..g.cols() {
             self.apply_col(w, g.col_mut(j));
@@ -96,10 +104,14 @@ impl HypReflector {
     }
 
     /// Dense `2m × 2m` matrix `U_x` (test / diagnostic use).
-    pub fn to_dense(&self, w: &Signature) -> bs_matrix::Matrix {
+    pub fn to_dense(&self, w: &Signature) -> bs_matrix::Matrix<T> {
         let n = self.x.len();
         bs_matrix::Matrix::from_fn(n, n, |i, j| {
-            let wij = if i == j { w.sign(i) as f64 } else { 0.0 };
+            let wij = if i == j {
+                T::from_f64(w.sign(i) as f64)
+            } else {
+                T::ZERO
+            };
             wij + self.beta * self.x[i] * self.x[j]
         })
     }
@@ -107,16 +119,16 @@ impl HypReflector {
     /// 2-norm of `U_x` (power iteration). The perturbation analysis of
     /// §8.2 tracks `‖U‖ ≈ 1/δ` as the instability growth factor.
     pub fn norm2(&self, w: &Signature) -> f64 {
-        bs_matrix::norms::mat_two_estimate(&self.to_dense(w), 50)
+        bs_matrix::norms::mat_two_estimate(&self.to_dense(w).convert::<f64>(), 50)
     }
 }
 
 #[inline]
-fn sign_or_one(v: f64) -> f64 {
-    if v < 0.0 {
-        -1.0
+fn sign_or_one<T: Scalar>(v: T) -> T {
+    if v < T::ZERO {
+        -T::ONE
     } else {
-        1.0
+        T::ONE
     }
 }
 
@@ -125,18 +137,18 @@ fn sign_or_one(v: f64) -> f64 {
 /// half. Storing only the support makes both construction and
 /// application `O(m)` per column instead of `O(2m)`.
 #[derive(Debug, Clone)]
-pub struct PivotReflector {
+pub struct PivotReflector<T: Scalar = f64> {
     /// Upper-half entry `x_j` at row `pivot`.
-    pub x_top: f64,
+    pub x_top: T,
     /// Lower-half entries `x_{m..2m}`.
-    pub x_low: Vec<f64>,
-    pub beta: f64,
-    pub sigma: f64,
+    pub x_low: Vec<T>,
+    pub beta: T,
+    pub sigma: T,
     /// Pivot row index within the upper half (`0 ≤ pivot < m`).
     pub pivot: usize,
 }
 
-impl PivotReflector {
+impl<T: Scalar> PivotReflector<T> {
     /// Classify and (when possible) build the reflector for the pivot
     /// column `(u_top at row `pivot`; u_low)` under working signature
     /// `w` (length `m + u_low.len()`; the lower half starts at `m`).
@@ -151,14 +163,14 @@ impl PivotReflector {
     /// healthy pivots as singular.
     #[allow(clippy::too_many_arguments)]
     pub fn compute(
-        u_top: f64,
-        u_low: &[f64],
+        u_top: T,
+        u_low: &[T],
         w: &Signature,
         m: usize,
         pivot: usize,
         zero_tol: f64,
         scale: f64,
-    ) -> (PivotOutcome, Option<PivotReflector>) {
+    ) -> (PivotOutcome, Option<PivotReflector<T>>) {
         let mut out = PivotReflector::empty();
         let outcome =
             PivotReflector::compute_into(u_top, u_low, w, m, pivot, zero_tol, scale, &mut out);
@@ -168,12 +180,12 @@ impl PivotReflector {
 
     /// A placeholder reflector ready for [`compute_into`](Self::compute_into)
     /// to overwrite; its `x_low` buffer is reused across Schur steps.
-    pub fn empty() -> PivotReflector {
+    pub fn empty() -> PivotReflector<T> {
         PivotReflector {
-            x_top: 0.0,
+            x_top: T::ZERO,
             x_low: Vec::new(),
-            beta: 0.0,
-            sigma: 0.0,
+            beta: T::ZERO,
+            sigma: T::ZERO,
             pivot: 0,
         }
     }
@@ -183,29 +195,29 @@ impl PivotReflector {
     /// on non-`Ok` outcomes `out` holds unspecified (stale) data.
     #[allow(clippy::too_many_arguments)]
     pub fn compute_into(
-        u_top: f64,
-        u_low: &[f64],
+        u_top: T,
+        u_low: &[T],
         w: &Signature,
         m: usize,
         pivot: usize,
         zero_tol: f64,
         scale: f64,
-        out: &mut PivotReflector,
+        out: &mut PivotReflector<T>,
     ) -> PivotOutcome {
         assert!(pivot < m);
         assert_eq!(w.len(), m + u_low.len());
-        let wj = w.sign(pivot) as f64;
+        let wj = T::from_f64(w.sign(pivot) as f64);
         let mut h = wj * u_top * u_top;
         for (i, &v) in u_low.iter().enumerate() {
-            let s = w.sign(m + i) as f64;
+            let s = T::from_f64(w.sign(m + i) as f64);
             h += s * v * v;
         }
         flops::add(3 * u_low.len() as u64 + 3);
-        if h.abs() <= zero_tol * scale.max(f64::MIN_POSITIVE) {
-            return PivotOutcome::ZeroNorm { hnorm: h };
+        if h.abs().to_f64() <= zero_tol * scale.max(f64::MIN_POSITIVE) {
+            return PivotOutcome::ZeroNorm { hnorm: h.to_f64() };
         }
-        if h * wj < 0.0 {
-            return PivotOutcome::WrongSign { hnorm: h };
+        if h * wj < T::ZERO {
+            return PivotOutcome::WrongSign { hnorm: h.to_f64() };
         }
         let sigma = sign_or_one(u_top) * (h * wj).sqrt() * wj.signum();
         // x = W u + σ e_j on the support.
@@ -217,13 +229,14 @@ impl PivotReflector {
                 *v = -*v;
             }
         }
-        let xtwx = 2.0 * (h + sigma * u_top);
+        let two = T::from_f64(2.0);
+        let xtwx = two * (h + sigma * u_top);
         flops::add(6);
-        if xtwx == 0.0 {
-            return PivotOutcome::ZeroNorm { hnorm: h };
+        if xtwx == T::ZERO {
+            return PivotOutcome::ZeroNorm { hnorm: h.to_f64() };
         }
         out.x_top = x_top;
-        out.beta = -2.0 / xtwx;
+        out.beta = (-two) / xtwx;
         out.sigma = sigma;
         out.pivot = pivot;
         PivotOutcome::Ok
@@ -231,7 +244,7 @@ impl PivotReflector {
 
     /// Inner product of the support with a split column.
     #[inline]
-    pub fn dot(&self, c_top: f64, c_low: &[f64]) -> f64 {
+    pub fn dot(&self, c_top: T, c_low: &[T]) -> T {
         flops::add(2 * self.x_low.len() as u64 + 2);
         self.x_top * c_top + bs_matrix::blas1::dot(&self.x_low, c_low)
     }
@@ -243,10 +256,10 @@ impl PivotReflector {
     /// the SPD signature the upper half of `W` is `+I` so nothing is
     /// needed.
     #[inline]
-    pub fn apply_split(&self, w: &Signature, m: usize, c_top: &mut f64, c_low: &mut [f64]) {
+    pub fn apply_split(&self, w: &Signature, m: usize, c_top: &mut T, c_low: &mut [T]) {
         let s = self.dot(*c_top, c_low);
         // W action on the support rows.
-        let wj = w.sign(self.pivot) as f64;
+        let wj = T::from_f64(w.sign(self.pivot) as f64);
         *c_top *= wj;
         for (i, v) in c_low.iter_mut().enumerate() {
             if w.sign(m + i) < 0 {
@@ -261,16 +274,16 @@ impl PivotReflector {
 
     /// Cheap upper estimate of `‖U_x‖₂ ≤ 1 + |β|·‖x‖₂²` — the growth
     /// factor the §8.2 perturbation analysis tracks (`‖U‖ ≈ 1/δ` after
-    /// a perturbed pivot).
+    /// a perturbed pivot). Reported in f64 whatever the working scalar.
     pub fn norm_est(&self) -> f64 {
-        let x2 = self.x_top * self.x_top + self.x_low.iter().map(|v| v * v).sum::<f64>();
-        1.0 + self.beta.abs() * x2
+        let x2 = self.x_top * self.x_top + self.x_low.iter().fold(T::ZERO, |acc, &v| acc + v * v);
+        1.0 + self.beta.abs().to_f64() * x2.to_f64()
     }
 
     /// Densify to a full-length [`HypReflector`] over `m + x_low.len()`
     /// rows (used by the block-representation builders).
-    pub fn to_full(&self, m: usize) -> HypReflector {
-        let mut x = vec![0.0; m + self.x_low.len()];
+    pub fn to_full(&self, m: usize) -> HypReflector<T> {
+        let mut x = vec![T::ZERO; m + self.x_low.len()];
         x[self.pivot] = self.x_top;
         x[m..].copy_from_slice(&self.x_low);
         HypReflector {

@@ -24,7 +24,7 @@ use bs_matrix::blas3::{gemm, gemm_ws, Trans};
 use bs_matrix::ldlt::Signature;
 use bs_matrix::par::{self, ExecPolicy};
 use bs_matrix::view::MatMut;
-use bs_matrix::{flops, Matrix, Workspace};
+use bs_matrix::{flops, Matrix, Scalar, Workspace};
 
 /// Which representation of the block hyperbolic Householder product to
 /// build and apply.
@@ -73,35 +73,35 @@ impl std::fmt::Display for RepKind {
 /// accumulator, the densified pivot vector) into buffer reuses instead
 /// of heap allocations.
 #[derive(Debug, Default, Clone)]
-pub struct RepScratch {
+pub struct RepScratch<T: Scalar = f64> {
     /// Length-`n` buffer (`z` / `xᵀU` intermediates).
-    nbuf: Vec<f64>,
+    nbuf: Vec<T>,
     /// Length-`k` buffer (`xᵀV` / `xᵀY`).
-    kbuf1: Vec<f64>,
+    kbuf1: Vec<T>,
     /// Second length-`k` buffer (the YTYᵀ `T`-row accumulator).
-    kbuf2: Vec<f64>,
+    kbuf2: Vec<T>,
     /// Full-length expansion of a sparse pivot reflector.
-    xfull: Vec<f64>,
+    xfull: Vec<T>,
 }
 
 /// A product of `k` elementary hyperbolic reflectors over `n = 2m` rows
 /// in one of the representations of [`RepKind`].
 #[derive(Debug, Clone)]
-pub struct BlockReflector {
+pub struct BlockReflector<T: Scalar = f64> {
     kind: RepKind,
     n: usize,
     k: usize,
     k_max: usize,
     w: Signature,
     /// Accumulated: the dense U. VY1/VY2: V. YTY: Y.
-    left: Matrix,
+    left: Matrix<T>,
     /// VY1/VY2: Y. YTY: T (k × k lower triangular). Unused otherwise.
-    right: Matrix,
+    right: Matrix<T>,
     /// Sequential: the raw reflectors.
-    elems: Vec<HypReflector>,
+    elems: Vec<HypReflector<T>>,
 }
 
-impl BlockReflector {
+impl<T: Scalar> BlockReflector<T> {
     /// Empty product (identity transformation in the `Wᵏ`-relative
     /// sense) over `n` rows under signature `w`. `k_max` bounds how many
     /// reflectors will be pushed (pre-allocates the factored panels).
@@ -180,7 +180,7 @@ impl BlockReflector {
 
     /// Absorb the next elementary reflector `U_{k+1}` (given by its
     /// full-length vector form) on the *left* of the product.
-    pub fn push(&mut self, r: &HypReflector) {
+    pub fn push(&mut self, r: &HypReflector<T>) {
         let mut scratch = RepScratch::default();
         self.push_parts(&r.x, r.beta, r.sigma, r.pivot, &mut scratch);
     }
@@ -190,10 +190,10 @@ impl BlockReflector {
     /// vector is expanded into `scratch` instead of a fresh allocation,
     /// and all update temporaries reuse `scratch` buffers. This is the
     /// allocation-free path the warm plan/execute engine runs.
-    pub fn push_pivot(&mut self, r: &PivotReflector, m: usize, scratch: &mut RepScratch) {
+    pub fn push_pivot(&mut self, r: &PivotReflector<T>, m: usize, scratch: &mut RepScratch<T>) {
         let mut xfull = std::mem::take(&mut scratch.xfull);
         xfull.clear();
-        xfull.resize(m + r.x_low.len(), 0.0);
+        xfull.resize(m + r.x_low.len(), T::ZERO);
         xfull[r.pivot] = r.x_top;
         xfull[m..].copy_from_slice(&r.x_low);
         self.push_parts(&xfull, r.beta, r.sigma, r.pivot, scratch);
@@ -204,7 +204,7 @@ impl BlockReflector {
     /// [`push_pivot`](Self::push_pivot). The arithmetic is byte-for-byte
     /// the same whichever entry point is used: every scratch buffer is
     /// fully overwritten before it is read.
-    fn push_parts(&mut self, x: &[f64], beta: f64, sigma: f64, pivot: usize, s: &mut RepScratch) {
+    fn push_parts(&mut self, x: &[T], beta: T, sigma: T, pivot: usize, s: &mut RepScratch<T>) {
         assert_eq!(x.len(), self.n);
         let k = self.k;
         let n = self.n;
@@ -220,7 +220,11 @@ impl BlockReflector {
                     // U = W + beta x xᵀ.
                     for j in 0..n {
                         for i in 0..n {
-                            let wij = if i == j { self.w.sign(i) as f64 } else { 0.0 };
+                            let wij = if i == j {
+                                T::from_f64(self.w.sign(i) as f64)
+                            } else {
+                                T::ZERO
+                            };
                             self.left[(i, j)] = wij + beta * x[i] * x[j];
                         }
                     }
@@ -228,7 +232,7 @@ impl BlockReflector {
                 } else {
                     // U ← U_{k+1} U = W U + beta x (xᵀ U).
                     let xtu = resized(&mut s.nbuf, n);
-                    bs_matrix::blas2::gemv_t(1.0, self.left.rf(), x, 0.0, xtu);
+                    bs_matrix::blas2::gemv_t(T::ONE, self.left.rf(), x, T::ZERO, xtu);
                     for j in 0..n {
                         let col = self.left.col_mut(j);
                         for (i, c) in col.iter_mut().enumerate() {
@@ -250,8 +254,8 @@ impl BlockReflector {
                     let v = self.left.sub(0, 0, n, k);
                     let y = self.right.sub(0, 0, n, k);
                     let xv = resized(&mut s.kbuf1, k);
-                    bs_matrix::blas2::gemv_t(beta, v, x, 0.0, xv);
-                    bs_matrix::blas2::gemv(1.0, y, xv, 1.0, z);
+                    bs_matrix::blas2::gemv_t(beta, v, x, T::ZERO, xv);
+                    bs_matrix::blas2::gemv(T::ONE, y, xv, T::ONE, z);
                     // V ← W V.
                     for j in 0..k {
                         let col = self.left.col_mut(j);
@@ -275,7 +279,7 @@ impl BlockReflector {
                     let xv = resized(&mut s.kbuf1, k);
                     {
                         let v = self.left.sub(0, 0, n, k);
-                        bs_matrix::blas2::gemv_t(1.0, v, x, 0.0, xv);
+                        bs_matrix::blas2::gemv_t(T::ONE, v, x, T::ZERO, xv);
                     }
                     // V ← W V + (β x) (xᵀV).
                     for j in 0..k {
@@ -298,12 +302,12 @@ impl BlockReflector {
                     let xy = resized(&mut s.kbuf1, k);
                     {
                         let y = self.left.sub(0, 0, n, k);
-                        bs_matrix::blas2::gemv_t(1.0, y, x, 0.0, xy);
+                        bs_matrix::blas2::gemv_t(T::ONE, y, x, T::ZERO, xy);
                     }
                     // a = β (xᵀY) T with T lower triangular k×k.
                     let a = resized(&mut s.kbuf2, k);
                     for j in 0..k {
-                        let mut acc = 0.0;
+                        let mut acc = T::ZERO;
                         for i in j..k {
                             acc += s.kbuf1[i] * self.right[(i, j)];
                         }
@@ -353,7 +357,7 @@ impl BlockReflector {
     /// deterministic strips executed on the worker pool — the
     /// shared-memory analogue of the paper's scheme-1 column
     /// distribution (§6–7), bitwise identical to sequential execution.
-    pub fn apply(&self, g: MatMut<'_>, exec: &ExecPolicy) {
+    pub fn apply(&self, g: MatMut<'_, T>, exec: &ExecPolicy) {
         self.apply_impl(g, exec, None);
     }
 
@@ -362,11 +366,11 @@ impl BlockReflector {
     /// allocated. Identical arithmetic: pooled buffers are zero-filled
     /// on checkout, exactly like the fresh allocations they replace.
     /// Parallel strips draw from per-worker workspaces instead of `ws`.
-    pub fn apply_ws(&self, g: MatMut<'_>, exec: &ExecPolicy, ws: &mut Workspace) {
+    pub fn apply_ws(&self, g: MatMut<'_, T>, exec: &ExecPolicy, ws: &mut Workspace<T>) {
         self.apply_impl(g, exec, Some(ws));
     }
 
-    fn apply_impl(&self, g: MatMut<'_>, exec: &ExecPolicy, mut ws: Option<&mut Workspace>) {
+    fn apply_impl(&self, g: MatMut<'_, T>, exec: &ExecPolicy, mut ws: Option<&mut Workspace<T>>) {
         assert_eq!(g.rows(), self.n);
         if self.k == 0 || g.cols() == 0 {
             return;
@@ -382,7 +386,7 @@ impl BlockReflector {
             return;
         }
         // bs-lint: allow(no-alloc-hot) -- O(strips) descriptors at dispatch; they borrow G and cannot live in a pool
-        let mut strips: Vec<MatMut<'_>> = Vec::with_capacity(q.div_ceil(width));
+        let mut strips: Vec<MatMut<'_, T>> = Vec::with_capacity(q.div_ceil(width));
         let mut rest = g;
         let mut start = 0;
         while start < q {
@@ -406,7 +410,7 @@ impl BlockReflector {
 
     /// Monolithic application to one group of columns — the unit the
     /// strip dispatcher distributes. Always sequential inside.
-    fn apply_cols(&self, mut g: MatMut<'_>, mut ws: Option<&mut Workspace>) {
+    fn apply_cols(&self, mut g: MatMut<'_, T>, mut ws: Option<&mut Workspace<T>>) {
         assert_eq!(g.rows(), self.n);
         if self.k == 0 || g.cols() == 0 {
             return;
@@ -430,12 +434,12 @@ impl BlockReflector {
                     gc.col_mut(j).copy_from_slice(g.col(j));
                 }
                 mm(
-                    1.0,
+                    T::ONE,
                     self.left.rf(),
                     Trans::No,
                     gc.rf(),
                     Trans::No,
-                    0.0,
+                    T::ZERO,
                     g.rb_mut(),
                     ws.as_deref_mut(),
                 );
@@ -447,23 +451,23 @@ impl BlockReflector {
                 let y = self.right.sub(0, 0, n, k);
                 let mut z = take_mat(&mut ws, k, q);
                 mm(
-                    1.0,
+                    T::ONE,
                     y,
                     Trans::Yes,
                     g.rb(),
                     Trans::No,
-                    0.0,
+                    T::ZERO,
                     z.mt(),
                     ws.as_deref_mut(),
                 );
                 apply_wk(&self.w, k, g.rb_mut());
                 mm(
-                    1.0,
+                    T::ONE,
                     v,
                     Trans::No,
                     z.rf(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     g.rb_mut(),
                     ws.as_deref_mut(),
                 );
@@ -489,24 +493,24 @@ impl BlockReflector {
                     }
                     flops::add((n * k) as u64);
                     mm(
-                        1.0,
+                        T::ONE,
                         yw.rf(),
                         Trans::Yes,
                         g.rb(),
                         Trans::No,
-                        0.0,
+                        T::ZERO,
                         z.mt(),
                         ws.as_deref_mut(),
                     );
                     give_mat(&mut ws, yw);
                 } else {
                     mm(
-                        1.0,
+                        T::ONE,
                         y,
                         Trans::Yes,
                         g.rb(),
                         Trans::No,
-                        0.0,
+                        T::ZERO,
                         z.mt(),
                         ws.as_deref_mut(),
                     );
@@ -515,7 +519,7 @@ impl BlockReflector {
                 let mut tz = take_mat(&mut ws, k, q);
                 for jj in 0..q {
                     for i in 0..k {
-                        let mut s = 0.0;
+                        let mut s = T::ZERO;
                         for l in 0..=i {
                             s += self.right[(i, l)] * z[(l, jj)];
                         }
@@ -525,12 +529,12 @@ impl BlockReflector {
                 flops::add((k * k * q) as u64);
                 apply_wk(&self.w, k, g.rb_mut());
                 mm(
-                    1.0,
+                    T::ONE,
                     y,
                     Trans::No,
                     tz.rf(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     g.rb_mut(),
                     ws.as_deref_mut(),
                 );
@@ -547,7 +551,7 @@ impl BlockReflector {
     /// `j − s` with lower block column `j`). Requires the SPD working
     /// signature `W = diag(I_m, −I_m)` — the quadrant split exploits
     /// `Wᵏ = diag(I, (−1)ᵏ I)`.
-    pub fn apply_split(&self, gu: MatMut<'_>, gl: MatMut<'_>, exec: &ExecPolicy) {
+    pub fn apply_split(&self, gu: MatMut<'_, T>, gl: MatMut<'_, T>, exec: &ExecPolicy) {
         self.apply_split_impl(gu, gl, exec, None);
     }
 
@@ -555,10 +559,10 @@ impl BlockReflector {
     /// out of `ws` — the warm plan/execute trailing-update path.
     pub fn apply_split_ws(
         &self,
-        gu: MatMut<'_>,
-        gl: MatMut<'_>,
+        gu: MatMut<'_, T>,
+        gl: MatMut<'_, T>,
         exec: &ExecPolicy,
-        ws: &mut Workspace,
+        ws: &mut Workspace<T>,
     ) {
         self.apply_split_impl(gu, gl, exec, Some(ws));
     }
@@ -569,10 +573,10 @@ impl BlockReflector {
     /// identical to the sequential one at every thread count.
     fn apply_split_impl(
         &self,
-        gu: MatMut<'_>,
-        gl: MatMut<'_>,
+        gu: MatMut<'_, T>,
+        gl: MatMut<'_, T>,
         exec: &ExecPolicy,
-        mut ws: Option<&mut Workspace>,
+        mut ws: Option<&mut Workspace<T>>,
     ) {
         assert_eq!(gu.cols(), gl.cols());
         let q = gu.cols();
@@ -586,7 +590,7 @@ impl BlockReflector {
             return;
         }
         // bs-lint: allow(no-alloc-hot) -- O(strips) descriptors at dispatch; they borrow Gu/Gl and cannot live in a pool
-        let mut strips: Vec<(MatMut<'_>, MatMut<'_>)> = Vec::with_capacity(q.div_ceil(width));
+        let mut strips: Vec<(MatMut<'_, T>, MatMut<'_, T>)> = Vec::with_capacity(q.div_ceil(width));
         let (mut rest_u, mut rest_l) = (gu, gl);
         let mut start = 0;
         while start < q {
@@ -614,9 +618,9 @@ impl BlockReflector {
     /// unit the strip dispatcher distributes. Always sequential inside.
     fn apply_split_cols(
         &self,
-        mut gu: MatMut<'_>,
-        mut gl: MatMut<'_>,
-        mut ws: Option<&mut Workspace>,
+        mut gu: MatMut<'_, T>,
+        mut gl: MatMut<'_, T>,
+        mut ws: Option<&mut Workspace<T>>,
     ) {
         let m = self.n / 2;
         assert_eq!(gu.rows(), m);
@@ -631,7 +635,7 @@ impl BlockReflector {
         }
         let k = self.k;
         let q = gu.cols();
-        let low_sign = if k % 2 == 1 { -1.0 } else { 1.0 };
+        let low_sign = if k % 2 == 1 { -T::ONE } else { T::ONE };
         match self.kind {
             RepKind::Sequential => {
                 for j in 0..q {
@@ -666,42 +670,42 @@ impl BlockReflector {
                     gl0.col_mut(j).copy_from_slice(gl.col(j));
                 }
                 mm(
-                    1.0,
+                    T::ONE,
                     u11,
                     Trans::No,
                     gu0.rf(),
                     Trans::No,
-                    0.0,
+                    T::ZERO,
                     gu.rb_mut(),
                     ws.as_deref_mut(),
                 );
                 mm(
-                    1.0,
+                    T::ONE,
                     u12,
                     Trans::No,
                     gl0.rf(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     gu.rb_mut(),
                     ws.as_deref_mut(),
                 );
                 mm(
-                    1.0,
+                    T::ONE,
                     u21,
                     Trans::No,
                     gu0.rf(),
                     Trans::No,
-                    0.0,
+                    T::ZERO,
                     gl.rb_mut(),
                     ws.as_deref_mut(),
                 );
                 mm(
-                    1.0,
+                    T::ONE,
                     u22,
                     Trans::No,
                     gl0.rf(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     gl.rb_mut(),
                     ws.as_deref_mut(),
                 );
@@ -717,37 +721,37 @@ impl BlockReflector {
                 let yl = self.right.sub(m, 0, m, k);
                 let mut z = take_mat(&mut ws, k, q);
                 mm(
-                    1.0,
+                    T::ONE,
                     yu,
                     Trans::Yes,
                     gu.rb(),
                     Trans::No,
-                    0.0,
+                    T::ZERO,
                     z.mt(),
                     ws.as_deref_mut(),
                 );
                 mm(
-                    1.0,
+                    T::ONE,
                     yl,
                     Trans::Yes,
                     gl.rb(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     z.mt(),
                     ws.as_deref_mut(),
                 );
                 mm(
-                    1.0,
+                    T::ONE,
                     vu,
                     Trans::No,
                     z.rf(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     gu.rb_mut(),
                     ws.as_deref_mut(),
                 );
                 mm(
-                    1.0,
+                    T::ONE,
                     vl,
                     Trans::No,
                     z.rf(),
@@ -763,15 +767,15 @@ impl BlockReflector {
                 // s' = (−1)^{k−1}.
                 let yu = self.left.sub(0, 0, m, k);
                 let yl = self.left.sub(m, 0, m, k);
-                let sp = if (k - 1) % 2 == 1 { -1.0 } else { 1.0 };
+                let sp = if (k - 1) % 2 == 1 { -T::ONE } else { T::ONE };
                 let mut z = take_mat(&mut ws, k, q);
                 mm(
-                    1.0,
+                    T::ONE,
                     yu,
                     Trans::Yes,
                     gu.rb(),
                     Trans::No,
-                    0.0,
+                    T::ZERO,
                     z.mt(),
                     ws.as_deref_mut(),
                 );
@@ -781,7 +785,7 @@ impl BlockReflector {
                     Trans::Yes,
                     gl.rb(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     z.mt(),
                     ws.as_deref_mut(),
                 );
@@ -789,7 +793,7 @@ impl BlockReflector {
                 let mut tz = take_mat(&mut ws, k, q);
                 for jj in 0..q {
                     for i in 0..k {
-                        let mut s = 0.0;
+                        let mut s = T::ZERO;
                         for l in 0..=i {
                             s += self.right[(i, l)] * z[(l, jj)];
                         }
@@ -798,17 +802,17 @@ impl BlockReflector {
                 }
                 flops::add((k * k * q) as u64);
                 mm(
-                    1.0,
+                    T::ONE,
                     yu,
                     Trans::No,
                     tz.rf(),
                     Trans::No,
-                    1.0,
+                    T::ONE,
                     gu.rb_mut(),
                     ws.as_deref_mut(),
                 );
                 mm(
-                    1.0,
+                    T::ONE,
                     yl,
                     Trans::No,
                     tz.rf(),
@@ -824,7 +828,7 @@ impl BlockReflector {
     }
 
     /// Densify to the full `n × n` transformation (test / diagnostic).
-    pub fn to_dense(&self) -> Matrix {
+    pub fn to_dense(&self) -> Matrix<T> {
         let n = self.n;
         let mut u = Matrix::identity(n);
         self.apply(u.mt(), &ExecPolicy::sequential());
@@ -837,15 +841,15 @@ impl BlockReflector {
 /// so the inner product kernel never fans out again: with a workspace it
 /// packs into pooled buffers, without one it allocates privately.
 #[allow(clippy::too_many_arguments)]
-fn mm(
-    alpha: f64,
-    a: bs_matrix::MatRef<'_>,
+fn mm<T: Scalar>(
+    alpha: T,
+    a: bs_matrix::MatRef<'_, T>,
     ta: Trans,
-    b: bs_matrix::MatRef<'_>,
+    b: bs_matrix::MatRef<'_, T>,
     tb: Trans,
-    beta: f64,
-    c: MatMut<'_>,
-    ws: Option<&mut Workspace>,
+    beta: T,
+    c: MatMut<'_, T>,
+    ws: Option<&mut Workspace<T>>,
 ) {
     if let Some(w) = ws {
         gemm_ws(alpha, a, ta, b, tb, beta, c, w)
@@ -856,14 +860,14 @@ fn mm(
 
 /// Resize `buf` to exactly `len` zeros and return it as a slice — the
 /// reusable-buffer equivalent of `vec![0.0; len]`.
-fn resized(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+fn resized<T: Scalar>(buf: &mut Vec<T>, len: usize) -> &mut [T] {
     buf.clear();
-    buf.resize(len, 0.0);
+    buf.resize(len, T::ZERO);
     buf
 }
 
 /// `Wᵏ x` into a reusable buffer.
-fn wk_into(w: &Signature, k: usize, x: &[f64], buf: &mut Vec<f64>) {
+fn wk_into<T: Scalar>(w: &Signature, k: usize, x: &[T], buf: &mut Vec<T>) {
     buf.clear();
     buf.extend_from_slice(x);
     if k % 2 == 1 {
@@ -873,7 +877,7 @@ fn wk_into(w: &Signature, k: usize, x: &[f64], buf: &mut Vec<f64>) {
 
 /// Zeroed `rows × cols` scratch matrix: pooled when a workspace is
 /// present, fresh otherwise. Either way the caller sees all zeros.
-fn take_mat(ws: &mut Option<&mut Workspace>, rows: usize, cols: usize) -> Matrix {
+fn take_mat<T: Scalar>(ws: &mut Option<&mut Workspace<T>>, rows: usize, cols: usize) -> Matrix<T> {
     match ws {
         Some(w) => w.take_matrix(rows, cols),
         None => Matrix::zeros(rows, cols),
@@ -881,14 +885,14 @@ fn take_mat(ws: &mut Option<&mut Workspace>, rows: usize, cols: usize) -> Matrix
 }
 
 /// Return a scratch matrix to the pool (drop it when workspace-less).
-fn give_mat(ws: &mut Option<&mut Workspace>, m: Matrix) {
+fn give_mat<T: Scalar>(ws: &mut Option<&mut Workspace<T>>, m: Matrix<T>) {
     if let Some(w) = ws {
         w.give_matrix(m);
     }
 }
 
 /// `G ← Wᵏ G` in place.
-fn apply_wk(w: &Signature, k: usize, mut g: MatMut<'_>) {
+fn apply_wk<T: Scalar>(w: &Signature, k: usize, mut g: MatMut<'_, T>) {
     if k.is_multiple_of(2) {
         return;
     }
@@ -1079,7 +1083,7 @@ mod tests {
     #[test]
     fn empty_product_is_identity() {
         let w = Signature::hyperbolic(2);
-        let b = BlockReflector::new(RepKind::VY1, w, 2);
+        let b: BlockReflector = BlockReflector::new(RepKind::VY1, w, 2);
         assert!(b.is_empty());
         assert!(b.to_dense().max_abs_diff(&Matrix::identity(4)) < 1e-15);
     }

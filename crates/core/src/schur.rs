@@ -21,7 +21,7 @@ use crate::eliminate::{eliminate_spd, normalize_diagonal, retiled, EngineScratch
 use crate::rep::RepKind;
 use crate::solve;
 use crate::Result;
-use bs_matrix::{ExecPolicy, Matrix, Workspace};
+use bs_matrix::{ExecPolicy, Matrix, Scalar, Workspace};
 use bs_toeplitz::SymBlockToeplitz;
 
 /// Options for [`factor_spd`].
@@ -70,9 +70,9 @@ impl Default for SchurOptions {
 /// The factorization `T = RᵀR` produced by [`factor_spd`].
 #[derive(Clone, Debug)]
 #[must_use]
-pub struct SpdFactor {
+pub struct SpdFactor<T: Scalar = f64> {
     /// Upper triangular `n × n` factor with positive diagonal.
-    pub r: Matrix,
+    pub r: Matrix<T>,
     /// Algorithmic block size the factorization ran with.
     pub m: usize,
     /// Number of blocks at that block size.
@@ -82,28 +82,28 @@ pub struct SpdFactor {
     pub comm_words_per_step: usize,
 }
 
-impl SpdFactor {
+impl<T: Scalar> SpdFactor<T> {
     /// Matrix order.
     pub fn order(&self) -> usize {
         self.r.rows()
     }
 
     /// Solve `T x = b` via `Rᵀ(Rx) = b`.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
         solve::solve_rtdr(&self.r, None, b)
     }
 
     /// Reconstruct `RᵀR` densely (test / verification, O(n³)).
-    pub fn reconstruct(&self) -> Matrix {
+    pub fn reconstruct(&self) -> Matrix<T> {
         let n = self.r.rows();
         let mut out = Matrix::zeros(n, n);
         bs_matrix::blas3::gemm(
-            1.0,
+            T::ONE,
             self.r.rf(),
             bs_matrix::Trans::Yes,
             self.r.rf(),
             bs_matrix::Trans::No,
-            0.0,
+            T::ZERO,
             out.mt(),
         );
         out
@@ -123,7 +123,7 @@ impl SpdFactor {
 /// let x = f.solve(&b).unwrap();
 /// assert!((x[0] - x_true[0]).abs() < 1e-9);
 /// ```
-pub fn factor_spd(t: &SymBlockToeplitz, opts: &SchurOptions) -> Result<SpdFactor> {
+pub fn factor_spd<T: Scalar>(t: &SymBlockToeplitz<T>, opts: &SchurOptions) -> Result<SpdFactor<T>> {
     let n = t.block_size() * t.num_blocks();
     let mut r = Matrix::zeros(n, n);
     let (m, p, comm_words_per_step) = factor_spd_streaming(t, opts, |s, mm, _n, row| {
@@ -147,10 +147,10 @@ pub fn factor_spd(t: &SymBlockToeplitz, opts: &SchurOptions) -> Result<SpdFactor
 /// unaffected: row signs cancel).
 ///
 /// Returns `(m_s, p, comm_words_per_step)`.
-pub fn factor_spd_streaming(
-    t: &SymBlockToeplitz,
+pub fn factor_spd_streaming<T: Scalar>(
+    t: &SymBlockToeplitz<T>,
     opts: &SchurOptions,
-    mut sink: impl FnMut(usize, usize, usize, bs_matrix::MatRef<'_>),
+    mut sink: impl FnMut(usize, usize, usize, bs_matrix::MatRef<'_, T>),
 ) -> Result<(usize, usize, usize)> {
     let t_ref = retiled(t, opts.block_size)?;
     // Fresh engine state: this compatibility entry point reproduces the

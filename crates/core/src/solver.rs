@@ -17,16 +17,17 @@
 //! [`refactor`]: ToeplitzSolver::refactor
 
 use crate::indefinite::{IndefFactor, IndefOptions};
-use crate::plan::{FactorPlan, PlanRequest, PlanWorkspace};
+use crate::plan::{FactorPlan, PlanRequest, PlanWorkspace, Precision};
 use crate::refine::{solve_refined, RefineOptions};
 use crate::schur::{SchurOptions, SpdFactor};
 use crate::{Error, Result};
-use bs_matrix::Matrix;
+use bs_matrix::{par, Matrix, Scalar};
 use bs_toeplitz::SymBlockToeplitz;
+use std::sync::{Mutex, OnceLock};
 
 /// Solve `Rᵀ D R x = b` where `R` is upper triangular and
 /// `D = diag(d)` with `d ∈ {±1}ⁿ` (`None` means `D = I`, the SPD case).
-pub fn solve_rtdr(r: &Matrix, d: Option<&[i8]>, b: &[f64]) -> Result<Vec<f64>> {
+pub fn solve_rtdr<T: Scalar>(r: &Matrix<T>, d: Option<&[i8]>, b: &[T]) -> Result<Vec<T>> {
     let n = r.rows();
     if r.cols() != n {
         return Err(Error::DimensionMismatch {
@@ -72,7 +73,7 @@ pub fn solve_rtdr(r: &Matrix, d: Option<&[i8]>, b: &[f64]) -> Result<Vec<f64>> {
 }
 
 /// Dense reconstruction `Rᵀ D R` (test / verification, O(n³)).
-pub fn reconstruct_rtdr(r: &Matrix, d: Option<&[i8]>) -> Matrix {
+pub fn reconstruct_rtdr<T: Scalar>(r: &Matrix<T>, d: Option<&[i8]>) -> Matrix<T> {
     let n = r.rows();
     let mut dr = r.clone();
     if let Some(d) = d {
@@ -86,12 +87,12 @@ pub fn reconstruct_rtdr(r: &Matrix, d: Option<&[i8]>) -> Matrix {
     }
     let mut out = Matrix::zeros(n, n);
     bs_matrix::blas3::gemm(
-        1.0,
+        T::ONE,
         r.rf(),
         bs_matrix::Trans::Yes,
         dr.rf(),
         bs_matrix::Trans::No,
-        0.0,
+        T::ZERO,
         out.mt(),
     );
     out
@@ -157,6 +158,10 @@ pub struct ToeplitzSolver {
     factorization: Factorization,
     refine: RefineOptions,
     workspace: PlanWorkspace,
+    /// Lazily-computed full-f64 factorization, used only when a
+    /// [`Precision::Mixed`] solve's refinement stalls on the promoted
+    /// f32 factor. Cleared by [`refactor`](Self::refactor).
+    fallback: OnceLock<Factorization>,
 }
 
 impl Clone for ToeplitzSolver {
@@ -169,6 +174,7 @@ impl Clone for ToeplitzSolver {
             factorization: self.factorization.clone(),
             refine: self.refine.clone(),
             workspace: PlanWorkspace::new(),
+            fallback: OnceLock::new(),
         }
     }
 }
@@ -208,6 +214,7 @@ impl ToeplitzSolver {
             factorization,
             refine,
             workspace,
+            fallback: OnceLock::new(),
         })
     }
 
@@ -238,6 +245,7 @@ impl ToeplitzSolver {
         }
         let _span = bs_probe::span!("refactor", n = t.order(), m = t.block_size());
         let new_f = self.plan.execute(t, &mut self.workspace)?;
+        self.fallback.take();
         match std::mem::replace(&mut self.factorization, new_f) {
             Factorization::Spd(old) => self.workspace.donate(old.r),
             Factorization::Indefinite(old) => {
@@ -326,10 +334,70 @@ impl ToeplitzSolver {
 
     /// Solve `T x = b`. On the perturbed path the answer is refined to
     /// working accuracy (typically two extra matvec+solve rounds, §8.1).
+    ///
+    /// Under [`Precision::Mixed`] the promoted f32 factor plays the
+    /// role of the perturbed factorization `Rᵀ D R` of `T + δT` (here
+    /// `δT` is the f32 rounding backward error), so every solve runs
+    /// the same §8.1 refinement against the f64 operator. When
+    /// refinement stalls before the residual bound is met, the solver
+    /// falls back to a lazily-computed full-f64 factorization, counted
+    /// in `Counter::MixedStallFallbacks`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let _span = bs_probe::span!("solve", n = b.len());
         let t0 = bs_probe::histogram::is_enabled().then(std::time::Instant::now);
-        let out = match &self.factorization {
+        let out = self.solve_dispatch(b);
+        if let Some(t0) = t0 {
+            bs_probe::histogram::record(bs_probe::Hist::SolveNs, t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    fn solve_dispatch(&self, b: &[f64]) -> Result<Vec<f64>> {
+        match &self.factorization {
+            Factorization::Spd(f) => f.solve(b),
+            Factorization::Indefinite(f) => match self.plan.precision() {
+                Precision::Mixed => {
+                    let res = solve_refined(&self.t, f, b, &self.refine)?;
+                    if res.converged {
+                        Ok(res.x)
+                    } else {
+                        bs_probe::metrics::incr(bs_probe::metrics::Counter::MixedStallFallbacks);
+                        bs_probe::event!(
+                            "mixed_stall_fallback",
+                            n = b.len(),
+                            iterations = res.iterations,
+                        );
+                        self.solve_via_fallback(b)
+                    }
+                }
+                // F32 is a deliberate accuracy/throughput trade: the
+                // promoted factor answers directly unless a δ
+                // perturbation fired (then refinement is load-bearing,
+                // exactly as at f64).
+                Precision::F64 | Precision::F32 => {
+                    if f.perturbations.is_empty() {
+                        f.solve(b)
+                    } else {
+                        Ok(solve_refined(&self.t, f, b, &self.refine)?.x)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Solve through the lazily-computed full-f64 factorization
+    /// (mixed-precision stall recovery).
+    fn solve_via_fallback(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let f = match self.fallback.get() {
+            Some(f) => f,
+            None => {
+                let _span = bs_probe::span!("mixed_fallback_refactor", n = self.t.order());
+                let mut pw = PlanWorkspace::new();
+                let f = self.plan.execute_f64(&self.t, &mut pw)?;
+                self.fallback.get_or_init(|| f)
+            }
+        };
+        match f {
             Factorization::Spd(f) => f.solve(b),
             Factorization::Indefinite(f) => {
                 if f.perturbations.is_empty() {
@@ -338,11 +406,7 @@ impl ToeplitzSolver {
                     Ok(solve_refined(&self.t, f, b, &self.refine)?.x)
                 }
             }
-        };
-        if let Some(t0) = t0 {
-            bs_probe::histogram::record(bs_probe::Hist::SolveNs, t0.elapsed().as_nanos() as u64);
         }
-        out
     }
 
     /// Build the Gohberg–Semencul representation of `T⁻¹` (scalar
@@ -375,6 +439,61 @@ impl ToeplitzSolver {
         for j in 0..b.cols() {
             let xj = self.solve(b.col(j))?;
             x.col_mut(j).copy_from_slice(&xj);
+        }
+        Ok(x)
+    }
+
+    /// Solve `T X = B` with the right-hand-side columns fanned out
+    /// across the plan's worker threads in a single pool dispatch:
+    /// columns are chunked so pack/dispatch overhead is amortized over
+    /// the whole batch instead of paid per column. Each column runs the
+    /// identical sequential per-column path as
+    /// [`solve_many`](Self::solve_many), so the result is bitwise
+    /// identical at any thread count. The lowest-indexed failing column
+    /// reports its error.
+    pub fn solve_batch(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.t.order();
+        if b.rows() != n {
+            return Err(Error::DimensionMismatch {
+                context: "right-hand-side row count",
+                expected: n,
+                found: b.rows(),
+            });
+        }
+        let ncols = b.cols();
+        let mut x = Matrix::zeros(n, ncols);
+        if n == 0 || ncols == 0 {
+            return Ok(x);
+        }
+        let exec = &self.plan.schur_options().exec;
+        let threads = exec.threads.clamp(1, ncols);
+        let chunk_cols = ncols.div_ceil(threads);
+        let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+        // Column-major storage: a chunk of `chunk_cols` columns is one
+        // contiguous mutable slice.
+        let jobs: Vec<(usize, &mut [f64])> = x
+            .as_mut_slice()
+            .chunks_mut(chunk_cols * n)
+            .enumerate()
+            .map(|(ci, xs)| (ci * chunk_cols, xs))
+            .collect();
+        bs_probe::event!("solve_batch", n = n, rhs = ncols, chunks = jobs.len());
+        par::for_each_policy(exec, jobs, |(j0, xs)| {
+            for (dj, xcol) in xs.chunks_mut(n).enumerate() {
+                match self.solve(b.col(j0 + dj)) {
+                    Ok(xj) => xcol.copy_from_slice(&xj),
+                    Err(e) => {
+                        let mut g = failed.lock().unwrap_or_else(|p| p.into_inner());
+                        if g.as_ref().is_none_or(|(fj, _)| j0 + dj < *fj) {
+                            *g = Some((j0 + dj, e));
+                        }
+                        break;
+                    }
+                }
+            }
+        });
+        if let Some((_, e)) = failed.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
         }
         Ok(x)
     }

@@ -129,7 +129,7 @@ fn spd_diagonal_fires_on_nonpositive_diagonal() {
 #[test]
 fn workspace_balance_fires_on_leaked_checkout() {
     let _g = setup();
-    let mut ws = bs_matrix::Workspace::new();
+    let mut ws = bs_matrix::Workspace::<f64>::new();
     let entry = ws.outstanding();
     let leaked = ws.take_vec(16);
     ws.contract_region("leak_test", entry, 0); // fires: delta is +1

@@ -5,15 +5,16 @@
 //! because every column of a view is contiguous.
 
 use crate::flops;
+use crate::scalar::Scalar;
 
 /// Dot product `xᵀy`.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len());
     flops::add_l1(2 * x.len() as u64);
     // Four accumulators give the autovectorizer latitude without
     // changing results enough to matter for f64 test tolerances.
-    let mut acc = [0.0f64; 4];
+    let mut acc = [T::ZERO; 4];
     let chunks = x.len() / 4;
     for k in 0..chunks {
         let i = 4 * k;
@@ -31,20 +32,20 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 
 /// `y += alpha * x`.
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len());
-    if alpha == 0.0 {
+    if alpha == T::ZERO {
         return;
     }
     flops::add_l1(2 * x.len() as u64);
-    for (yi, xi) in y.iter_mut().zip(x) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
 }
 
 /// `x *= alpha`.
 #[inline]
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
     flops::add_l1(x.len() as u64);
     for xi in x {
         *xi *= alpha;
@@ -52,13 +53,13 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 }
 
 /// Euclidean norm with scaling to avoid overflow/underflow.
-pub fn nrm2(x: &[f64]) -> f64 {
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
     flops::add_l1(2 * x.len() as u64);
-    let amax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-    if amax == 0.0 || !amax.is_finite() {
+    let amax = x.iter().fold(T::ZERO, |m, &v| m.max(v.abs()));
+    if amax == T::ZERO || !amax.is_finite() {
         return amax;
     }
-    let mut s = 0.0;
+    let mut s = T::ZERO;
     for &v in x {
         let t = v / amax;
         s += t * t;
@@ -67,7 +68,7 @@ pub fn nrm2(x: &[f64]) -> f64 {
 }
 
 /// Index of the element with the largest absolute value; `None` when empty.
-pub fn iamax(x: &[f64]) -> Option<usize> {
+pub fn iamax<T: Scalar>(x: &[T]) -> Option<usize> {
     x.iter()
         .enumerate()
         .max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs()))
@@ -76,7 +77,7 @@ pub fn iamax(x: &[f64]) -> Option<usize> {
 
 /// Swap the contents of two slices.
 #[inline]
-pub fn swap(x: &mut [f64], y: &mut [f64]) {
+pub fn swap<T: Scalar>(x: &mut [T], y: &mut [T]) {
     assert_eq!(x.len(), y.len());
     for (a, b) in x.iter_mut().zip(y.iter_mut()) {
         std::mem::swap(a, b);
@@ -88,12 +89,12 @@ pub fn swap(x: &mut [f64], y: &mut [f64]) {
 /// This is the *hyperbolic* inner product at the heart of the paper's
 /// reflectors (§3). The signature is passed as `i8` signs.
 #[inline]
-pub fn wdot(x: &[f64], w: &[i8], y: &[f64]) -> f64 {
+pub fn wdot<T: Scalar>(x: &[T], w: &[i8], y: &[T]) -> T {
     assert_eq!(x.len(), y.len());
     assert_eq!(x.len(), w.len());
     flops::add_l1(2 * x.len() as u64);
-    let mut plus = 0.0;
-    let mut minus = 0.0;
+    let mut plus = T::ZERO;
+    let mut minus = T::ZERO;
     for i in 0..x.len() {
         if w[i] >= 0 {
             plus += x[i] * y[i];
@@ -130,14 +131,14 @@ mod tests {
         let x = [1e200, 1e200];
         let n = nrm2(&x);
         assert!((n - 1e200 * 2.0f64.sqrt()).abs() < 1e186);
-        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2::<f64>(&[]), 0.0);
         assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
     }
 
     #[test]
     fn iamax_finds_peak() {
         assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
-        assert_eq!(iamax(&[]), None);
+        assert_eq!(iamax::<f64>(&[]), None);
     }
 
     #[test]

@@ -7,19 +7,20 @@
 
 use crate::blas1;
 use crate::flops;
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 use crate::{Error, Result};
 use bs_probe::metrics::{self, Counter};
 
 /// `y <- alpha * A x + beta * y`.
-pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv<T: Scalar>(alpha: T, a: MatRef<'_, T>, x: &[T], beta: T, y: &mut [T]) {
     assert_eq!(a.cols(), x.len(), "gemv: A cols vs x len");
     assert_eq!(a.rows(), y.len(), "gemv: A rows vs y len");
     metrics::incr(Counter::Matvecs);
-    if beta == 0.0 {
-        y.fill(0.0);
+    if beta == T::ZERO {
+        y.fill(T::ZERO);
     // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
-    } else if beta != 1.0 {
+    } else if beta != T::ONE {
         blas1::scal(beta, y);
     }
     // Column-major: accumulate one column at a time (axpy per column),
@@ -30,21 +31,26 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 }
 
 /// `y <- alpha * Aᵀ x + beta * y`.
-pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv_t<T: Scalar>(alpha: T, a: MatRef<'_, T>, x: &[T], beta: T, y: &mut [T]) {
     assert_eq!(a.rows(), x.len(), "gemv_t: A rows vs x len");
     assert_eq!(a.cols(), y.len(), "gemv_t: A cols vs y len");
     metrics::incr(Counter::Matvecs);
     for j in 0..a.cols() {
         let d = blas1::dot(a.col(j), x);
-        y[j] = alpha * d + if beta == 0.0 { 0.0 } else { beta * y[j] };
+        y[j] = alpha * d
+            + if beta == T::ZERO {
+                T::ZERO
+            } else {
+                beta * y[j]
+            };
     }
-    if beta != 0.0 {
+    if beta != T::ZERO {
         flops::add_l2(2 * a.cols() as u64);
     }
 }
 
 /// Rank-1 update `A += alpha * x yᵀ`.
-pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], mut a: MatMut<'_, T>) {
     assert_eq!(a.rows(), x.len(), "ger: A rows vs x len");
     assert_eq!(a.cols(), y.len(), "ger: A cols vs y len");
     metrics::incr(Counter::Rank1Updates);
@@ -55,15 +61,22 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
 
 /// Symmetric matrix-vector product using only the given triangle of `A`:
 /// `y <- alpha * A x + beta * y` with `A = Aᵀ`.
-pub fn symv(uplo: crate::Uplo, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn symv<T: Scalar>(
+    uplo: crate::Uplo,
+    alpha: T,
+    a: MatRef<'_, T>,
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+) {
     let n = a.rows();
     assert_eq!(a.cols(), n, "symv: A must be square");
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), n);
-    if beta == 0.0 {
-        y.fill(0.0);
+    if beta == T::ZERO {
+        y.fill(T::ZERO);
     // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
-    } else if beta != 1.0 {
+    } else if beta != T::ONE {
         blas1::scal(beta, y);
     }
     metrics::incr(Counter::Matvecs);
@@ -97,7 +110,7 @@ pub fn symv(uplo: crate::Uplo, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, 
 }
 
 /// Solve `L x = b` (unit or non-unit lower triangle) in place in `b`.
-pub fn trsv_lower(a: MatRef<'_>, b: &mut [f64], unit_diag: bool) -> Result<()> {
+pub fn trsv_lower<T: Scalar>(a: MatRef<'_, T>, b: &mut [T], unit_diag: bool) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
@@ -106,13 +119,13 @@ pub fn trsv_lower(a: MatRef<'_>, b: &mut [f64], unit_diag: bool) -> Result<()> {
     for j in 0..n {
         if !unit_diag {
             let d = a.get(j, j);
-            if d == 0.0 {
+            if d == T::ZERO {
                 return Err(Error::SingularTriangle { index: j });
             }
             b[j] /= d;
         }
         let bj = b[j];
-        if bj != 0.0 {
+        if bj != T::ZERO {
             let col = a.col(j);
             for i in j + 1..n {
                 b[i] -= bj * col[i];
@@ -123,7 +136,7 @@ pub fn trsv_lower(a: MatRef<'_>, b: &mut [f64], unit_diag: bool) -> Result<()> {
 }
 
 /// Solve `U x = b` (non-unit upper triangle) in place in `b`.
-pub fn trsv_upper(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+pub fn trsv_upper<T: Scalar>(a: MatRef<'_, T>, b: &mut [T]) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
@@ -131,12 +144,12 @@ pub fn trsv_upper(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     flops::add_l2((n * n) as u64);
     for j in (0..n).rev() {
         let d = a.get(j, j);
-        if d == 0.0 {
+        if d == T::ZERO {
             return Err(Error::SingularTriangle { index: j });
         }
         b[j] /= d;
         let bj = b[j];
-        if bj != 0.0 {
+        if bj != T::ZERO {
             let col = a.col(j);
             for i in 0..j {
                 b[i] -= bj * col[i];
@@ -147,7 +160,7 @@ pub fn trsv_upper(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
 }
 
 /// Solve `Lᵀ x = b` with `L` lower triangular, in place in `b`.
-pub fn trsv_lower_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+pub fn trsv_lower_t<T: Scalar>(a: MatRef<'_, T>, b: &mut [T]) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
@@ -160,7 +173,7 @@ pub fn trsv_lower_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
             s -= col[i] * b[i];
         }
         let d = col[j];
-        if d == 0.0 {
+        if d == T::ZERO {
             return Err(Error::SingularTriangle { index: j });
         }
         b[j] = s / d;
@@ -169,7 +182,7 @@ pub fn trsv_lower_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
 }
 
 /// Solve `Uᵀ x = b` with `U` upper triangular, in place in `b`.
-pub fn trsv_upper_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+pub fn trsv_upper_t<T: Scalar>(a: MatRef<'_, T>, b: &mut [T]) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.len(), n);
@@ -182,7 +195,7 @@ pub fn trsv_upper_t(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
             s -= col[i] * b[i];
         }
         let d = col[j];
-        if d == 0.0 {
+        if d == T::ZERO {
             return Err(Error::SingularTriangle { index: j });
         }
         b[j] = s / d;

@@ -19,6 +19,7 @@ use crate::blas2;
 use crate::flops;
 use crate::kernel::{self, pack, tuning, Kernel, MR, NR};
 use crate::par::{self, ExecPolicy};
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 use crate::workspace::Workspace;
 use crate::{Error, Result};
@@ -48,7 +49,7 @@ pub enum Side {
 }
 
 #[inline]
-fn op_rows(a: MatRef<'_>, t: Trans) -> usize {
+fn op_rows<T: Scalar>(a: MatRef<'_, T>, t: Trans) -> usize {
     match t {
         Trans::No => a.rows(),
         Trans::Yes => a.cols(),
@@ -56,7 +57,7 @@ fn op_rows(a: MatRef<'_>, t: Trans) -> usize {
 }
 
 #[inline]
-fn op_cols(a: MatRef<'_>, t: Trans) -> usize {
+fn op_cols<T: Scalar>(a: MatRef<'_, T>, t: Trans) -> usize {
     match t {
         Trans::No => a.cols(),
         Trans::Yes => a.rows(),
@@ -64,7 +65,7 @@ fn op_cols(a: MatRef<'_>, t: Trans) -> usize {
 }
 
 #[inline]
-fn op_get(a: MatRef<'_>, t: Trans, i: usize, j: usize) -> f64 {
+fn op_get<T: Scalar>(a: MatRef<'_, T>, t: Trans, i: usize, j: usize) -> T {
     match t {
         Trans::No => a.get(i, j),
         Trans::Yes => a.get(j, i),
@@ -86,14 +87,14 @@ pub(crate) fn uses_packed(m: usize, n: usize, k: usize) -> bool {
 /// General matrix multiply: `C <- alpha * op(A) op(B) + beta * C`.
 ///
 /// Shapes: `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`.
-pub fn gemm(
-    alpha: f64,
-    a: MatRef<'_>,
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    beta: f64,
-    c: MatMut<'_>,
+    beta: T,
+    c: MatMut<'_, T>,
 ) {
     gemm_dispatch(alpha, a, ta, b, tb, beta, c, None);
 }
@@ -102,29 +103,29 @@ pub fn gemm(
 /// allocated — the form the warm factorization path uses so repeated
 /// multiplies of the same shape allocate nothing.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature plus the arena
-pub fn gemm_ws(
-    alpha: f64,
-    a: MatRef<'_>,
+pub fn gemm_ws<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    beta: f64,
-    c: MatMut<'_>,
-    ws: &mut Workspace,
+    beta: T,
+    c: MatMut<'_, T>,
+    ws: &mut Workspace<T>,
 ) {
     gemm_dispatch(alpha, a, ta, b, tb, beta, c, Some(ws));
 }
 
 #[allow(clippy::too_many_arguments)] // internal driver mirrors the BLAS signature
-fn gemm_dispatch(
-    alpha: f64,
-    a: MatRef<'_>,
+fn gemm_dispatch<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    beta: f64,
-    mut c: MatMut<'_>,
-    ws: Option<&mut Workspace>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    ws: Option<&mut Workspace<T>>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -134,20 +135,20 @@ fn gemm_dispatch(
     assert_eq!(op_cols(b, tb), n, "gemm: op(B) cols vs C cols");
 
     scale_c(beta, c.rb_mut());
-    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
     flops::add_l3(2 * (m * n * k) as u64);
     metrics::add(
         Counter::BytesMoved,
-        (8 * (m * k + k * n + 2 * m * n)) as u64,
+        (T::BYTES * (m * k + k * n + 2 * m * n)) as u64,
     );
 
     if !uses_packed(m, n, k) {
         gemm_naive_acc(alpha, a, ta, b, tb, c);
         return;
     }
-    gemm_blocked(alpha, a, ta, b, tb, c, ws, kernel::active());
+    gemm_blocked(alpha, a, ta, b, tb, c, ws, kernel::active::<T>());
 }
 
 /// Parallel `gemm` driver under an [`ExecPolicy`]: splits `C` (and
@@ -163,15 +164,15 @@ fn gemm_dispatch(
 /// columns are grouped — so the stripped parallel result is bitwise
 /// identical to the monolithic sequential one at every thread count.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature plus the policy
-pub fn par_gemm_policy(
+pub fn par_gemm_policy<T: Scalar>(
     policy: &ExecPolicy,
-    alpha: f64,
-    a: MatRef<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    beta: f64,
-    c: MatMut<'_>,
+    beta: T,
+    c: MatMut<'_, T>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -197,13 +198,13 @@ pub fn par_gemm_policy(
 
     // Resolve the microkernel once so a concurrent override flip can
     // never mix kernels across this multiply's strips.
-    let kern = kernel::active();
+    let kern = kernel::active::<T>();
     let width = policy.partition.strip_width(n);
     // Decompose C into disjoint column strips; each strip multiplies the
     // matching columns of op(B). Strip boundaries depend only on (n,
     // partition) — never on the thread count.
     // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow C, so they cannot live in a pool
-    let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(n.div_ceil(width));
+    let mut strips: Vec<(usize, MatMut<'_, T>)> = Vec::with_capacity(n.div_ceil(width));
     let mut rest = c;
     let mut start = 0;
     while start < n {
@@ -223,11 +224,11 @@ pub fn par_gemm_policy(
         };
         let mut cj = cj;
         scale_c(beta, cj.rb_mut());
-        if alpha != 0.0 && m != 0 && w != 0 && k != 0 {
+        if alpha != T::ZERO && m != 0 && w != 0 && k != 0 {
             flops::add_l3(2 * (m * w * k) as u64);
             metrics::add(
                 Counter::BytesMoved,
-                (8 * (m * k + k * w + 2 * m * w)) as u64,
+                (T::BYTES * (m * k + k * w + 2 * m * w)) as u64,
             );
             // Pack buffers come from the executing thread's persistent
             // workspace, so warm dispatches allocate nothing.
@@ -238,26 +239,26 @@ pub fn par_gemm_policy(
 
 /// [`par_gemm_policy`] with every hardware thread (compatibility shim
 /// for callers without a policy).
-pub fn par_gemm(
-    alpha: f64,
-    a: MatRef<'_>,
+pub fn par_gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    beta: f64,
-    c: MatMut<'_>,
+    beta: T,
+    c: MatMut<'_, T>,
 ) {
     par_gemm_policy(&ExecPolicy::max_threads(), alpha, a, ta, b, tb, beta, c);
 }
 
 #[inline]
-fn scale_c(beta: f64, mut c: MatMut<'_>) {
+fn scale_c<T: Scalar>(beta: T, mut c: MatMut<'_, T>) {
     // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
-    if beta == 1.0 {
+    if beta == T::ONE {
         return;
     }
-    if beta == 0.0 {
-        c.fill(0.0);
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
     } else {
         for j in 0..c.cols() {
             blas1::scal(beta, c.col_mut(j));
@@ -266,13 +267,13 @@ fn scale_c(beta: f64, mut c: MatMut<'_>) {
 }
 
 /// Reference triple loop, accumulating into C (C already scaled by beta).
-pub(crate) fn gemm_naive_acc(
-    alpha: f64,
-    a: MatRef<'_>,
+pub(crate) fn gemm_naive_acc<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    mut c: MatMut<'_>,
+    mut c: MatMut<'_, T>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -280,7 +281,7 @@ pub(crate) fn gemm_naive_acc(
     for j in 0..n {
         for p in 0..k {
             let bpj = alpha * op_get(b, tb, p, j);
-            if bpj == 0.0 {
+            if bpj == T::ZERO {
                 continue;
             }
             match ta {
@@ -308,15 +309,15 @@ pub(crate) fn gemm_naive_acc(
 /// once by the caller so one multiply never mixes ISAs — and the cache
 /// blocking comes from the [`tuning`] autotuner.
 #[allow(clippy::too_many_arguments)] // internal engine: BLAS signature plus arena and kernel
-pub(crate) fn gemm_blocked(
-    alpha: f64,
-    a: MatRef<'_>,
+pub(crate) fn gemm_blocked<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    mut c: MatMut<'_>,
-    ws: Option<&mut Workspace>,
-    kern: Kernel,
+    mut c: MatMut<'_, T>,
+    ws: Option<&mut Workspace<T>>,
+    kern: Kernel<T>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -341,7 +342,7 @@ pub(crate) fn gemm_blocked(
             (a, b, Some(ws))
         }
         // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
-        None => (vec![0.0f64; apack_len], vec![0.0f64; bpack_len], None),
+        None => (vec![T::ZERO; apack_len], vec![T::ZERO; bpack_len], None),
     };
 
     let mut jc = 0;
@@ -368,36 +369,40 @@ pub(crate) fn gemm_blocked(
     }
     let isa = kern.isa();
     let elapsed_ns = t0.elapsed().as_nanos() as u64;
-    metrics::add(isa.flops_counter(), 2 * (m * n * k) as u64);
-    metrics::add(isa.nanos_counter(), elapsed_ns);
+    metrics::add(T::kernel_flops_counter(isa), 2 * (m * n * k) as u64);
+    metrics::add(T::kernel_nanos_counter(isa), elapsed_ns);
     bs_probe::histogram::record(bs_probe::histogram::Hist::KernelCallNs, elapsed_ns);
 }
 
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-fn macro_kernel(
-    apack: &[f64],
-    bpack: &[f64],
+fn macro_kernel<T: Scalar>(
+    apack: &[T],
+    bpack: &[T],
     mc: usize,
     nc: usize,
     kc: usize,
-    mut c: MatMut<'_>,
+    mut c: MatMut<'_, T>,
     ic: usize,
     jc: usize,
-    kern: Kernel,
+    kern: Kernel<T>,
 ) {
+    // `ir` strides by the kernel's tile height — `MR`, or `2 * MR` for
+    // the double-height f32 AVX2 kernel, whose calls with `mr > MR`
+    // read the second adjacent packed panel.
+    let step = kern.micro_rows();
     let mut jr = 0;
     while jr < nc {
         let nr = NR.min(nc - jr);
         let bpanel = &bpack[(jr / NR) * kc * NR..];
         let mut ir = 0;
         while ir < mc {
-            let mr = MR.min(mc - ir);
+            let mr = step.min(mc - ir);
             let apanel = &apack[(ir / MR) * kc * MR..];
-            // SAFETY: `kernel_for` only selects a SIMD microkernel after
-            // runtime detection confirmed its ISA, and the panel slices
-            // hold ≥ kc*MR / kc*NR elements by the pack layout invariant.
+            // SAFETY: `kernel_for` picks a SIMD microkernel only after
+            // runtime ISA detection; panels hold ≥ kc*MR / kc*NR, and
+            // ≥ 2*kc*MR when `mr > MR` (`pack_a` filled two panels).
             unsafe { (kern.micro)(apanel, bpanel, kc, c.rb_mut(), ic + ir, jc + jr, mr, nr) };
-            ir += MR;
+            ir += step;
         }
         jr += NR;
     }
@@ -422,7 +427,14 @@ const SYRK_NB: usize = 64;
 /// Only the requested triangle of `C` is read or written. Large updates
 /// route through the packed SIMD engine; small ones use the direct dot
 /// loop.
-pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+pub fn syrk<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
     let n = c.rows();
     assert_eq!(c.cols(), n, "syrk: C must be square");
     assert_eq!(op_rows(a, trans), n, "syrk: op(A) rows vs C order");
@@ -438,7 +450,7 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut 
             0,
             n,
             None,
-            kernel::active(),
+            kernel::active::<T>(),
         );
     } else {
         syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
@@ -452,25 +464,25 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut 
 /// so any strip decomposition reproduces the monolithic result
 /// bitwise.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS syrk signature plus the strip window
-fn syrk_cols(
+fn syrk_cols<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    beta: f64,
-    mut c: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
     j0: usize,
     w: usize,
 ) {
     let n = c.rows();
     let k = op_cols(a, trans);
     flops::add_l3((n * w * k) as u64 + (n * w) as u64);
-    metrics::add(Counter::BytesMoved, (8 * (w * k + n * w)) as u64);
+    metrics::add(Counter::BytesMoved, (T::BYTES * (w * k + n * w)) as u64);
     // Row i of op(A) dotted with row j of op(A).
-    let dot_rows = |i: usize, j: usize| -> f64 {
+    let dot_rows = |i: usize, j: usize| -> T {
         match trans {
             Trans::No => {
-                let mut s = 0.0;
+                let mut s = T::ZERO;
                 for p in 0..k {
                     s += a.get(i, p) * a.get(j, p);
                 }
@@ -510,22 +522,22 @@ fn syrk_cols(
 /// width, or position within a strip — so any strip decomposition of
 /// the update reproduces the monolithic packed result bitwise.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS syrk signature plus strip window, arena, kernel
-fn syrk_strip_packed(
+fn syrk_strip_packed<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    beta: f64,
-    mut c: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
     j0: usize,
     w: usize,
-    mut ws: Option<&mut Workspace>,
-    kern: Kernel,
+    mut ws: Option<&mut Workspace<T>>,
+    kern: Kernel<T>,
 ) {
     let n = c.rows();
     let k = op_cols(a, trans);
     flops::add_l3((n * w * k) as u64 + (n * w) as u64);
-    metrics::add(Counter::BytesMoved, (8 * (w * k + n * w)) as u64);
+    metrics::add(Counter::BytesMoved, (T::BYTES * (w * k + n * w)) as u64);
     let mut jb = 0;
     while jb < w {
         let nb = SYRK_NB.min(w - jb);
@@ -540,7 +552,7 @@ fn syrk_strip_packed(
         let mut tmp = match ws.as_deref_mut() {
             Some(w) => w.take_vec(len),
             // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
-            None => vec![0.0f64; len],
+            None => vec![T::ZERO; len],
         };
         {
             let tm = MatMut::from_parts(&mut tmp, rows, nb, rows);
@@ -591,14 +603,14 @@ fn syrk_strip_packed(
 /// strips run on the pool. Entries are computed independently of the
 /// strip decomposition (for both the packed and the dot-loop path), so
 /// the result is bitwise identical to the sequential update.
-pub fn syrk_policy(
+pub fn syrk_policy<T: Scalar>(
     policy: &ExecPolicy,
     uplo: Uplo,
     trans: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    beta: f64,
-    mut c: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
 ) {
     let n = c.rows();
     assert_eq!(c.cols(), n, "syrk: C must be square");
@@ -607,7 +619,7 @@ pub fn syrk_policy(
     // Kernel-choice predicate from the full dims, microkernel resolved
     // once — both shared by every strip, for bitwise determinism.
     let packed = syrk_uses_packed(n, k);
-    let kern = kernel::active();
+    let kern = kernel::active::<T>();
     // The triangle holds ~n²/2 entries of k-long dots.
     let work = (n as u128 * n as u128 * k as u128) / 2;
     if policy.threads <= 1 || par::in_dispatch() || work < policy.min_work as u128 {
@@ -620,7 +632,7 @@ pub fn syrk_policy(
     }
     let width = policy.partition.strip_width(n);
     // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow C, so they cannot live in a pool
-    let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(n.div_ceil(width));
+    let mut strips: Vec<(usize, MatMut<'_, T>)> = Vec::with_capacity(n.div_ceil(width));
     let mut rest = c;
     let mut start = 0;
     while start < n {
@@ -645,14 +657,14 @@ pub fn syrk_policy(
 /// [`syrk`] in workspace-threaded form: the packed path stages its
 /// scratch rectangle and pack buffers through `ws`, so repeated updates
 /// of the same shape allocate nothing.
-pub fn syrk_ws(
+pub fn syrk_ws<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    beta: f64,
-    mut c: MatMut<'_>,
-    ws: &mut Workspace,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    ws: &mut Workspace<T>,
 ) {
     let n = c.rows();
     assert_eq!(c.cols(), n, "syrk: C must be square");
@@ -669,7 +681,7 @@ pub fn syrk_ws(
             0,
             n,
             Some(ws),
-            kernel::active(),
+            kernel::active::<T>(),
         );
     } else {
         syrk_cols(uplo, trans, alpha, a, beta, c.rb_mut(), 0, n);
@@ -688,14 +700,14 @@ const TRSM_NB: usize = 32;
 /// `A` must be square triangular per `uplo`; `unit_diag` treats its
 /// diagonal as ones. Orders above `TRSM_NB` solve blockwise so the
 /// bulk of the work runs in the packed SIMD engine.
-pub fn trsm(
+pub fn trsm<T: Scalar>(
     side: Side,
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatMut<'_, T>,
 ) -> Result<()> {
     trsm_dispatch(side, uplo, trans, unit_diag, alpha, a, b, None)
 }
@@ -704,29 +716,29 @@ pub fn trsm(
 /// `Side::Right` row buffer) checked out of `ws` instead of heap
 /// allocated.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS trsm signature plus the arena
-pub fn trsm_ws(
+pub fn trsm_ws<T: Scalar>(
     side: Side,
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatMut<'_>,
-    ws: &mut Workspace,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatMut<'_, T>,
+    ws: &mut Workspace<T>,
 ) -> Result<()> {
     trsm_dispatch(side, uplo, trans, unit_diag, alpha, a, b, Some(ws))
 }
 
 #[allow(clippy::too_many_arguments)]
-fn trsm_dispatch(
+fn trsm_dispatch<T: Scalar>(
     side: Side,
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    alpha: f64,
-    a: MatRef<'_>,
-    mut b: MatMut<'_>,
-    ws: Option<&mut Workspace>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+    ws: Option<&mut Workspace<T>>,
 ) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "trsm: A must be square");
@@ -735,7 +747,7 @@ fn trsm_dispatch(
         Side::Right => assert_eq!(b.cols(), n, "trsm right: A order vs B cols"),
     }
     // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
-    if alpha != 1.0 {
+    if alpha != T::ONE {
         for j in 0..b.cols() {
             blas1::scal(alpha, b.col_mut(j));
         }
@@ -743,7 +755,7 @@ fn trsm_dispatch(
     match side {
         Side::Left => {
             if n > TRSM_NB {
-                return trsm_left_blocked(uplo, trans, unit_diag, a, b, ws, kernel::active());
+                return trsm_left_blocked(uplo, trans, unit_diag, a, b, ws, kernel::active::<T>());
             }
             for j in 0..b.cols() {
                 trsm_left_col(uplo, trans, unit_diag, a, b.col_mut(j))?;
@@ -752,7 +764,7 @@ fn trsm_dispatch(
         }
         Side::Right => {
             if n > TRSM_NB {
-                return trsm_right_blocked(uplo, trans, unit_diag, a, b, ws, kernel::active());
+                return trsm_right_blocked(uplo, trans, unit_diag, a, b, ws, kernel::active::<T>());
             }
             // X op(A) = B  <=>  op(A)ᵀ Xᵀ = Bᵀ: solve row by row of B.
             let m = b.rows();
@@ -762,7 +774,7 @@ fn trsm_dispatch(
                     (r, Some(ws))
                 }
                 // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
-                None => (vec![0.0f64; n], None),
+                None => (vec![T::ZERO; n], None),
             };
             let r = (0..m).try_for_each(|i| {
                 for j in 0..n {
@@ -801,15 +813,15 @@ fn offset_singular(e: Error, off: usize) -> Error {
 /// per-column accumulation chains are independent of how `B`'s columns
 /// are stripped.
 #[allow(clippy::too_many_arguments)] // internal engine: BLAS signature plus arena and kernel
-fn gemm_update(
-    alpha: f64,
-    a: MatRef<'_>,
+fn gemm_update<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, T>,
     tb: Trans,
-    c: MatMut<'_>,
-    ws: Option<&mut Workspace>,
-    kern: Kernel,
+    c: MatMut<'_, T>,
+    ws: Option<&mut Workspace<T>>,
+    kern: Kernel<T>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -820,7 +832,7 @@ fn gemm_update(
     flops::add_l3(2 * (m * n * k) as u64);
     metrics::add(
         Counter::BytesMoved,
-        (8 * (m * k + k * n + 2 * m * n)) as u64,
+        (T::BYTES * (m * k + k * n + 2 * m * n)) as u64,
     );
     gemm_blocked(alpha, a, ta, b, tb, c, ws, kern);
 }
@@ -833,14 +845,14 @@ fn gemm_update(
 /// Flop accounting is conserved against the per-column solve: for each
 /// column, `Σ nb²` (block solves) plus `2 Σ nb·rest` (updates) equals
 /// the `n²` the whole-triangle solve charges.
-fn trsm_left_blocked(
+fn trsm_left_blocked<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    a: MatRef<'_>,
-    b: MatMut<'_>,
-    mut ws: Option<&mut Workspace>,
-    kern: Kernel,
+    a: MatRef<'_, T>,
+    b: MatMut<'_, T>,
+    mut ws: Option<&mut Workspace<T>>,
+    kern: Kernel<T>,
 ) -> Result<()> {
     let ncols = b.cols();
     if ncols == 0 {
@@ -850,7 +862,7 @@ fn trsm_left_blocked(
     let mut xbuf = match ws.as_deref_mut() {
         Some(w) => w.take_vec(len),
         // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
-        None => vec![0.0f64; len],
+        None => vec![T::ZERO; len],
     };
     let r = trsm_left_blocked_go(
         uplo,
@@ -869,15 +881,15 @@ fn trsm_left_blocked(
 }
 
 #[allow(clippy::too_many_arguments)] // internal: split from trsm_left_blocked so `?` cannot leak the checkout
-fn trsm_left_blocked_go(
+fn trsm_left_blocked_go<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    a: MatRef<'_>,
-    mut b: MatMut<'_>,
-    xbuf: &mut [f64],
-    mut ws: Option<&mut Workspace>,
-    kern: Kernel,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+    xbuf: &mut [T],
+    mut ws: Option<&mut Workspace<T>>,
+    kern: Kernel<T>,
 ) -> Result<()> {
     let n = a.rows();
     let ncols = b.cols();
@@ -905,7 +917,7 @@ fn trsm_left_blocked_go(
         let rest = n - kb - nb;
         match (uplo, trans) {
             (Uplo::Lower, Trans::No) if rest > 0 => gemm_update(
-                -1.0,
+                -T::ONE,
                 a.sub(kb + nb, kb, rest, nb),
                 Trans::No,
                 xk,
@@ -915,7 +927,7 @@ fn trsm_left_blocked_go(
                 kern,
             ),
             (Uplo::Upper, Trans::Yes) if rest > 0 => gemm_update(
-                -1.0,
+                -T::ONE,
                 a.sub(kb, kb + nb, nb, rest),
                 Trans::Yes,
                 xk,
@@ -925,7 +937,7 @@ fn trsm_left_blocked_go(
                 kern,
             ),
             (Uplo::Upper, Trans::No) if kb > 0 => gemm_update(
-                -1.0,
+                -T::ONE,
                 a.sub(0, kb, kb, nb),
                 Trans::No,
                 xk,
@@ -935,7 +947,7 @@ fn trsm_left_blocked_go(
                 kern,
             ),
             (Uplo::Lower, Trans::Yes) if kb > 0 => gemm_update(
-                -1.0,
+                -T::ONE,
                 a.sub(kb, 0, nb, kb),
                 Trans::Yes,
                 xk,
@@ -955,19 +967,19 @@ fn trsm_left_blocked_go(
 /// row by row against the diagonal block (the transposed level-2
 /// solves, exactly as the small path), then propagated to the remaining
 /// column blocks through one packed GEMM.
-fn trsm_right_blocked(
+fn trsm_right_blocked<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    a: MatRef<'_>,
-    b: MatMut<'_>,
-    mut ws: Option<&mut Workspace>,
-    kern: Kernel,
+    a: MatRef<'_, T>,
+    b: MatMut<'_, T>,
+    mut ws: Option<&mut Workspace<T>>,
+    kern: Kernel<T>,
 ) -> Result<()> {
     let mut row = match ws.as_deref_mut() {
         Some(w) => w.take_vec(TRSM_NB),
         // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
-        None => vec![0.0f64; TRSM_NB],
+        None => vec![T::ZERO; TRSM_NB],
     };
     let r = trsm_right_blocked_go(
         uplo,
@@ -986,15 +998,15 @@ fn trsm_right_blocked(
 }
 
 #[allow(clippy::too_many_arguments)] // internal: split from trsm_right_blocked so `?` cannot leak the checkout
-fn trsm_right_blocked_go(
+fn trsm_right_blocked_go<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    a: MatRef<'_>,
-    mut b: MatMut<'_>,
-    row: &mut [f64],
-    mut ws: Option<&mut Workspace>,
-    kern: Kernel,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+    row: &mut [T],
+    mut ws: Option<&mut Workspace<T>>,
+    kern: Kernel<T>,
 ) -> Result<()> {
     let n = a.rows();
     let m = b.rows();
@@ -1043,7 +1055,7 @@ fn trsm_right_blocked_go(
                 _ => (a.sub(kb + nb, kb, rest, nb), Trans::Yes), // (Lower, Yes)
             };
             gemm_update(
-                -1.0,
+                -T::ONE,
                 xk,
                 Trans::No,
                 ap,
@@ -1061,7 +1073,7 @@ fn trsm_right_blocked_go(
                 _ => (a.sub(0, kb, kb, nb), Trans::Yes), // (Upper, Yes)
             };
             gemm_update(
-                -1.0,
+                -T::ONE,
                 xk,
                 Trans::No,
                 ap,
@@ -1078,12 +1090,12 @@ fn trsm_right_blocked_go(
 /// One column of a `Side::Left` triangular solve — the independent unit
 /// of work the parallel driver distributes (and the diagonal-block
 /// solve of the blocked path).
-fn trsm_left_col(
+fn trsm_left_col<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    a: MatRef<'_>,
-    col: &mut [f64],
+    a: MatRef<'_, T>,
+    col: &mut [T],
 ) -> Result<()> {
     match (uplo, trans) {
         (Uplo::Lower, Trans::No) => blas2::trsv_lower(a, col, unit_diag),
@@ -1121,15 +1133,15 @@ fn trsm_left_col(
 /// couples the rows of `B` through a shared scratch row and stays
 /// sequential; it simply forwards to [`trsm`].
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS trsm signature plus the policy
-pub fn trsm_policy(
+pub fn trsm_policy<T: Scalar>(
     policy: &ExecPolicy,
     side: Side,
     uplo: Uplo,
     trans: Trans,
     unit_diag: bool,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatMut<'_, T>,
 ) -> Result<()> {
     let n = a.rows();
     let ncols = b.cols();
@@ -1149,10 +1161,10 @@ pub fn trsm_policy(
     // Blocked/level-2 choice from the triangle order, microkernel
     // resolved once — shared by every strip, for bitwise determinism.
     let blocked = n > TRSM_NB;
-    let kern = kernel::active();
+    let kern = kernel::active::<T>();
     let width = policy.partition.strip_width(ncols);
     // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow B, so they cannot live in a pool
-    let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(ncols.div_ceil(width));
+    let mut strips: Vec<(usize, MatMut<'_, T>)> = Vec::with_capacity(ncols.div_ceil(width));
     let mut rest = b;
     let mut start = 0;
     while start < ncols {
@@ -1167,7 +1179,7 @@ pub fn trsm_policy(
     let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
     par::for_each_policy(policy, strips, |(j0, mut bj)| {
         // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
-        if alpha != 1.0 {
+        if alpha != T::ONE {
             for j in 0..bj.cols() {
                 blas1::scal(alpha, bj.col_mut(j));
             }
@@ -1192,7 +1204,7 @@ pub fn trsm_policy(
     }
 }
 
-fn trsv_lower_t_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+fn trsv_lower_t_unit<T: Scalar>(a: MatRef<'_, T>, b: &mut [T]) -> Result<()> {
     let n = a.rows();
     metrics::incr(Counter::TriangularSolves);
     flops::add_l2((n * n) as u64);
@@ -1207,13 +1219,13 @@ fn trsv_lower_t_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     Ok(())
 }
 
-fn trsv_upper_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+fn trsv_upper_unit<T: Scalar>(a: MatRef<'_, T>, b: &mut [T]) -> Result<()> {
     let n = a.rows();
     metrics::incr(Counter::TriangularSolves);
     flops::add_l2((n * n) as u64);
     for j in (0..n).rev() {
         let bj = b[j];
-        if bj != 0.0 {
+        if bj != T::ZERO {
             let col = a.col(j);
             for i in 0..j {
                 b[i] -= bj * col[i];
@@ -1223,7 +1235,7 @@ fn trsv_upper_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
     Ok(())
 }
 
-fn trsv_upper_t_unit(a: MatRef<'_>, b: &mut [f64]) -> Result<()> {
+fn trsv_upper_t_unit<T: Scalar>(a: MatRef<'_, T>, b: &mut [T]) -> Result<()> {
     let n = a.rows();
     metrics::incr(Counter::TriangularSolves);
     flops::add_l2((n * n) as u64);
@@ -1351,8 +1363,59 @@ mod tests {
     }
 
     #[test]
+    fn f32_microkernels_match_reference_across_tile_edges() {
+        use crate::kernel::Isa;
+        // Shapes chosen to exercise every `mr` path of the double-height
+        // f32 AVX2 kernel: sub-MR tails, a 9..=15 partial second panel,
+        // full 16-row tiles, and multi-block strides.
+        let shapes = [
+            (7, 5, 3),
+            (13, 9, 23),
+            (25, 40, 33),
+            (64, 32, 48),
+            (129, 300, 65),
+        ];
+        for isa in [Isa::Portable, Isa::Avx2, Isa::Avx512, Isa::Neon] {
+            if !kernel::isa_supported(isa) {
+                continue;
+            }
+            let kern: Kernel<f32> = kernel::kernel_for(isa);
+            for &(m, k, n) in &shapes {
+                let a = mat(m, k, 80);
+                let b = mat(k, n, 81);
+                let want = gemm_ref(&a, &b);
+                let a32 = a.convert::<f32>();
+                let b32 = b.convert::<f32>();
+                let mut c = Matrix::<f32>::zeros(m, n);
+                gemm_blocked(
+                    1.0f32,
+                    a32.rf(),
+                    Trans::No,
+                    b32.rf(),
+                    Trans::No,
+                    c.mt(),
+                    None,
+                    kern,
+                );
+                for j in 0..n {
+                    for i in 0..m {
+                        let w = want[(i, j)];
+                        let d = (c[(i, j)] as f64 - w).abs();
+                        // f32 working precision over a k-long sum, not a
+                        // kernel bug, is the only tolerated error.
+                        assert!(
+                            d <= 1e-3 * (1.0 + w.abs()),
+                            "isa={isa:?} shape=({m},{k},{n}) entry=({i},{j}) diff={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gemm_blocked_charges_kernel_counters() {
-        let kern = kernel::active();
+        let kern = kernel::active::<f64>();
         let isa = kern.isa();
         let m = 64;
         let a = mat(m, m, 90);

@@ -8,6 +8,7 @@
 use crate::blas3::{syrk, trsm, Side, Trans, Uplo};
 use crate::dense::Matrix;
 use crate::flops;
+use crate::scalar::Scalar;
 use crate::view::MatMut;
 use crate::{Error, Result};
 
@@ -15,7 +16,7 @@ const NB: usize = 64;
 
 /// Factor `A = L Lᵀ` in place: on success the lower triangle of `a` holds
 /// `L` and the strict upper triangle is zeroed.
-pub fn cholesky_in_place(mut a: MatMut<'_>) -> Result<()> {
+pub fn cholesky_in_place<T: Scalar>(mut a: MatMut<'_, T>) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "cholesky: matrix must be square");
     let mut k = 0;
@@ -33,7 +34,7 @@ pub fn cholesky_in_place(mut a: MatMut<'_>) -> Result<()> {
                 Uplo::Lower,
                 Trans::Yes,
                 false,
-                1.0,
+                T::ONE,
                 l11.rf(),
                 a.sub_mut(k + nb, k, rest, nb),
             )?;
@@ -42,9 +43,9 @@ pub fn cholesky_in_place(mut a: MatMut<'_>) -> Result<()> {
             syrk(
                 Uplo::Lower,
                 Trans::No,
-                -1.0,
+                -T::ONE,
                 l21.rf(),
-                1.0,
+                T::ONE,
                 a.sub_mut(k + nb, k + nb, rest, rest),
             );
         }
@@ -53,13 +54,13 @@ pub fn cholesky_in_place(mut a: MatMut<'_>) -> Result<()> {
     // Zero the strict upper triangle so callers get a clean L.
     for j in 1..n {
         for i in 0..j {
-            a.set(i, j, 0.0);
+            a.set(i, j, T::ZERO);
         }
     }
     Ok(())
 }
 
-fn chol_unblocked(mut a: MatMut<'_>, global_offset: usize) -> Result<()> {
+fn chol_unblocked<T: Scalar>(mut a: MatMut<'_, T>, global_offset: usize) -> Result<()> {
     let n = a.rows();
     flops::add((n * n * n) as u64 / 3);
     for j in 0..n {
@@ -68,10 +69,10 @@ fn chol_unblocked(mut a: MatMut<'_>, global_offset: usize) -> Result<()> {
             let v = a.get(j, p);
             d -= v * v;
         }
-        if d <= 0.0 {
+        if d <= T::ZERO {
             return Err(Error::NotPositiveDefinite {
                 index: global_offset + j,
-                pivot: d,
+                pivot: d.to_f64(),
             });
         }
         let d = d.sqrt();
@@ -88,14 +89,14 @@ fn chol_unblocked(mut a: MatMut<'_>, global_offset: usize) -> Result<()> {
 }
 
 /// Convenience: factor a copy of `a`, returning `L`.
-pub fn cholesky(a: &Matrix) -> Result<Matrix> {
+pub fn cholesky<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
     let mut l = a.clone();
     cholesky_in_place(l.mt())?;
     Ok(l)
 }
 
 /// Solve `A x = b` given `L` from [`cholesky`]: two triangular solves.
-pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+pub fn cholesky_solve<T: Scalar>(l: &Matrix<T>, b: &[T]) -> Result<Vec<T>> {
     let mut x = b.to_vec();
     crate::blas2::trsv_lower(l.rf(), &mut x, false)?;
     crate::blas2::trsv_lower_t(l.rf(), &mut x)?;

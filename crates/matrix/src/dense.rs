@@ -1,10 +1,12 @@
 //! Owned column-major matrix storage.
 
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// An owned, column-major, dense `f64` matrix.
+/// An owned, column-major, dense matrix over a [`Scalar`] element type
+/// (`f64` by default).
 ///
 /// Element `(i, j)` lives at `data[i + j * rows]`. Column-major order
 /// matches the BLAS conventions the reproduced paper assumes and makes
@@ -28,19 +30,19 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(c[(0, 0)], 5.0); // (A Aᵀ)₀₀ = 1 + 4
 /// ```
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<T: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Matrix {
+impl<T: Scalar> Matrix<T> {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![T::ZERO; rows * cols],
         }
     }
 
@@ -48,13 +50,13 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = T::ONE;
         }
         m
     }
 
     /// Build from a closure evaluated at every `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for j in 0..cols {
             for i in 0..rows {
@@ -65,7 +67,7 @@ impl Matrix {
     }
 
     /// Build from column-major data. Panics if `data.len() != rows * cols`.
-    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -78,12 +80,12 @@ impl Matrix {
     /// Consume the matrix, yielding its column-major storage. The
     /// inverse of [`Matrix::from_col_major`]; lets a scratch arena
     /// recycle a matrix's buffer without copying.
-    pub fn into_col_major(self) -> Vec<f64> {
+    pub fn into_col_major(self) -> Vec<T> {
         self.data
     }
 
     /// Build from row-major data (convenient for literals in tests).
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[T]]) -> Self {
         let r = rows.len();
         let c = if r == 0 { 0 } else { rows[0].len() };
         for row in rows {
@@ -93,7 +95,7 @@ impl Matrix {
     }
 
     /// Column vector from a slice.
-    pub fn col_vector(v: &[f64]) -> Self {
+    pub fn col_vector(v: &[T]) -> Self {
         Matrix::from_col_major(v.len(), 1, v.to_vec())
     }
 
@@ -115,98 +117,112 @@ impl Matrix {
 
     /// Underlying column-major storage.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable underlying column-major storage.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Borrow as an immutable view of the whole matrix.
     #[inline]
-    pub fn rf(&self) -> MatRef<'_> {
+    pub fn rf(&self) -> MatRef<'_, T> {
         MatRef::from_parts(&self.data, self.rows, self.cols, self.rows)
     }
 
     /// Borrow as a mutable view of the whole matrix.
     #[inline]
-    pub fn mt(&mut self) -> MatMut<'_> {
+    pub fn mt(&mut self) -> MatMut<'_, T> {
         MatMut::from_parts(&mut self.data, self.rows, self.cols, self.rows)
     }
 
     /// Immutable sub-view of `nrows x ncols` starting at `(row, col)`.
     #[inline]
-    pub fn sub(&self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatRef<'_> {
+    pub fn sub(&self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatRef<'_, T> {
         self.rf().sub(row, col, nrows, ncols)
     }
 
     /// Mutable sub-view of `nrows x ncols` starting at `(row, col)`.
     #[inline]
-    pub fn sub_mut(&mut self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
+    pub fn sub_mut(&mut self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'_, T> {
         self.mt().sub_move(row, col, nrows, ncols)
     }
 
     /// Contiguous column as a slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[T] {
         debug_assert!(j < self.cols);
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Contiguous column as a mutable slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
         debug_assert!(j < self.cols);
         let r = self.rows;
         &mut self.data[j * r..(j + 1) * r]
     }
 
     /// Transposed copy.
-    pub fn transpose(&self) -> Matrix {
+    pub fn transpose(&self) -> Matrix<T> {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
     /// Fill every element with `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         self.data.fill(v);
     }
 
     /// Elementwise `self += alpha * other`.
-    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+    pub fn axpy(&mut self, alpha: T, other: &Matrix<T>) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
+            *a += alpha * *b;
         }
         crate::flops::add(2 * self.data.len() as u64);
     }
 
     /// Scale every element by `alpha`.
-    pub fn scale(&mut self, alpha: f64) {
+    pub fn scale(&mut self, alpha: T) {
         for a in &mut self.data {
             *a *= alpha;
         }
         crate::flops::add(self.data.len() as u64);
     }
 
-    /// Maximum absolute difference with `other` (shape must match).
-    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+    /// Maximum absolute difference with `other` (shape must match),
+    /// reported in f64 regardless of element type.
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         self.data
             .iter()
             .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
+            .map(|(&a, &b)| (a - b).abs().to_f64())
             .fold(0.0, f64::max)
+    }
+
+    /// Elementwise conversion to another scalar type: the demotion /
+    /// promotion step of the mixed-precision pipeline (each element
+    /// goes through f64, which is exact for widening and
+    /// round-to-nearest for narrowing).
+    pub fn convert<U: Scalar>(&self) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
+        }
     }
 
     /// Symmetrize in place: `A <- (A + Aᵀ) / 2`. Panics if not square.
     pub fn symmetrize(&mut self) {
         assert_eq!(self.rows, self.cols);
+        let half = T::from_f64(0.5);
         for j in 0..self.cols {
             for i in 0..j {
-                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                let v = half * (self[(i, j)] + self[(j, i)]);
                 self[(i, j)] = v;
                 self[(j, i)] = v;
             }
@@ -214,10 +230,10 @@ impl Matrix {
     }
 }
 
-impl Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &T {
         debug_assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of bounds"
@@ -226,9 +242,9 @@ impl Index<(usize, usize)> for Matrix {
     }
 }
 
-impl IndexMut<(usize, usize)> for Matrix {
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
         debug_assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of bounds"
@@ -237,7 +253,7 @@ impl IndexMut<(usize, usize)> for Matrix {
     }
 }
 
-impl fmt::Debug for Matrix {
+impl<T: Scalar> fmt::Debug for Matrix<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         let rmax = self.rows.min(8);
@@ -265,12 +281,12 @@ mod tests {
 
     #[test]
     fn zeros_and_identity() {
-        let z = Matrix::zeros(3, 4);
+        let z: Matrix = Matrix::zeros(3, 4);
         assert_eq!(z.rows(), 3);
         assert_eq!(z.cols(), 4);
         assert!(z.as_slice().iter().all(|&x| x == 0.0));
 
-        let i = Matrix::identity(3);
+        let i: Matrix = Matrix::identity(3);
         for r in 0..3 {
             for c in 0..3 {
                 assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });

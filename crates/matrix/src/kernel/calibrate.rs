@@ -24,6 +24,7 @@
 
 use crate::blas3::{self, Trans};
 use crate::dense::Matrix;
+use crate::scalar::Scalar;
 use crate::workspace::Workspace;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -51,18 +52,25 @@ pub struct Calibration {
     pub points: Vec<(usize, f64)>,
 }
 
-/// The process-wide calibration, measured on first call.
+/// The process-wide f64 calibration, measured on first call.
 pub fn calibration() -> &'static Calibration {
     static CAL: OnceLock<Calibration> = OnceLock::new();
-    CAL.get_or_init(run)
+    CAL.get_or_init(run::<f64>)
 }
 
-fn run() -> Calibration {
-    let kern = super::active();
+/// The process-wide f32 calibration, measured on first call (the
+/// mixed-precision planner prices its f32 factor stage from this).
+pub fn calibration_f32() -> &'static Calibration {
+    static CAL: OnceLock<Calibration> = OnceLock::new();
+    CAL.get_or_init(run::<f32>)
+}
+
+fn run<T: Scalar>() -> Calibration {
+    let kern = super::active::<T>();
     let mut ws = Workspace::new();
     let points = BLOCK_SIZES
         .iter()
-        .map(|&ms| (ms, measure(ms, kern, &mut ws)))
+        .map(|&ms| (ms, measure::<T>(ms, kern, &mut ws)))
         .collect();
     Calibration {
         isa: kern.isa().name(),
@@ -71,13 +79,13 @@ fn run() -> Calibration {
 }
 
 /// Achieved flop/s of the dominant update shape at block size `ms`.
-fn measure(ms: usize, kern: super::Kernel, ws: &mut Workspace) -> f64 {
+fn measure<T: Scalar>(ms: usize, kern: super::Kernel<T>, ws: &mut Workspace<T>) -> f64 {
     let mut state = 0x9E3779B97F4A7C15u64 | 1;
     let mut fill = |_: usize, _: usize| {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
-        ((state % 1000) as f64 - 500.0) / 250.0
+        T::from_f64(((state % 1000) as f64 - 500.0) / 250.0)
     };
     let a = Matrix::from_fn(ms, ms, &mut fill);
     let b = Matrix::from_fn(ms, TRAILING, &mut fill);
@@ -97,7 +105,7 @@ fn measure(ms: usize, kern: super::Kernel, ws: &mut Workspace) -> f64 {
             // the measurement, and the operands keep the sum bounded.
             if packed {
                 blas3::gemm_blocked(
-                    1.0,
+                    T::ONE,
                     a.rf(),
                     Trans::No,
                     b.rf(),
@@ -107,7 +115,7 @@ fn measure(ms: usize, kern: super::Kernel, ws: &mut Workspace) -> f64 {
                     kern,
                 );
             } else {
-                blas3::gemm_naive_acc(1.0, a.rf(), Trans::No, b.rf(), Trans::No, c.mt());
+                blas3::gemm_naive_acc(T::ONE, a.rf(), Trans::No, b.rf(), Trans::No, c.mt());
             }
         }
         let secs = t0.elapsed().as_secs_f64().max(1.0e-9);
@@ -130,5 +138,15 @@ mod tests {
         assert!(!cal.isa.is_empty());
         // One-shot: a second call returns the identical measurement.
         assert!(std::ptr::eq(calibration(), cal));
+    }
+
+    #[test]
+    fn f32_calibration_is_separate_and_positive() {
+        let cal = calibration_f32();
+        assert_eq!(cal.points.len(), BLOCK_SIZES.len());
+        for &(ms, rate) in &cal.points {
+            assert!(rate > 0.0 && rate.is_finite(), "m_s={ms} rate={rate}");
+        }
+        assert!(!std::ptr::eq(calibration(), cal));
     }
 }

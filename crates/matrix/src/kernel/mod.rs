@@ -28,6 +28,7 @@
 //! Different kernels may legitimately differ in the last bits (FMA
 //! fuses the multiply-add the portable kernel rounds twice).
 
+use crate::scalar::Scalar;
 use crate::view::MatMut;
 use bs_probe::metrics::Counter;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -54,7 +55,7 @@ pub const NR: usize = 4;
 /// to be present; [`Kernel`] construction guarantees it.
 // SAFETY: values of this type are only produced by `kernel_for`, which
 // verifies the ISA is runtime-supported before handing out a SIMD fn.
-pub(crate) type MicroFn = unsafe fn(&[f64], &[f64], usize, MatMut<'_>, usize, usize, usize, usize);
+pub type MicroFn<T> = unsafe fn(&[T], &[T], usize, MatMut<'_, T>, usize, usize, usize, usize);
 
 /// Instruction set a microkernel is compiled for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -255,38 +256,46 @@ fn env_choice() -> Option<Choice> {
     })
 }
 
-/// A dispatched kernel: the resolved ISA plus its microkernel. `Copy`
-/// so drivers resolve once and hand the same kernel to every strip.
+/// A dispatched kernel: the resolved ISA plus its microkernel at one
+/// precision. `Copy` so drivers resolve once and hand the same kernel
+/// to every strip.
 #[derive(Clone, Copy)]
-pub struct Kernel {
+pub struct Kernel<T: Scalar = f64> {
     isa: Isa,
-    pub(crate) micro: MicroFn,
+    pub(crate) micro: MicroFn<T>,
+    pub(crate) rows: usize,
 }
 
-impl std::fmt::Debug for Kernel {
+impl<T: Scalar> std::fmt::Debug for Kernel<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Kernel").field("isa", &self.isa).finish()
+        f.debug_struct("Kernel")
+            .field("isa", &self.isa)
+            .field("scalar", &T::NAME)
+            .finish()
     }
 }
 
-impl Kernel {
+impl<T: Scalar> Kernel<T> {
     /// The ISA this kernel executes.
     pub fn isa(&self) -> Isa {
         self.isa
     }
+
+    /// Rows of `C` one microkernel call covers — the macrokernel's `ir`
+    /// stride. `MR` for every kernel except the f32 AVX2 one, which
+    /// spans two adjacent packed panels (`2 * MR` rows) to double its
+    /// accumulator chains. Always a multiple of `MR`, so the packed
+    /// panel layout is shared by every kernel.
+    pub fn micro_rows(&self) -> usize {
+        self.rows
+    }
 }
 
-/// The kernel for a concrete ISA. Callers must only pass supported
-/// ISAs ([`resolve_choice`] guarantees this); an unsupported request
-/// degrades to the portable kernel rather than faulting.
-pub(crate) fn kernel_for(isa: Isa) -> Kernel {
-    let isa = if isa_supported(isa) {
-        isa
-    } else {
-        Isa::Portable
-    };
-    let micro: MicroFn = match isa {
-        Isa::Portable => portable::micro_8x4,
+/// The f64 microkernel table for a *supported* ISA (callers degrade
+/// unsupported requests first).
+pub(crate) fn micro_for_f64(isa: Isa) -> MicroFn<f64> {
+    match isa {
+        Isa::Portable => portable::micro_8x4::<f64>,
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => x86::micro_8x4_avx2,
         #[cfg(all(target_arch = "x86_64", feature = "avx512"))]
@@ -295,23 +304,77 @@ pub(crate) fn kernel_for(isa: Isa) -> Kernel {
         Isa::Neon => neon::micro_8x4_neon,
         // ISAs compiled out are never "supported" above.
         #[allow(unreachable_patterns)]
-        _ => portable::micro_8x4,
-    };
-    Kernel { isa, micro }
+        _ => portable::micro_8x4::<f64>,
+    }
 }
 
-/// The kernel the BLAS-3 drivers dispatch to right now:
+/// The f32 microkernel table. With `MR = 8`, one 256-bit register holds
+/// a full f32 column tile, so the AVX2 kernel covers a double-height
+/// `2*MR x NR` tile (two adjacent packed panels) — the f64 kernel's
+/// accumulator structure at twice the rows per register, and the
+/// ≥1.5x Gflop/s the mixed-precision pipeline banks on. AVX-512F uses
+/// the same 256-bit kernel (a 512-bit register would cover two column
+/// tiles; the double-height tile gets the chains without a new path).
+pub(crate) fn micro_for_f32(isa: Isa) -> MicroFn<f32> {
+    match isa {
+        Isa::Portable => portable::micro_8x4::<f32>,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => x86::micro_16x4_avx2_f32,
+        #[cfg(all(target_arch = "x86_64", feature = "avx512"))]
+        Isa::Avx512 => x86::micro_16x4_avx2_f32,
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => neon::micro_8x4_neon_f32,
+        #[allow(unreachable_patterns)]
+        _ => portable::micro_8x4::<f32>,
+    }
+}
+
+/// Rows per f32 microkernel call (the macrokernel's `ir` stride): the
+/// AVX2/AVX-512F dispatch runs the double-height 16-row tile; every
+/// other ISA covers `MR` rows.
+pub(crate) fn micro_rows_f32(isa: Isa) -> usize {
+    let _ = isa;
+    #[cfg(target_arch = "x86_64")]
+    if matches!(isa, Isa::Avx2 | Isa::Avx512) {
+        return 2 * MR;
+    }
+    MR
+}
+
+/// The kernel for a concrete ISA. Callers must only pass supported
+/// ISAs ([`resolve_choice`] guarantees this); an unsupported request
+/// degrades to the portable kernel rather than faulting.
+pub(crate) fn kernel_for<T: Scalar>(isa: Isa) -> Kernel<T> {
+    let isa = if isa_supported(isa) {
+        isa
+    } else {
+        Isa::Portable
+    };
+    Kernel {
+        isa,
+        micro: T::micro_for(isa),
+        rows: T::micro_rows(isa),
+    }
+}
+
+/// The ISA the BLAS-3 drivers resolve right now:
 /// [`set_override`] > `BS_KERNEL` > native detection.
-pub fn active() -> Kernel {
+pub fn active_isa() -> Isa {
     let choice = code_to_choice(OVERRIDE.load(Ordering::Relaxed))
         .or_else(env_choice)
         .unwrap_or(Choice::Native);
-    kernel_for(resolve_choice(choice))
+    resolve_choice(choice)
+}
+
+/// The kernel the BLAS-3 drivers dispatch to right now at precision
+/// `T`: [`set_override`] > `BS_KERNEL` > native detection.
+pub fn active<T: Scalar>() -> Kernel<T> {
+    kernel_for(active_isa())
 }
 
 /// Name of the ISA [`active`] dispatches to (CLI reports, plans).
 pub fn active_isa_name() -> &'static str {
-    active().isa().name()
+    active_isa().name()
 }
 
 #[cfg(test)]

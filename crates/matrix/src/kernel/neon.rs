@@ -67,3 +67,58 @@ pub(crate) unsafe fn micro_8x4_neon(
         }
     }
 }
+
+/// `MR x NR` f32 microkernel on NEON: each of the `NR` accumulator
+/// columns is two 4-lane `float32x4_t` registers covering the 8 rows —
+/// half the FMAs per `k`-step of the f64 kernel.
+///
+/// # Safety
+///
+/// The CPU must support NEON (always true on `aarch64`, but dispatch
+/// still verifies it). `apanel`/`bpanel` must hold at least `kc * MR` /
+/// `kc * NR` elements (slice indexing enforces this).
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
+                                     // SAFETY: only dispatched by `kernel_for` after
+                                     // `is_aarch64_feature_detected!("neon")` reports true; all loads/stores
+                                     // go through bounds-checked slices.
+pub(crate) unsafe fn micro_8x4_neon_f32(
+    apanel: &[f32],
+    bpanel: &[f32],
+    kc: usize,
+    mut c: MatMut<'_, f32>,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[vdupq_n_f32(0.0); 2]; NR];
+    for p in 0..kc {
+        let av: &[f32] = &apanel[p * MR..p * MR + MR];
+        let bv: &[f32] = &bpanel[p * NR..p * NR + NR];
+        let alo = vld1q_f32(av.as_ptr());
+        let ahi = vld1q_f32(av.as_ptr().add(4));
+        for j in 0..NR {
+            let bj = vdupq_n_f32(bv[j]);
+            acc[j][0] = vfmaq_f32(acc[j][0], alo, bj);
+            acc[j][1] = vfmaq_f32(acc[j][1], ahi, bj);
+        }
+    }
+    for j in 0..nr {
+        let col = c.col_mut(cj + j);
+        let dst: &mut [f32] = &mut col[ci..ci + mr];
+        if mr == MR {
+            let p = dst.as_mut_ptr();
+            vst1q_f32(p, vaddq_f32(vld1q_f32(p), acc[j][0]));
+            let ph = p.add(4);
+            vst1q_f32(ph, vaddq_f32(vld1q_f32(ph), acc[j][1]));
+        } else {
+            let mut tmp = [0.0f32; MR];
+            vst1q_f32(tmp.as_mut_ptr(), acc[j][0]);
+            vst1q_f32(tmp.as_mut_ptr().add(4), acc[j][1]);
+            for (d, t) in dst.iter_mut().zip(tmp.iter()) {
+                *d += *t;
+            }
+        }
+    }
+}

@@ -16,17 +16,18 @@
 
 use super::{MR, NR};
 use crate::blas3::Trans;
+use crate::scalar::Scalar;
 use crate::view::MatRef;
 
 /// Pack `alpha * op(A)[ic..ic+mc, pc..pc+kc]` into row micro-panels of
 /// height `MR`, zero padded. `apack` must hold at least
 /// `mc.div_ceil(MR) * MR * kc` elements.
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-pub(crate) fn pack_a(
-    apack: &mut [f64],
-    a: MatRef<'_>,
+pub(crate) fn pack_a<T: Scalar>(
+    apack: &mut [T],
+    a: MatRef<'_, T>,
     ta: Trans,
-    alpha: f64,
+    alpha: T,
     ic: usize,
     pc: usize,
     mc: usize,
@@ -46,7 +47,7 @@ pub(crate) fn pack_a(
                         *d = alpha * v;
                     }
                     for d in apack[dst + mr..dst + MR].iter_mut() {
-                        *d = 0.0;
+                        *d = T::ZERO;
                     }
                     dst += MR;
                 }
@@ -69,7 +70,7 @@ pub(crate) fn pack_a(
                         }
                     } else {
                         for p in 0..kc {
-                            apack[base + p * MR + i] = 0.0;
+                            apack[base + p * MR + i] = T::ZERO;
                         }
                     }
                 }
@@ -82,9 +83,9 @@ pub(crate) fn pack_a(
 /// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into column micro-panels of width
 /// `NR`, zero padded. `bpack` must hold at least
 /// `nc.div_ceil(NR) * NR * kc` elements.
-pub(crate) fn pack_b(
-    bpack: &mut [f64],
-    b: MatRef<'_>,
+pub(crate) fn pack_b<T: Scalar>(
+    bpack: &mut [T],
+    b: MatRef<'_, T>,
     tb: Trans,
     pc: usize,
     jc: usize,
@@ -107,7 +108,7 @@ pub(crate) fn pack_b(
                         }
                     } else {
                         for p in 0..kc {
-                            bpack[base + p * NR + j] = 0.0;
+                            bpack[base + p * NR + j] = T::ZERO;
                         }
                     }
                 }
@@ -125,7 +126,7 @@ pub(crate) fn pack_b(
                     let src = &b.col(pc + p)[jc + jr..jc + jr + nr];
                     bpack[dst..dst + nr].copy_from_slice(src);
                     for d in bpack[dst + nr..dst + NR].iter_mut() {
-                        *d = 0.0;
+                        *d = T::ZERO;
                     }
                     dst += NR;
                 }

@@ -1,9 +1,12 @@
 //! The portable scalar microkernel — the always-available fallback and
 //! the reference semantics every SIMD kernel is property-tested
 //! against. This is the exact register-tile loop the blocked `gemm`
-//! shipped with before runtime dispatch existed.
+//! shipped with before runtime dispatch existed, now monomorphized per
+//! [`Scalar`] (the `f64` instantiation performs the identical operation
+//! sequence, so pure-f64 results stay bitwise unchanged).
 
 use super::{MR, NR};
+use crate::scalar::Scalar;
 use crate::view::MatMut;
 
 /// `MR x NR` scalar microkernel: accumulates a rank-`kc` product from
@@ -19,20 +22,20 @@ use crate::view::MatMut;
 /// calls panic rather than misbehave).
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
                                      // SAFETY: body is entirely safe code; `unsafe fn` only matches the MicroFn dispatch signature.
-pub(crate) unsafe fn micro_8x4(
-    apanel: &[f64],
-    bpanel: &[f64],
+pub(crate) unsafe fn micro_8x4<T: Scalar>(
+    apanel: &[T],
+    bpanel: &[T],
     kc: usize,
-    mut c: MatMut<'_>,
+    mut c: MatMut<'_, T>,
     ci: usize,
     cj: usize,
     mr: usize,
     nr: usize,
 ) {
-    let mut acc = [[0.0f64; MR]; NR];
+    let mut acc = [[T::ZERO; MR]; NR];
     for p in 0..kc {
-        let av: &[f64] = &apanel[p * MR..p * MR + MR];
-        let bv: &[f64] = &bpanel[p * NR..p * NR + NR];
+        let av: &[T] = &apanel[p * MR..p * MR + MR];
+        let bv: &[T] = &bpanel[p * NR..p * NR + NR];
         for j in 0..NR {
             let bj = bv[j];
             for i in 0..MR {

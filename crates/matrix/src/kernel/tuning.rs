@@ -12,6 +12,11 @@
 //! - `NC` so the packed B block (`KC x NC`) fills about a quarter of
 //!   L3 (shared, so stay modest), capped to keep the pack buffer small.
 //!
+//! Extents are sized for 8-byte (f64) elements and shared by every
+//! scalar: the f32 panels occupy half the bytes of the same extents, so
+//! they sit comfortably inside the same cache budgets, and sharing one
+//! blocking keeps strip boundaries scalar-independent.
+//!
 //! Sizes come from Linux sysfs (`/sys/devices/system/cpu/cpu0/cache`);
 //! when that is unavailable (other OSes, stripped containers) the
 //! historical constants `128/256/1024` are used. Each extent can be

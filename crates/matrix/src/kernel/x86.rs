@@ -67,6 +67,104 @@ pub(crate) unsafe fn micro_8x4_avx2(
     }
 }
 
+/// f32 microkernel on AVX2+FMA covering a double-height `2*MR x NR`
+/// (16 x 4) register tile. With 8-lane f32 registers one `__m256` holds
+/// a full MR-row column, so an MR-high tile would leave only `NR` = 4
+/// independent FMA chains — too few to hide FMA latency, capping the
+/// kernel near the f64 rate. Spanning two *adjacent* packed A panels
+/// (the pack layout is unchanged; the second panel starts at `kc * MR`)
+/// doubles that to 2·`NR` chains — the same accumulator structure as
+/// the f64 kernel at twice the rows per register, which is where the
+/// f32 path's ≥1.5x Gflop/s comes from. The macrokernel strides `ir` by
+/// [`Kernel::micro_rows`] and passes `mr <= MR` only for the tail tile,
+/// which takes the single-panel branch and never touches the second
+/// panel. Either branch accumulates every `C` entry through one partial
+/// sum in packed `p` order, so results stay bitwise identical across
+/// strip decompositions, thread counts, and `mr` groupings. Also
+/// dispatched for AVX-512F requests (one 512-bit register would span
+/// two column tiles; a double-height 256-bit tile gets the chain count
+/// without a separate code path).
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA. `apanel` must hold at least
+/// `kc * MR` elements — `2 * kc * MR` when `mr > MR` — and `bpanel` at
+/// least `kc * NR` (slice indexing enforces this; an out-of-contract
+/// call panics rather than reads out of bounds).
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
+                                     // SAFETY: only dispatched by `kernel_for` after `is_x86_feature_detected!("avx2")`
+                                     // and `("fma")` both report true; all loads/stores go through bounds-checked slices.
+pub(crate) unsafe fn micro_16x4_avx2_f32(
+    apanel: &[f32],
+    bpanel: &[f32],
+    kc: usize,
+    mut c: MatMut<'_, f32>,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    if mr > MR {
+        let hi: &[f32] = &apanel[kc * MR..];
+        let mut acc = [[_mm256_setzero_ps(); 2]; NR];
+        for p in 0..kc {
+            let av0: &[f32] = &apanel[p * MR..p * MR + MR];
+            let av1: &[f32] = &hi[p * MR..p * MR + MR];
+            let bv: &[f32] = &bpanel[p * NR..p * NR + NR];
+            let alo = _mm256_loadu_ps(av0.as_ptr());
+            let ahi = _mm256_loadu_ps(av1.as_ptr());
+            for j in 0..NR {
+                let bj = _mm256_set1_ps(bv[j]);
+                acc[j][0] = _mm256_fmadd_ps(alo, bj, acc[j][0]);
+                acc[j][1] = _mm256_fmadd_ps(ahi, bj, acc[j][1]);
+            }
+        }
+        for j in 0..nr {
+            let col = c.col_mut(cj + j);
+            let dst: &mut [f32] = &mut col[ci..ci + mr];
+            // mr > MR: the low panel's 8 rows are all live.
+            let p = dst.as_mut_ptr();
+            _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), acc[j][0]));
+            if mr == 2 * MR {
+                let ph = p.add(MR);
+                _mm256_storeu_ps(ph, _mm256_add_ps(_mm256_loadu_ps(ph), acc[j][1]));
+            } else {
+                let mut tmp = [0.0f32; MR];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), acc[j][1]);
+                for (d, t) in dst[MR..].iter_mut().zip(tmp.iter()) {
+                    *d += *t;
+                }
+            }
+        }
+        return;
+    }
+    let mut acc = [_mm256_setzero_ps(); NR];
+    for p in 0..kc {
+        let av: &[f32] = &apanel[p * MR..p * MR + MR];
+        let bv: &[f32] = &bpanel[p * NR..p * NR + NR];
+        let a8 = _mm256_loadu_ps(av.as_ptr());
+        for j in 0..NR {
+            let bj = _mm256_set1_ps(bv[j]);
+            acc[j] = _mm256_fmadd_ps(a8, bj, acc[j]);
+        }
+    }
+    for j in 0..nr {
+        let col = c.col_mut(cj + j);
+        let dst: &mut [f32] = &mut col[ci..ci + mr];
+        if mr == MR {
+            let p = dst.as_mut_ptr();
+            _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), acc[j]));
+        } else {
+            let mut tmp = [0.0f32; MR];
+            _mm256_storeu_ps(tmp.as_mut_ptr(), acc[j]);
+            for (d, t) in dst.iter_mut().zip(tmp.iter()) {
+                *d += *t;
+            }
+        }
+    }
+}
+
 /// `MR x NR` microkernel on AVX-512F: one 8-lane `__m512d` accumulator
 /// per column covers the whole register tile.
 ///

@@ -15,6 +15,7 @@
 
 use crate::dense::Matrix;
 use crate::flops;
+use crate::scalar::Scalar;
 use crate::view::MatMut;
 use crate::{Error, Result};
 
@@ -64,7 +65,7 @@ impl Signature {
     }
 
     /// Apply `W` to a vector in place (flip the negative coordinates).
-    pub fn apply(&self, x: &mut [f64]) {
+    pub fn apply<T: Scalar>(&self, x: &mut [T]) {
         assert_eq!(x.len(), self.0.len());
         for (xi, &s) in x.iter_mut().zip(&self.0) {
             if s < 0 {
@@ -87,15 +88,15 @@ impl Signature {
 /// unit-lower `L` and the diagonal holds `D`. Pivots with
 /// `|d| <= pivot_tol * max_abs_diag(A)` are reported as
 /// [`Error::SingularPivot`].
-pub fn ldlt_in_place(mut a: MatMut<'_>, pivot_tol: f64) -> Result<Vec<f64>> {
+pub fn ldlt_in_place<T: Scalar>(mut a: MatMut<'_, T>, pivot_tol: f64) -> Result<Vec<T>> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "ldlt: matrix must be square");
     let scale = (0..n)
-        .map(|i| a.get(i, i).abs())
+        .map(|i| a.get(i, i).abs().to_f64())
         .fold(0.0, f64::max)
         .max(1.0);
     flops::add((n * n * n) as u64 / 3);
-    let mut d = vec![0.0f64; n];
+    let mut d = vec![T::ZERO; n];
     for j in 0..n {
         // d_j = a_jj - sum_p L_jp^2 d_p
         let mut djj = a.get(j, j);
@@ -103,10 +104,10 @@ pub fn ldlt_in_place(mut a: MatMut<'_>, pivot_tol: f64) -> Result<Vec<f64>> {
             let l = a.get(j, p);
             djj -= l * l * d[p];
         }
-        if djj.abs() <= pivot_tol * scale {
+        if djj.abs().to_f64() <= pivot_tol * scale {
             return Err(Error::SingularPivot {
                 index: j,
-                pivot: djj,
+                pivot: djj.to_f64(),
             });
         }
         d[j] = djj;
@@ -122,7 +123,7 @@ pub fn ldlt_in_place(mut a: MatMut<'_>, pivot_tol: f64) -> Result<Vec<f64>> {
     // Clean the strict upper triangle.
     for j in 1..n {
         for i in 0..j {
-            a.set(i, j, 0.0);
+            a.set(i, j, T::ZERO);
         }
     }
     Ok(d)
@@ -133,14 +134,14 @@ pub fn ldlt_in_place(mut a: MatMut<'_>, pivot_tol: f64) -> Result<Vec<f64>> {
 /// Returns `(L, Σ)` where `L` is lower triangular with positive diagonal
 /// scaling absorbed (`L = L_unit |D|^{1/2}`). Exists iff all leading
 /// principal submatrices are nonsingular (paper §2).
-pub fn sldlt(a: &Matrix, pivot_tol: f64) -> Result<(Matrix, Signature)> {
+pub fn sldlt<T: Scalar>(a: &Matrix<T>, pivot_tol: f64) -> Result<(Matrix<T>, Signature)> {
     let n = a.rows();
     let mut l = a.clone();
     let d = ldlt_in_place(l.mt(), pivot_tol)?;
     let mut sig = Vec::with_capacity(n);
     for j in 0..n {
         let dj = d[j];
-        sig.push(if dj >= 0.0 { 1i8 } else { -1 });
+        sig.push(if dj >= T::ZERO { 1i8 } else { -1 });
         let sq = dj.abs().sqrt();
         // Column j of unit L scaled by |d_j|^{1/2}; unit diagonal -> sq.
         l[(j, j)] = sq;
@@ -154,14 +155,17 @@ pub fn sldlt(a: &Matrix, pivot_tol: f64) -> Result<(Matrix, Signature)> {
 
 /// Solve `A x = b` given the in-place LDLᵀ factor (`L` unit lower in the
 /// strict triangle, `D` on the diagonal of `lfac`).
-pub fn ldlt_solve(lfac: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+pub fn ldlt_solve<T: Scalar>(lfac: &Matrix<T>, b: &[T]) -> Result<Vec<T>> {
     let n = lfac.rows();
     let mut x = b.to_vec();
     crate::blas2::trsv_lower(lfac.rf(), &mut x, true)?;
     for i in 0..n {
         let d = lfac[(i, i)];
-        if d == 0.0 {
-            return Err(Error::SingularPivot { index: i, pivot: d });
+        if d == T::ZERO {
+            return Err(Error::SingularPivot {
+                index: i,
+                pivot: d.to_f64(),
+            });
         }
         x[i] /= d;
     }

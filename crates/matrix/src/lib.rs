@@ -13,9 +13,12 @@
 //! blocks (Cholesky, signature LDLᵀ, LU, Householder QR).
 //!
 //! Design notes:
-//! - `f64` only. The paper's algorithms are formulated for real symmetric
-//!   matrices; a generic scalar type would buy nothing here and cost
-//!   monomorphization time (see the in-repo DESIGN.md).
+//! - Generic over a sealed [`Scalar`] trait (`f64` and `f32` only), with
+//!   `f64` as the default type parameter everywhere so existing call
+//!   sites read unchanged. The `f64` instantiation performs the exact
+//!   pre-generic operation sequence (bitwise-identical results); the
+//!   `f32` instantiation exists for the mixed-precision factor + refine
+//!   path and the wider-SIMD kernels it unlocks.
 //! - Dimension mismatches are programming errors and panic; *numerical*
 //!   failures (not positive definite, singular pivot) are reported through
 //!   [`Error`].
@@ -36,6 +39,7 @@ pub mod lu;
 pub mod norms;
 pub mod par;
 pub mod qr;
+pub mod scalar;
 pub mod trmm;
 pub mod view;
 pub mod workspace;
@@ -49,6 +53,7 @@ pub use dense::Matrix;
 pub use ldlt::{ldlt_in_place, Signature};
 pub use lu::LuFactors;
 pub use par::{ExecPolicy, Partition};
+pub use scalar::Scalar;
 pub use trmm::{symm, trmm};
 pub use view::{MatMut, MatRef};
 pub use workspace::Workspace;

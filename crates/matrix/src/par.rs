@@ -24,6 +24,7 @@
 //! reports `pool_dispatches` / `pool_strips` / `pool_strip_nanos`
 //! counters and a `pool_dispatch` span per parallel region.
 
+use crate::scalar::Scalar;
 use crate::workspace::Workspace;
 use bs_probe::metrics::{self, Counter};
 use std::cell::{Cell, RefCell};
@@ -36,6 +37,98 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Count of live [`FlushSubnormals`] guards: while non-zero, pool
+/// workers mirror the caller's flush-to-zero state for the jobs they
+/// claim (the FP control register is per-thread, so the caller's guard
+/// alone cannot reach the pool).
+static FLUSH_GUARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Thread-local flush-to-zero scope: on x86_64 sets the FTZ and DAZ
+/// bits of MXCSR (subnormal inputs and results become ±0) and restores
+/// the caller's control word on drop. A no-op elsewhere.
+struct FtzScope {
+    #[cfg(target_arch = "x86_64")]
+    mxcsr: u32,
+}
+
+impl FtzScope {
+    fn engage() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut prev: u32 = 0;
+            // SAFETY: stmxcsr/ldmxcsr only read and write this thread's
+            // SSE control/status register; `prev` is a valid, writable
+            // u32 and the prior word is restored on drop.
+            unsafe {
+                core::arch::asm!(
+                    "stmxcsr [{0}]",
+                    in(reg) &mut prev,
+                    options(nostack, preserves_flags)
+                );
+                let flushed: u32 = prev | 0x8040; // FTZ (bit 15) | DAZ (bit 6)
+                core::arch::asm!(
+                    "ldmxcsr [{0}]",
+                    in(reg) &flushed,
+                    options(nostack, preserves_flags)
+                );
+            }
+            FtzScope { mxcsr: prev }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        FtzScope {}
+    }
+}
+
+impl Drop for FtzScope {
+    fn drop(&mut self) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: restores the MXCSR word captured in `engage` on the
+        // same thread (the scope is not Send).
+        unsafe {
+            core::arch::asm!(
+                "ldmxcsr [{0}]",
+                in(reg) &self.mxcsr,
+                options(nostack, preserves_flags)
+            );
+        }
+    }
+}
+
+/// RAII scope that flushes floating-point subnormals to zero on the
+/// calling thread *and* on any pool worker running strips while the
+/// guard lives (workers re-check per claimed job).
+///
+/// The f32 factor stage needs this: Schur generator entries decay
+/// geometrically, and once intermediates fall below the f32 normal
+/// range (≈ 1.2e-38) hardware subnormal assists dominate the factor
+/// time (measured ~6x end-to-end on AVX2). Flushing those magnitudes
+/// is far inside the demotion backward error `δT` the §8.1 refinement
+/// already absorbs. x86_64 only; elsewhere the guard is a no-op and
+/// subnormals take the slow path at IEEE semantics.
+///
+/// Caveat: the worker-side flush is a process-wide request, so an f64
+/// dispatch running *concurrently* with a live guard also flushes —
+/// harmless unless that job produces f64 subnormals (magnitudes below
+/// ≈ 2.2e-308, which no scaled workload here approaches).
+pub struct FlushSubnormals {
+    _local: FtzScope,
+}
+
+impl FlushSubnormals {
+    pub fn engage() -> Self {
+        FLUSH_GUARDS.fetch_add(1, Ordering::Relaxed);
+        FlushSubnormals {
+            _local: FtzScope::engage(),
+        }
+    }
+}
+
+impl Drop for FlushSubnormals {
+    fn drop(&mut self) {
+        FLUSH_GUARDS.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Columns per partition grain: strip widths are rounded up to a
@@ -236,6 +329,11 @@ thread_local! {
     /// Per-thread scratch arena for strip execution; stays warm across
     /// dispatches, preserving the zero-allocation steady state.
     static WORKER_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+
+    /// f32 sibling of [`WORKER_WS`]: the mixed-precision factor path
+    /// runs the same strip kernels at f32 and needs its own arena (the
+    /// pools are typed, so the scalars cannot share one).
+    static WORKER_WS_F32: RefCell<Workspace<f32>> = RefCell::new(Workspace::new());
 }
 
 /// Whether the current thread is already inside a pool dispatch (its
@@ -245,12 +343,52 @@ pub fn in_dispatch() -> bool {
     IN_DISPATCH.with(Cell::get)
 }
 
-/// Run `f` against the current thread's persistent scratch workspace.
-/// Strip closures use this for their temporaries: the workspace warms
-/// up once per thread and every later checkout is a pool hit. Not
-/// reentrant — do not call `with_worker_ws` from inside `f`.
-pub fn with_worker_ws<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+/// Run `f` against the current thread's persistent scratch workspace
+/// for scalar `T` (each scalar owns a separate arena). Strip closures
+/// use this for their temporaries: the workspace warms up once per
+/// thread and every later checkout is a pool hit. Not reentrant — do
+/// not call `with_worker_ws` from inside `f` for the same scalar.
+pub fn with_worker_ws<T: Scalar, R>(f: impl FnOnce(&mut Workspace<T>) -> R) -> R {
+    T::with_worker_ws(f)
+}
+
+/// The f64 worker arena ([`Scalar::with_worker_ws`] routes here).
+pub(crate) fn with_worker_ws_f64<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
     WORKER_WS.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// The f32 worker arena ([`Scalar::with_worker_ws`] routes here).
+pub(crate) fn with_worker_ws_f32<R>(f: impl FnOnce(&mut Workspace<f32>) -> R) -> R {
+    WORKER_WS_F32.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// Measured cost of one pool dispatch in nanoseconds: the wall-clock
+/// latency of fanning an (empty) region out to one worker and joining
+/// it, best of a few samples, measured once per process on first call.
+///
+/// This is the quantity the perf model's thread-count auto-selection
+/// needs to decide when parallelism pays: a dispatch that costs more
+/// than the arithmetic it distributes is a loss at any thread count.
+/// Returns 0 when the machine has a single hardware thread (dispatch
+/// never happens there).
+pub fn dispatch_overhead_ns() -> u64 {
+    static OVERHEAD: OnceLock<u64> = OnceLock::new();
+    *OVERHEAD.get_or_init(|| {
+        if current_num_threads() < 2 {
+            return 0;
+        }
+        let policy = ExecPolicy::with_threads(2);
+        // Warm: first dispatch pays thread spawn, which is not the
+        // steady-state cost the crossover model wants.
+        run_indexed(&policy, 2, |_| {});
+        let mut best = u64::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            run_indexed(&policy, 2, |_| {});
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    })
 }
 
 /// Claim-and-run loop shared by the dispatcher and the workers: grab
@@ -291,7 +429,12 @@ fn worker_loop(chan: Arc<WorkerChan>) {
         let f = unsafe { &*job.f };
         let next = unsafe { &*job.next };
         IN_DISPATCH.with(|d| d.set(true));
+        // Mirror a live FlushSubnormals guard for this job: the FP
+        // control word is per-thread, so the dispatcher's scope cannot
+        // cover the workers.
+        let ftz = (FLUSH_GUARDS.load(Ordering::Relaxed) > 0).then(FtzScope::engage);
         run_strips(f, next, job.n);
+        drop(ftz);
         IN_DISPATCH.with(|d| d.set(false));
         let mut done = pool.done.lock().unwrap_or_else(|e| e.into_inner());
         *done += 1;
@@ -545,7 +688,7 @@ mod tests {
 
     #[test]
     fn worker_ws_hands_out_zeroed_scratch() {
-        let first = with_worker_ws(|ws| {
+        let first = with_worker_ws(|ws: &mut Workspace| {
             let v = ws.take_vec(32);
             let ok = v.iter().all(|&x| x == 0.0);
             ws.give_vec(v);
@@ -553,13 +696,35 @@ mod tests {
         });
         assert!(first);
         // Second checkout of the same size is a pool hit.
-        let (allocs0, allocs1) = with_worker_ws(|ws| {
+        let (allocs0, allocs1) = with_worker_ws(|ws: &mut Workspace| {
             let a0 = ws.allocations();
             let v = ws.take_vec(32);
             ws.give_vec(v);
             (a0, ws.allocations())
         });
         assert_eq!(allocs0, allocs1, "warm checkout must not allocate");
+    }
+
+    #[test]
+    fn worker_ws_f32_is_a_separate_arena() {
+        let zeroed = with_worker_ws(|ws: &mut Workspace<f32>| {
+            let v = ws.take_vec(16);
+            let ok = v.iter().all(|&x| x == 0.0f32);
+            ws.give_vec(v);
+            ok
+        });
+        assert!(zeroed);
+    }
+
+    #[test]
+    fn dispatch_overhead_is_measured_once_and_finite() {
+        let o1 = dispatch_overhead_ns();
+        let o2 = dispatch_overhead_ns();
+        assert_eq!(o1, o2, "one-shot measurement must be stable");
+        if current_num_threads() >= 2 {
+            // An empty 2-strip dispatch should land well under 100 ms.
+            assert!(o1 > 0 && o1 < 100_000_000, "overhead {o1} ns");
+        }
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The sealed [`Scalar`] trait: the two floating-point element types
+//! (`f64`, `f32`) the dense engine is generic over.
+//!
+//! The paper's algorithm is precision-agnostic — what changes with the
+//! element type is (a) SIMD width (twice the lanes in f32, which is the
+//! whole point of the mixed-precision factor + refine pipeline) and
+//! (b) the unit roundoff that the §8.1 refinement loop must recover
+//! from. Everything precision-specific is funnelled through this trait:
+//! the per-ISA microkernel table, the probe counters a kernel charges,
+//! and the per-worker scratch arena used by parallel strips.
+//!
+//! The trait is sealed: the kernel engine monomorphizes over exactly
+//! these two types, and the determinism contract ("fixed kernel ⇒
+//! bitwise identical across thread counts") is only audited for them.
+
+use crate::kernel::{self, Isa, MicroFn};
+use crate::workspace::Workspace;
+use bs_probe::metrics::Counter;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// Element type of the dense/Toeplitz engine: `f64` or `f32`.
+///
+/// Generic numeric code must use only the operations exposed here (plus
+/// the `std::ops` bounds), so that the `f64` instantiation performs the
+/// *identical* operation sequence the pre-generic code did — keeping
+/// pure-f64 results bitwise unchanged.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + std::fmt::Debug
+    + std::fmt::Display
+    + std::fmt::LowerExp
+    + PartialEq
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + std::ops::MulAssign
+    + std::ops::DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Unit roundoff of this type, expressed in f64 (drives the
+    /// mixed-precision residual-bound bookkeeping).
+    const EPSILON: f64;
+    /// Stable lowercase name (`"f64"` / `"f32"`) for CLI reports,
+    /// bench records and metrics.
+    const NAME: &'static str;
+    /// Element size in bytes (BytesMoved accounting).
+    const BYTES: usize;
+
+    /// Lossy conversion from f64 (identity for `f64`; the demotion step
+    /// of the mixed-precision pipeline for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to f64 (identity for `f64`; the promotion
+    /// step before iterative refinement for `f32`).
+    fn to_f64(self) -> f64;
+
+    /// `|self|`.
+    fn abs(self) -> Self;
+    /// `sqrt(self)`.
+    fn sqrt(self) -> Self;
+    /// IEEE `max` as `f64::max` defines it.
+    fn max(self, other: Self) -> Self;
+    /// IEEE `min` as `f64::min` defines it.
+    fn min(self, other: Self) -> Self;
+    /// `self.is_finite()`.
+    fn is_finite(self) -> bool;
+    /// Total order (for pivot search / `iamax`).
+    fn total_cmp(&self, other: &Self) -> std::cmp::Ordering;
+    /// `self.signum()`.
+    fn signum(self) -> Self;
+
+    /// The microkernel for `isa` at this precision. An ISA with no
+    /// kernel at this precision degrades to the portable one.
+    #[doc(hidden)]
+    fn micro_for(isa: Isa) -> MicroFn<Self>;
+    /// Rows of `C` the [`Scalar::micro_for`] kernel covers per call —
+    /// always a multiple of the packed panel height `MR`, so a
+    /// double-height kernel reads two adjacent panels.
+    #[doc(hidden)]
+    fn micro_rows(isa: Isa) -> usize;
+    /// The probe counter blocked GEMM charges its flops to at this
+    /// precision (per-ISA for f64, the aggregate f32 counter for f32).
+    fn kernel_flops_counter(isa: Isa) -> Counter;
+    /// The probe counter blocked GEMM charges its wall-time to.
+    fn kernel_nanos_counter(isa: Isa) -> Counter;
+
+    /// Hand `f` this thread's pooled worker [`Workspace`] at this
+    /// precision (parallel strips borrow scratch without allocating).
+    #[doc(hidden)]
+    fn with_worker_ws<R>(f: impl FnOnce(&mut Workspace<Self>) -> R) -> R;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: f64 = f64::EPSILON;
+    const NAME: &'static str = "f64";
+    const BYTES: usize = 8;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline(always)]
+    fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        f64::total_cmp(self, other)
+    }
+    #[inline(always)]
+    fn signum(self) -> Self {
+        f64::signum(self)
+    }
+
+    fn micro_for(isa: Isa) -> MicroFn<Self> {
+        kernel::micro_for_f64(isa)
+    }
+    fn micro_rows(_isa: Isa) -> usize {
+        kernel::MR
+    }
+    fn kernel_flops_counter(isa: Isa) -> Counter {
+        isa.flops_counter()
+    }
+    fn kernel_nanos_counter(isa: Isa) -> Counter {
+        isa.nanos_counter()
+    }
+    #[inline]
+    fn with_worker_ws<R>(f: impl FnOnce(&mut Workspace<Self>) -> R) -> R {
+        crate::par::with_worker_ws_f64(f)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: f64 = f32::EPSILON as f64;
+    const NAME: &'static str = "f32";
+    const BYTES: usize = 4;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline(always)]
+    fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        f32::total_cmp(self, other)
+    }
+    #[inline(always)]
+    fn signum(self) -> Self {
+        f32::signum(self)
+    }
+
+    fn micro_for(isa: Isa) -> MicroFn<Self> {
+        kernel::micro_for_f32(isa)
+    }
+    fn micro_rows(isa: Isa) -> usize {
+        kernel::micro_rows_f32(isa)
+    }
+    fn kernel_flops_counter(_isa: Isa) -> Counter {
+        Counter::KernelFlopsF32
+    }
+    fn kernel_nanos_counter(_isa: Isa) -> Counter {
+        Counter::KernelNanosF32
+    }
+    #[inline]
+    fn with_worker_ws<R>(f: impl FnOnce(&mut Workspace<Self>) -> R) -> R {
+        crate::par::with_worker_ws_f32(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip_for_f64() {
+        let v = 1.2345678901234567_f64;
+        assert_eq!(f64::from_f64(v).to_f64(), v);
+    }
+
+    #[test]
+    fn f32_demotion_rounds() {
+        let v = 1.2345678901234567_f64;
+        let demoted = f32::from_f64(v);
+        assert!((demoted.to_f64() - v).abs() <= f32::EPSILON as f64 * v.abs());
+        assert_ne!(demoted.to_f64(), v);
+    }
+
+    #[test]
+    fn names_and_sizes_are_stable() {
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f32 as Scalar>::EPSILON, f32::EPSILON as f64);
+    }
+
+    #[test]
+    fn every_isa_resolves_a_microkernel_per_scalar() {
+        use crate::kernel::Isa;
+        for isa in [Isa::Portable, Isa::Avx2, Isa::Avx512, Isa::Neon] {
+            // Unsupported ISAs degrade to portable rather than faulting;
+            // the point is that resolution is total for both scalars.
+            let _ = <f64 as Scalar>::micro_for(isa);
+            let _ = <f32 as Scalar>::micro_for(isa);
+        }
+    }
+}

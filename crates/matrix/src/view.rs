@@ -6,19 +6,20 @@
 //! the Schur generator without copying.
 
 use crate::dense::Matrix;
+use crate::scalar::Scalar;
 
 /// Immutable view into column-major storage.
 #[derive(Clone, Copy)]
-pub struct MatRef<'a> {
-    data: &'a [f64],
+pub struct MatRef<'a, T: Scalar = f64> {
+    data: &'a [T],
     rows: usize,
     cols: usize,
     cstride: usize,
 }
 
 /// Mutable view into column-major storage.
-pub struct MatMut<'a> {
-    data: &'a mut [f64],
+pub struct MatMut<'a, T: Scalar = f64> {
+    data: &'a mut [T],
     rows: usize,
     cols: usize,
     cstride: usize,
@@ -33,11 +34,11 @@ fn required_len(rows: usize, cols: usize, cstride: usize) -> usize {
     }
 }
 
-impl<'a> MatRef<'a> {
+impl<'a, T: Scalar> MatRef<'a, T> {
     /// Construct from raw parts. `data` must hold at least
     /// `(cols-1)*cstride + rows` elements.
     #[inline]
-    pub fn from_parts(data: &'a [f64], rows: usize, cols: usize, cstride: usize) -> Self {
+    pub fn from_parts(data: &'a [T], rows: usize, cols: usize, cstride: usize) -> Self {
         assert!(
             cstride >= rows || cols <= 1,
             "column stride smaller than rows"
@@ -73,21 +74,21 @@ impl<'a> MatRef<'a> {
 
     /// Element access.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.cstride]
     }
 
     /// Column `j` as a contiguous slice of length `rows`.
     #[inline]
-    pub fn col(&self, j: usize) -> &'a [f64] {
+    pub fn col(&self, j: usize) -> &'a [T] {
         debug_assert!(j < self.cols);
         &self.data[j * self.cstride..j * self.cstride + self.rows]
     }
 
     /// Sub-view at `(row, col)` of shape `nrows x ncols`.
     #[inline]
-    pub fn sub(&self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+    pub fn sub(&self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatRef<'a, T> {
         assert!(row + nrows <= self.rows, "row range out of bounds");
         assert!(col + ncols <= self.cols, "col range out of bounds");
         let offset = row + col * self.cstride;
@@ -101,7 +102,7 @@ impl<'a> MatRef<'a> {
     }
 
     /// Copy into an owned [`Matrix`].
-    pub fn to_matrix(&self) -> Matrix {
+    pub fn to_matrix(&self) -> Matrix<T> {
         let mut out = Matrix::zeros(self.rows, self.cols);
         for j in 0..self.cols {
             out.col_mut(j).copy_from_slice(self.col(j));
@@ -110,10 +111,10 @@ impl<'a> MatRef<'a> {
     }
 }
 
-impl<'a> MatMut<'a> {
+impl<'a, T: Scalar> MatMut<'a, T> {
     /// Construct from raw parts; same contract as [`MatRef::from_parts`].
     #[inline]
-    pub fn from_parts(data: &'a mut [f64], rows: usize, cols: usize, cstride: usize) -> Self {
+    pub fn from_parts(data: &'a mut [T], rows: usize, cols: usize, cstride: usize) -> Self {
         assert!(
             cstride >= rows || cols <= 1,
             "column stride smaller than rows"
@@ -148,27 +149,27 @@ impl<'a> MatMut<'a> {
     }
 
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.cstride]
     }
 
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.cstride] = v;
     }
 
     /// Column `j` as a contiguous slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[T] {
         debug_assert!(j < self.cols);
         &self.data[j * self.cstride..j * self.cstride + self.rows]
     }
 
     /// Column `j` as a contiguous mutable slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
         debug_assert!(j < self.cols);
         let s = self.cstride;
         &mut self.data[j * s..j * s + self.rows]
@@ -176,7 +177,7 @@ impl<'a> MatMut<'a> {
 
     /// Reborrow immutably.
     #[inline]
-    pub fn rb(&self) -> MatRef<'_> {
+    pub fn rb(&self) -> MatRef<'_, T> {
         MatRef {
             data: self.data,
             rows: self.rows,
@@ -187,7 +188,7 @@ impl<'a> MatMut<'a> {
 
     /// Reborrow mutably with a shorter lifetime.
     #[inline]
-    pub fn rb_mut(&mut self) -> MatMut<'_> {
+    pub fn rb_mut(&mut self) -> MatMut<'_, T> {
         MatMut {
             data: self.data,
             rows: self.rows,
@@ -198,7 +199,7 @@ impl<'a> MatMut<'a> {
 
     /// Consume the view and return a sub-view (keeps the original lifetime).
     #[inline]
-    pub fn sub_move(self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'a> {
+    pub fn sub_move(self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'a, T> {
         assert!(row + nrows <= self.rows, "row range out of bounds");
         assert!(col + ncols <= self.cols, "col range out of bounds");
         let offset = row + col * self.cstride;
@@ -213,13 +214,13 @@ impl<'a> MatMut<'a> {
 
     /// Shorter-lifetime sub-view (borrows `self`).
     #[inline]
-    pub fn sub_mut(&mut self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
+    pub fn sub_mut(&mut self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'_, T> {
         self.rb_mut().sub_move(row, col, nrows, ncols)
     }
 
     /// Split into disjoint left (`..col`) and right (`col..`) column ranges.
     #[inline]
-    pub fn split_at_col(self, col: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_at_col(self, col: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
         assert!(col <= self.cols);
         let rows = self.rows;
         let cstride = self.cstride;
@@ -245,7 +246,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Copy every element from `src` (shapes must match).
-    pub fn copy_from(&mut self, src: MatRef<'_>) {
+    pub fn copy_from(&mut self, src: MatRef<'_, T>) {
         assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
         for j in 0..self.cols {
             self.col_mut(j).copy_from_slice(src.col(j));
@@ -253,14 +254,14 @@ impl<'a> MatMut<'a> {
     }
 
     /// Set every element to `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         for j in 0..self.cols {
             self.col_mut(j).fill(v);
         }
     }
 
     /// Copy into an owned [`Matrix`].
-    pub fn to_matrix(&self) -> Matrix {
+    pub fn to_matrix(&self) -> Matrix<T> {
         self.rb().to_matrix()
     }
 }

@@ -17,9 +17,11 @@
 //! the steady-state benchmark asserts stay flat across warm solves.
 
 use crate::dense::Matrix;
+use crate::scalar::Scalar;
 use bs_probe::metrics::{self, Counter};
 
-/// A reusable pool of `f64` scratch buffers.
+/// A reusable pool of scratch buffers over one [`Scalar`] type
+/// (`f64` by default).
 ///
 /// Not thread-safe by design: each factorization (or each worker)
 /// owns its workspace. Buffers returned by [`take_vec`](Self::take_vec)
@@ -27,12 +29,12 @@ use bs_probe::metrics::{self, Counter};
 /// indistinguishable from a fresh `vec![0.0; len]` — this is what lets
 /// the plan/execute path produce bitwise-identical factors to the
 /// historical allocate-per-call code.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 #[must_use]
-pub struct Workspace {
+pub struct Workspace<T: Scalar = f64> {
     /// Idle buffers, kept sorted by capacity (ascending) so checkout
     /// can best-fit with a linear scan over a short list.
-    pool: Vec<Vec<f64>>,
+    pool: Vec<Vec<T>>,
     /// Cold heap allocations performed (pool misses) since creation or
     /// the last [`reset_stats`](Self::reset_stats).
     allocations: u64,
@@ -54,7 +56,21 @@ pub struct Workspace {
     outstanding: i64,
 }
 
-impl Workspace {
+impl<T: Scalar> Default for Workspace<T> {
+    fn default() -> Self {
+        Workspace {
+            pool: Vec::new(),
+            allocations: 0,
+            allocated_elems: 0,
+            live_elems: 0,
+            high_water_elems: 0,
+            bypass: false,
+            outstanding: 0,
+        }
+    }
+}
+
+impl<T: Scalar> Workspace<T> {
     /// An empty workspace; the first factorization warms it up.
     pub fn new() -> Self {
         Workspace::default()
@@ -82,7 +98,7 @@ impl Workspace {
     /// Dropping the returned buffer instead of `give_vec`-ing it back
     /// leaks it from the pool, so the checkout is `#[must_use]`.
     #[must_use]
-    pub fn take_vec(&mut self, len: usize) -> Vec<f64> {
+    pub fn take_vec(&mut self, len: usize) -> Vec<T> {
         self.outstanding += 1;
         self.live_elems += len;
         self.high_water_elems = self.high_water_elems.max(self.live_elems);
@@ -91,7 +107,7 @@ impl Workspace {
             self.allocated_elems += len as u64;
             metrics::incr(Counter::WorkspaceAllocs);
             metrics::add(Counter::WorkspaceElems, len as u64);
-            return vec![0.0; len];
+            return vec![T::ZERO; len];
         }
         // Best fit: smallest capacity >= len. The pool stays small (a
         // handful of buffers per factorization), so a scan is fine.
@@ -105,7 +121,7 @@ impl Workspace {
             Some(i) => {
                 let mut v = self.pool.swap_remove(i);
                 v.clear();
-                v.resize(len, 0.0);
+                v.resize(len, T::ZERO);
                 v
             }
             None => {
@@ -113,15 +129,15 @@ impl Workspace {
                 self.allocated_elems += len as u64;
                 metrics::incr(Counter::WorkspaceAllocs);
                 metrics::add(Counter::WorkspaceElems, len as u64);
-                vec![0.0; len]
+                vec![T::ZERO; len]
             }
         }
     }
 
-    /// Return a buffer to the pool for reuse. Accepts any `Vec<f64>`,
+    /// Return a buffer to the pool for reuse. Accepts any vector,
     /// including ones the workspace did not hand out (that is how a
     /// solver donates a retired factor's storage).
-    pub fn give_vec(&mut self, v: Vec<f64>) {
+    pub fn give_vec(&mut self, v: Vec<T>) {
         self.outstanding -= 1;
         self.live_elems = self.live_elems.saturating_sub(v.len());
         if self.bypass || v.capacity() == 0 {
@@ -132,12 +148,12 @@ impl Workspace {
 
     /// Check out a zeroed `rows x cols` matrix backed by pooled storage.
     #[must_use]
-    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix<T> {
         Matrix::from_col_major(rows, cols, self.take_vec(rows * cols))
     }
 
     /// Return a matrix's storage to the pool.
-    pub fn give_matrix(&mut self, m: Matrix) {
+    pub fn give_matrix(&mut self, m: Matrix<T>) {
         self.give_vec(m.into_col_major());
     }
 
@@ -226,7 +242,7 @@ mod tests {
 
     #[test]
     fn checkout_is_zero_filled_and_reuses() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let mut a = ws.take_vec(8);
         assert_eq!(ws.allocations(), 1);
         a.iter_mut().for_each(|x| *x = 7.0);
@@ -240,7 +256,7 @@ mod tests {
 
     #[test]
     fn best_fit_prefers_smallest_sufficient_buffer() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let big = ws.take_vec(100);
         let small = ws.take_vec(10);
         ws.give_vec(big);
@@ -254,7 +270,7 @@ mod tests {
 
     #[test]
     fn high_water_tracks_peak_live() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let a = ws.take_vec(30);
         let b = ws.take_vec(20);
         ws.give_vec(a);
@@ -266,7 +282,7 @@ mod tests {
 
     #[test]
     fn warm_workspace_allocates_nothing() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         for _ in 0..3 {
             let m = ws.take_matrix(16, 8);
             let v = ws.take_vec(64);
@@ -286,7 +302,7 @@ mod tests {
 
     #[test]
     fn bypass_mode_never_pools() {
-        let mut ws = Workspace::bypass();
+        let mut ws: Workspace = Workspace::bypass();
         for _ in 0..4 {
             let v = ws.take_vec(32);
             assert!(v.iter().all(|&x| x == 0.0));
@@ -298,7 +314,7 @@ mod tests {
 
     #[test]
     fn outstanding_tracks_checkout_balance() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         assert_eq!(ws.outstanding(), 0);
         let a = ws.take_vec(8);
         let m = ws.take_matrix(2, 2);
@@ -314,7 +330,7 @@ mod tests {
 
     #[test]
     fn matrix_roundtrip_preserves_shape() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let m = ws.take_matrix(3, 5);
         assert_eq!((m.rows(), m.cols()), (3, 5));
         ws.give_matrix(m);

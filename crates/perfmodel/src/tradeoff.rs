@@ -162,22 +162,94 @@ pub fn auto_block_size_with_rate(n: usize, m: usize, table: &RateTable) -> usize
     crossover_block_size(n, &candidates, |ms| table.rate(ms))
 }
 
-/// [`auto_threads`] under a measured kernel rate (flop/s): each thread
-/// must amortize about a millisecond of kernel work before fanning out
-/// pays — the same dispatch-overhead calibration behind
-/// [`MIN_FLOPS_PER_THREAD`] (which this recovers at 4 Gflop/s). A
-/// non-finite or non-positive rate falls back to the assumed constant.
-pub fn auto_threads_with_rate(total_flops: f64, rate: f64, available: usize) -> usize {
-    let per_thread = if rate.is_finite() && rate > 0.0 {
-        rate * 1.0e-3
+/// Dispatch overhead assumed when the caller has no measurement (a
+/// single-threaded machine reports 0 because dispatch never happens
+/// there): ~20 µs, the mailbox-wake + done-barrier latency of the
+/// worker pool observed on commodity hosts.
+pub const DEFAULT_DISPATCH_OVERHEAD_NS: u64 = 20_000;
+
+/// Fallback kernel rate (flop/s) when the caller passes a degenerate
+/// measurement; 4 Gflop/s recovers [`MIN_FLOPS_PER_THREAD`] at the
+/// default overhead.
+const FALLBACK_RATE: f64 = 4.0e9;
+
+/// Safety factor on the dispatch-overhead crossover: a marginal thread
+/// (or a dispatched region) must save at least this many overheads'
+/// worth of wall-clock before fanning out is allowed. Break-even cases
+/// stay sequential, where dispatch jitter would otherwise produce
+/// sub-1x "speedups" against the inline loop.
+pub const CROSSOVER_SAFETY: f64 = 2.0;
+
+fn effective_overhead_s(overhead_ns: u64) -> f64 {
+    let ns = if overhead_ns == 0 {
+        DEFAULT_DISPATCH_OVERHEAD_NS
     } else {
-        MIN_FLOPS_PER_THREAD
+        overhead_ns
     };
+    ns as f64 * 1.0e-9
+}
+
+fn effective_rate(rate: f64) -> f64 {
+    if rate.is_finite() && rate > 0.0 {
+        rate
+    } else {
+        FALLBACK_RATE
+    }
+}
+
+/// [`auto_threads`] under a *measured* kernel rate (flop/s) and pool
+/// dispatch overhead (ns): the sequential-fallback crossover is derived
+/// from the measurements instead of an assumed work constant.
+///
+/// The rule is marginal utility: with `W = total_flops / rate` the
+/// sequential kernel time, the `t`-th thread shortens a perfectly
+/// split region by `W/(t(t−1))` seconds; threads are admitted while
+/// that saving clears [`CROSSOVER_SAFETY`] dispatch overheads. At the
+/// 2-thread boundary this guarantees the parallel region is no slower
+/// than the inline loop (the saved half must pay the overhead at least
+/// twice over), which is what keeps small problems — where a dispatch
+/// costs more than the arithmetic it distributes — sequential.
+/// Degenerate rates fall back to 4 Gflop/s; `overhead_ns = 0` (no
+/// measurement) falls back to [`DEFAULT_DISPATCH_OVERHEAD_NS`].
+pub fn auto_threads_with_rate(
+    total_flops: f64,
+    rate: f64,
+    overhead_ns: u64,
+    available: usize,
+) -> usize {
     if total_flops.is_nan() || total_flops <= 0.0 || available <= 1 {
         return 1;
     }
-    let by_work = (total_flops / per_thread).floor() as usize;
-    by_work.clamp(1, available)
+    let w = total_flops / effective_rate(rate);
+    // t(t−1) ≤ cap admits thread t; solve the quadratic for the
+    // largest such t.
+    let cap = w / (effective_overhead_s(overhead_ns) * CROSSOVER_SAFETY);
+    if cap < 2.0 {
+        return 1;
+    }
+    let t = ((1.0 + (1.0 + 4.0 * cap).sqrt()) / 2.0).floor() as usize;
+    // Rounding in the quotient chain can land cap a few ulps under an
+    // exact integer boundary (e.g. 11.999…8 for t = 4); re-test the
+    // integer criterion with relative slack so boundary inputs admit
+    // the thread the exact arithmetic would.
+    let t = if ((t + 1) * t) as f64 <= cap * (1.0 + 1e-9) {
+        t + 1
+    } else {
+        t
+    };
+    t.clamp(1, available)
+}
+
+/// Work-volume dispatch gate derived from the measured overhead: the
+/// `ExecPolicy::min_work` value (product-of-extents scale, ≈ flops/2)
+/// below which a parallel region cannot recoup one dispatch. Even a
+/// perfect two-way split moves only half the flops off-thread, so the
+/// region must carry `2 · CROSSOVER_SAFETY · overhead · rate` flops —
+/// `CROSSOVER_SAFETY · overhead · rate` work units — before the pool
+/// is worth waking. Replaces the static 64³ default for calibrated
+/// plans.
+pub fn min_dispatch_work(rate: f64, overhead_ns: u64) -> u64 {
+    (effective_rate(rate) * effective_overhead_s(overhead_ns) * CROSSOVER_SAFETY) as u64
 }
 
 /// Given an empirical effective rate `rate(m_s)` in flops/second for
@@ -295,29 +367,54 @@ mod tests {
     }
 
     #[test]
-    fn auto_threads_with_rate_scales_with_kernel_speed() {
-        // At 4 Gflop/s this recovers the assumed constant exactly.
+    fn auto_threads_with_rate_derives_crossover_from_overhead() {
+        // 25 µs overhead, 4 Gflop/s: one "cap unit" is
+        // CROSSOVER_SAFETY · 25 µs = 50 µs of kernel time = 200 kflop.
+        let oh = 25_000u64;
+        // Below the 2-thread crossover (t(t−1) = 2 needs 400 kflop of
+        // work): stay sequential. This is the small-n regime where the
+        // old constant fanned out at a loss.
+        assert_eq!(auto_threads_with_rate(3.0e5, 4.0e9, oh, 64), 1);
+        // cap = 12 admits t = 4 (4·3 = 12 marginal overheads paid).
+        assert_eq!(auto_threads_with_rate(2.4e6, 4.0e9, oh, 64), 4);
+        // A faster kernel finishes the same flops sooner, so fewer
+        // threads clear the marginal bar.
+        assert_eq!(auto_threads_with_rate(2.4e6, 16.0e9, oh, 64), 2);
+        // A cheaper dispatch admits more threads for the same work
+        // (cap = 60 → t = 8, since 8·7 = 56 ≤ 60 < 9·8).
+        assert_eq!(auto_threads_with_rate(2.4e6, 4.0e9, 5_000, 64), 8);
+        // Degenerate inputs: NaN work is sequential, rate falls back to
+        // 4 Gflop/s, zero overhead falls back to the assumed 20 µs.
+        assert_eq!(auto_threads_with_rate(f64::NAN, 4.0e9, oh, 64), 1);
         assert_eq!(
-            auto_threads_with_rate(2.5 * MIN_FLOPS_PER_THREAD, 4.0e9, 64),
-            2
+            auto_threads_with_rate(2.4e6, f64::NAN, oh, 64),
+            auto_threads_with_rate(2.4e6, 4.0e9, oh, 64)
         );
-        // A faster kernel needs more work per thread, so fewer threads.
         assert_eq!(
-            auto_threads_with_rate(8.0 * MIN_FLOPS_PER_THREAD, 16.0e9, 64),
-            2
+            auto_threads_with_rate(2.4e6, 4.0e9, 0, 64),
+            auto_threads_with_rate(2.4e6, 4.0e9, DEFAULT_DISPATCH_OVERHEAD_NS, 64)
         );
-        // A slower kernel amortizes sooner.
+        // Clamped to the machine.
+        assert_eq!(auto_threads_with_rate(1.0e12, 4.0e9, oh, 4), 4);
+        assert_eq!(auto_threads_with_rate(1.0e12, 4.0e9, oh, 1), 1);
+    }
+
+    #[test]
+    fn min_dispatch_work_scales_with_rate_and_overhead() {
+        // 4 Gflop/s · 25 µs · safety 2 = 200k work units.
+        assert_eq!(min_dispatch_work(4.0e9, 25_000), 200_000);
+        // Twice the overhead (or twice the rate) doubles the gate.
+        assert_eq!(min_dispatch_work(4.0e9, 50_000), 400_000);
+        assert_eq!(min_dispatch_work(8.0e9, 25_000), 400_000);
+        // Degenerate measurements fall back to the assumed constants.
         assert_eq!(
-            auto_threads_with_rate(2.0 * MIN_FLOPS_PER_THREAD, 1.0e9, 64),
-            8
+            min_dispatch_work(f64::NAN, 25_000),
+            min_dispatch_work(4.0e9, 25_000)
         );
-        // Degenerate rates fall back to the assumed constant.
         assert_eq!(
-            auto_threads_with_rate(8.0 * MIN_FLOPS_PER_THREAD, f64::NAN, 64),
-            8
+            min_dispatch_work(4.0e9, 0),
+            min_dispatch_work(4.0e9, DEFAULT_DISPATCH_OVERHEAD_NS)
         );
-        assert_eq!(auto_threads_with_rate(f64::NAN, 4.0e9, 64), 1);
-        assert_eq!(auto_threads_with_rate(1.0e12, 4.0e9, 1), 1);
     }
 
     #[test]

@@ -80,10 +80,18 @@ pub enum Counter {
     KernelNanosAvx512,
     /// Nanoseconds spent in packed GEMM on the NEON microkernel.
     KernelNanosNeon,
+    /// Flops executed by the f32 microkernels (any ISA; the per-ISA
+    /// kernel counters above attribute the f64 path).
+    KernelFlopsF32,
+    /// Nanoseconds spent in packed GEMM on the f32 microkernels.
+    KernelNanosF32,
+    /// Mixed-precision solves that abandoned the f32 factor because
+    /// refinement stalled and refactored in full f64.
+    MixedStallFallbacks,
 }
 
 /// Number of counter categories.
-pub const N_COUNTERS: usize = 31;
+pub const N_COUNTERS: usize = 34;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -119,6 +127,9 @@ impl Counter {
         Counter::KernelNanosAvx2,
         Counter::KernelNanosAvx512,
         Counter::KernelNanosNeon,
+        Counter::KernelFlopsF32,
+        Counter::KernelNanosF32,
+        Counter::MixedStallFallbacks,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -155,6 +166,9 @@ impl Counter {
             Counter::KernelNanosAvx2 => "kernel_nanos_avx2",
             Counter::KernelNanosAvx512 => "kernel_nanos_avx512",
             Counter::KernelNanosNeon => "kernel_nanos_neon",
+            Counter::KernelFlopsF32 => "kernel_flops_f32",
+            Counter::KernelNanosF32 => "kernel_nanos_f32",
+            Counter::MixedStallFallbacks => "mixed_stall_fallbacks",
         }
     }
 }

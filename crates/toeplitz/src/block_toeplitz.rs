@@ -1,7 +1,7 @@
 //! Compact representation of a symmetric block Toeplitz matrix.
 
 use bs_matrix::blas3::{gemm, Trans};
-use bs_matrix::Matrix;
+use bs_matrix::{Matrix, Scalar};
 
 /// A symmetric block Toeplitz matrix stored by its first block row
 /// `T̂₁, T̂₂, …, T̂_p` (eq. 2 of the paper).
@@ -21,17 +21,17 @@ use bs_matrix::Matrix;
 /// `T̂_{j−i+1}` for `j ≥ i` and `T̂_{i−j+1}ᵀ` for `j < i`. Symmetry of the
 /// whole matrix requires `T̂₁ = T̂₁ᵀ`, which the constructor enforces.
 #[derive(Clone, Debug)]
-pub struct SymBlockToeplitz {
+pub struct SymBlockToeplitz<T: Scalar = f64> {
     m: usize,
     p: usize,
     /// `blocks[d]` is `T̂_{d+1}` (offset-`d` block diagonal).
-    blocks: Vec<Matrix>,
+    blocks: Vec<Matrix<T>>,
 }
 
-impl SymBlockToeplitz {
+impl<T: Scalar> SymBlockToeplitz<T> {
     /// Build from the first block row. Panics on shape violations or a
     /// non-symmetric leading block.
-    pub fn new(blocks: Vec<Matrix>) -> Self {
+    pub fn new(blocks: Vec<Matrix<T>>) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         let m = blocks[0].rows();
         assert!(m > 0, "blocks must be non-empty");
@@ -42,7 +42,8 @@ impl SymBlockToeplitz {
         for i in 0..m {
             for j in 0..m {
                 assert!(
-                    (t1[(i, j)] - t1[(j, i)]).abs() <= 1e-12 * (1.0 + t1[(i, j)].abs()),
+                    (t1[(i, j)] - t1[(j, i)]).abs().to_f64()
+                        <= 1e-12 * (1.0 + t1[(i, j)].abs().to_f64()),
                     "leading block must be symmetric"
                 );
             }
@@ -55,7 +56,7 @@ impl SymBlockToeplitz {
     /// existing block storage — no allocation when the shapes match,
     /// which is what keeps a warm solver's `refactor` allocation-free.
     /// Panics on a shape mismatch.
-    pub fn clone_data_from(&mut self, other: &SymBlockToeplitz) {
+    pub fn clone_data_from(&mut self, other: &SymBlockToeplitz<T>) {
         assert_eq!(
             (self.m, self.p),
             (other.m, other.p),
@@ -67,12 +68,25 @@ impl SymBlockToeplitz {
     }
 
     /// Scalar (m = 1) symmetric Toeplitz from its first row.
-    pub fn from_scalar_row(row: &[f64]) -> Self {
+    pub fn from_scalar_row(row: &[T]) -> Self {
         let blocks = row
             .iter()
             .map(|&t| Matrix::from_col_major(1, 1, vec![t]))
             .collect();
         SymBlockToeplitz::new(blocks)
+    }
+
+    /// The same matrix with every block converted elementwise to
+    /// scalar `U` — the demotion step of the mixed-precision factor
+    /// path (and the promotion step of its verification tests).
+    /// Demotion to f32 rounds each entry once; symmetry survives
+    /// because rounding is deterministic per value.
+    pub fn convert<U: Scalar>(&self) -> SymBlockToeplitz<U> {
+        SymBlockToeplitz {
+            m: self.m,
+            p: self.p,
+            blocks: self.blocks.iter().map(|b| b.convert::<U>()).collect(),
+        }
     }
 
     /// Structural block size `m`.
@@ -95,12 +109,12 @@ impl SymBlockToeplitz {
 
     /// The first block row `T̂₁ … T̂_p`.
     #[inline]
-    pub fn first_block_row(&self) -> &[Matrix] {
+    pub fn first_block_row(&self) -> &[Matrix<T>] {
         &self.blocks
     }
 
     /// Element access into the implicit full matrix.
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         let (bi, ri) = (i / self.m, i % self.m);
         let (bj, rj) = (j / self.m, j % self.m);
         if bj >= bi {
@@ -111,7 +125,7 @@ impl SymBlockToeplitz {
     }
 
     /// Materialize the full dense matrix (test/verification use; O(n²)).
-    pub fn to_dense(&self) -> Matrix {
+    pub fn to_dense(&self) -> Matrix<T> {
         let n = self.order();
         Matrix::from_fn(n, n, |i, j| self.get(i, j))
     }
@@ -122,7 +136,7 @@ impl SymBlockToeplitz {
     /// This is the residual kernel of the iterative-refinement loop
     /// (§8.1) — the refinement claim "cheaper per iteration than PCG"
     /// relies on this product being fast.
-    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
         let n = self.order();
         assert_eq!(x.len(), n);
         let (m, p) = (self.m, self.p);
@@ -131,34 +145,34 @@ impl SymBlockToeplitz {
         let mut ym = Matrix::zeros(m, p);
         // d = 0: Y += T̂₁ X.
         gemm(
-            1.0,
+            T::ONE,
             self.blocks[0].rf(),
             Trans::No,
             xm.rf(),
             Trans::No,
-            0.0,
+            T::ZERO,
             ym.mt(),
         );
         for d in 1..p {
             let w = p - d;
             // Upper diagonals: y_i += T̂_{d+1} x_{i+d}  (i = 0..w)
             gemm(
-                1.0,
+                T::ONE,
                 self.blocks[d].rf(),
                 Trans::No,
                 xm.sub(0, d, m, w),
                 Trans::No,
-                1.0,
+                T::ONE,
                 ym.sub_mut(0, 0, m, w),
             );
             // Lower diagonals: y_{i+d} += T̂_{d+1}ᵀ x_i  (i = 0..w)
             gemm(
-                1.0,
+                T::ONE,
                 self.blocks[d].rf(),
                 Trans::Yes,
                 xm.sub(0, 0, m, w),
                 Trans::No,
-                1.0,
+                T::ONE,
                 ym.sub_mut(0, d, m, w),
             );
         }
@@ -166,9 +180,9 @@ impl SymBlockToeplitz {
     }
 
     /// Residual `r = b − T·x` (the refinement loop body, eq. 35).
-    pub fn residual(&self, x: &[f64], b: &[f64]) -> Vec<f64> {
+    pub fn residual(&self, x: &[T], b: &[T]) -> Vec<T> {
         let mut r = self.matvec(x);
-        for (ri, bi) in r.iter_mut().zip(b) {
+        for (ri, &bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
         bs_matrix::flops::add(r.len() as u64);
@@ -179,7 +193,7 @@ impl SymBlockToeplitz {
     /// viewed with a coarser block structure. Requires `m | m_s` and
     /// `m_s | n`; "foregoing some of the Toeplitz structure" is exactly
     /// this reinterpretation. For `m_s < m` see [`Self::retile_checked`].
-    pub fn retile(&self, m_s: usize) -> SymBlockToeplitz {
+    pub fn retile(&self, m_s: usize) -> SymBlockToeplitz<T> {
         let n = self.order();
         assert!(
             m_s > 0 && m_s.is_multiple_of(self.m),
@@ -224,7 +238,7 @@ impl SymBlockToeplitz {
             for j in 0..n - m_s {
                 let a = self.get(i, j);
                 let b = self.get(i + m_s, j + m_s);
-                if (a - b).abs() > 1e-13 * (1.0 + a.abs()) {
+                if (a - b).abs().to_f64() > 1e-13 * (1.0 + a.abs().to_f64()) {
                     return false;
                 }
             }
@@ -236,7 +250,7 @@ impl SymBlockToeplitz {
     /// (`m_s < m`, §6.5's "it may be necessary to take m_s < m"),
     /// verifying that the matrix really is block Toeplitz at that
     /// granularity. Returns `None` when it is not.
-    pub fn retile_checked(&self, m_s: usize) -> Option<SymBlockToeplitz> {
+    pub fn retile_checked(&self, m_s: usize) -> Option<SymBlockToeplitz<T>> {
         let n = self.order();
         if m_s == 0 || !n.is_multiple_of(m_s) {
             return None;
@@ -273,14 +287,14 @@ impl SymBlockToeplitz {
                     let blk = &self.blocks[bj - bi];
                     for r in 0..m {
                         for c in 0..m {
-                            sums[r] += blk[(r, c)].abs();
+                            sums[r] += blk[(r, c)].abs().to_f64();
                         }
                     }
                 } else {
                     let blk = &self.blocks[bi - bj];
                     for r in 0..m {
                         for c in 0..m {
-                            sums[r] += blk[(c, r)].abs();
+                            sums[r] += blk[(c, r)].abs().to_f64();
                         }
                     }
                 }

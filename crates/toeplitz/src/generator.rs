@@ -14,15 +14,15 @@
 use crate::block_toeplitz::SymBlockToeplitz;
 use bs_matrix::blas3::{trsm, Side, Trans, Uplo};
 use bs_matrix::ldlt::{sldlt, Signature};
-use bs_matrix::{Matrix, Result};
+use bs_matrix::{Matrix, Result, Scalar};
 
 /// The generator of a symmetric block Toeplitz matrix together with the
 /// signature of the hyperbolic inner product it lives in.
 #[derive(Clone, Debug)]
-pub struct Generator {
+pub struct Generator<T: Scalar = f64> {
     /// `2m × n` generator matrix; rows `0..m` are the first block row of
     /// `G₁`, rows `m..2m` of `G₂` (eq. 9).
-    pub data: Matrix,
+    pub data: Matrix<T>,
     /// Signature `Σ` of the leading block factorization (`+1` everywhere
     /// in the SPD case).
     pub sigma: Signature,
@@ -34,7 +34,7 @@ pub struct Generator {
     pub p: usize,
 }
 
-impl Generator {
+impl<T: Scalar> Generator<T> {
     /// `true` when the leading block was positive definite (classical
     /// Cholesky-flavoured algorithm applies).
     pub fn is_spd_signature(&self) -> bool {
@@ -49,7 +49,7 @@ impl Generator {
 /// [`bs_matrix::Error::SingularPivot`] when a leading principal
 /// submatrix of `T̂₁` is singular — the caller may then perturb `T̂₁`
 /// (§8.2 of the paper) and retry.
-pub fn build_generator(t: &SymBlockToeplitz) -> Result<Generator> {
+pub fn build_generator<T: Scalar>(t: &SymBlockToeplitz<T>) -> Result<Generator<T>> {
     let m = t.block_size();
     let p = t.num_blocks();
     let n = m * p;
@@ -66,7 +66,7 @@ pub fn build_generator(t: &SymBlockToeplitz) -> Result<Generator> {
         Uplo::Lower,
         Trans::No,
         false,
-        1.0,
+        T::ONE,
         l1.rf(),
         work.mt(),
     )?;
@@ -97,7 +97,7 @@ pub fn build_generator(t: &SymBlockToeplitz) -> Result<Generator> {
 
 /// Reconstruct the displacement `Genᵀ W Gen` (test / verification
 /// utility — O(n²·m)).
-pub fn displacement_from_generator(g: &Generator) -> Matrix {
+pub fn displacement_from_generator<T: Scalar>(g: &Generator<T>) -> Matrix<T> {
     let n = g.m * g.p;
     // W * Gen: flip rows with negative signature.
     let mut wg = g.data.clone();
@@ -110,12 +110,12 @@ pub fn displacement_from_generator(g: &Generator) -> Matrix {
     }
     let mut out = Matrix::zeros(n, n);
     bs_matrix::blas3::gemm(
-        1.0,
+        T::ONE,
         g.data.rf(),
         Trans::Yes,
         wg.rf(),
         Trans::No,
-        0.0,
+        T::ZERO,
         out.mt(),
     );
     out

@@ -36,6 +36,19 @@ echo "==> kernel tier: full workspace suite forced onto the portable microkernel
 # hardware without AVX2/NEON).
 BS_KERNEL=portable cargo test -q --workspace
 
+echo "==> precision tier: refinement-convergence suite, then engine demoted to f32"
+# The mixed-precision contract (§8.1): f32 factors + f64 refinement land
+# within 10x of pure f64 across the conditioning sweep, with the stall
+# fallback covering the ill-conditioned tail.
+cargo test -q --test refinement
+# BS_PRECISION=f32 forces every plan request onto the demoted f32 factor
+# stage; the execution determinism contracts (batched == looped,
+# thread-count invariance) and the env-override test must hold with the
+# whole plan path running single precision. Tests pinning mixed/f64
+# semantics skip themselves under the override.
+BS_PRECISION=f32 cargo test -q --test refinement
+BS_PRECISION=f32 cargo test -q --test execution
+
 echo "==> kernel tier: avx512 feature build (runtime-gated microkernel)"
 cargo test -q -p bs-matrix --features avx512
 

@@ -228,6 +228,20 @@ pub fn read_vector(path: &Path, n: usize) -> Result<Vec<f64>, CliError> {
     Ok(vals)
 }
 
+/// Read a batched right-hand-side file: `k` columns of `n` values each,
+/// column after column, into an `n x k` matrix.
+pub fn read_rhs_columns(path: &Path, n: usize) -> Result<Matrix, CliError> {
+    let vals = parse_floats(&std::fs::read_to_string(path)?)?;
+    if vals.is_empty() || !vals.len().is_multiple_of(n) {
+        return Err(CliError::Parse(format!(
+            "batched rhs must hold a positive multiple of n = {n} values, found {}",
+            vals.len()
+        )));
+    }
+    let k = vals.len() / n;
+    Ok(Matrix::from_fn(n, k, |i, j| vals[j * n + i]))
+}
+
 /// `info` command: structural and numerical summary.
 pub fn cmd_info(matrix: &Path) -> Result<String, CliError> {
     let t = read_matrix(matrix)?;
@@ -279,6 +293,12 @@ pub fn parse_threads_flag(s: &str) -> Result<usize, CliError> {
         .ok_or_else(|| CliError::Usage(format!("bad --threads {s:?} (positive count or \"max\")")))
 }
 
+/// Parse a `--precision` flag value into a [`Precision`].
+pub fn parse_precision_flag(s: &str) -> Result<Precision, CliError> {
+    Precision::parse(s)
+        .ok_or_else(|| CliError::Usage(format!("bad --precision {s:?} (f64 | f32 | mixed)")))
+}
+
 /// Parse and apply a `--kernel` flag: force the process-wide BLAS-3
 /// microkernel choice (overrides `BS_KERNEL`). An explicit ISA the
 /// machine cannot run degrades to the portable kernel at dispatch.
@@ -290,6 +310,15 @@ pub fn apply_kernel_flag(s: &str) -> Result<(), CliError> {
     })?;
     bs_matrix::kernel::set_override(Some(c));
     Ok(())
+}
+
+/// Engine selection shared by `solve` / `factor` / `plan`: the pinned
+/// algorithmic block size, the thread count, and the factor precision.
+#[derive(Debug, Default, Clone)]
+pub struct EngineArgs {
+    pub block_size: Option<usize>,
+    pub threads: Option<usize>,
+    pub precision: Precision,
 }
 
 /// Driver options for `solve` / `factor`: the pinned block size plus
@@ -309,74 +338,116 @@ fn solver_options(block_size: Option<usize>, threads: Option<usize>) -> SolverOp
     }
 }
 
-/// `solve` command: returns the solution and a report.
+/// Build the solver `solve` / `factor` run. The default f64 engine
+/// keeps the pinned-options path (bitwise identical to prior
+/// releases); a `--precision` of f32 or mixed routes through a
+/// [`PlanRequest`] so the plan carries the demoted factor stage and
+/// its refinement policy.
+fn build_solver(t: &SymBlockToeplitz, eng: &EngineArgs) -> Result<ToeplitzSolver, CliError> {
+    let built = if eng.precision == Precision::F64 {
+        ToeplitzSolver::with_options(t, &solver_options(eng.block_size, eng.threads))
+    } else {
+        let req = PlanRequest {
+            block_size: eng.block_size,
+            threads: eng.threads,
+            precision: eng.precision,
+            ..Default::default()
+        };
+        ToeplitzSolver::with_plan_request(t, &req)
+    };
+    built.map_err(|e| CliError::Numerical(e.to_string()))
+}
+
+/// `solve` command: returns the solution (column-major when batched)
+/// and a report.
 pub fn cmd_solve(
     matrix: &Path,
     rhs: Option<&Path>,
-    block_size: Option<usize>,
-    threads: Option<usize>,
+    batch: bool,
+    eng: &EngineArgs,
     obs: &Observe,
 ) -> Result<(Vec<f64>, String), CliError> {
     let t = read_matrix(matrix)?;
     let n = t.order();
-    let b = match rhs {
-        Some(p) => read_vector(p, n)?,
-        None => t.matvec(&vec![1.0; n]), // reference RHS with x* = 1
+    let b = if batch {
+        let p = rhs.ok_or_else(|| {
+            CliError::Usage("solve --batch needs --rhs <file> with k columns of n values".into())
+        })?;
+        read_rhs_columns(p, n)?
+    } else {
+        let col = match rhs {
+            Some(p) => read_vector(p, n)?,
+            None => t.matvec(&vec![1.0; n]), // reference RHS with x* = 1
+        };
+        Matrix::from_fn(n, 1, |i, _| col[i])
     };
-    let opts = solver_options(block_size, threads);
+    let k = b.cols();
     obs.begin();
     let start = std::time::Instant::now();
-    let solver =
-        ToeplitzSolver::with_options(&t, &opts).map_err(|e| CliError::Numerical(e.to_string()))?;
-    let x = solver
-        .solve(&b)
-        .map_err(|e| CliError::Numerical(e.to_string()))?;
+    let solver = build_solver(&t, eng)?;
+    let x = if batch {
+        solver.solve_batch(&b)
+    } else {
+        solver
+            .solve(b.col(0))
+            .map(|v| Matrix::from_fn(n, 1, |i, _| v[i]))
+    }
+    .map_err(|e| CliError::Numerical(e.to_string()))?;
     let secs = start.elapsed().as_secs_f64();
-    let r = t.residual(&x, &b);
-    let rel = bs_matrix::norms::vec_two(&r) / bs_matrix::norms::vec_two(&b).max(1e-300);
+    // Worst relative residual over the batch (the single-RHS residual
+    // when k = 1).
+    let mut rel = 0.0f64;
+    for j in 0..k {
+        let r = t.residual(x.col(j), b.col(j));
+        let c = bs_matrix::norms::vec_two(&r) / bs_matrix::norms::vec_two(b.col(j)).max(1e-300);
+        rel = rel.max(c);
+    }
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "solved n = {n} in {:.3} ms ({} path, {} thread(s), {} kernel), relative residual {rel:.3e}",
+        "solved n = {n}{} in {:.3} ms ({} path, {} thread(s), {} kernel, {} precision), relative residual {rel:.3e}",
+        if batch {
+            format!(", {k} rhs (batched)")
+        } else {
+            String::new()
+        },
         secs * 1e3,
         if solver.is_positive_definite() {
             "SPD"
         } else {
             "indefinite"
         },
-        opts.spd.exec.threads,
-        bs_matrix::kernel::active_isa_name()
+        solver.plan().threads(),
+        bs_matrix::kernel::active_isa_name(),
+        eng.precision.as_str()
     );
     obs.finish(
         &mut report,
         Some(ObserveCtx {
             block_size: solver.plan().block_size(),
-            threads: opts.spd.exec.threads,
+            threads: solver.plan().threads(),
         }),
     )?;
-    Ok((x, report))
+    let mut flat = Vec::with_capacity(n * k);
+    for j in 0..k {
+        flat.extend_from_slice(x.col(j));
+    }
+    Ok((flat, report))
 }
 
 /// `factor` command: factor only (no solve), reporting structure,
 /// growth, and — with [`Observe`] switches — trace/metrics output.
-pub fn cmd_factor(
-    matrix: &Path,
-    block_size: Option<usize>,
-    threads: Option<usize>,
-    obs: &Observe,
-) -> Result<String, CliError> {
+pub fn cmd_factor(matrix: &Path, eng: &EngineArgs, obs: &Observe) -> Result<String, CliError> {
     let t = read_matrix(matrix)?;
-    let opts = solver_options(block_size, threads);
     obs.begin();
     let start = std::time::Instant::now();
-    let solver =
-        ToeplitzSolver::with_options(&t, &opts).map_err(|e| CliError::Numerical(e.to_string()))?;
+    let solver = build_solver(&t, eng)?;
     let secs = start.elapsed().as_secs_f64();
     let mut report = String::new();
     let (pos, neg) = solver.inertia();
     let _ = writeln!(
         report,
-        "factored n = {} (m = {}) in {:.3} ms: {} path, {} thread(s), {} kernel, inertia {pos}+ / {neg}-",
+        "factored n = {} (m = {}) in {:.3} ms: {} path, {} thread(s), {} kernel, {} precision, inertia {pos}+ / {neg}-",
         t.order(),
         t.block_size(),
         secs * 1e3,
@@ -385,8 +456,9 @@ pub fn cmd_factor(
         } else {
             "indefinite"
         },
-        opts.spd.exec.threads,
-        bs_matrix::kernel::active_isa_name()
+        solver.plan().threads(),
+        bs_matrix::kernel::active_isa_name(),
+        eng.precision.as_str()
     );
     if let Factorization::Indefinite(f) = solver.factorization() {
         let _ = writeln!(
@@ -401,7 +473,7 @@ pub fn cmd_factor(
         &mut report,
         Some(ObserveCtx {
             block_size: solver.plan().block_size(),
-            threads: opts.spd.exec.threads,
+            threads: solver.plan().threads(),
         }),
     )?;
     Ok(report)
@@ -428,15 +500,15 @@ fn parse_rep(s: &str) -> Result<RepKind, CliError> {
 pub fn cmd_plan(
     shape: (usize, usize),
     rep: Option<&str>,
-    block_size: Option<usize>,
-    threads: Option<usize>,
+    eng: &EngineArgs,
     calibrate: bool,
 ) -> Result<String, CliError> {
     let (n, m) = shape;
     let req = PlanRequest {
         rep: rep.map(parse_rep).transpose()?,
-        block_size,
-        threads,
+        block_size: eng.block_size,
+        threads: eng.threads,
+        precision: eng.precision,
         calibrate,
         ..Default::default()
     };
@@ -462,6 +534,16 @@ pub fn cmd_plan(
         "  execution: {} thread(s){} for the trailing update",
         plan.threads(),
         auto(plan.threads_is_auto())
+    );
+    let _ = writeln!(
+        out,
+        "  precision: {}{}",
+        plan.precision().as_str(),
+        match plan.precision() {
+            Precision::F64 => "",
+            Precision::F32 => " (demoted factor, no refinement)",
+            Precision::Mixed => " (f32 factor + f64 iterative refinement)",
+        }
     );
     let _ = writeln!(
         out,
@@ -600,14 +682,15 @@ pub const USAGE: &str = "block-schur — block Schur Toeplitz solver (ICPP'94 re
 
 USAGE:
     block-schur info <matrix>
-    block-schur solve <matrix> [--rhs <file>] [--block-size <m_s>] [--threads <t|max>]
-                     [--kernel <k>] [--output <file>] [--trace <file>]
+    block-schur solve <matrix> [--rhs <file>] [--batch] [--block-size <m_s>]
+                     [--threads <t|max>] [--kernel <k>] [--precision <p>]
+                     [--output <file>] [--trace <file>]
                      [--profile <file>] [--perfetto <file>] [--metrics]
     block-schur factor <matrix> [--block-size <m_s>] [--threads <t|max>]
-                     [--kernel <k>] [--trace <file>] [--profile <file>]
-                     [--perfetto <file>] [--metrics]
+                     [--kernel <k>] [--precision <p>] [--trace <file>]
+                     [--profile <file>] [--perfetto <file>] [--metrics]
     block-schur plan (<matrix> | --n <n> [--m <m>]) [--rep <kind>] [--block-size <m_s>]
-                     [--threads <t|max>] [--kernel <k>] [--calibrate]
+                     [--threads <t|max>] [--kernel <k>] [--precision <p>] [--calibrate]
     block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
     block-schur simulate --n <n> --m <m> --np <p> --scheme <v1|v2:b|v3:s>
 
@@ -621,6 +704,17 @@ EXECUTION:
                        else native runtime detection; an ISA the machine
                        cannot run falls back to portable. A fixed choice
                        is bitwise-deterministic across thread counts.
+    --precision <p>    factor precision: f64 | f32 | mixed. \"mixed\"
+                       factors in f32 (twice the SIMD lanes) and runs
+                       §8.1 iterative refinement against the f64
+                       operator back to working accuracy, falling back
+                       to a full f64 refactorization when refinement
+                       stalls on ill-conditioned systems. \"f32\" skips
+                       refinement and keeps single-precision accuracy.
+                       Default: f64.
+    --batch            (solve) treat --rhs as k columns of n values and
+                       solve them in one pooled dispatch (bitwise equal
+                       to k sequential solves at any thread count).
     --calibrate        (plan) score block-size / thread auto-selection
                        on a one-shot measured kernel-rate table instead
                        of the analytic saturating model. BS_CALIBRATE=1
@@ -684,8 +778,16 @@ mod tests {
         assert!(info.contains("positive definite: false"), "{info}");
         assert!(info.contains("perturbations: 1"), "{info}");
 
-        let (x, report) = cmd_solve(&mat, None, None, None, &Observe::default()).unwrap();
+        let (x, report) = cmd_solve(
+            &mat,
+            None,
+            false,
+            &EngineArgs::default(),
+            &Observe::default(),
+        )
+        .unwrap();
         assert!(report.contains("indefinite"), "{report}");
+        assert!(report.contains("f64 precision"), "{report}");
         // Default RHS has x* = 1.
         for v in &x {
             assert!((v - 1.0).abs() < 1e-8);
@@ -703,18 +805,90 @@ mod tests {
         let rhs = tmp("rhs.txt");
         let text: String = b.iter().map(|v| format!("{v:.17e}\n")).collect();
         std::fs::write(&rhs, text).unwrap();
-        let (x, report) = cmd_solve(
-            &mat,
-            Some(rhs.as_path()),
-            Some(4),
-            None,
-            &Observe::default(),
-        )
-        .unwrap();
+        let eng = EngineArgs {
+            block_size: Some(4),
+            ..Default::default()
+        };
+        let (x, report) =
+            cmd_solve(&mat, Some(rhs.as_path()), false, &eng, &Observe::default()).unwrap();
         assert!(report.contains("SPD"), "{report}");
         for i in 0..32 {
             assert!((x[i] - x_true[i]).abs() < 1e-8);
         }
+        std::fs::remove_file(&mat).ok();
+        std::fs::remove_file(&rhs).ok();
+    }
+
+    #[test]
+    fn solve_with_mixed_precision_refines_to_working_accuracy() {
+        let mat = tmp("mixed.txt");
+        cmd_gen("kms", 48, 1, 0.9, 0, &mat).unwrap();
+        let eng = EngineArgs {
+            precision: Precision::Mixed,
+            ..Default::default()
+        };
+        let (x, report) = cmd_solve(&mat, None, false, &eng, &Observe::default()).unwrap();
+        assert!(report.contains("mixed precision"), "{report}");
+        // Default RHS has x* = 1; refinement lands at working accuracy.
+        for v in &x {
+            assert!((v - 1.0).abs() < 1e-8, "{report}");
+        }
+        std::fs::remove_file(&mat).ok();
+    }
+
+    #[test]
+    fn solve_batch_handles_multi_column_rhs() {
+        let mat = tmp("batch.txt");
+        cmd_gen("spd", 32, 2, 0.6, 9, &mat).unwrap();
+        let t = read_matrix(&mat).unwrap();
+        let n = t.order();
+        // Three RHS columns with known solutions 1, 2, 3.
+        let mut text = String::new();
+        for s in 1..=3 {
+            for v in t.matvec(&vec![s as f64; n]) {
+                text.push_str(&format!("{v:.17e}\n"));
+            }
+        }
+        let rhs = tmp("batch-rhs.txt");
+        std::fs::write(&rhs, text).unwrap();
+        let (x, report) = cmd_solve(
+            &mat,
+            Some(rhs.as_path()),
+            true,
+            &EngineArgs::default(),
+            &Observe::default(),
+        )
+        .unwrap();
+        assert!(report.contains("3 rhs (batched)"), "{report}");
+        assert_eq!(x.len(), 3 * n);
+        for (j, chunk) in x.chunks(n).enumerate() {
+            for v in chunk {
+                assert!((v - (j + 1) as f64).abs() < 1e-8, "{report}");
+            }
+        }
+        // --batch without --rhs is a usage error; a ragged file is a
+        // parse error.
+        assert!(matches!(
+            cmd_solve(
+                &mat,
+                None,
+                true,
+                &EngineArgs::default(),
+                &Observe::default()
+            ),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::write(&rhs, "1.0 2.0 3.0\n").unwrap();
+        assert!(matches!(
+            cmd_solve(
+                &mat,
+                Some(rhs.as_path()),
+                true,
+                &EngineArgs::default(),
+                &Observe::default()
+            ),
+            Err(CliError::Parse(_))
+        ));
         std::fs::remove_file(&mat).ok();
         std::fs::remove_file(&rhs).ok();
     }
@@ -729,7 +903,11 @@ mod tests {
             metrics: true,
             ..Default::default()
         };
-        let (_, report) = cmd_solve(&mat, None, Some(4), None, &obs).unwrap();
+        let eng = EngineArgs {
+            block_size: Some(4),
+            ..Default::default()
+        };
+        let (_, report) = cmd_solve(&mat, None, false, &eng, &obs).unwrap();
         assert!(report.contains("metrics:"), "{report}");
         assert!(report.contains("peak growth factor:"), "{report}");
         assert!(report.contains("trace written to"), "{report}");
@@ -762,7 +940,7 @@ mod tests {
     fn factor_command_reports_structure() {
         let mat = tmp("factor.txt");
         cmd_gen("singular-minor", 24, 1, 0.0, 7, &mat).unwrap();
-        let report = cmd_factor(&mat, None, None, &Observe::default()).unwrap();
+        let report = cmd_factor(&mat, &EngineArgs::default(), &Observe::default()).unwrap();
         assert!(report.contains("indefinite"), "{report}");
         assert!(report.contains("perturbations: 1"), "{report}");
         std::fs::remove_file(&mat).ok();
@@ -772,27 +950,44 @@ mod tests {
     fn plan_command_reports_choices() {
         // Fully automatic: n = 256, m = 4 retiles to m_s = 8 (p = 32),
         // where the trailing applications dominate and VY2 wins.
-        let out = cmd_plan((256, 4), None, None, None, false).unwrap();
+        let out = cmd_plan((256, 4), None, &EngineArgs::default(), false).unwrap();
         assert!(out.contains("plan for n = 256"), "{out}");
         assert!(out.contains("VY form 2 (auto)"), "{out}");
         assert!(out.contains("m_s = 8 (auto), p = 32"), "{out}");
         // Thread count may come from BS_THREADS (pinned) or the cost
         // model (auto); either way the line is reported.
         assert!(out.contains("thread(s)"), "{out}");
+        assert!(out.contains("precision: f64"), "{out}");
         assert!(out.contains("microkernels, analytic rate model"), "{out}");
         assert!(out.contains("predicted elimination flops:"), "{out}");
         assert!(out.contains("words/step"), "{out}");
         assert!(out.contains("fallback: indefinite kernel"), "{out}");
 
         // Pinned representation and block size are echoed as such.
-        let out = cmd_plan((32, 1), Some("yty"), Some(4), Some(3), false).unwrap();
+        let eng = EngineArgs {
+            block_size: Some(4),
+            threads: Some(3),
+            ..Default::default()
+        };
+        let out = cmd_plan((32, 1), Some("yty"), &eng, false).unwrap();
         assert!(out.contains("(pinned)"), "{out}");
         assert!(out.contains("m_s = 4 (pinned), p = 8"), "{out}");
         assert!(out.contains("3 thread(s) (pinned)"), "{out}");
 
+        // A mixed-precision request is carried through and described.
+        let eng = EngineArgs {
+            precision: Precision::Mixed,
+            ..Default::default()
+        };
+        let out = cmd_plan((64, 2), None, &eng, false).unwrap();
+        assert!(
+            out.contains("precision: mixed (f32 factor + f64 iterative refinement)"),
+            "{out}"
+        );
+
         // Calibrated planning reports the measured-rate model and still
         // produces a structurally valid plan.
-        let out = cmd_plan((64, 4), None, None, None, true).unwrap();
+        let out = cmd_plan((64, 4), None, &EngineArgs::default(), true).unwrap();
         assert!(out.contains("measured (calibrated) rate model"), "{out}");
 
         // --threads parsing: counts and "max", junk rejected.
@@ -801,13 +996,22 @@ mod tests {
         assert!(parse_threads_flag("0").is_err());
         assert!(parse_threads_flag("lots").is_err());
 
+        // --precision parsing mirrors Precision::parse.
+        assert_eq!(parse_precision_flag("f32").unwrap(), Precision::F32);
+        assert_eq!(parse_precision_flag("mixed").unwrap(), Precision::Mixed);
+        assert!(parse_precision_flag("f16").is_err());
+
         // Bad inputs surface as CLI errors, not panics.
         assert!(matches!(
-            cmd_plan((32, 1), Some("bogus"), None, None, false),
+            cmd_plan((32, 1), Some("bogus"), &EngineArgs::default(), false),
             Err(CliError::Usage(_))
         ));
+        let eng = EngineArgs {
+            block_size: Some(5),
+            ..Default::default()
+        };
         assert!(matches!(
-            cmd_plan((32, 1), None, Some(5), None, false),
+            cmd_plan((32, 1), None, &eng, false),
             Err(CliError::Numerical(_))
         ));
         assert!(matches!(

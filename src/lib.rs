@@ -46,8 +46,8 @@ pub use bs_toeplitz as toeplitz;
 pub mod prelude {
     pub use bs_core::{
         factor_indefinite, factor_spd, solve_refined, FactorPlan, Factorization, IndefFactor,
-        IndefOptions, Perturbation, PlanRequest, PlanWorkspace, RefineOptions, RefineResult,
-        RepKind, SchurOptions, SolverOptions, SpdFactor, ToeplitzSolver,
+        IndefOptions, Perturbation, PlanRequest, PlanWorkspace, Precision, RefineOptions,
+        RefineResult, RepKind, SchurOptions, SolverOptions, SpdFactor, ToeplitzSolver,
     };
     pub use bs_matrix::{ExecPolicy, Matrix, Partition, Signature};
     pub use bs_toeplitz::{build_generator, workloads, Generator, SymBlockToeplitz};

@@ -53,6 +53,19 @@ fn threads(args: &[String]) -> Result<Option<usize>, CliError> {
         .transpose()
 }
 
+/// The engine triple (`--block-size`, `--threads`, `--precision`)
+/// shared by solve / factor / plan.
+fn engine(args: &[String]) -> Result<cli::EngineArgs, CliError> {
+    Ok(cli::EngineArgs {
+        block_size: block_size(args)?,
+        threads: threads(args)?,
+        precision: flag(args, "--precision")
+            .map(|v| cli::parse_precision_flag(&v))
+            .transpose()?
+            .unwrap_or_default(),
+    })
+}
+
 fn run(args: &[String]) -> Result<String, CliError> {
     let cmd = args
         .first()
@@ -74,9 +87,10 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .get(1)
                 .ok_or_else(|| CliError::Usage("solve needs a matrix file".into()))?;
             let rhs = flag(args, "--rhs").map(PathBuf::from);
-            let bs = block_size(args)?;
-            let t = threads(args)?;
-            let (x, report) = cli::cmd_solve(Path::new(m), rhs.as_deref(), bs, t, &observe(args))?;
+            let batch = has_flag(args, "--batch");
+            let eng = engine(args)?;
+            let (x, report) =
+                cli::cmd_solve(Path::new(m), rhs.as_deref(), batch, &eng, &observe(args))?;
             if let Some(out) = flag(args, "--output") {
                 let text: String = x.iter().map(|v| format!("{v:.17e}\n")).collect();
                 std::fs::write(out, text)?;
@@ -93,8 +107,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let m = args
                 .get(1)
                 .ok_or_else(|| CliError::Usage("factor needs a matrix file".into()))?;
-            let bs = block_size(args)?;
-            cli::cmd_factor(Path::new(m), bs, threads(args)?, &observe(args))
+            cli::cmd_factor(Path::new(m), &engine(args)?, &observe(args))
         }
         "plan" => {
             // Shape from an explicit --n/--m pair or from a matrix file.
@@ -124,9 +137,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 }
             };
             let rep = flag(args, "--rep");
-            let bs = block_size(args)?;
             let calibrate = has_flag(args, "--calibrate");
-            cli::cmd_plan(shape, rep.as_deref(), bs, threads(args)?, calibrate)
+            cli::cmd_plan(shape, rep.as_deref(), &engine(args)?, calibrate)
         }
         "gen" => {
             let kind = args

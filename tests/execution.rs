@@ -144,6 +144,109 @@ fn threads_one_never_touches_the_pool() {
 }
 
 #[test]
+fn batched_factor_matches_looped_execution_bitwise() {
+    let _g = lock();
+    let max = block_schur::matrix::par::current_num_threads();
+    // Same shape (n = 16, m = 2), mixed SPD / indefinite content so the
+    // batch exercises both execute paths.
+    let systems: Vec<SymBlockToeplitz> = (0..5)
+        .map(|s| workloads::random_spd_block(2, 8, 100 + s))
+        .chain((0..2).map(|s| workloads::random_indefinite_block(2, 8, 200 + s)))
+        .collect();
+    for threads in [1usize, 2, max, max * 2] {
+        let req = PlanRequest {
+            threads: Some(threads),
+            ..Default::default()
+        };
+        let plan = FactorPlan::new(&systems[0], &req).unwrap();
+        let batch = plan.execute_batch(&systems).unwrap();
+        assert_eq!(batch.len(), systems.len());
+        for (i, (t, f)) in systems.iter().zip(&batch).enumerate() {
+            let mut pw = PlanWorkspace::new();
+            let single = plan.execute(t, &mut pw).unwrap();
+            match (f, &single) {
+                (Factorization::Spd(a), Factorization::Spd(b)) => {
+                    assert_eq!(
+                        a.r.max_abs_diff(&b.r),
+                        0.0,
+                        "threads={threads} system={i}: batched SPD factor differs"
+                    );
+                }
+                (Factorization::Indefinite(a), Factorization::Indefinite(b)) => {
+                    assert_eq!(
+                        a.r.max_abs_diff(&b.r),
+                        0.0,
+                        "threads={threads} system={i}: batched indefinite factor differs"
+                    );
+                    assert_eq!(a.d, b.d, "threads={threads} system={i}: signature differs");
+                }
+                other => panic!("threads={threads} system={i}: path mismatch {other:?}"),
+            }
+        }
+    }
+    // Empty batch is a no-op, not an error.
+    let plan = FactorPlan::new(&systems[0], &PlanRequest::default()).unwrap();
+    assert!(plan.execute_batch(&[]).unwrap().is_empty());
+    // A mis-shaped system is rejected up front.
+    let wrong = workloads::random_spd_block(2, 12, 3);
+    assert!(matches!(
+        plan.execute_batch(std::slice::from_ref(&wrong)),
+        Err(block_schur::core::Error::DimensionMismatch { .. })
+    ));
+}
+
+#[test]
+fn solve_batch_matches_solve_many_bitwise() {
+    let _g = lock();
+    let max = block_schur::matrix::par::current_num_threads();
+    // SPD (direct path) and indefinite-with-perturbation (refined path)
+    // systems; 9 right-hand sides so chunks are uneven at most counts.
+    for t in [
+        workloads::random_spd_block(3, 8, 5),
+        workloads::singular_minor_scalar(40, 503),
+    ] {
+        let n = t.order();
+        let b = Matrix::from_fn(n, 9, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let mk = |threads: usize| SolverOptions {
+            spd: spd_opts(threads),
+            ..Default::default()
+        };
+        let reference = {
+            let s = ToeplitzSolver::with_options(&t, &mk(1)).unwrap();
+            s.solve_many(&b).unwrap()
+        };
+        for threads in [1usize, 2, max, max * 2] {
+            let s = ToeplitzSolver::with_options(&t, &mk(threads)).unwrap();
+            let looped = s.solve_many(&b).unwrap();
+            let batched = s.solve_batch(&b).unwrap();
+            assert_eq!(
+                batched.max_abs_diff(&looped),
+                0.0,
+                "threads={threads} n={n}: solve_batch differs from solve_many"
+            );
+            assert_eq!(
+                batched.max_abs_diff(&reference),
+                0.0,
+                "threads={threads} n={n}: solve_batch differs from sequential reference"
+            );
+        }
+    }
+    // Shape errors are typed, not panics.
+    let t = workloads::random_spd_scalar(8, 1);
+    let s = ToeplitzSolver::new(&t).unwrap();
+    assert!(matches!(
+        s.solve_batch(&Matrix::zeros(5, 2)),
+        Err(block_schur::core::Error::DimensionMismatch {
+            expected: 8,
+            found: 5,
+            ..
+        })
+    ));
+    // Zero-column batch round-trips.
+    assert_eq!(s.solve_batch(&Matrix::zeros(8, 0)).unwrap().cols(), 0);
+}
+
+#[test]
 fn oversubscription_smoke() {
     let _g = lock();
     // Far more workers than cores: the pool grows on demand, the claim
