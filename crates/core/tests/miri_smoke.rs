@@ -1,0 +1,65 @@
+//! The designated Miri suite: a tiny end-to-end factor/solve slice of
+//! the core engine, sized so `cargo +nightly miri test -p bs-core
+//! --test miri_smoke` finishes in interpreter time (see
+//! `scripts/check.sh`, `miri` tier). Everything here also runs as a
+//! plain native test, so the suite doubles as a fast smoke check.
+//!
+//! Under Miri the kernel engine dispatches the portable microkernel
+//! (`cfg(miri)` forces detection to `Isa::Portable`), the FTZ scope
+//! degrades to a no-op, and the blocking autotuner skips sysfs — the
+//! shims the audit layer added so the *algorithm* paths stay fully
+//! checkable for UB even where the hardware paths cannot run.
+
+use bs_core::{factor_indefinite, factor_spd, IndefOptions, SchurOptions};
+use bs_toeplitz::workloads;
+
+#[test]
+fn spd_factor_solve_residual_is_small() {
+    // 2x2 blocks, 3 block rows: order 6 — big enough to exercise the
+    // generator recursion, small enough for the interpreter.
+    let t = workloads::random_spd_block(2, 3, 42);
+    let n = t.order();
+    let f = factor_spd(&t, &SchurOptions::default()).expect("SPD factorization");
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.37).collect();
+    let x = f.solve(&b).expect("SPD solve");
+    let dense = t.to_dense();
+    let scale = t.norm_inf().max(1.0);
+    for i in 0..n {
+        let mut ax = 0.0;
+        for j in 0..n {
+            ax += dense[(i, j)] * x[j];
+        }
+        assert!(
+            (ax - b[i]).abs() < 1e-8 * scale,
+            "residual row {i}: {ax} vs {}",
+            b[i]
+        );
+    }
+}
+
+#[test]
+fn spd_factor_reconstructs_the_operator() {
+    let t = workloads::random_spd_block(2, 3, 7);
+    let f = factor_spd(&t, &SchurOptions::default()).expect("SPD factorization");
+    let diff = f.reconstruct().max_abs_diff(&t.to_dense());
+    assert!(diff < 1e-9 * t.norm_inf().max(1.0), "diff = {diff}");
+}
+
+#[test]
+fn indefinite_factor_reconstructs_the_operator() {
+    let t = workloads::random_indefinite_scalar(6, 99);
+    let f = factor_indefinite(&t, &IndefOptions::default()).expect("indefinite factorization");
+    let diff = f.reconstruct().max_abs_diff(&t.to_dense());
+    assert!(diff < 1e-7 * t.norm_inf().max(1.0), "diff = {diff}");
+}
+
+#[test]
+fn kernel_dispatch_is_portable_under_miri() {
+    // Outside Miri this documents that detection resolves to something
+    // runnable; under Miri it must be exactly the portable kernel.
+    let isa = bs_matrix::kernel::active_isa();
+    assert!(bs_matrix::kernel::isa_supported(isa));
+    if cfg!(miri) {
+        assert_eq!(isa, bs_matrix::kernel::Isa::Portable);
+    }
+}

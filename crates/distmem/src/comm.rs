@@ -83,7 +83,7 @@ impl ClockBarrier {
                 st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             if st.poisoned {
-                // bs-lint: allow(no-panic-paths) -- another simulated rank already panicked; propagating is the only sane exit
+                // bs-lint: allow(no-panic-paths) -- the group poisoned while this rank slept on the condvar; unwind exactly like the pre-wait check above
                 panic!("barrier poisoned: another rank panicked");
             }
             (st.result_clock, st.result_payload)
@@ -195,7 +195,7 @@ impl Proc {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if self.poisoned.load(Ordering::Relaxed) {
-                        // bs-lint: allow(no-panic-paths) -- another simulated rank already panicked; propagating is the only sane exit
+                        // bs-lint: allow(no-panic-paths) -- poison flag observed while polling recv: a peer rank panicked mid-exchange, so this rank unwinds too
                         panic!("recv aborted: another rank panicked");
                     }
                 }
@@ -240,7 +240,7 @@ impl Proc {
                             data: data.to_vec(),
                             arrive: depart + bcast,
                         })
-                        // bs-lint: allow(no-panic-paths) -- a hung-up receiver means its rank thread panicked; propagate
+                        // bs-lint: allow(no-panic-paths) -- bcast fan-out: a receiver that dropped its channel end is a panicked rank; the root propagates
                         .expect("receiver hung up");
                 }
             }

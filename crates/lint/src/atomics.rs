@@ -1,0 +1,469 @@
+//! The `atomics-manifest` pass: a per-file model of atomic operations
+//! and raw-pointer escapes, checked against the concurrency manifest
+//! declared in `lint.toml`.
+//!
+//! `[atomics]` declares, per file, which atomic locations exist, which
+//! memory orderings their operations may use, and which are **claim
+//! counters** — `fetch_add` indices whose result must be bounds-checked
+//! before use (the pattern the worker pool's strip-disjointness
+//! argument rests on: a strip index claimed exactly once, discarded
+//! when past the end). `[raw-pointers]` declares the named
+//! `*const`/`*mut` bindings allowed to exist (the job pointers crossing
+//! the dispatch boundary).
+//!
+//! The pass fails on:
+//! - an atomic operation on an undeclared location (or in a scoped
+//!   file with no `[atomics]` entry at all),
+//! - an `Ordering` stronger or different than declared,
+//! - a declared claim counter with no bounds-checked `fetch_add` in
+//!   sight,
+//! - a raw-pointer binding not declared in `[raw-pointers]`,
+//! - **stale manifest entries** — declarations matching nothing in the
+//!   file, which would let the manifest drift from the code.
+//!
+//! Test regions are exempt: tests may hammer atomics freely.
+
+use crate::config::Config;
+use crate::scan::FileScan;
+use crate::tokens::{TokKind, Token};
+use crate::Diagnostic;
+
+/// Method names that perform an atomic operation when called with an
+/// `Ordering` argument.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// `Ordering::X` variant → manifest spelling.
+const ORDERINGS: &[(&str, &str)] = &[
+    ("Relaxed", "relaxed"),
+    ("Acquire", "acquire"),
+    ("Release", "release"),
+    ("AcqRel", "acqrel"),
+    ("SeqCst", "seqcst"),
+];
+
+/// Comparison operators accepted as the bounds check on a claimed
+/// index.
+const CLAIM_CHECKS: &[&str] = &[">=", "<", ">", "<="];
+
+/// How far (in tokens) past a `fetch_add` the bounds check must appear.
+const CLAIM_CHECK_WINDOW: usize = 16;
+
+fn in_scope(file: &str, cfg: &Config) -> bool {
+    cfg.unsafe_contract_crates
+        .iter()
+        .any(|c| file.starts_with(c.trim_end_matches('/')))
+}
+
+fn is_punct(t: Option<&Token>, s: &str) -> bool {
+    matches!(t, Some(t) if t.kind == TokKind::Punct && t.text == s)
+}
+
+/// Walk left from the `.` of a method call to the receiver identifier,
+/// skipping one balanced `(...)`/`[...]` group (`hits[i].fetch_add`).
+fn receiver(toks: &[Token], dot_idx: usize) -> Option<String> {
+    let mut j = dot_idx;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct if t.text == ")" || t.text == "]" => {
+                let (open, close) = if t.text == ")" {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if j == 0 {
+                        return None;
+                    }
+                    j -= 1;
+                    let u = &toks[j];
+                    if u.kind == TokKind::Punct {
+                        if u.text == close {
+                            depth += 1;
+                        } else if u.text == open {
+                            depth -= 1;
+                        }
+                    }
+                }
+            }
+            TokKind::Ident => return Some(t.text.clone()),
+            _ => return None,
+        }
+    }
+}
+
+/// One atomic operation found in the token stream.
+struct AtomicOp {
+    idx: usize,
+    line: u32,
+    method: String,
+    recv: Option<String>,
+    orderings: Vec<&'static str>,
+}
+
+/// Find the non-test atomic operations in a file.
+fn find_ops(scan: &FileScan) -> Vec<AtomicOp> {
+    let toks = &scan.toks;
+    let mut ops = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !ATOMIC_OPS.contains(&t.text.as_str())
+            || scan.in_test(i)
+            || !is_punct(i.checked_sub(1).and_then(|j| toks.get(j)), ".")
+            || !is_punct(toks.get(i + 1), "(")
+        {
+            continue;
+        }
+        // Scan the argument list for Ordering variants; a call without
+        // one is an ordinary method, not an atomic op.
+        let mut orderings: Vec<&'static str> = Vec::new();
+        let mut depth = 0usize;
+        for a in &toks[i + 1..] {
+            if a.kind == TokKind::Punct {
+                match a.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if a.kind == TokKind::Ident {
+                if let Some((_, m)) = ORDERINGS.iter().find(|(v, _)| *v == a.text) {
+                    orderings.push(m);
+                }
+            }
+        }
+        if orderings.is_empty() {
+            continue;
+        }
+        ops.push(AtomicOp {
+            idx: i,
+            line: t.line,
+            method: t.text.clone(),
+            recv: receiver(toks, i - 1),
+            orderings,
+        });
+    }
+    ops
+}
+
+/// Check the atomic-op model against the `[atomics]` manifest.
+pub fn atomics_manifest(file: &str, scan: &FileScan, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let decls = cfg.atomics.get(file);
+    if !in_scope(file, cfg) && decls.is_none() {
+        return;
+    }
+    let ops = find_ops(scan);
+    let decls = match decls {
+        Some(d) => d,
+        None => {
+            if let Some(op) = ops.first() {
+                out.push(diag(
+                    file,
+                    op.line,
+                    format!(
+                        "atomic `{}` but `{file}` has no [atomics] entry in lint.toml; \
+                         declare its locations and orderings",
+                        op.method
+                    ),
+                ));
+            }
+            return;
+        }
+    };
+    let mut used = vec![false; decls.len()];
+    for op in &ops {
+        let Some(recv) = &op.recv else {
+            out.push(diag(
+                file,
+                op.line,
+                format!(
+                    "cannot resolve the receiver of atomic `{}`; bind the location to a \
+                     name declared in [atomics]",
+                    op.method
+                ),
+            ));
+            continue;
+        };
+        let Some(pos) = decls.iter().position(|d| &d.name == recv) else {
+            out.push(diag(
+                file,
+                op.line,
+                format!("atomic location `{recv}` is not declared in [atomics] for this file"),
+            ));
+            continue;
+        };
+        used[pos] = true;
+        for ord in &op.orderings {
+            if !decls[pos].orderings.iter().any(|o| o == ord) {
+                out.push(diag(
+                    file,
+                    op.line,
+                    format!(
+                        "`{recv}.{}` uses Ordering `{ord}` but the manifest permits only \
+                         {{{}}}",
+                        op.method,
+                        decls[pos].orderings.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    // Claim counters must exhibit the bounds-checked fetch_add pattern.
+    for (pos, decl) in decls.iter().enumerate() {
+        if !decl.claim || !used[pos] {
+            continue;
+        }
+        let claimed = ops.iter().any(|op| {
+            op.recv.as_deref() == Some(decl.name.as_str())
+                && op.method == "fetch_add"
+                && scan.toks[op.idx..]
+                    .iter()
+                    .take(CLAIM_CHECK_WINDOW)
+                    .any(|t| t.kind == TokKind::Punct && CLAIM_CHECKS.contains(&t.text.as_str()))
+        });
+        if !claimed {
+            let line = ops
+                .iter()
+                .find(|op| op.recv.as_deref() == Some(decl.name.as_str()))
+                .map_or(1, |op| op.line);
+            out.push(diag(
+                file,
+                line,
+                format!(
+                    "`{}` is declared as a claim counter but no `fetch_add` result is \
+                     bounds-checked within {CLAIM_CHECK_WINDOW} tokens",
+                    decl.name
+                ),
+            ));
+        }
+    }
+    // Stale declarations drift the manifest away from the code.
+    for (pos, decl) in decls.iter().enumerate() {
+        if !used[pos] {
+            out.push(diag(
+                file,
+                1,
+                format!(
+                    "`{}` is declared in [atomics] but the file performs no atomic \
+                     operation on it — stale manifest entry",
+                    decl.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Check `*const`/`*mut` bindings against the `[raw-pointers]`
+/// manifest.
+pub fn raw_pointers(file: &str, scan: &FileScan, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let declared = cfg.raw_pointers.get(file);
+    if !in_scope(file, cfg) && declared.is_none() {
+        return;
+    }
+    let toks = &scan.toks;
+    let empty = Vec::new();
+    let declared = declared.unwrap_or(&empty);
+    let mut used = vec![false; declared.len()];
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || t.text != "*" || scan.in_test(i) {
+            continue;
+        }
+        let next = toks.get(i + 1);
+        let is_ptr_ty = matches!(next, Some(n) if n.kind == TokKind::Ident && (n.text == "const" || n.text == "mut"));
+        if !is_ptr_ty {
+            continue;
+        }
+        // Name the binding: the `ident :` immediately left of the type.
+        let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+        let prev2 = i.checked_sub(2).and_then(|j| toks.get(j));
+        let name = match (prev2, prev) {
+            (Some(n), Some(c))
+                if n.kind == TokKind::Ident && c.kind == TokKind::Punct && c.text == ":" =>
+            {
+                Some(n.text.as_str())
+            }
+            _ => None,
+        };
+        let Some(name) = name else {
+            out.push(diag(
+                file,
+                t.line,
+                format!(
+                    "raw `*{}` in an unnamed position (cast or bare type); bind it to a \
+                     named field or local declared in [raw-pointers]",
+                    next.map_or("", |n| n.text.as_str())
+                ),
+            ));
+            continue;
+        };
+        match declared.iter().position(|d| d == name) {
+            Some(pos) => used[pos] = true,
+            None => out.push(diag(
+                file,
+                t.line,
+                format!("raw pointer `{name}` is not declared in [raw-pointers] for this file"),
+            )),
+        }
+    }
+    for (pos, name) in declared.iter().enumerate() {
+        if !used[pos] {
+            out.push(diag(
+                file,
+                1,
+                format!(
+                    "`{name}` is declared in [raw-pointers] but the file binds no raw \
+                     pointer of that name — stale manifest entry"
+                ),
+            ));
+        }
+    }
+}
+
+fn diag(file: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        lint: "atomics-manifest",
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AtomicDecl;
+    use crate::scan::scan;
+    use crate::tokens::tokenize;
+
+    const FILE: &str = "crates/matrix/src/x.rs";
+
+    fn cfg_with(decls: Vec<AtomicDecl>, ptrs: Vec<&str>) -> Config {
+        let mut cfg = Config {
+            unsafe_contract_crates: vec!["crates/matrix".to_string()],
+            ..Config::default()
+        };
+        if !decls.is_empty() {
+            cfg.atomics.insert(FILE.to_string(), decls);
+        }
+        if !ptrs.is_empty() {
+            cfg.raw_pointers.insert(
+                FILE.to_string(),
+                ptrs.iter().map(|s| s.to_string()).collect(),
+            );
+        }
+        cfg
+    }
+
+    fn decl(name: &str, orderings: &[&str], claim: bool) -> AtomicDecl {
+        AtomicDecl {
+            name: name.to_string(),
+            orderings: orderings.iter().map(|s| s.to_string()).collect(),
+            claim,
+        }
+    }
+
+    fn run(src: &str, cfg: &Config) -> Vec<Diagnostic> {
+        let s = scan(tokenize(src));
+        let mut out = Vec::new();
+        atomics_manifest(FILE, &s, cfg, &mut out);
+        raw_pointers(FILE, &s, cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn declared_ops_pass_undeclared_fail() {
+        let src =
+            "fn f() { GUARDS.fetch_add(1, Ordering::Relaxed); OTHER.load(Ordering::Relaxed); }";
+        let cfg = cfg_with(vec![decl("GUARDS", &["relaxed"], false)], vec![]);
+        let d = run(src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("OTHER"));
+    }
+
+    #[test]
+    fn missing_manifest_entry_flagged_in_scope() {
+        let src = "fn f() { X.store(1, Ordering::Relaxed); }";
+        let cfg = cfg_with(vec![], vec![]);
+        let d = run(src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no [atomics] entry"));
+    }
+
+    #[test]
+    fn stronger_ordering_than_declared_fails() {
+        let src = "fn f() { X.load(Ordering::SeqCst); }";
+        let cfg = cfg_with(vec![decl("X", &["relaxed"], false)], vec![]);
+        let d = run(src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("seqcst"));
+    }
+
+    #[test]
+    fn claim_counter_requires_bounds_check() {
+        let good = "fn f(n: usize) { let i = next.fetch_add(1, Ordering::Relaxed); if i >= n { return; } }";
+        let cfg = cfg_with(vec![decl("next", &["relaxed"], true)], vec![]);
+        assert!(run(good, &cfg).is_empty(), "{:?}", run(good, &cfg));
+        let bad = "fn f() { let i = next.fetch_add(1, Ordering::Relaxed); use_it(i); }";
+        let d = run(bad, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("claim counter"));
+    }
+
+    #[test]
+    fn stale_declarations_flagged() {
+        let cfg = cfg_with(vec![decl("GHOST", &["relaxed"], false)], vec!["phantom"]);
+        let d = run("fn f() {}", &cfg);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.message.contains("stale")));
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let src = "#[cfg(test)] mod t { fn f() { X.load(Ordering::SeqCst); } }";
+        let cfg = cfg_with(vec![], vec![]);
+        assert!(run(src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn raw_pointer_declared_and_undeclared() {
+        let src = "struct J { f: *const u8 }\nfn g() { let q: *mut f64 = p; }\n";
+        let cfg = cfg_with(vec![], vec!["f"]);
+        let d = run(src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`q`"));
+    }
+
+    #[test]
+    fn multiplication_is_not_a_pointer() {
+        let cfg = cfg_with(vec![], vec![]);
+        assert!(run("fn f(a: f64, b: f64) -> f64 { a * b }", &cfg).is_empty());
+    }
+
+    #[test]
+    fn indexed_receiver_resolves() {
+        let src = "fn f() { hits[i].fetch_add(1, Ordering::Relaxed); }";
+        let cfg = cfg_with(vec![decl("hits", &["relaxed"], false)], vec![]);
+        assert!(run(src, &cfg).is_empty(), "{:?}", run(src, &cfg));
+    }
+}

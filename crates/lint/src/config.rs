@@ -27,7 +27,27 @@ pub const LINT_NAMES: &[&str] = &[
     "no-alloc-hot",
     "float-eq",
     "must-use-results",
+    "unsafe-contract",
+    "atomics-manifest",
+    "hot-path-coverage",
 ];
+
+/// One declared atomic location in the `[atomics]` concurrency
+/// manifest: the receiver name, the memory orderings its operations may
+/// use, and whether it is a **claim counter** (a `fetch_add(1, _)`
+/// whose result must be bounds-checked before use — the pattern the
+/// strip-disjointness argument of the worker pool rests on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtomicDecl {
+    /// Receiver identifier as it appears at the call site
+    /// (`FLUSH_GUARDS`, `next`, ...).
+    pub name: String,
+    /// Permitted orderings, lowercase (`relaxed`, `acquire`, `release`,
+    /// `acqrel`, `seqcst`).
+    pub orderings: Vec<String>,
+    /// Declared as a claim counter.
+    pub claim: bool,
+}
 
 /// One `[hot-paths]` entry: a file plus the functions within it that
 /// must stay allocation-free (empty ⇒ `*`, the whole file).
@@ -61,6 +81,28 @@ pub struct Config {
     /// Float literals exempt from `float-eq` (normalized via `f64`
     /// parsing, so `0.0`, `0.`, and `0.0f64` all match).
     pub float_eq_allowed: Vec<f64>,
+    /// Directory prefixes whose `unsafe` occurrences must carry a
+    /// structured, validated SAFETY clause (`[unsafe-contract]`).
+    pub unsafe_contract_crates: Vec<String>,
+    /// Line radius around an `unsafe` site within which a `bounds`
+    /// claim's backticked identifiers must appear
+    /// (`ref-window = N` in `[unsafe-contract]`; default 25).
+    pub ref_window: u32,
+    /// The concurrency manifest: file → declared atomic locations
+    /// (`[atomics]`). Files listed here get their atomic ops checked;
+    /// files in `unsafe_contract_crates` with atomic ops but no entry
+    /// are violations.
+    pub atomics: BTreeMap<String, Vec<AtomicDecl>>,
+    /// Raw-pointer declarations that may exist per file
+    /// (`[raw-pointers]`): binding/field names holding `*const`/`*mut`
+    /// values that cross the dispatch boundary.
+    pub raw_pointers: BTreeMap<String, Vec<String>>,
+    /// Directories every file of which must appear in `[hot-paths]` or
+    /// `[hot-path-exempt]` (`[hot-path-dirs]`).
+    pub hot_path_dirs: Vec<String>,
+    /// Files exempted from hot-path-dir coverage, with a justification
+    /// (`[hot-path-exempt]`, `file.rs = reason`).
+    pub hot_path_exempt: BTreeMap<String, String>,
 }
 
 impl Default for Config {
@@ -73,6 +115,12 @@ impl Default for Config {
             hot_paths: Vec::new(),
             must_use_types: Vec::new(),
             float_eq_allowed: vec![0.0],
+            unsafe_contract_crates: Vec::new(),
+            ref_window: 25,
+            atomics: BTreeMap::new(),
+            raw_pointers: BTreeMap::new(),
+            hot_path_dirs: Vec::new(),
+            hot_path_exempt: BTreeMap::new(),
         }
     }
 }
@@ -119,6 +167,12 @@ impl Config {
             hot_paths: Vec::new(),
             must_use_types: Vec::new(),
             float_eq_allowed: Vec::new(),
+            unsafe_contract_crates: Vec::new(),
+            ref_window: 25,
+            atomics: BTreeMap::new(),
+            raw_pointers: BTreeMap::new(),
+            hot_path_dirs: Vec::new(),
+            hot_path_exempt: BTreeMap::new(),
         };
         let mut section = String::new();
         for (idx, raw) in src.lines().enumerate() {
@@ -135,7 +189,8 @@ impl Config {
                 section = name.trim().to_string();
                 match section.as_str() {
                     "lints" | "library-crates" | "hot-paths" | "must-use-types"
-                    | "float-eq-allowed" => {}
+                    | "float-eq-allowed" | "unsafe-contract" | "atomics" | "raw-pointers"
+                    | "hot-path-dirs" | "hot-path-exempt" => {}
                     other => return Err(format!("line {lineno}: unknown section [{other}]")),
                 }
                 continue;
@@ -207,6 +262,98 @@ impl Config {
                         .map_err(|_| format!("line {lineno}: `{key}` is not a float literal"))?;
                     cfg.float_eq_allowed.push(v);
                 }
+                "unsafe-contract" => match (key, value) {
+                    ("ref-window", Some(v)) => {
+                        cfg.ref_window = v.parse::<u32>().map_err(|_| {
+                            format!("line {lineno}: `ref-window` wants a line count, got `{v}`")
+                        })?;
+                    }
+                    (path, None) => cfg.unsafe_contract_crates.push(path.to_string()),
+                    _ => {
+                        return Err(format!(
+                            "line {lineno}: [unsafe-contract] takes bare crate paths or `ref-window = N`"
+                        ))
+                    }
+                },
+                "atomics" => {
+                    let Some(v) = value else {
+                        return Err(format!(
+                            "line {lineno}: [atomics] entries are `file.rs = NAME:ordering[+ordering|+claim], ...`"
+                        ));
+                    };
+                    let mut decls = Vec::new();
+                    for item in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        let Some((name, spec)) = item.split_once(':') else {
+                            return Err(format!(
+                                "line {lineno}: atomic decl `{item}` missing `:ordering`"
+                            ));
+                        };
+                        let mut orderings = Vec::new();
+                        let mut claim = false;
+                        for part in spec.split('+').map(str::trim) {
+                            match part {
+                                "relaxed" | "acquire" | "release" | "acqrel" | "seqcst" => {
+                                    orderings.push(part.to_string())
+                                }
+                                "claim" => claim = true,
+                                other => {
+                                    return Err(format!(
+                                        "line {lineno}: unknown ordering/role `{other}` in `{item}`"
+                                    ))
+                                }
+                            }
+                        }
+                        if orderings.is_empty() {
+                            return Err(format!(
+                                "line {lineno}: atomic decl `{item}` permits no ordering"
+                            ));
+                        }
+                        decls.push(AtomicDecl {
+                            name: name.trim().to_string(),
+                            orderings,
+                            claim,
+                        });
+                    }
+                    if decls.is_empty() {
+                        return Err(format!("line {lineno}: empty atomic decl list for `{key}`"));
+                    }
+                    cfg.atomics.insert(key.to_string(), decls);
+                }
+                "raw-pointers" => {
+                    let Some(v) = value else {
+                        return Err(format!(
+                            "line {lineno}: [raw-pointers] entries are `file.rs = name, name`"
+                        ));
+                    };
+                    let names: Vec<String> = v
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if names.is_empty() {
+                        return Err(format!("line {lineno}: empty raw-pointer list for `{key}`"));
+                    }
+                    cfg.raw_pointers.insert(key.to_string(), names);
+                }
+                "hot-path-dirs" => {
+                    if value.is_some() {
+                        return Err(format!("line {lineno}: [hot-path-dirs] takes bare paths"));
+                    }
+                    cfg.hot_path_dirs.push(key.to_string());
+                }
+                "hot-path-exempt" => {
+                    let Some(v) = value else {
+                        return Err(format!(
+                            "line {lineno}: [hot-path-exempt] entries are `file.rs = justification`"
+                        ));
+                    };
+                    if v.len() < 3 {
+                        return Err(format!(
+                            "line {lineno}: hot-path exemption for `{key}` needs a justification"
+                        ));
+                    }
+                    cfg.hot_path_exempt.insert(key.to_string(), v.to_string());
+                }
                 "" => return Err(format!("line {lineno}: entry before any [section]")),
                 _ => unreachable!("section validated at header"),
             }
@@ -257,6 +404,72 @@ FactorPlan
         assert!(cfg.float_literal_allowed("0.0"));
         assert!(cfg.float_literal_allowed("0.0f64"));
         assert!(!cfg.float_literal_allowed("1.0"));
+    }
+
+    const AUDIT_SAMPLE: &str = "\
+[unsafe-contract]
+crates/matrix
+crates/core
+ref-window = 30
+
+[atomics]
+crates/matrix/src/par.rs = FLUSH_GUARDS:relaxed, next:relaxed+claim
+crates/matrix/src/kernel/mod.rs = OVERRIDE:relaxed
+
+[raw-pointers]
+crates/matrix/src/par.rs = f, next, fp
+
+[hot-path-dirs]
+crates/matrix/src/kernel
+
+[hot-path-exempt]
+crates/matrix/src/kernel/tuning.rs = one-shot sysfs probe, not on the solve path
+";
+
+    #[test]
+    fn parses_audit_sections() {
+        let cfg = Config::parse(AUDIT_SAMPLE).unwrap();
+        assert_eq!(
+            cfg.unsafe_contract_crates,
+            vec!["crates/matrix", "crates/core"]
+        );
+        assert_eq!(cfg.ref_window, 30);
+        let par = &cfg.atomics["crates/matrix/src/par.rs"];
+        assert_eq!(par.len(), 2);
+        assert_eq!(par[0].name, "FLUSH_GUARDS");
+        assert_eq!(par[0].orderings, vec!["relaxed"]);
+        assert!(!par[0].claim);
+        assert_eq!(par[1].name, "next");
+        assert!(par[1].claim);
+        assert_eq!(
+            cfg.raw_pointers["crates/matrix/src/par.rs"],
+            vec!["f", "next", "fp"]
+        );
+        assert_eq!(cfg.hot_path_dirs, vec!["crates/matrix/src/kernel"]);
+        assert!(cfg.hot_path_exempt["crates/matrix/src/kernel/tuning.rs"].contains("sysfs"));
+    }
+
+    #[test]
+    fn rejects_malformed_audit_entries() {
+        assert!(
+            Config::parse("[atomics]\nf.rs = NAME\n").is_err(),
+            "no ordering"
+        );
+        assert!(
+            Config::parse("[atomics]\nf.rs = NAME:sequential\n").is_err(),
+            "bad ordering name"
+        );
+        assert!(
+            Config::parse("[atomics]\nf.rs = NAME:claim\n").is_err(),
+            "claim alone permits no ordering"
+        );
+        assert!(Config::parse("[raw-pointers]\nf.rs\n").is_err());
+        assert!(Config::parse("[hot-path-dirs]\ndir = x\n").is_err());
+        assert!(Config::parse("[hot-path-exempt]\nf.rs\n").is_err());
+        assert!(
+            Config::parse("[unsafe-contract]\nref-window = lots\n").is_err(),
+            "ref-window wants a number"
+        );
     }
 
     #[test]

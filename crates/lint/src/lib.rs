@@ -15,16 +15,19 @@
 //! lives in `lint.toml`; individual findings are waived in the source
 //! with `// bs-lint: allow(<lint>) -- <justification>`.
 
+pub mod atomics;
 pub mod config;
 pub mod lints;
 pub mod scan;
 pub mod tokens;
+pub mod unsafe_contract;
 
 use config::Config;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use tokens::TokKind;
 
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,24 +52,135 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Workspace-wide facts collected in a first pass over every file,
+/// consulted by the cross-file lints: `must-use-results` (type
+/// annotations travel across files) and `unsafe-contract` (SAFETY
+/// claims may reference identifiers defined elsewhere, e.g. the
+/// dispatch gate in `kernel/mod.rs`).
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Type names declared `#[must_use]` anywhere in the workspace.
+    pub must_use_types: BTreeSet<String>,
+    /// Every identifier token in the workspace (for SAFETY-claim
+    /// reference resolution).
+    pub idents: BTreeSet<String>,
+    /// Every `fn` name in the workspace (for `[isa ...]` dispatch-gate
+    /// claims).
+    pub fn_names: BTreeSet<String>,
+}
+
+impl Registry {
+    /// Build the registry from scanned files.
+    pub fn from_scans<'a>(scans: impl Iterator<Item = &'a scan::FileScan>) -> Registry {
+        let mut r = Registry::default();
+        for s in scans {
+            r.must_use_types.extend(s.must_use_types.iter().cloned());
+            for t in &s.toks {
+                if t.kind == TokKind::Ident {
+                    r.idents.insert(t.text.clone());
+                }
+            }
+            for f in &s.fns {
+                r.fn_names.insert(f.name.clone());
+            }
+        }
+        r
+    }
+}
+
+/// One `// bs-lint: allow(...)` waiver, as surfaced by the `--waivers`
+/// report.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub file: String,
+    pub line: u32,
+    pub lint: String,
+    /// `allow-file(...)` form.
+    pub file_wide: bool,
+    pub justification: String,
+}
+
+/// Collect every waiver in the file set, plus diagnostics for the ones
+/// that fail the report's honesty rules: malformed directives (which
+/// includes empty justifications) and justifications duplicated
+/// verbatim across sites — a copy-pasted excuse says nothing about the
+/// new site.
+pub fn collect_waivers(files: &[(String, String)]) -> (Vec<Waiver>, Vec<Diagnostic>) {
+    let mut waivers = Vec::new();
+    let mut diags = Vec::new();
+    for (path, src) in files {
+        let s = scan::scan(tokens::tokenize(src));
+        for (line, msg) in &s.malformed_directives {
+            diags.push(Diagnostic {
+                file: path.clone(),
+                line: *line,
+                lint: "allow-directive",
+                message: msg.clone(),
+            });
+        }
+        for a in &s.allows {
+            waivers.push(Waiver {
+                file: path.clone(),
+                line: a.line,
+                lint: a.lint.clone(),
+                file_wide: a.lines.is_none(),
+                justification: a.justification.clone(),
+            });
+        }
+    }
+    waivers.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    for (i, w) in waivers.iter().enumerate() {
+        if let Some(first) = waivers[..i]
+            .iter()
+            .find(|p| p.justification == w.justification)
+        {
+            diags.push(Diagnostic {
+                file: w.file.clone(),
+                line: w.line,
+                lint: "allow-directive",
+                message: format!(
+                    "justification duplicated verbatim from {}:{}; describe what makes \
+                     this site safe specifically",
+                    first.file, first.line
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    (waivers, diags)
+}
+
 /// Lint a set of `(workspace-relative path, contents)` pairs.
 ///
-/// Two passes: the first collects `#[must_use]`-annotated type names
-/// across every file (so a type declared in `plan.rs` satisfies
-/// `must-use-results` for a constructor in `solver.rs`); the second
-/// runs the lint catalog per file.
+/// Two passes: the first builds the workspace [`Registry`] (so a type
+/// declared in `plan.rs` satisfies `must-use-results` for a
+/// constructor in `solver.rs`, and a SAFETY claim in `blas3.rs` can
+/// reference the dispatch gate in `kernel/mod.rs`); the second runs
+/// the lint catalog per file.
 pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
     let scans: Vec<(&str, scan::FileScan)> = files
         .iter()
         .map(|(path, src)| (path.as_str(), scan::scan(tokens::tokenize(src))))
         .collect();
-    let registry: BTreeSet<String> = scans
-        .iter()
-        .flat_map(|(_, s)| s.must_use_types.iter().cloned())
-        .collect();
+    let registry = Registry::from_scans(scans.iter().map(|(_, s)| s));
     let mut out = Vec::new();
     for (path, s) in &scans {
         out.extend(lints::lint_file(path, s, cfg, &registry));
+    }
+    // Manifest entries naming files that do not exist are stale.
+    if cfg.enabled("hot-path-coverage") {
+        for exempt in cfg.hot_path_exempt.keys() {
+            if !files.iter().any(|(p, _)| p == exempt) {
+                out.push(Diagnostic {
+                    file: exempt.clone(),
+                    line: 1,
+                    lint: "hot-path-coverage",
+                    message: "[hot-path-exempt] names a file that does not exist — stale \
+                              manifest entry"
+                        .to_string(),
+                });
+            }
+        }
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out

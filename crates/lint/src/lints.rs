@@ -1,12 +1,15 @@
-//! The lint catalog: five token-level passes over a [`FileScan`].
+//! The lint catalog: the token-level passes over a [`FileScan`].
 //!
 //! | lint | scope | what it forbids |
 //! |------|-------|-----------------|
 //! | `no-panic-paths` | library crates, non-test | `.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!` |
-//! | `safety-comment` | everywhere | `unsafe` without a nearby `// SAFETY:` comment |
+//! | `safety-comment` | everywhere | `unsafe` without a nearby `// SAFETY:` comment (multi-line clauses count as one run) |
 //! | `no-alloc-hot` | hot-path manifest, non-test | `Vec::new`, `vec![`, `.to_vec()`, `.clone()`, `Box::new`, `String::`/`format!`/`.to_string()`/`.to_owned()` |
 //! | `float-eq` | library crates, non-test | `==`/`!=` with a float-literal operand (configured literals, `0.0` by default, exempt) |
 //! | `must-use-results` | library crates | `pub fn` returning a configured must-use type without `#[must_use]` at the fn or the type |
+//! | `unsafe-contract` | `[unsafe-contract]` crates | `unsafe` without a structured, validated SAFETY clause (see [`crate::unsafe_contract`]) |
+//! | `atomics-manifest` | `[unsafe-contract]` crates + `[atomics]` files | atomic ops / raw pointers outside the declared concurrency manifest (see [`crate::atomics`]) |
+//! | `hot-path-coverage` | `[hot-path-dirs]` | a file under a hot-path directory neither listed in `[hot-paths]` nor exempted |
 //!
 //! Every diagnostic can be suppressed with
 //! `// bs-lint: allow(<lint>) -- <justification>` on or directly above
@@ -16,17 +19,17 @@
 use crate::config::Config;
 use crate::scan::FileScan;
 use crate::tokens::{TokKind, Token};
-use crate::Diagnostic;
+use crate::{Diagnostic, Registry};
 use std::collections::BTreeSet;
 
-/// Run every enabled lint on one scanned file. `must_use_registry` is
-/// the workspace-wide set of type names declared `#[must_use]`
-/// (collected in a first pass over every file).
+/// Run every enabled lint on one scanned file. `registry` carries the
+/// workspace-wide facts (must-use types, identifiers, fn names)
+/// collected in a first pass over every file.
 pub fn lint_file(
     file: &str,
     scan: &FileScan,
     cfg: &Config,
-    must_use_registry: &BTreeSet<String>,
+    registry: &Registry,
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (line, msg) in &scan.malformed_directives {
@@ -51,7 +54,17 @@ pub fn lint_file(
         float_eq(file, scan, cfg, &mut out);
     }
     if cfg.enabled("must-use-results") && in_lib {
-        must_use_results(file, scan, cfg, must_use_registry, &mut out);
+        must_use_results(file, scan, cfg, &registry.must_use_types, &mut out);
+    }
+    if cfg.enabled("unsafe-contract") {
+        crate::unsafe_contract::unsafe_contract(file, scan, cfg, registry, &mut out);
+    }
+    if cfg.enabled("atomics-manifest") {
+        crate::atomics::atomics_manifest(file, scan, cfg, &mut out);
+        crate::atomics::raw_pointers(file, scan, cfg, &mut out);
+    }
+    if cfg.enabled("hot-path-coverage") {
+        hot_path_coverage(file, cfg, &mut out);
     }
     // Apply allow directives last so every pass sees the same state.
     out.retain(|d| d.lint == "allow-directive" || !scan.allowed(d.lint, d.line));
@@ -115,18 +128,22 @@ fn no_panic_paths(file: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
 }
 
 /// Every `unsafe` keyword (block, fn, impl, trait) needs a comment
-/// containing `SAFETY:` within the three lines above it, on its line,
-/// or on the line just below (the `unsafe { // SAFETY: ...` style).
+/// containing `SAFETY:` whose comment *run* (consecutive comment lines
+/// count as one logical comment, so multi-line clauses work) touches
+/// the three lines above it, its own line, or the line just below (the
+/// `unsafe { // SAFETY: ...` style).
 fn safety_comment(file: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
     let toks = &scan.toks;
+    let runs = crate::unsafe_contract::comment_runs(toks);
     for t in toks.iter() {
         if t.kind != TokKind::Ident || t.text != "unsafe" {
             continue;
         }
-        let window = t.line.saturating_sub(3)..=t.line + 1;
-        let documented = toks
-            .iter()
-            .any(|c| c.is_comment() && window.contains(&c.line) && c.text.contains("SAFETY:"));
+        let documented = runs.iter().any(|r| {
+            r.text.contains("SAFETY:")
+                && r.start_line <= t.line + 1
+                && r.end_line >= t.line.saturating_sub(3)
+        });
         if !documented {
             diag(
                 out,
@@ -235,6 +252,31 @@ fn float_eq(file: &str, scan: &FileScan, cfg: &Config, out: &mut Vec<Diagnostic>
     }
 }
 
+/// Every file under a `[hot-path-dirs]` directory must be accounted
+/// for: listed in `[hot-paths]` (so `no-alloc-hot` covers it) or
+/// explicitly exempted in `[hot-path-exempt]` with a justification.
+/// New kernel files cannot silently dodge the allocation audit.
+fn hot_path_coverage(file: &str, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for dir in &cfg.hot_path_dirs {
+        let dir = dir.trim_end_matches('/');
+        let under = file
+            .strip_prefix(dir)
+            .is_some_and(|rest| rest.starts_with('/'));
+        if under && cfg.hot_entries(file).is_empty() && !cfg.hot_path_exempt.contains_key(file) {
+            diag(
+                out,
+                file,
+                1,
+                "hot-path-coverage",
+                format!(
+                    "file under hot-path directory `{dir}` is neither listed in \
+                     [hot-paths] nor exempted in [hot-path-exempt]"
+                ),
+            );
+        }
+    }
+}
+
 /// `pub fn` returning a configured must-use type needs `#[must_use]`
 /// on the function or on the type declaration (anywhere in the
 /// workspace). Functions returning `Result` are satisfied: std's
@@ -289,7 +331,7 @@ mod tests {
 
     fn run(src: &str, cfg: &Config) -> Vec<Diagnostic> {
         let s = scan(tokenize(src));
-        let registry: BTreeSet<String> = s.must_use_types.iter().cloned().collect();
+        let registry = Registry::from_scans(std::iter::once(&s));
         lint_file("crates/core/src/x.rs", &s, cfg, &registry)
     }
 
@@ -325,7 +367,7 @@ mod tests {
             ..Config::default()
         };
         let s = scan(tokenize("fn a() { b.unwrap(); }"));
-        let d = lint_file("crates/core/src/x.rs", &s, &cfg, &BTreeSet::new());
+        let d = lint_file("crates/core/src/x.rs", &s, &cfg, &Registry::default());
         assert!(d.is_empty());
     }
 
@@ -407,6 +449,39 @@ pub fn make_result() -> Result<Factor, ()> { Ok(Factor) }
         let mu: Vec<_> = d.iter().filter(|d| d.lint == "must-use-results").collect();
         assert_eq!(mu.len(), 1, "{mu:?}");
         assert!(mu[0].message.contains("make_factor"));
+    }
+
+    #[test]
+    fn hot_path_coverage_requires_listing_or_exemption() {
+        let cfg = Config {
+            hot_path_dirs: vec!["crates/core/src".to_string()],
+            ..Config::default()
+        };
+        let d = run("fn f() {}", &cfg);
+        assert_eq!(
+            d.iter().filter(|d| d.lint == "hot-path-coverage").count(),
+            1,
+            "{d:?}"
+        );
+        let listed = Config {
+            hot_path_dirs: vec!["crates/core/src".to_string()],
+            hot_paths: vec![HotPath {
+                file: "crates/core/src/x.rs".to_string(),
+                fns: vec!["f".to_string()],
+            }],
+            ..Config::default()
+        };
+        assert!(run("fn f() {}", &listed).is_empty());
+        let exempt = Config {
+            hot_path_dirs: vec!["crates/core/src".to_string()],
+            hot_path_exempt: std::iter::once((
+                "crates/core/src/x.rs".to_string(),
+                "cold setup file".to_string(),
+            ))
+            .collect(),
+            ..Config::default()
+        };
+        assert!(run("fn f() {}", &exempt).is_empty());
     }
 
     #[test]

@@ -5,7 +5,13 @@
 //! cargo run -p bs-lint -- --root DIR    # lint another tree
 //! cargo run -p bs-lint -- --config F    # use a specific manifest
 //! cargo run -p bs-lint -- --list        # print the lint catalog
+//! cargo run -p bs-lint -- --waivers     # report every allow directive
 //! ```
+//!
+//! `--waivers` prints each `// bs-lint: allow(...)` with its file:line
+//! and justification, and fails if any justification is empty or
+//! duplicated verbatim — the waiver ledger stays honest as the
+//! workspace grows.
 //!
 //! Exit status: `0` clean, `1` violations found, `2` usage / IO /
 //! config error. The workspace root is located by walking upward from
@@ -31,12 +37,14 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut waivers_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--config" => config_path = args.next().map(PathBuf::from),
             "--quiet" | "-q" => quiet = true,
+            "--waivers" => waivers_mode = true,
             "--list" => {
                 for name in LINT_NAMES {
                     println!("{name}");
@@ -46,7 +54,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "bs-lint: static-analysis gate\n\
-                     usage: bs-lint [--root DIR] [--config FILE] [--quiet] [--list]"
+                     usage: bs-lint [--root DIR] [--config FILE] [--quiet] [--list] [--waivers]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -86,6 +94,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if waivers_mode {
+        let (waivers, problems) = bs_lint::collect_waivers(&files);
+        for w in &waivers {
+            let form = if w.file_wide { "allow-file" } else { "allow" };
+            println!(
+                "{}:{}: {form}({}) -- {}",
+                w.file, w.line, w.lint, w.justification
+            );
+        }
+        println!("bs-lint: {} waiver(s)", waivers.len());
+        if problems.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            eprintln!("{p}");
+        }
+        eprintln!("bs-lint: {} waiver problem(s)", problems.len());
+        return ExitCode::FAILURE;
+    }
     let diags = bs_lint::lint_files(&files, &cfg);
     if !quiet {
         for d in &diags {

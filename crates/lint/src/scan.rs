@@ -21,6 +21,9 @@ pub struct FnSpan {
     pub body: Option<(usize, usize)>,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Features named by `#[target_feature(enable = "...")]` attributes
+    /// on this fn (the string values, unquoted; empty when unattributed).
+    pub target_features: Vec<String>,
 }
 
 /// A parsed `bs-lint` allow directive.
@@ -29,6 +32,10 @@ pub struct Allow {
     pub lint: String,
     /// Lines the directive covers (`None` = whole file).
     pub lines: Option<Vec<u32>>,
+    /// The `-- ...` justification text, dashes stripped.
+    pub justification: String,
+    /// 1-based line of the directive itself.
+    pub line: u32,
 }
 
 /// Everything the structural pass recovered from one file.
@@ -128,6 +135,7 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
     let mut pending_test = false;
     let mut pending_must_use = false;
     let mut pending_pub = false;
+    let mut pending_target_features: Vec<String> = Vec::new();
 
     let mut i = 0usize;
     while i < toks.len() {
@@ -140,9 +148,12 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
                     j += 1;
                 }
                 if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "[" {
-                    // Collect idents to the matching `]`.
+                    // Collect idents (and string values, for
+                    // `target_feature(enable = "...")`) to the
+                    // matching `]`.
                     let mut depth = 0usize;
                     let mut idents: Vec<&str> = Vec::new();
+                    let mut strs: Vec<&str> = Vec::new();
                     let mut k = j;
                     while k < toks.len() {
                         let a = &toks[k];
@@ -159,6 +170,8 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
                             }
                         } else if a.kind == TokKind::Ident {
                             idents.push(&a.text);
+                        } else if a.kind == TokKind::Str {
+                            strs.push(&a.text);
                         }
                         k += 1;
                     }
@@ -173,6 +186,16 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
                     }
                     if idents.contains(&"must_use") {
                         pending_must_use = true;
+                    }
+                    if idents.contains(&"target_feature") {
+                        // A feature string may name several features
+                        // comma-separated ("avx2,fma"); split them.
+                        for s in &strs {
+                            let inner = s.trim_matches('"');
+                            for feat in inner.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+                                pending_target_features.push(feat.to_string());
+                            }
+                        }
                     }
                     i = k + 1;
                     continue;
@@ -226,6 +249,7 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
                     ret_idents,
                     body,
                     line,
+                    target_features: std::mem::take(&mut pending_target_features),
                 });
                 pending_test = false;
                 pending_must_use = false;
@@ -250,6 +274,7 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
                 pending_test = false;
                 pending_must_use = false;
                 pending_pub = false;
+                pending_target_features.clear();
                 i += 1;
             }
             TokKind::Ident if t.text == "mod" || t.text == "impl" || t.text == "trait" => {
@@ -261,6 +286,7 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
                 pending_test = false;
                 pending_must_use = false;
                 pending_pub = false;
+                pending_target_features.clear();
                 i += 1;
             }
             TokKind::Ident if ITEM_KEYWORDS.contains(&t.text.as_str()) => {
@@ -274,6 +300,7 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
                 pending_test = false;
                 pending_must_use = false;
                 pending_pub = false;
+                pending_target_features.clear();
                 i += 1;
             }
             _ => i += 1,
@@ -338,7 +365,12 @@ pub fn scan(toks: Vec<Token>) -> FileScan {
             }
             Some(lines)
         };
-        allows.push(Allow { lint, lines });
+        allows.push(Allow {
+            lint,
+            lines,
+            justification: justification.trim_start_matches('-').trim().to_string(),
+            line: c.line,
+        });
     }
 
     out.test_regions = test_regions;
@@ -453,6 +485,27 @@ mod tests {
     fn allow_file_covers_everything() {
         let s = scan_src("// bs-lint: allow-file(safety-comment) -- vetted module\n");
         assert!(s.allowed("safety-comment", 999));
+    }
+
+    #[test]
+    fn target_feature_attrs_recorded() {
+        let src = "\
+#[target_feature(enable = \"avx2\", enable = \"fma\")]\nunsafe fn k() {}\n\
+#[target_feature(enable = \"avx2,fma\")]\nunsafe fn k2() {}\nfn plain() {}\n";
+        let s = scan_src(src);
+        assert_eq!(s.fns[0].target_features, vec!["avx2", "fma"]);
+        assert_eq!(s.fns[1].target_features, vec!["avx2", "fma"]);
+        assert!(s.fns[2].target_features.is_empty());
+    }
+
+    #[test]
+    fn allow_records_justification_and_line() {
+        let src =
+            "fn f() {}\n// bs-lint: allow(float-eq) -- exact sentinel value\nlet a = x == 1.5;\n";
+        let s = scan_src(src);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].justification, "exact sentinel value");
+        assert_eq!(s.allows[0].line, 2);
     }
 
     #[test]

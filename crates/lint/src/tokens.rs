@@ -420,4 +420,67 @@ mod tests {
         let ts = tokenize("let s = \"oops");
         assert_eq!(ts.last().unwrap().kind, TokKind::Str);
     }
+
+    #[test]
+    fn forbidden_spellings_inside_raw_strings_stay_strings() {
+        // The payloads the lints hunt for, wrapped in every string
+        // flavour: none may surface as an Ident or Punct token.
+        let src = r##"let a = r#"unsafe { p.read() } x.unwrap() panic!()"#;
+let b = b"y == 2.5 and todo!()";
+let c = br#"*mut f64 escaping"#;"##;
+        let ts = tokenize(src);
+        assert_eq!(ts.iter().filter(|t| t.kind == TokKind::Str).count(), 3);
+        assert!(ts.iter().all(|t| t.kind != TokKind::Ident
+            || (t.text != "unsafe" && t.text != "unwrap" && t.text != "panic")));
+        assert!(ts.iter().all(|t| t.kind != TokKind::Float));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_spans_lines_and_keeps_line_numbers() {
+        // The inner `"#` must not close an r##-string; the token after
+        // the literal must land on the right line.
+        let src = "let s = r##\"quote \"# inside\nsecond line .unwrap()\"##;\nnext";
+        let ts = tokenize(src);
+        let s = ts.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.contains("second line"));
+        let next = ts.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comment_swallows_code_shaped_text() {
+        let src = "/* a /* unsafe { boom() } */ x.unwrap() == 2.5 */ fn f() {}";
+        let ts = tokenize(src);
+        assert_eq!(ts[0].kind, TokKind::BlockComment);
+        assert!(ts[0].text.ends_with("*/"));
+        // Only the trailing real code tokenizes.
+        let idents: Vec<_> = ts
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_identifier_keywords_are_not_the_keyword() {
+        // `r#unsafe` is a legal identifier; `safety-comment` keys off
+        // Ident tokens spelled exactly `unsafe`, so the raw spelling
+        // must come through verbatim.
+        let ts = kinds("fn r#unsafe() { let r#loop = 1; }");
+        assert!(ts.contains(&(TokKind::Ident, "r#unsafe".to_string())));
+        assert!(ts.contains(&(TokKind::Ident, "r#loop".to_string())));
+        assert!(!ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn quote_char_literals_do_not_open_strings() {
+        let ts = kinds("let q = '\"'; let h = '#'; after");
+        assert!(ts.contains(&(TokKind::Char, "'\"'".to_string())));
+        assert!(ts.contains(&(TokKind::Char, "'#'".to_string())));
+        assert!(ts.contains(&(TokKind::Ident, "after".to_string())));
+        assert!(!ts.iter().any(|(k, _)| *k == TokKind::Str));
+    }
 }

@@ -1,0 +1,583 @@
+//! The `unsafe-contract` pass: structured, machine-checked SAFETY
+//! clauses.
+//!
+//! Within the crates listed under `[unsafe-contract]` in `lint.toml`,
+//! every `unsafe` occurrence (block, fn, impl) must sit next to a
+//! comment run containing `SAFETY:` followed by one or more bracketed
+//! **claims**:
+//!
+//! ```text
+//! // SAFETY: [bounds `apanel` holds `kc * MR` elements, sliced by the
+//! // caller] [isa avx2,fma — dispatched via `kernel_for` after
+//! // runtime detection]
+//! ```
+//!
+//! A claim is `[tag detail]` where `tag` is one of [`CLAIM_TAGS`]
+//! (bounds source, alignment, aliasing, ISA gate, lifetime, thread
+//! sync, register/CSR state, layout). The pass *validates* the claims
+//! instead of taking them on faith:
+//!
+//! - every backticked reference must resolve — to an identifier in the
+//!   same file, an identifier anywhere in the workspace, or a string
+//!   literal in the same file (asm mnemonics live in strings). A
+//!   reference that resolves to nothing is a **stale claim** and fails.
+//! - `bounds` claims must point at a visible source of the bound:
+//!   either the word "slice" (bounds-checked accesses) or backticked
+//!   identifiers that all appear within `ref-window` lines of the
+//!   `unsafe` site.
+//! - `isa` claims on a `#[target_feature]` function must name exactly
+//!   the enabled feature set — no more, no fewer; on other functions
+//!   they must reference a workspace function (the dispatch gate).
+//! - a `#[target_feature]` function's clause must carry an `isa` claim.
+//! - `lifetime` claims must reference something file-local that pins
+//!   the lifetime (a barrier, a guard, a field).
+
+use crate::config::Config;
+use crate::scan::{FileScan, FnSpan};
+use crate::tokens::{TokKind, Token};
+use crate::{Diagnostic, Registry};
+use std::collections::BTreeSet;
+
+/// The claim vocabulary, in documentation order.
+pub const CLAIM_TAGS: &[&str] = &[
+    "bounds", "align", "alias", "isa", "lifetime", "sync", "reg", "layout",
+];
+
+/// Target features the `isa` tag understands. Claimed features are
+/// matched word-wise against `#[target_feature(enable = ...)]` sets.
+const ISA_FEATURES: &[&str] = &["avx2", "fma", "avx512f", "neon"];
+
+/// One parsed `[tag detail]` claim.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    pub tag: String,
+    pub detail: String,
+}
+
+/// A maximal run of comment tokens on adjacent lines, with markers
+/// stripped and bodies joined by spaces.
+pub struct CommentRun {
+    pub start_line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Group a file's comments into adjacent-line runs — a multi-line
+/// `// SAFETY:` clause is one logical comment.
+pub fn comment_runs(toks: &[Token]) -> Vec<CommentRun> {
+    let mut runs: Vec<CommentRun> = Vec::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        let end = t.line + t.text.matches('\n').count() as u32;
+        let body = comment_body(t);
+        match runs.last_mut() {
+            Some(run) if t.line <= run.end_line + 1 => {
+                run.end_line = end;
+                run.text.push(' ');
+                run.text.push_str(&body);
+            }
+            _ => runs.push(CommentRun {
+                start_line: t.line,
+                end_line: end,
+                text: body,
+            }),
+        }
+    }
+    runs
+}
+
+/// Strip comment markers, keeping the prose (newlines inside block
+/// comments become spaces so claims can wrap).
+fn comment_body(t: &Token) -> String {
+    let s = match t.kind {
+        TokKind::LineComment => t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim(),
+        _ => t
+            .text
+            .trim_start_matches("/*")
+            .trim_start_matches(['*', '!'])
+            .trim_end_matches("*/")
+            .trim(),
+    };
+    s.replace('\n', " ")
+}
+
+/// Parse the bracketed claims following `SAFETY:` in a comment run.
+pub fn parse_claims(text: &str) -> Vec<Claim> {
+    let Some(pos) = text.find("SAFETY:") else {
+        return Vec::new();
+    };
+    let rest = &text[pos + "SAFETY:".len()..];
+    let mut claims = Vec::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '[' {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut end = None;
+        for (j, c2) in chars.by_ref() {
+            match c2 {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        let inner = rest[i + 1..end].trim();
+        let (tag, detail) = match inner.split_once(char::is_whitespace) {
+            Some((t, d)) => (t.to_string(), d.trim().to_string()),
+            None => (inner.to_string(), String::new()),
+        };
+        claims.push(Claim { tag, detail });
+    }
+    claims
+}
+
+/// The backticked references in a claim detail.
+fn backtick_refs(detail: &str) -> Vec<&str> {
+    let mut refs = Vec::new();
+    let mut inside = false;
+    for part in detail.split('`') {
+        if inside && !part.trim().is_empty() {
+            refs.push(part.trim());
+        }
+        inside = !inside;
+    }
+    refs
+}
+
+/// Identifier-shaped words inside a reference (`kc * MR` → kc, MR).
+fn ref_idents(r: &str) -> Vec<&str> {
+    r.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|w| {
+            !w.is_empty()
+                && w.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        })
+        .collect()
+}
+
+/// Words of a claim detail (for feature-name matching).
+fn detail_words(detail: &str) -> Vec<&str> {
+    detail
+        .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// The innermost function whose body contains token `idx`, falling
+/// back to the `fn` declared on the same line (covers the `unsafe fn`
+/// keyword itself, which sits just before its own body).
+fn assoc_fn(scan: &FileScan, idx: usize, line: u32) -> Option<&FnSpan> {
+    let mut best: Option<&FnSpan> = None;
+    for f in &scan.fns {
+        if let Some((a, b)) = f.body {
+            if idx >= a && idx <= b {
+                let better = match best.and_then(|bf| bf.body) {
+                    Some((ba, bb)) => (b - a) < (bb - ba),
+                    None => true,
+                };
+                if better {
+                    best = Some(f);
+                }
+            }
+        }
+    }
+    best.or_else(|| scan.fns.iter().find(|f| f.line == line))
+}
+
+/// Run the pass on one file.
+pub fn unsafe_contract(
+    file: &str,
+    scan: &FileScan,
+    cfg: &Config,
+    registry: &Registry,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !cfg
+        .unsafe_contract_crates
+        .iter()
+        .any(|c| file.starts_with(c.trim_end_matches('/')))
+    {
+        return;
+    }
+    let toks = &scan.toks;
+    let runs = comment_runs(toks);
+    // File-local resolution corpora.
+    let file_idents: BTreeSet<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    let ident_lines: Vec<(u32, &str)> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| (t.line, t.text.as_str()))
+        .collect();
+    let str_corpus: String = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" || scan.in_test(i) {
+            continue;
+        }
+        let window_lo = t.line.saturating_sub(3);
+        let window_hi = t.line + 1;
+        let clause = runs.iter().find(|r| {
+            r.text.contains("SAFETY:") && r.start_line <= window_hi && r.end_line >= window_lo
+        });
+        let Some(clause) = clause else {
+            out.push(diag(
+                file,
+                t.line,
+                "`unsafe` without an adjacent `// SAFETY:` clause; document the invariant \
+                 as `[tag detail]` claims",
+            ));
+            continue;
+        };
+        let claims = parse_claims(&clause.text);
+        if claims.is_empty() {
+            out.push(diag(
+                file,
+                t.line,
+                "SAFETY clause carries no structured claims; state the invariant as \
+                 `[bounds ...]` / `[isa ...]` / `[sync ...]` claims",
+            ));
+            continue;
+        }
+        let assoc = assoc_fn(scan, i, t.line);
+        let fn_features: &[String] = assoc.map_or(&[], |f| f.target_features.as_slice());
+        if !fn_features.is_empty() && !claims.iter().any(|c| c.tag == "isa") {
+            out.push(diag(
+                file,
+                t.line,
+                &format!(
+                    "`#[target_feature]` fn needs an `[isa ...]` claim naming its gate \
+                     (enabled: {})",
+                    fn_features.join(",")
+                ),
+            ));
+        }
+        for claim in &claims {
+            if let Some(msg) = validate_claim(
+                claim,
+                t.line,
+                fn_features,
+                &file_idents,
+                &ident_lines,
+                &str_corpus,
+                registry,
+                cfg,
+            ) {
+                out.push(diag(file, t.line, &msg));
+            }
+        }
+    }
+}
+
+fn diag(file: &str, line: u32, msg: &str) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        lint: "unsafe-contract",
+        message: msg.to_string(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn validate_claim(
+    claim: &Claim,
+    site_line: u32,
+    fn_features: &[String],
+    file_idents: &BTreeSet<&str>,
+    ident_lines: &[(u32, &str)],
+    str_corpus: &str,
+    registry: &Registry,
+    cfg: &Config,
+) -> Option<String> {
+    if !CLAIM_TAGS.contains(&claim.tag.as_str()) {
+        return Some(format!(
+            "unknown claim tag `{}` (expected one of: {})",
+            claim.tag,
+            CLAIM_TAGS.join(", ")
+        ));
+    }
+    if claim.detail.is_empty() {
+        return Some(format!("`[{}]` claim has no detail", claim.tag));
+    }
+    let refs = backtick_refs(&claim.detail);
+    // Every backticked reference must resolve somewhere real.
+    for r in &refs {
+        for id in ref_idents(r) {
+            let resolves =
+                file_idents.contains(id) || registry.idents.contains(id) || str_corpus.contains(id);
+            if !resolves {
+                return Some(format!(
+                    "stale `[{}]` claim: `{id}` resolves to nothing in the file, the \
+                     workspace, or a file-local string literal",
+                    claim.tag
+                ));
+            }
+        }
+    }
+    match claim.tag.as_str() {
+        "bounds" => {
+            let via_slice = claim.detail.to_lowercase().contains("slice");
+            let near = !refs.is_empty()
+                && refs.iter().all(|r| {
+                    ref_idents(r).iter().all(|id| {
+                        ident_lines
+                            .iter()
+                            .any(|(l, t)| t == id && l.abs_diff(site_line) <= cfg.ref_window)
+                    })
+                });
+            if !via_slice && !near {
+                return Some(format!(
+                    "`[bounds]` claim has no visible source: mention bounds-checked \
+                     slices or backtick identifiers appearing within {} lines of the \
+                     `unsafe` site",
+                    cfg.ref_window
+                ));
+            }
+        }
+        "isa" => {
+            let claimed: BTreeSet<&str> = detail_words(&claim.detail)
+                .into_iter()
+                .filter(|w| ISA_FEATURES.contains(w))
+                .collect();
+            if !fn_features.is_empty() {
+                let enabled: BTreeSet<&str> = fn_features.iter().map(String::as_str).collect();
+                if claimed != enabled {
+                    return Some(format!(
+                        "`[isa]` claim names features {{{}}} but the fn enables {{{}}}",
+                        claimed.into_iter().collect::<Vec<_>>().join(","),
+                        enabled.into_iter().collect::<Vec<_>>().join(","),
+                    ));
+                }
+            } else {
+                let gated = refs.iter().any(|r| {
+                    ref_idents(r)
+                        .iter()
+                        .any(|id| registry.fn_names.contains(*id))
+                });
+                if !gated {
+                    return Some(
+                        "`[isa]` claim outside a `#[target_feature]` fn must backtick the \
+                         dispatch-gate function that established the feature"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        "lifetime" => {
+            let local = refs
+                .iter()
+                .any(|r| ref_idents(r).iter().all(|id| file_idents.contains(id)));
+            if !local {
+                return Some(
+                    "`[lifetime]` claim must backtick the file-local thing that pins the \
+                     lifetime (a barrier, guard, or field)"
+                        .to_string(),
+                );
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+    use crate::tokens::tokenize;
+
+    fn reg(files: &[&str]) -> Registry {
+        let mut r = Registry::default();
+        for src in files {
+            let s = scan(tokenize(src));
+            for t in &s.toks {
+                if t.kind == TokKind::Ident {
+                    r.idents.insert(t.text.clone());
+                }
+            }
+            for f in &s.fns {
+                r.fn_names.insert(f.name.clone());
+            }
+        }
+        r
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let cfg = Config {
+            unsafe_contract_crates: vec!["crates/matrix".to_string()],
+            ..Config::default()
+        };
+        let s = scan(tokenize(src));
+        let registry = reg(&[src]);
+        let mut out = Vec::new();
+        unsafe_contract("crates/matrix/src/x.rs", &s, &cfg, &registry, &mut out);
+        out
+    }
+
+    #[test]
+    fn out_of_scope_files_are_skipped() {
+        let cfg = Config::default();
+        let s = scan(tokenize("fn f() { unsafe { g(); } }"));
+        let mut out = Vec::new();
+        unsafe_contract(
+            "crates/bench/src/x.rs",
+            &s,
+            &cfg,
+            &Registry::default(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn missing_clause_and_unstructured_clause_flagged() {
+        let d = run("fn f() { unsafe { g(); } }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("without an adjacent"));
+        let d = run("fn f() {\n    // SAFETY: trust me, it is fine.\n    unsafe { g(); }\n}");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no structured claims"));
+    }
+
+    #[test]
+    fn valid_bounds_claim_near_site_passes() {
+        let src = "\
+fn f(buf: &[f64], n: usize) {
+    let k = n.min(buf.len());
+    // SAFETY: [bounds `k` is clamped to `buf` length by the `min` above]
+    unsafe { g(buf, k); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn stale_reference_fails() {
+        let src = "\
+fn f() {
+    // SAFETY: [bounds `no_such_thing_anywhere` guards the access]
+    unsafe { g(); }
+}
+";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("stale"), "{:?}", d);
+    }
+
+    #[test]
+    fn unknown_tag_and_empty_detail_fail() {
+        let d = run("fn f() {\n    // SAFETY: [vibes all good]\n    unsafe { g(); }\n}");
+        assert!(d[0].message.contains("unknown claim tag"));
+        let d = run("fn f() {\n    // SAFETY: [sync]\n    unsafe { g(); }\n}");
+        assert!(d[0].message.contains("no detail"));
+    }
+
+    #[test]
+    fn isa_claim_must_match_target_feature_set() {
+        let good = "\
+// SAFETY: [isa avx2,fma — callers dispatch through `kernel_for`]
+#[target_feature(enable = \"avx2\", enable = \"fma\")]
+pub unsafe fn kernel_for() {}
+";
+        assert!(run(good).is_empty(), "{:?}", run(good));
+        let wrong = "\
+// SAFETY: [isa avx2 — callers dispatch through `kernel_for`]
+#[target_feature(enable = \"avx2\", enable = \"fma\")]
+pub unsafe fn kernel_for() {}
+";
+        let d = run(wrong);
+        assert!(d.iter().any(|d| d.message.contains("enables")), "{:?}", d);
+    }
+
+    #[test]
+    fn target_feature_fn_requires_isa_claim() {
+        let src = "\
+// SAFETY: [bounds all loads go through bounds-checked slices]
+#[target_feature(enable = \"neon\")]
+pub unsafe fn k() {}
+";
+        let d = run(src);
+        assert!(
+            d.iter().any(|d| d.message.contains("needs an `[isa")),
+            "{:?}",
+            d
+        );
+    }
+
+    #[test]
+    fn isa_claim_outside_target_feature_needs_gate_fn() {
+        let src = "\
+fn dispatch() {}
+fn f() {
+    // SAFETY: [isa avx2 — `dispatch` verified the feature at runtime]
+    unsafe { g(); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+        let bad = "\
+fn f() {
+    // SAFETY: [isa avx2 verified somewhere]
+    unsafe { g(); }
+}
+";
+        let d = run(bad);
+        assert!(
+            d.iter().any(|d| d.message.contains("dispatch-gate")),
+            "{:?}",
+            d
+        );
+    }
+
+    #[test]
+    fn multi_line_clause_parses_as_one_run() {
+        let src = "\
+fn f(buf: &[f64]) {
+    // SAFETY: [bounds every access below indexes `buf` through
+    // bounds-checked slice windows] [sync single-threaded section,
+    // no other reference exists while `buf` is borrowed]
+    unsafe { g(buf); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn asm_mnemonics_resolve_via_string_literals() {
+        let src = "\
+fn f() {
+    // SAFETY: [reg `stmxcsr` writes a caller-owned stack slot]
+    unsafe { asm(\"stmxcsr {0}\"); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let d = run("#[cfg(test)]\nmod t {\n    fn f() { unsafe { g(); } }\n}\n");
+        assert!(d.is_empty(), "{:?}", d);
+    }
+}

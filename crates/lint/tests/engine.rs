@@ -57,9 +57,65 @@ fn fixture_tree_reports_every_violation_class() {
     assert_eq!(must_use.len(), 1, "{must_use:?}");
     assert!(must_use[0].message.contains("make_factor"));
 
+    // contract.rs plants one site per unsafe-contract failure class.
+    let contract = count(&diags, "unsafe-contract", "contract.rs");
+    assert_eq!(contract.len(), 6, "{contract:?}");
+    assert!(contract
+        .iter()
+        .any(|d| d.message.contains("without an adjacent")));
+    assert!(contract
+        .iter()
+        .any(|d| d.message.contains("no structured claims")));
+    assert!(contract
+        .iter()
+        .any(|d| d.message.contains("unknown claim tag")));
+    assert!(contract.iter().any(|d| d.message.contains("stale")));
+    assert!(contract
+        .iter()
+        .any(|d| d.message.contains("no visible source")));
+    assert!(contract
+        .iter()
+        .any(|d| d.message.contains("needs an `[isa")));
+    // The undocumented site also trips the plain safety-comment lint;
+    // every other site carries *some* SAFETY text and satisfies it.
+    assert_eq!(count(&diags, "safety-comment", "contract.rs").len(), 1);
+
+    // atomics_bad.rs violates the concurrency manifest five ways.
+    let atomics = count(&diags, "atomics-manifest", "atomics_bad.rs");
+    assert_eq!(atomics.len(), 5, "{atomics:?}");
+    assert!(atomics.iter().any(|d| d.message.contains("seqcst")));
+    assert!(atomics.iter().any(|d| d.message.contains("`ROGUE`")));
+    assert!(atomics.iter().any(|d| d.message.contains("`escape`")));
+    assert!(atomics
+        .iter()
+        .any(|d| d.message.contains("`GHOST`") && d.message.contains("stale")));
+    assert!(atomics
+        .iter()
+        .any(|d| d.message.contains("`jobptr`") && d.message.contains("stale")));
+
+    // kern/: listed and exempted files are covered; the rogue one is not.
+    assert_eq!(count(&diags, "hot-path-coverage", "rogue.rs").len(), 1);
+    assert!(count(&diags, "hot-path-coverage", "listed.rs").is_empty());
+    assert!(count(&diags, "hot-path-coverage", "exempt.rs").is_empty());
+
     // Nothing else: the waivers, test modules, and clean.rs stay silent.
-    assert_eq!(diags.len(), 14, "{diags:#?}");
+    assert_eq!(diags.len(), 27, "{diags:#?}");
     assert!(count(&diags, "no-panic-paths", "clean.rs").is_empty());
+}
+
+#[test]
+fn adversarial_fixture_defeats_no_lint() {
+    // adversarial.rs hides `unsafe`, `.unwrap()`, `panic!`, float
+    // compares, and raw-pointer spellings inside raw strings, nested
+    // block comments, and raw identifiers — and carries one real
+    // `unsafe` behind a valid multi-line structured SAFETY clause. If
+    // the tokenizer misreads any of it, a diagnostic appears here.
+    let diags = lint_fixture("tree");
+    let leaked: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.ends_with("adversarial.rs"))
+        .collect();
+    assert!(leaked.is_empty(), "tokenizer leak: {leaked:#?}");
 }
 
 #[test]

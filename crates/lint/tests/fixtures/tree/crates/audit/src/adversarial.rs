@@ -1,0 +1,54 @@
+//! Adversarial tokenizer fixture: every construct below is a lexical
+//! trap. If the tokenizer misreads any of it, a forbidden spelling
+//! leaks out of a string or comment into a lint pass and the engine
+//! test (which requires this file to stay perfectly clean) fails.
+
+/* A nested /* block comment */ hiding `unsafe { boom() }`,
+   x.unwrap(), panic!("no"), and an exact compare y == 2.5 — all of
+   which must stay inside this one comment token. */
+
+/// Raw strings full of forbidden spellings: Str tokens, invisible to
+/// the ident-driven lints.
+pub fn doc_snippets() -> [&'static str; 3] {
+    [
+        r#"unsafe { ptr.read() } // then x.unwrap() and panic!("boom")"#,
+        r##"a raw string with "quote"# inside, spanning
+to a second line with .expect("...") and todo!() in it"##,
+        "escaped \" quote then x == 1.5 and vec![0.0; 8]",
+    ]
+}
+
+/// Byte and raw-byte strings get the same treatment.
+pub fn byte_snippets() -> (&'static [u8], &'static [u8]) {
+    (b"unsafe .unwrap()", br#"panic!() and *mut f64"#)
+}
+
+/// A raw identifier spelled like the keyword is *not* the keyword:
+/// `safety-comment` must not demand a clause here.
+pub fn r#unsafe(n: usize) -> usize {
+    let r#loop = n + 1;
+    r#loop
+}
+
+/// Char literals that look like string openers, lifetimes, and a
+/// labeled loop whose label shares the lifetime syntax.
+pub fn quote_chars<'a>(s: &'a str) -> (char, char, &'a str) {
+    let q = '"';
+    let h = '#';
+    'outer: loop {
+        break 'outer;
+    }
+    (q, h, s)
+}
+
+/// One real `unsafe` with a multi-line structured clause: the contract
+/// pass must join the wrapped lines into a single run and resolve
+/// every backtick reference.
+pub fn tail(buf: &[f64]) -> f64 {
+    let last = buf.len().saturating_sub(1);
+    // SAFETY: [bounds `last` is clamped below the length of `buf` by
+    // the `saturating_sub` above, mirroring a bounds-checked slice
+    // index] [alias `buf` is a shared borrow, so no mutable alias of
+    // the element can exist while we read it]
+    unsafe { *buf.get_unchecked(last) }
+}

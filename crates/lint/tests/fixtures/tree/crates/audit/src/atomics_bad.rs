@@ -1,0 +1,28 @@
+//! Planted `atomics-manifest` violations against the tree manifest,
+//! which declares `COUNT:relaxed` and `GHOST:relaxed` for this file
+//! and allows only the raw pointer `jobptr`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNT: AtomicUsize = AtomicUsize::new(0);
+pub static ROGUE: AtomicUsize = AtomicUsize::new(0);
+
+/// Declared location, declared ordering: clean.
+pub fn ok_op() -> usize {
+    COUNT.load(Ordering::Relaxed)
+}
+
+/// Declared location, ordering stronger than the manifest permits.
+pub fn too_strong() -> usize {
+    COUNT.load(Ordering::SeqCst)
+}
+
+/// Atomic op on a location the manifest never declared.
+pub fn undeclared() {
+    ROGUE.store(1, Ordering::Relaxed);
+}
+
+/// Raw pointer bound to a name outside `[raw-pointers]`.
+pub struct Sneaky {
+    pub escape: *const f64,
+}

@@ -1,0 +1,38 @@
+//! Planted `unsafe-contract` violations: one site per failure class
+//! the pass knows. The engine test pins the exact count and messages.
+
+/// No clause at all: both `safety-comment` and `unsafe-contract` fire.
+pub fn undocumented(p: &[f64]) -> f64 {
+    unsafe { *p.get_unchecked(0) }
+}
+
+/// Prose clause with zero structured claims.
+pub fn unstructured(p: &[f64]) -> f64 {
+    // SAFETY: p is definitely long enough, trust the caller.
+    unsafe { *p.get_unchecked(0) }
+}
+
+/// A claim with a tag outside the vocabulary.
+pub fn unknown_tag(p: &[f64]) -> f64 {
+    // SAFETY: [vibes everything is fine here]
+    unsafe { *p.get_unchecked(0) }
+}
+
+/// A backtick reference that resolves nowhere.
+pub fn stale_ref(p: &[f64]) -> f64 {
+    // SAFETY: [bounds `zqx_no_such_ident_anywhere` guards the access]
+    unsafe { *p.get_unchecked(0) }
+}
+
+/// A bounds claim whose only reference lives in another file, far from
+/// this site: resolves workspace-wide, but gives the reader nothing to
+/// check here.
+pub fn far_bounds(p: &[f64]) -> f64 {
+    // SAFETY: [bounds `inner_kernel` set the cursor before this call]
+    unsafe { *p.get_unchecked(0) }
+}
+
+/// A `#[target_feature]` fn whose clause never states its ISA gate.
+// SAFETY: [bounds all loads go through bounds-checked slices]
+#[target_feature(enable = "avx2")]
+pub unsafe fn simd_no_isa() {}

@@ -1,0 +1,7 @@
+//! Under `[hot-path-dirs]` and listed whole-file in `[hot-paths]`:
+//! covered, so no `hot-path-coverage` diagnostic — and therefore it
+//! must stay allocation-free.
+
+pub fn fma(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}

@@ -1,0 +1,6 @@
+//! Under `[hot-path-dirs]` but neither listed in `[hot-paths]` nor
+//! exempted: exactly one `hot-path-coverage` diagnostic.
+
+pub fn sneaky_new_kernel(x: f64) -> f64 {
+    x * 2.0
+}

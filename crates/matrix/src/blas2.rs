@@ -75,7 +75,7 @@ pub fn symv<T: Scalar>(
     assert_eq!(y.len(), n);
     if beta == T::ZERO {
         y.fill(T::ZERO);
-    // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
+    // bs-lint: allow(float-eq) -- BLAS gemv convention: beta exactly 1.0 skips the y rescale; computed betas take the scal path
     } else if beta != T::ONE {
         blas1::scal(beta, y);
     }

@@ -253,7 +253,7 @@ pub fn par_gemm<T: Scalar>(
 
 #[inline]
 fn scale_c<T: Scalar>(beta: T, mut c: MatMut<'_, T>) {
-    // bs-lint: allow(float-eq) -- BLAS convention: beta = 1.0 exactly means "skip the scale", not a computed value
+    // bs-lint: allow(float-eq) -- scale_c fast paths: beta exactly 1.0 (no-op) and 0.0 (fill) are BLAS sentinel values, never computed results
     if beta == T::ONE {
         return;
     }
@@ -398,9 +398,11 @@ fn macro_kernel<T: Scalar>(
         while ir < mc {
             let mr = step.min(mc - ir);
             let apanel = &apack[(ir / MR) * kc * MR..];
-            // SAFETY: `kernel_for` picks a SIMD microkernel only after
-            // runtime ISA detection; panels hold ≥ kc*MR / kc*NR, and
-            // ≥ 2*kc*MR when `mr > MR` (`pack_a` filled two panels).
+            // SAFETY: [isa `kernel_for` hands out a SIMD microkernel
+            // only after runtime ISA detection] [bounds the panels
+            // hold at least kc*MR / kc*NR elements — 2*kc*MR when
+            // `mr` exceeds `MR`, which `pack_a` filled — and every
+            // kernel indexes them through bounds-checked slices]
             unsafe { (kern.micro)(apanel, bpanel, kc, c.rb_mut(), ic + ir, jc + jr, mr, nr) };
             ir += step;
         }
@@ -551,7 +553,7 @@ fn syrk_strip_packed<T: Scalar>(
         let len = rows * nb;
         let mut tmp = match ws.as_deref_mut() {
             Some(w) => w.take_vec(len),
-            // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
+            // bs-lint: allow(no-alloc-hot) -- syrk packed path without a Workspace heap-allocates its nb-column staging once; arena callers hit the Some branch
             None => vec![T::ZERO; len],
         };
         {
@@ -631,7 +633,7 @@ pub fn syrk_policy<T: Scalar>(
         return;
     }
     let width = policy.partition.strip_width(n);
-    // bs-lint: allow(no-alloc-hot) -- O(strips) strip descriptors at dispatch; the descriptors borrow C, so they cannot live in a pool
+    // bs-lint: allow(no-alloc-hot) -- O(strips) syrk strip descriptors; each mutably borrows a disjoint column block of C, which a pool cannot hand out
     let mut strips: Vec<(usize, MatMut<'_, T>)> = Vec::with_capacity(n.div_ceil(width));
     let mut rest = c;
     let mut start = 0;
@@ -773,7 +775,7 @@ fn trsm_dispatch<T: Scalar>(
                     let r = ws.take_vec(n);
                     (r, Some(ws))
                 }
-                // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
+                // bs-lint: allow(no-alloc-hot) -- row-staging fallback when no arena is supplied; the warm factor path always passes Some(ws)
                 None => (vec![T::ZERO; n], None),
             };
             let r = (0..m).try_for_each(|i| {
@@ -861,7 +863,7 @@ fn trsm_left_blocked<T: Scalar>(
     let len = TRSM_NB * ncols;
     let mut xbuf = match ws.as_deref_mut() {
         Some(w) => w.take_vec(len),
-        // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
+        // bs-lint: allow(no-alloc-hot) -- trsm-left block buffer for arena-less callers; pooled solves check out of ws above
         None => vec![T::ZERO; len],
     };
     let r = trsm_left_blocked_go(
@@ -978,7 +980,7 @@ fn trsm_right_blocked<T: Scalar>(
 ) -> Result<()> {
     let mut row = match ws.as_deref_mut() {
         Some(w) => w.take_vec(TRSM_NB),
-        // bs-lint: allow(no-alloc-hot) -- fallback for callers without a Workspace; pooled callers take the branch above
+        // bs-lint: allow(no-alloc-hot) -- trsm-right row buffer for arena-less callers; the Some branch serves the pooled path
         None => vec![T::ZERO; TRSM_NB],
     };
     let r = trsm_right_blocked_go(
@@ -1178,7 +1180,7 @@ pub fn trsm_policy<T: Scalar>(
     // index wins so the surfaced error is deterministic.
     let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
     par::for_each_policy(policy, strips, |(j0, mut bj)| {
-        // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
+        // bs-lint: allow(float-eq) -- BLAS trmm convention: alpha exactly 1.0 skips the per-column scal inside each strip
         if alpha != T::ONE {
             for j in 0..bj.cols() {
                 blas1::scal(alpha, bj.col_mut(j));

@@ -53,8 +53,10 @@ pub const NR: usize = 4;
 /// from packed panels into `C[ci.., cj..]`, honouring the `mr`/`nr`
 /// edge extents. `unsafe` because the SIMD variants require their ISA
 /// to be present; [`Kernel`] construction guarantees it.
-// SAFETY: values of this type are only produced by `kernel_for`, which
-// verifies the ISA is runtime-supported before handing out a SIMD fn.
+// SAFETY: [isa values of this type are produced only by `kernel_for`,
+// which verifies the ISA is runtime-supported before handing out a
+// SIMD fn] [bounds every implementation reaches its packed panels and
+// the output tile through bounds-checked slice indexing]
 pub type MicroFn<T> = unsafe fn(&[T], &[T], usize, MatMut<'_, T>, usize, usize, usize, usize);
 
 /// Instruction set a microkernel is compiled for.
@@ -133,8 +135,11 @@ pub fn native_isa() -> Isa {
     *NATIVE.get_or_init(detect_native)
 }
 
+// Under Miri there is no point (and no soundness story) in running
+// `#[target_feature]` kernels, so detection lands on the portable
+// kernel and `cargo miri test` exercises the reference path.
 fn detect_native() -> Isa {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         #[cfg(feature = "avx512")]
         if std::arch::is_x86_feature_detected!("avx512f") {
@@ -145,7 +150,7 @@ fn detect_native() -> Isa {
             return Isa::Avx2;
         }
     }
-    #[cfg(target_arch = "aarch64")]
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
     {
         if std::arch::is_aarch64_feature_detected!("neon") {
             return Isa::Neon;
@@ -160,32 +165,32 @@ pub fn isa_supported(isa: Isa) -> bool {
     match isa {
         Isa::Portable => true,
         Isa::Avx2 => {
-            #[cfg(target_arch = "x86_64")]
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
             {
                 std::arch::is_x86_feature_detected!("avx2")
                     && std::arch::is_x86_feature_detected!("fma")
             }
-            #[cfg(not(target_arch = "x86_64"))]
+            #[cfg(any(not(target_arch = "x86_64"), miri))]
             {
                 false
             }
         }
         Isa::Avx512 => {
-            #[cfg(all(target_arch = "x86_64", feature = "avx512"))]
+            #[cfg(all(target_arch = "x86_64", feature = "avx512", not(miri)))]
             {
                 std::arch::is_x86_feature_detected!("avx512f")
             }
-            #[cfg(not(all(target_arch = "x86_64", feature = "avx512")))]
+            #[cfg(not(all(target_arch = "x86_64", feature = "avx512", not(miri))))]
             {
                 false
             }
         }
         Isa::Neon => {
-            #[cfg(target_arch = "aarch64")]
+            #[cfg(all(target_arch = "aarch64", not(miri)))]
             {
                 std::arch::is_aarch64_feature_detected!("neon")
             }
-            #[cfg(not(target_arch = "aarch64"))]
+            #[cfg(any(not(target_arch = "aarch64"), miri))]
             {
                 false
             }

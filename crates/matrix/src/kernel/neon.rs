@@ -17,11 +17,12 @@ use std::arch::aarch64::*;
 /// The CPU must support NEON (always true on `aarch64`, but dispatch
 /// still verifies it). `apanel`/`bpanel` must hold at least `kc * MR` /
 /// `kc * NR` elements (slice indexing enforces this).
+// SAFETY: [isa neon — reached only through `kernel_for`, which checks
+// `is_aarch64_feature_detected!` at runtime] [bounds every load and
+// store goes through bounds-checked slice indexing of `apanel`,
+// `bpanel`, and the output column]
 #[target_feature(enable = "neon")]
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-                                     // SAFETY: only dispatched by `kernel_for` after
-                                     // `is_aarch64_feature_detected!("neon")` reports true; all loads/stores
-                                     // go through bounds-checked slices.
 pub(crate) unsafe fn micro_8x4_neon(
     apanel: &[f64],
     bpanel: &[f64],
@@ -77,11 +78,12 @@ pub(crate) unsafe fn micro_8x4_neon(
 /// The CPU must support NEON (always true on `aarch64`, but dispatch
 /// still verifies it). `apanel`/`bpanel` must hold at least `kc * MR` /
 /// `kc * NR` elements (slice indexing enforces this).
+// SAFETY: [isa neon — reached only through `kernel_for`, which checks
+// `is_aarch64_feature_detected!` at runtime] [bounds the f32 loads and
+// stores go through bounds-checked slice indexing of `apanel`,
+// `bpanel`, and the output column]
 #[target_feature(enable = "neon")]
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-                                     // SAFETY: only dispatched by `kernel_for` after
-                                     // `is_aarch64_feature_detected!("neon")` reports true; all loads/stores
-                                     // go through bounds-checked slices.
 pub(crate) unsafe fn micro_8x4_neon_f32(
     apanel: &[f32],
     bpanel: &[f32],

@@ -20,8 +20,10 @@ use crate::view::MatMut;
 /// kernels. `apanel`/`bpanel` must hold at least `kc * MR` /
 /// `kc * NR` elements (enforced by slice indexing — out-of-contract
 /// calls panic rather than misbehave).
+// SAFETY: [bounds the body is entirely safe code — every access is
+// bounds-checked slice indexing; the signature is `unsafe fn` only so
+// it coerces to `MicroFn` alongside the SIMD kernels]
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-                                     // SAFETY: body is entirely safe code; `unsafe fn` only matches the MicroFn dispatch signature.
 pub(crate) unsafe fn micro_8x4<T: Scalar>(
     apanel: &[T],
     bpanel: &[T],

@@ -108,6 +108,12 @@ struct CacheSizes {
 /// unified cache sizes at each level. Missing sysfs (non-Linux) yields
 /// all-`None`, which lands on [`FALLBACK`].
 fn sysfs_cache_sizes() -> CacheSizes {
+    // Miri isolates the interpreter from the host filesystem (and the
+    // host's cache hierarchy is meaningless to it anyway): land on the
+    // deterministic FALLBACK constants instead of touching sysfs.
+    if cfg!(miri) {
+        return CacheSizes::default();
+    }
     let mut out = CacheSizes::default();
     for idx in 0..8 {
         let base = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");

@@ -22,10 +22,12 @@ use std::arch::x86_64::*;
 /// The CPU must support AVX2 and FMA. `apanel`/`bpanel` must hold at
 /// least `kc * MR` / `kc * NR` elements (slice indexing enforces this;
 /// an out-of-contract call panics rather than reads out of bounds).
+// SAFETY: [isa avx2,fma — reached only through `kernel_for`, which
+// checks `is_x86_feature_detected!` for both features at runtime]
+// [bounds every load and store goes through bounds-checked slice
+// indexing of `apanel`, `bpanel`, and the output column]
 #[target_feature(enable = "avx2", enable = "fma")]
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-                                     // SAFETY: only dispatched by `kernel_for` after `is_x86_feature_detected!("avx2")`
-                                     // and `("fma")` both report true; all loads/stores go through bounds-checked slices.
 pub(crate) unsafe fn micro_8x4_avx2(
     apanel: &[f64],
     bpanel: &[f64],
@@ -91,10 +93,13 @@ pub(crate) unsafe fn micro_8x4_avx2(
 /// `kc * MR` elements — `2 * kc * MR` when `mr > MR` — and `bpanel` at
 /// least `kc * NR` (slice indexing enforces this; an out-of-contract
 /// call panics rather than reads out of bounds).
+// SAFETY: [isa avx2,fma — reached only through `kernel_for`, which
+// checks `is_x86_feature_detected!` for both features at runtime]
+// [bounds slice indexing of `apanel` (two adjacent packed panels when
+// `mr` exceeds `MR`), `bpanel`, and the output column bounds-checks
+// every load and store]
 #[target_feature(enable = "avx2", enable = "fma")]
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-                                     // SAFETY: only dispatched by `kernel_for` after `is_x86_feature_detected!("avx2")`
-                                     // and `("fma")` both report true; all loads/stores go through bounds-checked slices.
 pub(crate) unsafe fn micro_16x4_avx2_f32(
     apanel: &[f32],
     bpanel: &[f32],
@@ -173,10 +178,12 @@ pub(crate) unsafe fn micro_16x4_avx2_f32(
 /// The CPU must support AVX-512F. `apanel`/`bpanel` must hold at least
 /// `kc * MR` / `kc * NR` elements (slice indexing enforces this).
 #[cfg(feature = "avx512")]
+// SAFETY: [isa avx512f — reached only through `kernel_for`, which
+// checks `is_x86_feature_detected!` for the feature at runtime]
+// [bounds every load and store goes through bounds-checked slice
+// indexing of `apanel`, `bpanel`, and the output column]
 #[target_feature(enable = "avx512f")]
 #[allow(clippy::too_many_arguments)] // BLIS-style kernels take the full tile geometry
-                                     // SAFETY: only dispatched by `kernel_for` after `is_x86_feature_detected!("avx512f")`
-                                     // reports true; all loads/stores go through bounds-checked slices.
 pub(crate) unsafe fn micro_8x4_avx512(
     apanel: &[f64],
     bpanel: &[f64],

@@ -40,6 +40,7 @@ pub mod norms;
 pub mod par;
 pub mod qr;
 pub mod scalar;
+pub mod sched;
 pub mod trmm;
 pub mod view;
 pub mod workspace;

@@ -49,18 +49,23 @@ static FLUSH_GUARDS: AtomicUsize = AtomicUsize::new(0);
 /// bits of MXCSR (subnormal inputs and results become ±0) and restores
 /// the caller's control word on drop. A no-op elsewhere.
 struct FtzScope {
-    #[cfg(target_arch = "x86_64")]
+    /// Under Miri the CSR intrinsics cannot execute; the scope
+    /// degrades to the no-op form and subnormals keep IEEE semantics
+    /// (slower, numerically identical for the tested sizes).
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     mxcsr: u32,
 }
 
 impl FtzScope {
     fn engage() -> Self {
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             let mut prev: u32 = 0;
-            // SAFETY: stmxcsr/ldmxcsr only read and write this thread's
-            // SSE control/status register; `prev` is a valid, writable
-            // u32 and the prior word is restored on drop.
+            // SAFETY: [reg `stmxcsr`/`ldmxcsr` read and write only this
+            // thread's SSE control/status register] [bounds `prev` and
+            // `flushed` are stack-local `u32` slots written through
+            // plain references] [lifetime the prior word is restored by
+            // `drop` on the same thread — the scope is not `Send`]
             unsafe {
                 core::arch::asm!(
                     "stmxcsr [{0}]",
@@ -76,16 +81,18 @@ impl FtzScope {
             }
             FtzScope { mxcsr: prev }
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         FtzScope {}
     }
 }
 
 impl Drop for FtzScope {
     fn drop(&mut self) {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: restores the MXCSR word captured in `engage` on the
-        // same thread (the scope is not Send).
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: [reg `ldmxcsr` writes only this thread's MXCSR word]
+        // [bounds `mxcsr` is a plain field of `self`, read through a
+        // reference] [sync the scope is not `Send`, so `engage` and
+        // this restore run on the same thread]
         unsafe {
             core::arch::asm!(
                 "ldmxcsr [{0}]",
@@ -288,8 +295,10 @@ struct Job {
 // A Job crosses threads only from `dispatch` to a pool worker, and
 // `dispatch` keeps the pointed-to closure and strip counter alive on
 // its stack until every worker that received the Job has checked in.
-// SAFETY: the `done` barrier bounds the pointers' lifetimes, and the
-// closure is `Sync`, so shared access from several workers is sound.
+// SAFETY: [lifetime `dispatch` blocks on the `done` barrier until
+// every worker that received the Job checks in, so the raw pointers
+// never dangle] [sync the closure behind `f` is `Sync` and `next` is
+// an `AtomicUsize`; shared access from several workers is sound]
 unsafe impl Send for Job {}
 
 /// A worker's private mailbox: the dispatcher delivers at most one Job
@@ -424,8 +433,12 @@ fn worker_loop(chan: Arc<WorkerChan>) {
         // `done` barrier until this worker checks in below, so the
         // closure and counter behind these pointers are alive for the
         // whole scope of `f` / `next`.
-        // SAFETY: barrier-bounded lifetimes (above); neither reference
-        // escapes, and the check-in is strictly after the last use.
+        // SAFETY: [lifetime the dispatcher waits on the `done` barrier
+        // until this worker checks in below, strictly after the last
+        // use of `f` and `next`, so the `job` pointers never dangle]
+        // [alias the closure is `Sync` and the counter is an
+        // `AtomicUsize`; shared references from several threads are
+        // sound and neither reference escapes this scope]
         let f = unsafe { &*job.f };
         let next = unsafe { &*job.next };
         IN_DISPATCH.with(|d| d.set(true));
@@ -489,8 +502,11 @@ fn dispatch(threads: usize, n: usize, f: &(dyn Fn(usize) + Sync)) {
     let next = AtomicUsize::new(0);
     // Lifetime erasure only — the Job (and thus this pointer) never
     // outlives this stack frame.
-    // SAFETY: the `done` barrier below blocks until every worker that
-    // received the Job has checked in, bounding the erased lifetime.
+    // SAFETY: [lifetime the `done` barrier below blocks until every
+    // worker that received the `Job` checks in, bounding the erased
+    // borrow to this stack frame] [alias workers receive shared `&`
+    // access to a `Sync` closure; no exclusive reference exists while
+    // the region runs]
     let fp: *const (dyn Fn(usize) + Sync) =
         unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &(dyn Fn(usize) + Sync)>(f) };
     for chan in &chans {

@@ -1,0 +1,399 @@
+//! Deterministic interleaving harness for the worker pool's dynamic
+//! strip claiming.
+//!
+//! `par::dispatch` hands every worker the same `(closure, counter)`
+//! pair and lets the threads race on `fetch_add` to claim strip
+//! indices. The pool's determinism contract says the *output* cannot
+//! depend on who wins those races: strips write disjoint column
+//! ranges, and each strip computes exactly its sequential content.
+//! This module checks that claim not by stressing the scheduler and
+//! hoping, but by replaying **every** claim order a set of workers
+//! could produce through an instrumented, serialized shim of the
+//! claim loop in `par::run_strips`, comparing outputs bitwise.
+//!
+//! ## Coverage model
+//!
+//! The claim counter is a single `AtomicUsize` bumped with
+//! `fetch_add`, so the k-th successful claim always receives strip
+//! index `k` — the scheduler's only freedom is *which worker* wins
+//! each claim. A region with `n` strips and `w` workers therefore has
+//! exactly `w^n` distinguishable schedules: the words over worker ids
+//! saying who claimed strip 0, strip 1, ... Replaying a word serially
+//! (claim, then body, in word order) preserves every worker's program
+//! order, and because a correct strip body touches only its own
+//! strip's data plus the counter, body-level instruction interleaving
+//! cannot add observable behaviour beyond the claim order. Exhausting
+//! the words exhausts the schedule space.
+//!
+//! What a divergence means: a body whose output depends on worker
+//! identity or claim history — stale per-worker scratch, thread-local
+//! accumulation leaking across strips, order-sensitive shared writes —
+//! produces bitwise-different output under some word. [`exhaustive`]
+//! counts each such word into the `audit_violations` probe counter via
+//! [`bs_probe::stability::record_audit_violation`] and reports the
+//! first offending schedule.
+//!
+//! The harness is test infrastructure, but it lives in the library so
+//! integration suites and future stress binaries can drive real strip
+//! closures through it; everything is `Result`-based (library crates
+//! must not panic) and allocation is O(`w^n`) schedule words, gated by
+//! [`MAX_SCHEDULES`].
+
+use crate::workspace::Workspace;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hard cap on the number of schedules [`all_schedules`] enumerates:
+/// `w^n` grows geometrically, and past ~1e5 replays the harness stops
+/// being a unit-test-speed tool. 4 strips x 2 workers is 16 words;
+/// 8 x 4 is already 65536.
+pub const MAX_SCHEDULES: usize = 100_000;
+
+/// Why a harness call could not run. The harness never panics: the
+/// matrix crate's no-panic contract covers it like any library path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// Zero workers can never claim a strip.
+    NoWorkers,
+    /// `workers^strips` exceeds [`MAX_SCHEDULES`].
+    TooManySchedules { strips: usize, workers: usize },
+    /// A schedule word's length differs from the strip count.
+    BadWordLength { expected: usize, got: usize },
+    /// A schedule word names a worker id `>= workers`.
+    BadWorker { worker: usize, workers: usize },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoWorkers => write!(f, "interleaving harness needs at least one worker"),
+            SchedError::TooManySchedules { strips, workers } => write!(
+                f,
+                "{workers}^{strips} schedules exceed the harness cap of {MAX_SCHEDULES}"
+            ),
+            SchedError::BadWordLength { expected, got } => write!(
+                f,
+                "schedule word has {got} claims but the region has {expected} strips"
+            ),
+            SchedError::BadWorker { worker, workers } => write!(
+                f,
+                "schedule word names worker {worker} but only {workers} exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Every claim order `strips` strips can see from `workers` workers:
+/// the `workers^strips` base-`workers` words, in lexicographic order
+/// (`word[k]` = the worker that wins the k-th claim, i.e. strip `k`).
+/// The all-zeros word is the sequential baseline: worker 0 claims
+/// everything in ascending order, exactly like an inline run.
+pub fn all_schedules(strips: usize, workers: usize) -> Result<Vec<Vec<usize>>, SchedError> {
+    if workers == 0 {
+        return Err(SchedError::NoWorkers);
+    }
+    let mut count: usize = 1;
+    for _ in 0..strips {
+        count = match count.checked_mul(workers) {
+            Some(c) if c <= MAX_SCHEDULES => c,
+            _ => return Err(SchedError::TooManySchedules { strips, workers }),
+        };
+    }
+    let mut out = Vec::with_capacity(count);
+    for word_idx in 0..count {
+        let mut word = vec![0usize; strips];
+        let mut rest = word_idx;
+        for slot in word.iter_mut().rev() {
+            *slot = rest % workers;
+            rest /= workers;
+        }
+        out.push(word);
+    }
+    Ok(out)
+}
+
+/// What one [`replay`] observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Replay {
+    /// Strip indices each worker claimed, in its claim order. Strips
+    /// partition across workers: every index appears exactly once.
+    pub claims: Vec<Vec<usize>>,
+    /// Workers whose arena had a non-zero checkout balance after the
+    /// region, as `(worker, outstanding)`. A correct strip body
+    /// returns every buffer it takes — the pool's zero-allocation
+    /// steady state depends on it — so this must be empty.
+    pub unbalanced: Vec<(usize, i64)>,
+}
+
+/// Replay one schedule word through the instrumented claim loop.
+///
+/// The shim performs the real pool's claim — the same `fetch_add` on
+/// a live `AtomicUsize`, the same `>= strips` exit test — but
+/// serialized: the word decides which worker wins each claim, and the
+/// claimed strip's `body` runs to completion before the next claim.
+/// Each worker gets its own [`Workspace`] arena standing in for the
+/// pool's per-thread scratch, so bodies that misuse worker-local
+/// state are observable. `body(worker, strip, arena)` must mirror the
+/// closure the region would hand `par::run_indexed`.
+pub fn replay<F>(
+    word: &[usize],
+    workers: usize,
+    strips: usize,
+    mut body: F,
+) -> Result<Replay, SchedError>
+where
+    F: FnMut(usize, usize, &mut Workspace),
+{
+    if workers == 0 {
+        return Err(SchedError::NoWorkers);
+    }
+    if word.len() != strips {
+        return Err(SchedError::BadWordLength {
+            expected: strips,
+            got: word.len(),
+        });
+    }
+    if let Some(&worker) = word.iter().find(|&&w| w >= workers) {
+        return Err(SchedError::BadWorker { worker, workers });
+    }
+    let next = AtomicUsize::new(0);
+    let mut claims: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut arenas: Vec<Workspace> = (0..workers).map(|_| Workspace::new()).collect();
+    for &w in word {
+        // The real claim from `par::run_strips`, serialized: the word
+        // has exactly `strips` entries, so the bound test never fires
+        // here; it fires on the terminal claims below, as each worker
+        // would observe before exiting its loop.
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= strips {
+            break;
+        }
+        claims[w].push(i);
+        body(w, i, &mut arenas[w]);
+    }
+    // Terminal claims: every worker's last `fetch_add` observes an
+    // index past the end and exits — the counter is monotonic, so once
+    // the word is consumed no schedule can revive a claim.
+    let mut spurious = 0usize;
+    for _ in 0..workers {
+        if next.fetch_add(1, Ordering::Relaxed) < strips {
+            spurious += 1;
+        }
+    }
+    let _ = spurious; // structurally impossible; kept for shim fidelity
+    let unbalanced: Vec<(usize, i64)> = arenas
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.outstanding() != 0)
+        .map(|(w, a)| (w, a.outstanding()))
+        .collect();
+    Ok(Replay { claims, unbalanced })
+}
+
+/// What [`exhaustive`] found across the whole schedule space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Number of schedule words replayed (`workers^strips`).
+    pub schedules: usize,
+    /// Words whose output differed bitwise from the sequential
+    /// baseline. Zero for a correct region.
+    pub divergences: usize,
+    /// The lexicographically first diverging word, for reproduction.
+    pub first_divergent: Option<Vec<usize>>,
+    /// Words whose replay left some worker's arena checkout
+    /// unbalanced (as reported by the `trial` closure; see
+    /// [`exhaustive`]). Zero for a correct region.
+    pub unbalanced: usize,
+}
+
+/// Outcome of one trial run under a single schedule word: the output
+/// bits plus whether every worker's arena balanced its checkouts.
+pub struct Trial {
+    /// Bit patterns of the region's output (`f64::to_bits` of every
+    /// entry, in a fixed traversal order).
+    pub bits: Vec<u64>,
+    /// `Replay::unbalanced` from the word's replay.
+    pub unbalanced: Vec<(usize, i64)>,
+}
+
+/// Replay the region under **every** schedule of `strips` strips on
+/// `workers` workers and compare outputs bitwise against the
+/// sequential baseline (the all-zeros word).
+///
+/// `trial` runs the region once under the given word — typically by
+/// allocating a fresh output, calling [`replay`] with the real strip
+/// body, and returning the output's bit patterns — and is called once
+/// per word plus once for the baseline. Any divergence or unbalanced
+/// checkout is recorded into the `audit_violations` probe counter via
+/// [`bs_probe::stability::record_audit_violation`], so CI harnesses
+/// that already watch probe counters see interleaving bugs with no
+/// new plumbing.
+pub fn exhaustive<F>(strips: usize, workers: usize, mut trial: F) -> Result<Report, SchedError>
+where
+    F: FnMut(&[usize]) -> Result<Trial, SchedError>,
+{
+    let words = all_schedules(strips, workers)?;
+    let baseline = trial(&vec![0usize; strips])?.bits;
+    let mut report = Report {
+        schedules: words.len(),
+        divergences: 0,
+        first_divergent: None,
+        unbalanced: 0,
+    };
+    for word in &words {
+        let t = trial(word)?;
+        if t.bits != baseline {
+            report.divergences += 1;
+            if report.first_divergent.is_none() {
+                report.first_divergent = Some(word.clone());
+            }
+            bs_probe::stability::record_audit_violation(
+                "interleave_divergence",
+                format!(
+                    "{strips} strips x {workers} workers: schedule {word:?} \
+                     diverges bitwise from the sequential baseline"
+                ),
+            );
+        }
+        if !t.unbalanced.is_empty() {
+            report.unbalanced += 1;
+            bs_probe::stability::record_audit_violation(
+                "workspace_imbalance",
+                format!(
+                    "{strips} strips x {workers} workers: schedule {word:?} \
+                     left worker arenas unbalanced: {:?}",
+                    t.unbalanced
+                ),
+            );
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_space_has_w_to_the_n_words() {
+        assert_eq!(all_schedules(4, 2).unwrap().len(), 16);
+        assert_eq!(all_schedules(5, 2).unwrap().len(), 32);
+        assert_eq!(all_schedules(4, 3).unwrap().len(), 81);
+        assert_eq!(all_schedules(0, 2).unwrap(), vec![Vec::<usize>::new()]);
+        // Words are distinct, full-length, and in-range.
+        let words = all_schedules(3, 3).unwrap();
+        assert_eq!(words.len(), 27);
+        for w in &words {
+            assert_eq!(w.len(), 3);
+            assert!(w.iter().all(|&x| x < 3));
+        }
+        let mut dedup = words.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 27);
+    }
+
+    #[test]
+    fn schedule_space_is_capped_not_exploding() {
+        assert_eq!(
+            all_schedules(64, 4),
+            Err(SchedError::TooManySchedules {
+                strips: 64,
+                workers: 4
+            })
+        );
+        assert_eq!(all_schedules(3, 0), Err(SchedError::NoWorkers));
+    }
+
+    #[test]
+    fn replay_partitions_strips_per_the_word() {
+        let word = [0usize, 1, 1, 0, 2];
+        let mut ran = Vec::new();
+        let r = replay(&word, 3, 5, |w, s, _| ran.push((w, s))).unwrap();
+        // Claim k always receives strip k; the word names the winner.
+        assert_eq!(ran, vec![(0, 0), (1, 1), (1, 2), (0, 3), (2, 4)]);
+        assert_eq!(r.claims, vec![vec![0, 3], vec![1, 2], vec![4]]);
+        assert!(r.unbalanced.is_empty());
+    }
+
+    #[test]
+    fn replay_rejects_malformed_words() {
+        assert_eq!(
+            replay(&[0, 0], 1, 3, |_, _, _| {}),
+            Err(SchedError::BadWordLength {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            replay(&[0, 2, 0], 2, 3, |_, _, _| {}),
+            Err(SchedError::BadWorker {
+                worker: 2,
+                workers: 2
+            })
+        );
+        assert_eq!(replay(&[], 0, 0, |_, _, _| {}), Err(SchedError::NoWorkers));
+    }
+
+    #[test]
+    fn replay_reports_unbalanced_worker_arenas() {
+        // Worker 1 leaks one checkout; worker 0 balances its own.
+        let r = replay(&[0, 1], 2, 2, |w, _, arena| {
+            let v = arena.take_vec(8);
+            if w == 0 {
+                arena.give_vec(v);
+            }
+        })
+        .unwrap();
+        assert_eq!(r.unbalanced, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn exhaustive_flags_claim_history_dependence() {
+        use bs_probe::metrics::{self, Counter};
+        let before = metrics::total(Counter::AuditViolations);
+        // Buggy region: each strip's output depends on how many strips
+        // its worker already ran — worker-local state leaking into the
+        // answer. Every word except the baseline-equivalent ones must
+        // diverge bitwise.
+        let report = exhaustive(3, 2, |word| {
+            let mut c = [0.0f64; 3];
+            let mut seen = [0.0f64; 2];
+            replay(word, 2, 3, |w, s, _| {
+                c[s] = seen[w];
+                seen[w] += 1.0;
+            })?;
+            Ok(Trial {
+                bits: c.iter().map(|x| x.to_bits()).collect(),
+                unbalanced: Vec::new(),
+            })
+        })
+        .unwrap();
+        assert_eq!(report.schedules, 8);
+        assert!(report.divergences > 0, "harness must catch the bug");
+        assert!(report.first_divergent.is_some());
+        assert!(
+            metrics::total(Counter::AuditViolations) >= before + report.divergences as u64,
+            "divergences must land in the audit_violations counter"
+        );
+    }
+
+    #[test]
+    fn exhaustive_passes_a_disjoint_region() {
+        let report = exhaustive(4, 2, |word| {
+            let mut c = [0.0f64; 4];
+            replay(word, 2, 4, |_, s, _| {
+                c[s] = (s as f64 + 1.0).sqrt();
+            })?;
+            Ok(Trial {
+                bits: c.iter().map(|x| x.to_bits()).collect(),
+                unbalanced: Vec::new(),
+            })
+        })
+        .unwrap();
+        assert_eq!(report.schedules, 16);
+        assert_eq!(report.divergences, 0);
+        assert_eq!(report.unbalanced, 0);
+    }
+}

@@ -41,7 +41,7 @@ pub fn trmm(
             for j in 0..b.cols() {
                 let col = b.col_mut(j);
                 trmv(uplo, trans, unit_diag, a, col);
-                // bs-lint: allow(float-eq) -- BLAS convention: alpha = 1.0 exactly means "skip the scale", not a computed value
+                // bs-lint: allow(float-eq) -- BLAS trmv convention: alpha exactly 1.0 skips the column rescale after the triangular multiply
                 if alpha != 1.0 {
                     blas1::scal(alpha, col);
                 }

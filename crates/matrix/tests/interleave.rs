@@ -1,0 +1,201 @@
+//! Exhaustive interleaving coverage for the worker pool's strip
+//! claiming, driving **real GEMM strip closures** through the
+//! serialized shim in `bs_matrix::sched` — every claim order a small
+//! region can see, asserted bitwise identical — plus a cross-check
+//! that the real pool agrees with the shim on the same workload.
+//!
+//! The coverage argument lives on `bs_matrix::sched`: with disjoint
+//! strip bodies, the only scheduling freedom that can reach the
+//! output is which worker wins each `fetch_add` claim, so replaying
+//! all `w^n` claim words exhausts the schedule space.
+
+use bs_matrix::sched::{self, Trial};
+use bs_matrix::{gemm, gemm_ws, Matrix, Trans, Workspace};
+use bs_probe::metrics::{self, Counter};
+
+/// Deterministic pseudo-random test operands (no rand dependency).
+fn operands(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
+    let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+    let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 29) % 11) as f64 - 5.0);
+    (a, b)
+}
+
+/// Run `C = A * B` strip by strip under one claim word: strip `s`
+/// covers columns `[s*w, s*w + w)`, computed by a real `gemm_ws` call
+/// against the claiming worker's arena — the same shape of closure the
+/// plan layer hands `par::run_indexed`.
+fn gemm_trial(
+    a: &Matrix,
+    b: &Matrix,
+    strips: usize,
+    workers: usize,
+    word: &[usize],
+) -> Result<Trial, sched::SchedError> {
+    let (m, k, n) = (a.rows(), b.rows(), b.cols());
+    let w = n / strips;
+    assert_eq!(n % strips, 0, "test geometry: equal strips");
+    let mut c = Matrix::zeros(m, n);
+    let replay = sched::replay(word, workers, strips, |_worker, s, arena| {
+        let j0 = s * w;
+        gemm_ws(
+            1.0,
+            a.rf(),
+            Trans::No,
+            b.sub(0, j0, k, w),
+            Trans::No,
+            0.0,
+            c.sub_mut(0, j0, m, w),
+            arena,
+        );
+    })?;
+    Ok(Trial {
+        bits: c.as_slice().iter().map(|x| x.to_bits()).collect(),
+        unbalanced: replay.unbalanced,
+    })
+}
+
+/// Every schedule of a strip-decomposed GEMM must produce the same
+/// bits, and the monolithic (non-stripped) product must match them:
+/// the determinism contract end to end, over the full schedule space.
+fn assert_schedule_space_clean(strips: usize, workers: usize) {
+    let (m, k) = (32, 24);
+    let n = strips * 8;
+    let (a, b) = operands(m, k, n);
+    let report = sched::exhaustive(strips, workers, |word| {
+        gemm_trial(&a, &b, strips, workers, word)
+    })
+    .unwrap();
+    assert_eq!(report.schedules, workers.pow(strips as u32));
+    assert_eq!(
+        report.divergences, 0,
+        "schedule-dependent bits in {strips} strips x {workers} workers: \
+         first divergent word {:?}",
+        report.first_divergent
+    );
+    assert_eq!(
+        report.unbalanced, 0,
+        "some schedule left a worker arena unbalanced"
+    );
+    // The stripped baseline equals the monolithic product bitwise —
+    // column grouping must not change any entry's accumulation chain.
+    let baseline = gemm_trial(&a, &b, strips, workers, &vec![0; strips]).unwrap();
+    let mut c_full = Matrix::zeros(m, n);
+    gemm(1.0, a.rf(), Trans::No, b.rf(), Trans::No, 0.0, c_full.mt());
+    let full_bits: Vec<u64> = c_full.as_slice().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(baseline.bits, full_bits, "strip grouping changed bits");
+}
+
+#[test]
+fn four_strips_two_workers_all_sixteen_schedules_bitwise_identical() {
+    assert_schedule_space_clean(4, 2);
+}
+
+#[test]
+fn five_strips_two_workers_all_thirty_two_schedules_bitwise_identical() {
+    assert_schedule_space_clean(5, 2);
+}
+
+#[test]
+fn four_strips_three_workers_all_eighty_one_schedules_bitwise_identical() {
+    assert_schedule_space_clean(4, 3);
+}
+
+#[test]
+fn claim_history_dependent_region_is_caught_and_counted() {
+    // A deliberately broken region: each strip's output depends on how
+    // many strips its worker has already run (worker-local state
+    // leaking into the answer). The harness must find a diverging
+    // schedule and count every one into `audit_violations`.
+    let before = metrics::total(Counter::AuditViolations);
+    let report = sched::exhaustive(4, 2, |word| {
+        let mut c = [0.0f64; 4];
+        let mut per_worker_count = [0.0f64; 2];
+        let replay = sched::replay(word, 2, 4, |worker, s, _| {
+            c[s] = per_worker_count[worker];
+            per_worker_count[worker] += 1.0;
+        })?;
+        Ok(Trial {
+            bits: c.iter().map(|x| x.to_bits()).collect(),
+            unbalanced: replay.unbalanced,
+        })
+    })
+    .unwrap();
+    assert!(report.divergences > 0, "the harness missed a real bug");
+    let after = metrics::total(Counter::AuditViolations);
+    assert!(
+        after >= before + report.divergences as u64,
+        "divergences must reach the audit_violations counter \
+         (before {before}, after {after}, divergences {})",
+        report.divergences
+    );
+}
+
+#[test]
+fn leaked_checkout_is_caught_and_counted() {
+    let before = metrics::total(Counter::AuditViolations);
+    let report = sched::exhaustive(3, 2, |word| {
+        let replay = sched::replay(word, 2, 3, |worker, _s, arena| {
+            let v = arena.take_vec(16);
+            if worker == 0 {
+                arena.give_vec(v); // worker 1 leaks its checkout
+            }
+        })?;
+        Ok(Trial {
+            bits: Vec::new(),
+            unbalanced: replay.unbalanced,
+        })
+    })
+    .unwrap();
+    // Every word that hands worker 1 at least one strip leaks.
+    assert!(report.unbalanced > 0, "the harness missed the leak");
+    assert_eq!(report.divergences, 0);
+    assert!(metrics::total(Counter::AuditViolations) >= before + report.unbalanced as u64);
+}
+
+#[test]
+fn real_pool_agrees_with_the_shim_workload() {
+    // The same strip decomposition the shim replays, now through the
+    // real dispatcher with real racing claims: output must be bitwise
+    // identical to the serialized baseline at any thread count.
+    let strips = 4;
+    let (m, k) = (32, 24);
+    let n = strips * 8;
+    let w = n / strips;
+    let (a, b) = operands(m, k, n);
+    let baseline = gemm_trial(&a, &b, strips, 2, &vec![0; strips]).unwrap();
+    for threads in [2usize, 3, 8] {
+        let mut c = Matrix::zeros(m, n);
+        {
+            let mut strip_views: Vec<(usize, bs_matrix::MatMut<'_>)> = Vec::new();
+            let mut rest = c.mt();
+            for s in 0..strips {
+                let (head, tail) = rest.split_at_col(w);
+                strip_views.push((s, head));
+                rest = tail;
+            }
+            bs_matrix::par::for_each_policy(
+                &bs_matrix::ExecPolicy::with_threads(threads),
+                strip_views,
+                |(s, view)| {
+                    bs_matrix::par::with_worker_ws(|ws: &mut Workspace| {
+                        gemm_ws(
+                            1.0,
+                            a.rf(),
+                            Trans::No,
+                            b.sub(0, s * w, k, w),
+                            Trans::No,
+                            0.0,
+                            view,
+                            ws,
+                        );
+                    });
+                },
+            );
+        }
+        let bits: Vec<u64> = c.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            bits, baseline.bits,
+            "real pool at {threads} threads diverged from the serialized shim"
+        );
+    }
+}

@@ -88,10 +88,15 @@ pub enum Counter {
     /// Mixed-precision solves that abandoned the f32 factor because
     /// refinement stalled and refactored in full f64.
     MixedStallFallbacks,
+    /// Memory/concurrency audit findings: interleaving-harness
+    /// divergences, unbalanced worker workspaces, and sanitizer-tier
+    /// failures surfaced at runtime (the static `bs-lint` passes fail
+    /// the gate directly and never reach this counter).
+    AuditViolations,
 }
 
 /// Number of counter categories.
-pub const N_COUNTERS: usize = 34;
+pub const N_COUNTERS: usize = 35;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -130,6 +135,7 @@ impl Counter {
         Counter::KernelFlopsF32,
         Counter::KernelNanosF32,
         Counter::MixedStallFallbacks,
+        Counter::AuditViolations,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -169,6 +175,7 @@ impl Counter {
             Counter::KernelFlopsF32 => "kernel_flops_f32",
             Counter::KernelNanosF32 => "kernel_nanos_f32",
             Counter::MixedStallFallbacks => "mixed_stall_fallbacks",
+            Counter::AuditViolations => "audit_violations",
         }
     }
 }

@@ -205,6 +205,22 @@ pub fn record_violation(contract: &'static str, detail: String) {
         .push(ContractViolation { contract, detail });
 }
 
+/// Record a memory/concurrency **audit** finding — an interleaving
+/// divergence, an unbalanced worker workspace, or a sanitizer-tier
+/// failure surfaced at runtime. Like [`record_violation`] this is not
+/// gated on [`is_enabled`]: audit findings are correctness events.
+/// Bumps [`Counter::AuditViolations`](crate::metrics::Counter) and
+/// lands in the violation buffer under the `audit:` prefix so existing
+/// report plumbing (JSONL export, `--metrics`) carries it unchanged.
+pub fn record_audit_violation(check: &'static str, detail: String) {
+    crate::metrics::incr(crate::metrics::Counter::AuditViolations);
+    crate::event!("audit_violation");
+    state().report.violations.push(ContractViolation {
+        contract: check,
+        detail,
+    });
+}
+
 /// Number of contract violations recorded since the last report drain.
 pub fn violation_count() -> usize {
     state().report.violations.len()

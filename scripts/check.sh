@@ -1,27 +1,42 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, and the tier-1 build + test suite.
-# Run from anywhere; operates on the workspace root.
+# Repo gate: formatting, lints, the audit layer, and the tiered test
+# suite. Run from anywhere; operates on the workspace root.
+#
+# Opt-in knobs:
+#   BS_SAN=thread|address  nightly sanitizer pass over the concurrency
+#                          surface (needs rust-src for -Zbuild-std)
+#   BS_BENCH_GATE=1|strict bench regression gate vs BENCH_schur.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Every completed tier lands in this list; the summary line echoes it
+# so CI logs show at a glance which gates actually ran.
+TIERS=()
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+TIERS+=("fmt")
 
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
+TIERS+=("clippy")
 
-echo "==> bs-lint (domain static-analysis gate, lint.toml)"
+echo "==> audit tier: bs-lint (lint.toml: unsafe-contract, atomics manifest, hot-path coverage)"
 cargo run -q -p bs-lint
-
-echo "==> bs-lint self-tests"
+echo "==> audit tier: waiver honesty report (empty or copy-pasted justifications fail)"
+cargo run -q -p bs-lint -- --waivers
+echo "==> audit tier: bs-lint self-tests"
 cargo test -q -p bs-lint
+TIERS+=("audit")
 
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q
+TIERS+=("tier1")
 
 echo "==> workspace crate tests"
 cargo test -q --workspace
+TIERS+=("workspace")
 
 echo "==> execution tier: workspace tests under BS_THREADS=1 and BS_THREADS=max"
 # SchurOptions::default() reads BS_THREADS, so these two runs push the
@@ -29,12 +44,14 @@ echo "==> execution tier: workspace tests under BS_THREADS=1 and BS_THREADS=max"
 # determinism contract says both must pass identically.
 BS_THREADS=1 cargo test -q --workspace
 BS_THREADS=max cargo test -q --workspace
+TIERS+=("exec")
 
 echo "==> kernel tier: full workspace suite forced onto the portable microkernel"
 # BS_KERNEL=portable pins the scalar microkernel: every test must pass
 # with SIMD dispatch disabled (the fallback the engine degrades to on
 # hardware without AVX2/NEON).
 BS_KERNEL=portable cargo test -q --workspace
+TIERS+=("kernel")
 
 echo "==> precision tier: refinement-convergence suite, then engine demoted to f32"
 # The mixed-precision contract (§8.1): f32 factors + f64 refinement land
@@ -48,21 +65,60 @@ cargo test -q --test refinement
 # semantics skip themselves under the override.
 BS_PRECISION=f32 cargo test -q --test refinement
 BS_PRECISION=f32 cargo test -q --test execution
+TIERS+=("precision")
 
 echo "==> kernel tier: avx512 feature build (runtime-gated microkernel)"
 cargo test -q -p bs-matrix --features avx512
+TIERS+=("avx512")
 
 echo "==> paranoid tier: invariant contracts enabled"
 cargo test -q -p bs-core --features paranoid
+TIERS+=("paranoid")
+
+echo "==> miri tier: designated core suite under the interpreter"
+# The cfg(miri) shims (portable kernel dispatch, no-op FTZ scope,
+# default cache sizes) keep the algorithm paths interpretable; the
+# designated suite is crates/core/tests/miri_smoke.rs. Skips cleanly
+# where the nightly miri component is not installed (offline images).
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo +nightly miri test -q -p bs-core --test miri_smoke
+  TIERS+=("miri")
+else
+  echo "    (cargo +nightly miri not available — skipping)"
+  TIERS+=("miri[skipped]")
+fi
+
+# Sanitizer tier — strictly opt-in: needs nightly plus the rust-src
+# component so std itself is instrumented (-Zbuild-std), neither of
+# which offline images carry. BS_SAN=thread exercises the worker pool's
+# claim/barrier protocol; BS_SAN=address the packing and arena paths.
+case "${BS_SAN:-off}" in
+  thread | address)
+    echo "==> sanitizer tier: ${BS_SAN} (nightly + rust-src)"
+    san_target="$(rustc -vV | sed -n 's/^host: //p')"
+    RUSTFLAGS="-Zsanitizer=${BS_SAN}" \
+      cargo +nightly test -q -Zbuild-std -p bs-matrix --target "${san_target}"
+    TIERS+=("san:${BS_SAN}")
+    ;;
+  off) ;;
+  *)
+    echo "check.sh: unknown BS_SAN='${BS_SAN}' (expected thread|address)" >&2
+    exit 2
+    ;;
+esac
 
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+TIERS+=("doc")
 
 echo "==> cross_validate smoke run"
 cargo run -q -p bs-bench --release --bin cross_validate -- --quick
+TIERS+=("xval")
 
 echo "==> profile tier: disabled-instrumentation overhead contract (<2%)"
 cargo run -q -p bs-bench --release --bin profile_overhead -- --quick
+TIERS+=("profile")
 
 # Bench regression gate — opt-in because it re-runs the full (non-quick)
 # reproduce_all sweep. BS_BENCH_GATE=1 diffs fresh @@BENCH records
@@ -73,6 +129,7 @@ if [[ "${BS_BENCH_GATE:-0}" != "0" ]]; then
   echo "==> profile tier: bench regression gate vs committed BENCH_schur.json"
   BS_BENCH_OUT=target/BENCH_current.json \
     cargo run -q -p bs-bench --release --bin reproduce_all
+  TIERS+=("bench-gate")
 fi
 
-echo "check.sh: all green"
+echo "check.sh: all green — tiers: ${TIERS[*]}"
