@@ -39,6 +39,7 @@ fn main() {
         "ablations",
         "blocksize_model",
         "steady_state",
+        "serve_load",
         "cross_validate",
         "kernels",
         "profile_overhead",

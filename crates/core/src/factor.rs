@@ -1,0 +1,564 @@
+//! The immutable, shareable factorization handle.
+//!
+//! [`Factor`] is the "factor once, serve forever" half of the solver
+//! split: it owns the system copy, the [`FactorPlan`], the triangular
+//! factorization, and the refinement config — and nothing mutable.
+//! Every solve surface takes `&self`, so a `Factor` behind an [`Arc`]
+//! can serve interleaved solves from any number of threads, with
+//! results bitwise identical to a sequential run (each column runs the
+//! identical per-column arithmetic regardless of which thread or
+//! tenant issues it).
+//!
+//! Per-call mutable state lives in [`SolveScratch`], checked out from
+//! the factor's embedded [`WorkspacePool`]: a serving loop stages its
+//! right-hand sides and solutions in pooled buffers, so the steady
+//! state request path performs no heap allocation. The historical
+//! mutable façade ([`crate::ToeplitzSolver`]) is now a thin wrapper
+//! that adds warm-refactor support on top of this type.
+//!
+//! [`Arc`]: std::sync::Arc
+
+use crate::indefinite::IndefFactor;
+use crate::plan::{FactorPlan, PlanRequest, PlanWorkspace, Precision};
+use crate::refine::{solve_refined, RefineOptions};
+use crate::solver::{solve_rtdr_in_place, Factorization, SolverOptions};
+use crate::{Error, Result};
+use bs_matrix::pool::{PooledWorkspace, WorkspacePool};
+use bs_matrix::{par, ExecPolicy, Matrix, Workspace};
+use bs_toeplitz::SymBlockToeplitz;
+use std::sync::{Mutex, OnceLock};
+
+/// An immutable factored symmetric (block) Toeplitz operator.
+///
+/// All solve methods take `&self`; `Factor` is `Send + Sync` and is
+/// designed to be shared behind an `Arc` by concurrent tenants:
+///
+/// ```
+/// use bs_core::Factor;
+/// use bs_toeplitz::workloads;
+/// use std::sync::Arc;
+///
+/// let t = workloads::kms(32, 0.6);
+/// let (b, x_true) = workloads::rhs_for_ones(&t);
+/// let f = Arc::new(Factor::new(&t).unwrap());
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let (f, b) = (Arc::clone(&f), b.clone());
+///         std::thread::spawn(move || f.solve(&b).unwrap())
+///     })
+///     .collect();
+/// for h in handles {
+///     let x = h.join().unwrap();
+///     assert!((x[0] - x_true[0]).abs() < 1e-8);
+/// }
+/// ```
+#[derive(Debug)]
+#[must_use]
+pub struct Factor {
+    pub(crate) t: SymBlockToeplitz,
+    pub(crate) plan: FactorPlan,
+    pub(crate) factorization: Factorization,
+    pub(crate) refine: RefineOptions,
+    /// Lazily-computed full-f64 factorization, used only when a
+    /// [`Precision::Mixed`] solve's refinement stalls on the promoted
+    /// f32 factor. Reset by [`crate::ToeplitzSolver::refactor`].
+    pub(crate) fallback: OnceLock<Factorization>,
+    /// Per-call scratch arenas for concurrent tenants.
+    pub(crate) pool: WorkspacePool,
+}
+
+// The whole point of the split: a factor is shareable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Factor>();
+};
+
+impl Clone for Factor {
+    /// Clones the system, plan, and factorization; the clone starts
+    /// with a cold scratch pool of its own.
+    fn clone(&self) -> Self {
+        Factor {
+            t: self.t.clone(),
+            plan: self.plan.clone(),
+            factorization: self.factorization.clone(),
+            refine: self.refine.clone(),
+            fallback: OnceLock::new(),
+            pool: WorkspacePool::new(),
+        }
+    }
+}
+
+impl Factor {
+    /// Factor `t` with default options: SPD fast path, indefinite
+    /// fallback with `δ = ε^{1/3}` perturbation.
+    pub fn new(t: &SymBlockToeplitz) -> Result<Self> {
+        Self::with_options(t, &SolverOptions::default())
+    }
+
+    /// Factor `t` with explicit options (no cost-model auto-selection).
+    pub fn with_options(t: &SymBlockToeplitz, opts: &SolverOptions) -> Result<Self> {
+        let plan = FactorPlan::from_options(t, &opts.spd, &opts.indefinite)?;
+        Self::from_plan(t, plan, opts.refine.clone())
+    }
+
+    /// Factor `t` under a [`PlanRequest`]: fields left `None` are
+    /// chosen by the `bs-perfmodel` cost formulas.
+    pub fn with_plan_request(t: &SymBlockToeplitz, req: &PlanRequest) -> Result<Self> {
+        let plan = FactorPlan::new(t, req)?;
+        Self::from_plan(t, plan, RefineOptions::default())
+    }
+
+    /// Factor `t` with a pre-built plan, using a throwaway workspace.
+    pub fn from_plan(
+        t: &SymBlockToeplitz,
+        plan: FactorPlan,
+        refine: RefineOptions,
+    ) -> Result<Self> {
+        let mut workspace = PlanWorkspace::new();
+        Self::from_plan_with(t, plan, refine, &mut workspace)
+    }
+
+    /// Factor `t` with a pre-built plan drawing scratch from `ws` (the
+    /// warm path [`crate::ToeplitzSolver`] uses so repeated
+    /// factorizations reuse one arena).
+    pub(crate) fn from_plan_with(
+        t: &SymBlockToeplitz,
+        plan: FactorPlan,
+        refine: RefineOptions,
+        ws: &mut PlanWorkspace,
+    ) -> Result<Self> {
+        let _span = bs_probe::span!("factor", n = t.order(), m = t.block_size());
+        let factorization = plan.execute(t, ws)?;
+        Ok(Factor {
+            t: t.clone(),
+            plan,
+            factorization,
+            refine,
+            fallback: OnceLock::new(),
+            pool: WorkspacePool::new(),
+        })
+    }
+
+    /// The factored operator (the solver's own copy of the generator).
+    pub fn operator(&self) -> &SymBlockToeplitz {
+        &self.t
+    }
+
+    /// Matrix order `n`.
+    pub fn order(&self) -> usize {
+        self.t.order()
+    }
+
+    /// Structural block size `m`.
+    pub fn block_size(&self) -> usize {
+        self.t.block_size()
+    }
+
+    /// The execution plan in use.
+    pub fn plan(&self) -> &FactorPlan {
+        &self.plan
+    }
+
+    /// The factorization in use.
+    pub fn factorization(&self) -> &Factorization {
+        &self.factorization
+    }
+
+    /// The refinement options applied on perturbed factorizations.
+    pub fn refine_options(&self) -> &RefineOptions {
+        &self.refine
+    }
+
+    /// The concurrent scratch pool backing [`scratch`](Self::scratch).
+    pub fn scratch_pool(&self) -> &WorkspacePool {
+        &self.pool
+    }
+
+    /// Check out a per-call scratch arena. The arena returns to the
+    /// factor's pool when the [`SolveScratch`] drops, so a serving loop
+    /// reaches an allocation-free steady state: stage the RHS in
+    /// pooled buffers, solve into pooled buffers, give them back.
+    pub fn scratch(&self) -> SolveScratch<'_> {
+        SolveScratch {
+            ws: self.pool.checkout(),
+        }
+    }
+
+    /// `true` when the SPD fast path succeeded.
+    pub fn is_positive_definite(&self) -> bool {
+        match &self.factorization {
+            Factorization::Spd(_) => true,
+            Factorization::Indefinite(f) => f.perturbations.is_empty() && f.negative_inertia() == 0,
+        }
+    }
+
+    /// `(n₊, n₋)` — counts of positive/negative eigenvalues of the
+    /// factored matrix (Sylvester's law of inertia; exact when no
+    /// perturbation fired, otherwise the inertia of `T + δT`).
+    pub fn inertia(&self) -> (usize, usize) {
+        let n = self.t.order();
+        match &self.factorization {
+            Factorization::Spd(_) => (n, 0),
+            Factorization::Indefinite(f) => {
+                let neg = f.negative_inertia();
+                (n - neg, neg)
+            }
+        }
+    }
+
+    /// `(sign, ln|det T|)` computed from the triangular factor:
+    /// `det T = (Π dᵢ) · (Π rᵢᵢ)²`.
+    pub fn det_sign_ln(&self) -> (f64, f64) {
+        let (r, d): (&Matrix, Option<&[i8]>) = match &self.factorization {
+            Factorization::Spd(f) => (&f.r, None),
+            Factorization::Indefinite(f) => (&f.r, Some(&f.d)),
+        };
+        let n = r.rows();
+        let mut ln = 0.0;
+        let mut sign = 1.0;
+        for i in 0..n {
+            ln += 2.0 * r[(i, i)].ln();
+            if let Some(d) = d {
+                if d[i] < 0 {
+                    sign = -sign;
+                }
+            }
+        }
+        (sign, ln)
+    }
+
+    /// Solve `T x = b`. On the perturbed path the answer is refined to
+    /// working accuracy (typically two extra matvec+solve rounds, §8.1).
+    ///
+    /// Under [`Precision::Mixed`] the promoted f32 factor plays the
+    /// role of the perturbed factorization `Rᵀ D R` of `T + δT` (here
+    /// `δT` is the f32 rounding backward error), so every solve runs
+    /// the same §8.1 refinement against the f64 operator. When
+    /// refinement stalls before the residual bound is met, the solver
+    /// falls back to a lazily-computed full-f64 factorization, counted
+    /// in `Counter::MixedStallFallbacks`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.t.order();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                context: "right-hand side length",
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let mut x = vec![0.0; n];
+        self.solve_col_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// The unified per-column solve path every surface ([`solve`],
+    /// [`solve_many`], [`solve_batch`], and the serve layer's pooled
+    /// request loop) runs through. Writes the solution for the single
+    /// right-hand side `b` into `x` without allocating on the direct
+    /// (unperturbed) path.
+    ///
+    /// [`solve`]: Self::solve
+    /// [`solve_many`]: Self::solve_many
+    /// [`solve_batch`]: Self::solve_batch
+    pub fn solve_col_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        let n = self.t.order();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                context: "right-hand side length",
+                expected: n,
+                found: b.len(),
+            });
+        }
+        if x.len() != n {
+            return Err(Error::DimensionMismatch {
+                context: "solution length",
+                expected: n,
+                found: x.len(),
+            });
+        }
+        let _span = bs_probe::span!("solve", n = n);
+        let t0 = bs_probe::histogram::is_enabled().then(std::time::Instant::now);
+        let out = self.dispatch_col_into(b, x);
+        if let Some(t0) = t0 {
+            bs_probe::histogram::record(bs_probe::Hist::SolveNs, t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    fn dispatch_col_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        match &self.factorization {
+            Factorization::Spd(f) => {
+                x.copy_from_slice(b);
+                solve_rtdr_in_place(&f.r, None, x)
+            }
+            Factorization::Indefinite(f) => match self.plan.precision() {
+                Precision::Mixed => {
+                    let res = solve_refined(&self.t, f, b, &self.refine)?;
+                    if res.converged {
+                        x.copy_from_slice(&res.x);
+                        Ok(())
+                    } else {
+                        bs_probe::metrics::incr(bs_probe::metrics::Counter::MixedStallFallbacks);
+                        bs_probe::event!(
+                            "mixed_stall_fallback",
+                            n = b.len(),
+                            iterations = res.iterations,
+                        );
+                        self.solve_via_fallback_into(b, x)
+                    }
+                }
+                // F32 is a deliberate accuracy/throughput trade: the
+                // promoted factor answers directly unless a δ
+                // perturbation fired (then refinement is load-bearing,
+                // exactly as at f64).
+                Precision::F64 | Precision::F32 => self.solve_indef_into(f, b, x),
+            },
+        }
+    }
+
+    fn solve_indef_into(&self, f: &IndefFactor, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if f.perturbations.is_empty() {
+            x.copy_from_slice(b);
+            solve_rtdr_in_place(&f.r, Some(&f.d), x)
+        } else {
+            let res = solve_refined(&self.t, f, b, &self.refine)?;
+            x.copy_from_slice(&res.x);
+            Ok(())
+        }
+    }
+
+    /// Solve through the lazily-computed full-f64 factorization
+    /// (mixed-precision stall recovery).
+    fn solve_via_fallback_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        let f = match self.fallback.get() {
+            Some(f) => f,
+            None => {
+                let _span = bs_probe::span!("mixed_fallback_refactor", n = self.t.order());
+                let mut pw = PlanWorkspace::new();
+                let f = self.plan.execute_f64(&self.t, &mut pw)?;
+                self.fallback.get_or_init(|| f)
+            }
+        };
+        match f {
+            Factorization::Spd(f) => {
+                x.copy_from_slice(b);
+                solve_rtdr_in_place(&f.r, None, x)
+            }
+            Factorization::Indefinite(f) => self.solve_indef_into(f, b, x),
+        }
+    }
+
+    /// Solve `T X = B` column by column, sequentially (`B` is `n × r`).
+    pub fn solve_many(&self, b: &Matrix) -> Result<Matrix> {
+        let mut x = Matrix::zeros(self.check_rhs(b)?, b.cols());
+        self.solve_cols_into_policy(b, &mut x, &ExecPolicy::sequential())?;
+        Ok(x)
+    }
+
+    /// Solve `T X = B` with the right-hand-side columns fanned out
+    /// across the plan's worker threads in a single pool dispatch:
+    /// columns are chunked so pack/dispatch overhead is amortized over
+    /// the whole batch instead of paid per column. Each column runs the
+    /// identical sequential per-column path as
+    /// [`solve_many`](Self::solve_many), so the result is bitwise
+    /// identical at any thread count. The lowest-indexed failing column
+    /// reports its error.
+    pub fn solve_batch(&self, b: &Matrix) -> Result<Matrix> {
+        let mut x = Matrix::zeros(self.check_rhs(b)?, b.cols());
+        self.solve_cols_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`solve_batch`](Self::solve_batch) into a caller-provided (e.g.
+    /// pooled) output matrix — the serve layer's allocation-free
+    /// multi-RHS surface.
+    pub fn solve_cols_into(&self, b: &Matrix, x: &mut Matrix) -> Result<()> {
+        self.solve_cols_into_policy(b, x, &self.plan.schur_options().exec)
+    }
+
+    /// The one multi-RHS driver behind every surface: chunk `B`'s
+    /// columns, fan the chunks across `exec`'s workers (a sequential
+    /// policy degenerates to a plain column loop), and run each column
+    /// through [`solve_col_into`](Self::solve_col_into).
+    fn solve_cols_into_policy(&self, b: &Matrix, x: &mut Matrix, exec: &ExecPolicy) -> Result<()> {
+        let n = self.check_rhs(b)?;
+        let ncols = b.cols();
+        if x.rows() != n || x.cols() != ncols {
+            return Err(Error::DimensionMismatch {
+                context: "solution column count",
+                expected: ncols,
+                found: if x.rows() != n { x.rows() } else { x.cols() },
+            });
+        }
+        if n == 0 || ncols == 0 {
+            return Ok(());
+        }
+        let threads = exec.threads.clamp(1, ncols);
+        let chunk_cols = ncols.div_ceil(threads);
+        let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+        // Column-major storage: a chunk of `chunk_cols` columns is one
+        // contiguous mutable slice.
+        let jobs: Vec<(usize, &mut [f64])> = x
+            .as_mut_slice()
+            .chunks_mut(chunk_cols * n)
+            .enumerate()
+            .map(|(ci, xs)| (ci * chunk_cols, xs))
+            .collect();
+        bs_probe::event!("solve_batch", n = n, rhs = ncols, chunks = jobs.len());
+        par::for_each_policy(exec, jobs, |(j0, xs)| {
+            for (dj, xcol) in xs.chunks_mut(n).enumerate() {
+                if let Err(e) = self.solve_col_into(b.col(j0 + dj), xcol) {
+                    let mut g = failed.lock().unwrap_or_else(|p| p.into_inner());
+                    if g.as_ref().is_none_or(|(fj, _)| j0 + dj < *fj) {
+                        *g = Some((j0 + dj, e));
+                    }
+                    break;
+                }
+            }
+        });
+        if let Some((_, e)) = failed.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn check_rhs(&self, b: &Matrix) -> Result<usize> {
+        let n = self.t.order();
+        if b.rows() != n {
+            return Err(Error::DimensionMismatch {
+                context: "right-hand-side row count",
+                expected: n,
+                found: b.rows(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Build the Gohberg–Semencul representation of `T⁻¹` (scalar
+    /// Toeplitz only, `m = 1`): one extra solve for `T u = e₀`, after
+    /// which every further solve costs `O(n log n)` through
+    /// [`bs_toeplitz::ToeplitzInverse::apply`]. Returns `None` when
+    /// `m > 1` or when the representation does not exist (`u₀ = 0`).
+    pub fn inverse_representation(&self) -> Option<bs_toeplitz::ToeplitzInverse> {
+        if self.t.block_size() != 1 {
+            return None;
+        }
+        let n = self.t.order();
+        let mut e0 = vec![0.0; n];
+        e0[0] = 1.0;
+        let u = self.solve(&e0).ok()?;
+        bs_toeplitz::ToeplitzInverse::from_first_column(&u)
+    }
+}
+
+/// Per-call mutable scratch for solving against a shared [`Factor`]:
+/// an arena checked out from the factor's [`WorkspacePool`], returned
+/// on drop. Derefs to [`Workspace`], so the pooled `take_vec` /
+/// `take_matrix` surfaces are available directly:
+///
+/// ```
+/// use bs_core::Factor;
+/// use bs_toeplitz::workloads;
+///
+/// let t = workloads::kms(16, 0.5);
+/// let (b, _) = workloads::rhs_for_ones(&t);
+/// let f = Factor::new(&t).unwrap();
+/// let mut scratch = f.scratch();
+/// let mut x = scratch.take_vec(16);
+/// f.solve_col_into(&b, &mut x).unwrap();
+/// scratch.give_vec(x);
+/// drop(scratch);
+/// assert_eq!(f.scratch_pool().outstanding(), 0);
+/// ```
+#[derive(Debug)]
+#[must_use]
+pub struct SolveScratch<'f> {
+    ws: PooledWorkspace<'f, f64>,
+}
+
+impl std::ops::Deref for SolveScratch<'_> {
+    type Target = Workspace;
+
+    fn deref(&self) -> &Workspace {
+        &self.ws
+    }
+}
+
+impl std::ops::DerefMut for SolveScratch<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_toeplitz::workloads;
+    use std::sync::Arc;
+
+    #[test]
+    fn factor_is_shareable_and_matches_sequential() {
+        let t = workloads::random_spd_block(2, 8, 21);
+        let f = Arc::new(Factor::new(&t).unwrap());
+        let (b, _) = workloads::rhs_for_ones(&t);
+        let reference = f.solve(&b).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        let x = f.solve(&b).unwrap();
+                        assert_eq!(x, reference, "concurrent solve must be bitwise equal");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn scratch_checkout_balances_and_reuses() {
+        let t = workloads::random_spd_scalar(24, 7);
+        let f = Factor::new(&t).unwrap();
+        let (b, _) = workloads::rhs_for_ones(&t);
+        for _ in 0..3 {
+            let mut scratch = f.scratch();
+            let mut x = scratch.take_vec(24);
+            f.solve_col_into(&b, &mut x).unwrap();
+            scratch.give_vec(x);
+        }
+        assert_eq!(f.scratch_pool().outstanding(), 0);
+        assert_eq!(f.scratch_pool().checkouts(), 3);
+        assert_eq!(f.scratch_pool().cold_checkouts(), 1, "arena is reused");
+        assert!(f.scratch_pool().audit_balanced("factor_scratch_test"));
+    }
+
+    #[test]
+    fn all_solve_surfaces_agree_bitwise() {
+        for t in [
+            workloads::random_spd_block(2, 6, 3),
+            workloads::paper_singular_minor_example(),
+        ] {
+            let n = t.order();
+            let f = Factor::new(&t).unwrap();
+            let b = Matrix::from_fn(n, 3, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
+            let many = f.solve_many(&b).unwrap();
+            let batch = f.solve_batch(&b).unwrap();
+            assert_eq!(many.max_abs_diff(&batch), 0.0);
+            for j in 0..3 {
+                let xj = f.solve(b.col(j)).unwrap();
+                assert_eq!(xj.as_slice(), many.col(j));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_cols_into_rejects_bad_output_shape() {
+        let t = workloads::random_spd_scalar(8, 2);
+        let f = Factor::new(&t).unwrap();
+        let b = Matrix::zeros(8, 2);
+        let mut x = Matrix::zeros(8, 3);
+        assert!(matches!(
+            f.solve_cols_into(&b, &mut x),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+}

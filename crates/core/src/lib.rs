@@ -27,11 +27,15 @@
 //! - [`refine`] — iterative refinement driver and its convergence
 //!   diagnostics (§8.1).
 //! - [`solve`] — triangular solves with the `Rᵀ D R` factors.
+//! - [`factor`] — the immutable, `Send + Sync` [`Factor`] every solve
+//!   surface runs through, sharable behind an `Arc` by concurrent
+//!   tenants, with per-call [`SolveScratch`] checkout.
 //! - [`solver`] — the high-level [`ToeplitzSolver`] façade with
-//!   automatic SPD/indefinite dispatch.
+//!   automatic SPD/indefinite dispatch and warm refactoring.
 
 pub mod contracts;
 pub mod eliminate;
+pub mod factor;
 pub mod indefinite;
 pub mod panel;
 pub mod plan;
@@ -49,6 +53,7 @@ pub mod solve {
 }
 
 pub use eliminate::{EngineScratch, PivotPolicy};
+pub use factor::{Factor, SolveScratch};
 pub use indefinite::{factor_indefinite, IndefFactor, IndefOptions, Perturbation};
 pub use plan::{FactorPlan, PlanRequest, PlanWorkspace, Precision};
 pub use refine::{solve_refined, RefineOptions, RefineResult};

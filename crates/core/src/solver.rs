@@ -1,14 +1,14 @@
 //! High-level solver façade: pick the right algorithm automatically,
 //! keep the machinery warm for repeated solves.
 //!
-//! [`ToeplitzSolver`] holds a [`FactorPlan`] (what to run: chosen
-//! representation, algorithmic block size, pivot fallback) and a
-//! [`PlanWorkspace`] (what to run *with*: the pooled scratch arena and
-//! engine scratch). Construction factors once; [`refactor`] re-factors
-//! a new same-shaped system reusing both, so a warm solver performs
-//! zero heap allocations inside the elimination loop — retired factor
-//! storage is donated back to the pool and picked up by the next
-//! factorization.
+//! [`ToeplitzSolver`] is now a thin wrapper over the immutable
+//! [`Factor`] (all solve surfaces, sharable across threads — see
+//! [`crate::factor`]) plus the one capability an immutable factor
+//! cannot offer: [`refactor`], which re-factors a new same-shaped
+//! system reusing the retained [`PlanWorkspace`], so a warm solver
+//! performs zero heap allocations inside the elimination loop —
+//! retired factor storage is donated back to the pool and picked up
+//! by the next factorization.
 //!
 //! The triangular-solve helpers with the `Rᵀ D R` factors live here
 //! too (they were `solve.rs`; the [`crate::solve`] alias keeps old
@@ -16,18 +16,35 @@
 //!
 //! [`refactor`]: ToeplitzSolver::refactor
 
+use crate::factor::Factor;
 use crate::indefinite::{IndefFactor, IndefOptions};
-use crate::plan::{FactorPlan, PlanRequest, PlanWorkspace, Precision};
-use crate::refine::{solve_refined, RefineOptions};
+use crate::plan::{FactorPlan, PlanRequest, PlanWorkspace};
+use crate::refine::RefineOptions;
 use crate::schur::{SchurOptions, SpdFactor};
 use crate::{Error, Result};
-use bs_matrix::{par, Matrix, Scalar};
+use bs_matrix::{Matrix, Scalar};
 use bs_toeplitz::SymBlockToeplitz;
-use std::sync::{Mutex, OnceLock};
 
 /// Solve `Rᵀ D R x = b` where `R` is upper triangular and
 /// `D = diag(d)` with `d ∈ {±1}ⁿ` (`None` means `D = I`, the SPD case).
 pub fn solve_rtdr<T: Scalar>(r: &Matrix<T>, d: Option<&[i8]>, b: &[T]) -> Result<Vec<T>> {
+    if b.len() != r.rows() {
+        return Err(Error::DimensionMismatch {
+            context: "right-hand side length",
+            expected: r.rows(),
+            found: b.len(),
+        });
+    }
+    let mut x = b.to_vec();
+    solve_rtdr_in_place(r, d, &mut x)?;
+    Ok(x)
+}
+
+/// In-place form of [`solve_rtdr`]: on entry `x` holds `b`, on exit the
+/// solution. The allocation-free core every solve surface shares — the
+/// per-call output buffer is the only storage a warm triangular solve
+/// touches.
+pub fn solve_rtdr_in_place<T: Scalar>(r: &Matrix<T>, d: Option<&[i8]>, x: &mut [T]) -> Result<()> {
     let n = r.rows();
     if r.cols() != n {
         return Err(Error::DimensionMismatch {
@@ -36,11 +53,11 @@ pub fn solve_rtdr<T: Scalar>(r: &Matrix<T>, d: Option<&[i8]>, b: &[T]) -> Result
             found: r.cols(),
         });
     }
-    if b.len() != n {
+    if x.len() != n {
         return Err(Error::DimensionMismatch {
             context: "right-hand side length",
             expected: n,
-            found: b.len(),
+            found: x.len(),
         });
     }
     if let Some(d) = d {
@@ -53,9 +70,8 @@ pub fn solve_rtdr<T: Scalar>(r: &Matrix<T>, d: Option<&[i8]>, b: &[T]) -> Result
         }
     }
     let _span = bs_probe::span!("tri_solve", n = n);
-    let mut x = b.to_vec();
     // Rᵀ y = b.
-    bs_matrix::blas2::trsv_upper_t(r.rf(), &mut x)?;
+    bs_matrix::blas2::trsv_upper_t(r.rf(), x)?;
     // y ← D⁻¹ y = D y.
     if let Some(d) = d {
         for (xi, &s) in x.iter_mut().zip(d) {
@@ -66,10 +82,10 @@ pub fn solve_rtdr<T: Scalar>(r: &Matrix<T>, d: Option<&[i8]>, b: &[T]) -> Result
         bs_matrix::flops::add(n as u64);
     }
     // R x = y.
-    bs_matrix::blas2::trsv_upper(r.rf(), &mut x)?;
+    bs_matrix::blas2::trsv_upper(r.rf(), x)?;
     // Two triangular solves at n² flops each (roofline attribution).
     bs_probe::event!("tri_solve_done", flops = 2 * n * n);
-    Ok(x)
+    Ok(())
 }
 
 /// Dense reconstruction `Rᵀ D R` (test / verification, O(n³)).
@@ -153,15 +169,8 @@ pub struct SolverOptions {
 /// ```
 #[derive(Debug)]
 pub struct ToeplitzSolver {
-    t: SymBlockToeplitz,
-    plan: FactorPlan,
-    factorization: Factorization,
-    refine: RefineOptions,
+    factor: Factor,
     workspace: PlanWorkspace,
-    /// Lazily-computed full-f64 factorization, used only when a
-    /// [`Precision::Mixed`] solve's refinement stalls on the promoted
-    /// f32 factor. Cleared by [`refactor`](Self::refactor).
-    fallback: OnceLock<Factorization>,
 }
 
 impl Clone for ToeplitzSolver {
@@ -169,12 +178,8 @@ impl Clone for ToeplitzSolver {
     /// with a cold (empty) workspace of its own.
     fn clone(&self) -> Self {
         ToeplitzSolver {
-            t: self.t.clone(),
-            plan: self.plan.clone(),
-            factorization: self.factorization.clone(),
-            refine: self.refine.clone(),
+            factor: self.factor.clone(),
             workspace: PlanWorkspace::new(),
-            fallback: OnceLock::new(),
         }
     }
 }
@@ -205,17 +210,22 @@ impl ToeplitzSolver {
     }
 
     fn from_plan(t: &SymBlockToeplitz, plan: FactorPlan, refine: RefineOptions) -> Result<Self> {
-        let _span = bs_probe::span!("factor", n = t.order(), m = t.block_size());
         let mut workspace = PlanWorkspace::new();
-        let factorization = plan.execute(t, &mut workspace)?;
-        Ok(ToeplitzSolver {
-            t: t.clone(),
-            plan,
-            factorization,
-            refine,
-            workspace,
-            fallback: OnceLock::new(),
-        })
+        let factor = Factor::from_plan_with(t, plan, refine, &mut workspace)?;
+        Ok(ToeplitzSolver { factor, workspace })
+    }
+
+    /// Borrow the underlying immutable [`Factor`].
+    pub fn factor(&self) -> &Factor {
+        &self.factor
+    }
+
+    /// Give up warm-refactor support and keep only the shareable
+    /// [`Factor`] (the workspace arena is dropped). The natural last
+    /// step before handing a factorization to concurrent tenants:
+    /// `Arc::new(solver.into_factor())`.
+    pub fn into_factor(self) -> Factor {
+        self.factor
     }
 
     /// Re-factor a new system of the *same shape* (order and block
@@ -229,31 +239,31 @@ impl ToeplitzSolver {
     /// On error the solver is left unchanged (still holding the
     /// previous system's factorization).
     pub fn refactor(&mut self, t: &SymBlockToeplitz) -> Result<()> {
-        if t.order() != self.t.order() {
+        if t.order() != self.factor.t.order() {
             return Err(Error::DimensionMismatch {
                 context: "refactor matrix order",
-                expected: self.t.order(),
+                expected: self.factor.t.order(),
                 found: t.order(),
             });
         }
-        if t.block_size() != self.t.block_size() {
+        if t.block_size() != self.factor.t.block_size() {
             return Err(Error::DimensionMismatch {
                 context: "refactor block size",
-                expected: self.t.block_size(),
+                expected: self.factor.t.block_size(),
                 found: t.block_size(),
             });
         }
         let _span = bs_probe::span!("refactor", n = t.order(), m = t.block_size());
-        let new_f = self.plan.execute(t, &mut self.workspace)?;
-        self.fallback.take();
-        match std::mem::replace(&mut self.factorization, new_f) {
+        let new_f = self.factor.plan.execute(t, &mut self.workspace)?;
+        self.factor.fallback.take();
+        match std::mem::replace(&mut self.factor.factorization, new_f) {
             Factorization::Spd(old) => self.workspace.donate(old.r),
             Factorization::Indefinite(old) => {
                 self.workspace.donate(old.r);
                 self.workspace.donate_indefinite(old.d, old.perturbations);
             }
         }
-        self.t.clone_data_from(t);
+        self.factor.t.clone_data_from(t);
         bs_probe::event!(
             "refactor_done",
             allocations = self.workspace.allocations(),
@@ -264,7 +274,7 @@ impl ToeplitzSolver {
 
     /// The execution plan in use.
     pub fn plan(&self) -> &FactorPlan {
-        &self.plan
+        self.factor.plan()
     }
 
     /// Cold workspace allocations (pool misses) since construction or
@@ -286,216 +296,48 @@ impl ToeplitzSolver {
 
     /// The factorization in use.
     pub fn factorization(&self) -> &Factorization {
-        &self.factorization
+        self.factor.factorization()
     }
 
     /// `true` when the SPD fast path succeeded.
     pub fn is_positive_definite(&self) -> bool {
-        match &self.factorization {
-            Factorization::Spd(_) => true,
-            Factorization::Indefinite(f) => f.perturbations.is_empty() && f.negative_inertia() == 0,
-        }
+        self.factor.is_positive_definite()
     }
 
     /// `(n₊, n₋)` — counts of positive/negative eigenvalues of the
     /// factored matrix (Sylvester's law of inertia; exact when no
     /// perturbation fired, otherwise the inertia of `T + δT`).
     pub fn inertia(&self) -> (usize, usize) {
-        let n = self.t.order();
-        match &self.factorization {
-            Factorization::Spd(_) => (n, 0),
-            Factorization::Indefinite(f) => {
-                let neg = f.negative_inertia();
-                (n - neg, neg)
-            }
-        }
+        self.factor.inertia()
     }
 
     /// `(sign, ln|det T|)` computed from the triangular factor:
     /// `det T = (Π dᵢ) · (Π rᵢᵢ)²`.
     pub fn det_sign_ln(&self) -> (f64, f64) {
-        let (r, d): (&Matrix, Option<&[i8]>) = match &self.factorization {
-            Factorization::Spd(f) => (&f.r, None),
-            Factorization::Indefinite(f) => (&f.r, Some(&f.d)),
-        };
-        let n = r.rows();
-        let mut ln = 0.0;
-        let mut sign = 1.0;
-        for i in 0..n {
-            ln += 2.0 * r[(i, i)].ln();
-            if let Some(d) = d {
-                if d[i] < 0 {
-                    sign = -sign;
-                }
-            }
-        }
-        (sign, ln)
+        self.factor.det_sign_ln()
     }
 
-    /// Solve `T x = b`. On the perturbed path the answer is refined to
-    /// working accuracy (typically two extra matvec+solve rounds, §8.1).
-    ///
-    /// Under [`Precision::Mixed`] the promoted f32 factor plays the
-    /// role of the perturbed factorization `Rᵀ D R` of `T + δT` (here
-    /// `δT` is the f32 rounding backward error), so every solve runs
-    /// the same §8.1 refinement against the f64 operator. When
-    /// refinement stalls before the residual bound is met, the solver
-    /// falls back to a lazily-computed full-f64 factorization, counted
-    /// in `Counter::MixedStallFallbacks`.
+    /// Solve `T x = b` — see [`Factor::solve`] for the precision and
+    /// refinement semantics.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let _span = bs_probe::span!("solve", n = b.len());
-        let t0 = bs_probe::histogram::is_enabled().then(std::time::Instant::now);
-        let out = self.solve_dispatch(b);
-        if let Some(t0) = t0 {
-            bs_probe::histogram::record(bs_probe::Hist::SolveNs, t0.elapsed().as_nanos() as u64);
-        }
-        out
+        self.factor.solve(b)
     }
 
-    fn solve_dispatch(&self, b: &[f64]) -> Result<Vec<f64>> {
-        match &self.factorization {
-            Factorization::Spd(f) => f.solve(b),
-            Factorization::Indefinite(f) => match self.plan.precision() {
-                Precision::Mixed => {
-                    let res = solve_refined(&self.t, f, b, &self.refine)?;
-                    if res.converged {
-                        Ok(res.x)
-                    } else {
-                        bs_probe::metrics::incr(bs_probe::metrics::Counter::MixedStallFallbacks);
-                        bs_probe::event!(
-                            "mixed_stall_fallback",
-                            n = b.len(),
-                            iterations = res.iterations,
-                        );
-                        self.solve_via_fallback(b)
-                    }
-                }
-                // F32 is a deliberate accuracy/throughput trade: the
-                // promoted factor answers directly unless a δ
-                // perturbation fired (then refinement is load-bearing,
-                // exactly as at f64).
-                Precision::F64 | Precision::F32 => {
-                    if f.perturbations.is_empty() {
-                        f.solve(b)
-                    } else {
-                        Ok(solve_refined(&self.t, f, b, &self.refine)?.x)
-                    }
-                }
-            },
-        }
-    }
-
-    /// Solve through the lazily-computed full-f64 factorization
-    /// (mixed-precision stall recovery).
-    fn solve_via_fallback(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let f = match self.fallback.get() {
-            Some(f) => f,
-            None => {
-                let _span = bs_probe::span!("mixed_fallback_refactor", n = self.t.order());
-                let mut pw = PlanWorkspace::new();
-                let f = self.plan.execute_f64(&self.t, &mut pw)?;
-                self.fallback.get_or_init(|| f)
-            }
-        };
-        match f {
-            Factorization::Spd(f) => f.solve(b),
-            Factorization::Indefinite(f) => {
-                if f.perturbations.is_empty() {
-                    f.solve(b)
-                } else {
-                    Ok(solve_refined(&self.t, f, b, &self.refine)?.x)
-                }
-            }
-        }
-    }
-
-    /// Build the Gohberg–Semencul representation of `T⁻¹` (scalar
-    /// Toeplitz only, `m = 1`): one extra solve for `T u = e₀`, after
-    /// which every further solve costs `O(n log n)` through
-    /// [`bs_toeplitz::ToeplitzInverse::apply`]. Returns `None` when
-    /// `m > 1` or when the representation does not exist (`u₀ = 0`).
+    /// Build the Gohberg–Semencul representation of `T⁻¹` — see
+    /// [`Factor::inverse_representation`].
     pub fn inverse_representation(&self) -> Option<bs_toeplitz::ToeplitzInverse> {
-        if self.t.block_size() != 1 {
-            return None;
-        }
-        let n = self.t.order();
-        let mut e0 = vec![0.0; n];
-        e0[0] = 1.0;
-        let u = self.solve(&e0).ok()?;
-        bs_toeplitz::ToeplitzInverse::from_first_column(&u)
+        self.factor.inverse_representation()
     }
 
     /// Solve `T X = B` column by column (`B` is `n × r`).
     pub fn solve_many(&self, b: &Matrix) -> Result<Matrix> {
-        let n = self.t.order();
-        if b.rows() != n {
-            return Err(Error::DimensionMismatch {
-                context: "right-hand-side row count",
-                expected: n,
-                found: b.rows(),
-            });
-        }
-        let mut x = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let xj = self.solve(b.col(j))?;
-            x.col_mut(j).copy_from_slice(&xj);
-        }
-        Ok(x)
+        self.factor.solve_many(b)
     }
 
     /// Solve `T X = B` with the right-hand-side columns fanned out
-    /// across the plan's worker threads in a single pool dispatch:
-    /// columns are chunked so pack/dispatch overhead is amortized over
-    /// the whole batch instead of paid per column. Each column runs the
-    /// identical sequential per-column path as
-    /// [`solve_many`](Self::solve_many), so the result is bitwise
-    /// identical at any thread count. The lowest-indexed failing column
-    /// reports its error.
+    /// across the plan's worker threads — see [`Factor::solve_batch`].
     pub fn solve_batch(&self, b: &Matrix) -> Result<Matrix> {
-        let n = self.t.order();
-        if b.rows() != n {
-            return Err(Error::DimensionMismatch {
-                context: "right-hand-side row count",
-                expected: n,
-                found: b.rows(),
-            });
-        }
-        let ncols = b.cols();
-        let mut x = Matrix::zeros(n, ncols);
-        if n == 0 || ncols == 0 {
-            return Ok(x);
-        }
-        let exec = &self.plan.schur_options().exec;
-        let threads = exec.threads.clamp(1, ncols);
-        let chunk_cols = ncols.div_ceil(threads);
-        let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
-        // Column-major storage: a chunk of `chunk_cols` columns is one
-        // contiguous mutable slice.
-        let jobs: Vec<(usize, &mut [f64])> = x
-            .as_mut_slice()
-            .chunks_mut(chunk_cols * n)
-            .enumerate()
-            .map(|(ci, xs)| (ci * chunk_cols, xs))
-            .collect();
-        bs_probe::event!("solve_batch", n = n, rhs = ncols, chunks = jobs.len());
-        par::for_each_policy(exec, jobs, |(j0, xs)| {
-            for (dj, xcol) in xs.chunks_mut(n).enumerate() {
-                match self.solve(b.col(j0 + dj)) {
-                    Ok(xj) => xcol.copy_from_slice(&xj),
-                    Err(e) => {
-                        let mut g = failed.lock().unwrap_or_else(|p| p.into_inner());
-                        if g.as_ref().is_none_or(|(fj, _)| j0 + dj < *fj) {
-                            *g = Some((j0 + dj, e));
-                        }
-                        break;
-                    }
-                }
-            }
-        });
-        if let Some((_, e)) = failed.into_inner().unwrap_or_else(|p| p.into_inner()) {
-            return Err(e);
-        }
-        Ok(x)
+        self.factor.solve_batch(b)
     }
 }
 

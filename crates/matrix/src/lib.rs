@@ -38,6 +38,7 @@ pub mod ldlt;
 pub mod lu;
 pub mod norms;
 pub mod par;
+pub mod pool;
 pub mod qr;
 pub mod scalar;
 pub mod sched;
@@ -54,6 +55,7 @@ pub use dense::Matrix;
 pub use ldlt::{ldlt_in_place, Signature};
 pub use lu::LuFactors;
 pub use par::{ExecPolicy, Partition};
+pub use pool::{PooledWorkspace, WorkspacePool};
 pub use scalar::Scalar;
 pub use trmm::{symm, trmm};
 pub use view::{MatMut, MatRef};

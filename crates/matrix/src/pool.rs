@@ -1,0 +1,292 @@
+//! Thread-safe checkout pool of [`Workspace`] arenas.
+//!
+//! A [`Workspace`] is deliberately single-threaded: one factorization
+//! (or one worker) owns it. A shared, immutable factor served to many
+//! concurrent tenants needs the complementary shape — a pool of warm
+//! arenas that any thread can check out for the duration of one solve
+//! and return on drop. [`WorkspacePool`] is that pool: `checkout()`
+//! hands out an idle arena (or creates a cold one on a miss), the
+//! returned [`PooledWorkspace`] guard derefs to `Workspace`, and
+//! dropping the guard puts the arena — with whatever buffers it has
+//! accumulated — back on the idle list for the next caller.
+//!
+//! Concurrency model: the idle list lives behind a `Mutex` (checkout
+//! and return are O(1) push/pop, so the critical section is a few
+//! nanoseconds), while the checkout *balance* is a lone relaxed
+//! `AtomicI64` so [`outstanding`](WorkspacePool::outstanding) and the
+//! [`audit_balanced`](WorkspacePool::audit_balanced) contract never
+//! take the lock. Relaxed suffices: the counter is a statistic whose
+//! only consistency requirement is that increments and decrements all
+//! land, which `fetch_add`/`fetch_sub` guarantee at any ordering. The
+//! arenas themselves need no synchronization — ownership transfers
+//! through the mutex, which provides the necessary happens-before
+//! edge.
+//!
+//! Determinism: pooled checkout cannot change arithmetic. A
+//! `Workspace` zero-fills every buffer it hands out, so a solve
+//! running on a recycled arena sees exactly the state a fresh one
+//! provides — which thread previously used the arena is unobservable.
+
+use crate::scalar::Scalar;
+use crate::workspace::Workspace;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+
+/// Inner state guarded by the pool mutex: the idle arenas plus the
+/// statistics that must change atomically with the list itself.
+#[derive(Debug, Default)]
+struct PoolInner<T: Scalar> {
+    idle: Vec<Workspace<T>>,
+    /// Checkouts that found the idle list empty and created an arena.
+    cold: u64,
+    /// Total checkouts served.
+    checkouts: u64,
+    /// Peak simultaneously checked-out arenas.
+    high_water: usize,
+}
+
+/// A concurrent pool of [`Workspace`] arenas for shared-factor serving.
+///
+/// ```
+/// use bs_matrix::pool::WorkspacePool;
+///
+/// let pool: WorkspacePool = WorkspacePool::new();
+/// {
+///     let mut ws = pool.checkout();
+///     let v = ws.take_vec(64);
+///     ws.give_vec(v);
+/// } // arena returns to the pool here
+/// assert_eq!(pool.outstanding(), 0);
+/// assert_eq!(pool.idle_arenas(), 1);
+/// ```
+#[derive(Debug, Default)]
+#[must_use]
+pub struct WorkspacePool<T: Scalar = f64> {
+    inner: Mutex<PoolInner<T>>,
+    /// Checkouts minus returns — lock-free so the balance contract is
+    /// readable from any thread without contending with checkouts.
+    outstanding: AtomicI64,
+}
+
+impl<T: Scalar> WorkspacePool<T> {
+    /// An empty pool; the first checkouts create cold arenas.
+    pub fn new() -> Self {
+        WorkspacePool {
+            inner: Mutex::new(PoolInner {
+                idle: Vec::new(),
+                cold: 0,
+                checkouts: 0,
+                high_water: 0,
+            }),
+            outstanding: AtomicI64::new(0),
+        }
+    }
+
+    /// Check out an arena for the duration of one solve (or any other
+    /// bounded region). Prefers a warm idle arena; creates a cold one
+    /// when none is available. The guard returns the arena on drop.
+    pub fn checkout(&self) -> PooledWorkspace<'_, T> {
+        let ws = {
+            let mut inner = self.lock();
+            inner.checkouts += 1;
+            match inner.idle.pop() {
+                Some(ws) => ws,
+                None => {
+                    inner.cold += 1;
+                    Workspace::new()
+                }
+            }
+        };
+        let live = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        if live >= 0 {
+            let mut inner = self.lock();
+            inner.high_water = inner.high_water.max(live as usize);
+        }
+        PooledWorkspace {
+            ws: Some(ws),
+            pool: self,
+        }
+    }
+
+    /// Return an arena to the idle list (called by the guard's drop;
+    /// also usable directly to donate a pre-warmed arena — donations
+    /// drive [`outstanding`](Self::outstanding) negative, exactly like
+    /// [`Workspace::give_vec`] donations).
+    pub fn give_back(&self, ws: Workspace<T>) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.lock().idle.push(ws);
+    }
+
+    /// Checkout balance: checkouts minus returns since creation.
+    /// Zero whenever no guard is alive (and the pool received no
+    /// donations).
+    pub fn outstanding(&self) -> i64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Arenas currently idle in the pool.
+    pub fn idle_arenas(&self) -> usize {
+        self.lock().idle.len()
+    }
+
+    /// Total checkouts served since creation.
+    pub fn checkouts(&self) -> u64 {
+        self.lock().checkouts
+    }
+
+    /// Checkouts that found no idle arena and created a cold one. A
+    /// steady-state serving loop holds this flat: the count stops
+    /// growing once the pool has as many arenas as peak concurrency.
+    pub fn cold_checkouts(&self) -> u64 {
+        self.lock().cold
+    }
+
+    /// Peak simultaneously checked-out arenas.
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
+    /// Audit hook: assert the pool is quiescent (every checkout
+    /// returned). A nonzero balance means a guard was leaked or an
+    /// arena double-returned; the violation is recorded through
+    /// `bs_probe::stability::record_audit_violation` (bumping
+    /// `Counter::AuditViolations`) and `false` is returned. Call at
+    /// the end of a serving session or a stress test.
+    pub fn audit_balanced(&self, site: &'static str) -> bool {
+        let bal = self.outstanding();
+        if bal != 0 {
+            bs_probe::stability::record_audit_violation(
+                "workspace_pool_balance",
+                format!(
+                    "{site}: workspace pool checkout balance is {bal} at audit \
+                     (expected 0) — an arena was leaked or double-returned"
+                ),
+            );
+            return false;
+        }
+        true
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner<T>> {
+        // A poisoned pool mutex only means another thread panicked
+        // mid-checkout; the inner state (a list of arenas and some
+        // counters) is valid regardless, so recover rather than
+        // propagate the panic across every tenant.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard over a checked-out arena; derefs to [`Workspace`] and
+/// returns the arena to its pool on drop.
+#[derive(Debug)]
+#[must_use]
+pub struct PooledWorkspace<'p, T: Scalar = f64> {
+    /// `Some` until drop; `Option` only so drop can move the arena out.
+    ws: Option<Workspace<T>>,
+    pool: &'p WorkspacePool<T>,
+}
+
+impl<T: Scalar> Deref for PooledWorkspace<'_, T> {
+    type Target = Workspace<T>;
+
+    fn deref(&self) -> &Workspace<T> {
+        // Invariant: `ws` is only None after drop has run.
+        match &self.ws {
+            Some(ws) => ws,
+            None => unreachable!("PooledWorkspace used after drop"),
+        }
+    }
+}
+
+impl<T: Scalar> DerefMut for PooledWorkspace<'_, T> {
+    fn deref_mut(&mut self) -> &mut Workspace<T> {
+        match &mut self.ws {
+            Some(ws) => ws,
+            None => unreachable!("PooledWorkspace used after drop"),
+        }
+    }
+}
+
+impl<T: Scalar> Drop for PooledWorkspace<'_, T> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.give_back(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_arenas() {
+        let pool: WorkspacePool = WorkspacePool::new();
+        {
+            let mut ws = pool.checkout();
+            let v = ws.take_vec(32);
+            ws.give_vec(v);
+        }
+        assert_eq!(pool.cold_checkouts(), 1);
+        assert_eq!(pool.idle_arenas(), 1);
+        {
+            // Warm arena: the pooled buffer survives the round trip.
+            let mut ws = pool.checkout();
+            let v = ws.take_vec(32);
+            assert_eq!(ws.allocations(), 1, "buffer came from the arena's pool");
+            ws.give_vec(v);
+        }
+        assert_eq!(pool.cold_checkouts(), 1, "second checkout was warm");
+        assert_eq!(pool.checkouts(), 2);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_arenas_and_balance() {
+        let pool: WorkspacePool = WorkspacePool::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let mut ws = pool.checkout();
+                        let v = ws.take_vec(16);
+                        assert!(v.iter().all(|&x| x == 0.0));
+                        ws.give_vec(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.checkouts(), 800);
+        assert!(pool.high_water() <= 8);
+        assert!(pool.idle_arenas() as u64 == pool.cold_checkouts());
+        assert!(pool.audit_balanced("pool_test"));
+    }
+
+    #[test]
+    fn unbalanced_pool_records_audit_violation() {
+        let pool: WorkspacePool = WorkspacePool::new();
+        let guard = pool.checkout();
+        let before = bs_probe::metrics::total(bs_probe::metrics::Counter::AuditViolations);
+        assert!(!pool.audit_balanced("pool_test_unbalanced"));
+        let after = bs_probe::metrics::total(bs_probe::metrics::Counter::AuditViolations);
+        assert_eq!(after, before + 1);
+        drop(guard);
+        assert!(pool.audit_balanced("pool_test_rebalanced"));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_concurrency() {
+        let pool: WorkspacePool = WorkspacePool::new();
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let c = pool.checkout();
+        drop(a);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.high_water(), 3);
+        let _d = pool.checkout();
+        assert_eq!(pool.high_water(), 3);
+    }
+}

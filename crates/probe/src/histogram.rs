@@ -48,10 +48,12 @@ pub enum Hist {
     PoolDispatchNs,
     /// One packed BLAS-3 kernel invocation (any ISA), ns.
     KernelCallNs,
+    /// One bs-serve request, decode through response write (ns).
+    ServeRequestNs,
 }
 
 /// Number of histogram categories.
-pub const N_HISTS: usize = 4;
+pub const N_HISTS: usize = 5;
 
 impl Hist {
     /// Every histogram, in declaration order.
@@ -60,6 +62,7 @@ impl Hist {
         Hist::FactorStepNs,
         Hist::PoolDispatchNs,
         Hist::KernelCallNs,
+        Hist::ServeRequestNs,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -69,6 +72,7 @@ impl Hist {
             Hist::FactorStepNs => "factor_step_ns",
             Hist::PoolDispatchNs => "pool_dispatch_ns",
             Hist::KernelCallNs => "kernel_call_ns",
+            Hist::ServeRequestNs => "serve_request_ns",
         }
     }
 
@@ -79,6 +83,7 @@ impl Hist {
             Hist::FactorStepNs => "factor step latency",
             Hist::PoolDispatchNs => "pool dispatch latency",
             Hist::KernelCallNs => "kernel call latency",
+            Hist::ServeRequestNs => "serve request latency",
         }
     }
 }

@@ -1,0 +1,195 @@
+//! Minimal blocking client for the serve protocol.
+//!
+//! One connection, one in-flight request at a time; concurrency comes
+//! from running one client per thread (as the load generator does).
+//! Frame buffers are reused across requests, so a steady-state client
+//! allocates only for the solution matrices it returns.
+
+use crate::proto::{
+    self, read_frame, write_frame, Reader, OP_FACTOR, OP_PING, OP_SHUTDOWN, OP_SOLVE,
+    OP_SOLVE_CACHED, OP_STATS, STATUS_OK, STATUS_SHED,
+};
+use crate::{Result, ServeError};
+use bs_matrix::Matrix;
+use bs_toeplitz::SymBlockToeplitz;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Cache/server statistics as reported by `OP_STATS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Cache hits.
+    pub hits: u64,
+    /// Factorizations performed.
+    pub factorizations: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Single-flight waits.
+    pub single_flight_waits: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Frames dispatched.
+    pub requests: u64,
+}
+
+/// A blocking connection to a serve front-end.
+pub struct Client {
+    stream: Stream,
+    req: Vec<u8>,
+    resp: Vec<u8>,
+}
+
+impl Client {
+    /// Connect over TCP.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self::from_stream(Stream::Tcp(stream)))
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_uds<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Ok(Self::from_stream(Stream::Unix(UnixStream::connect(path)?)))
+    }
+
+    fn from_stream(stream: Stream) -> Self {
+        Client {
+            stream,
+            req: Vec::new(),
+            resp: Vec::new(),
+        }
+    }
+
+    /// Round-trip one request; leaves the OK body readable in
+    /// `self.resp[1..]`.
+    fn round_trip(&mut self) -> Result<()> {
+        write_frame(&mut self.stream, &self.req)?;
+        if !read_frame(&mut self.stream, &mut self.resp)? {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        match self.resp.first().copied() {
+            Some(STATUS_OK) => Ok(()),
+            Some(STATUS_SHED) => Err(ServeError::Shed),
+            Some(_) => Err(ServeError::Remote(
+                String::from_utf8_lossy(&self.resp[1..]).into_owned(),
+            )),
+            None => Err(ServeError::Protocol("empty response frame")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.req.clear();
+        self.req.push(OP_PING);
+        self.round_trip()
+    }
+
+    /// Ask the server to factor (or confirm it holds) `t`. Returns the
+    /// operator fingerprint and whether the factor was already cached.
+    pub fn factor(&mut self, t: &SymBlockToeplitz) -> Result<(u64, bool)> {
+        self.req.clear();
+        self.req.push(OP_FACTOR);
+        proto::put_generator(&mut self.req, t);
+        self.round_trip()?;
+        let mut r = Reader::new(&self.resp[1..]);
+        let fp = r.u64()?;
+        let cached = r.u8()? != 0;
+        Ok((fp, cached))
+    }
+
+    /// Solve `T X = B`, shipping the generator with the request (the
+    /// server factors on first sight, then serves from cache).
+    pub fn solve(&mut self, t: &SymBlockToeplitz, b: &Matrix) -> Result<Matrix> {
+        self.req.clear();
+        self.req.push(OP_SOLVE);
+        proto::put_generator(&mut self.req, t);
+        Self::put_rhs(&mut self.req, b);
+        self.round_trip()?;
+        Self::read_solution(&self.resp[1..], b.rows(), b.cols())
+    }
+
+    /// Solve against an operator the server already holds, named by
+    /// fingerprint — the steady-state hot request, which never ships
+    /// the generator bytes.
+    pub fn solve_cached(&mut self, fp: u64, b: &Matrix) -> Result<Matrix> {
+        self.req.clear();
+        self.req.push(OP_SOLVE_CACHED);
+        proto::put_u64(&mut self.req, fp);
+        Self::put_rhs(&mut self.req, b);
+        self.round_trip()?;
+        Self::read_solution(&self.resp[1..], b.rows(), b.cols())
+    }
+
+    /// Fetch cache/server statistics.
+    pub fn stats(&mut self) -> Result<ServerSnapshot> {
+        self.req.clear();
+        self.req.push(OP_STATS);
+        self.round_trip()?;
+        let mut r = Reader::new(&self.resp[1..]);
+        Ok(ServerSnapshot {
+            hits: r.u64()?,
+            factorizations: r.u64()?,
+            evictions: r.u64()?,
+            single_flight_waits: r.u64()?,
+            shed: r.u64()?,
+            requests: r.u64()?,
+        })
+    }
+
+    /// Ask the server to stop accepting connections.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.req.clear();
+        self.req.push(OP_SHUTDOWN);
+        self.round_trip()
+    }
+
+    fn put_rhs(req: &mut Vec<u8>, b: &Matrix) {
+        proto::put_u32(req, b.cols() as u32);
+        proto::put_f64s(req, b.as_slice());
+    }
+
+    fn read_solution(body: &[u8], n: usize, ncols: usize) -> Result<Matrix> {
+        let mut r = Reader::new(body);
+        if r.remaining() != n * ncols * 8 {
+            return Err(ServeError::Protocol("solution body has wrong length"));
+        }
+        let mut x = Matrix::zeros(n, ncols);
+        r.f64s_into(x.as_mut_slice())?;
+        Ok(x)
+    }
+}

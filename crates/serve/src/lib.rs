@@ -1,0 +1,90 @@
+//! Multi-tenant serving layer for the block Schur solver.
+//!
+//! The paper's economics — one O(mn²) factorization amortized over
+//! many O(mn) solves — only pay off in production when concurrent
+//! tenants can share warm factors. This crate is that front-end:
+//!
+//! - [`cache`] — the [`OperatorCache`]: factorizations keyed by a
+//!   stable fingerprint of the Toeplitz generator, with LRU eviction
+//!   and single-flight factorization (concurrent misses on the same
+//!   key factor exactly once).
+//! - [`proto`] — the length-prefixed binary wire protocol (std only):
+//!   `[u32 len][u8 opcode][body]` frames over TCP or Unix-domain
+//!   sockets, f64 payloads little-endian column-major.
+//! - [`server`] — the long-lived front-end: thread-per-connection,
+//!   admission control (bounded in-flight solves, load-shed response),
+//!   multi-column RHS batched through `Factor::solve_batch`, and
+//!   per-request latency recorded into the
+//!   `Hist::ServeRequestNs` histogram stream.
+//! - [`client`] — a minimal blocking client for tests, benches, and
+//!   the CLI.
+//!
+//! [`OperatorCache`]: cache::OperatorCache
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheStats, OperatorCache};
+pub use client::Client;
+pub use server::{Server, ServerConfig, ServerHandle};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The solver rejected the operator or right-hand side.
+    Solver(bs_core::Error),
+    /// A frame violated the wire protocol.
+    Protocol(&'static str),
+    /// A frame announced a payload larger than [`proto::MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// `solve_cached` named a fingerprint the cache does not hold.
+    UnknownOperator(u64),
+    /// The server shed the request (admission control): retry later.
+    Shed,
+    /// The server answered with an error status (message from the
+    /// server's own `ServeError` rendering).
+    Remote(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o failure: {e}"),
+            ServeError::Solver(e) => write!(f, "solver failure: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::FrameTooLarge(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {} limit",
+                    proto::MAX_FRAME
+                )
+            }
+            ServeError::UnknownOperator(fp) => {
+                write!(f, "no cached factor for fingerprint {fp:#018x}")
+            }
+            ServeError::Shed => write!(f, "request shed by admission control"),
+            ServeError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<bs_core::Error> for ServeError {
+    fn from(e: bs_core::Error) -> Self {
+        ServeError::Solver(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

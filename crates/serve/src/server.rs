@@ -1,0 +1,437 @@
+//! The long-lived serving front-end: thread-per-connection over TCP or
+//! Unix-domain sockets, with admission control and per-request latency
+//! histograms.
+//!
+//! Request flow: read frame → admission check (solve/factor opcodes
+//! only; pings and stats always answer) → decode → cache lookup /
+//! single-flight factor → multi-column solve through
+//! `Factor::solve_cols_into` on pooled scratch → encode → write frame.
+//! The whole span lands in `Hist::ServeRequestNs`.
+//!
+//! Admission control is a bounded in-flight counter, not a queue: when
+//! `max_inflight` expensive requests are already running, the server
+//! answers `STATUS_SHED` immediately instead of stacking latency. The
+//! client retries against a less-loaded replica (or backs off) — the
+//! standard load-shed contract for latency-bound services.
+
+use crate::cache::OperatorCache;
+use crate::proto::{
+    self, read_frame, read_generator, write_frame, Reader, MAX_FRAME, OP_FACTOR, OP_PING,
+    OP_SHUTDOWN, OP_SOLVE, OP_SOLVE_CACHED, OP_STATS, STATUS_ERR, STATUS_OK, STATUS_SHED,
+};
+use crate::{Result, ServeError};
+use bs_core::Factor;
+use bs_matrix::Matrix;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Operator-cache capacity (Ready factors held).
+    pub cache_capacity: usize,
+    /// Maximum concurrently-executing factor/solve requests before
+    /// admission control sheds.
+    pub max_inflight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_capacity: 16,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// Server-side request tallies (beyond the cache's own stats).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Frames dispatched (any opcode).
+    pub requests: AtomicU64,
+    /// Requests turned away by admission control.
+    pub shed: AtomicU64,
+}
+
+/// Shared state every connection thread works against.
+struct Shared {
+    cache: OperatorCache,
+    stats: ServerStats,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    shutdown: AtomicBool,
+    endpoint: Endpoint,
+}
+
+impl Shared {
+    /// Arm the shutdown flag and unblock the accept loop with a
+    /// throwaway connection so it observes the flag and exits.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        match &self.endpoint {
+            Endpoint::Tcp(a) => drop(TcpStream::connect(a)),
+            Endpoint::Unix(p) => drop(UnixStream::connect(p)),
+        }
+    }
+}
+
+/// A serving front-end bound to a TCP address or Unix socket path.
+pub struct Server {
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A server with the given tuning.
+    pub fn new(config: ServerConfig) -> Self {
+        Server { config }
+    }
+
+    /// Bind a TCP listener (use port 0 for an ephemeral port) and
+    /// start the accept loop on a background thread.
+    pub fn serve_tcp<A: ToSocketAddrs>(self, addr: A) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        self.spawn(Listener::Tcp(listener), Endpoint::Tcp(local))
+    }
+
+    /// Bind a Unix-domain socket at `path` (removing a stale socket
+    /// file first) and start the accept loop on a background thread.
+    pub fn serve_uds<P: AsRef<Path>>(self, path: P) -> Result<ServerHandle> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        self.spawn(Listener::Unix(listener), Endpoint::Unix(path))
+    }
+
+    fn spawn(self, listener: Listener, endpoint: Endpoint) -> Result<ServerHandle> {
+        let shared = Arc::new(Shared {
+            cache: OperatorCache::new(self.config.cache_capacity),
+            stats: ServerStats::default(),
+            inflight: AtomicUsize::new(0),
+            max_inflight: self.config.max_inflight,
+            shutdown: AtomicBool::new(false),
+            endpoint: endpoint.clone(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("bs-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        bs_probe::event!("serve_start");
+        Ok(ServerHandle {
+            endpoint,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// Where a running server is reachable.
+#[derive(Clone, Debug)]
+pub enum Endpoint {
+    /// TCP socket address (with the resolved ephemeral port).
+    Tcp(SocketAddr),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp://{a}"),
+            Endpoint::Unix(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+/// Handle to a running server: endpoint discovery, stats, shutdown.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Where the server is listening.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The TCP address, when TCP-bound (tests and the load generator).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self.endpoint {
+            Endpoint::Tcp(a) => Some(a),
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// The operator cache (for out-of-band inspection in tests).
+    pub fn cache(&self) -> &OperatorCache {
+        &self.shared.cache
+    }
+
+    /// Frames dispatched and requests shed so far.
+    pub fn request_stats(&self) -> (u64, u64) {
+        (
+            self.shared.stats.requests.load(Ordering::Relaxed),
+            self.shared.stats.shed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stop accepting connections and join the accept loop. Existing
+    /// connection threads finish their current request and exit on the
+    /// next read (their peers see EOF-clean closes).
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join_accept();
+    }
+
+    /// Block until the server stops — e.g. a client sends
+    /// `OP_SHUTDOWN`. This is the foreground mode the CLI runs in.
+    pub fn wait(mut self) {
+        self.join_accept();
+    }
+
+    fn join_accept(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Endpoint::Unix(p) = &self.endpoint {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shared.begin_shutdown();
+            self.join_accept();
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) {
+    loop {
+        let stream: Box<dyn Conn> = match &listener {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    // A response frame is a length prefix plus payload in
+                    // two small writes; without nodelay, Nagle holds the
+                    // second behind the peer's delayed ACK (~40 ms per
+                    // request — measured, not hypothetical).
+                    let _ = s.set_nodelay(true);
+                    Box::new(s)
+                }
+                Err(_) => continue,
+            },
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Box::new(s),
+                Err(_) => continue,
+            },
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("bs-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, conn_shared);
+            });
+        // Thread exhaustion drops the connection; the client sees a
+        // closed socket and retries. Nothing else to do here.
+        drop(spawned);
+    }
+}
+
+trait Conn: Read + Write + Send {}
+impl Conn for TcpStream {}
+impl Conn for UnixStream {}
+
+/// In-flight admission slot: acquired for expensive opcodes, released
+/// on drop so error paths cannot leak capacity.
+struct Admission<'a>(&'a Shared);
+
+impl<'a> Admission<'a> {
+    fn try_acquire(shared: &'a Shared) -> Option<Self> {
+        let prev = shared.inflight.fetch_add(1, Ordering::Relaxed);
+        if prev >= shared.max_inflight {
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(Admission(shared))
+    }
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_connection(mut stream: Box<dyn Conn>, shared: Arc<Shared>) -> Result<()> {
+    let mut req = Vec::new();
+    let mut resp = Vec::new();
+    while read_frame(&mut stream, &mut req)? {
+        let t0 = std::time::Instant::now();
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        resp.clear();
+        dispatch(&shared, &req, &mut resp);
+        write_frame(&mut stream, &resp)?;
+        bs_probe::histogram::record(
+            bs_probe::Hist::ServeRequestNs,
+            t0.elapsed().as_nanos() as u64,
+        );
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Decode one request and write the response payload into `resp`.
+/// Infallible by construction: every failure becomes a `STATUS_ERR`
+/// payload so the connection survives bad requests.
+fn dispatch(shared: &Shared, req: &[u8], resp: &mut Vec<u8>) {
+    let mut r = Reader::new(req);
+    let op = match r.u8() {
+        Ok(op) => op,
+        Err(_) => {
+            encode_error(resp, "empty request frame");
+            return;
+        }
+    };
+    let needs_admission = matches!(op, OP_FACTOR | OP_SOLVE | OP_SOLVE_CACHED);
+    let _slot = if needs_admission {
+        match Admission::try_acquire(shared) {
+            Some(slot) => Some(slot),
+            None => {
+                shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                bs_probe::event!("serve_shed");
+                resp.push(STATUS_SHED);
+                return;
+            }
+        }
+    } else {
+        None
+    };
+    let out = match op {
+        OP_PING => {
+            resp.push(STATUS_OK);
+            Ok(())
+        }
+        OP_FACTOR => handle_factor(shared, &mut r, resp),
+        OP_SOLVE => handle_solve(shared, &mut r, resp),
+        OP_SOLVE_CACHED => handle_solve_cached(shared, &mut r, resp),
+        OP_STATS => handle_stats(shared, resp),
+        OP_SHUTDOWN => {
+            // Arms the flag *and* pokes the accept loop awake, so a
+            // foreground `ServerHandle::wait` returns promptly.
+            shared.begin_shutdown();
+            resp.push(STATUS_OK);
+            Ok(())
+        }
+        _ => Err(ServeError::Protocol("unknown opcode")),
+    };
+    if let Err(e) = out {
+        encode_error(resp, &e.to_string());
+    }
+}
+
+fn encode_error(resp: &mut Vec<u8>, msg: &str) {
+    resp.clear();
+    resp.push(STATUS_ERR);
+    resp.extend_from_slice(msg.as_bytes());
+}
+
+fn handle_factor(shared: &Shared, r: &mut Reader<'_>, resp: &mut Vec<u8>) -> Result<()> {
+    let t = read_generator(r)?;
+    let fp = t.fingerprint();
+    let was_cached = shared.cache.contains_ready(fp);
+    shared.cache.get_or_factor(&t)?;
+    resp.push(STATUS_OK);
+    proto::put_u64(resp, fp);
+    resp.push(u8::from(was_cached));
+    Ok(())
+}
+
+fn handle_solve(shared: &Shared, r: &mut Reader<'_>, resp: &mut Vec<u8>) -> Result<()> {
+    let t = read_generator(r)?;
+    let factor = shared.cache.get_or_factor(&t)?;
+    solve_into_response(&factor, r, resp)
+}
+
+fn handle_solve_cached(shared: &Shared, r: &mut Reader<'_>, resp: &mut Vec<u8>) -> Result<()> {
+    let fp = r.u64()?;
+    let factor = shared
+        .cache
+        .get(fp)
+        .ok_or(ServeError::UnknownOperator(fp))?;
+    solve_into_response(&factor, r, resp)
+}
+
+/// The per-request hot path: stage the RHS columns in pooled scratch,
+/// run them through the shared factor's batched multi-RHS driver, and
+/// stream the solution back as raw bits. Steady state performs no heap
+/// allocation — the scratch matrices come from the factor's workspace
+/// pool and the response buffer is reused per connection.
+fn solve_into_response(factor: &Factor, r: &mut Reader<'_>, resp: &mut Vec<u8>) -> Result<()> {
+    let n = factor.order();
+    let ncols = r.u32()? as usize;
+    if ncols == 0 {
+        return Err(ServeError::Protocol("solve with zero right-hand sides"));
+    }
+    let need = n
+        .checked_mul(ncols)
+        .and_then(|e| e.checked_mul(8))
+        .filter(|&e| e <= MAX_FRAME)
+        .ok_or(ServeError::Protocol("solve shape overflows the frame"))?;
+    if r.remaining() < need {
+        return Err(ServeError::Protocol("solve body shorter than n·ncols"));
+    }
+    let mut scratch = factor.scratch();
+    let mut b = scratch.take_matrix(n, ncols);
+    let mut x = scratch.take_matrix(n, ncols);
+    let solved = stage_and_solve(factor, r, &mut b, &mut x, resp);
+    scratch.give_matrix(x);
+    scratch.give_matrix(b);
+    solved
+}
+
+fn stage_and_solve(
+    factor: &Factor,
+    r: &mut Reader<'_>,
+    b: &mut Matrix,
+    x: &mut Matrix,
+    resp: &mut Vec<u8>,
+) -> Result<()> {
+    r.f64s_into(b.as_mut_slice())?;
+    factor.solve_cols_into(b, x)?;
+    resp.push(STATUS_OK);
+    proto::put_f64s(resp, x.as_slice());
+    Ok(())
+}
+
+fn handle_stats(shared: &Shared, resp: &mut Vec<u8>) -> Result<()> {
+    let cache = shared.cache.stats();
+    resp.push(STATUS_OK);
+    proto::put_u64(resp, cache.hits);
+    proto::put_u64(resp, cache.factorizations);
+    proto::put_u64(resp, cache.evictions);
+    proto::put_u64(resp, cache.single_flight_waits);
+    proto::put_u64(resp, shared.stats.shed.load(Ordering::Relaxed));
+    proto::put_u64(resp, shared.stats.requests.load(Ordering::Relaxed));
+    Ok(())
+}

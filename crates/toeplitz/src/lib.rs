@@ -18,6 +18,7 @@ pub mod block_toeplitz;
 pub mod displacement;
 pub mod fast;
 pub mod fft;
+pub mod fingerprint;
 pub mod generator;
 pub mod inverse;
 pub mod rng;
@@ -25,5 +26,6 @@ pub mod workloads;
 
 pub use block_toeplitz::SymBlockToeplitz;
 pub use fast::FastToeplitzMatVec;
+pub use fingerprint::Fnv1a;
 pub use generator::{build_generator, Generator};
 pub use inverse::ToeplitzInverse;

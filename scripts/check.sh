@@ -67,6 +67,17 @@ BS_PRECISION=f32 cargo test -q --test refinement
 BS_PRECISION=f32 cargo test -q --test execution
 TIERS+=("precision")
 
+echo "==> serve tier: serving-layer suite plus loopback load smoke"
+# The multi-tenant front-end: cache semantics (single-flight, LRU,
+# failed-build cleanup), wire-protocol round-trips, admission-control
+# shedding, and the TCP/UDS loopback integration tests — then the
+# open-loop load generator as a smoke run (4 clients hammering 2 hot
+# operators; asserts exactly 2 factorizations, zero sheds, bitwise
+# responses, and the warm-cache speedup floor).
+cargo test -q -p bs-serve
+cargo run -q -p bs-bench --release --bin serve_load -- --quick
+TIERS+=("serve")
+
 echo "==> kernel tier: avx512 feature build (runtime-gated microkernel)"
 cargo test -q -p bs-matrix --features avx512
 TIERS+=("avx512")

@@ -677,6 +677,45 @@ fn parse_scheme(s: &str) -> Result<bs_simulator::Scheme, CliError> {
     )))
 }
 
+/// `serve` command: run the multi-tenant front-end in the foreground
+/// until a client sends the shutdown opcode (or the process is
+/// signalled). Progress goes to stderr; the returned report is what
+/// prints after shutdown.
+pub fn cmd_serve(
+    addr: Option<&str>,
+    uds: Option<&Path>,
+    cache: usize,
+    inflight: usize,
+) -> Result<String, CliError> {
+    let server = bs_serve::Server::new(bs_serve::ServerConfig {
+        cache_capacity: cache,
+        max_inflight: inflight,
+    });
+    let handle = match (addr, uds) {
+        (Some(_), Some(_)) => return Err(CliError::Usage("pass --addr or --uds, not both".into())),
+        (None, None) => {
+            return Err(CliError::Usage(
+                "serve needs --addr <host:port> or --uds <path>".into(),
+            ))
+        }
+        (Some(a), None) => server.serve_tcp(a).map_err(serve_to_cli)?,
+        (None, Some(p)) => server.serve_uds(p).map_err(serve_to_cli)?,
+    };
+    let endpoint = handle.endpoint().clone();
+    eprintln!(
+        "block-schur serving on {endpoint} (cache capacity {cache}, max in-flight {inflight})"
+    );
+    handle.wait();
+    Ok(format!("server on {endpoint} shut down\n"))
+}
+
+fn serve_to_cli(e: bs_serve::ServeError) -> CliError {
+    match e {
+        bs_serve::ServeError::Io(io) => CliError::Io(io),
+        other => CliError::Usage(other.to_string()),
+    }
+}
+
 /// Usage text for the binary.
 pub const USAGE: &str = "block-schur — block Schur Toeplitz solver (ICPP'94 reproduction)
 
@@ -693,6 +732,7 @@ USAGE:
                      [--threads <t|max>] [--kernel <k>] [--precision <p>] [--calibrate]
     block-schur gen <kind> --n <n> [--m <m>] [--rho <r>] [--seed <s>] --output <file>
     block-schur simulate --n <n> --m <m> --np <p> --scheme <v1|v2:b|v3:s>
+    block-schur serve (--addr <host:port> | --uds <path>) [--cache <n>] [--inflight <n>]
 
 EXECUTION:
     --threads <t|max>  worker threads for the trailing-update strips
@@ -740,6 +780,13 @@ PLAN: prints the configuration the plan/execute engine would run —
       representation and algorithmic block size (cost-model-chosen
       unless pinned with --rep / --block-size) with predicted flops.
       REPS: u | vy1 | vy2 | yty | seq
+
+SERVE: long-lived multi-tenant front-end over a length-prefixed binary
+       protocol (TCP or Unix socket). Factors are cached per operator
+       fingerprint with LRU eviction and single-flight factorization;
+       --cache <n> Ready factors held (default 16), --inflight <n>
+       concurrent solves before load-shedding (default 64). Runs until
+       a client sends the shutdown opcode.
 
 KINDS: kms | spd | spd-scalar | indefinite | singular-minor
 MATRIX FILE: `m p` header then the m*m*p values of the first block row.";
@@ -793,6 +840,41 @@ mod tests {
             assert!((v - 1.0).abs() < 1e-8);
         }
         std::fs::remove_file(&mat).ok();
+    }
+
+    #[test]
+    fn serve_round_trips_and_shuts_down() {
+        let sock = tmp("serve.sock");
+        let sock2 = sock.clone();
+        let server = std::thread::spawn(move || cmd_serve(None, Some(&sock2), 4, 8).unwrap());
+        for _ in 0..400 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mut client = bs_serve::Client::connect_uds(&sock).unwrap();
+        let t = workloads::random_spd_scalar(16, 6);
+        let b = bs_matrix::Matrix::from_fn(16, 2, |i, j| (i + 2 * j) as f64);
+        let x = client.solve(&t, &b).unwrap();
+        let want = bs_core::Factor::new(&t).unwrap().solve_batch(&b).unwrap();
+        assert_eq!(x.as_slice(), want.as_slice());
+        client.shutdown_server().unwrap();
+        let report = server.join().unwrap();
+        assert!(report.contains("shut down"), "{report}");
+        assert!(!sock.exists(), "socket file removed after shutdown");
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_transports() {
+        assert!(matches!(
+            cmd_serve(Some("127.0.0.1:0"), Some(Path::new("/tmp/x")), 1, 1),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(None, None, 1, 1),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

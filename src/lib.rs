@@ -45,9 +45,10 @@ pub use bs_toeplitz as toeplitz;
 /// The commonly used types and functions in one import.
 pub mod prelude {
     pub use bs_core::{
-        factor_indefinite, factor_spd, solve_refined, FactorPlan, Factorization, IndefFactor,
-        IndefOptions, Perturbation, PlanRequest, PlanWorkspace, Precision, RefineOptions,
-        RefineResult, RepKind, SchurOptions, SolverOptions, SpdFactor, ToeplitzSolver,
+        factor_indefinite, factor_spd, solve_refined, Factor, FactorPlan, Factorization,
+        IndefFactor, IndefOptions, Perturbation, PlanRequest, PlanWorkspace, Precision,
+        RefineOptions, RefineResult, RepKind, SchurOptions, SolverOptions, SpdFactor,
+        ToeplitzSolver,
     };
     pub use bs_matrix::{ExecPolicy, Matrix, Partition, Signature};
     pub use bs_toeplitz::{build_generator, workloads, Generator, SymBlockToeplitz};

@@ -190,6 +190,25 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("simulate needs --scheme".into()))?;
             cli::cmd_simulate(n, m, np, &scheme).map(|s| s + "\n")
         }
+        "serve" => {
+            let addr = flag(args, "--addr");
+            let uds = flag(args, "--uds").map(PathBuf::from);
+            let cache = flag(args, "--cache")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("bad cache capacity {v:?}")))
+                })
+                .transpose()?
+                .unwrap_or(16);
+            let inflight = flag(args, "--inflight")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("bad inflight bound {v:?}")))
+                })
+                .transpose()?
+                .unwrap_or(64);
+            cli::cmd_serve(addr.as_deref(), uds.as_deref(), cache, inflight)
+        }
         "help" | "--help" | "-h" => Ok(format!("{}\n", cli::USAGE)),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }

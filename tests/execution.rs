@@ -247,6 +247,81 @@ fn solve_batch_matches_solve_many_bitwise() {
 }
 
 #[test]
+fn shared_factor_is_bitwise_deterministic_under_thread_hammering() {
+    let _g = lock();
+    // One immutable Factor behind an Arc, hammered by N threads whose
+    // per-call scratch comes from the shared workspace pool: every
+    // concurrent solve must be bitwise identical to the sequential
+    // answer, and the pool must end balanced (all arenas returned, no
+    // audit violations) — the Send + Sync contract of the split.
+    const THREADS: usize = 8;
+    const SOLVES: usize = 40;
+    for t in [
+        workloads::random_spd_block(3, 16, 77),
+        workloads::singular_minor_scalar(40, 811),
+    ] {
+        let n = t.order();
+        let factor = std::sync::Arc::new(Factor::new(&t).unwrap());
+        let rhs: Vec<Vec<f64>> = (0..SOLVES)
+            .map(|k| {
+                (0..n)
+                    .map(|i| ((i * 17 + k * 29) % 23) as f64 - 11.0)
+                    .collect()
+            })
+            .collect();
+        let rhs = std::sync::Arc::new(rhs);
+        let reference: std::sync::Arc<Vec<Vec<f64>>> =
+            std::sync::Arc::new(rhs.iter().map(|b| factor.solve(b).unwrap()).collect());
+
+        let violations0 = metrics::total(Counter::AuditViolations);
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|id| {
+                let (factor, rhs, reference, barrier) = (
+                    std::sync::Arc::clone(&factor),
+                    std::sync::Arc::clone(&rhs),
+                    std::sync::Arc::clone(&reference),
+                    std::sync::Arc::clone(&barrier),
+                );
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    // Each thread walks the solve stream from its own
+                    // offset so checkouts interleave across threads.
+                    for k in 0..SOLVES {
+                        let idx = (id * 7 + k) % SOLVES;
+                        let x = factor.solve(&rhs[idx]).unwrap();
+                        assert_eq!(
+                            x, reference[idx],
+                            "thread {id} solve {idx}: concurrent result \
+                             diverged from sequential"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        let pool = factor.scratch_pool();
+        assert_eq!(
+            pool.outstanding(),
+            0,
+            "n={n}: every pooled workspace must be returned"
+        );
+        assert!(
+            pool.audit_balanced("execution_test"),
+            "n={n}: workspace pool audit failed"
+        );
+        assert_eq!(
+            metrics::total(Counter::AuditViolations) - violations0,
+            0,
+            "n={n}: concurrent solves recorded audit violations"
+        );
+    }
+}
+
+#[test]
 fn oversubscription_smoke() {
     let _g = lock();
     // Far more workers than cores: the pool grows on demand, the claim
