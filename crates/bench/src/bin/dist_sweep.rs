@@ -1,0 +1,274 @@
+//! Measured Fig. 6–9: the three T3D data distributions executed for
+//! real on the sharded wall-clock backend, swept over NP, against the
+//! calibrated analytic model's predictions in the same units.
+//!
+//! For each (m, p) point the sweep measures
+//!
+//! - the sequential `bs-core` baseline (ExecPolicy::sequential, the
+//!   denominator of every speedup),
+//! - each valid scheme at each NP: best-of-k measured wall seconds,
+//!   total comm volume, per-rank comm wait,
+//! - the calibrated model's predicted seconds for the same (scheme,
+//!   NP) — compute rates from the kernel RateTable, message costs from
+//!   transport micro-benchmarks — so measured and analytic curves plot
+//!   in one frame (the units fix of PR 10),
+//!
+//! and emits one `@@BENCH` record per (point, scheme, NP) plus one
+//! `dist_seq` record per point.
+//!
+//! Correctness asserts (always on): every sharded factor matches the
+//! sequential one to the paper's §8 residual tolerance, and one
+//! configuration is run twice to confirm byte-for-byte reproducible
+//! factors. Performance asserts (speedup ≥ 1.5 at NP=4 for n ≥ 512;
+//! measured-vs-predicted scheme ranking agreement on ≥ 2 points) are
+//! gated on `available_parallelism() ≥ 4`: rank threads cannot
+//! physically overlap on fewer cores, so on starved hosts the sweep
+//! still *measures* and *records* but prints a waiver instead of
+//! failing (same convention as steady_state's speedup floor).
+//!
+//! Run: `cargo run -p bs-bench --release --bin dist_sweep [--quick]`
+
+use bs_bench::{emit_bench, ms, print_table, quick_mode};
+use bs_core::rep::RepKind;
+use bs_simulator::analytic::{simulate, SimConfig};
+use bs_simulator::{factor_sharded, CalibratedCost, Scheme, ShardOptions};
+use bs_toeplitz::workloads;
+use std::time::Instant;
+
+/// Schemes exercised at one NP (must divide evenly into the sweep's
+/// block sizes; V3 needs spread | np and spread | m).
+fn schemes_for(m: usize, np: usize) -> Vec<Scheme> {
+    let mut out = vec![Scheme::V1];
+    if np > 1 {
+        out.push(Scheme::V2 { b: 2 });
+        out.push(Scheme::V2 { b: 4 });
+        if np.is_multiple_of(2) && m.is_multiple_of(2) {
+            out.push(Scheme::V3 { spread: 2 });
+        }
+    }
+    out
+}
+
+/// `@@BENCH`-safe scheme tag: `v1`, `v2b2`, `v3s2`.
+fn tag(scheme: Scheme) -> String {
+    match scheme {
+        Scheme::V1 => "v1".to_string(),
+        Scheme::V2 { b } => format!("v2b{b}"),
+        Scheme::V3 { spread } => format!("v3s{spread}"),
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let reps = if quick { 2 } else { 3 };
+    let points: Vec<(usize, usize)> = if quick {
+        vec![(4, 16), (8, 16)]
+    } else {
+        vec![(8, 64), (16, 32), (16, 64)]
+    };
+    let mut nps = vec![1usize, 2, 4];
+    if cores >= 8 && !quick {
+        nps.push(8);
+    }
+    let max_np = *nps.last().unwrap();
+
+    println!("dist_sweep: measured sharded Schur vs calibrated analytic model");
+    println!(
+        "  host cores online: {cores} (perf asserts {})",
+        if cores >= 4 { "armed" } else { "waived" }
+    );
+
+    // Calibrate once: kernel RateTable + transport micro-benchmarks.
+    let model = CalibratedCost::for_host();
+    let comm = model.comm();
+    println!(
+        "  calibrated transport: p2p latency {:.2} µs, bandwidth {:.2} GB/s, barrier {:.2} µs/rank",
+        comm.p2p_latency_s * 1e6,
+        comm.p2p_bytes_per_s / 1e9,
+        comm.barrier_per_rank_s * 1e6
+    );
+
+    let mut rank_agreements = 0usize;
+    let mut speedup_floor_met = true;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for &(m, p) in &points {
+        let n = m * p;
+        let t = workloads::random_spd_block(m, p, (7 * m + p) as u64);
+        let tol = 1e-8 * t.norm_inf().max(1.0);
+
+        // Sequential baseline: the single-address-space engine with a
+        // sequential policy — the denominator of every speedup.
+        let seq_opts = bs_core::SchurOptions {
+            exec: bs_matrix::ExecPolicy::sequential(),
+            ..Default::default()
+        };
+        let mut seq_best = f64::INFINITY;
+        let mut seq_r = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let f = bs_core::factor_spd(&t, &seq_opts).expect("SPD factor");
+            seq_best = seq_best.min(t0.elapsed().as_secs_f64());
+            seq_r = Some(f.r.clone());
+        }
+        let seq_r = seq_r.unwrap();
+        let model_flops = bs_perfmodel::total_factor_flops(n, m) as u64;
+        emit_bench(
+            "dist_seq",
+            seq_best,
+            model_flops,
+            &[("n", n as f64), ("m", m as f64)],
+        );
+        rows.push(vec![
+            format!("{m}x{p}"),
+            "seq".into(),
+            "1".into(),
+            ms(seq_best),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+
+        // (scheme, np=max) measured and predicted times, for the
+        // crossover-ranking comparison.
+        let mut measured_at_max: Vec<(Scheme, f64)> = Vec::new();
+        let mut predicted_at_max: Vec<(Scheme, f64)> = Vec::new();
+
+        for &np in &nps {
+            for scheme in schemes_for(m, np) {
+                let opts = ShardOptions::new(scheme, np);
+                let mut best = f64::INFINITY;
+                let mut volume = 0usize;
+                let mut wait_s = 0.0f64;
+                for r in 0..reps {
+                    let run = factor_sharded(&t, &opts);
+                    if r == 0 {
+                        let diff = run.r.max_abs_diff(&seq_r);
+                        assert!(
+                            diff < tol,
+                            "m={m} p={p} np={np} {scheme:?}: residual {diff:e} over {tol:e}"
+                        );
+                    }
+                    if run.wall_s < best {
+                        best = run.wall_s;
+                        volume = run.comm_volume();
+                        wait_s = run.comm_wait_s.iter().cloned().fold(0.0f64, f64::max);
+                    }
+                }
+                let sim = simulate(
+                    &SimConfig {
+                        n,
+                        m,
+                        np,
+                        scheme,
+                        rep: bs_perfmodel::Rep::VY2,
+                    },
+                    &model,
+                );
+                let speedup = seq_best / best;
+                if np == max_np {
+                    measured_at_max.push((scheme, best));
+                    predicted_at_max.push((scheme, sim.total));
+                    if n >= 512 && cores >= 4 && speedup < 1.5 {
+                        speedup_floor_met = false;
+                    }
+                }
+                emit_bench(
+                    &format!("dist_{}", tag(scheme)),
+                    best,
+                    model_flops,
+                    &[
+                        ("n", n as f64),
+                        ("m", m as f64),
+                        ("np", np as f64),
+                        ("speedup_vs_seq", speedup),
+                        ("comm_bytes", volume as f64),
+                        ("comm_wait_s", wait_s),
+                        ("predicted_s", sim.total),
+                    ],
+                );
+                rows.push(vec![
+                    format!("{m}x{p}"),
+                    scheme.label(),
+                    np.to_string(),
+                    ms(best),
+                    format!("{speedup:.2}"),
+                    ms(sim.total),
+                    format!("{:.1}", volume as f64 / 1024.0),
+                ]);
+            }
+        }
+
+        // Crossover ranking: does the measured fastest scheme at the
+        // largest NP match the calibrated model's pick?
+        let argmin = |v: &[(Scheme, f64)]| {
+            v.iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|e| e.0)
+                .unwrap()
+        };
+        let m_best = argmin(&measured_at_max);
+        let p_best = argmin(&predicted_at_max);
+        let agree = m_best == p_best;
+        rank_agreements += agree as usize;
+        println!(
+            "  ({m},{p}) @NP={max_np}: measured fastest {}, model predicts {} -> {}",
+            m_best.label(),
+            p_best.label(),
+            if agree { "agree" } else { "disagree" }
+        );
+    }
+
+    print_table(
+        "measured sharded Schur (best-of-k wall) vs calibrated prediction",
+        &[
+            "m x p", "scheme", "NP", "wall ms", "speedup", "pred ms", "comm KiB",
+        ],
+        &rows,
+    );
+
+    // Bitwise reproducibility: same (matrix, scheme, NP, rep, kernel)
+    // twice must produce byte-identical factors.
+    let (m, p) = points[0];
+    let t = workloads::random_spd_block(m, p, 99);
+    let opts = ShardOptions::new(Scheme::V2 { b: 2 }, 2.min(max_np));
+    let bits =
+        |r: &bs_matrix::Matrix| -> Vec<u64> { r.as_slice().iter().map(|v| v.to_bits()).collect() };
+    let a = factor_sharded(&t, &opts);
+    let b = factor_sharded(&t, &opts);
+    assert_eq!(
+        bits(&a.r),
+        bits(&b.r),
+        "sharded factor must be bitwise reproducible for a fixed config"
+    );
+    println!(
+        "\nbitwise reproducibility: OK ({}x{} V2(b=2) NP={})",
+        m, p, opts.np
+    );
+
+    if cores >= 4 && !quick {
+        assert!(
+            speedup_floor_met,
+            "speedup_vs_seq < 1.5 at NP={max_np} for some n >= 512 point"
+        );
+        assert!(
+            rank_agreements >= 2,
+            "measured scheme ranking agreed with the calibrated model on only \
+             {rank_agreements} of {} points (need 2)",
+            points.len()
+        );
+        println!("perf asserts: speedup floor and crossover ranking OK ({rank_agreements}/{} points agree)", points.len());
+    } else {
+        println!(
+            "perf asserts: waived ({} cores online, {} mode) — measured records still emitted; \
+             ranking agreement {rank_agreements}/{}",
+            cores,
+            if quick { "quick" } else { "full" },
+            points.len()
+        );
+    }
+    println!("representation: {:?}", RepKind::VY2);
+}

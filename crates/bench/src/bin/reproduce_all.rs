@@ -43,6 +43,7 @@ fn main() {
         "cross_validate",
         "kernels",
         "profile_overhead",
+        "dist_sweep",
     ];
     let started = Instant::now();
     let mut records: Vec<Json> = Vec::new();

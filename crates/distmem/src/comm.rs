@@ -1,13 +1,29 @@
-//! The communicator: ranks as threads, channels as links, virtual
-//! clocks for timing.
+//! The communicator: ranks as threads, channels as links, and two
+//! interchangeable notions of time.
+//!
+//! * **Virtual transport** ([`World::run`]) — the original simulator:
+//!   every rank carries a virtual clock advanced by a [`CostModel`],
+//!   so `time()` reports what a modeled machine (e.g. the T3D) would
+//!   have measured.
+//! * **Wall transport** ([`World::run_wall`]) — the measured executor:
+//!   ranks are dedicated OS threads exchanging owned data through the
+//!   same channels, `compute`/`advance` are no-ops, and `time()`
+//!   reports real elapsed wall-clock seconds since the group launched.
+//!
+//! Both transports share one `Proc` API (send/recv/broadcast/barrier/
+//! gather), one poison protocol for rank failure, and one observability
+//! surface: `CommBytes`/`CommMessages` on the send side,
+//! `CommRecvBytes`/`CommRecvMessages` on the receive side, and a
+//! `CommWaitNs` histogram sample per blocked receive or barrier.
 
 use crate::cost::{CostModel, Primitive};
+use bs_probe::histogram::{self, Hist};
 use bs_probe::metrics::{self, Counter};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Lock recovering from poisoning: a rank's panic must not wedge the
 /// whole group (ClockBarrier deliberately panics while holding its
@@ -98,13 +114,53 @@ impl ClockBarrier {
     }
 }
 
-/// One rank's endpoint: use inside the closure passed to [`World::run`].
+/// How a rank keeps time: a modeled clock or the real one.
+enum Timing {
+    /// Virtual clock advanced by a [`CostModel`] (the simulator).
+    Virtual {
+        clock: f64,
+        cost: Arc<dyn CostModel>,
+    },
+    /// Real elapsed time since the group launched (the measured
+    /// sharded executor). `compute`/`advance` are no-ops: the work
+    /// itself already took the time.
+    Wall { start: Instant },
+}
+
+/// Options for the wall-clock transport ([`World::run_wall`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WallOpts {
+    /// Upper bound on one blocked `recv` before the rank panics with a
+    /// diagnostic naming the stuck `(source rank, tag)`. Converts a
+    /// schedule bug (a message that will never come) from a silent
+    /// deadlock into an attributable failure. `None` waits forever
+    /// (poison from a peer's panic still unblocks the wait).
+    pub recv_deadline: Option<Duration>,
+}
+
+impl Default for WallOpts {
+    fn default() -> Self {
+        WallOpts {
+            recv_deadline: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// One rank's endpoint: use inside the closure passed to
+/// [`World::run`] or [`World::run_wall`].
 pub struct Proc {
     rank: usize,
     np: usize,
-    clock: f64,
+    timing: Timing,
     /// Bytes sent (p2p + broadcast contributions), for diagnostics.
     bytes_sent: usize,
+    /// Bytes received (p2p + broadcast deliveries), for diagnostics.
+    bytes_recv: usize,
+    /// Nanoseconds this rank spent blocked in `recv`/barriers.
+    comm_wait_ns: u64,
+    /// Deadline for one blocked receive (wall transport; see
+    /// [`WallOpts::recv_deadline`]).
+    recv_deadline: Option<Duration>,
     /// `senders[to]` delivers to rank `to`'s inbox from this rank.
     senders: Vec<Sender<Msg>>,
     /// `inboxes[from]` receives messages sent by rank `from`.
@@ -113,7 +169,6 @@ pub struct Proc {
     stash: Vec<VecDeque<Msg>>,
     barrier: Arc<ClockBarrier>,
     poisoned: Arc<AtomicBool>,
-    cost: Arc<dyn CostModel>,
 }
 
 impl Proc {
@@ -127,10 +182,14 @@ impl Proc {
         self.np
     }
 
-    /// Current virtual time at this rank.
+    /// Current time at this rank: the virtual clock under
+    /// [`World::run`], elapsed wall seconds under [`World::run_wall`].
     #[inline]
     pub fn time(&self) -> f64 {
-        self.clock
+        match &self.timing {
+            Timing::Virtual { clock, .. } => *clock,
+            Timing::Wall { start } => start.elapsed().as_secs_f64(),
+        }
     }
 
     /// Total bytes this rank has pushed into the network.
@@ -139,14 +198,49 @@ impl Proc {
         self.bytes_sent
     }
 
-    /// Advance the local clock by the cost of `flops` in shape `prim`.
-    pub fn compute(&mut self, flops: f64, prim: Primitive) {
-        self.clock += self.cost.compute_time(flops, prim);
+    /// Total bytes this rank has consumed from the network.
+    #[inline]
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_recv
     }
 
-    /// Advance the local clock by raw seconds (model hooks).
+    /// Nanoseconds this rank has spent blocked on receives and
+    /// barriers (real wall time in both transports).
+    #[inline]
+    pub fn comm_wait_ns(&self) -> u64 {
+        self.comm_wait_ns
+    }
+
+    /// Advance the local clock by the cost of `flops` in shape `prim`.
+    /// No-op on the wall transport (real compute takes real time).
+    pub fn compute(&mut self, flops: f64, prim: Primitive) {
+        if let Timing::Virtual { clock, cost } = &mut self.timing {
+            *clock += cost.compute_time(flops, prim);
+        }
+    }
+
+    /// Advance the local clock by raw seconds (model hooks). No-op on
+    /// the wall transport.
     pub fn advance(&mut self, seconds: f64) {
-        self.clock += seconds;
+        if let Timing::Virtual { clock, .. } = &mut self.timing {
+            *clock += seconds;
+        }
+    }
+
+    /// Account one blocked interval: the `CommWaitNs` histogram plus
+    /// the per-rank accumulator behind [`comm_wait_ns`](Self::comm_wait_ns).
+    fn note_wait(&mut self, since: Instant) {
+        let ns = since.elapsed().as_nanos() as u64;
+        self.comm_wait_ns += ns;
+        histogram::record(Hist::CommWaitNs, ns);
+    }
+
+    /// Account one consumed message against the receive-side counters.
+    fn note_recv(&mut self, words: usize) {
+        let bytes = words * 8;
+        self.bytes_recv += bytes;
+        metrics::add(Counter::CommRecvBytes, bytes as u64);
+        metrics::incr(Counter::CommRecvMessages);
     }
 
     /// Tagged send of a vector of doubles. Models a *blocking put*
@@ -159,8 +253,15 @@ impl Proc {
         self.bytes_sent += bytes;
         metrics::add(Counter::CommBytes, bytes as u64);
         metrics::incr(Counter::CommMessages);
-        self.clock += self.cost.p2p_time(bytes);
-        let arrive = self.clock;
+        let arrive = match &mut self.timing {
+            Timing::Virtual { clock, cost } => {
+                *clock += cost.p2p_time(bytes);
+                *clock
+            }
+            // Real channels deliver when they deliver; the arrival
+            // stamp is unused on the wall transport.
+            Timing::Wall { .. } => 0.0,
+        };
         self.senders[to]
             .send(Msg {
                 tag,
@@ -172,23 +273,33 @@ impl Proc {
     }
 
     /// Blocking selective receive: next message from `from` carrying
-    /// `tag`. Advances the clock to at least the arrival time.
+    /// `tag`. On the virtual transport the clock advances to at least
+    /// the arrival time; on both transports the blocked interval lands
+    /// in `CommWaitNs` and the payload in the receive-side counters.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         assert!(from < self.np && from != self.rank, "bad source {from}");
-        // Check the stash first.
+        // Check the stash first: already off the wire, zero wait.
         if let Some(pos) = self.stash[from].iter().position(|m| m.tag == tag) {
             // bs-lint: allow(no-panic-paths) -- `pos` comes from `position` on the same deque one line up
             let msg = self.stash[from].remove(pos).unwrap();
-            self.clock = self.clock.max(msg.arrive);
+            if let Timing::Virtual { clock, .. } = &mut self.timing {
+                *clock = clock.max(msg.arrive);
+            }
+            self.note_recv(msg.data.len());
             return msg.data;
         }
+        let waiting_since = Instant::now();
         loop {
             // Bounded waits so a peer's panic (which poisons the group)
             // fails this rank instead of deadlocking it.
             match self.inboxes[from].recv_timeout(Duration::from_millis(50)) {
                 Ok(msg) => {
                     if msg.tag == tag {
-                        self.clock = self.clock.max(msg.arrive);
+                        if let Timing::Virtual { clock, .. } = &mut self.timing {
+                            *clock = clock.max(msg.arrive);
+                        }
+                        self.note_wait(waiting_since);
+                        self.note_recv(msg.data.len());
                         return msg.data;
                     }
                     self.stash[from].push_back(msg);
@@ -197,6 +308,16 @@ impl Proc {
                     if self.poisoned.load(Ordering::Relaxed) {
                         // bs-lint: allow(no-panic-paths) -- poison flag observed while polling recv: a peer rank panicked mid-exchange, so this rank unwinds too
                         panic!("recv aborted: another rank panicked");
+                    }
+                    if let Some(deadline) = self.recv_deadline {
+                        if waiting_since.elapsed() >= deadline {
+                            // bs-lint: allow(no-panic-paths) -- a receive past the deadline is a message-schedule bug; name the stuck edge instead of deadlocking
+                            panic!(
+                                "recv timed out: rank {} waited {:.1?} for a message from rank {from} with tag {tag} (message schedule mismatch or stuck peer)",
+                                self.rank,
+                                waiting_since.elapsed(),
+                            );
+                        }
                     }
                 }
                 // bs-lint: allow(no-panic-paths) -- a disconnected sender means its rank thread panicked; propagate
@@ -226,9 +347,14 @@ impl Proc {
         data: &[f64],
         bytes: usize,
     ) -> Vec<f64> {
-        let bcast = self.cost.broadcast_time(bytes, self.np);
         if self.rank == root {
-            let depart = self.clock;
+            let arrive = match &mut self.timing {
+                Timing::Virtual { clock, cost } => {
+                    *clock += cost.broadcast_time(bytes, self.np);
+                    *clock
+                }
+                Timing::Wall { .. } => 0.0,
+            };
             for to in 0..self.np {
                 if to != root {
                     self.bytes_sent += bytes;
@@ -238,30 +364,37 @@ impl Proc {
                         .send(Msg {
                             tag,
                             data: data.to_vec(),
-                            arrive: depart + bcast,
+                            arrive,
                         })
                         // bs-lint: allow(no-panic-paths) -- bcast fan-out: a receiver that dropped its channel end is a panicked rank; the root propagates
                         .expect("receiver hung up");
                 }
             }
-            self.clock = depart + bcast;
             data.to_vec()
         } else {
             self.recv(root, tag)
         }
     }
 
-    /// Barrier: blocks until all ranks arrive; clocks synchronize to
-    /// the maximum plus the model's barrier cost.
+    /// Barrier: blocks until all ranks arrive. Virtual clocks
+    /// synchronize to the maximum plus the model's barrier cost; the
+    /// wall transport just records the blocked interval.
     pub fn barrier(&mut self) {
-        let (maxc, _) = self.barrier.wait(self.clock, 0.0);
-        self.clock = maxc + self.cost.barrier_time(self.np);
+        self.allreduce_max(0.0);
     }
 
     /// Max-reduction of a scalar across all ranks (synchronizing).
     pub fn allreduce_max(&mut self, v: f64) -> f64 {
-        let (maxc, maxv) = self.barrier.wait(self.clock, v);
-        self.clock = maxc + self.cost.barrier_time(self.np);
+        let entered = Instant::now();
+        let clock_in = match &self.timing {
+            Timing::Virtual { clock, .. } => *clock,
+            Timing::Wall { .. } => 0.0,
+        };
+        let (maxc, maxv) = self.barrier.wait(clock_in, v);
+        self.note_wait(entered);
+        if let Timing::Virtual { clock, cost } = &mut self.timing {
+            *clock = maxc + cost.barrier_time(self.np);
+        }
         maxv
     }
 
@@ -308,9 +441,46 @@ impl Proc {
 pub struct World;
 
 impl World {
-    /// Run `f` on `np` ranks (one thread each) and collect the return
-    /// values indexed by rank. Panics in any rank propagate.
+    /// Run `f` on `np` ranks (one thread each) under the virtual-clock
+    /// transport and collect the return values indexed by rank. Panics
+    /// in any rank propagate.
     pub fn run<T, F>(np: usize, cost: Arc<dyn CostModel>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Send + Sync,
+    {
+        World::run_inner(
+            np,
+            |_| Timing::Virtual {
+                clock: 0.0,
+                cost: Arc::clone(&cost),
+            },
+            None,
+            f,
+        )
+    }
+
+    /// Run `f` on `np` ranks under the wall-clock transport: each rank
+    /// is a dedicated OS thread, `time()` reports real elapsed seconds
+    /// since the group launched (one shared epoch, taken just before
+    /// the rank threads spawn), and `compute`/`advance` are no-ops.
+    /// Panics in any rank propagate; a blocked `recv` converts into a
+    /// diagnostic panic after [`WallOpts::recv_deadline`].
+    pub fn run_wall<T, F>(np: usize, opts: WallOpts, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Send + Sync,
+    {
+        let epoch = Instant::now();
+        World::run_inner(np, |_| Timing::Wall { start: epoch }, opts.recv_deadline, f)
+    }
+
+    fn run_inner<T, F>(
+        np: usize,
+        timing_for: impl Fn(usize) -> Timing,
+        recv_deadline: Option<Duration>,
+        f: F,
+    ) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut Proc) -> T + Send + Sync,
@@ -336,14 +506,16 @@ impl World {
             .map(|(rank, (s, r))| Proc {
                 rank,
                 np,
-                clock: 0.0,
+                timing: timing_for(rank),
                 bytes_sent: 0,
+                bytes_recv: 0,
+                comm_wait_ns: 0,
+                recv_deadline,
                 senders: s,
                 stash: (0..np).map(|_| VecDeque::new()).collect(),
                 inboxes: r,
                 barrier: Arc::clone(&barrier),
                 poisoned: Arc::clone(&poisoned),
-                cost: Arc::clone(&cost),
             })
             .collect();
 
@@ -570,6 +742,130 @@ mod collective_tests {
         });
         // 100 doubles at 8 kB/s = 0.1 s transfer visible at the root.
         assert!(out[0] >= 0.1 - 1e-12, "root time {}", out[0]);
+    }
+}
+
+#[cfg(test)]
+mod wall_tests {
+    use super::*;
+
+    #[test]
+    fn wall_time_is_real_and_compute_is_noop() {
+        let out = World::run_wall(2, WallOpts::default(), |p| {
+            let t0 = p.time();
+            // A virtual-model charge must NOT advance wall time.
+            p.compute(1e12, Primitive::Generic);
+            p.advance(1e6);
+            std::thread::sleep(Duration::from_millis(20));
+            p.barrier();
+            (t0, p.time())
+        });
+        for (t0, t1) in out {
+            assert!(t0 < 1.0, "epoch starts near zero, got {t0}");
+            let waited = t1 - t0;
+            assert!(
+                (0.015..10.0).contains(&waited),
+                "wall elapsed should track the real sleep, got {waited}"
+            );
+        }
+    }
+
+    #[test]
+    fn wall_send_recv_round_trip_is_bit_exact() {
+        // Exotic payloads: signed zero, subnormal, inf, and a NaN with
+        // a distinctive bit pattern must cross ranks unchanged.
+        let payload = [
+            f64::from_bits(0x8000_0000_0000_0000), // -0.0
+            f64::from_bits(0x0000_0000_0000_0001), // min subnormal
+            f64::INFINITY,
+            f64::from_bits(0x7ff8_dead_beef_cafe), // payload-carrying NaN
+            -1.5e-308,
+        ];
+        let out = World::run_wall(3, WallOpts::default(), |p| {
+            p.broadcast(1, 7, if p.rank() == 1 { &payload } else { &[] })
+        });
+        for got in out {
+            assert_eq!(got.len(), payload.len());
+            for (g, want) in got.iter().zip(payload.iter()) {
+                assert_eq!(
+                    g.to_bits(),
+                    want.to_bits(),
+                    "payload bits changed in flight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recv_accounting_tracks_bytes_and_wait() {
+        let out = World::run_wall(2, WallOpts::default(), |p| {
+            if p.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(15));
+                p.send(1, 3, &[1.0; 64]);
+                (p.bytes_sent(), p.bytes_received(), p.comm_wait_ns())
+            } else {
+                let v = p.recv(0, 3);
+                assert_eq!(v.len(), 64);
+                (p.bytes_sent(), p.bytes_received(), p.comm_wait_ns())
+            }
+        });
+        assert_eq!(out[0], (512, 0, 0));
+        let (sent, recvd, wait_ns) = out[1];
+        assert_eq!((sent, recvd), (0, 512));
+        assert!(
+            wait_ns >= 10_000_000,
+            "receiver blocked ~15ms, recorded {wait_ns}ns"
+        );
+    }
+
+    #[test]
+    fn recv_deadline_names_the_stuck_edge() {
+        let result = std::panic::catch_unwind(|| {
+            World::run_wall(
+                2,
+                WallOpts {
+                    recv_deadline: Some(Duration::from_millis(120)),
+                },
+                |p| {
+                    if p.rank() == 1 {
+                        // Rank 0 never sends tag 42; rank 1 must fail
+                        // with a diagnostic instead of hanging.
+                        p.recv(0, 42);
+                    } else {
+                        // Keep rank 0 alive (no poison) past the
+                        // deadline so the timeout itself fires.
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                },
+            )
+        });
+        let err = result.expect_err("deadline must fire");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("rank 1") && msg.contains("from rank 0") && msg.contains("tag 42"),
+            "diagnostic must name the stuck (rank, source, tag): {msg}"
+        );
+    }
+
+    #[test]
+    fn wall_runs_are_bitwise_reproducible() {
+        // Same exchange twice: the delivered data (not the timing) must
+        // be identical run to run.
+        let run = || {
+            World::run_wall(4, WallOpts::default(), |p| {
+                let mine = vec![1.0 / (p.rank() as f64 + 3.0); 8];
+                let all = p.allgather(11, &mine);
+                all.into_iter()
+                    .flatten()
+                    .map(f64::to_bits)
+                    .collect::<Vec<u64>>()
+            })
+        };
+        assert_eq!(run(), run());
     }
 }
 

@@ -3,15 +3,19 @@
 // clearer with explicit indices when several parallel arrays are walked
 // together; iterator-zip rewrites were measured to obscure, not improve.
 
-//! Message-passing substrate with per-rank *virtual clocks*.
+//! Message-passing substrate with two transports: per-rank *virtual
+//! clocks* for simulation and *wall-clock* timing for measured runs.
 //!
 //! The paper's distributed experiments ran on a Cray T3D with the shmem
 //! library (§7.1.4). This crate is the stand-in: ranks are OS threads
 //! connected by crossbeam channels, exposing the primitives the
 //! distributed Schur algorithm needs — `send`/`recv`, `broadcast`,
 //! `barrier` — with the *data movement executed for real* (results are
-//! bit-checked against sequential runs) while *time* is tracked by a
-//! per-rank virtual clock advanced through a pluggable [`CostModel`].
+//! bit-checked against sequential runs) while *time* is tracked either
+//! by a per-rank virtual clock advanced through a pluggable
+//! [`CostModel`] ([`World::run`]) or by the machine's real clock
+//! ([`World::run_wall`], used by the measured sharded executor in
+//! `bs-simulator`).
 //!
 //! The timing rules are the classical LogP-flavoured ones:
 //!
@@ -30,5 +34,5 @@
 pub mod comm;
 pub mod cost;
 
-pub use comm::{Proc, World};
+pub use comm::{Proc, WallOpts, World};
 pub use cost::{CostModel, Primitive, UniformCost, ZeroCost};

@@ -1,0 +1,88 @@
+//! Measured communication parameters for the sharded executor.
+//!
+//! The analytic simulator (Figures 6–9) prices messages through a
+//! `CostModel`-shaped interface; the historical implementation was
+//! the Cray T3D's published numbers. To compare those predictions with
+//! *measured* multi-shard runs in the same units, the machine actually
+//! running the shards must be characterized the same way the compute
+//! side already is (the kernel calibration's `RateTable`): a handful
+//! of measured parameters, turned into per-primitive time formulas.
+//!
+//! This module holds the pure data + formula side so `bs-perfmodel`
+//! stays dependency-free; the micro-benchmarks that *fill in* the
+//! numbers live in `bs-simulator::calibrated` (they need the wall
+//! transport).
+//!
+//! The formulas deliberately mirror the wall transport's mechanics,
+//! not an idealized network: a broadcast there is `np − 1` sequential
+//! channel sends from the root, and the barrier is one mutex/condvar
+//! rendezvous every rank passes through — so broadcast scales linearly
+//! in `np` and the barrier linearly in participants.
+
+/// Measured point-to-point and synchronization parameters of the
+/// machine hosting the rank threads.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredComm {
+    /// One-way small-message latency (seconds).
+    pub p2p_latency_s: f64,
+    /// Sustained point-to-point payload bandwidth (bytes/second).
+    pub p2p_bytes_per_s: f64,
+    /// Per-participant barrier cost (seconds): one rendezvous costs
+    /// `barrier_per_rank_s · np`.
+    pub barrier_per_rank_s: f64,
+}
+
+impl MeasuredComm {
+    /// Seconds for one point-to-point message of `bytes`.
+    pub fn p2p_time(&self, bytes: usize) -> f64 {
+        self.p2p_latency_s + bytes as f64 / self.p2p_bytes_per_s
+    }
+
+    /// Seconds for a broadcast of `bytes` to `np` ranks: the root
+    /// performs `np − 1` sequential sends (the wall transport's
+    /// fan-out; there is no tree).
+    pub fn broadcast_time(&self, bytes: usize, np: usize) -> f64 {
+        np.saturating_sub(1) as f64 * self.p2p_time(bytes)
+    }
+
+    /// Seconds for a barrier across `np` ranks.
+    pub fn barrier_time(&self, np: usize) -> f64 {
+        self.barrier_per_rank_s * np as f64
+    }
+
+    /// A conservative fallback for environments where measuring is not
+    /// possible (e.g. unit tests): microsecond-scale latency, a few
+    /// GB/s, microsecond barriers — shaped like a shared-memory host.
+    pub fn assumed() -> Self {
+        MeasuredComm {
+            p2p_latency_s: 2e-6,
+            p2p_bytes_per_s: 4e9,
+            barrier_per_rank_s: 2e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_is_linear_in_ranks() {
+        let c = MeasuredComm::assumed();
+        let b1 = c.broadcast_time(8192, 2);
+        let b3 = c.broadcast_time(8192, 4);
+        assert!((b3 - 3.0 * b1).abs() < 1e-15);
+        assert_eq!(c.broadcast_time(8192, 1), 0.0);
+    }
+
+    #[test]
+    fn p2p_has_latency_floor_and_bandwidth_slope() {
+        let c = MeasuredComm {
+            p2p_latency_s: 1e-6,
+            p2p_bytes_per_s: 1e9,
+            barrier_per_rank_s: 0.0,
+        };
+        assert!((c.p2p_time(0) - 1e-6).abs() < 1e-18);
+        assert!((c.p2p_time(1_000_000) - (1e-6 + 1e-3)).abs() < 1e-12);
+    }
+}

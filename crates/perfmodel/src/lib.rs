@@ -11,9 +11,11 @@
 //! - validated against the instrumented counters of `bs-core`, and
 //! - used by the T3D simulator to charge per-step compute time.
 
+pub mod comm;
 pub mod model;
 pub mod tradeoff;
 
+pub use comm::MeasuredComm;
 pub use model::{apply_flops, blocking_flops, comm_words, step_flops, total_factor_flops, Rep};
 pub use tradeoff::{
     auto_block_size_with_rate, auto_threads_with_rate, best_rep_for_apply, best_rep_for_blocking,

@@ -50,10 +50,13 @@ pub enum Hist {
     KernelCallNs,
     /// One bs-serve request, decode through response write (ns).
     ServeRequestNs,
+    /// Time a rank spent blocked waiting for a message or barrier in
+    /// the distributed transport (ns per wait).
+    CommWaitNs,
 }
 
 /// Number of histogram categories.
-pub const N_HISTS: usize = 5;
+pub const N_HISTS: usize = 6;
 
 impl Hist {
     /// Every histogram, in declaration order.
@@ -63,6 +66,7 @@ impl Hist {
         Hist::PoolDispatchNs,
         Hist::KernelCallNs,
         Hist::ServeRequestNs,
+        Hist::CommWaitNs,
     ];
 
     /// Stable snake_case name used in the JSON export.
@@ -73,6 +77,7 @@ impl Hist {
             Hist::PoolDispatchNs => "pool_dispatch_ns",
             Hist::KernelCallNs => "kernel_call_ns",
             Hist::ServeRequestNs => "serve_request_ns",
+            Hist::CommWaitNs => "comm_wait_ns",
         }
     }
 
@@ -84,6 +89,7 @@ impl Hist {
             Hist::PoolDispatchNs => "pool dispatch latency",
             Hist::KernelCallNs => "kernel call latency",
             Hist::ServeRequestNs => "serve request latency",
+            Hist::CommWaitNs => "comm wait latency",
         }
     }
 }

@@ -37,6 +37,12 @@ pub enum Counter {
     CommBytes,
     /// Messages crossing simulated process boundaries.
     CommMessages,
+    /// Bytes received from a peer rank (the receive-side mirror of
+    /// `CommBytes`; per-rank sends and receives need not balance under
+    /// broadcast).
+    CommRecvBytes,
+    /// Messages received from a peer rank.
+    CommRecvMessages,
     /// Words of generator data exchanged per the paper's comm model.
     CommWords,
     /// Block Schur steps completed.
@@ -96,7 +102,7 @@ pub enum Counter {
 }
 
 /// Number of counter categories.
-pub const N_COUNTERS: usize = 35;
+pub const N_COUNTERS: usize = 37;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -111,6 +117,8 @@ impl Counter {
         Counter::BytesMoved,
         Counter::CommBytes,
         Counter::CommMessages,
+        Counter::CommRecvBytes,
+        Counter::CommRecvMessages,
         Counter::CommWords,
         Counter::SchurSteps,
         Counter::Reflectors,
@@ -151,6 +159,8 @@ impl Counter {
             Counter::BytesMoved => "bytes_moved",
             Counter::CommBytes => "comm_bytes",
             Counter::CommMessages => "comm_messages",
+            Counter::CommRecvBytes => "comm_recv_bytes",
+            Counter::CommRecvMessages => "comm_recv_messages",
             Counter::CommWords => "comm_words",
             Counter::SchurSteps => "schur_steps",
             Counter::Reflectors => "reflectors",

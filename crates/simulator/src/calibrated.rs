@@ -1,0 +1,290 @@
+//! Host-calibrated cost model: analytic predictions in the same units
+//! as measured sharded runs.
+//!
+//! The historical units mismatch: [`crate::analytic::simulate`] priced
+//! compute with the Cray T3D's flop rates while `dist_sweep` measures
+//! wall seconds on *this* machine — the two could only ever be
+//! compared in shape, not in value. [`CalibratedCost`] closes the gap
+//! by seeding the model's compute rates from the kernel engine's
+//! measured [`RateTable`] (the same one-shot calibration the planner
+//! uses) and its message costs from ping-pong/barrier micro-benchmarks
+//! on the wall transport ([`measure_comm`]). An analytic sweep under
+//! this model predicts seconds on the host running the shards, so one
+//! plot can carry both curves.
+//!
+//! [`choose_distribution`] is the paper's crossover machinery made
+//! operational: sweep the candidate (scheme, NP) grid through the
+//! analytic engine under the calibrated model and pick the minimum —
+//! the distribution the crossover plots of Figs. 6–9 say to run.
+
+use crate::analytic::{simulate, SimConfig};
+use crate::scheme::Scheme;
+use bs_distmem::{CostModel, Primitive, WallOpts, World};
+use bs_perfmodel::{MeasuredComm, RateTable, Rep};
+use std::time::Instant;
+
+/// A [`CostModel`] whose compute side comes from the measured kernel
+/// [`RateTable`] and whose communication side comes from measured
+/// transport parameters.
+#[derive(Clone, Debug)]
+pub struct CalibratedCost {
+    rates: RateTable,
+    comm: MeasuredComm,
+}
+
+impl CalibratedCost {
+    /// Build from explicit parts (tests, replaying saved numbers).
+    pub fn new(rates: RateTable, comm: MeasuredComm) -> Self {
+        CalibratedCost { rates, comm }
+    }
+
+    /// Calibrate against this host: kernel rates from the engine's
+    /// one-shot GEMM calibration, transport parameters measured on the
+    /// wall transport. The kernel calibration is cached process-wide;
+    /// the comm micro-benchmark reruns per call (~a few ms).
+    pub fn for_host() -> Self {
+        CalibratedCost {
+            rates: RateTable::new(&bs_matrix::kernel::calibrate::calibration().points),
+            comm: measure_comm(),
+        }
+    }
+
+    /// The measured communication parameters.
+    pub fn comm(&self) -> &MeasuredComm {
+        &self.comm
+    }
+}
+
+impl CostModel for CalibratedCost {
+    fn compute_time(&self, flops: f64, prim: Primitive) -> f64 {
+        // The RateTable measures blocked level-3 throughput at operand
+        // size m_s. Level-3 work interpolates it directly; level-1/2
+        // and generic work run at the table's smallest-operand rate —
+        // the regime where blocking cannot help (§6's motivation for
+        // the blocked representations in the first place).
+        let rate = match prim {
+            Primitive::Blas3 { dim } => self.rates.rate(dim),
+            Primitive::Blas2 { .. } | Primitive::Blas1 { .. } | Primitive::Generic => {
+                self.rates.rate(1)
+            }
+        };
+        flops / rate
+    }
+
+    fn p2p_time(&self, bytes: usize) -> f64 {
+        self.comm.p2p_time(bytes)
+    }
+
+    fn broadcast_time(&self, bytes: usize, np: usize) -> f64 {
+        self.comm.broadcast_time(bytes, np)
+    }
+
+    fn barrier_time(&self, np: usize) -> f64 {
+        self.comm.barrier_time(np)
+    }
+}
+
+/// Measure the wall transport's point-to-point latency/bandwidth and
+/// barrier cost on this host.
+///
+/// Ping-pong between two rank threads: minimum round-trip over the
+/// repetitions (the standard latency estimator — larger samples only
+/// add scheduler noise) at one word gives the latency; at 64 KiB it
+/// gives the bandwidth once the latency is subtracted. The barrier
+/// cost is a tight rendezvous loop. All parameters are clamped to
+/// sane positive floors so a noisy host cannot produce a degenerate
+/// model.
+pub fn measure_comm() -> MeasuredComm {
+    const REPS: usize = 32;
+    const BIG: usize = 8192; // doubles = 64 KiB
+    let results = World::run_wall(2, WallOpts::default(), |p| {
+        let small = [1.0f64];
+        let big = vec![1.0f64; BIG];
+        let mut min_small = f64::INFINITY;
+        let mut min_big = f64::INFINITY;
+        for r in 0..REPS {
+            p.barrier();
+            if p.rank() == 0 {
+                let t0 = Instant::now();
+                p.send(1, (2 * r) as u64, &small);
+                let _ = p.recv(1, (2 * r + 1) as u64);
+                min_small = min_small.min(t0.elapsed().as_secs_f64());
+            } else {
+                let v = p.recv(0, (2 * r) as u64);
+                p.send(0, (2 * r + 1) as u64, &v);
+            }
+        }
+        for r in 0..REPS {
+            p.barrier();
+            if p.rank() == 0 {
+                let t0 = Instant::now();
+                p.send(1, (1000 + 2 * r) as u64, &big);
+                let _ = p.recv(1, (1000 + 2 * r + 1) as u64);
+                min_big = min_big.min(t0.elapsed().as_secs_f64());
+            } else {
+                let v = p.recv(0, (1000 + 2 * r) as u64);
+                p.send(0, (1000 + 2 * r + 1) as u64, &v);
+            }
+        }
+        let t0 = Instant::now();
+        const BARRIERS: usize = 64;
+        for _ in 0..BARRIERS {
+            p.barrier();
+        }
+        let barrier_each = t0.elapsed().as_secs_f64() / BARRIERS as f64;
+        (min_small, min_big, barrier_each)
+    });
+    let (min_small, min_big, barrier_each) = results[0];
+    let latency = (min_small / 2.0).max(1e-8);
+    let big_one_way = (min_big / 2.0 - latency).max(1e-9);
+    let bandwidth = ((BIG * 8) as f64 / big_one_way).max(1e6);
+    // One rendezvous involves both ranks; normalize per participant.
+    let per_rank = (barrier_each / 2.0).max(1e-9);
+    MeasuredComm {
+        p2p_latency_s: latency,
+        p2p_bytes_per_s: bandwidth,
+        barrier_per_rank_s: per_rank,
+    }
+}
+
+/// One entry of the prediction table behind a distribution choice.
+#[derive(Clone, Debug)]
+pub struct DistPrediction {
+    pub scheme: Scheme,
+    pub np: usize,
+    /// Predicted factor time (seconds) under the calibrated model.
+    pub predicted_s: f64,
+}
+
+/// The model's pick for one problem shape.
+#[derive(Clone, Debug)]
+pub struct DistChoice {
+    pub scheme: Scheme,
+    pub np: usize,
+    pub predicted_s: f64,
+    /// Every candidate evaluated, sorted fastest-first (the crossover
+    /// table a Fig. 6–9 plot is drawn from).
+    pub table: Vec<DistPrediction>,
+}
+
+/// Candidate schemes valid for `(m, np)`: V1, block-cyclic V2 with
+/// small groups, and split V3 where `spread` divides both `np` and the
+/// block size.
+pub fn candidate_schemes(m: usize, np: usize) -> Vec<Scheme> {
+    let mut out = vec![Scheme::V1, Scheme::V2 { b: 2 }, Scheme::V2 { b: 4 }];
+    for spread in [2usize, 4] {
+        if spread > 1
+            && np.is_multiple_of(spread)
+            && np >= spread
+            && m.is_multiple_of(spread)
+            && m >= spread
+        {
+            out.push(Scheme::V3 { spread });
+        }
+    }
+    out
+}
+
+/// Sweep the candidate (scheme, NP) grid through the analytic engine
+/// under `model` and pick the fastest — how the paper's crossover
+/// plots (Figs. 6–9) choose a distribution for a given (m, p, n).
+///
+/// Panics if no candidate is valid (empty `np_candidates`).
+pub fn choose_distribution(
+    n: usize,
+    m: usize,
+    np_candidates: &[usize],
+    rep: Rep,
+    model: &dyn CostModel,
+) -> DistChoice {
+    let mut table: Vec<DistPrediction> = Vec::new();
+    for &np in np_candidates {
+        for scheme in candidate_schemes(m, np) {
+            if scheme.validate(np).is_err() {
+                continue;
+            }
+            let sim = simulate(
+                &SimConfig {
+                    n,
+                    m,
+                    np,
+                    scheme,
+                    rep,
+                },
+                model,
+            );
+            table.push(DistPrediction {
+                scheme,
+                np,
+                predicted_s: sim.total,
+            });
+        }
+    }
+    assert!(!table.is_empty(), "no valid (scheme, np) candidate");
+    table.sort_by(|a, b| a.predicted_s.total_cmp(&b.predicted_s));
+    let best = table[0].clone();
+    DistChoice {
+        scheme: best.scheme,
+        np: best.np,
+        predicted_s: best.predicted_s,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_model() -> CalibratedCost {
+        CalibratedCost::new(
+            RateTable::new(&[(1, 2e8), (8, 1e9), (32, 4e9)]),
+            MeasuredComm::assumed(),
+        )
+    }
+
+    #[test]
+    fn compute_time_uses_blas3_interpolation_and_small_rate_floor() {
+        let c = fixed_model();
+        let t3 = c.compute_time(1e9, Primitive::Blas3 { dim: 32 });
+        let t2 = c.compute_time(1e9, Primitive::Blas2 { dim: 32 });
+        assert!((t3 - 0.25).abs() < 1e-12, "blas3 at table rate: {t3}");
+        assert!((t2 - 5.0).abs() < 1e-9, "blas2 at the m_s=1 rate: {t2}");
+        assert!(t2 > t3, "level-2 work must be priced slower per flop");
+    }
+
+    #[test]
+    fn measured_comm_is_sane() {
+        let c = measure_comm();
+        assert!(c.p2p_latency_s > 0.0 && c.p2p_latency_s < 0.1);
+        assert!(c.p2p_bytes_per_s >= 1e6);
+        assert!(c.barrier_per_rank_s > 0.0 && c.barrier_per_rank_s < 0.1);
+    }
+
+    #[test]
+    fn choose_distribution_returns_sorted_table() {
+        let c = fixed_model();
+        let choice = choose_distribution(512, 8, &[1, 2, 4], Rep::VY2, &c);
+        assert!(!choice.table.is_empty());
+        for w in choice.table.windows(2) {
+            assert!(w[0].predicted_s <= w[1].predicted_s, "table must be sorted");
+        }
+        assert!((choice.predicted_s - choice.table[0].predicted_s).abs() == 0.0);
+        // V3 spread 2 and 4 must appear for np=4, m=8.
+        assert!(choice
+            .table
+            .iter()
+            .any(|e| matches!(e.scheme, Scheme::V3 { spread: 2 }) && e.np == 4));
+    }
+
+    #[test]
+    fn single_rank_prediction_has_no_comm_advantage() {
+        // At np=1 every scheme degenerates to sequential: predictions
+        // must agree across schemes to within the barrier-only slack.
+        let c = fixed_model();
+        let choice = choose_distribution(256, 8, &[1], Rep::VY2, &c);
+        let times: Vec<f64> = choice.table.iter().map(|e| e.predicted_s).collect();
+        let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+            - times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1e-3, "np=1 schemes should converge: {times:?}");
+    }
+}

@@ -6,7 +6,7 @@
 //! Cray T3D machine model and the distributed block Schur algorithm
 //! under the paper's three data-distribution schemes (§7).
 //!
-//! Two complementary engines:
+//! Three complementary engines:
 //!
 //! - [`analytic`] — a fast closed-loop simulation that walks the Schur
 //!   steps charging the paper's per-phase costs (shift messages, panel
@@ -19,16 +19,28 @@
 //!   the resulting factor is bit-compared against the sequential
 //!   `bs-core` factorization and the virtual clocks are charged with
 //!   the same model, validating the analytic engine.
+//! - [`shard`] — the *measured* backend: the same three distributions
+//!   on the `bs-distmem` wall-clock transport, each rank a dedicated
+//!   OS thread owning a packed generator shard, trailing updates
+//!   through the SIMD kernel engine, `wall_s` in real seconds. This is
+//!   what turns the Fig. 6–9 reproduction from simulated into
+//!   measured (see `dist_sweep` in bs-bench).
 //!
 //! What the paper ran on hardware we run on a model; the *algorithmic*
 //! quantities (who sends how many bytes to whom at which step, who
 //! computes how many flops) are exact, not modeled.
 
 pub mod analytic;
+pub mod calibrated;
 pub mod dist_exec;
 pub mod scheme;
+pub mod shard;
 pub mod t3d;
 
 pub use analytic::{simulate, SimResult};
+pub use calibrated::{
+    choose_distribution, measure_comm, CalibratedCost, DistChoice, DistPrediction,
+};
 pub use scheme::Scheme;
+pub use shard::{factor_sharded, ShardOptions, ShardRun};
 pub use t3d::T3DModel;

@@ -1,0 +1,590 @@
+//! Measured sharded execution of the block Schur algorithm: the
+//! paper's three T3D distributions (§7.1) promoted from virtual clocks
+//! to real multi-shard runs on the `bs-distmem` wall transport.
+//!
+//! Where [`crate::dist_exec`] charges a [`bs_distmem::CostModel`] and
+//! reports what a modeled machine *would* have measured, this module
+//! reports what this machine *did* measure: every rank is a dedicated
+//! OS thread owning a packed shard of the generator, blocks crossing
+//! ownership boundaries travel through real channels, the trailing
+//! update runs through the PR 5 SIMD kernel engine (one
+//! [`BlockReflector::apply_ws`] over the rank's packed trailing
+//! suffix), and `wall_s` is elapsed wall-clock seconds.
+//!
+//! ## Ownership map and packing
+//!
+//! A rank stores its owned block columns **packed, sorted ascending by
+//! block index**, stacked upper-over-lower (`2m × owned·m` for V1/V2;
+//! `2m × owned·mc` column slices for V3). Ascending order makes the
+//! active trailing set `{j ≥ s+1}` a *contiguous column suffix* of the
+//! local shard at every step `s`, so the whole trailing update is one
+//! level-3 reflector application per rank — the shared-memory strip
+//! dispatch of §6 reproduced across address-space shards.
+//!
+//! ## Determinism contract
+//!
+//! Every per-step message has a deterministic (source, tag, layout):
+//! shifts batch ascending-`j` blocks into one message per destination
+//! and unpack by the same enumeration; the pivot panel is broadcast
+//! raw and refactored identically on every rank; receives are
+//! selective by `(source, tag)`. Thread scheduling can reorder
+//! *arrivals*, never *contents*, so a run's factor is a pure function
+//! of `(matrix, scheme, np, rep, kernel)` — byte-for-byte reproducible
+//! across runs, which the integration suite asserts.
+
+use crate::scheme::Scheme;
+use bs_core::panel::factor_panel;
+use bs_core::rep::{BlockReflector, RepKind};
+use bs_distmem::{Proc, WallOpts, World};
+use bs_matrix::ldlt::Signature;
+use bs_matrix::{ExecPolicy, Matrix, Workspace};
+use bs_toeplitz::{build_generator, SymBlockToeplitz};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for one measured sharded factorization.
+#[derive(Clone, Debug)]
+pub struct ShardOptions {
+    /// Data distribution (V1 cyclic, V2 block-cyclic, V3 split).
+    pub scheme: Scheme,
+    /// Number of ranks (dedicated OS threads).
+    pub np: usize,
+    /// Block-reflector representation for panels and updates.
+    pub rep: RepKind,
+    /// Receive deadline forwarded to [`WallOpts`]; `None` waits
+    /// forever (peer-panic poison still unblocks).
+    pub recv_deadline: Option<Duration>,
+}
+
+impl ShardOptions {
+    /// Defaults for `scheme` at `np`: VY2 representation, 60 s receive
+    /// deadline.
+    pub fn new(scheme: Scheme, np: usize) -> Self {
+        ShardOptions {
+            scheme,
+            np,
+            rep: RepKind::VY2,
+            recv_deadline: WallOpts::default().recv_deadline,
+        }
+    }
+}
+
+/// Result of a measured sharded factorization.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The assembled upper factor (gathered after timing stopped),
+    /// normalized to the sequential driver's sign convention.
+    pub r: Matrix,
+    /// Elapsed wall seconds, max across ranks at the final reduce —
+    /// "the" measured factor time.
+    pub wall_s: f64,
+    /// Per-rank elapsed wall seconds at that rank's last step.
+    pub rank_wall_s: Vec<f64>,
+    /// Bytes each rank pushed into the network.
+    pub bytes_sent: Vec<usize>,
+    /// Bytes each rank consumed from the network.
+    pub bytes_received: Vec<usize>,
+    /// Seconds each rank spent blocked in receives and barriers.
+    pub comm_wait_s: Vec<f64>,
+}
+
+impl ShardRun {
+    /// Total bytes crossing rank boundaries (sum over ranks).
+    pub fn comm_volume(&self) -> usize {
+        self.bytes_sent.iter().sum()
+    }
+}
+
+/// Per-rank output collected by both scheme executors:
+/// `(step, block col, col offset, width, m×width upper data)` tiles
+/// plus the timing/traffic footers.
+struct RankOut {
+    r_tiles: Vec<(usize, usize, usize, usize, Vec<f64>)>,
+    wall: f64,
+    max_wall: f64,
+    bytes_sent: usize,
+    bytes_recv: usize,
+    wait_ns: u64,
+}
+
+/// Factor an SPD block Toeplitz matrix on `np` real rank threads under
+/// `opts.scheme`, measuring wall-clock time.
+///
+/// Panics on invalid configurations; numerical failures propagate as
+/// panics inside ranks (the sweep exercises valid SPD inputs).
+pub fn factor_sharded(t: &SymBlockToeplitz, opts: &ShardOptions) -> ShardRun {
+    opts.scheme.validate(opts.np).expect("invalid scheme");
+    let m = t.block_size();
+    let p = t.num_blocks();
+    let _span = bs_probe::span!("factor_sharded", n = m * p, m = m, p = p, np = opts.np);
+    let gen = build_generator(t).expect("SPD generator");
+    assert!(gen.is_spd_signature(), "factor_sharded requires SPD input");
+    let gen = Arc::new(gen.data);
+    let scale = t.norm_inf().max(1.0);
+    let wall = WallOpts {
+        recv_deadline: opts.recv_deadline,
+    };
+    let outs = match opts.scheme {
+        Scheme::V3 { spread } => run_v3(&gen, m, p, spread, opts, scale, wall),
+        _ => run_v12(&gen, m, p, opts, scale, wall),
+    };
+    assemble(outs, m, p)
+}
+
+/// Gather the per-rank tiles into the full factor and normalize signs,
+/// matching the sequential driver's convention (positive diagonal,
+/// explicit zero sub-diagonal).
+fn assemble(outs: Vec<RankOut>, m: usize, p: usize) -> ShardRun {
+    let n = m * p;
+    let mut r = Matrix::zeros(n, n);
+    for out in &outs {
+        for (s, j, coff, width, data) in &out.r_tiles {
+            let tile = Matrix::from_col_major(m, *width, data.clone());
+            r.sub_mut(s * m, j * m + coff, m, *width)
+                .copy_from(tile.rf());
+        }
+    }
+    for i in 0..n {
+        if r[(i, i)] < 0.0 {
+            for j in i..n {
+                r[(i, j)] = -r[(i, j)];
+            }
+        }
+    }
+    for j in 0..n {
+        for i in j + 1..n {
+            r[(i, j)] = 0.0;
+        }
+    }
+    ShardRun {
+        r,
+        wall_s: outs.first().map(|o| o.max_wall).unwrap_or(0.0),
+        rank_wall_s: outs.iter().map(|o| o.wall).collect(),
+        bytes_sent: outs.iter().map(|o| o.bytes_sent).collect(),
+        bytes_received: outs.iter().map(|o| o.bytes_recv).collect(),
+        comm_wait_s: outs.iter().map(|o| o.wait_ns as f64 * 1e-9).collect(),
+    }
+}
+
+/// V1/V2 executor: whole block columns per rank, packed ascending.
+fn run_v12(
+    gen: &Arc<Matrix>,
+    m: usize,
+    p: usize,
+    opts: &ShardOptions,
+    scale: f64,
+    wall: WallOpts,
+) -> Vec<RankOut> {
+    let scheme = opts.scheme;
+    let np = opts.np;
+    let rep = opts.rep;
+    let w = Signature::hyperbolic(m);
+    World::run_wall(np, wall, |px: &mut Proc| {
+        let rank = px.rank();
+        // Owned block columns, ascending: slot i holds block owned[i]
+        // at local columns i·m..(i+1)·m, upper half stacked on lower.
+        let owned: Vec<usize> = (0..p).filter(|&j| scheme.owner(j, np) == rank).collect();
+        let slot_of = |j: usize| owned.binary_search(&j).expect("owned block");
+        let mut local = Matrix::zeros(2 * m, owned.len() * m);
+        for (i, &j) in owned.iter().enumerate() {
+            local
+                .sub_mut(0, i * m, 2 * m, m)
+                .copy_from(gen.sub(0, j * m, 2 * m, m));
+        }
+        let mut ws = Workspace::new();
+        let exec = ExecPolicy::sequential();
+        let mut r_tiles: Vec<(usize, usize, usize, usize, Vec<f64>)> = Vec::new();
+        // Emit block row 0 (the generator's upper row).
+        for (i, &j) in owned.iter().enumerate() {
+            let tile = local.sub(0, i * m, m, m).to_matrix();
+            r_tiles.push((0, j, 0, m, tile.as_slice().to_vec()));
+        }
+
+        for s in 1..p {
+            // ---- Shift: upper block j -> column j+1. Capture every
+            // outgoing payload first (reads of pre-shift state), then
+            // move local blocks descending j (each destination's old
+            // value is already consumed), then exchange. ----
+            let mut outgoing: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+            for j in (s - 1)..(p - 1) {
+                if scheme.owner(j, np) == rank {
+                    let dst = scheme.owner(j + 1, np);
+                    if dst != rank {
+                        let up = local.sub(0, slot_of(j) * m, m, m).to_matrix();
+                        outgoing.entry(dst).or_default().extend(up.as_slice());
+                    }
+                }
+            }
+            for j in ((s - 1)..(p - 1)).rev() {
+                if scheme.owner(j, np) == rank && scheme.owner(j + 1, np) == rank {
+                    let up = local.sub(0, slot_of(j) * m, m, m).to_matrix();
+                    local
+                        .sub_mut(0, slot_of(j + 1) * m, m, m)
+                        .copy_from(up.rf());
+                }
+            }
+            for (dst, data) in &outgoing {
+                px.send(*dst, s as u64, data);
+            }
+            let mut incoming: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for j in s..p {
+                if scheme.owner(j, np) == rank {
+                    let src = scheme.owner(j - 1, np);
+                    if src != rank {
+                        incoming.entry(src).or_default().push(j);
+                    }
+                }
+            }
+            for (src, js) in &incoming {
+                let data = px.recv(*src, s as u64);
+                assert_eq!(data.len(), js.len() * m * m, "shift framing");
+                for (idx, &j) in js.iter().enumerate() {
+                    let up =
+                        Matrix::from_col_major(m, m, data[idx * m * m..(idx + 1) * m * m].to_vec());
+                    local.sub_mut(0, slot_of(j) * m, m, m).copy_from(up.rf());
+                }
+            }
+            px.barrier();
+
+            // ---- Panel: the owner ships its raw 2m×m pivot panel;
+            // every rank refactors it (identical arithmetic, so the
+            // group agrees on the reflector bit-for-bit without a
+            // representation codec on the wire). ----
+            let piv_owner = scheme.owner(s, np);
+            let tag = (p * p + s) as u64;
+            let panel_data: Vec<f64> = if rank == piv_owner {
+                let i = slot_of(s);
+                let data = local
+                    .sub(0, i * m, 2 * m, m)
+                    .to_matrix()
+                    .as_slice()
+                    .to_vec();
+                if np > 1 {
+                    px.broadcast(piv_owner, tag, &data)
+                } else {
+                    data
+                }
+            } else {
+                px.broadcast(piv_owner, tag, &[])
+            };
+            let mut panel = Matrix::from_col_major(2 * m, m, panel_data);
+            let block_refl = factor_panel(panel.mt(), &w, rep, s, 1e-13, scale).expect("SPD panel");
+            if rank == piv_owner {
+                let i = slot_of(s);
+                local
+                    .sub_mut(0, i * m, m, m)
+                    .copy_from(panel.sub(0, 0, m, m));
+                local.sub_mut(m, i * m, m, m).fill(0.0);
+            }
+
+            // ---- Trailing update: one SIMD level-3 application over
+            // the packed suffix of owned blocks j >= s+1. ----
+            apply_trailing(&block_refl, &mut local, &owned, s, m, &exec, &mut ws);
+            px.barrier();
+
+            // ---- Emit block row s. ----
+            for (i, &j) in owned.iter().enumerate() {
+                if j >= s {
+                    let tile = local.sub(0, i * m, m, m).to_matrix();
+                    r_tiles.push((s, j, 0, m, tile.as_slice().to_vec()));
+                }
+            }
+        }
+
+        let wall = px.time();
+        let max_wall = px.allreduce_max(wall);
+        RankOut {
+            r_tiles,
+            wall,
+            max_wall,
+            bytes_sent: px.bytes_sent(),
+            bytes_recv: px.bytes_received(),
+            wait_ns: px.comm_wait_ns(),
+        }
+    })
+}
+
+/// The per-step trailing update on one rank's packed shard: blocks
+/// `j ≥ s+1` are a contiguous column suffix (ascending packing), so
+/// the whole distributed update is a single blocked reflector
+/// application drawing scratch from the rank's workspace.
+fn apply_trailing(
+    refl: &BlockReflector,
+    local: &mut Matrix,
+    owned: &[usize],
+    s: usize,
+    width: usize,
+    exec: &ExecPolicy,
+    ws: &mut Workspace,
+) {
+    let start = owned.partition_point(|&j| j <= s);
+    if start < owned.len() {
+        let rows = local.rows();
+        let ncols = (owned.len() - start) * width;
+        refl.apply_ws(local.sub_mut(0, start * width, rows, ncols), exec, ws);
+    }
+}
+
+/// V3 executor: rank `g·spread + c` of group `g` owns the `mc = m/spread`
+/// column slice `c·mc..(c+1)·mc` of every block column `j` with
+/// `j mod groups == g`, packed ascending; the pivot panel is factored
+/// in `spread` pipelined chunks with one partial-reflector broadcast
+/// per chunk (§7.1.3).
+fn run_v3(
+    gen: &Arc<Matrix>,
+    m: usize,
+    p: usize,
+    spread: usize,
+    opts: &ShardOptions,
+    scale: f64,
+    wall: WallOpts,
+) -> Vec<RankOut> {
+    let np = opts.np;
+    let rep = opts.rep;
+    assert!(
+        m.is_multiple_of(spread),
+        "V3 requires spread ({spread}) to divide the block size ({m})"
+    );
+    let groups = np / spread;
+    let mc = m / spread;
+    let w = Signature::hyperbolic(m);
+    World::run_wall(np, wall, |px: &mut Proc| {
+        let rank = px.rank();
+        let group = rank / spread;
+        let intra = rank % spread;
+        let cstart = intra * mc;
+        let owned: Vec<usize> = (0..p).filter(|&j| j % groups == group).collect();
+        let slot_of = |j: usize| owned.binary_search(&j).expect("owned block");
+        // Packed 2m × owned·mc: slot i holds block owned[i]'s column
+        // slice cstart..cstart+mc, upper stacked on lower.
+        let mut local = Matrix::zeros(2 * m, owned.len() * mc);
+        for (i, &j) in owned.iter().enumerate() {
+            local
+                .sub_mut(0, i * mc, 2 * m, mc)
+                .copy_from(gen.sub(0, j * m + cstart, 2 * m, mc));
+        }
+        let mut ws = Workspace::new();
+        let exec = ExecPolicy::sequential();
+        let mut r_tiles: Vec<(usize, usize, usize, usize, Vec<f64>)> = Vec::new();
+        for (i, &j) in owned.iter().enumerate() {
+            let tile = local.sub(0, i * mc, m, mc).to_matrix();
+            r_tiles.push((0, j, cstart, mc, tile.as_slice().to_vec()));
+        }
+
+        for s in 1..p {
+            // ---- Shift: upper slices move to the next group, same
+            // intra-group index, one batched message (ascending j). ----
+            if groups == 1 {
+                for j in ((s - 1)..(p - 1)).rev() {
+                    let up = local.sub(0, slot_of(j) * mc, m, mc).to_matrix();
+                    local
+                        .sub_mut(0, slot_of(j + 1) * mc, m, mc)
+                        .copy_from(up.rf());
+                }
+            } else {
+                let dst_rank = (((group + 1) % groups) * spread) + intra;
+                let src_rank = (((group + groups - 1) % groups) * spread) + intra;
+                let mut outgoing: Vec<f64> = Vec::new();
+                for j in (s - 1)..(p - 1) {
+                    if j % groups == group {
+                        let up = local.sub(0, slot_of(j) * mc, m, mc).to_matrix();
+                        outgoing.extend(up.as_slice());
+                    }
+                }
+                if !outgoing.is_empty() {
+                    px.send(dst_rank, s as u64, &outgoing);
+                }
+                let expect: Vec<usize> = (s..p).filter(|&j| j % groups == group).collect();
+                if !expect.is_empty() {
+                    let data = px.recv(src_rank, s as u64);
+                    assert_eq!(data.len(), expect.len() * m * mc, "v3 shift framing");
+                    for (idx, &j) in expect.iter().enumerate() {
+                        let up = Matrix::from_col_major(
+                            m,
+                            mc,
+                            data[idx * m * mc..(idx + 1) * m * mc].to_vec(),
+                        );
+                        local.sub_mut(0, slot_of(j) * mc, m, mc).copy_from(up.rf());
+                    }
+                }
+            }
+            px.barrier();
+
+            // ---- Panel: `spread` pipelined chunks over the pivot
+            // block column s (owned by group gs). Each chunk owner
+            // factors its mc columns reflector-by-reflector and
+            // broadcasts the elementary reflectors in a fixed wire
+            // format (beta, sigma, pivot, x[2m]); everyone rebuilds
+            // the chunk's block representation. ----
+            let gs = s % groups;
+            let mut chunk_reps: Vec<BlockReflector> = Vec::with_capacity(spread);
+            for c in 0..spread {
+                let owner = gs * spread + c;
+                let tag = ((p + s) * spread + c) as u64;
+                let wire_data: Vec<f64> = if rank == owner {
+                    // Earlier chunks already hit this rank's pivot
+                    // slice as their broadcasts arrived (the
+                    // `intra > c` branch below); factor my columns.
+                    let slot = slot_of(s);
+                    let mut sl = local.sub(0, slot * mc, 2 * m, mc).to_matrix();
+                    let mut wire_out = Vec::with_capacity(mc * (2 * m + 3));
+                    for local_c in 0..mc {
+                        let k = c * mc + local_c; // global pivot row
+                        let u_top = sl[(k, local_c)];
+                        let u_low: Vec<f64> = (0..m).map(|i| sl[(m + i, local_c)]).collect();
+                        let (outcome, refl) = bs_core::reflector::PivotReflector::compute(
+                            u_top, &u_low, &w, m, k, 1e-13, scale,
+                        );
+                        assert!(
+                            matches!(outcome, bs_core::reflector::PivotOutcome::Ok),
+                            "SPD pivot expected"
+                        );
+                        let refl = refl.expect("Ok outcome");
+                        sl[(k, local_c)] = -refl.sigma;
+                        for i in 0..m {
+                            sl[(m + i, local_c)] = 0.0;
+                        }
+                        for j2 in local_c + 1..mc {
+                            let col = sl.col_mut(j2);
+                            let (top, low) = col.split_at_mut(m);
+                            refl.apply_split(&w, m, &mut top[k], low);
+                        }
+                        let full = refl.to_full(m);
+                        wire_out.push(full.beta);
+                        wire_out.push(full.sigma);
+                        wire_out.push(full.pivot as f64);
+                        wire_out.extend(&full.x);
+                    }
+                    local.sub_mut(0, slot * mc, 2 * m, mc).copy_from(sl.rf());
+                    if np > 1 {
+                        px.broadcast(owner, tag, &wire_out)
+                    } else {
+                        wire_out
+                    }
+                } else {
+                    px.broadcast(owner, tag, &[])
+                };
+                let mut crep = BlockReflector::new(rep, w.clone(), mc);
+                let stride = 2 * m + 3;
+                assert_eq!(wire_data.len(), mc * stride, "v3 panel framing");
+                for lc in 0..mc {
+                    let off = lc * stride;
+                    let refl = bs_core::reflector::HypReflector {
+                        beta: wire_data[off],
+                        sigma: wire_data[off + 1],
+                        pivot: wire_data[off + 2] as usize,
+                        x: wire_data[off + 3..off + 3 + 2 * m].to_vec(),
+                    };
+                    crep.push(&refl);
+                }
+                // Later chunks of the pivot group fold the arriving
+                // chunk into their pivot slice right away (the
+                // pipeline dependency of §7.1.3).
+                if group == gs && intra > c && rank != owner {
+                    let slot = slot_of(s);
+                    crep.apply_ws(local.sub_mut(0, slot * mc, 2 * m, mc), &exec, &mut ws);
+                }
+                px.barrier();
+                chunk_reps.push(crep);
+            }
+
+            // ---- Trailing update: each chunk's reflectors over the
+            // packed suffix of owned blocks j >= s+1 (chunk order;
+            // columns are independent, so chunk-major equals
+            // block-major bit-for-bit). ----
+            for crep in &chunk_reps {
+                apply_trailing(crep, &mut local, &owned, s, mc, &exec, &mut ws);
+            }
+            px.barrier();
+
+            // ---- Emit block row s slices. ----
+            for (i, &j) in owned.iter().enumerate() {
+                if j >= s {
+                    let tile = local.sub(0, i * mc, m, mc).to_matrix();
+                    r_tiles.push((s, j, cstart, mc, tile.as_slice().to_vec()));
+                }
+            }
+        }
+
+        let wall = px.time();
+        let max_wall = px.allreduce_max(wall);
+        RankOut {
+            r_tiles,
+            wall,
+            max_wall,
+            bytes_sent: px.bytes_sent(),
+            bytes_recv: px.bytes_received(),
+            wait_ns: px.comm_wait_ns(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_toeplitz::workloads;
+
+    fn seq_r(t: &SymBlockToeplitz) -> Matrix {
+        bs_core::factor_spd(t, &bs_core::SchurOptions::default())
+            .unwrap()
+            .r
+            .clone()
+    }
+
+    #[test]
+    fn sharded_matches_sequential_v1_v2() {
+        for (m, p, np, scheme) in [
+            (2usize, 8usize, 1usize, Scheme::V1),
+            (2, 8, 3, Scheme::V1),
+            (4, 10, 4, Scheme::V2 { b: 2 }),
+            (4, 6, 2, Scheme::V2 { b: 3 }),
+        ] {
+            let t = workloads::random_spd_block(m, p, 11 + (m * p + np) as u64);
+            let seq = seq_r(&t);
+            let run = factor_sharded(&t, &ShardOptions::new(scheme, np));
+            let diff = run.r.max_abs_diff(&seq);
+            assert!(diff < 1e-9, "m={m} p={p} np={np} {scheme:?}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_v3() {
+        for (m, p, np, spread) in [(4usize, 8usize, 4usize, 2usize), (4, 8, 2, 2), (8, 6, 8, 4)] {
+            let t = workloads::random_spd_block(m, p, (m * p + np) as u64);
+            let seq = seq_r(&t);
+            let run = factor_sharded(&t, &ShardOptions::new(Scheme::V3 { spread }, np));
+            let diff = run.r.max_abs_diff(&seq);
+            assert!(diff < 1e-9, "m={m} p={p} np={np} spread={spread}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn wall_times_and_traffic_are_populated() {
+        let t = workloads::random_spd_block(4, 8, 3);
+        let run = factor_sharded(&t, &ShardOptions::new(Scheme::V1, 2));
+        assert_eq!(run.rank_wall_s.len(), 2);
+        assert!(run.wall_s > 0.0, "measured wall time must be positive");
+        assert!(
+            run.rank_wall_s.iter().all(|&t| t > 0.0 && t <= run.wall_s),
+            "per-rank walls bounded by the max: {:?}",
+            run.rank_wall_s
+        );
+        assert!(run.comm_volume() > 0, "ranks must have exchanged data");
+        assert_eq!(run.bytes_sent.len(), 2);
+        assert_eq!(run.bytes_received.len(), 2);
+    }
+
+    #[test]
+    fn reps_agree_with_sequential() {
+        let t = workloads::random_spd_block(4, 8, 77);
+        let seq = seq_r(&t);
+        for rep in [RepKind::VY1, RepKind::YTY, RepKind::Accumulated] {
+            let mut o = ShardOptions::new(Scheme::V1, 2);
+            o.rep = rep;
+            let run = factor_sharded(&t, &o);
+            let diff = run.r.max_abs_diff(&seq);
+            assert!(diff < 1e-9, "rep={rep:?}: {diff:e}");
+        }
+    }
+}

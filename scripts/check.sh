@@ -78,6 +78,17 @@ cargo test -q -p bs-serve
 cargo run -q -p bs-bench --release --bin serve_load -- --quick
 TIERS+=("serve")
 
+echo "==> dist tier: sharded executor smoke (NP=1/2/4) plus scheme cross-validation"
+# The measured sharded backend: integration suite covers shard-vs-
+# sequential residuals at NP in {1,2,4} across V1/V2/V3, bitwise
+# reproducibility, and the distmem failure paths (poisoned barriers,
+# recv-timeout diagnostics); the quick dist_sweep run then measures the
+# real multi-rank wall times and cross-checks every scheme against the
+# sequential factor (perf floors self-waive on starved hosts).
+cargo test -q --test integration_distributed
+cargo run -q -p bs-bench --release --bin dist_sweep -- --quick
+TIERS+=("dist")
+
 echo "==> kernel tier: avx512 feature build (runtime-gated microkernel)"
 cargo test -q -p bs-matrix --features avx512
 TIERS+=("avx512")

@@ -107,7 +107,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let m = args
                 .get(1)
                 .ok_or_else(|| CliError::Usage("factor needs a matrix file".into()))?;
-            cli::cmd_factor(Path::new(m), &engine(args)?, &observe(args))
+            if let Some(scheme) = flag(args, "--dist") {
+                let np = flag(args, "--np")
+                    .ok_or_else(|| CliError::Usage("factor --dist needs --np <ranks>".into()))?
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage("bad --np".into()))?;
+                cli::cmd_factor_dist(Path::new(m), &scheme, np, &observe(args))
+            } else {
+                cli::cmd_factor(Path::new(m), &engine(args)?, &observe(args))
+            }
         }
         "plan" => {
             // Shape from an explicit --n/--m pair or from a matrix file.

@@ -3,13 +3,14 @@
 //! distribution scheme, and its virtual clocks must agree with the
 //! analytic simulator.
 
-use block_schur::distmem::ZeroCost;
+use block_schur::distmem::{WallOpts, World, ZeroCost};
 use block_schur::perfmodel::Rep;
 use block_schur::prelude::*;
 use block_schur::simulator::analytic::{simulate, SimConfig};
 use block_schur::simulator::dist_exec::factor_distributed;
-use block_schur::simulator::{Scheme, T3DModel};
+use block_schur::simulator::{factor_sharded, Scheme, ShardOptions, T3DModel};
 use std::sync::Arc;
+use std::time::Duration;
 
 #[test]
 fn v1_v2_match_sequential_across_sizes() {
@@ -149,4 +150,158 @@ fn experiment_regimes_reproduce_paper_winners() {
     let t8_v1 = run(2048, 32, 32, Scheme::V1);
     let t8_v3 = run(2048, 32, 32, Scheme::V3 { spread: 4 });
     assert!(t8_v3 < t8_v1, "{t8_v3} vs {t8_v1}");
+}
+
+// ---------------------------------------------------------------------
+// Measured sharded backend (wall transport): correctness, determinism,
+// and failure paths.
+// ---------------------------------------------------------------------
+
+/// Valid schemes for the sharded sweep at one `(m, np)`.
+fn shard_schemes(m: usize, np: usize) -> Vec<Scheme> {
+    let mut out = vec![Scheme::V1, Scheme::V2 { b: 2 }];
+    if np > 1 && np.is_multiple_of(2) && m.is_multiple_of(2) {
+        out.push(Scheme::V3 { spread: 2 });
+    }
+    out
+}
+
+#[test]
+fn sharded_matches_sequential_across_schemes_and_np() {
+    for (m, p) in [(2usize, 12usize), (4, 8)] {
+        let t = workloads::random_spd_block(m, p, (m * 17 + p) as u64);
+        let seq = factor_spd(&t, &SchurOptions::default()).unwrap();
+        let tol = 1e-8 * t.norm_inf().max(1.0);
+        for np in [1usize, 2, 4] {
+            for scheme in shard_schemes(m, np) {
+                let run = factor_sharded(&t, &ShardOptions::new(scheme, np));
+                let diff = run.r.max_abs_diff(&seq.r);
+                assert!(
+                    diff < tol,
+                    "m={m} p={p} np={np} {}: measured shard run deviates {diff:e}",
+                    scheme.label()
+                );
+                assert!(run.wall_s > 0.0, "wall time must be a real measurement");
+                if np > 1 {
+                    assert!(
+                        run.comm_volume() > 0,
+                        "multi-rank runs must move real bytes"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_factor_is_bitwise_reproducible() {
+    // Fixed (matrix, scheme, np, rep, kernel): thread scheduling may
+    // reorder arrivals but never contents, so two runs must agree to
+    // the last bit.
+    let t = workloads::random_spd_block(4, 12, 21);
+    for scheme in [Scheme::V1, Scheme::V2 { b: 2 }, Scheme::V3 { spread: 2 }] {
+        let opts = ShardOptions::new(scheme, 2);
+        let a = factor_sharded(&t, &opts);
+        let b = factor_sharded(&t, &opts);
+        let bits = |m: &Matrix| {
+            m.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(
+            bits(&a.r),
+            bits(&b.r),
+            "{} not reproducible",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn sharded_solve_end_to_end() {
+    let t = workloads::random_spd_block(2, 16, 8);
+    let (b, x_true) = workloads::rhs_for_ones(&t);
+    let run = factor_sharded(&t, &ShardOptions::new(Scheme::V2 { b: 2 }, 4));
+    let x = block_schur::core::solve::solve_rtdr(&run.r, None, &b).unwrap();
+    for i in 0..x.len() {
+        assert!((x[i] - x_true[i]).abs() < 1e-8, "i={i}");
+    }
+}
+
+#[test]
+fn rank_panic_mid_elimination_poisons_the_group() {
+    // A rank dying between the panel broadcast and the step barrier
+    // must fail the whole group (peers are blocked in barriers and
+    // selective receives), not deadlock it.
+    let result = std::panic::catch_unwind(|| {
+        World::run_wall(4, WallOpts::default(), |p| {
+            // Step 0 completes everywhere.
+            let x = p.broadcast(0, 0, if p.rank() == 0 { &[2.0][..] } else { &[] });
+            p.barrier();
+            // Step 1: rank 2 dies; the others head into the barrier /
+            // a receive that will never be satisfied.
+            if p.rank() == 2 {
+                panic!("injected mid-elimination failure");
+            }
+            if p.rank() == 3 {
+                let _ = p.recv(2, 1); // rank 2 will never send this
+            }
+            p.barrier();
+            x[0]
+        })
+    });
+    assert!(result.is_err(), "group must report the poisoned barrier");
+}
+
+#[test]
+fn recv_timeout_diagnostic_names_the_stuck_edge() {
+    // Message-schedule bugs surface as a diagnostic naming the exact
+    // (rank, source, tag) edge instead of an eternal hang.
+    let result = std::panic::catch_unwind(|| {
+        World::run_wall(
+            3,
+            WallOpts {
+                recv_deadline: Some(Duration::from_millis(150)),
+            },
+            |p| {
+                if p.rank() == 2 {
+                    p.recv(1, 99); // never sent
+                } else {
+                    std::thread::sleep(Duration::from_millis(500));
+                }
+            },
+        )
+    });
+    let err = result.expect_err("deadline must fire");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    for needle in ["rank 2", "from rank 1", "tag 99"] {
+        assert!(msg.contains(needle), "diagnostic lacks {needle:?}: {msg}");
+    }
+}
+
+#[test]
+fn broadcast_payloads_are_bit_identical_across_ranks() {
+    // The panel broadcast underpins the determinism contract: every
+    // rank must see byte-identical reflector data, including exotic
+    // values (signed zero, subnormals, NaN payloads).
+    let payload = [
+        f64::from_bits(0x8000_0000_0000_0000), // -0.0
+        f64::from_bits(0x0000_0000_0000_0001), // min subnormal
+        f64::from_bits(0x7ff8_0123_4567_89ab), // payload-carrying NaN
+        f64::NEG_INFINITY,
+        3.5e-310,
+    ];
+    let out = World::run_wall(4, WallOpts::default(), |p| {
+        let got = p.broadcast(1, 5, if p.rank() == 1 { &payload[..] } else { &[] });
+        got.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+    });
+    let want: Vec<u64> = payload.iter().map(|v| v.to_bits()).collect();
+    for (rank, got) in out.iter().enumerate() {
+        assert_eq!(got, &want, "rank {rank} saw different broadcast bits");
+    }
 }
